@@ -1,0 +1,81 @@
+"""Table I: hashing and signing time for the three representative data
+types (Steering 20 B, Scan 8705 B, Image 921641 B).
+
+Paper's numbers (PyCrypto on an i5-7260U):
+
+    Steering:  hash 0.109 ms   hash+sign 3.042 ms
+    Scan:      hash 0.201 ms   hash+sign 3.129 ms
+    Image:     hash 2.638 ms   hash+sign 3.457 ms
+
+Expected shape (what we validate): signing dominates and is nearly flat
+across data sizes, because the RSA operation runs on the 32-byte digest
+regardless of |D|; only the hashing component grows with |D|.
+"""
+
+import pytest
+
+from repro.bench.reporting import Table, save_results
+from repro.bench.timing import measure
+from repro.bench.workloads import PAPER_SIZES, paper_payloads
+from repro.crypto.hashing import data_digest
+
+#: Samples per measurement; the paper uses 3000.  Hashing is cheap enough
+#: for the paper's count; signing is pure Python so we use fewer.
+HASH_SAMPLES = 3000
+SIGN_SAMPLES = 300
+
+_results = {}
+
+
+@pytest.fixture(scope="module")
+def payloads():
+    return paper_payloads()
+
+
+@pytest.mark.parametrize("type_name", list(PAPER_SIZES))
+def test_hash_only(benchmark, payloads, type_name):
+    payload = payloads[type_name]
+    stats = measure(lambda: data_digest(1, payload), samples=HASH_SAMPLES)
+    _results.setdefault(type_name, {})["hash_ms"] = stats.mean_ms
+    _results[type_name]["hash_stdev_ms"] = stats.stdev_ms
+    benchmark(data_digest, 1, payload)
+
+
+@pytest.mark.parametrize("type_name", list(PAPER_SIZES))
+def test_hash_and_sign(benchmark, bench_keys, payloads, type_name):
+    payload = payloads[type_name]
+    private = bench_keys[0].private
+
+    def hash_and_sign():
+        return private.sign_digest(data_digest(1, payload))
+
+    stats = measure(hash_and_sign, samples=SIGN_SAMPLES)
+    _results.setdefault(type_name, {})["hash_sign_ms"] = stats.mean_ms
+    _results[type_name]["hash_sign_stdev_ms"] = stats.stdev_ms
+    benchmark(hash_and_sign)
+
+
+def test_report_table1(benchmark, payloads):
+    """Render the Table I analogue and check the paper's shape claims."""
+    benchmark(lambda: None)  # keep this report under --benchmark-only
+    table = Table(
+        "Table I -- hashing and signing time per data type (RSA-1024, SHA-256)",
+        ["Type", "Size (B)", "Hash only (ms)", "Hash+Sign (ms)"],
+    )
+    for type_name, size in PAPER_SIZES.items():
+        row = _results[type_name]
+        table.add_row(type_name, size, row["hash_ms"], row["hash_sign_ms"])
+    table.show()
+    save_results("table1", _results)
+
+    # Shape 1: signing cost dwarfs hashing for small payloads.
+    assert _results["Steering"]["hash_sign_ms"] > 5 * _results["Steering"]["hash_ms"]
+    # Shape 2: hash time grows with size; Image hashing is the big one.
+    assert _results["Image"]["hash_ms"] > 5 * _results["Steering"]["hash_ms"]
+    # Shape 3: the signing component (hash+sign minus hash) is ~flat
+    # across sizes -- within 40% between Steering and Image.
+    sign_small = (
+        _results["Steering"]["hash_sign_ms"] - _results["Steering"]["hash_ms"]
+    )
+    sign_large = _results["Image"]["hash_sign_ms"] - _results["Image"]["hash_ms"]
+    assert abs(sign_large - sign_small) / sign_small < 0.4

@@ -1,0 +1,150 @@
+"""Table III: message and log-entry sizes (bytes) per data type, under the
+base scheme and ADLP.
+
+Paper's structure:
+
+- message size = |D| + 4 (TCPROS length preamble) + 128 (RSA-1024 signed
+  hash) under ADLP;
+- base log entries store the data as-is on both sides;
+- ADLP publisher entries add the two signatures and acknowledged hash;
+- ADLP *subscriber* entries store h(D) instead of D, collapsing to a small
+  constant (paper: 350 B) regardless of |D| -- the headline space saving.
+
+This benchmark is deterministic: it constructs the exact wire artifacts
+and measures their encoded sizes.
+"""
+
+import pytest
+
+from repro.bench.reporting import Table, save_results
+from repro.bench.workloads import PAPER_SIZES, paper_payloads
+from repro.core.entries import Direction, LogEntry, Scheme
+from repro.core.protocol import AdlpAck, AdlpMessage, message_digest
+from repro.middleware.transport import framing
+
+_results = {}
+
+
+def _sizes_for(type_name, payload, keys):
+    pub_key, sub_key = keys[0], keys[1]
+    seq = 100
+    digest = message_digest(seq, payload)
+    s_x = pub_key.private.sign_digest(digest)
+    s_y = sub_key.private.sign_digest(digest)
+
+    adlp_wire = AdlpMessage(seq=seq, payload=payload, signature=s_x).encode()
+    message_size = len(adlp_wire) + framing.frame_overhead()
+
+    base_pub = LogEntry(
+        component_id="/pub",
+        topic="/data",
+        type_name="bench/Type",
+        direction=Direction.OUT,
+        seq=seq,
+        timestamp=1234.5,
+        scheme=Scheme.NAIVE,
+        data=payload,
+    )
+    base_sub = LogEntry(
+        component_id="/sub",
+        topic="/data",
+        type_name="bench/Type",
+        direction=Direction.IN,
+        seq=seq,
+        timestamp=1234.5,
+        scheme=Scheme.NAIVE,
+        data=payload,
+        peer_id="/pub",
+    )
+    adlp_pub = LogEntry(
+        component_id="/pub",
+        topic="/data",
+        type_name="bench/Type",
+        direction=Direction.OUT,
+        seq=seq,
+        timestamp=1234.5,
+        scheme=Scheme.ADLP,
+        data=payload,
+        own_sig=s_x,
+        peer_id="/sub",
+        peer_hash=digest,
+        peer_sig=s_y,
+    )
+    adlp_sub = LogEntry(
+        component_id="/sub",
+        topic="/data",
+        type_name="bench/Type",
+        direction=Direction.IN,
+        seq=seq,
+        timestamp=1234.5,
+        scheme=Scheme.ADLP,
+        data_hash=digest,
+        own_sig=s_y,
+        peer_id="/pub",
+        peer_sig=s_x,
+    )
+    ack = AdlpAck(seq=seq, data_hash=digest, signature=s_y)
+    return {
+        "message": message_size,
+        "base_pub_entry": base_pub.encoded_size(),
+        "base_sub_entry": base_sub.encoded_size(),
+        "adlp_pub_entry": adlp_pub.encoded_size(),
+        "adlp_sub_entry": adlp_sub.encoded_size(),
+        "ack": len(ack.encode()),
+    }
+
+
+@pytest.mark.parametrize("type_name", list(PAPER_SIZES))
+def test_sizes(benchmark, bench_keys, type_name):
+    payload = paper_payloads()[type_name]
+    _results[type_name] = _sizes_for(type_name, payload, bench_keys)
+    benchmark(lambda: _sizes_for(type_name, payload, bench_keys))
+
+
+def test_report_table3(benchmark, bench_keys):
+    benchmark(lambda: None)
+    table = Table(
+        "Table III -- message and log entry sizes (bytes)",
+        [
+            "Type",
+            "|D|",
+            "Message",
+            "Base pub",
+            "Base sub",
+            "ADLP pub",
+            "ADLP sub",
+            "ACK",
+        ],
+    )
+    for type_name, size in PAPER_SIZES.items():
+        row = _results[type_name]
+        table.add_row(
+            type_name,
+            size,
+            row["message"],
+            row["base_pub_entry"],
+            row["base_sub_entry"],
+            row["adlp_pub_entry"],
+            row["adlp_sub_entry"],
+            row["ack"],
+        )
+    table.show()
+    save_results("table3", _results)
+
+    for type_name, size in PAPER_SIZES.items():
+        row = _results[type_name]
+        # Shape 1 (paper): message = |D| + 4 + 128, modulo a few envelope
+        # tag bytes from our protobuf-style framing.
+        assert size + 4 + 128 <= row["message"] <= size + 4 + 128 + 24
+        # Shape 2: ADLP entries are larger than base entries on the
+        # publisher side (added signatures)...
+        assert row["adlp_pub_entry"] > row["base_pub_entry"]
+        # Shape 3: ...but the ADLP subscriber entry is a small constant.
+        assert row["adlp_sub_entry"] < 450  # paper: ~350 B
+
+    # Shape 4: the subscriber's h(D) entry is size-independent.
+    sub_sizes = {r["adlp_sub_entry"] for r in _results.values()}
+    assert max(sub_sizes) - min(sub_sizes) <= 8
+    # Shape 5: the ACK is ~fixed 160 B + envelope bytes (paper: 160 B).
+    for row in _results.values():
+        assert 160 <= row["ack"] <= 184

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Temporal causality auditing (paper Section IV-B2, Figure 10, Lemma 4).
+
+Builds the three-component chain  x --A--> y --B--> z  and walks through
+the paper's scenarios:
+
+(b) all faithful: timestamps respect t_x,out < t_y,in < t_y,out < t_z,in;
+(c) the middle component alone disrupts its timestamps: the chain's
+    precedence survives and the local inversion implicates exactly y;
+(d) everyone colludes: the order reverses, but only with the whole chain
+    as suspects.
+
+Run:  python examples/causality_audit.py
+"""
+
+from repro.audit.causality import (
+    ChainHop,
+    check_chain_precedence,
+    precedence_holds,
+)
+from repro.core.entries import Direction, LogEntry, Scheme
+
+CHAIN = [ChainHop("/x", "/A", 1, "/y"), ChainHop("/y", "/B", 1, "/z")]
+
+
+def entry(component, topic, direction, timestamp):
+    return LogEntry(
+        component_id=component, topic=topic, type_name="demo/Data",
+        direction=direction, seq=1, timestamp=timestamp, scheme=Scheme.ADLP,
+    )
+
+
+def show(label, entries):
+    print(f"\n--- {label} ---")
+    for e in entries:
+        print(f"  {e.component_id:3} {e.direction.name.lower():3} "
+              f"{e.topic} @ t={e.timestamp}")
+    violations = check_chain_precedence(entries, CHAIN)
+    if not violations:
+        print("  no timestamp inconsistencies")
+    for v in violations:
+        print(f"  VIOLATION [{v.kind.value}] suspects={list(v.suspects)}")
+        print(f"    {v.description}")
+    print(f"  end-to-end precedence observable: "
+          f"{precedence_holds(entries, CHAIN)}")
+    return violations
+
+
+def main() -> None:
+    # (b) everyone faithful
+    faithful = [
+        entry("/x", "/A", Direction.OUT, 1.0),
+        entry("/y", "/A", Direction.IN, 2.0),
+        entry("/y", "/B", Direction.OUT, 3.0),
+        entry("/z", "/B", Direction.IN, 4.0),
+    ]
+    assert not show("Figure 10(b): all faithful", faithful)
+
+    # (c) y alone disrupts its two timestamps
+    disrupted = [
+        entry("/x", "/A", Direction.OUT, 1.0),
+        entry("/y", "/A", Direction.IN, 3.5),   # moved late
+        entry("/y", "/B", Direction.OUT, 0.5),  # moved early
+        entry("/z", "/B", Direction.IN, 4.0),
+    ]
+    violations = show("Figure 10(c): y alone disrupts", disrupted)
+    assert any(v.suspects == ("/y",) for v in violations)
+    assert precedence_holds(disrupted, CHAIN)
+    print("  -> Lemma 4: a single disruptor cannot break the precedence; "
+          "its inversion is locally visible and names it")
+
+    # (d) full collusion reverses the order
+    colluding = [
+        entry("/x", "/A", Direction.OUT, 3.0),
+        entry("/y", "/A", Direction.IN, 4.0),
+        entry("/y", "/B", Direction.OUT, 1.0),
+        entry("/z", "/B", Direction.IN, 2.0),
+    ]
+    violations = show("Figure 10(d): all three collude", colluding)
+    assert any(set(v.suspects) == {"/x", "/y", "/z"} for v in violations)
+    print("  -> only a whole-chain collusion can reverse the order, and "
+          "the finding implicates the whole chain")
+
+
+if __name__ == "__main__":
+    main()

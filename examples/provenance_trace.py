@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Post-incident forensics: trace a steering command back to its sensors.
+
+Runs the self-driving app under ADLP, then plays National Transportation
+Safety Board: pick the last steering command the vehicle consumed, verify
+the log's integrity and validity, and reconstruct the command's full data
+lineage -- down to the exact camera frame that caused it -- from nothing
+but the audited log.
+
+Run:  python examples/provenance_trace.py
+"""
+
+import time
+
+from repro.apps.selfdriving import SelfDrivingApp
+from repro.apps.selfdriving.app import seeded_keypairs
+from repro.apps.selfdriving.nodes import TOPIC_STEERING
+from repro.audit import Auditor, ProvenanceGraph, Topology
+from repro.core import AdlpConfig, Direction
+
+
+def main() -> None:
+    print("running the self-driving app under ADLP for 4 seconds...")
+    app = SelfDrivingApp(
+        scheme="adlp",
+        keypairs=seeded_keypairs(bits=1024),
+        adlp_config=AdlpConfig(key_bits=1024),
+    )
+    with app:
+        topology = Topology.from_master(app.master)
+        app.run_for(4.0)
+        app.flush_logs()
+    app.flush_logs()
+    server = app.log_server
+
+    # Step 1: the evidence is tamper-evident and cryptographically audited.
+    print("verifying log integrity and auditing all entries...")
+    report = Auditor.for_server(server, topology).audit_server(server)
+    assert report.flagged_components() == []
+    valid_entries = [c.entry for c in report.valid_entries()]
+    print(f"  {len(valid_entries)} entries, all valid")
+
+    # Step 2: pick the incident datum -- the last steering command consumed
+    # by the vehicle.
+    steering = server.entries(topic=TOPIC_STEERING, direction=Direction.IN)
+    incident = steering[-1]
+    print(f"\nincident datum: {TOPIC_STEERING}#{incident.seq} "
+          f"consumed by {incident.component_id} at t={incident.timestamp:.3f}")
+
+    # Step 3: reconstruct provenance from the valid entries only.
+    graph = ProvenanceGraph(valid_entries)
+    lineage = graph.lineage(TOPIC_STEERING, incident.seq)
+    suspects = graph.suspects(TOPIC_STEERING, incident.seq)
+
+    print(f"\nlineage ({len(lineage)} upstream data items):")
+    by_topic = {}
+    for item in lineage:
+        by_topic.setdefault(item.topic, []).append(item.seq)
+    for topic, seqs in sorted(by_topic.items()):
+        shown = ", ".join(f"#{s}" for s in seqs[-3:])
+        more = f" (+{len(seqs) - 3} earlier)" if len(seqs) > 3 else ""
+        print(f"  {topic:<24} {shown}{more}")
+
+    print(f"\ncomponents on the causal chain: {', '.join(suspects)}")
+
+    camera_frames = [i for i in lineage if i.topic == "/camera/image_raw"]
+    assert camera_frames, "steering must trace back to camera frames"
+    frame = camera_frames[-1]
+    producer = graph.producer_of(frame.topic, frame.seq)
+    print(f"\nthe decisive camera frame: {frame} -- published by {producer}, "
+          f"whose signed log entry proves its content hash.")
+    print("OK: the steering command is fully attributable, sensor to actuator.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""The paper's demo: a miniature self-driving car under ADLP (Section V).
+
+Runs the full Figure 11(b) node graph -- camera, LIDAR, lane detector,
+sign recognizer, obstacle detector, planner, controller, vehicle -- on a
+simulated circular track with a stop sign and a slow zone.  Every topic
+transmission is signed, acknowledged, and logged; afterwards the auditor
+replays the evidence and the middleware graph shows the end-to-end
+camera -> steering data flow.
+
+Run:  python examples/selfdriving_demo.py [seconds]
+"""
+
+import sys
+import time
+
+from repro.apps.selfdriving import SelfDrivingApp
+from repro.apps.selfdriving.app import seeded_keypairs
+from repro.audit import Auditor, Topology, render_report
+from repro.core import AdlpConfig
+from repro.middleware.graph import end_to_end_paths
+
+
+def main(duration: float = 8.0) -> None:
+    print("generating RSA-1024 keys for all 8 nodes (seeded for the demo)...")
+    keypairs = seeded_keypairs(bits=1024)
+    app = SelfDrivingApp(
+        scheme="adlp",
+        keypairs=keypairs,
+        adlp_config=AdlpConfig(key_bits=1024),
+        camera_hz=20.0,
+    )
+    with app:
+        topology = Topology.from_master(app.master)
+        paths = end_to_end_paths(app.master, "/image_feeder", "/vehicle")
+        print("\ncamera -> steering data-flow paths:")
+        for path in paths:
+            print("  " + " -> ".join(path))
+
+        print(f"\ndriving for {duration:.0f}s (stop sign at the quarter lap, "
+              f"slow zone at the three-quarter mark)...")
+        app.start()
+        t0 = time.monotonic()
+        while time.monotonic() - t0 < duration:
+            time.sleep(1.0)
+            state = app.world.snapshot()
+            print(
+                f"  t={time.monotonic() - t0:4.1f}s  lap={app.world.laps:.3f}  "
+                f"speed={state.speed:4.2f} m/s  "
+                f"offset={app.world.lateral_offset():+.3f} m"
+            )
+        metrics = app.metrics(duration)
+        app.flush_logs()
+    app.flush_logs()
+
+    print(f"\ndistance driven: {metrics.distance_m:.1f} m "
+          f"({metrics.laps:.2f} laps), final lane offset "
+          f"{metrics.final_offset_m:+.3f} m")
+    print("messages published per node:")
+    for node, count in sorted(metrics.messages_by_node.items()):
+        print(f"  {node:<20} {count}")
+    print(f"log: {len(app.log_server)} entries, "
+          f"{app.log_server.total_bytes / 1e6:.1f} MB, "
+          f"Merkle root {app.log_server.merkle_root().hex()[:16]}...")
+
+    print("\nauditing the black box...")
+    report = Auditor.for_server(app.log_server, topology).audit_server(app.log_server)
+    print(render_report(report, max_findings=10))
+    assert report.flagged_components() == [], "faithful car must audit clean"
+    print("\nOK: every transmission in the drive is provably logged.")
+
+
+if __name__ == "__main__":
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 8.0)

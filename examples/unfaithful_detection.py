@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""The motivational example (paper Section III-A, Figure 3), made concrete.
+
+An image feeder publishes camera frames; a traffic-sign recognizer
+subscribes.  The recognizer is *unfaithful*: afraid of liability for
+missing a stop sign, it logs a doctored version of every frame it
+receives.  Under naive logging this is a he-said-she-said; under ADLP the
+auditor proves exactly who lied.
+
+Run:  python examples/unfaithful_detection.py
+"""
+
+import time
+
+from repro import AdlpConfig, Auditor, LogServer, Master, Node, render_report
+from repro.adversary import (
+    GroundTruth,
+    SubscriberBehavior,
+    UnfaithfulAdlpProtocol,
+)
+from repro.adversary.behaviors import flip_first_byte
+from repro.audit import Topology
+from repro.audit.disputes import Blame, resolve_dispute
+from repro.core import Direction
+from repro.middleware.msgtypes import Image
+
+
+def main() -> None:
+    master = Master()
+    log_server = LogServer()
+    truth = GroundTruth()
+    config = AdlpConfig(key_bits=1024)
+
+    print("generating keys...")
+    feeder_protocol = UnfaithfulAdlpProtocol(
+        "/image_feeder", log_server, truth, config=config
+    )
+    # The liar: logs flip_first_byte(frame) instead of the frame it got.
+    recognizer_protocol = UnfaithfulAdlpProtocol(
+        "/sign_recognizer",
+        log_server,
+        truth,
+        subscriber_behavior=SubscriberBehavior(falsify=flip_first_byte),
+        config=config,
+    )
+
+    feeder = Node("/image_feeder", master, protocol=feeder_protocol)
+    recognizer = Node("/sign_recognizer", master, protocol=recognizer_protocol)
+
+    recognizer.subscribe("/camera/image_raw", Image, lambda m: None)
+    publisher = feeder.advertise("/camera/image_raw", Image)
+    publisher.wait_for_subscribers(1)
+
+    print("publishing 3 camera frames (the real ones contain a stop sign)...")
+    frame = b"\x01STOP-SIGN-PIXELS" + b"\x00" * 1024
+    for _ in range(3):
+        publisher.publish(Image(width=32, height=32, encoding="rgb8", data=frame))
+        time.sleep(0.05)
+
+    time.sleep(0.3)
+    feeder_protocol.flush()
+    recognizer_protocol.flush()
+    feeder.shutdown()
+    recognizer.shutdown()
+
+    topology = Topology(publisher_of={"/camera/image_raw": "/image_feeder"})
+    report = Auditor.for_server(log_server, topology).audit_server(log_server)
+    print()
+    print(render_report(report))
+
+    assert report.flagged_components() == ["/sign_recognizer"]
+    assert "/image_feeder" in report.clean_components()
+
+    # Zoom into one disputed transmission and resolve it explicitly.
+    pub_entry = log_server.entries(component_id="/image_feeder", seq=1)[0]
+    sub_entry = log_server.entries(component_id="/sign_recognizer", seq=1)[0]
+    verdict = resolve_dispute(pub_entry, sub_entry, log_server.keystore)
+    print("\n--- dispute resolution for seq=1 ---")
+    print(f"blame: {verdict.blame.value}")
+    print(f"why:   {verdict.explanation}")
+    assert verdict.blame is Blame.SUBSCRIBER
+
+    # Ground truth confirms: the feeder's log matches what actually crossed
+    # the wire; the recognizer's does not.
+    true_digest = truth.digest_of("/camera/image_raw", 1)
+    assert pub_entry.reported_hash() == true_digest
+    assert sub_entry.reported_hash() != true_digest
+    print("\nOK: the falsifying sign recognizer was convicted; "
+          "the faithful image feeder is clean.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""Unfaithful components.
+
+The paper's trust model (Section II-A) allows any component to forge, hide,
+or alter its log entries, and groups of components to collude.  This package
+makes those behaviors injectable so the accountability guarantees
+(Lemmas 1-4, Theorems 1-2) can be validated empirically:
+
+- :mod:`repro.adversary.behaviors` -- declarative descriptions of publisher-
+  and subscriber-side deviations (Section III-B's taxonomy).
+- :mod:`repro.adversary.harness` -- protocol classes that apply behaviors on
+  the live data path while recording ground truth.
+- :mod:`repro.adversary.scenarios` -- offline forgery helpers (fabricated
+  entries, impersonation, colluding consistent lies) and canned scenarios
+  from the paper's figures.
+"""
+
+from repro.adversary.behaviors import PublisherBehavior, SubscriberBehavior
+from repro.adversary.harness import (
+    GroundTruth,
+    TransmissionRecord,
+    UnfaithfulAdlpProtocol,
+)
+from repro.adversary.scenarios import (
+    fabricate_publication_entry,
+    fabricate_receipt_entry,
+    forge_impersonated_entry,
+    forge_colluding_pair,
+)
+
+__all__ = [
+    "PublisherBehavior",
+    "SubscriberBehavior",
+    "GroundTruth",
+    "TransmissionRecord",
+    "UnfaithfulAdlpProtocol",
+    "fabricate_publication_entry",
+    "fabricate_receipt_entry",
+    "forge_impersonated_entry",
+    "forge_colluding_pair",
+]

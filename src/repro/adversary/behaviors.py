@@ -1,0 +1,81 @@
+"""Declarative unfaithful behaviors (the Section III-B taxonomy).
+
+Each field corresponds to one of the paper's unfaithful actions.  A behavior
+object with all defaults describes a faithful component.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+#: Transforms the true payload into the payload the liar *reports*.
+PayloadForgery = Callable[[bytes], bytes]
+
+
+def flip_first_byte(payload: bytes) -> bytes:
+    """A canonical payload forgery: corrupt the first byte."""
+    if not payload:
+        return b"\x01"
+    return bytes([payload[0] ^ 0xFF]) + payload[1:]
+
+
+@dataclass(frozen=True)
+class PublisherBehavior:
+    """Deviations applied on the publisher side of ADLP."""
+
+    #: *Hiding*: publish normally but never enter L_x.
+    hide_entries: bool = False
+
+    #: *Falsification*: log D' = forge(D) instead of the D actually sent.
+    #: The liar signs D' correctly for its log entry (an invalid own
+    #: signature would be "obvious detection"), but the subscriber's ACK it
+    #: holds is for D -- which is exactly what convicts it (Lemma 3 i).
+    falsify: Optional[PayloadForgery] = None
+
+    #: Figure 8 (a): attach a random (invalid) signature to the *sent*
+    #: message, hoping to make the subscriber's log unverifiable.  The
+    #: transport-level signing requirement (eq. 4) forbids this for
+    #: protocol-compliant components; this flag bypasses it.
+    send_invalid_signature: bool = False
+
+    #: *Timing disruption*: seconds added to every log-entry timestamp.
+    log_clock_offset: float = 0.0
+
+    @property
+    def is_faithful(self) -> bool:
+        return self == PublisherBehavior()
+
+
+@dataclass(frozen=True)
+class SubscriberBehavior:
+    """Deviations applied on the subscriber side of ADLP."""
+
+    #: *Hiding* (log only): ACK to keep receiving, but never enter L_y.
+    #: Lemma 2: the publisher's L_x, holding our signed ACK, exposes us.
+    hide_entries: bool = False
+
+    #: *Hiding* (stealth): never ACK and never log, as if nothing arrived.
+    #: The protocol's penalty is that the publisher stops sending to us.
+    suppress_acks: bool = False
+
+    #: *Falsification*: log D'' = forge(D) instead of the D received, with a
+    #: freshly self-signed commitment.  The claimed publisher signature
+    #: cannot verify for D'' (Lemma 3 ii).
+    falsify: Optional[PayloadForgery] = None
+
+    #: Figure 8 (b): report a random bytes blob as the publisher's
+    #: signature, accusing the publisher of sending an invalid pair.
+    fabricate_peer_signature: bool = False
+
+    #: *Replay*: log the previously received payload (and publisher
+    #: signature) under the current sequence number.  Freshness in the
+    #: signed digest defeats this (Lemma 1).
+    replay_previous: bool = False
+
+    #: *Timing disruption*: seconds added to every log-entry timestamp.
+    log_clock_offset: float = 0.0
+
+    @property
+    def is_faithful(self) -> bool:
+        return self == SubscriberBehavior()

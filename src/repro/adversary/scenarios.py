@@ -1,0 +1,196 @@
+"""Offline forgery helpers.
+
+Fabrication, impersonation, and collusion do not need a live data path --
+a liar just writes entries.  These helpers craft exactly the entries the
+paper's scenarios describe, for direct submission to a log server:
+
+- :func:`fabricate_publication_entry` / :func:`fabricate_receipt_entry` --
+  Lemma 1's fabrications: an entry for a transmission that never happened.
+  The forger signs its own side correctly but can only guess the
+  counterpart's signature.
+- :func:`forge_impersonated_entry` -- an entry written under *another*
+  component's identity ("Impersonation", Section III-B).
+- :func:`forge_colluding_pair` -- a publisher and subscriber who share keys
+  and goodwill manufacture a mutually consistent pair of entries for a
+  transmission that never happened.  The auditor classifies both valid --
+  the paper's acknowledged limitation (L_V,c may be non-empty).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Tuple
+
+from repro.core.entries import Direction, LogEntry, Scheme
+from repro.core.protocol import message_digest
+from repro.crypto.keys import KeyPair
+
+
+def fabricate_publication_entry(
+    component_id: str,
+    keypair: KeyPair,
+    topic: str,
+    type_name: str,
+    seq: int,
+    payload: bytes,
+    subscriber_id: str,
+    timestamp: float = 0.0,
+    reuse_ack: Optional[Tuple[bytes, bytes]] = None,
+) -> LogEntry:
+    """A publisher's L_x for a publication that never happened.
+
+    :param reuse_ack: optionally an old (acknowledged hash, s_y) pair
+        captured from a real earlier transmission -- the "reuse a previously
+        received M_y" attempt from the proof of Lemma 1.  Defaults to a
+        random signature.
+    """
+    digest = message_digest(seq, payload)
+    if reuse_ack is not None:
+        peer_hash, peer_sig = reuse_ack
+    else:
+        peer_hash, peer_sig = digest, os.urandom(keypair.public.signature_size)
+    return LogEntry(
+        component_id=component_id,
+        topic=topic,
+        type_name=type_name,
+        direction=Direction.OUT,
+        seq=seq,
+        timestamp=timestamp,
+        scheme=Scheme.ADLP,
+        data=payload,
+        own_sig=keypair.private.sign_digest(digest),
+        peer_id=subscriber_id,
+        peer_hash=peer_hash,
+        peer_sig=peer_sig,
+    )
+
+
+def fabricate_receipt_entry(
+    component_id: str,
+    keypair: KeyPair,
+    topic: str,
+    type_name: str,
+    seq: int,
+    payload: bytes,
+    publisher_id: str,
+    timestamp: float = 0.0,
+    reuse_message: Optional[Tuple[bytes, bytes]] = None,
+    store_hash: bool = True,
+) -> LogEntry:
+    """A subscriber's L_y for a receipt that never happened.
+
+    :param reuse_message: optionally an old (payload, s_x) pair from a real
+        earlier message, replayed under the new ``seq`` -- defeated by the
+        sequence number inside the signed digest.
+    """
+    if reuse_message is not None:
+        payload, peer_sig = reuse_message
+    else:
+        peer_sig = os.urandom(keypair.public.signature_size)
+    digest = message_digest(seq, payload)
+    entry = LogEntry(
+        component_id=component_id,
+        topic=topic,
+        type_name=type_name,
+        direction=Direction.IN,
+        seq=seq,
+        timestamp=timestamp,
+        scheme=Scheme.ADLP,
+        own_sig=keypair.private.sign_digest(digest),
+        peer_id=publisher_id,
+        peer_sig=peer_sig,
+    )
+    if store_hash:
+        entry.data_hash = digest
+    else:
+        entry.data = payload
+    return entry
+
+
+def forge_impersonated_entry(
+    victim_id: str,
+    attacker_keypair: KeyPair,
+    topic: str,
+    type_name: str,
+    seq: int,
+    payload: bytes,
+    direction: Direction = Direction.OUT,
+    timestamp: float = 0.0,
+) -> LogEntry:
+    """An entry written as if ``victim_id`` created it.
+
+    The attacker cannot produce the victim's signature, so it signs with its
+    own key (or might as well use random bytes); verification under the
+    victim's registered key fails -- "no component can write a log entry as
+    if it was created by someone else" (Section IV-B).
+    """
+    digest = message_digest(seq, payload)
+    return LogEntry(
+        component_id=victim_id,
+        topic=topic,
+        type_name=type_name,
+        direction=direction,
+        seq=seq,
+        timestamp=timestamp,
+        scheme=Scheme.ADLP,
+        data=payload,
+        own_sig=attacker_keypair.private.sign_digest(digest),
+        peer_id="",
+    )
+
+
+def forge_colluding_pair(
+    publisher_id: str,
+    publisher_keypair: KeyPair,
+    subscriber_id: str,
+    subscriber_keypair: KeyPair,
+    topic: str,
+    type_name: str,
+    seq: int,
+    payload: bytes,
+    timestamp: float = 0.0,
+    store_hash: bool = True,
+) -> Tuple[LogEntry, LogEntry]:
+    """A mutually consistent fake (L_x, L_y) pair for a transmission that
+    never occurred (or whose real payload differed).
+
+    Because the colluders cooperate, each can obtain the other's genuine
+    signature over the fake digest; every check the auditor can run
+    succeeds.  This is the fundamental limit the paper concedes for
+    colluding groups; only transmissions crossing a group boundary are
+    protected.
+    """
+    digest = message_digest(seq, payload)
+    s_x = publisher_keypair.private.sign_digest(digest)
+    s_y = subscriber_keypair.private.sign_digest(digest)
+    pub_entry = LogEntry(
+        component_id=publisher_id,
+        topic=topic,
+        type_name=type_name,
+        direction=Direction.OUT,
+        seq=seq,
+        timestamp=timestamp,
+        scheme=Scheme.ADLP,
+        data=payload,
+        own_sig=s_x,
+        peer_id=subscriber_id,
+        peer_hash=digest,
+        peer_sig=s_y,
+    )
+    sub_entry = LogEntry(
+        component_id=subscriber_id,
+        topic=topic,
+        type_name=type_name,
+        direction=Direction.IN,
+        seq=seq,
+        timestamp=timestamp,
+        scheme=Scheme.ADLP,
+        own_sig=s_y,
+        peer_id=publisher_id,
+        peer_sig=s_x,
+    )
+    if store_hash:
+        sub_entry.data_hash = digest
+    else:
+        sub_entry.data = payload
+    return pub_entry, sub_entry

@@ -1,0 +1,38 @@
+"""The miniaturized self-driving application (paper Section V-A).
+
+The paper demonstrates ADLP on a 1/10-scale car navigating an indoor track
+with a camera and a LIDAR.  Hardware being unavailable, this package
+recreates the *software* system end to end:
+
+- :mod:`repro.apps.selfdriving.track` -- a circular track, kinematic
+  vehicle model, traffic signs, and obstacles (the physical world).
+- :mod:`repro.apps.selfdriving.sensors` -- a synthetic camera rendering
+  ~921 KB RGB frames and a 1080-beam LIDAR producing ~8.7 KB scans --
+  matching the paper's Image and Scan payload sizes (Table I).
+- :mod:`repro.apps.selfdriving.nodes` -- the ROS-node graph of
+  Figure 11(b): image feeder, LIDAR, lane detector, traffic-sign
+  recognizer, obstacle detector, planner, controller, vehicle.
+- :mod:`repro.apps.selfdriving.app` -- wiring: build the whole application
+  under a chosen logging scheme (none / naive / ADLP) and drive it.
+
+The control loop is genuinely closed: the lane detector reads lane markings
+out of the rendered camera frames, the planner steers from its output, and
+the vehicle model integrates the commands -- so data flowing through ADLP
+is what actually keeps the car on the track.
+"""
+
+from repro.apps.selfdriving.track import Track, VehicleModel, World, TrafficSignPost, Obstacle
+from repro.apps.selfdriving.sensors import Camera, Lidar
+from repro.apps.selfdriving.app import SelfDrivingApp, AppMetrics
+
+__all__ = [
+    "Track",
+    "VehicleModel",
+    "World",
+    "TrafficSignPost",
+    "Obstacle",
+    "Camera",
+    "Lidar",
+    "SelfDrivingApp",
+    "AppMetrics",
+]

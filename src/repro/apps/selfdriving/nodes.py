@@ -1,0 +1,343 @@
+"""The ROS-node graph of the self-driving application (Figure 11(b)).
+
+Topics and rates:
+
+- ``/camera/image_raw`` (sensors/Image, 20 Hz) <- image_feeder
+- ``/scan``             (sensors/LaserScan, 10 Hz) <- lidar
+- ``/perception/lane``  (perception/LaneOffset) <- lane_detector
+- ``/perception/sign``  (perception/TrafficSign) <- sign_recognizer
+- ``/perception/obstacles`` (perception/ObstacleArray) <- obstacle_detector
+- ``/planning/path``    (planning/PlannedPath) <- planner
+- ``/control/steering`` (control/Steering) <- controller
+- ``/vehicle/state``    (vehicle/State) <- vehicle
+
+Every node is plain application code over the middleware API: none of them
+mention ADLP, which is the transparency property the paper claims ("no
+modification at the application level is required").
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Callable, Optional
+
+from repro.apps.selfdriving import sensors
+from repro.apps.selfdriving.track import World
+from repro.middleware.master import Master
+from repro.middleware.msgtypes import (
+    Image,
+    LaneOffset,
+    LaserScan,
+    ObstacleArray,
+    PlannedPath,
+    Steering,
+    TrafficSign,
+    VehicleState,
+)
+from repro.middleware.node import Node
+from repro.middleware.transport.base import TransportProtocol
+
+#: Topic names, shared with the benchmarks and the audit examples.
+TOPIC_IMAGE = "/camera/image_raw"
+TOPIC_SCAN = "/scan"
+TOPIC_LANE = "/perception/lane"
+TOPIC_SIGN = "/perception/sign"
+TOPIC_OBSTACLES = "/perception/obstacles"
+TOPIC_PATH = "/planning/path"
+TOPIC_STEERING = "/control/steering"
+TOPIC_STATE = "/vehicle/state"
+
+#: node name -> topics it publishes (the Figure 11(b) structure)
+GRAPH = {
+    "/image_feeder": [TOPIC_IMAGE],
+    "/lidar": [TOPIC_SCAN],
+    "/lane_detector": [TOPIC_LANE],
+    "/sign_recognizer": [TOPIC_SIGN],
+    "/obstacle_detector": [TOPIC_OBSTACLES],
+    "/planner": [TOPIC_PATH],
+    "/controller": [TOPIC_STEERING],
+    "/vehicle": [TOPIC_STATE],
+}
+
+ProtocolFactory = Callable[[str], Optional[TransportProtocol]]
+
+
+class AppNode:
+    """Base: owns a middleware node created from the app's factory."""
+
+    NAME = "/node"
+
+    def __init__(self, master: Master, protocol_factory: ProtocolFactory):
+        self.node = Node(self.NAME, master, protocol=protocol_factory(self.NAME))
+
+    def start(self) -> None:
+        """Begin periodic work (timers); default none."""
+
+    def shutdown(self) -> None:
+        self.node.shutdown()
+
+
+class ImageFeederNode(AppNode):
+    """Publishes camera frames at 20 Hz (the paper's image rate)."""
+
+    NAME = "/image_feeder"
+
+    def __init__(self, master, protocol_factory, world: World, hz: float = 20.0):
+        super().__init__(master, protocol_factory)
+        self._camera = sensors.Camera(world.track)
+        self._world = world
+        self._hz = hz
+        self._pub = self.node.advertise(TOPIC_IMAGE, Image, queue_size=4)
+
+    def start(self) -> None:
+        self.node.create_timer(self._hz, self._tick)
+
+    def _tick(self) -> None:
+        frame = self._camera.render(self._world.snapshot())
+        self._pub.publish(
+            Image(
+                height=sensors.IMAGE_HEIGHT,
+                width=sensors.IMAGE_WIDTH,
+                encoding="rgb8",
+                step=sensors.IMAGE_WIDTH * 3,
+                data=frame,
+            )
+        )
+
+
+class LidarNode(AppNode):
+    """Publishes LIDAR sweeps at 10 Hz."""
+
+    NAME = "/lidar"
+
+    def __init__(self, master, protocol_factory, world: World, hz: float = 10.0):
+        super().__init__(master, protocol_factory)
+        self._lidar = sensors.Lidar(world.track)
+        self._world = world
+        self._hz = hz
+        self._pub = self.node.advertise(TOPIC_SCAN, LaserScan, queue_size=4)
+
+    def start(self) -> None:
+        self.node.create_timer(self._hz, self._tick)
+
+    def _tick(self) -> None:
+        ranges, intensities = self._lidar.scan(self._world.snapshot())
+        self._pub.publish(
+            LaserScan(
+                angle_min=-math.pi,
+                angle_max=math.pi,
+                angle_increment=2 * math.pi / sensors.LIDAR_BEAMS,
+                range_min=sensors.LIDAR_RANGE_MIN,
+                range_max=sensors.LIDAR_RANGE_MAX,
+                ranges=ranges,
+                intensities=intensities,
+            )
+        )
+
+
+class LaneDetectorNode(AppNode):
+    """Extracts lateral offset + heading error from camera frames."""
+
+    NAME = "/lane_detector"
+
+    def __init__(self, master, protocol_factory):
+        super().__init__(master, protocol_factory)
+        self._pub = self.node.advertise(TOPIC_LANE, LaneOffset, queue_size=4)
+        self.node.subscribe(TOPIC_IMAGE, Image, self._on_image)
+
+    def _on_image(self, msg: Image) -> None:
+        try:
+            offset, heading_err = sensors.decode_lane(msg.data)
+        except ValueError:
+            return
+        self._pub.publish(
+            LaneOffset(offset_m=offset, heading_error_rad=heading_err, confidence=1.0)
+        )
+
+
+class SignRecognizerNode(AppNode):
+    """Classifies traffic signs from camera frames."""
+
+    NAME = "/sign_recognizer"
+
+    def __init__(self, master, protocol_factory):
+        super().__init__(master, protocol_factory)
+        self._pub = self.node.advertise(TOPIC_SIGN, TrafficSign, queue_size=4)
+        self.node.subscribe(TOPIC_IMAGE, Image, self._on_image)
+
+    def _on_image(self, msg: Image) -> None:
+        found = sensors.decode_sign(msg.data)
+        if found is None:
+            self._pub.publish(TrafficSign(sign="", confidence=1.0))
+        else:
+            kind, distance = found
+            self._pub.publish(
+                TrafficSign(sign=kind, confidence=1.0, distance_m=distance)
+            )
+
+
+class ObstacleDetectorNode(AppNode):
+    """Extracts obstacle hits from LIDAR sweeps."""
+
+    NAME = "/obstacle_detector"
+
+    def __init__(self, master, protocol_factory):
+        super().__init__(master, protocol_factory)
+        self._pub = self.node.advertise(TOPIC_OBSTACLES, ObstacleArray, queue_size=4)
+        self.node.subscribe(TOPIC_SCAN, LaserScan, self._on_scan)
+
+    def _on_scan(self, msg: LaserScan) -> None:
+        angles, distances = sensors.decode_obstacles(msg.ranges)
+        self._pub.publish(
+            ObstacleArray(
+                angles_rad=[float(a) for a in angles],
+                distances_m=[float(d) for d in distances],
+            )
+        )
+
+
+class PlannerNode(AppNode):
+    """Fuses lane, sign, and obstacle inputs into a planned path."""
+
+    NAME = "/planner"
+
+    #: steering gains (tuned for the circular track)
+    K_OFFSET = 1.2
+    K_HEADING = 1.8
+    CRUISE_SPEED = 2.0
+    STOP_DISTANCE = 2.0  # brake when a stop sign is this close
+    OBSTACLE_STOP = 1.0  # brake when anything is this close dead ahead
+    STOP_WAIT_S = 1.0  # dwell time at a stop sign
+    STOP_CLEAR_S = 6.0  # how long to ignore the sign while passing it
+
+    def __init__(self, master, protocol_factory):
+        super().__init__(master, protocol_factory)
+        self._pub = self.node.advertise(TOPIC_PATH, PlannedPath, queue_size=4)
+        self._lock = threading.Lock()
+        self._sign: Optional[TrafficSign] = None
+        self._obstacles: Optional[ObstacleArray] = None
+        self._stopped_since: Optional[float] = None
+        self._stop_cleared_at: Optional[float] = None
+        self.node.subscribe(TOPIC_LANE, LaneOffset, self._on_lane)
+        self.node.subscribe(TOPIC_SIGN, TrafficSign, self._on_sign)
+        self.node.subscribe(TOPIC_OBSTACLES, ObstacleArray, self._on_obstacles)
+
+    def _stop_sign_applies(self, sign: Optional[TrafficSign]) -> bool:
+        """Stop-and-go: brake for STOP_WAIT_S, then proceed and ignore the
+        sign while driving past it."""
+        import time as _time
+
+        now = _time.monotonic()
+        if (
+            self._stop_cleared_at is not None
+            and now - self._stop_cleared_at < self.STOP_CLEAR_S
+        ):
+            return False
+        self._stop_cleared_at = None
+        applies = (
+            sign is not None
+            and sign.sign == "stop"
+            and sign.distance_m <= self.STOP_DISTANCE
+        )
+        if applies:
+            if self._stopped_since is None:
+                self._stopped_since = now
+            elif now - self._stopped_since >= self.STOP_WAIT_S:
+                self._stopped_since = None
+                self._stop_cleared_at = now
+                return False
+        else:
+            self._stopped_since = None
+        return applies
+
+    def _on_sign(self, msg: TrafficSign) -> None:
+        with self._lock:
+            self._sign = msg
+
+    def _on_obstacles(self, msg: ObstacleArray) -> None:
+        with self._lock:
+            self._obstacles = msg
+
+    def _on_lane(self, msg: LaneOffset) -> None:
+        # Plan on every lane update (the highest-value feedback signal).
+        # Stable law for CCW travel: steer left (+) when outside the lane
+        # (+offset), steer right (-) when heading points inside (+error).
+        curvature = self.K_OFFSET * msg.offset_m - self.K_HEADING * msg.heading_error_rad
+        speed = self.CRUISE_SPEED
+        braking = False
+        reason = "cruise"
+        with self._lock:
+            sign = self._sign
+            obstacles = self._obstacles
+            stop_now = self._stop_sign_applies(sign)
+        if stop_now:
+            speed, braking, reason = 0.0, True, "stop_sign"
+        elif sign is not None and sign.sign.startswith("speed_"):
+            try:
+                speed = min(speed, float(sign.sign.split("_", 1)[1]))
+                reason = "speed_limit"
+            except ValueError:
+                pass
+        if obstacles is not None and obstacles.distances_m:
+            ahead = [
+                d
+                for a, d in zip(obstacles.angles_rad, obstacles.distances_m)
+                if abs(a) < 0.4
+            ]
+            if ahead and min(ahead) <= self.OBSTACLE_STOP:
+                speed, braking, reason = 0.0, True, "obstacle"
+        self._pub.publish(
+            PlannedPath(
+                curvature=curvature, target_speed=speed, braking=braking, reason=reason
+            )
+        )
+
+
+class ControllerNode(AppNode):
+    """Turns planned paths into steering commands."""
+
+    NAME = "/controller"
+
+    MAX_STEER = 0.6  # radians
+
+    def __init__(self, master, protocol_factory):
+        super().__init__(master, protocol_factory)
+        self._pub = self.node.advertise(TOPIC_STEERING, Steering, queue_size=4)
+        self.node.subscribe(TOPIC_PATH, PlannedPath, self._on_path)
+
+    def _on_path(self, msg: PlannedPath) -> None:
+        angle = max(-self.MAX_STEER, min(self.MAX_STEER, msg.curvature))
+        self._pub.publish(Steering(angle=angle, speed=msg.target_speed))
+
+
+class VehicleNode(AppNode):
+    """Applies steering commands to the world and publishes odometry."""
+
+    NAME = "/vehicle"
+
+    def __init__(self, master, protocol_factory, world: World, hz: float = 50.0):
+        super().__init__(master, protocol_factory)
+        self._world = world
+        self._hz = hz
+        self._pub = self.node.advertise(TOPIC_STATE, VehicleState, queue_size=4)
+        self.node.subscribe(TOPIC_STEERING, Steering, self._on_steering)
+
+    def start(self) -> None:
+        self.node.create_timer(self._hz, self._tick)
+
+    def _on_steering(self, msg: Steering) -> None:
+        self._world.apply_command(msg.angle, msg.speed)
+
+    def _tick(self) -> None:
+        self._world.step(1.0 / self._hz)
+        state = self._world.snapshot()
+        self._pub.publish(
+            VehicleState(
+                x=state.x,
+                y=state.y,
+                heading_rad=state.heading,
+                speed=state.speed,
+                lap=int(self._world.laps),
+            )
+        )

@@ -1,0 +1,210 @@
+"""Synthetic camera and LIDAR.
+
+The camera renders a 640x480 RGB frame (921600 payload bytes, matching the
+paper's ~900 KB/image at 20 Hz) in which the perception nodes can *really*
+find what they need:
+
+- a bright lane marking whose column position encodes the car's view of the
+  lane center (the lane detector recovers lateral offset from it);
+- a horizon tilt band encoding heading error;
+- a sign blob whose color identifies the sign type and whose size encodes
+  distance (the recognizer inverts both).
+
+The LIDAR casts 1080 beams against the track's obstacles, producing packed
+float32 ranges + intensities (~8.7 KB, matching the paper's Scan).
+
+Rendering is deliberately cheap (vectorized numpy) so a 20 Hz camera loop
+leaves CPU headroom for the crypto under test.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.apps.selfdriving.track import Track, VehicleModel
+
+# Camera geometry
+IMAGE_WIDTH = 640
+IMAGE_HEIGHT = 480
+#: pixels of lane-marking shift per meter of lateral offset
+PIXELS_PER_METER = 120.0
+#: rows of horizon shift per radian of heading error
+ROWS_PER_RADIAN = 60.0
+
+# Render colors (R, G, B)
+_ROAD = (60, 60, 60)
+_SKY = (120, 160, 220)
+_LANE = (250, 240, 80)
+_SIGN_COLORS = {
+    "stop": (220, 30, 30),
+    "speed_1": (30, 60, 220),
+    "speed_2": (30, 160, 220),
+}
+#: sign blob edge in pixels when the sign is 1 m away
+_SIGN_BASE_SIZE = 120.0
+
+# LIDAR geometry
+LIDAR_BEAMS = 1080
+LIDAR_RANGE_MAX = 12.0
+LIDAR_RANGE_MIN = 0.05
+
+
+class Camera:
+    """Renders what the car sees, with perception-recoverable encodings."""
+
+    def __init__(self, track: Track, rng_seed: int = 0):
+        self.track = track
+        self._rng = np.random.default_rng(rng_seed)
+        # static base frame: sky over road, plus mild static texture
+        frame = np.empty((IMAGE_HEIGHT, IMAGE_WIDTH, 3), dtype=np.uint8)
+        frame[: IMAGE_HEIGHT // 2] = _SKY
+        frame[IMAGE_HEIGHT // 2 :] = _ROAD
+        noise = self._rng.integers(0, 12, size=frame.shape, dtype=np.uint8)
+        self._base = frame + noise
+
+    def render(self, vehicle: VehicleModel) -> bytes:
+        """Render one RGB frame for the given vehicle pose.
+
+        Returns ``IMAGE_HEIGHT * IMAGE_WIDTH * 3`` raw bytes (row-major).
+        """
+        frame = self._base.copy()
+        offset = self.track.lateral_offset(vehicle.x, vehicle.y)
+        heading_err = self.track.heading_error(vehicle.x, vehicle.y, vehicle.heading)
+
+        # horizon band encodes heading error
+        horizon = int(IMAGE_HEIGHT // 2 + ROWS_PER_RADIAN * heading_err)
+        horizon = max(4, min(IMAGE_HEIGHT - 5, horizon))
+        frame[horizon - 2 : horizon + 2] = (255, 255, 255)
+
+        # lane marking column encodes lateral offset (car drifting outside
+        # -> marking appears shifted inside, i.e. to the left)
+        lane_col = int(IMAGE_WIDTH // 2 - PIXELS_PER_METER * offset)
+        lane_col = max(4, min(IMAGE_WIDTH - 5, lane_col))
+        frame[IMAGE_HEIGHT // 2 :, lane_col - 3 : lane_col + 3] = _LANE
+
+        # nearest visible sign, rendered as a colored square whose size
+        # shrinks with distance
+        sign_info = self.track.sign_ahead(vehicle.x, vehicle.y)
+        if sign_info is not None:
+            sign, distance = sign_info
+            color = _SIGN_COLORS.get(sign.kind)
+            if color is not None:
+                size = int(_SIGN_BASE_SIZE / max(distance, 1.0))
+                size = max(6, min(120, size))
+                top = IMAGE_HEIGHT // 4
+                left = 3 * IMAGE_WIDTH // 4
+                frame[top : top + size, left : left + size] = color
+
+        return frame.tobytes()
+
+
+def decode_lane(frame: bytes) -> Tuple[float, float]:
+    """Inverse of the camera's lane/horizon encoding.
+
+    Returns ``(lateral_offset_m, heading_error_rad)`` as the lane detector
+    perceives them.  Raises :class:`ValueError` when no lane marking is
+    found (e.g. the frame is not a camera frame).
+    """
+    image = np.frombuffer(frame, dtype=np.uint8)
+    if image.size != IMAGE_HEIGHT * IMAGE_WIDTH * 3:
+        raise ValueError("not a camera frame")
+    image = image.reshape(IMAGE_HEIGHT, IMAGE_WIDTH, 3)
+
+    # lane marking: bright yellow pixels in the road half
+    road = image[IMAGE_HEIGHT // 2 :]
+    lane_mask = (
+        (road[:, :, 0] > 200) & (road[:, :, 1] > 200) & (road[:, :, 2] < 160)
+    )
+    columns = np.nonzero(lane_mask.any(axis=0))[0]
+    if columns.size == 0:
+        raise ValueError("no lane marking visible")
+    lane_col = float(columns.mean())
+    offset = (IMAGE_WIDTH // 2 - lane_col) / PIXELS_PER_METER
+
+    # horizon: pure-white rows
+    white = (image > 250).all(axis=2)
+    rows = np.nonzero(white.all(axis=1) | (white.sum(axis=1) > IMAGE_WIDTH * 0.9))[0]
+    if rows.size == 0:
+        heading_err = 0.0
+    else:
+        heading_err = (float(rows.mean()) - IMAGE_HEIGHT // 2) / ROWS_PER_RADIAN
+    return offset, heading_err
+
+
+def decode_sign(frame: bytes) -> Optional[Tuple[str, float]]:
+    """Inverse of the camera's sign encoding.
+
+    Returns ``(kind, estimated_distance_m)`` or ``None`` when no sign blob
+    is visible.
+    """
+    image = np.frombuffer(frame, dtype=np.uint8)
+    if image.size != IMAGE_HEIGHT * IMAGE_WIDTH * 3:
+        raise ValueError("not a camera frame")
+    image = image.reshape(IMAGE_HEIGHT, IMAGE_WIDTH, 3)
+    region = image[
+        IMAGE_HEIGHT // 4 : IMAGE_HEIGHT // 4 + 130,
+        3 * IMAGE_WIDTH // 4 : 3 * IMAGE_WIDTH // 4 + 130,
+    ]
+    for kind, (r, g, b) in _SIGN_COLORS.items():
+        mask = (
+            (np.abs(region[:, :, 0].astype(int) - r) < 30)
+            & (np.abs(region[:, :, 1].astype(int) - g) < 30)
+            & (np.abs(region[:, :, 2].astype(int) - b) < 30)
+        )
+        count = int(mask.sum())
+        if count >= 36:  # at least a 6x6 blob
+            size = math.sqrt(count)
+            distance = _SIGN_BASE_SIZE / size
+            return kind, distance
+    return None
+
+
+class Lidar:
+    """Casts beams against the track's obstacles."""
+
+    def __init__(self, track: Track, beams: int = LIDAR_BEAMS):
+        self.track = track
+        self.beams = beams
+        self._angles = np.linspace(-math.pi, math.pi, beams, endpoint=False)
+
+    def scan(self, vehicle: VehicleModel) -> Tuple[bytes, bytes]:
+        """Return packed float32 ``(ranges, intensities)`` for one sweep.
+
+        Beam angles are relative to the vehicle heading.  Ranges clip to
+        :data:`LIDAR_RANGE_MAX` when nothing is hit.
+        """
+        angles = self._angles + vehicle.heading
+        ranges = np.full(self.beams, LIDAR_RANGE_MAX, dtype=np.float64)
+        dx = np.cos(angles)
+        dy = np.sin(angles)
+        for obstacle in self.track.obstacles:
+            # ray-circle intersection per beam, vectorized
+            ox = obstacle.x - vehicle.x
+            oy = obstacle.y - vehicle.y
+            proj = ox * dx + oy * dy  # distance along beam to closest point
+            closest_sq = (ox * ox + oy * oy) - proj * proj
+            hit = (closest_sq <= obstacle.radius_m**2) & (proj > 0)
+            depth = np.sqrt(
+                np.maximum(obstacle.radius_m**2 - closest_sq, 0.0)
+            )
+            candidate = proj - depth
+            valid = hit & (candidate >= LIDAR_RANGE_MIN)
+            ranges = np.where(valid, np.minimum(ranges, candidate), ranges)
+        intensities = np.where(ranges < LIDAR_RANGE_MAX, 1.0, 0.0)
+        return (
+            ranges.astype(np.float32).tobytes(),
+            intensities.astype(np.float32).tobytes(),
+        )
+
+
+def decode_obstacles(
+    ranges_packed: bytes, vehicle_heading: float = 0.0, max_range: float = LIDAR_RANGE_MAX
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Extract (relative angles, distances) of beams that hit something."""
+    ranges = np.frombuffer(ranges_packed, dtype=np.float32)
+    angles = np.linspace(-math.pi, math.pi, ranges.size, endpoint=False)
+    mask = ranges < max_range
+    return angles[mask], ranges[mask].astype(np.float64)

@@ -1,0 +1,195 @@
+"""The physical world: track geometry, vehicle kinematics, signs, obstacles.
+
+The track is a circle of radius :attr:`Track.radius`; the car should drive
+its centerline counter-clockwise.  A circular track keeps the geometry exact
+(lateral offset is simply the radial distance error) while still exercising
+a real feedback loop -- with zero steering the car drives straight and
+leaves the lane, so staying on track requires the full
+camera -> lane detector -> planner -> controller -> vehicle pipeline to
+work.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TrafficSignPost:
+    """A sign placed beside the track at a given arc angle."""
+
+    kind: str  # "stop" or "speed_<n>"
+    angle_rad: float  # position along the track circle
+    visible_range_m: float = 6.0  # how far away the camera can resolve it
+
+
+@dataclass(frozen=True)
+class Obstacle:
+    """A static circular obstacle on or near the track."""
+
+    x: float
+    y: float
+    radius_m: float = 0.25
+
+
+@dataclass(frozen=True)
+class Track:
+    """A circular track with optional signs and obstacles."""
+
+    radius: float = 10.0
+    lane_width: float = 1.0
+    signs: Tuple[TrafficSignPost, ...] = ()
+    obstacles: Tuple[Obstacle, ...] = ()
+
+    def centerline_point(self, angle_rad: float) -> Tuple[float, float]:
+        """World coordinates of the centerline at ``angle_rad``."""
+        return (
+            self.radius * math.cos(angle_rad),
+            self.radius * math.sin(angle_rad),
+        )
+
+    def lateral_offset(self, x: float, y: float) -> float:
+        """Signed distance from the centerline (positive = outside)."""
+        return math.hypot(x, y) - self.radius
+
+    def track_angle(self, x: float, y: float) -> float:
+        """Arc angle of the point's radial projection onto the circle."""
+        return math.atan2(y, x)
+
+    def heading_error(self, x: float, y: float, heading: float) -> float:
+        """Angle between the car's heading and the (CCW) tangent direction,
+        normalized to (-pi, pi]."""
+        tangent = self.track_angle(x, y) + math.pi / 2.0
+        err = heading - tangent
+        while err <= -math.pi:
+            err += 2.0 * math.pi
+        while err > math.pi:
+            err -= 2.0 * math.pi
+        return err
+
+    def sign_ahead(
+        self, x: float, y: float
+    ) -> Optional[Tuple[TrafficSignPost, float]]:
+        """The nearest visible sign ahead of the car, with its distance.
+
+        "Ahead" means at a greater arc angle (CCW travel), within the sign's
+        visible range measured along the arc.
+        """
+        angle = self.track_angle(x, y)
+        best: Optional[Tuple[TrafficSignPost, float]] = None
+        for sign in self.signs:
+            delta = (sign.angle_rad - angle) % (2.0 * math.pi)
+            distance = delta * self.radius
+            if 0.0 < distance <= sign.visible_range_m:
+                if best is None or distance < best[1]:
+                    best = (sign, distance)
+        return best
+
+
+@dataclass
+class VehicleModel:
+    """Kinematic bicycle model driving on the world plane."""
+
+    x: float = 0.0
+    y: float = 0.0
+    heading: float = 0.0
+    speed: float = 0.0
+    wheelbase: float = 0.3  # meters, 1/10-scale car
+
+    #: commanded inputs, applied by :meth:`step`
+    steering_angle: float = 0.0  # radians at the front axle
+    target_speed: float = 0.0  # m/s
+
+    #: simple first-order speed response
+    accel_limit: float = 4.0  # m/s^2
+
+    def step(self, dt: float) -> None:
+        """Advance the model by ``dt`` seconds."""
+        speed_error = self.target_speed - self.speed
+        max_delta = self.accel_limit * dt
+        self.speed += max(-max_delta, min(max_delta, speed_error))
+        self.x += self.speed * math.cos(self.heading) * dt
+        self.y += self.speed * math.sin(self.heading) * dt
+        self.heading += self.speed * math.tan(self.steering_angle) / self.wheelbase * dt
+        self.heading = math.atan2(math.sin(self.heading), math.cos(self.heading))
+
+
+def default_track() -> Track:
+    """The track used by the demo: one stop sign and one slow zone."""
+    return Track(
+        radius=10.0,
+        lane_width=1.0,
+        signs=(
+            TrafficSignPost(kind="stop", angle_rad=math.pi / 2),
+            TrafficSignPost(kind="speed_1", angle_rad=3 * math.pi / 2),
+        ),
+        obstacles=(Obstacle(x=0.0, y=-11.5, radius_m=0.3),),
+    )
+
+
+class World:
+    """Thread-safe shared state between the vehicle node and the sensors.
+
+    The vehicle node owns stepping; sensor nodes only read.  Mirrors the
+    real system where sensors observe the physical car's pose.
+    """
+
+    def __init__(self, track: Optional[Track] = None, start_angle: float = 0.0):
+        self.track = track or default_track()
+        px, py = self.track.centerline_point(start_angle)
+        self._vehicle = VehicleModel(
+            x=px, y=py, heading=start_angle + math.pi / 2.0
+        )
+        self._lock = threading.Lock()
+        self._distance = 0.0
+        self._last_angle = start_angle
+        self._laps = 0.0
+
+    def apply_command(self, steering_angle: float, target_speed: float) -> None:
+        """Actuate: set the commanded steering and speed."""
+        with self._lock:
+            self._vehicle.steering_angle = steering_angle
+            self._vehicle.target_speed = target_speed
+
+    def step(self, dt: float) -> None:
+        """Advance physics by ``dt`` (called by the vehicle node's loop)."""
+        with self._lock:
+            before = self.track.track_angle(self._vehicle.x, self._vehicle.y)
+            self._vehicle.step(dt)
+            after = self.track.track_angle(self._vehicle.x, self._vehicle.y)
+            self._distance += self._vehicle.speed * dt
+            delta = (after - before) % (2.0 * math.pi)
+            if delta < math.pi:  # forward progress only
+                self._laps += delta / (2.0 * math.pi)
+
+    def snapshot(self) -> VehicleModel:
+        """A copy of the current vehicle state (for sensors and metrics)."""
+        with self._lock:
+            v = self._vehicle
+            return VehicleModel(
+                x=v.x,
+                y=v.y,
+                heading=v.heading,
+                speed=v.speed,
+                wheelbase=v.wheelbase,
+                steering_angle=v.steering_angle,
+                target_speed=v.target_speed,
+            )
+
+    @property
+    def distance_traveled(self) -> float:
+        with self._lock:
+            return self._distance
+
+    @property
+    def laps(self) -> float:
+        with self._lock:
+            return self._laps
+
+    def lateral_offset(self) -> float:
+        """Current signed offset from the lane centerline."""
+        state = self.snapshot()
+        return self.track.lateral_offset(state.x, state.y)

@@ -1,0 +1,56 @@
+"""The auditor: turning logs into accountability.
+
+Implements Section III-C's goal -- classify every observed log entry as
+valid or invalid and infer hidden entries -- using the verification
+machinery of Section IV-B:
+
+- :mod:`repro.audit.verdicts` -- the result vocabulary (entry classes,
+  reasons, component verdicts, the audit report).
+- :mod:`repro.audit.auditor` -- the main classification algorithm over a
+  log server's contents.
+- :mod:`repro.audit.disputes` -- pairwise dispute resolution between a
+  publisher's and a subscriber's conflicting entries (Lemma 3).
+- :mod:`repro.audit.causality` -- temporal-causality checking (Lemma 4).
+- :mod:`repro.audit.collusion` -- Definition 1's collusion groups.
+- :mod:`repro.audit.report` -- human-readable rendering.
+"""
+
+from repro.audit.verdicts import (
+    EntryClass,
+    Reason,
+    ClassifiedEntry,
+    HiddenRecord,
+    ComponentVerdict,
+    PairAnomaly,
+    AuditReport,
+)
+from repro.audit.auditor import Auditor, Topology
+from repro.audit.disputes import resolve_dispute, DisputeVerdict
+from repro.audit.causality import check_pair_precedence, check_chain_precedence, CausalityViolation
+from repro.audit.collusion import CollusionModel, maximal_collusion_groups
+from repro.audit.online import OnlineAuditor, OnlineFinding
+from repro.audit.provenance import DataItem, ProvenanceGraph
+from repro.audit.report import render_report
+
+__all__ = [
+    "EntryClass",
+    "Reason",
+    "ClassifiedEntry",
+    "HiddenRecord",
+    "ComponentVerdict",
+    "AuditReport",
+    "Auditor",
+    "Topology",
+    "resolve_dispute",
+    "DisputeVerdict",
+    "check_pair_precedence",
+    "check_chain_precedence",
+    "CausalityViolation",
+    "CollusionModel",
+    "maximal_collusion_groups",
+    "DataItem",
+    "ProvenanceGraph",
+    "OnlineAuditor",
+    "OnlineFinding",
+    "render_report",
+]

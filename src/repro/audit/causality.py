@@ -1,0 +1,177 @@
+"""Temporal-causality analysis (Section IV-B2, Lemma 4).
+
+Timestamps in log entries establish precedence between transmissions:
+for a chain ``D_{x->y}`` then ``D_{y->z}``, faithful components yield
+``t_x,out < t_y,in < t_y,out < t_z,in`` (Figure 10 (b)).  Lemma 4 shows one
+unfaithful component cannot *reverse* the chain's precedence without
+detection -- its disrupted timestamps create a locally visible
+inconsistency instead.  These checks surface exactly those
+inconsistencies.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.entries import Direction, LogEntry
+
+
+class ViolationKind(enum.Enum):
+    """The flavors of timestamp inconsistency the auditor can observe."""
+
+    PAIR_ORDER = "pair_order"  # t_pub,out > t_sub,in for one transmission
+    LOCAL_ORDER = "local_order"  # a component's t_out < t_in on a causal hop
+    CHAIN_ORDER = "chain_order"  # the end-to-end chain order is broken
+
+
+@dataclass(frozen=True)
+class CausalityViolation:
+    """One detected ordering inconsistency and its suspects.
+
+    By Lemma 4, at least one of :attr:`suspects` disrupted its timestamps
+    (or they collude); an auditor cannot generally narrow it to one
+    component from timestamps alone.
+    """
+
+    kind: ViolationKind
+    description: str
+    suspects: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class ChainHop:
+    """One hop of a data-flow chain: ``publisher -topic#seq-> subscriber``."""
+
+    publisher: str
+    topic: str
+    seq: int
+    subscriber: str
+
+
+def _find(
+    entries: Sequence[LogEntry],
+    component: str,
+    topic: str,
+    seq: int,
+    direction: Direction,
+) -> Optional[LogEntry]:
+    for entry in entries:
+        if (
+            entry.component_id == component
+            and entry.topic == topic
+            and entry.seq == seq
+            and entry.direction is direction
+        ):
+            return entry
+    return None
+
+
+def check_pair_precedence(
+    entries: Sequence[LogEntry], hop: ChainHop
+) -> List[CausalityViolation]:
+    """Check one transmission's two timestamps: publication must not be
+    logged after the corresponding receipt."""
+    violations: List[CausalityViolation] = []
+    out_entry = _find(entries, hop.publisher, hop.topic, hop.seq, Direction.OUT)
+    in_entry = _find(entries, hop.subscriber, hop.topic, hop.seq, Direction.IN)
+    if out_entry is None or in_entry is None:
+        return violations
+    if out_entry.timestamp > in_entry.timestamp:
+        violations.append(
+            CausalityViolation(
+                kind=ViolationKind.PAIR_ORDER,
+                description=(
+                    f"{hop.publisher} logged publication of {hop.topic}#{hop.seq} "
+                    f"at {out_entry.timestamp:.6f}, after {hop.subscriber} logged "
+                    f"its receipt at {in_entry.timestamp:.6f}"
+                ),
+                suspects=(hop.publisher, hop.subscriber),
+            )
+        )
+    return violations
+
+
+def check_chain_precedence(
+    entries: Sequence[LogEntry], chain: Sequence[ChainHop]
+) -> List[CausalityViolation]:
+    """Check a multi-hop causal chain, e.g. ``x -> y -> z`` (Figure 10).
+
+    ``chain`` lists the hops in causal order (hop i's subscriber is hop
+    i+1's publisher).  Detects:
+
+    - per-hop inversions (:func:`check_pair_precedence`),
+    - local inversions at each middle component (its IN entry stamped after
+      its OUT entry -- the Figure 10 (c) signature of a lone disruptor),
+    - end-to-end order reversal (only reachable if all involved components
+      collude; Lemma 4).
+    """
+    violations: List[CausalityViolation] = []
+    for hop in chain:
+        violations.extend(check_pair_precedence(entries, hop))
+
+    # local order at middle components
+    for earlier, later in zip(chain, chain[1:]):
+        if earlier.subscriber != later.publisher:
+            raise ValueError(
+                f"chain is not causal: hop into {earlier.subscriber!r} followed "
+                f"by hop out of {later.publisher!r}"
+            )
+        middle = earlier.subscriber
+        in_entry = _find(entries, middle, earlier.topic, earlier.seq, Direction.IN)
+        out_entry = _find(entries, middle, later.topic, later.seq, Direction.OUT)
+        if in_entry is None or out_entry is None:
+            continue
+        if in_entry.timestamp > out_entry.timestamp:
+            violations.append(
+                CausalityViolation(
+                    kind=ViolationKind.LOCAL_ORDER,
+                    description=(
+                        f"{middle} logged consuming {earlier.topic}#{earlier.seq} at "
+                        f"{in_entry.timestamp:.6f}, after producing "
+                        f"{later.topic}#{later.seq} at {out_entry.timestamp:.6f}"
+                    ),
+                    suspects=(middle,),
+                )
+            )
+
+    # end-to-end order
+    first, last = chain[0], chain[-1]
+    first_out = _find(entries, first.publisher, first.topic, first.seq, Direction.OUT)
+    last_in = _find(entries, last.subscriber, last.topic, last.seq, Direction.IN)
+    if first_out is not None and last_in is not None:
+        if first_out.timestamp > last_in.timestamp:
+            everyone: Set[str] = set()
+            for hop in chain:
+                everyone.update((hop.publisher, hop.subscriber))
+            violations.append(
+                CausalityViolation(
+                    kind=ViolationKind.CHAIN_ORDER,
+                    description=(
+                        f"the chain's first publication "
+                        f"({first.topic}#{first.seq}) is stamped after its final "
+                        f"receipt ({last.topic}#{last.seq}); by Lemma 4 this "
+                        f"requires every component on the chain to collude"
+                    ),
+                    suspects=tuple(sorted(everyone)),
+                )
+            )
+    return violations
+
+
+def precedence_holds(
+    entries: Sequence[LogEntry], chain: Sequence[ChainHop]
+) -> bool:
+    """Whether the observable precedence of ``chain`` is unbroken.
+
+    Lemma 4's claim, operationally: after any single-component timestamp
+    disruption, either this still returns ``True`` with the true order
+    recoverable, or a violation implicates the disruptor.
+    """
+    first, last = chain[0], chain[-1]
+    first_out = _find(entries, first.publisher, first.topic, first.seq, Direction.OUT)
+    last_in = _find(entries, last.subscriber, last.topic, last.seq, Direction.IN)
+    if first_out is None or last_in is None:
+        return False
+    return first_out.timestamp <= last_in.timestamp

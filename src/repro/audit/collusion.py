@@ -1,0 +1,103 @@
+"""Collusion groups (Definition 1).
+
+A collusion group is a set of components that coordinate their lying; the
+*maximal* collusion groups partition the component set (singletons for
+everyone who colludes with nobody).  The paper's guarantees are phrased
+against this structure: transmissions crossing a group boundary are always
+auditable (Theorem 1), transmissions inside a group are not.
+
+:class:`CollusionModel` is the *ground-truth* description used by the
+adversary harness and the property tests; :func:`maximal_collusion_groups`
+computes the partition with :mod:`networkx`.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List, Set, Tuple
+
+import networkx as nx
+
+
+def maximal_collusion_groups(
+    components: Iterable[str], colluding_pairs: Iterable[Tuple[str, str]]
+) -> List[FrozenSet[str]]:
+    """Partition ``components`` into maximal collusion groups.
+
+    Collusion is symmetric; groups are the connected components of the
+    collusion graph.  Components without any colluding partner form
+    singleton groups (Definition 1 case ii).
+    """
+    graph = nx.Graph()
+    graph.add_nodes_from(components)
+    for a, b in colluding_pairs:
+        if a == b:
+            raise ValueError("a component cannot collude with itself")
+        graph.add_edge(a, b)
+    return sorted(
+        (frozenset(group) for group in nx.connected_components(graph)),
+        key=lambda g: sorted(g),
+    )
+
+
+class CollusionModel:
+    """Ground-truth collusion structure of a system under test."""
+
+    def __init__(
+        self,
+        components: Iterable[str],
+        colluding_pairs: Iterable[Tuple[str, str]] = (),
+    ):
+        self.components: Tuple[str, ...] = tuple(components)
+        self.pairs: Set[FrozenSet[str]] = {
+            frozenset(pair) for pair in colluding_pairs
+        }
+        for pair in self.pairs:
+            if len(pair) != 2:
+                raise ValueError("colluding pairs must name two distinct components")
+        self._groups = maximal_collusion_groups(
+            self.components, [tuple(p) for p in self.pairs]
+        )
+
+    @property
+    def groups(self) -> List[FrozenSet[str]]:
+        """The maximal collusion groups C_mcg."""
+        return list(self._groups)
+
+    def group_of(self, component: str) -> FrozenSet[str]:
+        """The maximal group containing ``component``."""
+        for group in self._groups:
+            if component in group:
+                return group
+        raise KeyError(component)
+
+    def colludes(self, a: str, b: str) -> bool:
+        """Whether ``a`` and ``b`` belong to the same maximal group.
+
+        Note this is group membership, not direct pairing: collusion is
+        effectively transitive through shared conspirators.
+        """
+        return a != b and self.group_of(a) == self.group_of(b)
+
+    @property
+    def is_collusion_free(self) -> bool:
+        """True iff every maximal group is a singleton (Section II-A)."""
+        return all(len(group) == 1 for group in self._groups)
+
+    def non_colluding_pairs(
+        self, transmissions: Iterable[Tuple[str, str]]
+    ) -> List[Tuple[str, str]]:
+        """Filter (publisher, subscriber) pairs to those crossing a group
+        boundary -- the pairs Theorem 1 makes fully auditable."""
+        return [
+            (x, y) for x, y in transmissions if not self.colludes(x, y)
+        ]
+
+    def edge_components(self) -> Set[str]:
+        """Components of non-singleton groups: the 'edge' members whose
+        outside-facing transmissions remain auditable (Theorem 1 remark)."""
+        return {
+            component
+            for group in self._groups
+            if len(group) > 1
+            for component in group
+        }

@@ -1,0 +1,161 @@
+"""Pairwise dispute resolution.
+
+The paper's headline capability: "if there is a dispute between a
+non-colluding pair, ADLP can verify whose log entry conforms the reality"
+(Section III-C).  :func:`resolve_dispute` takes the two conflicting entries
+for one transmission and returns who is to blame, applying the Lemma 3
+argument directly.  The :class:`~repro.audit.auditor.Auditor` embeds the
+same logic; this standalone form exists for interactive/forensic use and is
+what the examples demonstrate.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.entries import Direction, LogEntry
+from repro.crypto.keystore import KeyStore
+from repro.errors import AuditError
+
+
+class Blame(enum.Enum):
+    """Outcome of a dispute between publisher and subscriber."""
+
+    NONE = "none"  # entries agree; no dispute
+    PUBLISHER = "publisher"  # L_x proven falsified/fabricated
+    SUBSCRIBER = "subscriber"  # L_y proven falsified/fabricated
+    BOTH = "both"  # neither side's claim is provable
+    UNRESOLVABLE = "unresolvable"  # both claims provable (collusion artifact)
+
+
+@dataclass(frozen=True)
+class DisputeVerdict:
+    """Who lied, and the evidence trail."""
+
+    blame: Blame
+    explanation: str
+    publisher_proof_valid: bool
+    subscriber_proof_valid: bool
+    digests_agree: bool
+
+
+def resolve_dispute(
+    pub_entry: LogEntry,
+    sub_entry: LogEntry,
+    keystore: KeyStore,
+) -> DisputeVerdict:
+    """Decide whose entry conforms to reality for one transmission.
+
+    :param pub_entry: the publisher's ``L_x`` (direction OUT).
+    :param sub_entry: the subscriber's ``L_y`` (direction IN).
+    :param keystore: registered public keys of both components.
+    :raises AuditError: if the two entries do not describe the same
+        transmission (topic/seq mismatch) or have the wrong directions.
+    """
+    if pub_entry.direction is not Direction.OUT:
+        raise AuditError("pub_entry must be a publication (OUT) entry")
+    if sub_entry.direction is not Direction.IN:
+        raise AuditError("sub_entry must be a subscription (IN) entry")
+    if (pub_entry.topic, pub_entry.seq) != (sub_entry.topic, sub_entry.seq):
+        raise AuditError(
+            "entries describe different transmissions: "
+            f"{pub_entry.topic}#{pub_entry.seq} vs {sub_entry.topic}#{sub_entry.seq}"
+        )
+
+    pub_key = keystore.get(pub_entry.component_id)
+    sub_key = keystore.get(sub_entry.component_id)
+
+    d_x = pub_entry.reported_hash()
+    d_y = sub_entry.reported_hash()
+    digests_agree = bool(d_x) and d_x == d_y
+
+    # Authenticity first (eq. 3): an entry failing its own signature is
+    # immediately the liar.
+    pub_authentic = bool(d_x) and pub_key.verify_digest(d_x, pub_entry.own_sig)
+    sub_authentic = bool(d_y) and sub_key.verify_digest(d_y, sub_entry.own_sig)
+    if not pub_authentic and not sub_authentic:
+        return DisputeVerdict(
+            blame=Blame.BOTH,
+            explanation="neither entry carries a valid own-signature",
+            publisher_proof_valid=False,
+            subscriber_proof_valid=False,
+            digests_agree=digests_agree,
+        )
+    if not pub_authentic:
+        return DisputeVerdict(
+            blame=Blame.PUBLISHER,
+            explanation="publisher's own signature does not verify (eq. 3)",
+            publisher_proof_valid=False,
+            subscriber_proof_valid=sub_authentic,
+            digests_agree=digests_agree,
+        )
+    if not sub_authentic:
+        return DisputeVerdict(
+            blame=Blame.SUBSCRIBER,
+            explanation="subscriber's own signature does not verify (eq. 3)",
+            publisher_proof_valid=pub_authentic,
+            subscriber_proof_valid=False,
+            digests_agree=digests_agree,
+        )
+
+    # The cross proofs of Lemma 3.
+    sub_proof = bool(sub_entry.peer_sig) and pub_key.verify_digest(d_y, sub_entry.peer_sig)
+    pub_proof = (
+        bool(pub_entry.peer_sig)
+        and sub_key.verify_digest(pub_entry.peer_hash, pub_entry.peer_sig)
+        and pub_entry.peer_hash == d_x
+    )
+
+    if digests_agree and sub_proof and pub_proof:
+        return DisputeVerdict(
+            blame=Blame.NONE,
+            explanation="entries agree and both counterpart signatures verify",
+            publisher_proof_valid=True,
+            subscriber_proof_valid=True,
+            digests_agree=True,
+        )
+    if sub_proof and not pub_proof:
+        return DisputeVerdict(
+            blame=Blame.PUBLISHER,
+            explanation=(
+                "the subscriber holds the publisher's valid signature for the "
+                "data it reports; the publisher's entry reports different data "
+                "(Lemma 3 i: falsification by the publisher)"
+            ),
+            publisher_proof_valid=False,
+            subscriber_proof_valid=True,
+            digests_agree=digests_agree,
+        )
+    if pub_proof and not sub_proof:
+        return DisputeVerdict(
+            blame=Blame.SUBSCRIBER,
+            explanation=(
+                "the publisher holds the subscriber's valid acknowledgement for "
+                "the data it reports; the subscriber cannot prove its differing "
+                "claim (Lemma 3 ii: false accusation by the subscriber)"
+            ),
+            publisher_proof_valid=True,
+            subscriber_proof_valid=False,
+            digests_agree=digests_agree,
+        )
+    if not pub_proof and not sub_proof:
+        return DisputeVerdict(
+            blame=Blame.BOTH,
+            explanation="neither entry's counterpart signature verifies",
+            publisher_proof_valid=False,
+            subscriber_proof_valid=False,
+            digests_agree=digests_agree,
+        )
+    return DisputeVerdict(
+        blame=Blame.UNRESOLVABLE,
+        explanation=(
+            "both counterpart proofs verify yet the digests disagree -- only "
+            "possible if both components signed multiple payloads for one "
+            "sequence number, i.e. they colluded"
+        ),
+        publisher_proof_valid=True,
+        subscriber_proof_valid=True,
+        digests_agree=digests_agree,
+    )

@@ -1,0 +1,168 @@
+"""Data-flow provenance from audited logs.
+
+The point of collecting accountable logs (Section I/II): "a well-
+constructed log of data flow among software components can help detect the
+origin of a faulty operation by keeping track of dependencies between data
+production (output) and consumption (input)".  This module reconstructs
+those dependencies after the fact:
+
+- every log entry contributes a **data item** node ``(topic, seq)`` and a
+  produced/consumed edge to its component;
+- inside each component, an output item is inferred to depend on the most
+  recent input item of each subscribed topic whose consumption timestamp
+  precedes the production timestamp (the paper notes components may keep
+  more precise internal provenance; absent that, temporal order is the
+  best the transmission log supports -- hence Lemma 4's insistence that
+  timestamps be causally consistent).
+
+Typical forensic query: the car braked wrongly at ``/control/steering``
+seq 812 -- :meth:`ProvenanceGraph.lineage` returns every upstream data
+item (e.g. the exact camera frame) and :meth:`ProvenanceGraph.suspects`
+every component that touched the causal chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from repro.core.entries import Direction, LogEntry
+
+
+@dataclass(frozen=True)
+class DataItem:
+    """One published datum, identified by its topic and sequence number."""
+
+    topic: str
+    seq: int
+
+    def __str__(self) -> str:
+        return f"{self.topic}#{self.seq}"
+
+
+def _item_node(item: DataItem) -> Tuple[str, str, int]:
+    return ("item", item.topic, item.seq)
+
+
+def _component_node(component_id: str) -> Tuple[str, str]:
+    return ("component", component_id)
+
+
+class ProvenanceGraph:
+    """A dependency graph over data items and components.
+
+    Edges point in the direction of data flow:
+    ``producer -> item -> consumer`` and, within a component,
+    ``input item -> output item``.
+    """
+
+    def __init__(self, entries: Sequence[LogEntry]):
+        self.graph = nx.DiGraph()
+        self._build(entries)
+
+    # -- construction ---------------------------------------------------
+
+    def _build(self, entries: Sequence[LogEntry]) -> None:
+        productions: Dict[str, List[LogEntry]] = {}
+        consumptions: Dict[str, List[LogEntry]] = {}
+        for entry in entries:
+            item = DataItem(entry.topic, entry.seq)
+            item_node = _item_node(item)
+            comp_node = _component_node(entry.component_id)
+            self.graph.add_node(item_node, kind="item", item=item)
+            self.graph.add_node(comp_node, kind="component")
+            if entry.direction is Direction.OUT:
+                self.graph.add_edge(comp_node, item_node, kind="produced",
+                                    timestamp=entry.timestamp)
+                productions.setdefault(entry.component_id, []).append(entry)
+            elif entry.direction is Direction.IN:
+                self.graph.add_edge(item_node, comp_node, kind="consumed",
+                                    timestamp=entry.timestamp)
+                consumptions.setdefault(entry.component_id, []).append(entry)
+
+        # Intra-component inference: each output depends on the latest
+        # prior input per topic.
+        for component_id, outputs in productions.items():
+            inputs = sorted(
+                consumptions.get(component_id, []), key=lambda e: e.timestamp
+            )
+            for out_entry in outputs:
+                latest_per_topic: Dict[str, LogEntry] = {}
+                for in_entry in inputs:
+                    if in_entry.timestamp > out_entry.timestamp:
+                        break
+                    latest_per_topic[in_entry.topic] = in_entry
+                for in_entry in latest_per_topic.values():
+                    self.graph.add_edge(
+                        _item_node(DataItem(in_entry.topic, in_entry.seq)),
+                        _item_node(DataItem(out_entry.topic, out_entry.seq)),
+                        kind="derived",
+                    )
+
+    def _derived_only(self) -> "nx.DiGraph":
+        """Item-to-item dependency subgraph (cross-hop flow + intra-
+        component derivations); component nodes excluded so unrelated
+        inputs/outputs of one component do not leak into each other's
+        lineage."""
+        view = nx.DiGraph()
+        for n, data in self.graph.nodes(data=True):
+            if data.get("kind") == "item":
+                view.add_node(n, **data)
+        for u, v, data in self.graph.edges(data=True):
+            if data.get("kind") == "derived":
+                view.add_edge(u, v)
+        return view
+
+    # -- queries ----------------------------------------------------------
+
+    def has_item(self, topic: str, seq: int) -> bool:
+        return _item_node(DataItem(topic, seq)) in self.graph
+
+    def lineage(self, topic: str, seq: int) -> List[DataItem]:
+        """All upstream data items the given item (transitively) depends on,
+        oldest-first by topic/seq."""
+        node = _item_node(DataItem(topic, seq))
+        if node not in self.graph:
+            raise KeyError(f"unknown data item {topic}#{seq}")
+        view = self._derived_only()
+        ancestors = nx.ancestors(view, node) if node in view else set()
+        items = [view.nodes[n]["item"] for n in ancestors]
+        return sorted(items, key=lambda i: (i.topic, i.seq))
+
+    def descendants(self, topic: str, seq: int) -> List[DataItem]:
+        """All downstream items (transitively) derived from the given item --
+        the blast radius of a corrupted datum."""
+        node = _item_node(DataItem(topic, seq))
+        if node not in self.graph:
+            raise KeyError(f"unknown data item {topic}#{seq}")
+        view = self._derived_only()
+        downstream = nx.descendants(view, node) if node in view else set()
+        items = [view.nodes[n]["item"] for n in downstream]
+        return sorted(items, key=lambda i: (i.topic, i.seq))
+
+    def suspects(self, topic: str, seq: int) -> List[str]:
+        """Components on the causal chain of an item: every producer or
+        consumer of the item itself or anything in its lineage."""
+        chain = self.lineage(topic, seq) + [DataItem(topic, seq)]
+        involved: Set[str] = set()
+        for item in chain:
+            node = _item_node(item)
+            for pred in self.graph.predecessors(node):
+                if self.graph.nodes[pred].get("kind") == "component":
+                    involved.add(pred[1])
+            for succ in self.graph.successors(node):
+                if self.graph.nodes[succ].get("kind") == "component":
+                    involved.add(succ[1])
+        return sorted(involved)
+
+    def producer_of(self, topic: str, seq: int) -> Optional[str]:
+        """The component whose log claims production of the item."""
+        node = _item_node(DataItem(topic, seq))
+        if node not in self.graph:
+            return None
+        for pred in self.graph.predecessors(node):
+            if self.graph.nodes[pred].get("kind") == "component":
+                return pred[1]
+        return None

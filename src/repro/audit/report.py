@@ -1,0 +1,79 @@
+"""Human-readable rendering of audit results."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import List
+
+from repro.audit.verdicts import AuditReport, EntryClass
+
+
+def render_report(report: AuditReport, max_findings: int = 20) -> str:
+    """Render an :class:`AuditReport` as a plain-text summary.
+
+    Shows the Figure 5 bucket sizes, per-component verdicts, and the first
+    ``max_findings`` individual findings (invalid entries + hidden records).
+    """
+    lines: List[str] = []
+    valid = report.valid_entries()
+    invalid = report.invalid_entries()
+    lines.append("=== ADLP audit report ===")
+    lines.append(
+        f"entries: {len(report.classified)} observed | "
+        f"valid: {len(valid)} | invalid: {len(invalid)} | "
+        f"hidden (inferred): {len(report.hidden)}"
+    )
+    lines.append("")
+    lines.append("--- components ---")
+    for component_id in sorted(report.components):
+        verdict = report.components[component_id]
+        status = "FLAGGED" if verdict.flagged else "clean"
+        lines.append(
+            f"  {component_id:<24} {status:<8} "
+            f"valid={verdict.valid_entries} invalid={verdict.invalid_entries} "
+            f"hidden={verdict.hidden_entries}"
+        )
+    findings = []
+    for classified in invalid:
+        reasons = ", ".join(r.value for r in classified.reasons)
+        where = (
+            str(classified.transmission)
+            if classified.transmission
+            else f"{classified.entry.topic}#{classified.entry.seq}"
+        )
+        findings.append(
+            f"  INVALID {classified.component_id} "
+            f"({classified.entry.direction.name.lower()}) {where}: {reasons}"
+        )
+    for hidden in report.hidden:
+        findings.append(
+            f"  HIDDEN  {hidden.component_id} "
+            f"({hidden.direction.name.lower()}) {hidden.transmission}: "
+            f"{hidden.reason.value}"
+        )
+    if findings:
+        lines.append("")
+        lines.append("--- findings ---")
+        lines.extend(findings[:max_findings])
+        if len(findings) > max_findings:
+            lines.append(f"  ... and {len(findings) - max_findings} more")
+    if report.anomalies:
+        lines.append("")
+        lines.append("--- double-signing anomalies (pairwise collusion) ---")
+        for anomaly in report.anomalies[:max_findings]:
+            lines.append(
+                f"  {anomaly.transmission}: publisher committed to "
+                f"{anomaly.publisher_digest.hex()[:12]}, subscriber to "
+                f"{anomaly.subscriber_digest.hex()[:12]}"
+            )
+    lines.append("")
+    lines.append("--- invalidity reasons ---")
+    reason_counts = Counter(
+        reason.value for c in invalid for reason in c.reasons
+    )
+    if reason_counts:
+        for reason, count in reason_counts.most_common():
+            lines.append(f"  {reason:<24} {count}")
+    else:
+        lines.append("  (none)")
+    return "\n".join(lines)

@@ -1,0 +1,189 @@
+"""Audit result vocabulary.
+
+Mirrors the paper's Figure 5 classification: the auditor sorts observed
+entries into valid and invalid sets and infers hidden entries
+(:math:`\\widehat{L_V}`, :math:`\\widehat{L_I}`, :math:`\\widehat{L_H}`).
+Each classification carries machine-checkable *reasons* so tests can assert
+not just that an entry was flagged but *why*.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.core.entries import Direction, LogEntry
+
+
+class EntryClass(enum.Enum):
+    """The auditor's verdict on one observed log entry."""
+
+    VALID = "valid"
+    INVALID = "invalid"
+
+
+class Reason(enum.Enum):
+    """Why an entry was classified as it was (or inferred hidden)."""
+
+    # validity
+    CONSISTENT_PAIR = "consistent_pair"  # both sides agree and verify
+    COUNTERPART_ACK = "counterpart_ack"  # proven by the peer's signature alone
+
+    # invalidity -- "obvious detection" (eq. 3)
+    BAD_OWN_SIGNATURE = "bad_own_signature"  # s' does not verify for owner
+    UNKNOWN_COMPONENT = "unknown_component"  # no registered public key
+    NOT_TOPIC_PUBLISHER = "not_topic_publisher"  # OUT entry by a non-publisher
+    MISSING_COMMITMENT = "missing_commitment"  # no data/hash/signature to check
+    TYPE_MISMATCH = "type_mismatch"  # type(D) disagrees with the topic's type
+
+    # invalidity -- protocol analysis (Lemmas 1-3)
+    FALSIFIED_DATA = "falsified_data"  # D' != D proven via peer signature
+    FABRICATED = "fabricated"  # no verifiable counterpart commitment
+    UNPROVEN_PUBLICATION = "unproven_publication"  # L_x without any ACK
+    REPLAYED_SEQUENCE = "replayed_sequence"  # duplicate (topic, seq, dir, id)
+
+    # invalidity -- scheme limitations
+    UNVERIFIABLE_SCHEME = "unverifiable_scheme"  # naive entries carry no proof
+
+    # hidden inference
+    PEER_PROVED_TRANSMISSION = "peer_proved_transmission"  # counterpart's valid
+    # entry proves a transmission this component never logged
+
+
+@dataclass(frozen=True)
+class TransmissionId:
+    """Identity of one data transmission D_{x->y}."""
+
+    topic: str
+    seq: int
+    publisher: str
+    subscriber: str
+
+    def __str__(self) -> str:
+        return f"{self.publisher} -[{self.topic}#{self.seq}]-> {self.subscriber}"
+
+
+@dataclass
+class ClassifiedEntry:
+    """One observed entry with its verdict."""
+
+    entry: LogEntry
+    verdict: EntryClass
+    reasons: Tuple[Reason, ...]
+    transmission: Optional[TransmissionId] = None
+
+    @property
+    def component_id(self) -> str:
+        return self.entry.component_id
+
+
+@dataclass(frozen=True)
+class HiddenRecord:
+    """An entry the auditor proves *should* exist but was never entered."""
+
+    component_id: str
+    direction: Direction
+    transmission: TransmissionId
+    reason: Reason = Reason.PEER_PROVED_TRANSMISSION
+
+
+@dataclass
+class ComponentVerdict:
+    """Aggregate judgement about one component."""
+
+    component_id: str
+    valid_entries: int = 0
+    invalid_entries: int = 0
+    hidden_entries: int = 0
+
+    @property
+    def flagged(self) -> bool:
+        """Whether any unfaithful behavior was attributed to the component."""
+        return self.invalid_entries > 0 or self.hidden_entries > 0
+
+
+@dataclass(frozen=True)
+class PairAnomaly:
+    """Both sides of a transmission hold *valid* counterpart proofs for
+    *different* digests.
+
+    Each party demonstrably signed more than one payload for the same
+    sequence number -- impossible for protocol-compliant components, and
+    only achievable through cooperation.  Unlike the silent collusion the
+    paper concedes is invisible, a clumsy colluding pair that leaves this
+    trace is cryptographically exposed as a *pair* (though neither entry
+    individually can be called the lie).
+    """
+
+    transmission: TransmissionId
+    publisher_digest: bytes
+    subscriber_digest: bytes
+
+    @property
+    def suspects(self) -> Tuple[str, str]:
+        return (self.transmission.publisher, self.transmission.subscriber)
+
+
+@dataclass
+class AuditReport:
+    """Everything the auditor concluded from one pass over the log."""
+
+    classified: List[ClassifiedEntry] = field(default_factory=list)
+    hidden: List[HiddenRecord] = field(default_factory=list)
+    components: Dict[str, ComponentVerdict] = field(default_factory=dict)
+    #: double-signing traces: provable (pairwise) collusion evidence
+    anomalies: List[PairAnomaly] = field(default_factory=list)
+
+    # -- convenience views ----------------------------------------------
+
+    def valid_entries(self) -> List[ClassifiedEntry]:
+        """:math:`\\widehat{L_V}`."""
+        return [c for c in self.classified if c.verdict is EntryClass.VALID]
+
+    def invalid_entries(self) -> List[ClassifiedEntry]:
+        """:math:`\\widehat{L_I}`."""
+        return [c for c in self.classified if c.verdict is EntryClass.INVALID]
+
+    def flagged_components(self) -> List[str]:
+        """Components with any invalid or hidden entry attributed."""
+        return sorted(
+            cid for cid, v in self.components.items() if v.flagged
+        )
+
+    def clean_components(self) -> List[str]:
+        """Components with no unfaithful behavior attributed."""
+        return sorted(
+            cid for cid, v in self.components.items() if not v.flagged
+        )
+
+    def entries_for(self, component_id: str) -> List[ClassifiedEntry]:
+        return [c for c in self.classified if c.component_id == component_id]
+
+    def reasons_for(self, component_id: str) -> FrozenSet[Reason]:
+        """All reasons attached to a component's invalid/hidden records."""
+        reasons: set = set()
+        for c in self.entries_for(component_id):
+            if c.verdict is EntryClass.INVALID:
+                reasons.update(c.reasons)
+        for h in self.hidden:
+            if h.component_id == component_id:
+                reasons.add(h.reason)
+        return frozenset(reasons)
+
+    def _account(self) -> None:
+        """(Re)build the per-component aggregates."""
+        self.components = {}
+        for c in self.classified:
+            verdict = self.components.setdefault(
+                c.component_id, ComponentVerdict(c.component_id)
+            )
+            if c.verdict is EntryClass.VALID:
+                verdict.valid_entries += 1
+            else:
+                verdict.invalid_entries += 1
+        for h in self.hidden:
+            verdict = self.components.setdefault(
+                h.component_id, ComponentVerdict(h.component_id)
+            )
+            verdict.hidden_entries += 1

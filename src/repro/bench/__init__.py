@@ -1,0 +1,30 @@
+"""Measurement harness shared by the ``benchmarks/`` suite.
+
+- :mod:`repro.bench.workloads` -- the paper's representative payloads
+  (Steering 20 B, Scan 8705 B, Image 921641 B) and synthetic sweeps.
+- :mod:`repro.bench.timing` -- repeated-sample timing with summary stats.
+- :mod:`repro.bench.cpu` -- process- and thread-group CPU utilization via
+  ``/proc`` (the paper measures CPU% of the publisher and system-wide).
+- :mod:`repro.bench.rates` -- log-generation-rate measurement.
+- :mod:`repro.bench.reporting` -- plain-text tables mirroring the paper's
+  rows, plus JSON result capture for EXPERIMENTS.md.
+"""
+
+from repro.bench.workloads import PAPER_SIZES, payload_of_size, paper_payloads
+from repro.bench.timing import TimingStats, measure
+from repro.bench.cpu import ProcessCpuSampler, ThreadGroupCpuSampler
+from repro.bench.rates import measure_log_rate
+from repro.bench.reporting import Table, save_results
+
+__all__ = [
+    "PAPER_SIZES",
+    "payload_of_size",
+    "paper_payloads",
+    "TimingStats",
+    "measure",
+    "ProcessCpuSampler",
+    "ThreadGroupCpuSampler",
+    "measure_log_rate",
+    "Table",
+    "save_results",
+]

@@ -1,0 +1,108 @@
+"""CPU-utilization measurement via ``/proc``.
+
+The paper's Figure 14 reports the *publisher's* CPU utilization and
+Table II the system-wide utilization of the self-driving application.  Our
+nodes are threads of one Python process, so:
+
+- :class:`ProcessCpuSampler` measures whole-process CPU% (Table II's
+  analogue: everything the application consumes);
+- :class:`ThreadGroupCpuSampler` measures the CPU% of a *subset* of
+  threads -- those belonging to one node -- by reading per-task
+  ``utime+stime`` from ``/proc/self/task/<tid>/stat`` (Figure 14's
+  analogue of per-process accounting on the paper's testbed).
+
+Utilization is expressed in percent of one core, matching the paper's
+plots (values may exceed 100 on multi-core usage).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import Callable, Iterable, List, Optional
+
+_CLOCK_TICKS = os.sysconf("SC_CLK_TCK")
+
+
+def _task_cpu_seconds(tid: int) -> Optional[float]:
+    """utime+stime of one task (thread), in seconds; None if it exited."""
+    try:
+        with open(f"/proc/self/task/{tid}/stat", "rb") as f:
+            raw = f.read().decode("ascii", "replace")
+    except OSError:
+        return None
+    # fields after the parenthesized comm; utime/stime are fields 14/15
+    rest = raw.rsplit(")", 1)[1].split()
+    utime, stime = int(rest[11]), int(rest[12])
+    return (utime + stime) / _CLOCK_TICKS
+
+
+def threads_matching(predicate: Callable[[threading.Thread], bool]) -> List[int]:
+    """Native thread ids of live Python threads satisfying ``predicate``."""
+    ids = []
+    for thread in threading.enumerate():
+        if thread.native_id is not None and predicate(thread):
+            ids.append(thread.native_id)
+    return ids
+
+
+class ProcessCpuSampler:
+    """Whole-process CPU%: delta(cpu time)/delta(wall time) * 100."""
+
+    def __init__(self) -> None:
+        self._t0 = 0.0
+        self._cpu0 = 0.0
+
+    def start(self) -> None:
+        times = os.times()
+        self._cpu0 = times.user + times.system
+        self._t0 = time.monotonic()
+
+    def stop(self) -> float:
+        """Return average CPU% of one core since :meth:`start`."""
+        times = os.times()
+        wall = time.monotonic() - self._t0
+        if wall <= 0:
+            return 0.0
+        return 100.0 * (times.user + times.system - self._cpu0) / wall
+
+
+class ThreadGroupCpuSampler:
+    """CPU% consumed by a fixed set of native thread ids.
+
+    Threads that exit mid-measurement keep their last observed CPU time, so
+    short-lived workers are still accounted (their final reading may lag by
+    one sample; sample reasonably often for accuracy).
+    """
+
+    def __init__(self, thread_ids: Iterable[int]):
+        self._ids = list(thread_ids)
+        self._last: dict = {}
+        self._t0 = 0.0
+        self._base = 0.0
+
+    def _total(self) -> float:
+        total = 0.0
+        for tid in self._ids:
+            seconds = _task_cpu_seconds(tid)
+            if seconds is not None:
+                self._last[tid] = seconds
+            total += self._last.get(tid, 0.0)
+        return total
+
+    def start(self) -> None:
+        self._base = self._total()
+        self._t0 = time.monotonic()
+
+    def sample(self) -> None:
+        """Refresh the last-seen CPU times (call periodically for threads
+        that may exit before :meth:`stop`)."""
+        self._total()
+
+    def stop(self) -> float:
+        """Return average CPU% of one core since :meth:`start`."""
+        wall = time.monotonic() - self._t0
+        if wall <= 0:
+            return 0.0
+        return 100.0 * (self._total() - self._base) / wall

@@ -1,0 +1,47 @@
+"""Log-generation-rate measurement (Figure 15 / Table IV)."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.core.log_server import LogServer
+
+
+@dataclass(frozen=True)
+class LogRate:
+    """Observed logging throughput."""
+
+    duration_s: float
+    entries: int
+    bytes: int
+
+    @property
+    def bytes_per_second(self) -> float:
+        return self.bytes / self.duration_s if self.duration_s > 0 else 0.0
+
+    @property
+    def megabits_per_second(self) -> float:
+        """Mb/s as the paper's Table IV reports (decimal megabits)."""
+        return self.bytes_per_second * 8 / 1e6
+
+    @property
+    def entries_per_second(self) -> float:
+        return self.entries / self.duration_s if self.duration_s > 0 else 0.0
+
+
+def measure_log_rate(server: LogServer, duration_s: float) -> LogRate:
+    """Watch ``server`` for ``duration_s`` and report the ingest rate.
+
+    The workload must already be running; this only observes counters.
+    """
+    entries0 = len(server)
+    bytes0 = server.total_bytes
+    t0 = time.monotonic()
+    time.sleep(duration_s)
+    elapsed = time.monotonic() - t0
+    return LogRate(
+        duration_s=elapsed,
+        entries=len(server) - entries0,
+        bytes=server.total_bytes - bytes0,
+    )

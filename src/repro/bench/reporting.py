@@ -1,0 +1,69 @@
+"""Result rendering and capture.
+
+Each benchmark prints a plain-text table mirroring the paper's rows and
+appends its raw numbers to ``bench_results.json`` so EXPERIMENTS.md can be
+cross-checked against an actual run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from typing import Any, Dict, List, Sequence
+
+_RESULTS_PATH = os.environ.get("REPRO_BENCH_RESULTS", "bench_results.json")
+_lock = threading.Lock()
+
+
+class Table:
+    """A fixed-width text table."""
+
+    def __init__(self, title: str, headers: Sequence[str]):
+        self.title = title
+        self.headers = list(headers)
+        self.rows: List[List[str]] = []
+
+    def add_row(self, *cells: Any) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"expected {len(self.headers)} cells, got {len(cells)}"
+            )
+        self.rows.append([_format_cell(c) for c in cells])
+
+    def render(self) -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        sep = "-+-".join("-" * w for w in widths)
+        lines = [f"== {self.title} =="]
+        lines.append(" | ".join(h.ljust(w) for h, w in zip(self.headers, widths)))
+        lines.append(sep)
+        for row in self.rows:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def show(self) -> None:
+        print("\n" + self.render() + "\n")
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def save_results(experiment: str, data: Dict[str, Any]) -> None:
+    """Merge ``data`` under ``experiment`` into the results JSON file."""
+    with _lock:
+        results: Dict[str, Any] = {}
+        if os.path.exists(_RESULTS_PATH):
+            try:
+                with open(_RESULTS_PATH) as f:
+                    results = json.load(f)
+            except (OSError, json.JSONDecodeError):
+                results = {}
+        results[experiment] = data
+        with open(_RESULTS_PATH, "w") as f:
+            json.dump(results, f, indent=2, sort_keys=True)

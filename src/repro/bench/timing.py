@@ -1,0 +1,63 @@
+"""Repeated-sample timing with the summary statistics the paper reports."""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Callable, List
+
+
+@dataclass(frozen=True)
+class TimingStats:
+    """Mean/stdev/min/max of a timing experiment, in seconds."""
+
+    samples: int
+    mean: float
+    stdev: float
+    min: float
+    max: float
+
+    @property
+    def mean_ms(self) -> float:
+        return self.mean * 1e3
+
+    @property
+    def stdev_ms(self) -> float:
+        return self.stdev * 1e3
+
+    def __str__(self) -> str:
+        return f"{self.mean_ms:.3f} ms ({self.stdev_ms:.3f} ms) n={self.samples}"
+
+    @classmethod
+    def from_samples(cls, durations: List[float]) -> "TimingStats":
+        n = len(durations)
+        if n == 0:
+            raise ValueError("no samples")
+        mean = sum(durations) / n
+        var = sum((d - mean) ** 2 for d in durations) / n
+        return cls(
+            samples=n,
+            mean=mean,
+            stdev=math.sqrt(var),
+            min=min(durations),
+            max=max(durations),
+        )
+
+
+def measure(
+    fn: Callable[[], object], samples: int = 100, warmup: int = 3
+) -> TimingStats:
+    """Time ``fn`` over ``samples`` calls (after ``warmup`` discarded ones).
+
+    The paper's Table I uses 3000 samples per data type; callers choose
+    their own count.
+    """
+    for _ in range(warmup):
+        fn()
+    durations = []
+    for _ in range(samples):
+        t0 = time.perf_counter()
+        fn()
+        durations.append(time.perf_counter() - t0)
+    return TimingStats.from_samples(durations)

@@ -1,0 +1,55 @@
+"""Benchmark payloads.
+
+Table I's three representative data types and their sizes:
+
+=========  =========  =============================
+Type       Size (B)   Our realization
+=========  =========  =============================
+Steering   20         small control command
+Scan       8705       1080-beam packed LIDAR sweep
+Image      921641     640x480 RGB frame
+=========  =========  =============================
+
+Payloads are deterministic pseudo-random bytes: incompressible like real
+sensor data, reproducible across runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+#: The paper's Table I data sizes, in bytes.
+PAPER_SIZES: Dict[str, int] = {
+    "Steering": 20,
+    "Scan": 8705,
+    "Image": 921641,
+}
+
+#: Payload-size sweep for the Figure 13 latency experiment.
+LATENCY_SWEEP_SIZES: Tuple[int, ...] = (
+    20,
+    256,
+    1024,
+    8705,
+    65536,
+    262144,
+    921641,
+)
+
+
+def payload_of_size(size: int, seed: int = 0) -> bytes:
+    """Deterministic pseudo-random payload of exactly ``size`` bytes."""
+    rng = np.random.default_rng(seed + size)
+    return rng.integers(0, 256, size=size, dtype=np.uint8).tobytes()
+
+
+def paper_payloads(seed: int = 0) -> Dict[str, bytes]:
+    """The three Table I payloads, keyed by type name."""
+    return {name: payload_of_size(size, seed) for name, size in PAPER_SIZES.items()}
+
+
+def sweep_payloads(seed: int = 0) -> List[Tuple[int, bytes]]:
+    """(size, payload) pairs for the latency sweep."""
+    return [(size, payload_of_size(size, seed)) for size in LATENCY_SWEEP_SIZES]

@@ -1,0 +1,411 @@
+"""The ADLP transport protocol (Sections IV-A and V-B).
+
+Per publication of payload ``D`` with sequence number ``seq``:
+
+1. The publisher computes ``digest = h(seq || D)`` and
+   ``s_x = sign_x(digest)`` **once**, builds the envelope
+   ``M_x = (seq, D, s_x)``, and fans it out to every subscriber link
+   (step 2 of the prototype flow).
+2. Each subscriber's transport layer, before delivering ``D`` to the
+   application, recomputes the digest, signs it
+   (``s_y = sign_y(digest)``), returns the acknowledgement
+   ``M_y = (seq, h, s_y)`` over the same connection, and queues its log
+   entry ``L_y`` (steps 3-5).
+3. The publisher's link worker waits for ``M_y`` and only then queues its
+   log entry ``L_x`` containing both signatures (step 6).  Until the ACK
+   arrives, no further message is sent to that subscriber -- the protocol's
+   penalty against stealthy subscribers (Lemma 2).
+
+Everything here lives below the application layer: installing
+:class:`AdlpProtocol` on a node changes no application code.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from repro.core.entries import Direction, LogEntry, Scheme
+from repro.core.logging_thread import LoggingThread
+from repro.core.policy import AdlpConfig
+from repro.core.protocol import AdlpAck, AdlpMessage, message_digest
+from repro.core.sequencing import SequenceTracker
+from repro.crypto.keys import KeyPair, PublicKey, generate_keypair
+from repro.errors import ProtocolError
+from repro.middleware.transport.base import (
+    Connection,
+    ConnectionClosed,
+    PublisherProtocol,
+    SubscriberProtocol,
+    TransportProtocol,
+)
+from repro.util.clock import Clock, SystemClock
+
+#: Publications a publisher protocol remembers while awaiting ACKs.
+_PENDING_CAPACITY = 1024
+
+
+@dataclass
+class AdlpStats:
+    """Per-node protocol counters (exposed for tests and benchmarks)."""
+
+    signatures: int = 0
+    digests: int = 0
+    acks_sent: int = 0
+    acks_received: int = 0
+    ack_timeouts: int = 0
+    invalid_frames: int = 0
+    invalid_signatures: int = 0
+    stale_frames: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            setattr(self, name, getattr(self, name) + amount)
+
+
+class _AckAggregator:
+    """Buffers per-publication ACKs for the aggregated-logging extension.
+
+    The paper suggests (Section VI-E) that "a publisher creates a single log
+    entry per publication, regardless of the number of subscribers,
+    containing all of the subscribers' hashes and signatures".  ACKs arriving
+    within ``window`` seconds of the first one for a given ``seq`` are folded
+    into one entry.
+    """
+
+    def __init__(self, window: float, flush: Callable[[LogEntry], None]):
+        self._window = window
+        self._flush = flush
+        self._buffers: Dict[int, Tuple[float, LogEntry]] = {}
+        self._lock = threading.Lock()
+
+    def add(self, entry_base: LogEntry, ack_peer: str, ack_hash: bytes, ack_sig: bytes) -> None:
+        now = time.monotonic()
+        with self._lock:
+            buffered = self._buffers.get(entry_base.seq)
+            if buffered is None:
+                entry_base.aggregated = True
+                entry_base.ack_peer_ids = [ack_peer]
+                entry_base.ack_peer_hashes = [ack_hash]
+                entry_base.ack_peer_sigs = [ack_sig]
+                self._buffers[entry_base.seq] = (now, entry_base)
+            else:
+                _, entry = buffered
+                entry.ack_peer_ids = entry.ack_peer_ids + [ack_peer]
+                entry.ack_peer_hashes = entry.ack_peer_hashes + [ack_hash]
+                entry.ack_peer_sigs = entry.ack_peer_sigs + [ack_sig]
+            expired = [
+                seq
+                for seq, (t0, _) in self._buffers.items()
+                if now - t0 >= self._window
+            ]
+            flushable = [self._buffers.pop(seq)[1] for seq in expired]
+        for entry in flushable:
+            self._flush(entry)
+
+    def flush_all(self) -> None:
+        with self._lock:
+            entries = [entry for _, entry in self._buffers.values()]
+            self._buffers.clear()
+        for entry in entries:
+            self._flush(entry)
+
+
+class _AdlpPublisherProtocol(PublisherProtocol):
+    """Publisher side: sign once per publication, log once per ACK."""
+
+    def __init__(self, outer: "AdlpProtocol", topic: str, type_name: str):
+        self._outer = outer
+        self._topic = topic
+        self._type_name = type_name
+        # seq -> (payload, own signature); bounded so a subscriber that
+        # never ACKs cannot leak memory.
+        self._pending: "OrderedDict[int, Tuple[bytes, bytes]]" = OrderedDict()
+        self._pending_lock = threading.Lock()
+        self._aggregator: Optional[_AckAggregator] = None
+        if outer.config.aggregate_publisher_entries:
+            self._aggregator = _AckAggregator(
+                outer.config.aggregation_window, self._submit_entry
+            )
+
+    # Small hooks so subclasses (the adversary harness) can deviate in
+    # exactly one unfaithful dimension at a time.
+    def _now(self) -> float:
+        return self._outer.clock.now()
+
+    def _submit_entry(self, entry: LogEntry) -> None:
+        self._outer._enqueue_entry(entry)
+
+    # -- once per publication ----------------------------------------------
+
+    def make_frame(self, seq: int, payload: bytes) -> bytes:
+        digest = message_digest(seq, payload)
+        signature = self._outer.keypair.private.sign_digest(digest)
+        self._outer.stats.bump("digests")
+        self._outer.stats.bump("signatures")
+        with self._pending_lock:
+            self._pending[seq] = (payload, signature)
+            while len(self._pending) > _PENDING_CAPACITY:
+                self._pending.popitem(last=False)
+        return AdlpMessage(seq=seq, payload=payload, signature=signature).encode()
+
+    # -- once per (publication, subscriber) ---------------------------------
+
+    def on_link_send(
+        self, subscriber_id: str, connection: Connection, seq: int, frame: bytes
+    ) -> None:
+        connection.send_frame(frame)
+        config = self._outer.config
+        if not config.require_ack:
+            self._drain_async_acks(subscriber_id, connection)
+            return
+        ack = self._await_ack(connection, seq, config.ack_timeout)
+        if ack is None:
+            self._outer.stats.bump("ack_timeouts")
+            # Log the publication anyway: the publisher's own record exists
+            # even when the subscriber stays stealthy (the missing ACK is
+            # itself evidence for the auditor).
+            self._log_publication(seq, subscriber_id, ack=None)
+            if config.drop_unacked_subscriber:
+                raise ConnectionClosed(
+                    f"subscriber {subscriber_id} did not acknowledge seq {seq}"
+                )
+            return
+        self._outer.stats.bump("acks_received")
+        self._log_publication(seq, subscriber_id, ack=ack)
+
+    def _await_ack(
+        self, connection: Connection, seq: int, timeout: float
+    ) -> Optional[AdlpAck]:
+        """Read frames until the ACK for ``seq`` arrives or time runs out.
+
+        Stale ACKs (from an earlier timed-out publication) are skipped.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return None
+            try:
+                frame = connection.recv_frame(timeout=remaining)
+            except ConnectionClosed:
+                # Link lost before the ACK: the publication still gets its
+                # (unproven) log entry.
+                return None
+            if frame is None:
+                return None
+            try:
+                ack = AdlpAck.parse(frame)
+            except ProtocolError:
+                self._outer.stats.bump("invalid_frames")
+                continue
+            if ack.seq == seq:
+                return ack
+            # an old ACK finally arriving; ignore and keep reading
+            self._outer.stats.bump("stale_frames")
+
+    def _drain_async_acks(self, subscriber_id: str, connection: Connection) -> None:
+        """require_ack=False ablation: collect whatever ACKs are available
+        without blocking the send path."""
+        while True:
+            try:
+                frame = connection.recv_frame(timeout=0.0005)
+            except ConnectionClosed:
+                return
+            if frame is None:
+                return
+            try:
+                ack = AdlpAck.parse(frame)
+            except ProtocolError:
+                self._outer.stats.bump("invalid_frames")
+                continue
+            self._outer.stats.bump("acks_received")
+            self._log_publication(ack.seq, subscriber_id, ack=ack)
+
+    def _log_publication(
+        self, seq: int, subscriber_id: str, ack: Optional[AdlpAck]
+    ) -> None:
+        with self._pending_lock:
+            pending = self._pending.get(seq)
+        if pending is None:
+            return  # evicted; nothing to log against
+        payload, signature = pending
+        entry = LogEntry(
+            component_id=self._outer.component_id,
+            topic=self._topic,
+            type_name=self._type_name,
+            direction=Direction.OUT,
+            seq=seq,
+            timestamp=self._now(),
+            scheme=Scheme.ADLP,
+            data=payload,  # the publisher reports D'_x as-is (Table III)
+            own_sig=signature,
+        )
+        if ack is None:
+            self._submit_entry(entry)
+            return
+        if self._aggregator is not None:
+            self._aggregator.add(
+                entry, subscriber_id, ack.acknowledged_hash(), ack.signature
+            )
+            return
+        entry.peer_id = subscriber_id
+        entry.peer_hash = ack.acknowledged_hash()
+        entry.peer_sig = ack.signature
+        self._submit_entry(entry)
+
+    def close(self) -> None:
+        if self._aggregator is not None:
+            self._aggregator.flush_all()
+
+
+class _AdlpSubscriberProtocol(SubscriberProtocol):
+    """Subscriber side: verify structure, ACK, log, deliver."""
+
+    def __init__(self, outer: "AdlpProtocol", topic: str, type_name: str):
+        self._outer = outer
+        self._topic = topic
+        self._type_name = type_name
+        self._tracker = SequenceTracker()
+
+    def on_frame(
+        self, publisher_id: str, connection: Connection, frame: bytes
+    ) -> Optional[bytes]:
+        outer = self._outer
+        config = outer.config
+        try:
+            msg = AdlpMessage.parse(frame)
+        except ProtocolError:
+            outer.stats.bump("invalid_frames")
+            return None
+        if not self._tracker.accept(msg.seq):
+            outer.stats.bump("stale_frames")
+            return None
+
+        digest = message_digest(msg.seq, msg.payload)
+        outer.stats.bump("digests")
+
+        if config.verify_on_receive:
+            key = outer.resolve_key(publisher_id)
+            if key is None or not key.verify_digest(digest, msg.signature):
+                outer.stats.bump("invalid_signatures")
+                return None
+
+        signature = outer.keypair.private.sign_digest(digest)
+        outer.stats.bump("signatures")
+
+        # ACK before delivering to the application, as the prototype does
+        # ("performed in the middle of message deserialization step before
+        # passing the data to the subscriber's application layer").
+        self._send_ack(connection, msg.seq, digest, signature, msg.payload)
+
+        entry = self._build_entry(publisher_id, msg, digest, signature)
+        self._submit_entry(entry)
+        return msg.payload
+
+    def _now(self) -> float:
+        return self._outer.clock.now()
+
+    def _submit_entry(self, entry: LogEntry) -> None:
+        self._outer._enqueue_entry(entry)
+
+    def _send_ack(
+        self,
+        connection: Connection,
+        seq: int,
+        digest: bytes,
+        signature: bytes,
+        payload: bytes,
+    ) -> None:
+        if self._outer.config.ack_returns_data:
+            ack = AdlpAck(
+                seq=seq, signature=signature, returns_data=True, payload=payload
+            )
+        else:
+            ack = AdlpAck(seq=seq, data_hash=digest, signature=signature)
+        try:
+            connection.send_frame(ack.encode())
+            self._outer.stats.bump("acks_sent")
+        except ConnectionClosed:
+            pass  # publisher went away; still log and deliver
+
+    def _build_entry(
+        self, publisher_id: str, msg: AdlpMessage, digest: bytes, signature: bytes
+    ) -> LogEntry:
+        entry = LogEntry(
+            component_id=self._outer.component_id,
+            topic=self._topic,
+            type_name=self._type_name,
+            direction=Direction.IN,
+            seq=msg.seq,
+            timestamp=self._now(),
+            scheme=Scheme.ADLP,
+            own_sig=signature,
+            peer_id=publisher_id,
+            peer_sig=msg.signature,
+        )
+        if self._outer.config.subscriber_stores_hash:
+            entry.data_hash = digest  # h(D''_y): the space-saving option
+        else:
+            entry.data = msg.payload  # D''_y as-is
+        return entry
+
+
+class AdlpProtocol(TransportProtocol):
+    """Per-node ADLP: key custody, logging thread, protocol factories.
+
+    :param component_id: this node's unique id (must match the node name it
+        is installed on, since log entries carry it).
+    :param log_server: the trusted logger, or any object with ``submit`` and
+        ``register_key`` -- the node registers its public key at startup
+        (step 1 of the prototype flow).
+    :param config: protocol knobs; see :class:`AdlpConfig`.
+    :param keypair: pre-generated keys (tests); generated fresh when omitted.
+    :param clock: timestamp source for log entries.
+    """
+
+    name = "adlp"
+
+    def __init__(
+        self,
+        component_id: str,
+        log_server,
+        config: Optional[AdlpConfig] = None,
+        keypair: Optional[KeyPair] = None,
+        clock: Optional[Clock] = None,
+    ):
+        self.component_id = component_id
+        self.config = config or AdlpConfig()
+        self.clock = clock or SystemClock()
+        self.keypair = keypair or generate_keypair(self.config.key_bits)
+        self.stats = AdlpStats()
+        self._log_server = log_server
+        log_server.register_key(component_id, self.keypair.public)
+        self.logging_thread = LoggingThread(component_id, log_server.submit)
+
+    def resolve_key(self, component_id: str) -> Optional[PublicKey]:
+        """Look up a peer's public key (used by ``verify_on_receive``)."""
+        keystore = getattr(self._log_server, "keystore", None)
+        if keystore is None:
+            return None
+        return keystore.find(component_id)
+
+    def _enqueue_entry(self, entry: LogEntry) -> None:
+        self.logging_thread.enqueue(entry)
+
+    def publisher_protocol(self, topic: str, type_name: str) -> PublisherProtocol:
+        return _AdlpPublisherProtocol(self, topic, type_name)
+
+    def subscriber_protocol(self, topic: str, type_name: str) -> SubscriberProtocol:
+        return _AdlpSubscriberProtocol(self, topic, type_name)
+
+    def flush(self, timeout: float = 5.0) -> bool:
+        """Wait until all queued log entries reached the server."""
+        return self.logging_thread.flush(timeout)
+
+    def close(self) -> None:
+        self.logging_thread.stop()

@@ -1,0 +1,119 @@
+"""Log entry records.
+
+One record structure serves every scheme, as in the paper's prototype
+("the same log entry structure (using only the required fields) is used for
+the naive logging scheme", Section V-B step 5):
+
+* **Naive scheme** (Definition 2) uses only
+  ``(component_id, topic, type_name, direction, seq, timestamp, data)``.
+
+* **ADLP publisher entry** ``L_x`` additionally carries the publisher's own
+  signature ``s'_x`` plus the subscriber's acknowledged hash ``D'_y`` and
+  signature ``s'_y`` (Figure 9).
+
+* **ADLP subscriber entry** ``L_y`` carries the received data (or its hash
+  ``h(D''_y)`` to save space, Section IV-A), the publisher's signature
+  ``s''_x``, and the subscriber's own signature ``s''_y``.
+
+* **Aggregated publisher entries** (the Section VI-E extension) use the
+  repeated ``ack_*`` fields to fold all subscribers' acknowledgements of one
+  publication into a single record.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.middleware.names import validate_name
+from repro.serialization import (
+    WireMessage,
+    boolean,
+    bytes_,
+    double,
+    enum as enum_field,
+    repeated,
+    string,
+    uint64,
+)
+
+
+class Direction(enum.IntEnum):
+    """Data-flow direction of a log entry (Definition 2's ``direction``)."""
+
+    UNKNOWN = 0
+    OUT = 1  # publication
+    IN = 2  # subscription
+
+
+class Scheme(enum.IntEnum):
+    """Which logging scheme produced an entry."""
+
+    NONE = 0
+    NAIVE = 1
+    ADLP = 2
+
+
+class LogEntry(WireMessage):
+    """A single log record as submitted to the trusted logger."""
+
+    # -- basic meta-information (Definition 2) ---------------------------
+    component_id = string(1)
+    topic = string(2)
+    type_name = string(3)
+    direction = enum_field(4, Direction)
+    seq = uint64(5)
+    timestamp = double(6)
+    scheme = enum_field(7, Scheme)
+
+    # -- reported data: exactly one of ``data`` / ``data_hash`` is set ----
+    data = bytes_(8)  # D as reported by the entry's owner
+    data_hash = bytes_(9)  # h(seq || D), stored instead of D to save space
+
+    # -- ADLP signatures ---------------------------------------------------
+    own_sig = bytes_(10)  # s'_x in L_x, s''_y in L_y
+    peer_id = string(11)  # the counterpart component of the transmission
+    peer_hash = bytes_(12)  # L_x only: D'_y (the hash acknowledged by c_y)
+    peer_sig = bytes_(13)  # L_x: s'_y from the ACK; L_y: s''_x from M_x
+
+    # -- aggregated logging extension (Section VI-E) ----------------------
+    aggregated = boolean(14)
+    ack_peer_ids = repeated(string(15))
+    ack_peer_hashes = repeated(bytes_(16))
+    ack_peer_sigs = repeated(bytes_(17))
+
+    # ---------------------------------------------------------------------
+
+    def validate_meta(self) -> "LogEntry":
+        """Sanity-check the identifying fields; returns self for chaining."""
+        validate_name(self.component_id, "component id")
+        validate_name(self.topic, "topic")
+        if self.direction is Direction.UNKNOWN:
+            raise ValueError("log entry direction must be OUT or IN")
+        return self
+
+    @property
+    def is_publication(self) -> bool:
+        return self.direction is Direction.OUT
+
+    @property
+    def is_subscription(self) -> bool:
+        return self.direction is Direction.IN
+
+    def reported_hash(self) -> bytes:
+        """The ``h(seq || D)`` this entry commits to.
+
+        Computed from :attr:`data` when the entry stores data as-is,
+        otherwise taken from :attr:`data_hash`.  Empty when the entry
+        reports neither (possible for a fabricated or naive entry).
+        """
+        if self.data_hash:
+            return self.data_hash
+        if self.data:
+            from repro.core.protocol import message_digest
+
+            return message_digest(self.seq, self.data)
+        return b""
+
+    def key(self) -> tuple:
+        """Identity of the transmission this entry claims to witness."""
+        return (self.topic, self.seq, self.component_id, int(self.direction))

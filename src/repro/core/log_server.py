@@ -1,0 +1,152 @@
+"""The trusted logger.
+
+Accepts public-key registrations and log entries from components, stores the
+entries tamper-evidently, and answers the auditor's queries.  Entries are
+"simply pushed into the server" (Section V-B): there is no response path a
+component could depend on, so a logger failure cannot stall the data plane
+-- the paper's freedom from single-point failure.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterable, List, Optional, Union
+
+from repro.core.entries import Direction, LogEntry
+from repro.crypto.keys import PublicKey
+from repro.crypto.keystore import KeyStore
+from repro.crypto.merkle import MerkleProof, MerkleTree
+from repro.core.log_store import InMemoryLogStore, LogStore
+from repro.errors import DecodingError, LoggingError
+
+
+class LogServer:
+    """Key registry + tamper-evident entry store + query interface."""
+
+    def __init__(self, store: Optional[LogStore] = None):
+        self.keystore = KeyStore()
+        # identity test: an empty LogStore is falsy (it defines __len__),
+        # `or` would wrongly replace it
+        self.store: LogStore = store if store is not None else InMemoryLogStore()
+        self._entries: List[LogEntry] = []
+        self._merkle = MerkleTree()
+        self._by_component: Dict[str, int] = {}
+        self._bytes_by_component: Dict[str, int] = {}
+        self._observers: List = []
+        self._lock = threading.Lock()
+
+    def add_observer(self, callback) -> None:
+        """Register a callable invoked with each decoded entry after
+        ingestion -- the hook online analyses attach to (e.g.
+        :meth:`repro.audit.online.OnlineAuditor.attach`)."""
+        with self._lock:
+            self._observers.append(callback)
+
+    def remove_observer(self, callback) -> None:
+        with self._lock:
+            if callback in self._observers:
+                self._observers.remove(callback)
+
+    # -- component-facing API ---------------------------------------------
+
+    def register_key(self, component_id: str, key: Union[PublicKey, bytes]) -> None:
+        """Store a component's public key (step 1 of the prototype flow)."""
+        if isinstance(key, bytes):
+            key = PublicKey.from_bytes(key)
+        self.keystore.register(component_id, key)
+
+    def submit(self, entry: Union[LogEntry, bytes]) -> int:
+        """Ingest one log entry; returns its index in the log.
+
+        Accepts either a decoded :class:`LogEntry` or its wire encoding
+        (what a remote logging thread would push over a socket).
+        """
+        if isinstance(entry, LogEntry):
+            record = entry.encode()
+            decoded = entry
+        else:
+            record = bytes(entry)
+            try:
+                decoded = LogEntry.decode(record)
+            except DecodingError as exc:
+                raise LoggingError(f"undecodable log entry: {exc}") from exc
+        with self._lock:
+            index = self.store.append(record)
+            self._entries.append(decoded)
+            self._merkle.append(record)
+            cid = decoded.component_id
+            self._by_component[cid] = self._by_component.get(cid, 0) + 1
+            self._bytes_by_component[cid] = (
+                self._bytes_by_component.get(cid, 0) + len(record)
+            )
+            observers = list(self._observers)
+        for observer in observers:
+            try:
+                observer(decoded)
+            except Exception:
+                pass  # an analysis failure must not reject the entry
+        return index
+
+    # -- auditor/query API ---------------------------------------------------
+
+    def entries(
+        self,
+        component_id: Optional[str] = None,
+        topic: Optional[str] = None,
+        direction: Optional[Direction] = None,
+        seq: Optional[int] = None,
+    ) -> List[LogEntry]:
+        """Entries matching every given filter, in ingestion order."""
+        with self._lock:
+            result = list(self._entries)
+        if component_id is not None:
+            result = [e for e in result if e.component_id == component_id]
+        if topic is not None:
+            result = [e for e in result if e.topic == topic]
+        if direction is not None:
+            result = [e for e in result if e.direction is direction]
+        if seq is not None:
+            result = [e for e in result if e.seq == seq]
+        return result
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def total_bytes(self) -> int:
+        """Total encoded bytes ingested (the Figure 15 / Table IV metric)."""
+        return self.store.total_bytes
+
+    def bytes_by_component(self) -> Dict[str, int]:
+        """Encoded bytes ingested per component."""
+        with self._lock:
+            return dict(self._bytes_by_component)
+
+    def components(self) -> List[str]:
+        """All component ids that have registered a key."""
+        return sorted(self.keystore.snapshot())
+
+    def public_key(self, component_id: str) -> PublicKey:
+        """The registered key for ``component_id`` (raises if unknown)."""
+        return self.keystore.get(component_id)
+
+    # -- integrity --------------------------------------------------------
+
+    def verify_integrity(self) -> None:
+        """Check the tamper-evident store; raises on any modification."""
+        self.store.verify()
+
+    def merkle_root(self) -> bytes:
+        """Commitment over all ingested entries (publishable per epoch)."""
+        with self._lock:
+            return self._merkle.root()
+
+    def prove_inclusion(self, index: int) -> MerkleProof:
+        """Inclusion proof for the entry at ``index`` against the current
+        Merkle root -- what a third-party investigator checks."""
+        with self._lock:
+            return self._merkle.prove(index)
+
+    def close(self) -> None:
+        self.store.close()

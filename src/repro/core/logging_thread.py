@@ -1,0 +1,101 @@
+"""The per-node logging thread.
+
+The prototype "created a Logging Thread that runs in parallel with each
+node's main thread.  One logging thread is created per ROS node, no matter
+how many topics the node publishes and subscribes" (Section V-B).  Entries
+are queued by the transport protocol on the hot path and pushed to the log
+server asynchronously, so logging never blocks publication or delivery.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Callable, Optional, Union
+
+from repro.core.entries import LogEntry
+from repro.util.concurrency import StoppableThread
+
+#: Entries buffered before the submitting thread blocks (backpressure).
+_QUEUE_CAPACITY = 4096
+
+
+class LoggingThread:
+    """Asynchronous submitter of log entries to a log-server callable.
+
+    :param component_id: owning node's id (used for the thread name).
+    :param submit: the ingestion function, typically
+        :meth:`repro.core.log_server.LogServer.submit`.
+    """
+
+    def __init__(
+        self,
+        component_id: str,
+        submit: Callable[[Union[LogEntry, bytes]], int],
+    ):
+        self.component_id = component_id
+        self._submit = submit
+        self._queue: "queue.Queue" = queue.Queue(maxsize=_QUEUE_CAPACITY)
+        self._pending = 0
+        self._pending_lock = threading.Lock()
+        self._idle = threading.Event()
+        self._idle.set()
+        self._dropped = 0
+        self._worker = StoppableThread(
+            name=f"logging-{component_id}", target=self._run
+        )
+        self._worker.start()
+
+    def enqueue(self, entry: LogEntry) -> None:
+        """Queue an entry for submission (hot path; non-blocking).
+
+        If the queue is full the entry is dropped and counted -- a failing
+        logger must not stall the node (the paper's no-single-point-of-
+        failure property).  Dropped entries surface in :attr:`dropped`.
+        """
+        with self._pending_lock:
+            self._pending += 1
+            self._idle.clear()
+        try:
+            self._queue.put_nowait(entry)
+        except queue.Full:
+            self._dropped += 1
+            self._finish_one()
+
+    def _finish_one(self) -> None:
+        with self._pending_lock:
+            self._pending -= 1
+            if self._pending == 0:
+                self._idle.set()
+
+    def _run(self) -> None:
+        while True:
+            try:
+                entry = self._queue.get(timeout=0.1)
+            except queue.Empty:
+                if self._worker.stopped():
+                    return
+                continue
+            try:
+                self._submit(entry)
+            except Exception:
+                # The logger is outside the node's failure domain; errors
+                # are tolerated (and visible in server-side counts).
+                self._dropped += 1
+            finally:
+                self._finish_one()
+
+    @property
+    def dropped(self) -> int:
+        """Entries lost to backpressure or submission failures."""
+        return self._dropped
+
+    def flush(self, timeout: float = 5.0) -> bool:
+        """Block until all queued entries have been submitted."""
+        return self._idle.wait(timeout)
+
+    def stop(self, flush: bool = True, timeout: float = 5.0) -> None:
+        """Flush (optionally) and stop the worker."""
+        if flush:
+            self.flush(timeout)
+        self._worker.stop()

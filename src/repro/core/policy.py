@@ -1,0 +1,68 @@
+"""Protocol configuration.
+
+Bundles the design knobs the paper discusses so benchmarks and ablations can
+sweep them:
+
+- ``subscriber_stores_hash`` -- Section IV-A's ``h(I_y)`` vs ``I_y`` choice
+  for the subscriber's log entry (the Figure 15 ablation);
+- ``ack_returns_data`` -- whether the ACK echoes the data instead of the
+  hash (the small-data variant);
+- ``require_ack`` -- the withhold-until-ACK penalty of Section V-B step 2;
+- ``aggregate_publisher_entries`` -- the Section VI-E aggregated-logging
+  extension (one publisher entry per publication instead of per subscriber);
+- ``verify_on_receive`` -- optional eager verification of the publisher's
+  signature at the subscriber (off in the paper's measured fast path; the
+  auditor verifies after the fact).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.keys import DEFAULT_KEY_BITS
+
+
+@dataclass(frozen=True)
+class AdlpConfig:
+    """Immutable per-node ADLP configuration."""
+
+    #: RSA modulus size; the paper uses 1024.
+    key_bits: int = DEFAULT_KEY_BITS
+
+    #: Subscriber log entries store ``h(seq||D)`` instead of ``D``.
+    subscriber_stores_hash: bool = True
+
+    #: ACK carries the raw data instead of the hash (small-data option).
+    ack_returns_data: bool = False
+
+    #: Withhold the next message to a subscriber until it ACKs the previous
+    #: one.  Disabling this removes the completeness penalty (ablation).
+    require_ack: bool = True
+
+    #: Seconds a publisher link waits for an ACK before treating the
+    #: subscriber as non-cooperative.
+    ack_timeout: float = 5.0
+
+    #: When an ACK times out: ``True`` stops serving that subscriber (the
+    #: paper's penalty), ``False`` keeps sending (ablation).
+    drop_unacked_subscriber: bool = True
+
+    #: Fold all subscribers' ACKs for one publication into one publisher
+    #: entry (Section VI-E extension).
+    aggregate_publisher_entries: bool = False
+
+    #: Seconds an aggregating publisher waits for further ACKs of the same
+    #: publication before flushing the combined entry.
+    aggregation_window: float = 0.05
+
+    #: Subscriber verifies the publisher signature before delivering the
+    #: message to the application (eager detection; off the paper's path).
+    verify_on_receive: bool = False
+
+    def __post_init__(self) -> None:
+        if self.key_bits < 128:
+            raise ValueError("key_bits must be at least 128")
+        if self.ack_timeout <= 0:
+            raise ValueError("ack_timeout must be positive")
+        if self.aggregation_window < 0:
+            raise ValueError("aggregation_window must be non-negative")

@@ -1,0 +1,83 @@
+"""ADLP wire messages and the shared digest construction.
+
+The generalized protocol diagram (Figure 9):
+
+- the publisher sends ``M_x = (seq, D_x, s_x)`` where
+  ``s_x = sign_x(h(seq || D_x))``;
+- the subscriber returns ``M_y = (seq, h(I_y), s_y)`` where
+  ``s_y = sign_y(h(seq || I_y))`` -- the fixed-size acknowledgement
+  (32-byte hash + 128-byte RSA-1024 signature, the paper's "160 bytes").
+
+Both directions embed the sequence number, which is the freshness
+information that defeats replay in Lemmas 1-2.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.hashing import data_digest
+from repro.errors import DecodingError, ProtocolError
+from repro.serialization import WireMessage, boolean, bytes_, uint64
+
+
+def message_digest(seq: int, payload: bytes) -> bytes:
+    """The digest both parties sign: ``h(seq || D)``.
+
+    Exposed at module level so publisher, subscriber, and auditor are
+    guaranteed to agree byte-for-byte.
+    """
+    return data_digest(seq, payload)
+
+
+class AdlpMessage(WireMessage):
+    """``M_x``: what the publisher's transport layer puts on the wire."""
+
+    seq = uint64(1)
+    payload = bytes_(2)  # D: the serialized application message
+    signature = bytes_(3)  # s_x = sign_x(h(seq || D))
+
+    @classmethod
+    def parse(cls, frame: bytes) -> "AdlpMessage":
+        """Decode and structurally validate an inbound frame."""
+        try:
+            msg = cls.decode(frame)
+        except DecodingError as exc:
+            raise ProtocolError(f"malformed ADLP message: {exc}") from exc
+        if not msg.signature:
+            raise ProtocolError("ADLP message lacks a signature")
+        return msg
+
+
+class AdlpAck(WireMessage):
+    """``M_y``: the subscriber's signed acknowledgement.
+
+    When :attr:`returns_data` is set the subscriber echoed the data itself
+    in :attr:`payload` instead of its hash -- the small-data option of
+    Section IV-A ("the subscriber can return data I_y instead of h(I_y) to
+    the publisher ... especially when the data is small").
+    """
+
+    seq = uint64(1)
+    data_hash = bytes_(2)  # h(seq || I_y) (empty when returns_data)
+    signature = bytes_(3)  # s_y = sign_y(h(seq || I_y))
+    returns_data = boolean(4)
+    payload = bytes_(5)  # I_y itself, only when returns_data
+
+    @classmethod
+    def parse(cls, frame: bytes) -> "AdlpAck":
+        """Decode and structurally validate an inbound ACK frame."""
+        try:
+            ack = cls.decode(frame)
+        except DecodingError as exc:
+            raise ProtocolError(f"malformed ADLP ack: {exc}") from exc
+        if not ack.signature:
+            raise ProtocolError("ADLP ack lacks a signature")
+        if not ack.data_hash and not ack.returns_data:
+            raise ProtocolError("ADLP ack carries neither hash nor data")
+        return ack
+
+    def acknowledged_hash(self) -> bytes:
+        """The digest the subscriber committed to (computing it from the
+        echoed data when the small-data option was used)."""
+        if self.returns_data:
+            return message_digest(self.seq, self.payload)
+        return self.data_hash

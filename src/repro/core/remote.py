@@ -1,0 +1,198 @@
+"""Remote trusted logger.
+
+The paper's logger "could be a remote log server, a local file, or even a
+trusted hardware device" (Section II-A).  The in-process
+:class:`~repro.core.log_server.LogServer` covers the local cases; this
+module puts it behind a socket:
+
+- :class:`LogServerEndpoint` exposes a :class:`LogServer` over any
+  middleware transport (TCP in practice), speaking a small framed RPC:
+  ``REGISTER_KEY`` and ``SUBMIT``.
+- :class:`RemoteLogger` is the component-side stub with the same
+  ``register_key``/``submit`` surface the protocols expect, so an
+  :class:`~repro.core.adlp_protocol.AdlpProtocol` can be pointed at a
+  remote logger with no other change.
+
+Faithful to the paper's failure model, ``SUBMIT`` is fire-and-forget: the
+client never waits for a response, so "any failure at the log server does
+not interrupt a normal operation of the ROS nodes".  Only key
+registration is synchronous (it happens once, at startup, and the paper's
+trust model requires the key to be transferred securely before data
+flows).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import List, Optional, Union
+
+from repro.core.entries import LogEntry
+from repro.core.log_server import LogServer
+from repro.crypto.keys import PublicKey
+from repro.errors import LoggingError, TransportError
+from repro.middleware.transport.base import (
+    Connection,
+    ConnectionClosed,
+    Transport,
+)
+from repro.middleware.transport.tcp import TcpTransport
+from repro.serialization import WireMessage, boolean, bytes_, string, uint64
+from repro.util.concurrency import StoppableThread
+
+#: RPC operation codes.
+OP_REGISTER_KEY = 1
+OP_SUBMIT = 2
+
+
+class LoggerRequest(WireMessage):
+    """One framed request from a component to the log server."""
+
+    op = uint64(1)
+    component_id = string(2)
+    key_bytes = bytes_(3)  # OP_REGISTER_KEY
+    entry_bytes = bytes_(4)  # OP_SUBMIT
+
+
+class LoggerResponse(WireMessage):
+    """Response to synchronous requests (key registration only)."""
+
+    ok = boolean(1)
+    error = string(2)
+
+
+class LogServerEndpoint:
+    """Serves a :class:`LogServer` over a transport listener."""
+
+    def __init__(self, server: LogServer, transport: Optional[Transport] = None):
+        self.server = server
+        self._transport = transport or TcpTransport()
+        self._listener = self._transport.listen()
+        self._connections: List[Connection] = []
+        self._lock = threading.Lock()
+        self._acceptor = StoppableThread("logserver-accept", target=self._accept_loop)
+        self._acceptor.start()
+
+    @property
+    def address(self):
+        """Address components pass to :class:`RemoteLogger`."""
+        return self._listener.address
+
+    def _accept_loop(self) -> None:
+        while not self._acceptor.stopped():
+            connection = self._listener.accept(timeout=0.1)
+            if connection is None:
+                continue
+            with self._lock:
+                self._connections.append(connection)
+            worker = StoppableThread(
+                "logserver-conn", target=lambda c=connection: self._serve(c)
+            )
+            worker.start()
+
+    def _serve(self, connection: Connection) -> None:
+        while not self._acceptor.stopped():
+            try:
+                frame = connection.recv_frame(timeout=0.1)
+            except ConnectionClosed:
+                return
+            if frame is None:
+                continue
+            try:
+                request = LoggerRequest.decode(frame)
+            except Exception:
+                continue  # a malformed frame must not kill the server
+            if request.op == OP_REGISTER_KEY:
+                response = LoggerResponse(ok=True)
+                try:
+                    self.server.register_key(request.component_id, request.key_bytes)
+                except Exception as exc:
+                    response = LoggerResponse(ok=False, error=str(exc))
+                try:
+                    connection.send_frame(response.encode())
+                except ConnectionClosed:
+                    return
+            elif request.op == OP_SUBMIT:
+                try:
+                    self.server.submit(request.entry_bytes)
+                except LoggingError:
+                    pass  # fire-and-forget: bad entries are dropped server-side
+
+    def close(self) -> None:
+        self._acceptor.stop(join=False)
+        self._listener.close()
+        with self._lock:
+            connections = list(self._connections)
+        for connection in connections:
+            connection.close()
+        self._acceptor.stop()
+
+
+class RemoteLogger:
+    """Component-side stub: ``register_key`` + ``submit`` over a socket.
+
+    Drop-in for the ``log_server`` argument of
+    :class:`~repro.core.adlp_protocol.AdlpProtocol` /
+    :class:`~repro.core.naive_protocol.NaiveProtocol` (``submit``).
+
+    ``submit`` never blocks on the server: frames are written to the socket
+    and forgotten.  If the connection dies, entries are dropped and counted
+    -- the node keeps running (the paper's no-single-point-of-failure
+    property).
+    """
+
+    def __init__(self, address, transport: Optional[Transport] = None):
+        self._transport = transport or TcpTransport()
+        self._address = address
+        self._connection: Optional[Connection] = None
+        self._lock = threading.Lock()
+        self.dropped = 0
+
+    def _connect(self) -> Optional[Connection]:
+        with self._lock:
+            if self._connection is not None and not self._connection.closed:
+                return self._connection
+            try:
+                self._connection = self._transport.connect(self._address)
+            except TransportError:
+                self._connection = None
+            return self._connection
+
+    def register_key(self, component_id: str, key: Union[PublicKey, bytes]) -> None:
+        """Synchronously register; raises if the server is unreachable or
+        rejects the key (startup must not proceed unkeyed)."""
+        if isinstance(key, PublicKey):
+            key = key.to_bytes()
+        connection = self._connect()
+        if connection is None:
+            raise LoggingError(f"log server unreachable at {self._address!r}")
+        request = LoggerRequest(
+            op=OP_REGISTER_KEY, component_id=component_id, key_bytes=key
+        )
+        connection.send_frame(request.encode())
+        frame = connection.recv_frame(timeout=5.0)
+        if frame is None:
+            raise LoggingError("log server did not answer key registration")
+        response = LoggerResponse.decode(frame)
+        if not response.ok:
+            raise LoggingError(f"key registration rejected: {response.error}")
+
+    def submit(self, entry: Union[LogEntry, bytes]) -> int:
+        """Fire-and-forget submission; returns 0 (no server-side index)."""
+        record = entry.encode() if isinstance(entry, LogEntry) else bytes(entry)
+        connection = self._connect()
+        if connection is None:
+            self.dropped += 1
+            return 0
+        try:
+            connection.send_frame(
+                LoggerRequest(op=OP_SUBMIT, entry_bytes=record).encode()
+            )
+        except ConnectionClosed:
+            self.dropped += 1
+        return 0
+
+    def close(self) -> None:
+        with self._lock:
+            if self._connection is not None:
+                self._connection.close()
+                self._connection = None

@@ -1,0 +1,52 @@
+"""Sequence-number tracking.
+
+ADLP embeds per-topic sequence numbers in every signed digest as freshness
+information (Section IV-A).  On the receive path, :class:`SequenceTracker`
+detects replayed/stale frames (a component re-delivering an old ``M_x``) and
+counts gaps (publications the subscriber never saw, e.g. dropped by QoS).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+
+@dataclass
+class SequenceStats:
+    """Counters maintained by a :class:`SequenceTracker`."""
+
+    accepted: int = 0
+    stale: int = 0
+    gaps: int = 0  # number of skipped-over sequence numbers
+
+
+class SequenceTracker:
+    """Tracks the highest sequence number seen on one inbound link."""
+
+    def __init__(self) -> None:
+        self._last = 0
+        self._lock = threading.Lock()
+        self.stats = SequenceStats()
+
+    def accept(self, seq: int) -> bool:
+        """Record an inbound sequence number.
+
+        Returns ``True`` when the frame is fresh (``seq`` strictly greater
+        than anything seen before) and ``False`` for a stale/replayed frame.
+        """
+        with self._lock:
+            if seq <= self._last:
+                self.stats.stale += 1
+                return False
+            if self._last and seq > self._last + 1:
+                self.stats.gaps += seq - self._last - 1
+            self._last = seq
+            self.stats.accepted += 1
+            return True
+
+    @property
+    def last(self) -> int:
+        """Highest sequence number accepted so far (0 if none)."""
+        with self._lock:
+            return self._last

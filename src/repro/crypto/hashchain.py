@@ -1,0 +1,106 @@
+"""Tamper-evident hash chain.
+
+The paper assumes "a tamper-resistant or tamper-evident logging mechanism is
+in place [7], [15] for the protection of log integrity" (Section II-A).  This
+module realizes that assumption with the classic Schneier-Kelsey style hash
+chain: each appended record is bound to the digest of everything before it,
+so any retroactive modification, deletion, or reordering of records changes
+every subsequent chain digest and is detected by :meth:`HashChain.verify`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.crypto.hashing import sha256
+from repro.errors import LogIntegrityError
+
+#: Well-known digest anchoring the start of every chain.
+GENESIS = sha256(b"repro.hashchain.genesis")
+
+
+def chain_digest(prev_digest: bytes, payload: bytes) -> bytes:
+    """Digest binding ``payload`` to the running chain state.
+
+    Computed as ``h(prev || h(payload))``; hashing the payload first keeps
+    the combiner fixed-width and prevents boundary-shifting collisions
+    between ``prev`` and ``payload``.
+    """
+    return sha256(prev_digest + sha256(payload))
+
+
+@dataclass(frozen=True)
+class ChainEntry:
+    """One record in the chain: its position, payload, and chained digest."""
+
+    index: int
+    payload: bytes
+    digest: bytes
+
+
+class HashChain:
+    """An append-only sequence of byte records with verifiable integrity."""
+
+    def __init__(self) -> None:
+        self._entries: List[ChainEntry] = []
+        self._head = GENESIS
+
+    def append(self, payload: bytes) -> ChainEntry:
+        """Append ``payload`` and return the new chained entry."""
+        digest = chain_digest(self._head, payload)
+        entry = ChainEntry(index=len(self._entries), payload=payload, digest=digest)
+        self._entries.append(entry)
+        self._head = digest
+        return entry
+
+    @property
+    def head(self) -> bytes:
+        """Digest of the latest entry (GENESIS when empty)."""
+        return self._head
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[ChainEntry]:
+        return iter(self._entries)
+
+    def __getitem__(self, index: int) -> ChainEntry:
+        return self._entries[index]
+
+    def payloads(self) -> List[bytes]:
+        """All payloads in append order."""
+        return [e.payload for e in self._entries]
+
+    def verify(self) -> None:
+        """Recompute the whole chain; raise :class:`LogIntegrityError` if any
+        stored digest disagrees with the recomputation."""
+        ok, index = verify_chain(
+            [(e.payload, e.digest) for e in self._entries]
+        )
+        if not ok:
+            raise LogIntegrityError(f"hash chain broken at entry {index}")
+
+    def verify_against(self, expected_head: bytes) -> None:
+        """Verify internal consistency *and* that the head matches a
+        previously published commitment (e.g. one the auditor noted down)."""
+        self.verify()
+        if self._head != expected_head:
+            raise LogIntegrityError("chain head does not match commitment")
+
+
+def verify_chain(
+    records: Sequence[Tuple[bytes, bytes]], genesis: bytes = GENESIS
+) -> Tuple[bool, Optional[int]]:
+    """Check a ``(payload, digest)`` sequence for chain consistency.
+
+    Returns ``(True, None)`` if consistent, otherwise ``(False, i)`` where
+    ``i`` is the index of the first inconsistent record.
+    """
+    prev = genesis
+    for i, (payload, digest) in enumerate(records):
+        expected = chain_digest(prev, payload)
+        if digest != expected:
+            return False, i
+        prev = digest
+    return True, None

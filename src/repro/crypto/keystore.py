@@ -1,0 +1,74 @@
+"""Public-key registry.
+
+The trusted logger stores each component's public key at registration time
+(paper, Section V-B, step 1) so that the auditor can later verify the
+authenticity of log entries (Section IV-B, "Obvious Detection": the
+components' public keys are known, so entry authenticity is easily
+verifiable).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterator, Optional
+
+from repro.crypto.keys import PublicKey
+from repro.errors import UnknownComponentError
+
+
+class KeyStore:
+    """Thread-safe mapping of component id -> :class:`PublicKey`.
+
+    Registration is first-write-wins: re-registering the *same* key is
+    idempotent, but attempting to replace an existing key with a different
+    one raises.  This prevents a component from repudiating old signatures
+    by swapping in a new key mid-run (the paper assumes keys are transferred
+    securely once).
+    """
+
+    def __init__(self) -> None:
+        self._keys: Dict[str, PublicKey] = {}
+        self._lock = threading.Lock()
+
+    def register(self, component_id: str, key: PublicKey) -> None:
+        """Bind ``component_id`` to ``key``; idempotent for identical keys."""
+        with self._lock:
+            existing = self._keys.get(component_id)
+            if existing is not None and existing != key:
+                raise UnknownComponentError(
+                    f"component {component_id!r} attempted to replace its "
+                    f"registered public key"
+                )
+            self._keys[component_id] = key
+
+    def get(self, component_id: str) -> PublicKey:
+        """Return the registered key, raising if the component is unknown."""
+        with self._lock:
+            try:
+                return self._keys[component_id]
+            except KeyError:
+                raise UnknownComponentError(
+                    f"no public key registered for component {component_id!r}"
+                ) from None
+
+    def find(self, component_id: str) -> Optional[PublicKey]:
+        """Like :meth:`get` but returns ``None`` for unknown components."""
+        with self._lock:
+            return self._keys.get(component_id)
+
+    def __contains__(self, component_id: str) -> bool:
+        with self._lock:
+            return component_id in self._keys
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._keys)
+
+    def __iter__(self) -> Iterator[str]:
+        with self._lock:
+            return iter(list(self._keys))
+
+    def snapshot(self) -> Dict[str, PublicKey]:
+        """A point-in-time copy of the registry (for auditors)."""
+        with self._lock:
+            return dict(self._keys)

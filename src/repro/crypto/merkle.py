@@ -1,0 +1,110 @@
+"""Merkle tree with inclusion proofs.
+
+Complements the hash chain (related work [27], Crosby & Wallach): the log
+server periodically commits a Merkle root over ingested entries, and a
+third-party investigator can check that a specific log entry is included in
+a committed epoch without downloading the whole log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from repro.crypto.hashing import sha256
+
+# Domain-separation prefixes prevent a leaf from being reinterpreted as an
+# interior node (the classic second-preimage attack on naive Merkle trees).
+_LEAF_PREFIX = b"\x00"
+_NODE_PREFIX = b"\x01"
+
+#: Root of the empty tree.
+EMPTY_ROOT = sha256(b"repro.merkle.empty")
+
+
+def leaf_hash(payload: bytes) -> bytes:
+    """Hash of a leaf record."""
+    return sha256(_LEAF_PREFIX + payload)
+
+
+def node_hash(left: bytes, right: bytes) -> bytes:
+    """Hash of an interior node from its two children."""
+    return sha256(_NODE_PREFIX + left + right)
+
+
+@dataclass(frozen=True)
+class MerkleProof:
+    """An inclusion proof: the leaf's index and sibling digests bottom-up.
+
+    Each element of :attr:`path` is ``(sibling_digest, sibling_is_right)``.
+    """
+
+    leaf_index: int
+    tree_size: int
+    path: Tuple[Tuple[bytes, bool], ...] = field(default_factory=tuple)
+
+    def verify(self, payload: bytes, root: bytes) -> bool:
+        """Check that ``payload`` at :attr:`leaf_index` hashes up to ``root``."""
+        digest = leaf_hash(payload)
+        for sibling, sibling_is_right in self.path:
+            if sibling_is_right:
+                digest = node_hash(digest, sibling)
+            else:
+                digest = node_hash(sibling, digest)
+        return digest == root
+
+
+class MerkleTree:
+    """A Merkle tree over an ordered list of byte records.
+
+    Odd nodes are promoted (not duplicated) to the next level, matching
+    RFC 6962's tree shape for non-power-of-two sizes.
+    """
+
+    def __init__(self, payloads: Sequence[bytes] = ()) -> None:
+        self._leaves: List[bytes] = [leaf_hash(p) for p in payloads]
+
+    def append(self, payload: bytes) -> int:
+        """Append a record; returns its leaf index."""
+        self._leaves.append(leaf_hash(payload))
+        return len(self._leaves) - 1
+
+    def __len__(self) -> int:
+        return len(self._leaves)
+
+    def _levels(self) -> List[List[bytes]]:
+        """All tree levels bottom-up (levels[0] == leaves)."""
+        levels = [list(self._leaves)]
+        while len(levels[-1]) > 1:
+            prev = levels[-1]
+            nxt = []
+            for i in range(0, len(prev) - 1, 2):
+                nxt.append(node_hash(prev[i], prev[i + 1]))
+            if len(prev) % 2 == 1:
+                nxt.append(prev[-1])  # promote the odd node
+            levels.append(nxt)
+        return levels
+
+    def root(self) -> bytes:
+        """Current root digest (:data:`EMPTY_ROOT` when empty)."""
+        if not self._leaves:
+            return EMPTY_ROOT
+        return self._levels()[-1][0]
+
+    def prove(self, leaf_index: int) -> MerkleProof:
+        """Build an inclusion proof for the leaf at ``leaf_index``."""
+        if not 0 <= leaf_index < len(self._leaves):
+            raise IndexError("leaf index out of range")
+        path: List[Tuple[bytes, bool]] = []
+        index = leaf_index
+        for level in self._levels()[:-1]:
+            if index % 2 == 0:
+                if index + 1 < len(level):
+                    path.append((level[index + 1], True))
+                # else: promoted odd node, no sibling at this level
+            else:
+                path.append((level[index - 1], False))
+            index //= 2
+        return MerkleProof(
+            leaf_index=leaf_index, tree_size=len(self._leaves), path=tuple(path)
+        )

@@ -1,0 +1,40 @@
+"""A ROS-like publish-subscribe middleware ("rosim").
+
+The paper implements ADLP inside rospy's transport layer.  ROS itself is not
+available offline, so this package provides a faithful miniature: a master
+(name service) that matches publishers to subscribers, nodes hosting
+publishers and subscribers, typed topics with sequence-numbered headers, and
+point-to-point transports -- real TCP sockets with ROS's 4-byte length
+preamble, plus a deterministic in-process transport for tests.
+
+Crucially for ADLP, the wire protocol between a publisher and each
+subscriber is *pluggable* (:class:`~repro.middleware.transport.base.TransportProtocol`):
+the plain protocol ships bare payloads, while :mod:`repro.core` installs the
+ADLP protocol (signed messages, signed ACKs, withhold-until-ACK) without the
+application layer noticing -- the paper's transparency property.
+"""
+
+from repro.middleware.master import Master
+from repro.middleware.messages import Header, MessageMeta, register_message, lookup_message
+from repro.middleware.node import Node
+from repro.middleware.publisher import Publisher
+from repro.middleware.subscriber import Subscriber
+from repro.middleware.graph import build_graph, data_flows
+from repro.middleware.recording import BagReader, BagWriter, Player, Recorder
+
+__all__ = [
+    "BagReader",
+    "BagWriter",
+    "Player",
+    "Recorder",
+    "Master",
+    "Node",
+    "Publisher",
+    "Subscriber",
+    "Header",
+    "MessageMeta",
+    "register_message",
+    "lookup_message",
+    "build_graph",
+    "data_flows",
+]

@@ -1,0 +1,74 @@
+"""Computation-graph introspection.
+
+Builds a :mod:`networkx` digraph of components and topics from a master's
+registry -- the structure the paper draws in Figure 11(b) and over which the
+auditor reasons about end-to-end data flows (Section II: "an end-to-end data
+flow can be formed by a sequence of alternating publication and subscription
+of data").
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import networkx as nx
+
+from repro.middleware.master import Master
+
+
+def build_graph(master: Master) -> "nx.DiGraph":
+    """Bipartite digraph: component -> topic -> component.
+
+    Component nodes get ``kind="component"``; topic nodes ``kind="topic"``
+    with a ``type_name`` attribute.
+    """
+    graph = nx.DiGraph()
+    topics = master.topics()
+    for topic, type_name in topics.items():
+        graph.add_node(topic, kind="topic", type_name=type_name)
+        info = master.lookup_publisher(topic)
+        if info is not None:
+            graph.add_node(info.node_id, kind="component")
+            graph.add_edge(info.node_id, topic)
+        for subscriber_id in master.subscriber_ids(topic):
+            graph.add_node(subscriber_id, kind="component")
+            graph.add_edge(topic, subscriber_id)
+    return graph
+
+
+def data_flows(master: Master) -> List[Tuple[str, str, str]]:
+    """All (publisher, topic, subscriber) transmissions D_{x->y}."""
+    flows = []
+    for topic in master.topics():
+        info = master.lookup_publisher(topic)
+        if info is None:
+            continue
+        for subscriber_id in master.subscriber_ids(topic):
+            flows.append((info.node_id, topic, subscriber_id))
+    return sorted(flows)
+
+
+def component_graph(master: Master) -> "nx.DiGraph":
+    """Projected digraph with only components as nodes.
+
+    Edge (x, y) exists iff x publishes a topic y subscribes to; the edge's
+    ``topics`` attribute lists the topics carrying the flow.
+    """
+    graph = nx.DiGraph()
+    for publisher_id, topic, subscriber_id in data_flows(master):
+        if graph.has_edge(publisher_id, subscriber_id):
+            graph[publisher_id][subscriber_id]["topics"].append(topic)
+        else:
+            graph.add_edge(publisher_id, subscriber_id, topics=[topic])
+    return graph
+
+
+def end_to_end_paths(master: Master, source: str, sink: str) -> List[List[str]]:
+    """All simple component paths from ``source`` to ``sink``.
+
+    E.g. Camera -> ... -> Steering in the self-driving application.
+    """
+    graph = component_graph(master)
+    if source not in graph or sink not in graph:
+        return []
+    return [list(p) for p in nx.all_simple_paths(graph, source, sink)]

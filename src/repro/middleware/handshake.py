@@ -1,0 +1,69 @@
+"""Connection handshake.
+
+TCPROS opens every connection with a header exchange (caller id, topic,
+type, md5sum).  We do the same: the subscriber sends a
+:class:`ConnectionHeader` as the first frame, the publisher replies with its
+own.  The exchange is what tells the ADLP publisher *which* subscriber a
+connection belongs to, so acknowledgements can be attributed in log entries.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import DecodingError, TopicTypeError, TransportError
+from repro.middleware.transport.base import Connection
+from repro.serialization import WireMessage, string
+
+#: Seconds either side waits for the peer's handshake frame.
+HANDSHAKE_TIMEOUT = 5.0
+
+
+class ConnectionHeader(WireMessage):
+    """First frame exchanged on every publisher<->subscriber connection."""
+
+    node_id = string(1)
+    topic = string(2)
+    type_name = string(3)
+    role = string(4)  # "publisher" | "subscriber"
+
+
+def send_header(
+    connection: Connection, node_id: str, topic: str, type_name: str, role: str
+) -> None:
+    """Send our side of the handshake."""
+    header = ConnectionHeader(
+        node_id=node_id, topic=topic, type_name=type_name, role=role
+    )
+    connection.send_frame(header.encode())
+
+
+def recv_header(
+    connection: Connection, timeout: float = HANDSHAKE_TIMEOUT
+) -> Optional[ConnectionHeader]:
+    """Receive and decode the peer's handshake frame (``None`` on timeout)."""
+    frame = connection.recv_frame(timeout=timeout)
+    if frame is None:
+        return None
+    try:
+        return ConnectionHeader.decode(frame)
+    except DecodingError as exc:
+        raise TransportError(f"malformed connection header: {exc}") from exc
+
+
+def check_header(
+    header: ConnectionHeader, topic: str, type_name: str, expected_role: str
+) -> None:
+    """Validate the peer's handshake against our expectations."""
+    if header.topic != topic:
+        raise TransportError(
+            f"peer connected for topic {header.topic!r}, expected {topic!r}"
+        )
+    if header.type_name != type_name:
+        raise TopicTypeError(
+            f"peer speaks {header.type_name!r} on {topic!r}, expected {type_name!r}"
+        )
+    if header.role != expected_role:
+        raise TransportError(
+            f"peer role {header.role!r}, expected {expected_role!r}"
+        )

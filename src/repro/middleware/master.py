@@ -1,0 +1,158 @@
+"""The master: name service matching publishers to subscribers.
+
+Like the ROS master, it performs *only* name resolution: data never flows
+through it, so there is no central point through which transmissions could
+be observed -- precisely the decentralization that makes the naive logging
+scheme unaccountable (Section III-B) and motivates ADLP.
+
+It enforces the paper's system-model invariant that *no two components
+publish the same data type* (Section II): a second publisher registering an
+existing topic is rejected with :class:`~repro.errors.DuplicatePublisherError`,
+so a correct type label uniquely identifies the publisher.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import DuplicatePublisherError, TopicTypeError
+from repro.middleware.names import validate_name, validate_type_name
+from repro.middleware.transport.base import Transport
+from repro.middleware.transport.inproc import InprocTransport
+
+
+@dataclass(frozen=True)
+class PublisherInfo:
+    """What a subscriber needs to reach a topic's publisher."""
+
+    node_id: str
+    topic: str
+    type_name: str
+    address: Tuple
+
+
+@dataclass
+class _SubscriberRecord:
+    node_id: str
+    type_name: str
+    on_publisher: Callable[[PublisherInfo], None]
+
+
+class Master:
+    """Thread-safe registry of publishers and subscribers per topic."""
+
+    def __init__(self, transport: Optional[Transport] = None):
+        #: Transport shared by all nodes registered with this master.
+        self.transport: Transport = transport or InprocTransport()
+        self._publishers: Dict[str, PublisherInfo] = {}
+        self._subscribers: Dict[str, List[_SubscriberRecord]] = {}
+        self._lock = threading.Lock()
+
+    # -- publisher side --------------------------------------------------
+
+    def register_publisher(
+        self, node_id: str, topic: str, type_name: str, address: Tuple
+    ) -> PublisherInfo:
+        """Register ``node_id`` as *the* publisher of ``topic``.
+
+        Notifies any already-registered subscribers so they connect.
+        """
+        topic = validate_name(topic, "topic")
+        type_name = validate_type_name(type_name)
+        info = PublisherInfo(
+            node_id=node_id, topic=topic, type_name=type_name, address=address
+        )
+        with self._lock:
+            existing = self._publishers.get(topic)
+            if existing is not None:
+                raise DuplicatePublisherError(
+                    f"topic {topic!r} already published by {existing.node_id!r}; "
+                    f"the system model forbids two publishers of one data type"
+                )
+            self._check_type_consistency(topic, type_name)
+            self._publishers[topic] = info
+            waiting = list(self._subscribers.get(topic, []))
+        for record in waiting:
+            record.on_publisher(info)
+        return info
+
+    def unregister_publisher(self, node_id: str, topic: str) -> None:
+        """Remove a publisher registration (no-op if absent or not owner)."""
+        topic = validate_name(topic, "topic")
+        with self._lock:
+            existing = self._publishers.get(topic)
+            if existing is not None and existing.node_id == node_id:
+                del self._publishers[topic]
+
+    # -- subscriber side -------------------------------------------------
+
+    def register_subscriber(
+        self,
+        node_id: str,
+        topic: str,
+        type_name: str,
+        on_publisher: Callable[[PublisherInfo], None],
+    ) -> Optional[PublisherInfo]:
+        """Register interest in ``topic``.
+
+        Returns the current publisher (if any); future publishers are
+        announced via ``on_publisher``.
+        """
+        topic = validate_name(topic, "topic")
+        type_name = validate_type_name(type_name)
+        with self._lock:
+            self._check_type_consistency(topic, type_name)
+            record = _SubscriberRecord(
+                node_id=node_id, type_name=type_name, on_publisher=on_publisher
+            )
+            self._subscribers.setdefault(topic, []).append(record)
+            return self._publishers.get(topic)
+
+    def unregister_subscriber(self, node_id: str, topic: str) -> None:
+        """Remove all of ``node_id``'s subscriptions to ``topic``."""
+        topic = validate_name(topic, "topic")
+        with self._lock:
+            records = self._subscribers.get(topic, [])
+            self._subscribers[topic] = [r for r in records if r.node_id != node_id]
+
+    # -- introspection ---------------------------------------------------
+
+    def lookup_publisher(self, topic: str) -> Optional[PublisherInfo]:
+        """Current publisher of ``topic``, or ``None``."""
+        with self._lock:
+            return self._publishers.get(validate_name(topic, "topic"))
+
+    def topics(self) -> Dict[str, str]:
+        """Mapping of known topic -> type name (published or subscribed)."""
+        with self._lock:
+            result = {t: info.type_name for t, info in self._publishers.items()}
+            for topic, records in self._subscribers.items():
+                for record in records:
+                    result.setdefault(topic, record.type_name)
+            return result
+
+    def subscriber_ids(self, topic: str) -> List[str]:
+        """Node ids currently subscribed to ``topic``."""
+        with self._lock:
+            return [r.node_id for r in self._subscribers.get(topic, [])]
+
+    # -- internal ----------------------------------------------------------
+
+    def _check_type_consistency(self, topic: str, type_name: str) -> None:
+        """Reject a registration whose type disagrees with existing ones.
+
+        Caller must hold the lock.
+        """
+        existing_pub = self._publishers.get(topic)
+        if existing_pub is not None and existing_pub.type_name != type_name:
+            raise TopicTypeError(
+                f"topic {topic!r} is {existing_pub.type_name}, not {type_name}"
+            )
+        for record in self._subscribers.get(topic, []):
+            if record.type_name != type_name:
+                raise TopicTypeError(
+                    f"topic {topic!r} already subscribed as {record.type_name}, "
+                    f"not {type_name}"
+                )

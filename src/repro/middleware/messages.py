@@ -1,0 +1,86 @@
+"""Typed middleware messages.
+
+Every topic message is a :class:`~repro.serialization.schema.WireMessage`
+subclass carrying a :class:`Header` (sequence number, timestamp, frame id) as
+field 1 -- mirroring ROS's ``std_msgs/Header``.  The publish path stamps the
+header automatically, so, as in ROS, the sequence number ends up *inside* the
+serialized payload that ADLP hashes and signs ("the sequence number is a part
+of the ROS message digest which is hashed and signed", Section V-B).
+
+Message classes are registered in a global type registry keyed by their
+ROS-style type name (e.g. ``"sensors/Image"``) so subscribers can decode
+payloads given only the name carried in the connection header.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Type
+
+from repro.errors import SchemaError, TopicTypeError
+from repro.middleware.names import validate_type_name
+from repro.serialization import WireMessage, double, message, string, uint64
+
+
+class Header(WireMessage):
+    """Standard message header: per-topic sequence number and timestamp."""
+
+    seq = uint64(1)
+    stamp = double(2)
+    frame_id = string(3)
+
+
+class MessageMeta(WireMessage):
+    """Base class for all topic messages.
+
+    Subclasses must set :attr:`TYPE_NAME` (``"pkg/Type"``) and declare their
+    payload fields starting at field number 2; field 1 is the header.
+    """
+
+    TYPE_NAME: str = ""
+
+    header = message(1, Header)
+
+    def ensure_header(self) -> Header:
+        """Return the message's header, creating one if unset."""
+        if self.header is None:
+            self.header = Header()
+        return self.header
+
+
+_registry: Dict[str, Type[MessageMeta]] = {}
+_registry_lock = threading.Lock()
+
+
+def register_message(cls: Type[MessageMeta]) -> Type[MessageMeta]:
+    """Class decorator: add a message type to the global registry.
+
+    >>> @register_message
+    ... class Ping(MessageMeta):
+    ...     TYPE_NAME = "test/Ping"
+    ...     count = uint64(2)
+    """
+    if not issubclass(cls, MessageMeta):
+        raise SchemaError(f"{cls.__name__} must derive from MessageMeta")
+    type_name = validate_type_name(cls.TYPE_NAME)
+    with _registry_lock:
+        existing = _registry.get(type_name)
+        if existing is not None and existing is not cls:
+            raise SchemaError(f"message type {type_name!r} already registered")
+        _registry[type_name] = cls
+    return cls
+
+
+def lookup_message(type_name: str) -> Type[MessageMeta]:
+    """Resolve a registered message class by type name."""
+    with _registry_lock:
+        try:
+            return _registry[type_name]
+        except KeyError:
+            raise TopicTypeError(f"unknown message type {type_name!r}") from None
+
+
+def registered_types() -> Dict[str, Type[MessageMeta]]:
+    """Snapshot of the registry (for tooling/tests)."""
+    with _registry_lock:
+        return dict(_registry)

@@ -1,0 +1,149 @@
+"""Standard message types.
+
+These mirror the topics of the paper's self-driving application
+(Figure 11(b)) and the three representative data sizes of its evaluation
+(Table I): Steering (~20 B), LaserScan (~8.7 KB), Image (~921 KB).
+"""
+
+from __future__ import annotations
+
+from repro.middleware.messages import MessageMeta, register_message
+from repro.serialization import (
+    boolean,
+    bytes_,
+    double,
+    repeated,
+    sint64,
+    string,
+    uint64,
+)
+
+
+@register_message
+class RawBytes(MessageMeta):
+    """Opaque byte payload; used by synthetic-workload benchmarks."""
+
+    TYPE_NAME = "std/RawBytes"
+
+    data = bytes_(2)
+
+
+@register_message
+class StringMsg(MessageMeta):
+    """A plain string, like ``std_msgs/String``."""
+
+    TYPE_NAME = "std/String"
+
+    data = string(2)
+
+
+@register_message
+class Float64(MessageMeta):
+    """A single float, like ``std_msgs/Float64``."""
+
+    TYPE_NAME = "std/Float64"
+
+    data = double(2)
+
+
+@register_message
+class Image(MessageMeta):
+    """An uncompressed camera frame, like ``sensor_msgs/Image``.
+
+    A 640x480 RGB frame gives ``len(data) == 921600``, close to the paper's
+    921641-byte Image payload.
+    """
+
+    TYPE_NAME = "sensors/Image"
+
+    height = uint64(2)
+    width = uint64(3)
+    encoding = string(4)
+    step = uint64(5)
+    data = bytes_(6)
+
+
+@register_message
+class LaserScan(MessageMeta):
+    """A planar LIDAR sweep, like ``sensor_msgs/LaserScan``.
+
+    With 1080 beams the encoded size lands near the paper's 8705-byte Scan
+    payload.
+    """
+
+    TYPE_NAME = "sensors/LaserScan"
+
+    angle_min = double(2)
+    angle_max = double(3)
+    angle_increment = double(4)
+    range_min = double(5)
+    range_max = double(6)
+    ranges = bytes_(7)  # packed little-endian float32 ranges
+    intensities = bytes_(8)  # packed little-endian float32 intensities
+
+
+@register_message
+class Steering(MessageMeta):
+    """A steering command; ~20 bytes on the wire like the paper's Steering."""
+
+    TYPE_NAME = "control/Steering"
+
+    angle = double(2)
+    speed = double(3)
+
+
+@register_message
+class LaneOffset(MessageMeta):
+    """Output of the lane detector: lateral offset and heading error."""
+
+    TYPE_NAME = "perception/LaneOffset"
+
+    offset_m = double(2)
+    heading_error_rad = double(3)
+    confidence = double(4)
+
+
+@register_message
+class TrafficSign(MessageMeta):
+    """Output of the traffic-sign recognizer."""
+
+    TYPE_NAME = "perception/TrafficSign"
+
+    sign = string(2)  # "", "stop", "speed_25", ...
+    confidence = double(3)
+    distance_m = double(4)
+
+
+@register_message
+class ObstacleArray(MessageMeta):
+    """Output of the LIDAR obstacle detector: flattened (angle, distance)."""
+
+    TYPE_NAME = "perception/ObstacleArray"
+
+    angles_rad = repeated(double(2))
+    distances_m = repeated(double(3))
+
+
+@register_message
+class PlannedPath(MessageMeta):
+    """Output of the planner: target curvature and speed with a reason."""
+
+    TYPE_NAME = "planning/PlannedPath"
+
+    curvature = double(2)
+    target_speed = double(3)
+    braking = boolean(4)
+    reason = string(5)
+
+
+@register_message
+class VehicleState(MessageMeta):
+    """Simulated vehicle odometry (pose and speed on the track)."""
+
+    TYPE_NAME = "vehicle/State"
+
+    x = double(2)
+    y = double(3)
+    heading_rad = double(4)
+    speed = double(5)
+    lap = sint64(6)

@@ -1,0 +1,65 @@
+"""Node and topic name validation (ROS-style graph resource names).
+
+Valid names consist of slash-separated segments of ``[A-Za-z][A-Za-z0-9_]*``.
+Topic and node names are canonicalized to a single leading slash, e.g.
+``camera/image_raw`` -> ``/camera/image_raw``.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import NameError_
+
+_SEGMENT = re.compile(r"^[A-Za-z][A-Za-z0-9_]*$")
+
+
+def validate_name(name: str, kind: str = "name") -> str:
+    """Canonicalize and validate a graph resource name.
+
+    Returns the canonical form (leading slash, no trailing slash).  Raises
+    :class:`~repro.errors.NameError_` for empty names, bad characters, or
+    empty segments.
+    """
+    if not isinstance(name, str) or not name:
+        raise NameError_(f"{kind} must be a non-empty string")
+    stripped = name.strip("/")
+    if not stripped:
+        raise NameError_(f"{kind} {name!r} has no segments")
+    segments = stripped.split("/")
+    for segment in segments:
+        if not _SEGMENT.match(segment):
+            raise NameError_(
+                f"{kind} {name!r}: segment {segment!r} must match "
+                f"[A-Za-z][A-Za-z0-9_]*"
+            )
+    return "/" + "/".join(segments)
+
+
+def validate_type_name(type_name: str) -> str:
+    """Validate a message type name of the form ``package/TypeName``."""
+    if not isinstance(type_name, str) or type_name.count("/") != 1:
+        raise NameError_(f"type name {type_name!r} must look like 'pkg/Type'")
+    pkg, type_part = type_name.split("/")
+    if not _SEGMENT.match(pkg) or not _SEGMENT.match(type_part):
+        raise NameError_(f"invalid type name {type_name!r}")
+    return type_name
+
+
+def namespace_of(name: str) -> str:
+    """Return the namespace (parent) of a canonical name.
+
+    >>> namespace_of('/camera/image_raw')
+    '/camera'
+    >>> namespace_of('/scan')
+    '/'
+    """
+    canonical = validate_name(name)
+    head, _, _ = canonical.rpartition("/")
+    return head or "/"
+
+
+def basename_of(name: str) -> str:
+    """Return the final segment of a canonical name."""
+    canonical = validate_name(name)
+    return canonical.rsplit("/", 1)[1]

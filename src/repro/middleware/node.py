@@ -1,0 +1,163 @@
+"""Nodes: the unit of computation (the paper's "software component" c_i).
+
+A node is registered with a master, owns publishers/subscribers/timers, and
+carries the :class:`~repro.middleware.transport.base.TransportProtocol` that
+decides what its links speak on the wire.  Installing the ADLP protocol on a
+node is the library's equivalent of running the paper's modified rospy: the
+application code (callbacks, publish calls) is unchanged.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, List, Optional, Type
+
+from repro.errors import NodeShutdownError
+from repro.middleware.master import Master
+from repro.middleware.messages import MessageMeta
+from repro.middleware.names import validate_name
+from repro.middleware.publisher import Publisher
+from repro.middleware.subscriber import Subscriber
+from repro.middleware.transport.base import PlainProtocol, TransportProtocol
+from repro.util.clock import Clock, SystemClock
+from repro.util.concurrency import RateLimiter, StoppableThread
+
+
+class Timer:
+    """Calls ``callback`` at a fixed rate on a dedicated thread."""
+
+    def __init__(self, name: str, hz: float, callback: Callable[[], None]):
+        self._limiter = RateLimiter(hz)
+        self._callback = callback
+        self._thread = StoppableThread(name=f"timer-{name}", target=self._run)
+        self._thread.start()
+
+    def _run(self) -> None:
+        while not self._thread.stopped():
+            self._limiter.wait()
+            if self._thread.stopped():
+                return
+            try:
+                self._callback()
+            except Exception:
+                # A timer callback failure must not kill the timer thread;
+                # application errors surface through node-level monitoring.
+                pass
+
+    def stop(self) -> None:
+        self._thread.stop()
+
+
+class Node:
+    """A named component hosting publishers and subscribers.
+
+    :param name: unique graph name, e.g. ``"/lane_detector"``.
+    :param master: the name service to register with.
+    :param protocol: wire protocol for all of this node's links; defaults to
+        :class:`PlainProtocol` (no logging).  Pass an
+        :class:`repro.core.adlp_protocol.AdlpProtocol` to run under ADLP.
+    :param clock: source of header timestamps; defaults to wall clock.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        master: Master,
+        protocol: Optional[TransportProtocol] = None,
+        clock: Optional[Clock] = None,
+    ):
+        self.name = validate_name(name, "node name")
+        self.master = master
+        self.protocol = protocol or PlainProtocol()
+        self.clock = clock or SystemClock()
+        self._publishers: List[Publisher] = []
+        self._subscribers: List[Subscriber] = []
+        self._timers: List[Timer] = []
+        self._lock = threading.Lock()
+        self._shutdown = threading.Event()
+
+    def advertise(
+        self,
+        topic: str,
+        msg_class: Type[MessageMeta],
+        queue_size: int = 16,
+        latch: bool = False,
+    ) -> Publisher:
+        """Become the publisher of ``topic``.
+
+        With ``latch=True`` the most recent message is re-delivered to
+        every newly connecting subscriber.
+        """
+        self._check_alive()
+        publisher = Publisher(
+            self, topic, msg_class, queue_size=queue_size, latch=latch
+        )
+        with self._lock:
+            self._publishers.append(publisher)
+        return publisher
+
+    def subscribe(
+        self,
+        topic: str,
+        msg_class: Type[MessageMeta],
+        callback: Callable[[MessageMeta], None],
+    ) -> Subscriber:
+        """Subscribe to ``topic``, invoking ``callback`` per message."""
+        self._check_alive()
+        subscriber = Subscriber(self, topic, msg_class, callback)
+        with self._lock:
+            self._subscribers.append(subscriber)
+        return subscriber
+
+    def create_timer(self, hz: float, callback: Callable[[], None]) -> Timer:
+        """Run ``callback`` at ``hz`` on a dedicated thread until shutdown."""
+        self._check_alive()
+        timer = Timer(self.name, hz, callback)
+        with self._lock:
+            self._timers.append(timer)
+        return timer
+
+    @property
+    def is_shutdown(self) -> bool:
+        return self._shutdown.is_set()
+
+    def stop_timers(self) -> None:
+        """Stop periodic activity without closing pub/sub links.
+
+        Used for graceful application shutdown: stop the stimulus first,
+        let in-flight messages (and their ADLP acknowledgements) drain,
+        then call :meth:`shutdown`.
+        """
+        with self._lock:
+            timers = list(self._timers)
+        for timer in timers:
+            timer.stop()
+
+    def shutdown(self) -> None:
+        """Stop timers, close all publishers/subscribers, release protocol."""
+        if self._shutdown.is_set():
+            return
+        self._shutdown.set()
+        with self._lock:
+            timers = list(self._timers)
+            publishers = list(self._publishers)
+            subscribers = list(self._subscribers)
+        for timer in timers:
+            timer.stop()
+        for subscriber in subscribers:
+            subscriber.close()
+        for publisher in publishers:
+            publisher.close()
+        close = getattr(self.protocol, "close", None)
+        if callable(close):
+            close()
+
+    def _check_alive(self) -> None:
+        if self._shutdown.is_set():
+            raise NodeShutdownError(f"node {self.name} has been shut down")
+
+    def __enter__(self) -> "Node":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

@@ -1,0 +1,250 @@
+"""Topic publisher.
+
+A publisher owns one transport listener and, like ROS, one *link* (worker
+thread + outbound queue) per connected subscriber.  Each publication is
+serialized and passed through the node's transport protocol **once**
+(``make_frame``), then fanned out to every link -- this is why the paper's
+Figure 14 finds ADLP's crypto cost roughly independent of the number of
+subscribers: the hash and signature are computed per publication, not per
+subscriber.
+
+The per-link worker delivers frames via ``on_link_send``, which under ADLP
+also waits for the subscriber's signed acknowledgement before the next frame
+may go out ("if the acknowledgement to the previously published message has
+not been received from a particular subscriber, the new message is not sent
+to the subscriber", Section V-B, step 2).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Type
+
+from repro.errors import NodeShutdownError, SchemaError
+from repro.middleware import handshake
+from repro.middleware.messages import Header, MessageMeta
+from repro.middleware.names import validate_name
+from repro.middleware.transport.base import Connection, ConnectionClosed
+from repro.util.concurrency import StoppableThread, wait_for
+from repro.util.idgen import SequenceCounter
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.middleware.node import Node
+
+
+@dataclass
+class PublisherStats:
+    """Counters exposed for tests and the benchmark harness."""
+
+    published: int = 0
+    sent_frames: int = 0
+    sent_bytes: int = 0
+    dropped: int = 0
+    link_errors: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+
+class _SubscriberLink:
+    """One connected subscriber: an outbound queue drained by a worker."""
+
+    def __init__(self, publisher: "Publisher", subscriber_id: str, connection: Connection):
+        self.subscriber_id = subscriber_id
+        self.connection = connection
+        self._publisher = publisher
+        self._queue: "queue.Queue" = queue.Queue(maxsize=publisher.queue_size)
+        self._worker = StoppableThread(
+            name=f"publink-{publisher.topic}-{subscriber_id}", target=self._run
+        )
+        self._worker.start()
+
+    def enqueue(self, seq: int, frame: bytes) -> None:
+        """Queue a frame, dropping the oldest when full (ROS queue_size)."""
+        while True:
+            try:
+                self._queue.put_nowait((seq, frame))
+                return
+            except queue.Full:
+                try:
+                    self._queue.get_nowait()
+                    stats = self._publisher.stats
+                    with stats._lock:
+                        stats.dropped += 1
+                except queue.Empty:
+                    continue
+
+    def _run(self) -> None:
+        protocol = self._publisher._protocol
+        stats = self._publisher.stats
+        while not self._worker.stopped():
+            try:
+                seq, frame = self._queue.get(timeout=0.1)
+            except queue.Empty:
+                continue
+            try:
+                protocol.on_link_send(self.subscriber_id, self.connection, seq, frame)
+                with stats._lock:
+                    stats.sent_frames += 1
+                    stats.sent_bytes += len(frame)
+            except ConnectionClosed:
+                with stats._lock:
+                    stats.link_errors += 1
+                break
+        self.connection.close()
+        self._publisher._remove_link(self)
+
+    def close(self) -> None:
+        self._worker.stop(join=False)
+        self.connection.close()
+        self._worker.stop()
+
+
+class Publisher:
+    """The single publisher of one typed topic.
+
+    Created via :meth:`repro.middleware.node.Node.advertise`; applications
+    call :meth:`publish` and remain oblivious to the transport protocol in
+    use (plain, naive logging, or ADLP).
+    """
+
+    def __init__(
+        self,
+        node: "Node",
+        topic: str,
+        msg_class: Type[MessageMeta],
+        queue_size: int = 16,
+        latch: bool = False,
+    ):
+        self.topic = validate_name(topic, "topic")
+        self.msg_class = msg_class
+        self.type_name = msg_class.TYPE_NAME
+        self.queue_size = queue_size
+        #: when set, the most recent publication is delivered to every
+        #: newly connecting subscriber (ROS's "latched" topics)
+        self.latch = latch
+        self.stats = PublisherStats()
+        self._node = node
+        self._seq = SequenceCounter(start=1)
+        self._links: Dict[str, _SubscriberLink] = {}
+        self._links_lock = threading.Lock()
+        self._last_frame: Optional[tuple] = None  # (seq, frame) for latch
+        self._closed = threading.Event()
+
+        self._protocol = node.protocol.publisher_protocol(self.topic, self.type_name)
+        self._listener = node.master.transport.listen()
+        try:
+            node.master.register_publisher(
+                node.name, self.topic, self.type_name, self._listener.address
+            )
+        except Exception:
+            self._listener.close()
+            self._protocol.close()
+            raise
+        self._acceptor = StoppableThread(
+            name=f"pubaccept-{self.topic}", target=self._accept_loop
+        )
+        self._acceptor.start()
+
+    # -- publishing ------------------------------------------------------
+
+    def publish(self, msg: MessageMeta) -> int:
+        """Stamp, serialize, and fan out ``msg``; returns its sequence number.
+
+        The header's ``seq`` and ``stamp`` are filled in here (as rospy
+        does), so the sequence number is embedded in the signed payload.
+        """
+        if self._closed.is_set():
+            raise NodeShutdownError(f"publisher for {self.topic} is closed")
+        if not isinstance(msg, self.msg_class):
+            raise SchemaError(
+                f"topic {self.topic} carries {self.msg_class.__name__}, "
+                f"got {type(msg).__name__}"
+            )
+        seq = self._seq.next()
+        header = msg.ensure_header()
+        header.seq = seq
+        if header.stamp == 0.0:
+            header.stamp = self._node.clock.now()
+        payload = msg.encode()
+        frame = self._protocol.make_frame(seq, payload)
+        with self.stats._lock:
+            self.stats.published += 1
+        with self._links_lock:
+            links = list(self._links.values())
+            if self.latch:
+                self._last_frame = (seq, frame)
+        for link in links:
+            link.enqueue(seq, frame)
+        return seq
+
+    # -- connection management --------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._acceptor.stopped():
+            connection = self._listener.accept(timeout=0.1)
+            if connection is None:
+                continue
+            try:
+                self._handshake(connection)
+            except Exception:
+                connection.close()
+
+    def _handshake(self, connection: Connection) -> None:
+        peer = handshake.recv_header(connection)
+        if peer is None:
+            connection.close()
+            return
+        handshake.check_header(peer, self.topic, self.type_name, "subscriber")
+        handshake.send_header(
+            connection, self._node.name, self.topic, self.type_name, "publisher"
+        )
+        link = _SubscriberLink(self, peer.node_id, connection)
+        with self._links_lock:
+            old = self._links.pop(peer.node_id, None)
+            self._links[peer.node_id] = link
+            latched = self._last_frame if self.latch else None
+        if old is not None:
+            old.close()
+        if latched is not None:
+            link.enqueue(*latched)
+
+    def _remove_link(self, link: _SubscriberLink) -> None:
+        with self._links_lock:
+            if self._links.get(link.subscriber_id) is link:
+                del self._links[link.subscriber_id]
+
+    @property
+    def num_connections(self) -> int:
+        """Number of currently connected subscribers."""
+        with self._links_lock:
+            return len(self._links)
+
+    def subscriber_ids(self) -> List[str]:
+        """Node ids of currently connected subscribers."""
+        with self._links_lock:
+            return list(self._links)
+
+    def wait_for_subscribers(self, count: int = 1, timeout: float = 5.0) -> bool:
+        """Block until at least ``count`` subscribers are connected."""
+        return wait_for(lambda: self.num_connections >= count, timeout=timeout)
+
+    @property
+    def last_seq(self) -> int:
+        """Sequence number of the most recent publication (0 if none)."""
+        return self._seq.last
+
+    def close(self) -> None:
+        """Unregister and tear down all links."""
+        if self._closed.is_set():
+            return
+        self._closed.set()
+        self._node.master.unregister_publisher(self._node.name, self.topic)
+        self._acceptor.stop(join=False)
+        self._listener.close()
+        with self._links_lock:
+            links = list(self._links.values())
+        for link in links:
+            link.close()
+        self._acceptor.stop()
+        self._protocol.close()

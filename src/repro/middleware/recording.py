@@ -1,0 +1,220 @@
+"""Topic recording and replay ("bags").
+
+ROS systems record topic traffic with ``rosbag`` for debugging and
+post-incident replay; the paper's black-box story presumes the same kind
+of capture.  This module provides the middleware-level equivalent:
+
+- :class:`BagWriter` / :class:`BagReader` -- an append-only file of
+  timestamped topic messages (4-byte-framed records);
+- :class:`Recorder` -- a node that subscribes to topics and streams them
+  into a bag;
+- :class:`Player` -- a node that re-publishes a bag's messages onto a
+  (fresh) graph, preserving relative timing or as fast as possible.
+
+Replay composes with ADLP: a player node running an
+:class:`~repro.core.adlp_protocol.AdlpProtocol` produces a fully
+accountable re-execution of recorded traffic.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from repro.errors import DecodingError, TransportError
+from repro.middleware.master import Master
+from repro.middleware.messages import MessageMeta, lookup_message
+from repro.middleware.node import Node
+from repro.serialization import WireMessage, bytes_, double, string
+
+_FRAME = struct.Struct("<I")
+
+#: magic first record identifying a bag file
+_MAGIC = b"repro-bag-v1"
+
+
+class BagRecord(WireMessage):
+    """One recorded message: where it was heard, when, and its bytes."""
+
+    topic = string(1)
+    type_name = string(2)
+    stamp = double(3)  # receive time at the recorder
+    payload = bytes_(4)  # the serialized application message
+
+
+class BagWriter:
+    """Append-only bag file writer (thread-safe)."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self._file = open(path, "wb")
+        self._file.write(_FRAME.pack(len(_MAGIC)) + _MAGIC)
+        self._lock = threading.Lock()
+        self._count = 0
+
+    def write(self, record: BagRecord) -> None:
+        raw = record.encode()
+        with self._lock:
+            self._file.write(_FRAME.pack(len(raw)) + raw)
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    def close(self) -> None:
+        with self._lock:
+            self._file.close()
+
+
+class BagReader:
+    """Sequential bag file reader."""
+
+    def __init__(self, path: str):
+        self.path = path
+
+    def __iter__(self) -> Iterator[BagRecord]:
+        with open(self.path, "rb") as f:
+            first = self._read_frame(f)
+            if first != _MAGIC:
+                raise DecodingError(f"{self.path} is not a bag file")
+            while True:
+                raw = self._read_frame(f)
+                if raw is None:
+                    return
+                yield BagRecord.decode(raw)
+
+    @staticmethod
+    def _read_frame(f) -> Optional[bytes]:
+        header = f.read(_FRAME.size)
+        if not header:
+            return None
+        if len(header) < _FRAME.size:
+            raise DecodingError("truncated bag frame header")
+        (length,) = _FRAME.unpack(header)
+        payload = f.read(length)
+        if len(payload) < length:
+            raise DecodingError("truncated bag frame")
+        return payload
+
+    def records(self) -> List[BagRecord]:
+        return list(self)
+
+    def topics(self) -> Dict[str, str]:
+        """Mapping of recorded topic -> type name."""
+        found: Dict[str, str] = {}
+        for record in self:
+            found.setdefault(record.topic, record.type_name)
+        return found
+
+
+class Recorder:
+    """Subscribes to topics and streams their messages into a bag.
+
+    :param master: the graph to record from.
+    :param path: bag file to write.
+    :param topics: topics to record; defaults to everything currently
+        known to the master.
+    """
+
+    def __init__(
+        self,
+        master: Master,
+        path: str,
+        topics: Optional[Sequence[str]] = None,
+        node_name: str = "/recorder",
+        protocol=None,
+    ):
+        self.writer = BagWriter(path)
+        self.node = Node(node_name, master, protocol=protocol)
+        known = master.topics()
+        selected = list(topics) if topics is not None else sorted(known)
+        self._subscribed: List[str] = []
+        for topic in selected:
+            type_name = known.get(topic)
+            if type_name is None:
+                continue
+            msg_class = lookup_message(type_name)
+            self.node.subscribe(topic, msg_class, self._make_callback(topic, type_name))
+            self._subscribed.append(topic)
+
+    def _make_callback(self, topic: str, type_name: str):
+        def callback(msg: MessageMeta) -> None:
+            self.writer.write(
+                BagRecord(
+                    topic=topic,
+                    type_name=type_name,
+                    stamp=self.node.clock.now(),
+                    payload=msg.encode(),
+                )
+            )
+
+        return callback
+
+    @property
+    def topics(self) -> List[str]:
+        return list(self._subscribed)
+
+    @property
+    def count(self) -> int:
+        return self.writer.count
+
+    def stop(self) -> None:
+        self.node.shutdown()
+        self.writer.close()
+
+
+class Player:
+    """Re-publishes a bag onto a graph.
+
+    :param rate: time scale -- 1.0 replays with original pacing, 2.0 at
+        double speed, 0 as fast as possible.
+    """
+
+    def __init__(
+        self, master: Master, path: str, node_name: str = "/player", protocol=None
+    ):
+        self.reader = BagReader(path)
+        self.node = Node(node_name, master, protocol=protocol)
+        self._publishers: Dict[str, object] = {}
+
+    def play(self, rate: float = 1.0, wait_for_subscribers: int = 0) -> int:
+        """Publish all records; returns how many were published.
+
+        Re-stamps each message's header on publication (fresh seq/stamp),
+        so replayed traffic is first-class: ADLP signs and logs it anew.
+        """
+        records = self.reader.records()
+        if not records:
+            return 0
+        for record in records:
+            if record.topic not in self._publishers:
+                msg_class = lookup_message(record.type_name)
+                publisher = self.node.advertise(record.topic, msg_class)
+                if wait_for_subscribers:
+                    publisher.wait_for_subscribers(wait_for_subscribers)
+                self._publishers[record.topic] = publisher
+
+        published = 0
+        start_wall = time.monotonic()
+        start_stamp = records[0].stamp
+        for record in records:
+            if rate > 0:
+                due = (record.stamp - start_stamp) / rate
+                delay = due - (time.monotonic() - start_wall)
+                if delay > 0:
+                    time.sleep(delay)
+            msg_class = lookup_message(record.type_name)
+            msg = msg_class.decode(record.payload)
+            msg.header = None  # force a fresh header (seq/stamp) on publish
+            self._publishers[record.topic].publish(msg)
+            published += 1
+        return published
+
+    def stop(self) -> None:
+        self.node.shutdown()

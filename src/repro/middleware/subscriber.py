@@ -1,0 +1,175 @@
+"""Topic subscriber.
+
+A subscriber maintains (at most) one connection to the topic's publisher.
+Its receive thread pulls frames off the connection, runs them through the
+node's transport protocol -- which under ADLP verifies structure, sends the
+signed acknowledgement, and queues a log entry -- then decodes the payload
+and invokes the application callback.  As in rospy, the callback runs on the
+connection thread.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Optional, Type
+
+from repro.errors import DecodingError
+from repro.middleware import handshake
+from repro.middleware.master import PublisherInfo
+from repro.middleware.messages import MessageMeta
+from repro.middleware.names import validate_name
+from repro.middleware.transport.base import Connection, ConnectionClosed
+from repro.util.concurrency import StoppableThread, wait_for
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.middleware.node import Node
+
+#: Delay before re-attempting a failed publisher connection.
+_RECONNECT_DELAY = 0.05
+
+
+@dataclass
+class SubscriberStats:
+    """Counters exposed for tests and the benchmark harness."""
+
+    received: int = 0
+    received_bytes: int = 0
+    decode_errors: int = 0
+    callback_errors: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+
+class Subscriber:
+    """A subscription to one typed topic.
+
+    Created via :meth:`repro.middleware.node.Node.subscribe`.
+    """
+
+    def __init__(
+        self,
+        node: "Node",
+        topic: str,
+        msg_class: Type[MessageMeta],
+        callback: Callable[[MessageMeta], None],
+    ):
+        self.topic = validate_name(topic, "topic")
+        self.msg_class = msg_class
+        self.type_name = msg_class.TYPE_NAME
+        self.callback = callback
+        self.stats = SubscriberStats()
+        self._node = node
+        self._closed = threading.Event()
+        self._pub_info: Optional[PublisherInfo] = None
+        self._pub_available = threading.Event()
+        self._info_lock = threading.Lock()
+        self._connected = threading.Event()
+
+        self._protocol = node.protocol.subscriber_protocol(self.topic, self.type_name)
+        current = node.master.register_subscriber(
+            node.name, self.topic, self.type_name, self._on_publisher
+        )
+        if current is not None:
+            self._on_publisher(current)
+        self._worker = StoppableThread(
+            name=f"sub-{self.topic}-{node.name}", target=self._run
+        )
+        self._worker.start()
+
+    def _on_publisher(self, info: PublisherInfo) -> None:
+        """Master callback: a publisher is (newly) available."""
+        with self._info_lock:
+            self._pub_info = info
+        self._pub_available.set()
+
+    # -- receive loop ------------------------------------------------------
+
+    def _run(self) -> None:
+        while not self._worker.stopped():
+            if not self._pub_available.wait(timeout=0.1):
+                continue
+            with self._info_lock:
+                info = self._pub_info
+            if info is None:
+                self._pub_available.clear()
+                continue
+            connection = self._connect(info)
+            if connection is None:
+                time.sleep(_RECONNECT_DELAY)
+                continue
+            try:
+                self._receive_loop(info, connection)
+            finally:
+                self._connected.clear()
+                connection.close()
+
+    def _connect(self, info: PublisherInfo) -> Optional[Connection]:
+        try:
+            connection = self._node.master.transport.connect(info.address)
+        except Exception:
+            return None
+        try:
+            handshake.send_header(
+                connection, self._node.name, self.topic, self.type_name, "subscriber"
+            )
+            peer = handshake.recv_header(connection)
+            if peer is None:
+                connection.close()
+                return None
+            handshake.check_header(peer, self.topic, self.type_name, "publisher")
+        except Exception:
+            connection.close()
+            return None
+        self._connected.set()
+        return connection
+
+    def _receive_loop(self, info: PublisherInfo, connection: Connection) -> None:
+        while not self._worker.stopped():
+            try:
+                frame = connection.recv_frame(timeout=0.1)
+            except ConnectionClosed:
+                return
+            if frame is None:
+                continue
+            payload = self._protocol.on_frame(info.node_id, connection, frame)
+            if payload is None:
+                continue
+            try:
+                msg = self.msg_class.decode(payload)
+            except DecodingError:
+                with self.stats._lock:
+                    self.stats.decode_errors += 1
+                continue
+            with self.stats._lock:
+                self.stats.received += 1
+                self.stats.received_bytes += len(payload)
+            try:
+                self.callback(msg)
+            except Exception:
+                with self.stats._lock:
+                    self.stats.callback_errors += 1
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def connected(self) -> bool:
+        """Whether a live connection to the publisher exists."""
+        return self._connected.is_set()
+
+    def wait_for_connection(self, timeout: float = 5.0) -> bool:
+        """Block until connected to the publisher."""
+        return wait_for(lambda: self.connected, timeout=timeout)
+
+    def wait_for_messages(self, count: int = 1, timeout: float = 5.0) -> bool:
+        """Block until at least ``count`` messages have been delivered."""
+        return wait_for(lambda: self.stats.received >= count, timeout=timeout)
+
+    def close(self) -> None:
+        """Unregister and stop the receive thread."""
+        if self._closed.is_set():
+            return
+        self._closed.set()
+        self._node.master.unregister_subscriber(self._node.name, self.topic)
+        self._worker.stop()
+        self._protocol.close()

@@ -1,0 +1,74 @@
+"""4-byte length-preamble framing over stream sockets.
+
+ROS's TCPROS prefixes every message with a 4-byte little-endian length; the
+paper's Table III accounts for exactly this preamble ("a 4-byte length
+preamble attached by the ROS transport layer").  These helpers implement the
+same framing for our TCP transport.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+from typing import Optional
+
+from repro.errors import TransportError
+
+#: Size of the length preamble in bytes (matches TCPROS).
+PREAMBLE_SIZE = 4
+
+#: Upper bound on a single frame; generous for ~1 MB camera frames.
+MAX_FRAME_SIZE = 64 * 1024 * 1024
+
+_LEN_STRUCT = struct.Struct("<I")
+
+
+def frame_overhead() -> int:
+    """Per-frame byte overhead added by the framing layer."""
+    return PREAMBLE_SIZE
+
+
+def encode_frame(payload: bytes) -> bytes:
+    """Prefix ``payload`` with its 4-byte little-endian length."""
+    if len(payload) > MAX_FRAME_SIZE:
+        raise TransportError(f"frame of {len(payload)} bytes exceeds maximum")
+    return _LEN_STRUCT.pack(len(payload)) + payload
+
+
+def send_frame(sock: socket.socket, payload: bytes) -> None:
+    """Send one framed payload over a connected socket."""
+    sock.sendall(encode_frame(payload))
+
+
+def _recv_exact(sock: socket.socket, count: int) -> Optional[bytes]:
+    """Read exactly ``count`` bytes; ``None`` if the peer closed first.
+
+    Raises ``socket.timeout`` if the socket has a timeout and it expires.
+    """
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if chunks:
+                raise TransportError("connection closed mid-frame")
+            return None
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> Optional[bytes]:
+    """Receive one framed payload; ``None`` on orderly peer close."""
+    preamble = _recv_exact(sock, PREAMBLE_SIZE)
+    if preamble is None:
+        return None
+    (length,) = _LEN_STRUCT.unpack(preamble)
+    if length > MAX_FRAME_SIZE:
+        raise TransportError(f"peer announced oversized frame ({length} bytes)")
+    if length == 0:
+        return b""
+    payload = _recv_exact(sock, length)
+    if payload is None:
+        raise TransportError("connection closed mid-frame")
+    return payload

@@ -1,0 +1,133 @@
+"""TCP transport on localhost with TCPROS-style 4-byte length framing.
+
+This is the transport the paper's prototype uses ("ROS uses TCP/IP socket
+for data transmission from publisher to subscriber, whether or not they are
+on the same machine").  The latency and CPU benchmarks run over it so that
+ADLP's extra round trip crosses a real socket.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Optional, Tuple
+
+from repro.errors import TransportError
+from repro.middleware.transport import framing
+from repro.middleware.transport.base import (
+    Connection,
+    ConnectionClosed,
+    Listener,
+    Transport,
+)
+
+
+class TcpConnection(Connection):
+    """A framed, bidirectional TCP connection.
+
+    Send and receive each have their own lock so a link worker can block in
+    ``recv_frame`` (waiting for an ADLP ACK) while no sender interferes with
+    partially written frames.
+    """
+
+    def __init__(self, sock: socket.socket):
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._sock = sock
+        self._send_lock = threading.Lock()
+        self._recv_lock = threading.Lock()
+        self._closed = threading.Event()
+
+    def send_frame(self, frame: bytes) -> None:
+        if self._closed.is_set():
+            raise ConnectionClosed("connection is closed")
+        try:
+            with self._send_lock:
+                framing.send_frame(self._sock, frame)
+        except (OSError, BrokenPipeError) as exc:
+            self.close()
+            raise ConnectionClosed(f"send failed: {exc}") from exc
+
+    def recv_frame(self, timeout: Optional[float] = None) -> Optional[bytes]:
+        if self._closed.is_set():
+            raise ConnectionClosed("connection is closed")
+        with self._recv_lock:
+            try:
+                self._sock.settimeout(timeout)
+                frame = framing.recv_frame(self._sock)
+            except socket.timeout:
+                return None
+            except (OSError, TransportError) as exc:
+                self.close()
+                raise ConnectionClosed(f"recv failed: {exc}") from exc
+        if frame is None:
+            self.close()
+            raise ConnectionClosed("peer closed the connection")
+        return frame
+
+    def close(self) -> None:
+        if not self._closed.is_set():
+            self._closed.set()
+            try:
+                self._sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            self._sock.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed.is_set()
+
+
+class TcpListener(Listener):
+    """Accept endpoint bound to an ephemeral localhost port."""
+
+    def __init__(self, host: str = "127.0.0.1"):
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._sock.bind((host, 0))
+        self._sock.listen(64)
+        self._address = self._sock.getsockname()
+        self._closed = threading.Event()
+
+    @property
+    def address(self) -> Tuple:
+        return ("tcp",) + self._address
+
+    def accept(self, timeout: Optional[float] = None) -> Optional[Connection]:
+        if self._closed.is_set():
+            return None
+        try:
+            self._sock.settimeout(timeout)
+            client, _ = self._sock.accept()
+        except socket.timeout:
+            return None
+        except OSError:
+            return None  # listener closed concurrently
+        return TcpConnection(client)
+
+    def close(self) -> None:
+        if not self._closed.is_set():
+            self._closed.set()
+            self._sock.close()
+
+
+class TcpTransport(Transport):
+    """Factory for TCP listeners/connections on a single host."""
+
+    def __init__(self, host: str = "127.0.0.1", connect_timeout: float = 5.0):
+        self.host = host
+        self.connect_timeout = connect_timeout
+
+    def listen(self) -> Listener:
+        return TcpListener(self.host)
+
+    def connect(self, address: Tuple) -> Connection:
+        if not (isinstance(address, tuple) and len(address) == 3 and address[0] == "tcp"):
+            raise TransportError(f"not a tcp address: {address!r}")
+        _, host, port = address
+        try:
+            sock = socket.create_connection((host, port), timeout=self.connect_timeout)
+        except OSError as exc:
+            raise TransportError(f"connect to {host}:{port} failed: {exc}") from exc
+        sock.settimeout(None)
+        return TcpConnection(sock)

@@ -1,0 +1,53 @@
+"""Protobuf-style binary serialization.
+
+The ADLP prototype serializes log entries with Google protocol buffers
+(Section V-B, step 5).  protobuf is unavailable offline, so this package
+implements the same wire format from scratch:
+
+- :mod:`repro.serialization.wire` -- varints, zigzag, field tags, and the
+  four wire types used by proto3.
+- :mod:`repro.serialization.schema` -- declarative message classes whose
+  fields encode/decode with protobuf-compatible framing.
+
+Messages are therefore comparable in encoded size and structure to what the
+paper's implementation produced, which matters for the Table III / Figure 15
+storage experiments.
+"""
+
+from repro.serialization.wire import (
+    WireType,
+    encode_varint,
+    decode_varint,
+    zigzag_encode,
+    zigzag_decode,
+)
+from repro.serialization.schema import (
+    WireMessage,
+    uint64,
+    sint64,
+    double,
+    boolean,
+    string,
+    bytes_,
+    enum,
+    message,
+    repeated,
+)
+
+__all__ = [
+    "WireType",
+    "encode_varint",
+    "decode_varint",
+    "zigzag_encode",
+    "zigzag_decode",
+    "WireMessage",
+    "uint64",
+    "sint64",
+    "double",
+    "boolean",
+    "string",
+    "bytes_",
+    "enum",
+    "message",
+    "repeated",
+]

@@ -1,0 +1,486 @@
+"""Declarative protobuf-style messages.
+
+A message class declares numbered fields; instances encode to (and decode
+from) protobuf wire format.  Example::
+
+    class LogRecord(WireMessage):
+        component = string(1)
+        seq = uint64(2)
+        payload = bytes_(3)
+        timestamp = double(4)
+
+    raw = LogRecord(component="camera", seq=7, payload=b"...", timestamp=1.5).encode()
+    rec = LogRecord.decode(raw)
+
+Semantics follow proto3: fields at their default value (0, "", b"", False)
+are omitted on the wire; unknown fields are skipped on decode.
+"""
+
+from __future__ import annotations
+
+import enum as _enum
+from typing import Any, Callable, Dict, List, Optional, Tuple, Type
+
+from repro.errors import DecodingError, SchemaError
+from repro.serialization import wire
+from repro.serialization.wire import WireType
+
+
+class Field:
+    """Descriptor for a single numbered field of a :class:`WireMessage`."""
+
+    def __init__(self, number: int, default: Any):
+        if number < 1:
+            raise SchemaError("field numbers start at 1")
+        self.number = number
+        self.default = default
+        self.name: str = "<unbound>"
+
+    def __set_name__(self, owner: type, name: str) -> None:
+        self.name = name
+
+    def __get__(self, instance: Any, owner: Optional[type] = None) -> Any:
+        if instance is None:
+            return self
+        return instance.__dict__.get(self.name, self.default_value())
+
+    def __set__(self, instance: Any, value: Any) -> None:
+        instance.__dict__[self.name] = self.coerce(value)
+
+    def default_value(self) -> Any:
+        return self.default
+
+    def coerce(self, value: Any) -> Any:
+        """Validate/convert an assigned value; subclasses override."""
+        return value
+
+    def is_default(self, value: Any) -> bool:
+        return value == self.default_value()
+
+    # -- wire interface -------------------------------------------------
+    def encode(self, value: Any) -> bytes:
+        """Encode tag + value; empty bytes when the value is default."""
+        raise NotImplementedError
+
+    def decode(self, data: bytes, offset: int, wire_type: WireType) -> Tuple[Any, int]:
+        """Decode this field's value at ``offset``."""
+        raise NotImplementedError
+
+    def merge(self, old: Any, new: Any) -> Any:
+        """Combine a re-occurring field (repeated fields accumulate)."""
+        return new
+
+
+class _ScalarField(Field):
+    """Shared machinery for the scalar field kinds."""
+
+    wire_type: WireType
+
+    def _check_wire_type(self, wire_type: WireType) -> None:
+        if wire_type is not self.wire_type:
+            raise DecodingError(
+                f"field {self.number} ({self.name}): expected wire type "
+                f"{self.wire_type.name}, got {wire_type.name}"
+            )
+
+
+class UInt64Field(_ScalarField):
+    """Unsigned 64-bit varint field."""
+
+    wire_type = WireType.VARINT
+
+    def __init__(self, number: int):
+        super().__init__(number, default=0)
+
+    def coerce(self, value: Any) -> int:
+        value = int(value)
+        if not 0 <= value < 1 << 64:
+            raise SchemaError(f"{self.name}: value out of uint64 range")
+        return value
+
+    def encode(self, value: int) -> bytes:
+        if value == 0:
+            return b""
+        return wire.encode_tag(self.number, self.wire_type) + wire.encode_varint(value)
+
+    def decode(self, data: bytes, offset: int, wire_type: WireType) -> Tuple[int, int]:
+        self._check_wire_type(wire_type)
+        return wire.decode_varint(data, offset)
+
+
+class SInt64Field(_ScalarField):
+    """Signed 64-bit field, zigzag-encoded varint."""
+
+    wire_type = WireType.VARINT
+
+    def __init__(self, number: int):
+        super().__init__(number, default=0)
+
+    def coerce(self, value: Any) -> int:
+        value = int(value)
+        if not -(1 << 63) <= value < 1 << 63:
+            raise SchemaError(f"{self.name}: value out of int64 range")
+        return value
+
+    def encode(self, value: int) -> bytes:
+        if value == 0:
+            return b""
+        return wire.encode_tag(self.number, self.wire_type) + wire.encode_varint(
+            wire.zigzag_encode(value)
+        )
+
+    def decode(self, data: bytes, offset: int, wire_type: WireType) -> Tuple[int, int]:
+        self._check_wire_type(wire_type)
+        raw, pos = wire.decode_varint(data, offset)
+        return wire.zigzag_decode(raw), pos
+
+
+class BoolField(_ScalarField):
+    """Boolean field encoded as a 0/1 varint."""
+
+    wire_type = WireType.VARINT
+
+    def __init__(self, number: int):
+        super().__init__(number, default=False)
+
+    def coerce(self, value: Any) -> bool:
+        return bool(value)
+
+    def encode(self, value: bool) -> bytes:
+        if not value:
+            return b""
+        return wire.encode_tag(self.number, self.wire_type) + wire.encode_varint(1)
+
+    def decode(self, data: bytes, offset: int, wire_type: WireType) -> Tuple[bool, int]:
+        self._check_wire_type(wire_type)
+        raw, pos = wire.decode_varint(data, offset)
+        return bool(raw), pos
+
+
+class DoubleField(_ScalarField):
+    """IEEE-754 double field (I64 wire type)."""
+
+    wire_type = WireType.I64
+
+    def __init__(self, number: int):
+        super().__init__(number, default=0.0)
+
+    def coerce(self, value: Any) -> float:
+        return float(value)
+
+    def encode(self, value: float) -> bytes:
+        if value == 0.0:
+            return b""
+        return wire.encode_tag(self.number, self.wire_type) + wire.encode_double(value)
+
+    def decode(self, data: bytes, offset: int, wire_type: WireType) -> Tuple[float, int]:
+        self._check_wire_type(wire_type)
+        return wire.decode_double(data, offset)
+
+
+class BytesField(_ScalarField):
+    """Raw bytes field (LEN wire type)."""
+
+    wire_type = WireType.LEN
+
+    def __init__(self, number: int):
+        super().__init__(number, default=b"")
+
+    def coerce(self, value: Any) -> bytes:
+        if isinstance(value, (bytearray, memoryview)):
+            return bytes(value)
+        if not isinstance(value, bytes):
+            raise SchemaError(f"{self.name}: expected bytes, got {type(value).__name__}")
+        return value
+
+    def encode(self, value: bytes) -> bytes:
+        if not value:
+            return b""
+        return wire.encode_tag(self.number, self.wire_type) + wire.encode_length_delimited(value)
+
+    def decode(self, data: bytes, offset: int, wire_type: WireType) -> Tuple[bytes, int]:
+        self._check_wire_type(wire_type)
+        return wire.decode_length_delimited(data, offset)
+
+
+class StringField(BytesField):
+    """UTF-8 string field (LEN wire type)."""
+
+    def __init__(self, number: int):
+        _ScalarField.__init__(self, number, default="")
+
+    def coerce(self, value: Any) -> str:
+        if not isinstance(value, str):
+            raise SchemaError(f"{self.name}: expected str, got {type(value).__name__}")
+        return value
+
+    def encode(self, value: str) -> bytes:
+        if not value:
+            return b""
+        return wire.encode_tag(self.number, self.wire_type) + wire.encode_length_delimited(
+            value.encode("utf-8")
+        )
+
+    def decode(self, data: bytes, offset: int, wire_type: WireType) -> Tuple[str, int]:
+        self._check_wire_type(wire_type)
+        payload, pos = wire.decode_length_delimited(data, offset)
+        try:
+            return payload.decode("utf-8"), pos
+        except UnicodeDecodeError as exc:
+            raise DecodingError(f"field {self.number}: invalid UTF-8") from exc
+
+
+class EnumField(_ScalarField):
+    """Field holding a Python :class:`enum.IntEnum` value as a varint."""
+
+    wire_type = WireType.VARINT
+
+    def __init__(self, number: int, enum_type: Type[_enum.IntEnum]):
+        self.enum_type = enum_type
+        default = list(enum_type)[0]
+        super().__init__(number, default=default)
+
+    def coerce(self, value: Any) -> _enum.IntEnum:
+        return self.enum_type(value)
+
+    def encode(self, value: _enum.IntEnum) -> bytes:
+        if int(value) == int(self.default):
+            return b""
+        return wire.encode_tag(self.number, self.wire_type) + wire.encode_varint(int(value))
+
+    def decode(self, data: bytes, offset: int, wire_type: WireType) -> Tuple[Any, int]:
+        self._check_wire_type(wire_type)
+        raw, pos = wire.decode_varint(data, offset)
+        try:
+            return self.enum_type(raw), pos
+        except ValueError as exc:
+            raise DecodingError(
+                f"field {self.number}: {raw} is not a valid {self.enum_type.__name__}"
+            ) from exc
+
+
+class MessageField(Field):
+    """Nested-message field (LEN wire type).
+
+    The message type may be given lazily as a zero-argument callable to break
+    declaration cycles.
+    """
+
+    wire_type = WireType.LEN
+
+    def __init__(self, number: int, message_type):
+        super().__init__(number, default=None)
+        self._message_type = message_type
+
+    @property
+    def message_type(self) -> Type["WireMessage"]:
+        if not isinstance(self._message_type, type):
+            self._message_type = self._message_type()
+        return self._message_type
+
+    def coerce(self, value: Any) -> Any:
+        if value is not None and not isinstance(value, self.message_type):
+            raise SchemaError(
+                f"{self.name}: expected {self.message_type.__name__} or None"
+            )
+        return value
+
+    def encode(self, value: Optional["WireMessage"]) -> bytes:
+        if value is None:
+            return b""
+        return wire.encode_tag(self.number, WireType.LEN) + wire.encode_length_delimited(
+            value.encode()
+        )
+
+    def decode(self, data: bytes, offset: int, wire_type: WireType) -> Tuple[Any, int]:
+        if wire_type is not WireType.LEN:
+            raise DecodingError(f"field {self.number}: nested messages use LEN")
+        payload, pos = wire.decode_length_delimited(data, offset)
+        return self.message_type.decode(payload), pos
+
+
+class RepeatedField(Field):
+    """Repeated (list) field wrapping an element field.
+
+    Encoded unpacked (one tag per element), which is valid protobuf for all
+    element types and keeps the implementation simple.
+    """
+
+    def __init__(self, element: Field):
+        super().__init__(element.number, default=None)
+        self.element = element
+
+    def __set_name__(self, owner: type, name: str) -> None:
+        super().__set_name__(owner, name)
+        self.element.name = name
+
+    def default_value(self) -> List[Any]:
+        return []
+
+    def is_default(self, value: Any) -> bool:
+        return not value
+
+    def coerce(self, value: Any) -> List[Any]:
+        if value is None:
+            return []
+        return [self.element.coerce(v) for v in value]
+
+    def encode(self, value: List[Any]) -> bytes:
+        parts = []
+        for item in value:
+            encoded = self.element.encode(item)
+            if not encoded:
+                # Element at its default value still needs explicit encoding:
+                # emit tag + canonical default representation.
+                encoded = self._encode_default_element(item)
+            parts.append(encoded)
+        return b"".join(parts)
+
+    def _encode_default_element(self, item: Any) -> bytes:
+        element = self.element
+        if isinstance(element, (StringField,)):
+            return wire.encode_tag(element.number, WireType.LEN) + wire.encode_length_delimited(b"")
+        if isinstance(element, BytesField):
+            return wire.encode_tag(element.number, WireType.LEN) + wire.encode_length_delimited(b"")
+        if isinstance(element, DoubleField):
+            return wire.encode_tag(element.number, WireType.I64) + wire.encode_double(0.0)
+        # varint-coded kinds (uint, sint, bool, enum)
+        return wire.encode_tag(element.number, WireType.VARINT) + wire.encode_varint(0)
+
+    def decode(self, data: bytes, offset: int, wire_type: WireType) -> Tuple[Any, int]:
+        return self.element.decode(data, offset, wire_type)
+
+    def merge(self, old: Any, new: Any) -> Any:
+        items = list(old) if old else []
+        items.append(new)
+        return items
+
+
+class WireMessage:
+    """Base class for declaratively defined wire messages."""
+
+    _fields_by_name: Dict[str, Field]
+    _fields_by_number: Dict[int, Field]
+
+    def __init_subclass__(cls, **kwargs: Any) -> None:
+        super().__init_subclass__(**kwargs)
+        fields_by_name: Dict[str, Field] = {}
+        fields_by_number: Dict[int, Field] = {}
+        # Walk the MRO so subclassed messages inherit parent fields.
+        for klass in reversed(cls.__mro__):
+            for name, attr in vars(klass).items():
+                if isinstance(attr, Field):
+                    if attr.number in fields_by_number and fields_by_number[attr.number].name != name:
+                        raise SchemaError(
+                            f"{cls.__name__}: duplicate field number {attr.number}"
+                        )
+                    fields_by_name[name] = attr
+                    fields_by_number[attr.number] = attr
+        cls._fields_by_name = fields_by_name
+        cls._fields_by_number = fields_by_number
+
+    def __init__(self, **kwargs: Any) -> None:
+        for name, value in kwargs.items():
+            if name not in self._fields_by_name:
+                raise SchemaError(f"{type(self).__name__} has no field {name!r}")
+            setattr(self, name, value)
+
+    def encode(self) -> bytes:
+        """Serialize to protobuf wire format (fields in number order)."""
+        parts = []
+        for field in sorted(self._fields_by_number.values(), key=lambda f: f.number):
+            value = getattr(self, field.name)
+            if field.is_default(value):
+                continue
+            parts.append(field.encode(value))
+        return b"".join(parts)
+
+    @classmethod
+    def decode(cls, data: bytes):
+        """Parse an instance from wire format, skipping unknown fields."""
+        instance = cls()
+        offset = 0
+        while offset < len(data):
+            number, wire_type, offset = wire.decode_tag(data, offset)
+            field = cls._fields_by_number.get(number)
+            if field is None:
+                offset = wire.skip_field(data, offset, wire_type)
+                continue
+            value, offset = field.decode(data, offset, wire_type)
+            current = instance.__dict__.get(field.name)
+            instance.__dict__[field.name] = field.merge(current, value)
+        return instance
+
+    def encoded_size(self) -> int:
+        """Size in bytes of :meth:`encode` output."""
+        return len(self.encode())
+
+    def __eq__(self, other: Any) -> bool:
+        if type(other) is not type(self):
+            return NotImplemented
+        return all(
+            getattr(self, name) == getattr(other, name)
+            for name in self._fields_by_name
+        )
+
+    def __repr__(self) -> str:
+        parts = []
+        for name, field in self._fields_by_name.items():
+            value = getattr(self, name)
+            if field.is_default(value):
+                continue
+            shown = value
+            if isinstance(value, bytes) and len(value) > 16:
+                shown = value[:16] + b"..."
+            parts.append(f"{name}={shown!r}")
+        return f"{type(self).__name__}({', '.join(parts)})"
+
+
+# ---------------------------------------------------------------------------
+# Declaration helpers (the public schema DSL).
+# ---------------------------------------------------------------------------
+
+def uint64(number: int) -> UInt64Field:
+    """Declare an unsigned 64-bit varint field."""
+    return UInt64Field(number)
+
+
+def sint64(number: int) -> SInt64Field:
+    """Declare a signed 64-bit zigzag varint field."""
+    return SInt64Field(number)
+
+
+def double(number: int) -> DoubleField:
+    """Declare an IEEE-754 double field."""
+    return DoubleField(number)
+
+
+def boolean(number: int) -> BoolField:
+    """Declare a boolean field."""
+    return BoolField(number)
+
+
+def string(number: int) -> StringField:
+    """Declare a UTF-8 string field."""
+    return StringField(number)
+
+
+def bytes_(number: int) -> BytesField:
+    """Declare a raw bytes field."""
+    return BytesField(number)
+
+
+def enum(number: int, enum_type: Type[_enum.IntEnum]) -> EnumField:
+    """Declare an IntEnum-valued field."""
+    return EnumField(number, enum_type)
+
+
+def message(number: int, message_type) -> MessageField:
+    """Declare a nested-message field; ``message_type`` may be lazy."""
+    return MessageField(number, message_type)
+
+
+def repeated(element: Field) -> RepeatedField:
+    """Declare a repeated field from an element declaration, e.g.
+    ``repeated(string(3))``."""
+    return RepeatedField(element)

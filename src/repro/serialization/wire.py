@@ -1,0 +1,133 @@
+"""Low-level protobuf wire encoding: varints, zigzag, tags, wire types."""
+
+from __future__ import annotations
+
+import enum
+import struct
+from typing import Tuple
+
+from repro.errors import DecodingError
+
+#: Largest value a field number may take (protobuf limit).
+MAX_FIELD_NUMBER = (1 << 29) - 1
+
+
+class WireType(enum.IntEnum):
+    """The wire types of the protobuf encoding we use."""
+
+    VARINT = 0
+    I64 = 1
+    LEN = 2
+    I32 = 5
+
+
+def encode_varint(value: int) -> bytes:
+    """Encode a non-negative integer as a base-128 varint."""
+    if value < 0:
+        raise ValueError("varints encode non-negative integers; zigzag first")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def decode_varint(data: bytes, offset: int = 0) -> Tuple[int, int]:
+    """Decode a varint at ``offset``; returns ``(value, next_offset)``.
+
+    Bounded to 10 bytes (64-bit range) to reject malicious unbounded input.
+    """
+    result = 0
+    shift = 0
+    pos = offset
+    while True:
+        if pos >= len(data):
+            raise DecodingError("truncated varint")
+        if pos - offset >= 10:
+            raise DecodingError("varint longer than 10 bytes")
+        byte = data[pos]
+        result |= (byte & 0x7F) << shift
+        pos += 1
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+
+
+def zigzag_encode(value: int) -> int:
+    """Map a signed integer onto unsigned for efficient varint coding."""
+    return (value << 1) ^ (value >> 63) if value < 0 else value << 1
+
+
+def zigzag_decode(value: int) -> int:
+    """Inverse of :func:`zigzag_encode`."""
+    return (value >> 1) ^ -(value & 1)
+
+
+def encode_tag(field_number: int, wire_type: WireType) -> bytes:
+    """Encode a field tag (field number + wire type) as a varint."""
+    if not 1 <= field_number <= MAX_FIELD_NUMBER:
+        raise ValueError(f"field number {field_number} out of range")
+    return encode_varint((field_number << 3) | int(wire_type))
+
+
+def decode_tag(data: bytes, offset: int = 0) -> Tuple[int, WireType, int]:
+    """Decode a field tag; returns ``(field_number, wire_type, next_offset)``."""
+    raw, pos = decode_varint(data, offset)
+    field_number = raw >> 3
+    try:
+        wire_type = WireType(raw & 0x7)
+    except ValueError as exc:
+        raise DecodingError(f"unknown wire type {raw & 0x7}") from exc
+    if field_number < 1:
+        raise DecodingError("field number must be positive")
+    return field_number, wire_type, pos
+
+
+def encode_length_delimited(payload: bytes) -> bytes:
+    """Encode a LEN payload: varint length followed by the bytes."""
+    return encode_varint(len(payload)) + payload
+
+
+def decode_length_delimited(data: bytes, offset: int = 0) -> Tuple[bytes, int]:
+    """Decode a LEN payload at ``offset``; returns ``(payload, next_offset)``."""
+    length, pos = decode_varint(data, offset)
+    end = pos + length
+    if end > len(data):
+        raise DecodingError("truncated length-delimited payload")
+    return data[pos:end], end
+
+
+def encode_double(value: float) -> bytes:
+    """Encode a float as 8 little-endian IEEE-754 bytes (I64 wire type)."""
+    return struct.pack("<d", value)
+
+
+def decode_double(data: bytes, offset: int = 0) -> Tuple[float, int]:
+    """Decode an I64 double at ``offset``."""
+    end = offset + 8
+    if end > len(data):
+        raise DecodingError("truncated double")
+    return struct.unpack_from("<d", data, offset)[0], end
+
+
+def skip_field(data: bytes, offset: int, wire_type: WireType) -> int:
+    """Skip an unknown field's value; returns the next offset.
+
+    Allows forward-compatible decoding: messages with unknown fields are
+    tolerated, matching protobuf semantics.
+    """
+    if wire_type is WireType.VARINT:
+        _, pos = decode_varint(data, offset)
+        return pos
+    if wire_type is WireType.I64:
+        return offset + 8
+    if wire_type is WireType.I32:
+        return offset + 4
+    if wire_type is WireType.LEN:
+        _, pos = decode_length_delimited(data, offset)
+        return pos
+    raise DecodingError(f"cannot skip wire type {wire_type}")

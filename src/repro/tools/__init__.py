@@ -1,0 +1,16 @@
+"""Investigator tooling.
+
+The paper motivates ADLP with third-party investigators (e.g. the NTSB)
+who must examine run-time evidence *independently* of the manufacturer
+(Section I).  This package gives them a workflow:
+
+- :mod:`repro.tools.caseio` -- export a log server's evidence as a
+  self-contained, tamper-evident **case bundle** on disk and load it back.
+- :mod:`repro.tools.cli` -- ``python -m repro.tools`` with subcommands
+  ``verify`` (integrity), ``inspect`` (list entries), ``audit`` (full
+  classification), and ``trace`` (provenance lineage of one datum).
+"""
+
+from repro.tools.caseio import export_case, load_case, CaseBundle
+
+__all__ = ["export_case", "load_case", "CaseBundle"]

@@ -1,0 +1,144 @@
+"""Command-line investigator interface.
+
+::
+
+    python -m repro.tools verify  CASE_DIR
+    python -m repro.tools inspect CASE_DIR [--component C] [--topic T] [--limit N]
+    python -m repro.tools audit   CASE_DIR [--publisher TOPIC=COMPONENT ...]
+    python -m repro.tools trace   CASE_DIR TOPIC SEQ
+
+``CASE_DIR`` is a bundle produced by :func:`repro.tools.caseio.export_case`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.audit import Auditor, ProvenanceGraph, Topology, render_report
+from repro.core.entries import Direction
+from repro.errors import LogIntegrityError
+from repro.tools.caseio import load_case
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    try:
+        bundle = load_case(args.case)
+    except LogIntegrityError as exc:
+        print(f"TAMPERED: {exc}")
+        return 2
+    server = bundle.server
+    print(f"case {args.case}: INTACT")
+    print(f"  entries:     {len(server)}")
+    print(f"  components:  {len(server.keystore)}")
+    print(f"  chain head:  {server.store.head().hex()}")
+    print(f"  merkle root: {server.merkle_root().hex()}")
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    bundle = load_case(args.case)
+    entries = bundle.server.entries(
+        component_id=args.component, topic=args.topic
+    )
+    shown = entries[: args.limit] if args.limit else entries
+    for i, entry in enumerate(shown):
+        direction = "out" if entry.direction is Direction.OUT else "in "
+        payload = (
+            f"|D|={len(entry.data)}" if entry.data else f"h(D)={entry.data_hash.hex()[:12]}"
+        )
+        print(
+            f"{i:6} {entry.component_id:<22} {direction} "
+            f"{entry.topic:<22} seq={entry.seq:<6} t={entry.timestamp:<18.6f} "
+            f"{entry.scheme.name.lower():<5} {payload}"
+        )
+    if args.limit and len(entries) > args.limit:
+        print(f"... and {len(entries) - args.limit} more")
+    return 0
+
+
+def _parse_topology(pairs: List[str]) -> Optional[Topology]:
+    if not pairs:
+        return None
+    topology = Topology()
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"--publisher expects TOPIC=COMPONENT, got {pair!r}")
+        topic, component = pair.split("=", 1)
+        topology.publisher_of[topic] = component
+    return topology
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    bundle = load_case(args.case)
+    topology = _parse_topology(args.publisher)
+    auditor = Auditor.for_server(bundle.server, topology)
+    report = auditor.audit_server(bundle.server)
+    print(render_report(report, max_findings=args.max_findings))
+    return 1 if report.flagged_components() else 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    bundle = load_case(args.case)
+    report = Auditor.for_server(bundle.server).audit_server(bundle.server)
+    valid = [c.entry for c in report.valid_entries()]
+    graph = ProvenanceGraph(valid)
+    if not graph.has_item(args.topic, args.seq):
+        print(f"no valid entry for {args.topic}#{args.seq}")
+        return 2
+    print(f"lineage of {args.topic}#{args.seq}:")
+    for item in graph.lineage(args.topic, args.seq):
+        producer = graph.producer_of(item.topic, item.seq) or "?"
+        print(f"  {item.topic:<26} #{item.seq:<6} produced by {producer}")
+    print("components on the causal chain:")
+    for component in graph.suspects(args.topic, args.seq):
+        print(f"  {component}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools",
+        description="Third-party investigation of ADLP evidence bundles.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_verify = sub.add_parser("verify", help="check tamper evidence")
+    p_verify.add_argument("case")
+    p_verify.set_defaults(func=_cmd_verify)
+
+    p_inspect = sub.add_parser("inspect", help="list log entries")
+    p_inspect.add_argument("case")
+    p_inspect.add_argument("--component", default=None)
+    p_inspect.add_argument("--topic", default=None)
+    p_inspect.add_argument("--limit", type=int, default=50)
+    p_inspect.set_defaults(func=_cmd_inspect)
+
+    p_audit = sub.add_parser("audit", help="classify all entries")
+    p_audit.add_argument("case")
+    p_audit.add_argument(
+        "--publisher",
+        action="append",
+        default=[],
+        metavar="TOPIC=COMPONENT",
+        help="declare a topic's unique publisher (repeatable)",
+    )
+    p_audit.add_argument("--max-findings", type=int, default=20)
+    p_audit.set_defaults(func=_cmd_audit)
+
+    p_trace = sub.add_parser("trace", help="provenance lineage of one datum")
+    p_trace.add_argument("case")
+    p_trace.add_argument("topic")
+    p_trace.add_argument("seq", type=int)
+    p_trace.set_defaults(func=_cmd_trace)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,29 @@
+"""Small shared utilities: clocks, byte helpers, concurrency, id generation."""
+
+from repro.util.bytesutil import (
+    int_from_bytes,
+    int_to_bytes,
+    byte_length,
+    hexdump,
+    human_size,
+)
+from repro.util.clock import Clock, SystemClock, SimulatedClock, SkewedClock
+from repro.util.concurrency import StoppableThread, RateLimiter, wait_for
+from repro.util.idgen import SequenceCounter, unique_id
+
+__all__ = [
+    "int_from_bytes",
+    "int_to_bytes",
+    "byte_length",
+    "hexdump",
+    "human_size",
+    "Clock",
+    "SystemClock",
+    "SimulatedClock",
+    "SkewedClock",
+    "StoppableThread",
+    "RateLimiter",
+    "wait_for",
+    "SequenceCounter",
+    "unique_id",
+]

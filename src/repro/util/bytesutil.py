@@ -1,0 +1,58 @@
+"""Helpers for converting between integers, bytes, and readable dumps."""
+
+from __future__ import annotations
+
+
+def byte_length(n: int) -> int:
+    """Return the minimum number of bytes needed to represent ``n``.
+
+    ``byte_length(0)`` is 1 so that zero still occupies one octet when
+    serialized.
+
+    >>> byte_length(0), byte_length(255), byte_length(256)
+    (1, 1, 2)
+    """
+    if n < 0:
+        raise ValueError("byte_length is defined for non-negative integers")
+    return max(1, (n.bit_length() + 7) // 8)
+
+
+def int_to_bytes(n: int, length: int | None = None) -> bytes:
+    """Serialize a non-negative integer big-endian.
+
+    If ``length`` is given the result is left-padded with zero bytes to that
+    exact length; a value too large for ``length`` raises :class:`OverflowError`.
+    """
+    if n < 0:
+        raise ValueError("cannot serialize negative integers")
+    if length is None:
+        length = byte_length(n)
+    return n.to_bytes(length, "big")
+
+
+def int_from_bytes(data: bytes) -> int:
+    """Deserialize a big-endian unsigned integer."""
+    return int.from_bytes(data, "big")
+
+
+def hexdump(data: bytes, width: int = 16) -> str:
+    """Render ``data`` as a classic offset/hex/ASCII dump for debugging."""
+    lines = []
+    for offset in range(0, len(data), width):
+        chunk = data[offset : offset + width]
+        hexed = " ".join(f"{b:02x}" for b in chunk)
+        text = "".join(chr(b) if 32 <= b < 127 else "." for b in chunk)
+        lines.append(f"{offset:08x}  {hexed:<{width * 3}} {text}")
+    return "\n".join(lines)
+
+
+def human_size(num_bytes: float) -> str:
+    """Format a byte count using binary units, e.g. ``'900.0 KiB'``."""
+    value = float(num_bytes)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(value) < 1024.0 or unit == "TiB":
+            if unit == "B":
+                return f"{int(value)} {unit}"
+            return f"{value:.1f} {unit}"
+        value /= 1024.0
+    raise AssertionError("unreachable")

@@ -1,0 +1,93 @@
+"""Clock abstraction.
+
+ADLP log entries carry timestamps, and Lemma 4 of the paper reasons about
+components that *disrupt* their timestamps.  To test such scenarios
+deterministically, every timestamp in the library is drawn from a
+:class:`Clock` object rather than from ``time.time()`` directly:
+
+- :class:`SystemClock` -- wall-clock time, used by real deployments and the
+  benchmark harness.
+- :class:`SimulatedClock` -- manually advanced time for deterministic tests.
+- :class:`SkewedClock` -- wraps another clock and applies an offset/scale,
+  modeling a component with a bad (or deliberately disrupted) clock.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+
+class Clock:
+    """Interface: anything with a ``now()`` returning seconds as ``float``."""
+
+    def now(self) -> float:
+        raise NotImplementedError
+
+    def sleep(self, seconds: float) -> None:
+        """Block for ``seconds`` of this clock's time.  Default: busy wait
+        is avoided by delegating to ``time.sleep`` for real clocks; simulated
+        clocks override this."""
+        time.sleep(seconds)
+
+
+class SystemClock(Clock):
+    """Wall-clock time from ``time.time()``."""
+
+    def now(self) -> float:
+        return time.time()
+
+
+class SimulatedClock(Clock):
+    """A clock that only moves when told to.
+
+    Thread-safe: multiple simulated nodes may share one instance.  ``sleep``
+    advances the clock instead of blocking, which keeps single-threaded tests
+    instantaneous.
+    """
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+        self._lock = threading.Lock()
+
+    def now(self) -> float:
+        with self._lock:
+            return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward by ``seconds`` (must be non-negative)."""
+        if seconds < 0:
+            raise ValueError("time cannot move backwards")
+        with self._lock:
+            self._now += seconds
+            return self._now
+
+    def set(self, timestamp: float) -> None:
+        """Jump to an absolute time (must not move backwards)."""
+        with self._lock:
+            if timestamp < self._now:
+                raise ValueError("time cannot move backwards")
+            self._now = timestamp
+
+    def sleep(self, seconds: float) -> None:
+        self.advance(seconds)
+
+
+class SkewedClock(Clock):
+    """A clock reading ``scale * base.now() + offset``.
+
+    Models a component whose local clock is ahead/behind (``offset``) or
+    drifting (``scale != 1``).  Used by the timing-disruption adversary.
+    """
+
+    def __init__(self, base: Clock, offset: float = 0.0, scale: float = 1.0):
+        self.base = base
+        self.offset = float(offset)
+        self.scale = float(scale)
+
+    def now(self) -> float:
+        return self.scale * self.base.now() + self.offset
+
+    def sleep(self, seconds: float) -> None:
+        # Sleep in base-clock time so cooperating components stay in step.
+        self.base.sleep(seconds)

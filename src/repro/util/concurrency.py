@@ -1,0 +1,85 @@
+"""Concurrency helpers: stoppable worker threads, rate limiting, waiting."""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Optional
+
+
+class StoppableThread(threading.Thread):
+    """A daemon thread with a cooperative stop flag.
+
+    Subclasses (or callers passing ``target``) should poll :meth:`stopped`
+    or wait on :attr:`stop_event` so that :meth:`stop` terminates them
+    promptly.  All middleware/service threads in this library derive from it
+    so tests can always tear the world down cleanly.
+    """
+
+    def __init__(self, name: str, target: Optional[Callable[[], None]] = None):
+        super().__init__(name=name, daemon=True)
+        self.stop_event = threading.Event()
+        self._target_fn = target
+
+    def run(self) -> None:  # pragma: no cover - exercised via subclasses
+        if self._target_fn is not None:
+            self._target_fn()
+
+    def stopped(self) -> bool:
+        return self.stop_event.is_set()
+
+    def stop(self, join: bool = True, timeout: float = 5.0) -> None:
+        """Signal the thread to stop and (optionally) join it."""
+        self.stop_event.set()
+        if join and self.is_alive() and threading.current_thread() is not self:
+            self.join(timeout)
+
+
+class RateLimiter:
+    """Pace a loop at a fixed frequency using absolute deadlines.
+
+    Using absolute deadlines (rather than sleeping a fixed delta) avoids
+    cumulative drift: a loop body that takes time eats into the next period.
+
+    >>> limiter = RateLimiter(hz=100.0)
+    >>> for _ in range(3):
+    ...     limiter.wait()  # paces to ~10ms periods
+    """
+
+    def __init__(self, hz: float):
+        if hz <= 0:
+            raise ValueError("rate must be positive")
+        self.period = 1.0 / hz
+        self._next_deadline: Optional[float] = None
+
+    def wait(self) -> None:
+        now = time.monotonic()
+        if self._next_deadline is None:
+            self._next_deadline = now + self.period
+            return
+        delay = self._next_deadline - now
+        if delay > 0:
+            time.sleep(delay)
+            self._next_deadline += self.period
+        else:
+            # We are behind; re-anchor instead of bursting to catch up.
+            self._next_deadline = now + self.period
+
+
+def wait_for(
+    predicate: Callable[[], bool],
+    timeout: float = 5.0,
+    interval: float = 0.005,
+) -> bool:
+    """Poll ``predicate`` until it is true or ``timeout`` elapses.
+
+    Returns whether the predicate became true.  Used pervasively by
+    integration tests to synchronize with background threads without
+    hard-coded sleeps.
+    """
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()

@@ -1,0 +1,46 @@
+"""Identifier and sequence-number generation."""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+
+
+class SequenceCounter:
+    """A thread-safe monotonically increasing counter.
+
+    ADLP attaches a per-topic sequence number to every publication (Section
+    IV-A: freshness information embedded in the signed digest).  One counter
+    instance backs each publisher.
+    """
+
+    def __init__(self, start: int = 0):
+        self._counter = itertools.count(start)
+        self._lock = threading.Lock()
+        self._last = start - 1
+
+    def next(self) -> int:
+        with self._lock:
+            self._last = next(self._counter)
+            return self._last
+
+    @property
+    def last(self) -> int:
+        """The most recently issued value (``start - 1`` if none issued)."""
+        with self._lock:
+            return self._last
+
+
+def unique_id(prefix: str = "id") -> str:
+    """Return a short process-unique identifier, e.g. for anonymous nodes."""
+    return f"{prefix}_{os.getpid():x}_{_next_unique():x}"
+
+
+_unique_counter = itertools.count(1)
+_unique_lock = threading.Lock()
+
+
+def _next_unique() -> int:
+    with _unique_lock:
+        return next(_unique_counter)

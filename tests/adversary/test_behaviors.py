@@ -1,0 +1,31 @@
+from repro.adversary.behaviors import (
+    PublisherBehavior,
+    SubscriberBehavior,
+    flip_first_byte,
+)
+
+
+class TestFlipFirstByte:
+    def test_changes_payload(self):
+        assert flip_first_byte(b"hello") != b"hello"
+
+    def test_preserves_length(self):
+        assert len(flip_first_byte(b"hello")) == 5
+
+    def test_involution(self):
+        assert flip_first_byte(flip_first_byte(b"hello")) == b"hello"
+
+    def test_empty_payload(self):
+        assert flip_first_byte(b"") == b"\x01"
+
+
+class TestFaithfulnessPredicate:
+    def test_defaults_are_faithful(self):
+        assert PublisherBehavior().is_faithful
+        assert SubscriberBehavior().is_faithful
+
+    def test_any_deviation_is_unfaithful(self):
+        assert not PublisherBehavior(hide_entries=True).is_faithful
+        assert not PublisherBehavior(falsify=flip_first_byte).is_faithful
+        assert not SubscriberBehavior(suppress_acks=True).is_faithful
+        assert not SubscriberBehavior(log_clock_offset=1.0).is_faithful

@@ -1,0 +1,101 @@
+"""Harness plumbing: ground truth recording and behavior application."""
+
+from repro.adversary import (
+    GroundTruth,
+    PublisherBehavior,
+    SubscriberBehavior,
+    TransmissionRecord,
+)
+from repro.adversary.behaviors import flip_first_byte
+from repro.core import Direction
+
+from tests.helpers import run_scenario
+
+
+class TestGroundTruth:
+    def test_faithful_run_records_sends_and_receipts(self, keypool):
+        result = run_scenario(keypool, publications=3)
+        assert len(result.truth.sent) == 3
+        assert len(result.truth.received) == 3
+        assert len(result.truth.transmissions()) == 3
+
+    def test_send_and_receipt_digests_agree(self, keypool):
+        result = run_scenario(keypool, publications=2)
+        sent = {(r.topic, r.seq): r.digest for r in result.truth.sent}
+        for receipt in result.truth.received:
+            assert sent[(receipt.topic, receipt.seq)] == receipt.digest
+
+    def test_digest_of(self, keypool):
+        result = run_scenario(keypool, publications=1)
+        assert result.truth.digest_of("/t", 1) is not None
+        assert result.truth.digest_of("/t", 99) is None
+
+    def test_transmissions_requires_both_ends(self):
+        truth = GroundTruth()
+        record = TransmissionRecord("/p", "/s", "/t", 1, b"d" * 32)
+        truth.record_send(record)
+        assert truth.transmissions() == []
+        truth.record_receipt(record)
+        assert len(truth.transmissions()) == 1
+
+
+class TestBehaviorApplication:
+    def test_falsifying_publisher_sends_truth_logs_lie(self, keypool):
+        """The wire carries the real payload; only the log lies."""
+        result = run_scenario(
+            keypool,
+            publisher_behavior=PublisherBehavior(falsify=flip_first_byte),
+            publications=2,
+        )
+        # subscribers received the REAL data (same digest publisher sent)
+        for receipt in result.truth.received:
+            assert receipt.digest == result.truth.digest_of("/t", receipt.seq)
+        # but the publisher's logged digests differ from the wire truth
+        for entry in result.server.entries(component_id="/pub"):
+            assert entry.reported_hash() != result.truth.digest_of(
+                "/t", entry.seq
+            )
+
+    def test_hiding_subscriber_still_delivers_to_app(self, keypool):
+        result = run_scenario(
+            keypool,
+            subscriber_behaviors=[SubscriberBehavior(hide_entries=True)],
+            publications=3,
+        )
+        assert len(result.truth.received) == 3  # data flowed normally
+        assert result.server.entries(component_id="/sub0") == []
+
+    def test_timing_offset_applied_to_log_timestamps(self, keypool):
+        clean = run_scenario(keypool, publications=1)
+        skewed = run_scenario(
+            keypool,
+            subscriber_behaviors=[SubscriberBehavior(log_clock_offset=1000.0)],
+            publications=1,
+        )
+        t_clean = clean.server.entries(component_id="/sub0")[0].timestamp
+        t_skewed = skewed.server.entries(component_id="/sub0")[0].timestamp
+        assert t_skewed - t_clean > 500.0
+
+    def test_faithful_harness_equivalent_to_plain_adlp(self, keypool):
+        """Default behaviors: everything valid, nothing hidden."""
+        result = run_scenario(keypool, publications=3)
+        assert result.report.flagged_components() == []
+        assert len(result.report.valid_entries()) == 6
+        assert all(p.is_faithful for p in result.protocols.values())
+
+
+class TestInvalidSignatureOnWire:
+    def test_figure8_ambiguity(self, keypool):
+        """Figure 8 (a): publisher ships a garbage signature.  The
+        subscriber's entry then fails verification -- from the auditor's
+        view this is indistinguishable from Figure 8 (b), so the subscriber
+        side is flagged.  This documents why eq. (4) (transport-enforced
+        signing) is load-bearing for the protocol."""
+        result = run_scenario(
+            keypool,
+            publisher_behavior=PublisherBehavior(send_invalid_signature=True),
+            publications=2,
+        )
+        # The pair is in dispute; at least one party must be flagged, and
+        # with transport-level signing bypassed the evidence is ambiguous.
+        assert result.report.flagged_components()

@@ -1,0 +1,98 @@
+"""Offline forgery helper sanity: the entries they build have exactly the
+cryptographic properties the paper's scenarios require."""
+
+from repro.adversary import (
+    fabricate_publication_entry,
+    fabricate_receipt_entry,
+    forge_colluding_pair,
+    forge_impersonated_entry,
+)
+from repro.core.entries import Direction
+from repro.core.protocol import message_digest
+
+
+class TestFabricatedPublication:
+    def test_own_signature_is_valid(self, keypool):
+        entry = fabricate_publication_entry(
+            "/pub", keypool[0], "/t", "std/String", 1, b"fake", "/sub"
+        )
+        assert keypool[0].public.verify_digest(entry.reported_hash(), entry.own_sig)
+
+    def test_peer_signature_is_invalid(self, keypool):
+        entry = fabricate_publication_entry(
+            "/pub", keypool[0], "/t", "std/String", 1, b"fake", "/sub"
+        )
+        assert not keypool[1].public.verify_digest(entry.peer_hash, entry.peer_sig)
+
+    def test_directions_and_ids(self, keypool):
+        entry = fabricate_publication_entry(
+            "/pub", keypool[0], "/t", "std/String", 1, b"fake", "/sub"
+        )
+        assert entry.direction is Direction.OUT
+        assert entry.peer_id == "/sub"
+
+
+class TestFabricatedReceipt:
+    def test_own_signature_is_valid(self, keypool):
+        entry = fabricate_receipt_entry(
+            "/sub", keypool[1], "/t", "std/String", 1, b"fake", "/pub"
+        )
+        assert keypool[1].public.verify_digest(entry.reported_hash(), entry.own_sig)
+
+    def test_stores_hash_by_default(self, keypool):
+        entry = fabricate_receipt_entry(
+            "/sub", keypool[1], "/t", "std/String", 1, b"fake", "/pub"
+        )
+        assert entry.data_hash and not entry.data
+
+    def test_store_data_option(self, keypool):
+        entry = fabricate_receipt_entry(
+            "/sub", keypool[1], "/t", "std/String", 1, b"fake", "/pub", store_hash=False
+        )
+        assert entry.data == b"fake"
+
+    def test_replayed_signature_fails_for_new_seq(self, keypool):
+        old_digest = message_digest(1, b"old")
+        old_sig = keypool[0].private.sign_digest(old_digest)
+        entry = fabricate_receipt_entry(
+            "/sub",
+            keypool[1],
+            "/t",
+            "std/String",
+            2,
+            b"",
+            "/pub",
+            reuse_message=(b"old", old_sig),
+        )
+        # the replayed s_x covers h(1||old), not h(2||old)
+        assert not keypool[0].public.verify_digest(entry.reported_hash(), entry.peer_sig)
+
+
+class TestImpersonation:
+    def test_signature_fails_under_victim_key(self, keypool):
+        entry = forge_impersonated_entry(
+            "/victim", keypool[2], "/t", "std/String", 1, b"data"
+        )
+        assert not keypool[0].public.verify_digest(
+            entry.reported_hash(), entry.own_sig
+        )
+        assert entry.component_id == "/victim"
+
+
+class TestColludingPair:
+    def test_all_four_signatures_verify(self, keypool):
+        lx, ly = forge_colluding_pair(
+            "/pub", keypool[0], "/sub", keypool[1], "/t", "std/String", 1, b"lie"
+        )
+        digest = message_digest(1, b"lie")
+        assert keypool[0].public.verify_digest(digest, lx.own_sig)
+        assert keypool[1].public.verify_digest(digest, lx.peer_sig)
+        assert keypool[1].public.verify_digest(digest, ly.own_sig)
+        assert keypool[0].public.verify_digest(digest, ly.peer_sig)
+
+    def test_pair_is_mutually_consistent(self, keypool):
+        lx, ly = forge_colluding_pair(
+            "/pub", keypool[0], "/sub", keypool[1], "/t", "std/String", 1, b"lie"
+        )
+        assert lx.reported_hash() == ly.reported_hash()
+        assert lx.peer_hash == lx.reported_hash()

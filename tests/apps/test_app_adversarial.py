@@ -1,0 +1,73 @@
+"""The paper's end-to-end story: one unfaithful node inside the full
+self-driving application is pinpointed by the audit."""
+
+import pytest
+
+from repro.adversary import GroundTruth, SubscriberBehavior, UnfaithfulAdlpProtocol
+from repro.adversary.behaviors import flip_first_byte
+from repro.apps.selfdriving import SelfDrivingApp
+from repro.apps.selfdriving.app import seeded_keypairs
+from repro.audit import Auditor, Topology
+from repro.core import AdlpConfig, LogServer
+
+FAST_ADLP = AdlpConfig(key_bits=512, ack_timeout=2.0)
+
+
+@pytest.fixture(scope="module")
+def app_keypairs():
+    return seeded_keypairs(bits=512)
+
+
+def run_app_with_liar(app_keypairs, behavior):
+    log_server = LogServer()
+    truth = GroundTruth()
+    liar = UnfaithfulAdlpProtocol(
+        "/sign_recognizer",
+        log_server,
+        truth,
+        subscriber_behavior=behavior,
+        config=FAST_ADLP,
+        keypair=app_keypairs["/sign_recognizer"],
+    )
+    with SelfDrivingApp(
+        scheme="adlp",
+        log_server=log_server,
+        keypairs=app_keypairs,
+        adlp_config=FAST_ADLP,
+        protocol_overrides={"/sign_recognizer": liar},
+    ) as app:
+        topology = Topology.from_master(app.master)
+        app.run_for(2.5)
+        app.flush_logs()
+    app.flush_logs()
+    report = Auditor.for_server(log_server, topology).audit_server(log_server)
+    return report
+
+
+class TestUnfaithfulNodeInTheApp:
+    def test_falsifying_sign_recognizer_is_the_only_flagged_node(
+        self, app_keypairs
+    ):
+        """The Figure 3 scenario at full-application scale: the sign
+        recognizer falsifies its camera-input logs; the audit flags it and
+        nothing else."""
+        report = run_app_with_liar(
+            app_keypairs, SubscriberBehavior(falsify=flip_first_byte)
+        )
+        assert report.flagged_components() == ["/sign_recognizer"]
+        # all seven other nodes are provably clean (Theorem 1)
+        assert len(report.clean_components()) == 7
+
+    def test_hiding_sign_recognizer_exposed_via_publisher_entries(
+        self, app_keypairs
+    ):
+        report = run_app_with_liar(
+            app_keypairs, SubscriberBehavior(hide_entries=True)
+        )
+        assert "/sign_recognizer" in report.flagged_components()
+        hidden_owners = {h.component_id for h in report.hidden}
+        assert hidden_owners == {"/sign_recognizer"}
+        # Note: the recognizer's own /perception/sign PUBLICATIONS are
+        # still logged faithfully (hide_entries only suppresses its
+        # subscription entries); unfaithfulness is per-relation, exactly
+        # as the trust model allows (Section II-A).

@@ -1,0 +1,104 @@
+import math
+
+import pytest
+
+from repro.apps.selfdriving.sensors import (
+    IMAGE_HEIGHT,
+    IMAGE_WIDTH,
+    LIDAR_BEAMS,
+    LIDAR_RANGE_MAX,
+    Camera,
+    Lidar,
+    decode_lane,
+    decode_obstacles,
+    decode_sign,
+)
+from repro.apps.selfdriving.track import Obstacle, Track, TrafficSignPost, VehicleModel
+
+
+@pytest.fixture(scope="module")
+def track():
+    return Track(
+        radius=10.0,
+        signs=(TrafficSignPost(kind="stop", angle_rad=0.3, visible_range_m=6.0),),
+        obstacles=(Obstacle(x=12.0, y=0.0, radius_m=0.5),),
+    )
+
+
+def vehicle_at(track, angle, offset=0.0, heading_err=0.0):
+    radius = track.radius + offset
+    return VehicleModel(
+        x=radius * math.cos(angle),
+        y=radius * math.sin(angle),
+        heading=angle + math.pi / 2 + heading_err,
+    )
+
+
+class TestCamera:
+    def test_frame_size_matches_paper(self, track):
+        frame = Camera(track).render(vehicle_at(track, 1.0))
+        assert len(frame) == IMAGE_HEIGHT * IMAGE_WIDTH * 3 == 921600
+
+    def test_lane_decoding_recovers_offset(self, track):
+        camera = Camera(track)
+        for true_offset in (-0.4, 0.0, 0.3):
+            frame = camera.render(vehicle_at(track, 1.0, offset=true_offset))
+            offset, _ = decode_lane(frame)
+            assert offset == pytest.approx(true_offset, abs=0.05)
+
+    def test_lane_decoding_recovers_heading_error(self, track):
+        camera = Camera(track)
+        frame = camera.render(vehicle_at(track, 1.0, heading_err=0.2))
+        _, heading_err = decode_lane(frame)
+        assert heading_err == pytest.approx(0.2, abs=0.05)
+
+    def test_sign_detected_when_close(self, track):
+        camera = Camera(track)
+        frame = camera.render(vehicle_at(track, 0.0))  # sign 3m ahead
+        found = decode_sign(frame)
+        assert found is not None
+        kind, distance = found
+        assert kind == "stop"
+        assert distance == pytest.approx(3.0, rel=0.3)
+
+    def test_no_sign_when_far(self, track):
+        camera = Camera(track)
+        frame = camera.render(vehicle_at(track, math.pi))  # opposite side
+        assert decode_sign(frame) is None
+
+    def test_decode_rejects_non_frames(self):
+        with pytest.raises(ValueError):
+            decode_lane(b"not an image")
+        with pytest.raises(ValueError):
+            decode_sign(b"junk")
+
+
+class TestLidar:
+    def test_scan_sizes(self, track):
+        ranges, intensities = Lidar(track).scan(vehicle_at(track, 1.0))
+        assert len(ranges) == LIDAR_BEAMS * 4
+        assert len(intensities) == LIDAR_BEAMS * 4
+
+    def test_obstacle_detected_at_right_distance(self, track):
+        # vehicle at angle 0 (position (10,0)), obstacle at (12,0): dead
+        # ahead is +y for CCW travel, so the obstacle is to the right.
+        vehicle = VehicleModel(x=10.0, y=0.0, heading=0.0)  # facing +x
+        ranges, _ = Lidar(track).scan(vehicle)
+        angles, distances = decode_obstacles(ranges)
+        assert len(distances) > 0
+        # nearest return: obstacle surface at 2.0 - 0.5 = 1.5 m
+        assert min(distances) == pytest.approx(1.5, abs=0.1)
+        # dead ahead (angle ~ 0 relative to heading)
+        nearest_angle = angles[distances.argmin()]
+        assert abs(nearest_angle) < 0.1
+
+    def test_empty_world_all_max_range(self):
+        empty = Track(radius=10.0)
+        ranges, _ = Lidar(empty).scan(VehicleModel(x=10.0, y=0.0))
+        angles, distances = decode_obstacles(ranges)
+        assert len(distances) == 0
+
+    def test_scan_size_near_paper(self, track):
+        # packed ranges+intensities ~ 8640 B, close to the paper's 8705 B Scan
+        ranges, intensities = Lidar(track).scan(vehicle_at(track, 0.0))
+        assert abs((len(ranges) + len(intensities)) - 8705) < 128

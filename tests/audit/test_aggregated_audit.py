@@ -1,0 +1,122 @@
+"""Auditing aggregated publisher entries (§VI-E) -- the auditor must see
+through the packed representation."""
+
+import os
+
+import pytest
+
+from repro.audit import Auditor, EntryClass, Topology
+from repro.core import LogServer
+from repro.core.entries import Direction, LogEntry, Scheme
+from repro.core.protocol import message_digest
+
+TOPOLOGY = Topology(publisher_of={"/t": "/pub"})
+
+
+@pytest.fixture()
+def server(keypool):
+    server = LogServer()
+    server.register_key("/pub", keypool[0].public)
+    for i, name in enumerate(["/s0", "/s1", "/s2"]):
+        server.register_key(name, keypool[1 + i].public)
+    return server
+
+
+def aggregated_entry(keypool, payload=b"data", seq=1, subscribers=("/s0", "/s1", "/s2")):
+    digest = message_digest(seq, payload)
+    entry = LogEntry(
+        component_id="/pub",
+        topic="/t",
+        type_name="std/String",
+        direction=Direction.OUT,
+        seq=seq,
+        scheme=Scheme.ADLP,
+        data=payload,
+        own_sig=keypool[0].private.sign_digest(digest),
+        aggregated=True,
+        ack_peer_ids=list(subscribers),
+        ack_peer_hashes=[digest] * len(subscribers),
+        ack_peer_sigs=[
+            keypool[1 + i].private.sign_digest(digest)
+            for i in range(len(subscribers))
+        ],
+    )
+    return entry, digest
+
+
+def subscriber_entry(keypool, index, digest, seq=1):
+    name = f"/s{index}"
+    return LogEntry(
+        component_id=name,
+        topic="/t",
+        type_name="std/String",
+        direction=Direction.IN,
+        seq=seq,
+        scheme=Scheme.ADLP,
+        data_hash=digest,
+        own_sig=keypool[1 + index].private.sign_digest(digest),
+        peer_id="/pub",
+        peer_sig=digest and keypool[0].private.sign_digest(digest),
+    )
+
+
+class TestAggregatedAuditing:
+    def test_fully_consistent_aggregate_is_valid(self, server, keypool):
+        entry, digest = aggregated_entry(keypool)
+        server.submit(entry)
+        for i in range(3):
+            server.submit(subscriber_entry(keypool, i, digest))
+        report = Auditor.for_server(server, TOPOLOGY).audit_server(server)
+        assert report.flagged_components() == []
+        assert len(report.valid_entries()) == 4
+
+    def test_one_hiding_subscriber_inferred_from_aggregate(self, server, keypool):
+        entry, digest = aggregated_entry(keypool)
+        server.submit(entry)
+        for i in (0, 2):  # /s1 hides
+            server.submit(subscriber_entry(keypool, i, digest))
+        report = Auditor.for_server(server, TOPOLOGY).audit_server(server)
+        assert [h.component_id for h in report.hidden] == ["/s1"]
+        # the aggregate itself is still fully valid
+        pub_entries = report.entries_for("/pub")
+        assert all(c.verdict is EntryClass.VALID for c in pub_entries)
+
+    def test_one_forged_ack_invalidates_the_aggregate(self, server, keypool):
+        entry, digest = aggregated_entry(keypool)
+        sigs = list(entry.ack_peer_sigs)
+        sigs[1] = os.urandom(len(sigs[1]))  # fabricate /s1's acknowledgement
+        entry.ack_peer_sigs = sigs
+        server.submit(entry)
+        for i in range(3):
+            server.submit(subscriber_entry(keypool, i, digest))
+        report = Auditor.for_server(server, TOPOLOGY).audit_server(server)
+        pub_entries = report.entries_for("/pub")
+        assert all(c.verdict is EntryClass.INVALID for c in pub_entries)
+        # but the subscribers, whose own evidence verifies, stay valid
+        for i in range(3):
+            assert f"/s{i}" in report.clean_components()
+
+    def test_aggregate_against_falsified_subscriber(self, server, keypool):
+        entry, digest = aggregated_entry(keypool)
+        server.submit(entry)
+        server.submit(subscriber_entry(keypool, 0, digest))
+        server.submit(subscriber_entry(keypool, 1, digest))
+        # /s2 claims different data (self-signed)
+        fake = message_digest(1, b"something else")
+        lying = LogEntry(
+            component_id="/s2",
+            topic="/t",
+            type_name="std/String",
+            direction=Direction.IN,
+            seq=1,
+            scheme=Scheme.ADLP,
+            data_hash=fake,
+            own_sig=keypool[3].private.sign_digest(fake),
+            peer_id="/pub",
+            peer_sig=os.urandom(64),
+        )
+        server.submit(lying)
+        report = Auditor.for_server(server, TOPOLOGY).audit_server(server)
+        assert report.flagged_components() == ["/s2"]
+        pub_entries = report.entries_for("/pub")
+        assert all(c.verdict is EntryClass.VALID for c in pub_entries)

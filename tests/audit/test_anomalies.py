@@ -1,0 +1,78 @@
+"""Double-signing anomalies: provable pairwise collusion traces."""
+
+from repro.audit import Auditor, Topology
+from repro.core import LogServer
+from repro.core.entries import Direction, LogEntry, Scheme
+from repro.core.protocol import message_digest
+
+
+def build_double_signed_pair(keypool):
+    """Colluders who tell two different stories -- and sign both.
+
+    The publisher's entry claims story A with the subscriber's genuine ACK
+    for story A; the subscriber's entry claims story B with the
+    publisher's genuine signature for story B.  Everything verifies, yet
+    the digests disagree.
+    """
+    pub_kp, sub_kp = keypool[0], keypool[1]
+    seq = 1
+    d_a = message_digest(seq, b"story A")
+    d_b = message_digest(seq, b"story B")
+    pub_entry = LogEntry(
+        component_id="/pub", topic="/t", type_name="std/String",
+        direction=Direction.OUT, seq=seq, scheme=Scheme.ADLP,
+        data=b"story A",
+        own_sig=pub_kp.private.sign_digest(d_a),
+        peer_id="/sub", peer_hash=d_a,
+        peer_sig=sub_kp.private.sign_digest(d_a),
+    )
+    sub_entry = LogEntry(
+        component_id="/sub", topic="/t", type_name="std/String",
+        direction=Direction.IN, seq=seq, scheme=Scheme.ADLP,
+        data_hash=d_b,
+        own_sig=sub_kp.private.sign_digest(d_b),
+        peer_id="/pub",
+        peer_sig=pub_kp.private.sign_digest(d_b),
+    )
+    return pub_entry, sub_entry
+
+
+class TestPairAnomalies:
+    def test_double_signing_detected_as_anomaly(self, keypool):
+        server = LogServer()
+        server.register_key("/pub", keypool[0].public)
+        server.register_key("/sub", keypool[1].public)
+        pub_entry, sub_entry = build_double_signed_pair(keypool)
+        server.submit(pub_entry)
+        server.submit(sub_entry)
+        topology = Topology(publisher_of={"/t": "/pub"})
+        report = Auditor.for_server(server, topology).audit_server(server)
+        # both entries individually verify (they carry genuine signatures)
+        assert len(report.valid_entries()) == 2
+        # but the pair is exposed as an anomaly
+        assert len(report.anomalies) == 1
+        anomaly = report.anomalies[0]
+        assert set(anomaly.suspects) == {"/pub", "/sub"}
+        assert anomaly.publisher_digest != anomaly.subscriber_digest
+
+    def test_honest_runs_produce_no_anomalies(self, keypool):
+        from tests.helpers import run_scenario
+
+        result = run_scenario(keypool, publications=3)
+        assert result.report.anomalies == []
+
+    def test_ordinary_falsification_is_not_an_anomaly(self, keypool):
+        """A lone falsifier cannot produce a double-signing trace: its
+        counterpart proof fails, so the case resolves via Lemma 3, not as
+        an anomaly."""
+        from repro.adversary import SubscriberBehavior
+        from repro.adversary.behaviors import flip_first_byte
+        from tests.helpers import run_scenario
+
+        result = run_scenario(
+            keypool,
+            subscriber_behaviors=[SubscriberBehavior(falsify=flip_first_byte)],
+            publications=2,
+        )
+        assert result.report.anomalies == []
+        assert result.report.flagged_components() == ["/sub0"]

@@ -1,0 +1,128 @@
+"""Lemma 4 (Temporal Causality): a single timestamp-disrupting component
+cannot reverse the precedence of a transmission chain undetected."""
+
+import pytest
+
+from repro.audit.causality import (
+    ChainHop,
+    ViolationKind,
+    check_chain_precedence,
+    check_pair_precedence,
+    precedence_holds,
+)
+from repro.core.entries import Direction, LogEntry, Scheme
+
+
+def entry(component, topic, seq, direction, timestamp):
+    return LogEntry(
+        component_id=component,
+        topic=topic,
+        type_name="std/String",
+        direction=direction,
+        seq=seq,
+        timestamp=timestamp,
+        scheme=Scheme.ADLP,
+    )
+
+
+#: the Figure 10 chain: x -(A)-> y -(B)-> z
+CHAIN = [ChainHop("/x", "/A", 1, "/y"), ChainHop("/y", "/B", 1, "/z")]
+
+
+def faithful_entries():
+    """t_x,out < t_y,in < t_y,out < t_z,in -- Figure 10 (b)."""
+    return [
+        entry("/x", "/A", 1, Direction.OUT, 1.0),
+        entry("/y", "/A", 1, Direction.IN, 2.0),
+        entry("/y", "/B", 1, Direction.OUT, 3.0),
+        entry("/z", "/B", 1, Direction.IN, 4.0),
+    ]
+
+
+class TestFaithfulTimestamps:
+    def test_no_violations(self):
+        assert check_chain_precedence(faithful_entries(), CHAIN) == []
+
+    def test_precedence_holds(self):
+        assert precedence_holds(faithful_entries(), CHAIN)
+
+
+class TestSingleDisruptor:
+    def test_middle_component_inversion_detected_locally(self):
+        """Figure 10 (c): c_y sets t_y,out < t_y,in; the chain precedence
+        survives, and the local inversion implicates exactly /y."""
+        entries = [
+            entry("/x", "/A", 1, Direction.OUT, 1.0),
+            entry("/y", "/A", 1, Direction.IN, 3.5),  # disrupted
+            entry("/y", "/B", 1, Direction.OUT, 0.5),  # disrupted
+            entry("/z", "/B", 1, Direction.IN, 4.0),
+        ]
+        violations = check_chain_precedence(entries, CHAIN)
+        kinds = {v.kind for v in violations}
+        assert ViolationKind.LOCAL_ORDER in kinds
+        local = [v for v in violations if v.kind is ViolationKind.LOCAL_ORDER]
+        assert local[0].suspects == ("/y",)
+        # the end-to-end precedence is still observable (Lemma 4)
+        assert precedence_holds(entries, CHAIN)
+
+    def test_first_component_backdating_detected_on_pair(self):
+        """c_x stamps its publication after the subscriber's receipt."""
+        entries = [
+            entry("/x", "/A", 1, Direction.OUT, 2.5),  # disrupted
+            entry("/y", "/A", 1, Direction.IN, 2.0),
+            entry("/y", "/B", 1, Direction.OUT, 3.0),
+            entry("/z", "/B", 1, Direction.IN, 4.0),
+        ]
+        violations = check_pair_precedence(entries, CHAIN[0])
+        assert len(violations) == 1
+        assert violations[0].kind is ViolationKind.PAIR_ORDER
+        assert set(violations[0].suspects) == {"/x", "/y"}
+
+    def test_last_component_cannot_flip_chain_alone(self):
+        """c_z backdates its receipt below everything: pairwise violation
+        appears, implicating the /y -> /z hop."""
+        entries = [
+            entry("/x", "/A", 1, Direction.OUT, 1.0),
+            entry("/y", "/A", 1, Direction.IN, 2.0),
+            entry("/y", "/B", 1, Direction.OUT, 3.0),
+            entry("/z", "/B", 1, Direction.IN, 0.1),  # disrupted
+        ]
+        violations = check_chain_precedence(entries, CHAIN)
+        assert any(v.kind is ViolationKind.PAIR_ORDER for v in violations)
+
+
+class TestFullCollusion:
+    def test_all_colluding_can_reverse_order_but_flagged_as_group(self):
+        """Figure 10 (d): only a full-chain collusion reverses the
+        precedence; the chain-order check names the whole group."""
+        entries = [
+            entry("/x", "/A", 1, Direction.OUT, 3.0),
+            entry("/y", "/A", 1, Direction.IN, 4.0),
+            entry("/y", "/B", 1, Direction.OUT, 1.0),
+            entry("/z", "/B", 1, Direction.IN, 2.0),
+        ]
+        violations = check_chain_precedence(entries, CHAIN)
+        chain_violations = [
+            v for v in violations if v.kind is ViolationKind.CHAIN_ORDER
+        ]
+        assert len(chain_violations) == 1
+        assert set(chain_violations[0].suspects) == {"/x", "/y", "/z"}
+        assert not precedence_holds(entries, CHAIN)
+
+
+class TestEdgeCases:
+    def test_missing_entries_tolerated(self):
+        entries = faithful_entries()[:2]
+        assert check_chain_precedence(entries, CHAIN) == []
+
+    def test_non_causal_chain_rejected(self):
+        bad_chain = [ChainHop("/x", "/A", 1, "/y"), ChainHop("/w", "/B", 1, "/z")]
+        with pytest.raises(ValueError):
+            check_chain_precedence(faithful_entries(), bad_chain)
+
+    def test_equal_timestamps_not_a_violation(self):
+        entries = [
+            entry("/x", "/A", 1, Direction.OUT, 1.0),
+            entry("/y", "/A", 1, Direction.IN, 1.0),
+        ]
+        assert check_pair_precedence(entries, CHAIN[0]) == []

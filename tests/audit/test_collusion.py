@@ -1,0 +1,68 @@
+import pytest
+
+from repro.audit.collusion import CollusionModel, maximal_collusion_groups
+
+
+class TestMaximalCollusionGroups:
+    def test_no_pairs_all_singletons(self):
+        groups = maximal_collusion_groups(["/a", "/b", "/c"], [])
+        assert groups == [frozenset({"/a"}), frozenset({"/b"}), frozenset({"/c"})]
+
+    def test_single_pair(self):
+        groups = maximal_collusion_groups(["/a", "/b", "/c"], [("/a", "/b")])
+        assert frozenset({"/a", "/b"}) in groups
+        assert frozenset({"/c"}) in groups
+
+    def test_transitive_merging(self):
+        # Figure 2's structure: B-C collude, E-F-G chain, A and D alone.
+        groups = maximal_collusion_groups(
+            ["/A", "/B", "/C", "/D", "/E", "/F", "/G"],
+            [("/B", "/C"), ("/E", "/F"), ("/F", "/G")],
+        )
+        assert frozenset({"/B", "/C"}) in groups
+        assert frozenset({"/E", "/F", "/G"}) in groups
+        assert frozenset({"/A"}) in groups
+        assert frozenset({"/D"}) in groups
+
+    def test_self_collusion_rejected(self):
+        with pytest.raises(ValueError):
+            maximal_collusion_groups(["/a"], [("/a", "/a")])
+
+
+class TestCollusionModel:
+    @pytest.fixture()
+    def model(self):
+        return CollusionModel(
+            ["/A", "/B", "/C", "/D"], colluding_pairs=[("/B", "/C")]
+        )
+
+    def test_group_of(self, model):
+        assert model.group_of("/B") == frozenset({"/B", "/C"})
+        assert model.group_of("/A") == frozenset({"/A"})
+
+    def test_group_of_unknown(self, model):
+        with pytest.raises(KeyError):
+            model.group_of("/zzz")
+
+    def test_colludes_symmetric(self, model):
+        assert model.colludes("/B", "/C")
+        assert model.colludes("/C", "/B")
+
+    def test_component_does_not_collude_with_itself(self, model):
+        assert not model.colludes("/B", "/B")
+
+    def test_collusion_free_predicate(self, model):
+        assert not model.is_collusion_free
+        assert CollusionModel(["/A", "/B"]).is_collusion_free
+
+    def test_non_colluding_pairs_filter(self, model):
+        transmissions = [("/A", "/B"), ("/B", "/C"), ("/C", "/D")]
+        assert model.non_colluding_pairs(transmissions) == [
+            ("/A", "/B"),
+            ("/C", "/D"),
+        ]
+
+    def test_edge_components(self, model):
+        # B and C form the only non-singleton group; both are 'edge' members
+        # whose outside-facing transmissions remain auditable (Theorem 1).
+        assert model.edge_components() == {"/B", "/C"}

@@ -1,0 +1,97 @@
+"""Lemma 2 (Completeness): hiding against a faithful counterpart is
+detected -- the counterpart's entry proves the transmission happened."""
+
+from repro.adversary import PublisherBehavior, SubscriberBehavior
+from repro.audit import Reason
+from repro.core.entries import Direction
+
+from tests.helpers import run_scenario
+
+
+class TestSubscriberHiding:
+    def test_acking_subscriber_cannot_hide_receipt(self, keypool):
+        """The subscriber ACKs (to keep receiving) but writes no log; the
+        publisher's entries, holding the signed ACKs, expose it."""
+        result = run_scenario(
+            keypool,
+            subscriber_behaviors=[SubscriberBehavior(hide_entries=True)],
+            publications=3,
+        )
+        report = result.report
+        hidden = [h for h in report.hidden if h.component_id == "/sub0"]
+        assert len(hidden) == 3
+        assert all(h.direction is Direction.IN for h in hidden)
+        assert all(h.reason is Reason.PEER_PROVED_TRANSMISSION for h in hidden)
+        # the faithful publisher's entries are all valid (Theorem 1)
+        assert "/pub" in report.clean_components()
+
+    def test_fully_stealthy_subscriber_is_starved(self, keypool):
+        """No ACK at all: the protocol's penalty stops serving it, so the
+        subscriber received (at most) one unacknowledged message."""
+        result = run_scenario(
+            keypool,
+            subscriber_behaviors=[SubscriberBehavior(suppress_acks=True)],
+            publications=4,
+        )
+        deliveries = [r for r in result.truth.received if r.subscriber == "/sub0"]
+        assert len(deliveries) <= 1  # withhold-until-ACK cut it off
+
+    def test_hidden_count_matches_ground_truth(self, keypool):
+        result = run_scenario(
+            keypool,
+            subscriber_behaviors=[SubscriberBehavior(hide_entries=True)],
+            publications=5,
+        )
+        transmissions = result.truth.transmissions()
+        assert len(result.report.hidden) == len(transmissions) == 5
+
+
+class TestPublisherHiding:
+    def test_publisher_cannot_hide_publication(self, keypool):
+        """The faithful subscriber's entry, holding the publisher's valid
+        signature, proves the publication (Lemma 2, first part)."""
+        result = run_scenario(
+            keypool,
+            publisher_behavior=PublisherBehavior(hide_entries=True),
+            publications=3,
+        )
+        report = result.report
+        hidden = [h for h in report.hidden if h.component_id == "/pub"]
+        assert len(hidden) == 3
+        assert all(h.direction is Direction.OUT for h in hidden)
+        assert "/sub0" in report.clean_components()
+        # every subscriber entry is valid despite the missing counterparts
+        sub_entries = report.entries_for("/sub0")
+        assert all(c.verdict.value == "valid" for c in sub_entries)
+
+    def test_both_sides_hiding_within_noncolluding_pair(self, keypool):
+        """If the publisher hides and the subscriber hides-but-ACKs, the
+        auditor sees nothing for those transmissions -- this is effectively
+        collusion, which the paper concedes is invisible.  But ground truth
+        confirms the data flowed."""
+        result = run_scenario(
+            keypool,
+            publisher_behavior=PublisherBehavior(hide_entries=True),
+            subscriber_behaviors=[SubscriberBehavior(hide_entries=True)],
+            publications=3,
+        )
+        assert len(result.truth.transmissions()) == 3
+        assert len(result.report.classified) == 0
+        assert len(result.report.hidden) == 0
+
+
+class TestMultipleSubscribers:
+    def test_one_hiding_subscriber_among_faithful(self, keypool):
+        result = run_scenario(
+            keypool,
+            subscriber_behaviors=[
+                None,
+                SubscriberBehavior(hide_entries=True),
+                None,
+            ],
+            publications=2,
+        )
+        report = result.report
+        assert report.flagged_components() == ["/sub1"]
+        assert set(report.clean_components()) == {"/pub", "/sub0", "/sub2"}
+        assert len([h for h in report.hidden if h.component_id == "/sub1"]) == 2

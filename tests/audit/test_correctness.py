@@ -1,0 +1,126 @@
+"""Lemma 3 (Correctness): misreporting the data against a faithful
+counterpart is detected, and blame lands on the misreporter."""
+
+from repro.adversary import PublisherBehavior, SubscriberBehavior
+from repro.adversary.behaviors import flip_first_byte
+from repro.audit import EntryClass, Reason
+
+from tests.helpers import run_scenario
+
+
+class TestPublisherFalsification:
+    def test_falsifying_publisher_detected(self, keypool):
+        """Lemma 3 (i): the subscriber's entry carries the publisher's own
+        signature over the *real* data, convicting the falsified L_x."""
+        result = run_scenario(
+            keypool,
+            publisher_behavior=PublisherBehavior(falsify=flip_first_byte),
+            publications=3,
+        )
+        report = result.report
+        assert report.flagged_components() == ["/pub"]
+        for classified in report.entries_for("/pub"):
+            assert classified.verdict is EntryClass.INVALID
+            assert Reason.FALSIFIED_DATA in classified.reasons
+
+    def test_faithful_subscriber_stays_clean(self, keypool):
+        result = run_scenario(
+            keypool,
+            publisher_behavior=PublisherBehavior(falsify=flip_first_byte),
+            publications=3,
+        )
+        report = result.report
+        assert "/sub0" in report.clean_components()
+        for classified in report.entries_for("/sub0"):
+            assert classified.verdict is EntryClass.VALID
+
+    def test_subscriber_log_matches_ground_truth(self, keypool):
+        """The valid entries reflect what was actually transmitted."""
+        result = run_scenario(
+            keypool,
+            publisher_behavior=PublisherBehavior(falsify=flip_first_byte),
+            publications=2,
+        )
+        for classified in result.report.entries_for("/sub0"):
+            true_digest = result.truth.digest_of("/t", classified.entry.seq)
+            assert classified.entry.reported_hash() == true_digest
+
+    def test_falsified_entries_differ_from_ground_truth(self, keypool):
+        result = run_scenario(
+            keypool,
+            publisher_behavior=PublisherBehavior(falsify=flip_first_byte),
+            publications=2,
+        )
+        for classified in result.report.entries_for("/pub"):
+            true_digest = result.truth.digest_of("/t", classified.entry.seq)
+            assert classified.entry.reported_hash() != true_digest
+
+
+class TestSubscriberFalsification:
+    def test_falsifying_subscriber_detected(self, keypool):
+        """Lemma 3 (ii): the subscriber cannot prove its differing claim
+        because it cannot forge the publisher's signature."""
+        result = run_scenario(
+            keypool,
+            subscriber_behaviors=[SubscriberBehavior(falsify=flip_first_byte)],
+            publications=3,
+        )
+        report = result.report
+        assert report.flagged_components() == ["/sub0"]
+        for classified in report.entries_for("/sub0"):
+            assert classified.verdict is EntryClass.INVALID
+
+    def test_faithful_publisher_stays_clean(self, keypool):
+        result = run_scenario(
+            keypool,
+            subscriber_behaviors=[SubscriberBehavior(falsify=flip_first_byte)],
+            publications=3,
+        )
+        report = result.report
+        assert "/pub" in report.clean_components()
+        for classified in report.entries_for("/pub"):
+            assert classified.verdict is EntryClass.VALID
+
+    def test_false_accusation_via_random_signature(self, keypool):
+        """Figure 8 (b): the subscriber claims the publisher sent an invalid
+        signature by recording garbage; eq. (4) pins the lie on it."""
+        result = run_scenario(
+            keypool,
+            subscriber_behaviors=[
+                SubscriberBehavior(fabricate_peer_signature=True)
+            ],
+            publications=2,
+        )
+        report = result.report
+        assert report.flagged_components() == ["/sub0"]
+        for classified in report.entries_for("/sub0"):
+            assert classified.verdict is EntryClass.INVALID
+
+    def test_replaying_subscriber_detected(self, keypool):
+        """Logging a previous payload under the current seq fails: the old
+        signature does not cover the new sequence number."""
+        result = run_scenario(
+            keypool,
+            subscriber_behaviors=[SubscriberBehavior(replay_previous=True)],
+            publications=4,
+        )
+        report = result.report
+        assert report.flagged_components() == ["/sub0"]
+        # the first receipt (nothing to replay yet) is honest; the rest lie
+        invalid = [
+            c
+            for c in report.entries_for("/sub0")
+            if c.verdict is EntryClass.INVALID
+        ]
+        assert len(invalid) >= 2
+
+
+class TestBothUnfaithful:
+    def test_both_falsifying_both_flagged(self, keypool):
+        result = run_scenario(
+            keypool,
+            publisher_behavior=PublisherBehavior(falsify=flip_first_byte),
+            subscriber_behaviors=[SubscriberBehavior(falsify=flip_first_byte)],
+            publications=2,
+        )
+        assert result.report.flagged_components() == ["/pub", "/sub0"]

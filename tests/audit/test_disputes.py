@@ -1,0 +1,133 @@
+"""Standalone dispute resolution (the paper's forensic headline)."""
+
+import os
+
+import pytest
+
+from repro.adversary import forge_colluding_pair
+from repro.audit.disputes import Blame, resolve_dispute
+from repro.core.entries import Direction, LogEntry, Scheme
+from repro.core.protocol import message_digest
+from repro.crypto.keystore import KeyStore
+from repro.errors import AuditError
+
+
+@pytest.fixture()
+def keystore(keypool):
+    store = KeyStore()
+    store.register("/pub", keypool[0].public)
+    store.register("/sub", keypool[1].public)
+    return store
+
+
+def honest_pair(keypool, payload=b"the real data", seq=1):
+    """Entries as a faithful run would produce them."""
+    digest = message_digest(seq, payload)
+    s_x = keypool[0].private.sign_digest(digest)
+    s_y = keypool[1].private.sign_digest(digest)
+    pub = LogEntry(
+        component_id="/pub",
+        topic="/t",
+        type_name="std/String",
+        direction=Direction.OUT,
+        seq=seq,
+        scheme=Scheme.ADLP,
+        data=payload,
+        own_sig=s_x,
+        peer_id="/sub",
+        peer_hash=digest,
+        peer_sig=s_y,
+    )
+    sub = LogEntry(
+        component_id="/sub",
+        topic="/t",
+        type_name="std/String",
+        direction=Direction.IN,
+        seq=seq,
+        scheme=Scheme.ADLP,
+        data_hash=digest,
+        own_sig=s_y,
+        peer_id="/pub",
+        peer_sig=s_x,
+    )
+    return pub, sub
+
+
+class TestNoDispute:
+    def test_agreeing_entries(self, keypool, keystore):
+        pub, sub = honest_pair(keypool)
+        verdict = resolve_dispute(pub, sub, keystore)
+        assert verdict.blame is Blame.NONE
+        assert verdict.digests_agree
+
+
+class TestPublisherLied:
+    def test_falsified_publisher_entry(self, keypool, keystore):
+        pub, sub = honest_pair(keypool)
+        # publisher claims different data (and re-signs it properly)
+        fake = b"what I wish I had sent"
+        fake_digest = message_digest(1, fake)
+        pub.data = fake
+        pub.own_sig = keypool[0].private.sign_digest(fake_digest)
+        verdict = resolve_dispute(pub, sub, keystore)
+        assert verdict.blame is Blame.PUBLISHER
+        assert "Lemma 3 i" in verdict.explanation
+
+    def test_publisher_with_invalid_own_signature(self, keypool, keystore):
+        pub, sub = honest_pair(keypool)
+        pub.own_sig = os.urandom(len(pub.own_sig))
+        verdict = resolve_dispute(pub, sub, keystore)
+        assert verdict.blame is Blame.PUBLISHER
+        assert "eq. 3" in verdict.explanation
+
+
+class TestSubscriberLied:
+    def test_falsified_subscriber_entry(self, keypool, keystore):
+        pub, sub = honest_pair(keypool)
+        fake_digest = message_digest(1, b"claimed different data")
+        sub.data_hash = fake_digest
+        sub.own_sig = keypool[1].private.sign_digest(fake_digest)
+        verdict = resolve_dispute(pub, sub, keystore)
+        assert verdict.blame is Blame.SUBSCRIBER
+        assert "Lemma 3 ii" in verdict.explanation
+
+    def test_subscriber_with_invalid_own_signature(self, keypool, keystore):
+        pub, sub = honest_pair(keypool)
+        sub.own_sig = os.urandom(len(sub.own_sig))
+        verdict = resolve_dispute(pub, sub, keystore)
+        assert verdict.blame is Blame.SUBSCRIBER
+
+
+class TestDegenerateCases:
+    def test_both_unverifiable(self, keypool, keystore):
+        pub, sub = honest_pair(keypool)
+        fake_digest_p = message_digest(1, b"pub lie")
+        fake_digest_s = message_digest(1, b"sub lie")
+        pub.data = b"pub lie"
+        pub.own_sig = keypool[0].private.sign_digest(fake_digest_p)
+        sub.data_hash = fake_digest_s
+        sub.own_sig = keypool[1].private.sign_digest(fake_digest_s)
+        verdict = resolve_dispute(pub, sub, keystore)
+        assert verdict.blame is Blame.BOTH
+
+    def test_colluders_are_unresolvable_or_clean(self, keypool, keystore):
+        """Colluders signing two stories: both proofs verify although the
+        digests disagree -- only possible with cooperation."""
+        pub, _ = honest_pair(keypool, payload=b"story A")
+        _, sub = honest_pair(keypool, payload=b"story B")
+        # Give the publisher a genuine ACK for story A (the colluding
+        # subscriber signed both stories).
+        verdict = resolve_dispute(pub, sub, keystore)
+        assert verdict.blame is Blame.UNRESOLVABLE
+        assert "collu" in verdict.explanation
+
+    def test_mismatched_transmissions_rejected(self, keypool, keystore):
+        pub, sub = honest_pair(keypool)
+        sub.seq = 99
+        with pytest.raises(AuditError):
+            resolve_dispute(pub, sub, keystore)
+
+    def test_wrong_directions_rejected(self, keypool, keystore):
+        pub, sub = honest_pair(keypool)
+        with pytest.raises(AuditError):
+            resolve_dispute(sub, pub, keystore)

@@ -1,0 +1,188 @@
+"""Streaming audit: findings surface during operation, not just post hoc."""
+
+import pytest
+
+from repro.audit.auditor import Topology
+from repro.audit.online import OnlineAuditor, OnlineFinding
+from repro.core.entries import Direction, LogEntry, Scheme
+from repro.core.protocol import message_digest
+from repro.crypto.keystore import KeyStore
+from repro.util.clock import SimulatedClock
+
+TOPOLOGY = Topology(publisher_of={"/t": "/pub"})
+
+
+@pytest.fixture()
+def keystore(keypool):
+    store = KeyStore()
+    store.register("/pub", keypool[0].public)
+    store.register("/sub", keypool[1].public)
+    return store
+
+
+def honest_pair(keypool, seq=1, payload=b"data"):
+    digest = message_digest(seq, payload)
+    s_x = keypool[0].private.sign_digest(digest)
+    s_y = keypool[1].private.sign_digest(digest)
+    pub = LogEntry(
+        component_id="/pub", topic="/t", type_name="std/String",
+        direction=Direction.OUT, seq=seq, scheme=Scheme.ADLP,
+        data=payload, own_sig=s_x,
+        peer_id="/sub", peer_hash=digest, peer_sig=s_y,
+    )
+    sub = LogEntry(
+        component_id="/sub", topic="/t", type_name="std/String",
+        direction=Direction.IN, seq=seq, scheme=Scheme.ADLP,
+        data_hash=digest, own_sig=s_y, peer_id="/pub", peer_sig=s_x,
+    )
+    return pub, sub
+
+
+class TestHappyStream:
+    def test_complete_pairs_judged_immediately(self, keystore, keypool):
+        clock = SimulatedClock()
+        auditor = OnlineAuditor(keystore, TOPOLOGY, clock=clock)
+        pub, sub = honest_pair(keypool)
+        auditor.ingest(pub)
+        assert auditor.pending_transmissions == 1
+        auditor.ingest(sub)
+        assert auditor.pending_transmissions == 0
+        assert auditor.findings == []
+        assert auditor.judged_entries == 2
+
+    def test_order_independent(self, keystore, keypool):
+        clock = SimulatedClock()
+        auditor = OnlineAuditor(keystore, TOPOLOGY, clock=clock)
+        pub, sub = honest_pair(keypool)
+        auditor.ingest(sub)  # subscriber's entry first
+        auditor.ingest(pub)
+        assert auditor.findings == []
+
+
+class TestGracePeriod:
+    def test_one_sided_transmission_flagged_after_grace(self, keystore, keypool):
+        clock = SimulatedClock()
+        auditor = OnlineAuditor(keystore, TOPOLOGY, grace_period=5.0, clock=clock)
+        pub, _ = honest_pair(keypool)
+        auditor.ingest(pub)
+        auditor.poll()
+        assert auditor.findings == []  # counterpart may still arrive
+        clock.advance(6.0)
+        auditor.poll()
+        hidden = [f for f in auditor.findings if f.kind == "hidden"]
+        assert len(hidden) == 1
+        assert hidden[0].component_id == "/sub"  # the subscriber hid
+
+    def test_late_counterpart_beats_the_clock(self, keystore, keypool):
+        clock = SimulatedClock()
+        auditor = OnlineAuditor(keystore, TOPOLOGY, grace_period=5.0, clock=clock)
+        pub, sub = honest_pair(keypool)
+        auditor.ingest(pub)
+        clock.advance(4.0)
+        auditor.ingest(sub)  # arrives within grace
+        clock.advance(10.0)
+        auditor.poll()
+        assert auditor.findings == []
+
+    def test_drain_judges_everything_now(self, keystore, keypool):
+        clock = SimulatedClock()
+        auditor = OnlineAuditor(keystore, TOPOLOGY, grace_period=100.0, clock=clock)
+        pub, _ = honest_pair(keypool)
+        auditor.ingest(pub)
+        auditor.drain()
+        assert auditor.pending_transmissions == 0
+        assert any(f.kind == "hidden" for f in auditor.findings)
+
+
+class TestStreamingDetection:
+    def test_falsified_pair_flagged_on_completion(self, keystore, keypool):
+        clock = SimulatedClock()
+        found = []
+        auditor = OnlineAuditor(
+            keystore, TOPOLOGY, clock=clock, on_finding=found.append
+        )
+        pub, _ = honest_pair(keypool, payload=b"real")
+        # subscriber claims different data (self-signed)
+        fake_digest = message_digest(1, b"fake")
+        sub = LogEntry(
+            component_id="/sub", topic="/t", type_name="std/String",
+            direction=Direction.IN, seq=1, scheme=Scheme.ADLP,
+            data_hash=fake_digest,
+            own_sig=keypool[1].private.sign_digest(fake_digest),
+            peer_id="/pub", peer_sig=pub.own_sig,
+        )
+        auditor.ingest(pub)
+        auditor.ingest(sub)
+        assert [f.kind for f in found].count("invalid") == 1
+        assert auditor.flagged_components() == ["/sub"]
+
+    def test_callback_receives_findings(self, keystore, keypool):
+        clock = SimulatedClock()
+        found = []
+        auditor = OnlineAuditor(
+            keystore, TOPOLOGY, grace_period=1.0, clock=clock,
+            on_finding=found.append,
+        )
+        pub, _ = honest_pair(keypool)
+        auditor.ingest(pub)
+        clock.advance(2.0)
+        auditor.poll()
+        assert found and isinstance(found[0], OnlineFinding)
+
+    def test_attached_to_live_log_server(self, keypool):
+        """The watchdog deployment: attach to a LogServer and catch a
+        hiding subscriber while the system runs."""
+        from repro.adversary import SubscriberBehavior
+        from tests.helpers import run_scenario
+
+        # run_scenario builds its own server, so attach via a wrapper run:
+        from repro.core import LogServer
+
+        found = []
+        result = run_scenario(
+            keypool,
+            subscriber_behaviors=[SubscriberBehavior(hide_entries=True)],
+            publications=2,
+        )
+        # replay the ingestion stream through an attached online auditor
+        server = LogServer()
+        for component in result.server.components():
+            server.register_key(component, result.server.public_key(component))
+        auditor = OnlineAuditor.attach(
+            server, result.topology, grace_period=0.0, on_finding=found.append
+        )
+        for entry in result.server.entries():
+            server.submit(entry)
+        auditor.drain()
+        auditor.detach()
+        hidden = [f for f in found if f.kind == "hidden"]
+        assert hidden and all(f.component_id == "/sub0" for f in hidden)
+        # detached: further submissions are not observed
+        before = auditor.judged_entries
+        server.submit(result.server.entries()[0])
+        auditor.drain()
+        assert auditor.judged_entries == before
+
+    def test_observer_errors_do_not_break_ingestion(self, keypool):
+        from repro.core import LogServer
+        from repro.core.entries import LogEntry
+
+        server = LogServer()
+        server.add_observer(lambda entry: (_ for _ in ()).throw(RuntimeError))
+        server.submit(LogEntry(component_id="/a", topic="/t", seq=1))
+        assert len(server) == 1
+
+    def test_multiple_transmissions_independent(self, keystore, keypool):
+        clock = SimulatedClock()
+        auditor = OnlineAuditor(keystore, TOPOLOGY, grace_period=1.0, clock=clock)
+        for seq in range(1, 4):
+            pub, sub = honest_pair(keypool, seq=seq)
+            auditor.ingest(pub)
+            auditor.ingest(sub)
+        # one more left dangling
+        pub, _ = honest_pair(keypool, seq=9)
+        auditor.ingest(pub)
+        clock.advance(2.0)
+        auditor.poll()
+        assert auditor.judged_entries == 7
+        assert len(auditor.findings) == 1

@@ -1,0 +1,116 @@
+"""Provenance reconstruction from log entries."""
+
+import pytest
+
+from repro.audit.provenance import DataItem, ProvenanceGraph
+from repro.core.entries import Direction, LogEntry, Scheme
+
+
+def entry(component, topic, seq, direction, t):
+    return LogEntry(
+        component_id=component,
+        topic=topic,
+        type_name="demo/Data",
+        direction=direction,
+        seq=seq,
+        timestamp=t,
+        scheme=Scheme.ADLP,
+    )
+
+
+@pytest.fixture()
+def pipeline_entries():
+    """camera -> detector -> controller, two frames.
+
+    frame#1 at t=1 produces lane#1 at t=3 produces steer#1 at t=5;
+    frame#2 at t=6 produces lane#2 at t=8 produces steer#2 at t=10.
+    """
+    rows = []
+    for i, base in ((1, 0.0), (2, 5.0)):
+        rows += [
+            entry("/camera", "/image", i, Direction.OUT, base + 1.0),
+            entry("/detector", "/image", i, Direction.IN, base + 2.0),
+            entry("/detector", "/lane", i, Direction.OUT, base + 3.0),
+            entry("/controller", "/lane", i, Direction.IN, base + 4.0),
+            entry("/controller", "/steer", i, Direction.OUT, base + 5.0),
+        ]
+    return rows
+
+
+class TestLineage:
+    def test_full_chain(self, pipeline_entries):
+        graph = ProvenanceGraph(pipeline_entries)
+        lineage = graph.lineage("/steer", 1)
+        assert DataItem("/image", 1) in lineage
+        assert DataItem("/lane", 1) in lineage
+
+    def test_frames_do_not_cross_contaminate(self, pipeline_entries):
+        graph = ProvenanceGraph(pipeline_entries)
+        lineage = graph.lineage("/steer", 1)
+        # frame 2 happened after steer 1 was produced
+        assert DataItem("/image", 2) not in lineage
+
+    def test_latest_input_wins(self, pipeline_entries):
+        # steer#2's lineage uses lane#2 (the latest lane before t=10),
+        # not lane#1
+        graph = ProvenanceGraph(pipeline_entries)
+        lineage = graph.lineage("/steer", 2)
+        assert DataItem("/lane", 2) in lineage
+        assert DataItem("/image", 2) in lineage
+
+    def test_unknown_item_raises(self, pipeline_entries):
+        graph = ProvenanceGraph(pipeline_entries)
+        with pytest.raises(KeyError):
+            graph.lineage("/steer", 99)
+
+
+class TestDescendants:
+    def test_blast_radius_of_a_frame(self, pipeline_entries):
+        graph = ProvenanceGraph(pipeline_entries)
+        downstream = graph.descendants("/image", 1)
+        assert DataItem("/lane", 1) in downstream
+        assert DataItem("/steer", 1) in downstream
+        assert DataItem("/lane", 2) not in downstream
+
+    def test_terminal_item_has_no_descendants(self, pipeline_entries):
+        graph = ProvenanceGraph(pipeline_entries)
+        assert graph.descendants("/steer", 2) == []
+
+
+class TestSuspects:
+    def test_suspects_cover_the_chain(self, pipeline_entries):
+        graph = ProvenanceGraph(pipeline_entries)
+        assert graph.suspects("/steer", 1) == [
+            "/camera",
+            "/controller",
+            "/detector",
+        ]
+
+    def test_producer_of(self, pipeline_entries):
+        graph = ProvenanceGraph(pipeline_entries)
+        assert graph.producer_of("/lane", 1) == "/detector"
+        assert graph.producer_of("/nope", 1) is None
+
+
+class TestMultiInputFusion:
+    def test_output_depends_on_all_input_topics(self):
+        rows = [
+            entry("/lidar", "/scan", 1, Direction.OUT, 1.0),
+            entry("/camera", "/image", 1, Direction.OUT, 1.5),
+            entry("/planner", "/scan", 1, Direction.IN, 2.0),
+            entry("/planner", "/image", 1, Direction.IN, 2.5),
+            entry("/planner", "/path", 1, Direction.OUT, 3.0),
+        ]
+        graph = ProvenanceGraph(rows)
+        lineage = graph.lineage("/path", 1)
+        assert DataItem("/scan", 1) in lineage
+        assert DataItem("/image", 1) in lineage
+
+    def test_input_after_output_excluded(self):
+        rows = [
+            entry("/camera", "/image", 1, Direction.OUT, 1.0),
+            entry("/planner", "/path", 1, Direction.OUT, 2.0),
+            entry("/planner", "/image", 1, Direction.IN, 3.0),  # too late
+        ]
+        graph = ProvenanceGraph(rows)
+        assert graph.lineage("/path", 1) == []

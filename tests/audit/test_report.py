@@ -1,0 +1,34 @@
+from repro.adversary import PublisherBehavior
+from repro.adversary.behaviors import flip_first_byte
+from repro.audit import render_report
+
+from tests.helpers import run_scenario
+
+
+class TestRenderReport:
+    def test_clean_run_renders(self, keypool):
+        result = run_scenario(keypool, publications=2)
+        text = render_report(result.report)
+        assert "valid: 4" in text
+        assert "clean" in text
+        assert "FLAGGED" not in text
+
+    def test_flagged_run_shows_findings(self, keypool):
+        result = run_scenario(
+            keypool,
+            publisher_behavior=PublisherBehavior(falsify=flip_first_byte),
+            publications=2,
+        )
+        text = render_report(result.report)
+        assert "FLAGGED" in text
+        assert "falsified_data" in text
+        assert "/pub" in text
+
+    def test_findings_truncation(self, keypool):
+        result = run_scenario(
+            keypool,
+            publisher_behavior=PublisherBehavior(falsify=flip_first_byte),
+            publications=5,
+        )
+        text = render_report(result.report, max_findings=2)
+        assert "more" in text

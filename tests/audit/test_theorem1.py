@@ -1,0 +1,65 @@
+"""Theorem 1: a faithful component's entries are ALWAYS classified valid,
+whatever the rest of the system does.
+
+Property-based: hypothesis draws arbitrary mixes of unfaithful behaviors
+for the publisher and two subscribers; whoever happens to be faithful must
+come out clean, and every entry a faithful component wrote must be valid.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.adversary import PublisherBehavior, SubscriberBehavior
+from repro.adversary.behaviors import flip_first_byte
+from repro.audit import EntryClass
+
+from tests.helpers import run_scenario
+
+publisher_behaviors = st.sampled_from(
+    [
+        None,
+        PublisherBehavior(hide_entries=True),
+        PublisherBehavior(falsify=flip_first_byte),
+    ]
+)
+
+subscriber_behaviors = st.sampled_from(
+    [
+        None,
+        SubscriberBehavior(hide_entries=True),
+        SubscriberBehavior(falsify=flip_first_byte),
+        SubscriberBehavior(fabricate_peer_signature=True),
+    ]
+)
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture, HealthCheck.too_slow],
+)
+@given(pub=publisher_behaviors, sub0=subscriber_behaviors, sub1=subscriber_behaviors)
+def test_faithful_components_always_classified_valid(keypool, pub, sub0, sub1):
+    result = run_scenario(
+        keypool,
+        publisher_behavior=pub,
+        subscriber_behaviors=[sub0, sub1],
+        publications=2,
+    )
+    report = result.report
+    behaviors = {"/pub": pub, "/sub0": sub0, "/sub1": sub1}
+    for component, behavior in behaviors.items():
+        if behavior is not None:
+            continue  # unfaithful; no guarantee claimed
+        # Theorem 1: L_i in L_{V,f} => L_i in \hat{L_V}
+        for classified in report.entries_for(component):
+            assert classified.verdict is EntryClass.VALID, (
+                component,
+                behaviors,
+                classified,
+            )
+        # and no hidden entries are attributed to a faithful component
+        assert not any(h.component_id == component for h in report.hidden), (
+            component,
+            behaviors,
+        )

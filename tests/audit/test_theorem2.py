@@ -1,0 +1,82 @@
+"""Theorem 2: in a collusion-free system, EVERY unfaithful act is detected
+and attributed to the unfaithful component."""
+
+import pytest
+
+from repro.adversary import PublisherBehavior, SubscriberBehavior, forge_colluding_pair
+from repro.adversary.behaviors import flip_first_byte
+from repro.audit import Auditor, Topology
+from repro.audit.collusion import CollusionModel
+from repro.core import LogServer
+
+from tests.helpers import run_scenario
+
+
+UNFAITHFUL_PUB = [
+    ("hide", PublisherBehavior(hide_entries=True)),
+    ("falsify", PublisherBehavior(falsify=flip_first_byte)),
+]
+UNFAITHFUL_SUB = [
+    ("hide", SubscriberBehavior(hide_entries=True)),
+    ("falsify", SubscriberBehavior(falsify=flip_first_byte)),
+    ("fabricate_sig", SubscriberBehavior(fabricate_peer_signature=True)),
+]
+
+
+class TestCollusionFreeDetection:
+    @pytest.mark.parametrize("label,behavior", UNFAITHFUL_PUB, ids=[l for l, _ in UNFAITHFUL_PUB])
+    def test_every_unfaithful_publisher_act_detected(self, keypool, label, behavior):
+        result = run_scenario(
+            keypool, publisher_behavior=behavior, publications=3
+        )
+        assert "/pub" in result.report.flagged_components(), label
+
+    @pytest.mark.parametrize("label,behavior", UNFAITHFUL_SUB, ids=[l for l, _ in UNFAITHFUL_SUB])
+    def test_every_unfaithful_subscriber_act_detected(self, keypool, label, behavior):
+        result = run_scenario(
+            keypool, subscriber_behaviors=[behavior], publications=3
+        )
+        assert "/sub0" in result.report.flagged_components(), label
+
+    def test_mixed_system_attribution_is_exact(self, keypool):
+        """Three subscribers with distinct behaviors: flagged set == the
+        truly unfaithful set, nothing more, nothing less."""
+        result = run_scenario(
+            keypool,
+            subscriber_behaviors=[
+                None,
+                SubscriberBehavior(hide_entries=True),
+                SubscriberBehavior(falsify=flip_first_byte),
+            ],
+            publications=3,
+        )
+        assert result.report.flagged_components() == ["/sub1", "/sub2"]
+
+
+class TestCollusionBreaksTheGuarantee:
+    def test_colluding_pair_fabrication_classified_valid(self, keypool):
+        """The contrast case: with collusion the premise of Theorem 2 fails,
+        and mutually consistent lies pass the audit (the paper's concession
+        that \\hat{L_V} ⊆ L_{V,f} need not hold)."""
+        server = LogServer()
+        server.register_key("/b", keypool[0].public)
+        server.register_key("/c", keypool[1].public)
+        lx, ly = forge_colluding_pair(
+            "/c", keypool[1], "/b", keypool[0], "/fake", "std/String", 1, b"lie"
+        )
+        server.submit(lx)
+        server.submit(ly)
+        topology = Topology(publisher_of={"/fake": "/c"})
+        report = Auditor.for_server(server, topology).audit_server(server)
+        assert len(report.valid_entries()) == 2
+        assert report.flagged_components() == []
+
+    def test_collusion_model_identifies_structure(self):
+        model = CollusionModel(
+            ["/a", "/b", "/c", "/d"], colluding_pairs=[("/b", "/c")]
+        )
+        assert not model.is_collusion_free
+        assert model.colludes("/b", "/c")
+        assert not model.colludes("/a", "/b")
+        singleton_free = CollusionModel(["/a", "/b"])
+        assert singleton_free.is_collusion_free

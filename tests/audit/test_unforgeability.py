@@ -1,0 +1,120 @@
+"""Lemma 1 (Unforgeability): components cannot fabricate entries for
+transmissions that never happened."""
+
+import pytest
+
+from repro.adversary import (
+    fabricate_publication_entry,
+    fabricate_receipt_entry,
+)
+from repro.audit import Auditor, EntryClass, Reason, Topology
+from repro.core import LogServer
+from repro.core.protocol import AdlpMessage, message_digest
+
+
+@pytest.fixture()
+def server(keypool):
+    server = LogServer()
+    server.register_key("/pub", keypool[0].public)
+    server.register_key("/sub", keypool[1].public)
+    return server
+
+
+TOPOLOGY = Topology(publisher_of={"/t": "/pub"}, subscribers_of={"/t": ["/sub"]})
+
+
+class TestFabricatedPublication:
+    def test_random_ack_signature_detected(self, server, keypool):
+        entry = fabricate_publication_entry(
+            "/pub", keypool[0], "/t", "std/String", 3, b"fake data", "/sub"
+        )
+        server.submit(entry)
+        report = Auditor.for_server(server, TOPOLOGY).audit_server(server)
+        [classified] = report.invalid_entries()
+        assert Reason.FABRICATED in classified.reasons
+        assert report.flagged_components() == ["/pub"]
+
+    def test_reused_old_ack_defeated_by_sequence_number(self, server, keypool):
+        """The Lemma 1 proof: reusing an old M_y fails because the signature
+        covers h(seq || D) and the seq differs."""
+        # A legitimate transmission happened at seq=1:
+        old_digest = message_digest(1, b"real data")
+        old_ack_sig = keypool[1].private.sign_digest(old_digest)
+        # The publisher fabricates seq=2 reusing that ACK:
+        entry = fabricate_publication_entry(
+            "/pub",
+            keypool[0],
+            "/t",
+            "std/String",
+            2,
+            b"real data",
+            "/sub",
+            reuse_ack=(old_digest, old_ack_sig),
+        )
+        server.submit(entry)
+        report = Auditor.for_server(server, TOPOLOGY).audit_server(server)
+        [classified] = report.invalid_entries()
+        assert classified.verdict is EntryClass.INVALID
+
+    def test_entry_without_any_ack_cannot_prove_publication(self, server, keypool):
+        """'The publisher's log entry L_x alone cannot prove its
+        publication' -- Lemma 1."""
+        digest = message_digest(1, b"data")
+        from repro.core.entries import Direction, LogEntry, Scheme
+
+        entry = LogEntry(
+            component_id="/pub",
+            topic="/t",
+            type_name="std/String",
+            direction=Direction.OUT,
+            seq=1,
+            scheme=Scheme.ADLP,
+            data=b"data",
+            own_sig=keypool[0].private.sign_digest(digest),
+        )
+        server.submit(entry)
+        report = Auditor.for_server(server, TOPOLOGY).audit_server(server)
+        [classified] = report.invalid_entries()
+        assert Reason.UNPROVEN_PUBLICATION in classified.reasons
+
+
+class TestFabricatedReceipt:
+    def test_random_publisher_signature_detected(self, server, keypool):
+        entry = fabricate_receipt_entry(
+            "/sub", keypool[1], "/t", "std/String", 3, b"fake data", "/pub"
+        )
+        server.submit(entry)
+        report = Auditor.for_server(server, TOPOLOGY).audit_server(server)
+        [classified] = report.invalid_entries()
+        assert Reason.FABRICATED in classified.reasons
+        assert report.flagged_components() == ["/sub"]
+
+    def test_replayed_message_defeated_by_sequence_number(self, server, keypool):
+        """Subscriber reuses an old (D, s_x) pair under a new seq."""
+        old_digest = message_digest(1, b"old payload")
+        old_sig = keypool[0].private.sign_digest(old_digest)
+        entry = fabricate_receipt_entry(
+            "/sub",
+            keypool[1],
+            "/t",
+            "std/String",
+            2,
+            b"",
+            "/pub",
+            reuse_message=(b"old payload", old_sig),
+        )
+        server.submit(entry)
+        report = Auditor.for_server(server, TOPOLOGY).audit_server(server)
+        [classified] = report.invalid_entries()
+        assert classified.verdict is EntryClass.INVALID
+
+    def test_fabrication_cannot_frame_the_publisher(self, server, keypool):
+        """A fabricated receipt must not cause blame to land on /pub."""
+        entry = fabricate_receipt_entry(
+            "/sub", keypool[1], "/t", "std/String", 9, b"never sent", "/pub"
+        )
+        server.submit(entry)
+        report = Auditor.for_server(server, TOPOLOGY).audit_server(server)
+        assert "/pub" not in report.flagged_components()
+        # And crucially, no hidden OUT entry is attributed to /pub.
+        assert not any(h.component_id == "/pub" for h in report.hidden)

@@ -1,0 +1,35 @@
+"""Shared fixtures.
+
+RSA key generation is the only expensive setup, so a pool of seeded
+512-bit key pairs is generated once per session and handed out by index.
+512-bit keys keep tests fast; the algorithms are size-independent and the
+crypto unit tests cover 1024-bit (the paper's size) explicitly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.keys import KeyPair, generate_keypair
+from repro.core.policy import AdlpConfig
+
+#: Seeded key pool size; tests index into it.
+_POOL_SIZE = 12
+
+
+@pytest.fixture(scope="session")
+def keypool():
+    """A list of deterministic 512-bit key pairs."""
+    return [generate_keypair(512, seed=9000 + i) for i in range(_POOL_SIZE)]
+
+
+@pytest.fixture(scope="session")
+def keypair_1024():
+    """One deterministic 1024-bit pair (the paper's key size)."""
+    return generate_keypair(1024, seed=4242)
+
+
+@pytest.fixture()
+def fast_config():
+    """An ADLP config sized for tests: small keys, short timeouts."""
+    return AdlpConfig(key_bits=512, ack_timeout=2.0)

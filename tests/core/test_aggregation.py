@@ -1,0 +1,116 @@
+"""Tests for the aggregated-logging extension (paper Section VI-E)."""
+
+import time
+
+import pytest
+
+from repro.core import AdlpConfig, AdlpProtocol, Direction, LogServer
+from repro.middleware import Master, Node
+from repro.middleware.msgtypes import StringMsg
+from repro.util.concurrency import wait_for
+
+TOPIC = "/t"
+
+
+@pytest.fixture()
+def aggregated_world(keypool):
+    config = AdlpConfig(
+        key_bits=512,
+        aggregate_publisher_entries=True,
+        aggregation_window=0.05,
+        ack_timeout=2.0,
+    )
+    master = Master()
+    server = LogServer()
+    pub_protocol = AdlpProtocol("/pub", server, config=config, keypair=keypool[0])
+    pub_node = Node("/pub", master, protocol=pub_protocol)
+    sub_nodes = []
+    for i in range(3):
+        protocol = AdlpProtocol(
+            f"/sub{i}", server, config=AdlpConfig(key_bits=512), keypair=keypool[1 + i]
+        )
+        node = Node(f"/sub{i}", master, protocol=protocol)
+        node.subscribe(TOPIC, StringMsg, lambda m: None)
+        sub_nodes.append(node)
+    yield master, server, pub_node, sub_nodes, pub_protocol
+    pub_node.shutdown()
+    for node in sub_nodes:
+        node.shutdown()
+
+
+class TestAggregatedLogging:
+    def test_one_entry_per_publication(self, aggregated_world):
+        _, server, pub_node, _, pub_protocol = aggregated_world
+        pub = pub_node.advertise(TOPIC, StringMsg)
+        assert pub.wait_for_subscribers(3)
+        for i in range(4):
+            pub.publish(StringMsg(data=f"m{i}"))
+        assert wait_for(lambda: pub_protocol.stats.acks_received >= 12, timeout=5.0)
+        # force window expiry and flush
+        time.sleep(0.1)
+        pub.publish(StringMsg(data="flush"))
+        wait_for(lambda: pub_protocol.stats.acks_received >= 15, timeout=5.0)
+        pub_node.shutdown()
+        pub_protocol.flush()
+        outs = server.entries(component_id="/pub", direction=Direction.OUT)
+        aggregated = [e for e in outs if e.aggregated]
+        # 4(+1 flush) publications -> one entry each, NOT one per subscriber
+        assert 4 <= len(outs) <= 5
+        for entry in aggregated:
+            assert len(entry.ack_peer_ids) == len(entry.ack_peer_sigs)
+            assert len(entry.ack_peer_ids) >= 1
+
+    def test_aggregated_entry_collects_all_subscribers(self, aggregated_world):
+        _, server, pub_node, _, pub_protocol = aggregated_world
+        pub = pub_node.advertise(TOPIC, StringMsg)
+        assert pub.wait_for_subscribers(3)
+        pub.publish(StringMsg(data="only"))
+        assert wait_for(lambda: pub_protocol.stats.acks_received >= 3, timeout=5.0)
+        pub_node.shutdown()  # triggers aggregator flush
+        pub_protocol.flush()
+        outs = server.entries(component_id="/pub", direction=Direction.OUT)
+        assert len(outs) == 1
+        entry = outs[0]
+        assert entry.aggregated
+        assert sorted(entry.ack_peer_ids) == ["/sub0", "/sub1", "/sub2"]
+
+    def test_aggregation_reduces_log_bytes(self, keypool):
+        """The extension's whole point: less log volume for fan-out."""
+
+        def run(aggregate):
+            config = AdlpConfig(
+                key_bits=512,
+                aggregate_publisher_entries=aggregate,
+                aggregation_window=0.05,
+            )
+            master = Master()
+            server = LogServer()
+            pub_protocol = AdlpProtocol("/pub", server, config=config, keypair=keypool[0])
+            pub_node = Node("/pub", master, protocol=pub_protocol)
+            nodes = [pub_node]
+            for i in range(3):
+                protocol = AdlpProtocol(
+                    f"/sub{i}",
+                    server,
+                    config=AdlpConfig(key_bits=512),
+                    keypair=keypool[1 + i],
+                )
+                node = Node(f"/sub{i}", master, protocol=protocol)
+                node.subscribe(TOPIC, StringMsg, lambda m: None)
+                nodes.append(node)
+            pub = pub_node.advertise(TOPIC, StringMsg)
+            pub.wait_for_subscribers(3)
+            payload = "x" * 2000
+            for i in range(5):
+                pub.publish(StringMsg(data=payload))
+            wait_for(lambda: pub_protocol.stats.acks_received >= 15, timeout=5.0)
+            for node in nodes:
+                node.shutdown()
+            pub_protocol.flush()
+            pub_bytes = sum(
+                e.encoded_size()
+                for e in server.entries(component_id="/pub", direction=Direction.OUT)
+            )
+            return pub_bytes
+
+        assert run(aggregate=True) < run(aggregate=False)

@@ -1,0 +1,107 @@
+import pytest
+
+from repro.core.entries import Direction, LogEntry, Scheme
+from repro.core.protocol import message_digest
+
+
+class TestLogEntry:
+    def test_roundtrip_full(self):
+        entry = LogEntry(
+            component_id="/pub",
+            topic="/t",
+            type_name="std/String",
+            direction=Direction.OUT,
+            seq=7,
+            timestamp=123.456,
+            scheme=Scheme.ADLP,
+            data=b"payload",
+            own_sig=b"\x01" * 64,
+            peer_id="/sub",
+            peer_hash=b"\x02" * 32,
+            peer_sig=b"\x03" * 64,
+        )
+        assert LogEntry.decode(entry.encode()) == entry
+
+    def test_roundtrip_aggregated(self):
+        entry = LogEntry(
+            component_id="/pub",
+            topic="/t",
+            type_name="std/String",
+            direction=Direction.OUT,
+            seq=1,
+            scheme=Scheme.ADLP,
+            aggregated=True,
+            ack_peer_ids=["/a", "/b"],
+            ack_peer_hashes=[b"\x01" * 32, b"\x02" * 32],
+            ack_peer_sigs=[b"\x03" * 64, b"\x04" * 64],
+        )
+        decoded = LogEntry.decode(entry.encode())
+        assert decoded.ack_peer_ids == ["/a", "/b"]
+        assert decoded.ack_peer_hashes[1] == b"\x02" * 32
+
+    def test_naive_entry_is_smaller(self):
+        # Definition 2 uses only the basic fields; ADLP adds signatures.
+        naive = LogEntry(
+            component_id="/pub",
+            topic="/t",
+            type_name="std/String",
+            direction=Direction.OUT,
+            seq=1,
+            timestamp=1.0,
+            scheme=Scheme.NAIVE,
+            data=b"x" * 20,
+        )
+        adlp = LogEntry(
+            component_id="/pub",
+            topic="/t",
+            type_name="std/String",
+            direction=Direction.OUT,
+            seq=1,
+            timestamp=1.0,
+            scheme=Scheme.ADLP,
+            data=b"x" * 20,
+            own_sig=b"s" * 128,
+            peer_id="/sub",
+            peer_hash=b"h" * 32,
+            peer_sig=b"t" * 128,
+        )
+        assert naive.encoded_size() < adlp.encoded_size()
+
+    def test_direction_predicates(self):
+        assert LogEntry(direction=Direction.OUT).is_publication
+        assert LogEntry(direction=Direction.IN).is_subscription
+        assert not LogEntry(direction=Direction.IN).is_publication
+
+    def test_validate_meta_rejects_unknown_direction(self):
+        entry = LogEntry(component_id="/a", topic="/t")
+        with pytest.raises(ValueError):
+            entry.validate_meta()
+
+    def test_validate_meta_rejects_bad_names(self):
+        entry = LogEntry(component_id="", topic="/t", direction=Direction.IN)
+        with pytest.raises(Exception):
+            entry.validate_meta()
+
+
+class TestReportedHash:
+    def test_from_data(self):
+        entry = LogEntry(seq=5, data=b"payload")
+        assert entry.reported_hash() == message_digest(5, b"payload")
+
+    def test_from_hash_field(self):
+        digest = message_digest(5, b"payload")
+        entry = LogEntry(seq=5, data_hash=digest)
+        assert entry.reported_hash() == digest
+
+    def test_hash_field_takes_priority(self):
+        digest = message_digest(1, b"claimed")
+        entry = LogEntry(seq=1, data=b"other", data_hash=digest)
+        assert entry.reported_hash() == digest
+
+    def test_empty_when_nothing_reported(self):
+        assert LogEntry(seq=1).reported_hash() == b""
+
+    def test_key_identifies_transmission_view(self):
+        a = LogEntry(component_id="/x", topic="/t", seq=1, direction=Direction.OUT)
+        b = LogEntry(component_id="/x", topic="/t", seq=1, direction=Direction.IN)
+        assert a.key() != b.key()

@@ -1,0 +1,161 @@
+"""Failure injection: the protocol under infrastructure trouble.
+
+The paper's design requires that ADLP never becomes a single point of
+failure ("any failure at the log server does not interrupt a normal
+operation of the ROS nodes") and that data keeps flowing across transient
+link loss ("we assume that data is eventually delivered unless connection
+is permanently lost").
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.core import AdlpConfig, AdlpProtocol, LogServer
+from repro.errors import LoggingError
+from repro.middleware import Master, Node
+from repro.middleware.msgtypes import StringMsg
+from repro.util.concurrency import wait_for
+
+
+class FlakyLogServer(LogServer):
+    """A log server that can be taken down and brought back."""
+
+    def __init__(self):
+        super().__init__()
+        self.down = threading.Event()
+        self.rejected = 0
+
+    def submit(self, entry):
+        if self.down.is_set():
+            self.rejected += 1
+            raise LoggingError("log server outage")
+        return super().submit(entry)
+
+
+class TestLoggerOutage:
+    def test_data_plane_survives_logger_outage(self, keypool, fast_config):
+        """Messages keep flowing while the logger is down; entries from the
+        outage window are dropped (and counted), later ones arrive."""
+        server = FlakyLogServer()
+        master = Master()
+        pub_protocol = AdlpProtocol("/pub", server, config=fast_config, keypair=keypool[0])
+        sub_protocol = AdlpProtocol("/sub", server, config=fast_config, keypair=keypool[1])
+        pub_node = Node("/pub", master, protocol=pub_protocol)
+        sub_node = Node("/sub", master, protocol=sub_protocol)
+        try:
+            received = []
+            sub = sub_node.subscribe("/t", StringMsg, received.append)
+            pub = pub_node.advertise("/t", StringMsg)
+            assert pub.wait_for_subscribers(1)
+
+            pub.publish(StringMsg(data="before"))
+            assert sub.wait_for_messages(1)
+            pub_protocol.flush()
+            sub_protocol.flush()
+            baseline = len(server)
+
+            server.down.set()
+            for i in range(3):
+                pub.publish(StringMsg(data=f"during {i}"))
+            assert sub.wait_for_messages(4)  # delivery unaffected
+            pub_protocol.flush()
+            sub_protocol.flush()
+            assert len(server) == baseline  # nothing ingested
+            assert server.rejected > 0
+
+            server.down.clear()
+            pub.publish(StringMsg(data="after"))
+            assert sub.wait_for_messages(5)
+            assert wait_for(lambda: len(server) >= baseline + 2, timeout=5.0)
+            dropped = (
+                pub_protocol.logging_thread.dropped
+                + sub_protocol.logging_thread.dropped
+            )
+            assert dropped > 0  # the outage is visible, not silent
+        finally:
+            pub_node.shutdown()
+            sub_node.shutdown()
+
+
+class TestLinkLoss:
+    def test_subscriber_reconnects_and_resumes(self, keypool, fast_config):
+        """Kill the live connection; the subscriber reconnects to the same
+        publisher and later publications are delivered and logged."""
+        server = LogServer()
+        master = Master()
+        pub_protocol = AdlpProtocol("/pub", server, config=fast_config, keypair=keypool[0])
+        sub_protocol = AdlpProtocol("/sub", server, config=fast_config, keypair=keypool[1])
+        pub_node = Node("/pub", master, protocol=pub_protocol)
+        sub_node = Node("/sub", master, protocol=sub_protocol)
+        try:
+            received = []
+            sub = sub_node.subscribe("/t", StringMsg, received.append)
+            pub = pub_node.advertise("/t", StringMsg)
+            assert pub.wait_for_subscribers(1)
+            pub.publish(StringMsg(data="one"))
+            assert sub.wait_for_messages(1)
+
+            # sever the link from the publisher side
+            with pub._links_lock:
+                link = next(iter(pub._links.values()))
+            link.connection.close()
+            # subscriber notices, reconnects, publisher re-accepts
+            assert wait_for(lambda: pub.num_connections >= 1, timeout=5.0)
+            assert sub.wait_for_connection(timeout=5.0)
+
+            # A publication racing the dead link is lost (pub/sub has no
+            # redelivery, as in ROS); eventually publications flow again.
+            deadline = time.monotonic() + 10.0
+            while len(received) < 2 and time.monotonic() < deadline:
+                pub.publish(StringMsg(data="again"))
+                time.sleep(0.1)
+            assert len(received) >= 2
+            pub_protocol.flush()
+            sub_protocol.flush()
+            # every delivered transmission is fully logged on both sides
+            sub_entries = server.entries(component_id="/sub")
+            assert len(sub_entries) == len(received)
+            delivered_seqs = {e.seq for e in sub_entries}
+            for seq in delivered_seqs:
+                assert server.entries(component_id="/pub", seq=seq)
+        finally:
+            pub_node.shutdown()
+            sub_node.shutdown()
+
+
+class TestQueueOverflow:
+    def test_slow_subscriber_drops_oldest_not_newest(self, keypool):
+        """QoS: a backlogged link drops the oldest frames; the audit stays
+        consistent because undelivered publications simply have no
+        subscriber entry AND no publisher ACK entry."""
+        config = AdlpConfig(key_bits=512, ack_timeout=5.0)
+        server = LogServer()
+        master = Master()
+        pub_protocol = AdlpProtocol("/pub", server, config=config, keypair=keypool[0])
+        sub_protocol = AdlpProtocol("/sub", server, config=config, keypair=keypool[1])
+        pub_node = Node("/pub", master, protocol=pub_protocol)
+        sub_node = Node("/sub", master, protocol=sub_protocol)
+        try:
+            gate = threading.Event()
+            received = []
+
+            def slow_callback(msg):
+                gate.wait(10.0)
+                received.append(msg.data)
+
+            sub = sub_node.subscribe("/t", StringMsg, slow_callback)
+            pub = pub_node.advertise("/t", StringMsg, queue_size=2)
+            assert pub.wait_for_subscribers(1)
+            for i in range(12):
+                pub.publish(StringMsg(data=f"m{i}"))
+            time.sleep(0.3)
+            gate.set()
+            wait_for(lambda: pub.stats.dropped > 0, timeout=5.0)
+            assert pub.stats.dropped > 0
+            # the newest message eventually arrives
+            assert wait_for(lambda: "m11" in received, timeout=10.0)
+        finally:
+            pub_node.shutdown()
+            sub_node.shutdown()

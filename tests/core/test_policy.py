@@ -1,0 +1,29 @@
+import pytest
+
+from repro.core.policy import AdlpConfig
+
+
+class TestAdlpConfig:
+    def test_paper_defaults(self):
+        config = AdlpConfig()
+        assert config.key_bits == 1024  # the paper's RSA-1024
+        assert config.subscriber_stores_hash  # h(D) by default
+        assert config.require_ack  # withhold-until-ACK on
+        assert not config.aggregate_publisher_entries
+
+    def test_immutable(self):
+        config = AdlpConfig()
+        with pytest.raises(Exception):
+            config.key_bits = 512
+
+    def test_rejects_tiny_keys(self):
+        with pytest.raises(ValueError):
+            AdlpConfig(key_bits=64)
+
+    def test_rejects_nonpositive_timeout(self):
+        with pytest.raises(ValueError):
+            AdlpConfig(ack_timeout=0)
+
+    def test_rejects_negative_window(self):
+        with pytest.raises(ValueError):
+            AdlpConfig(aggregation_window=-0.1)

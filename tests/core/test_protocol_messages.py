@@ -1,0 +1,75 @@
+import pytest
+
+from repro.core.protocol import AdlpAck, AdlpMessage, message_digest
+from repro.crypto.hashing import data_digest
+from repro.errors import ProtocolError
+
+
+class TestMessageDigest:
+    def test_matches_crypto_layer(self):
+        assert message_digest(3, b"d") == data_digest(3, b"d")
+
+    def test_seq_sensitivity(self):
+        assert message_digest(1, b"d") != message_digest(2, b"d")
+
+
+class TestAdlpMessage:
+    def test_roundtrip(self):
+        msg = AdlpMessage(seq=9, payload=b"data", signature=b"s" * 128)
+        parsed = AdlpMessage.parse(msg.encode())
+        assert (parsed.seq, parsed.payload, parsed.signature) == (
+            9,
+            b"data",
+            b"s" * 128,
+        )
+
+    def test_missing_signature_rejected(self):
+        raw = AdlpMessage(seq=1, payload=b"d").encode()
+        with pytest.raises(ProtocolError):
+            AdlpMessage.parse(raw)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ProtocolError):
+            AdlpMessage.parse(b"\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff")
+
+    def test_envelope_overhead_close_to_paper(self, keypair_1024):
+        # Paper: message size = |D| + 4 (preamble) + 128 (signature).  Our
+        # envelope adds the 128-byte signature plus a few tag/length bytes.
+        payload = b"p" * 8705
+        digest = message_digest(1, payload)
+        sig = keypair_1024.private.sign_digest(digest)
+        raw = AdlpMessage(seq=1, payload=payload, signature=sig).encode()
+        overhead = len(raw) - len(payload)
+        assert 128 <= overhead <= 128 + 16
+
+
+class TestAdlpAck:
+    def test_roundtrip_hash_form(self):
+        digest = message_digest(2, b"data")
+        ack = AdlpAck(seq=2, data_hash=digest, signature=b"s" * 128)
+        parsed = AdlpAck.parse(ack.encode())
+        assert parsed.acknowledged_hash() == digest
+
+    def test_roundtrip_data_form(self):
+        # Section IV-A: subscriber may return the data itself when small.
+        ack = AdlpAck(seq=2, signature=b"s" * 128, returns_data=True, payload=b"data")
+        parsed = AdlpAck.parse(ack.encode())
+        assert parsed.acknowledged_hash() == message_digest(2, b"data")
+
+    def test_no_commitment_rejected(self):
+        raw = AdlpAck(seq=1, signature=b"s").encode()
+        # has signature but neither hash nor data
+        with pytest.raises(ProtocolError):
+            AdlpAck.parse(raw)
+
+    def test_missing_signature_rejected(self):
+        raw = AdlpAck(seq=1, data_hash=b"h" * 32).encode()
+        with pytest.raises(ProtocolError):
+            AdlpAck.parse(raw)
+
+    def test_ack_size_close_to_paper(self, keypair_1024):
+        # Paper: fixed 160-byte ACK (32-byte hash + 128-byte signature).
+        digest = message_digest(1, b"payload")
+        sig = keypair_1024.private.sign_digest(digest)
+        raw = AdlpAck(seq=1, data_hash=digest, signature=sig).encode()
+        assert 160 <= len(raw) <= 160 + 12  # plus wire tags/lengths

@@ -1,0 +1,113 @@
+"""Property-based tests of the ADLP wire artifacts and the end-to-end
+sign/ack/verify invariants."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.entries import Direction, LogEntry, Scheme
+from repro.core.protocol import AdlpAck, AdlpMessage, message_digest
+from repro.errors import ProtocolError
+
+
+seqs = st.integers(min_value=0, max_value=(1 << 64) - 1)
+payloads = st.binary(max_size=512)
+signatures = st.binary(min_size=1, max_size=256)
+
+
+class TestWireRoundtrips:
+    @given(seq=seqs, payload=payloads, signature=signatures)
+    def test_message_roundtrip(self, seq, payload, signature):
+        msg = AdlpMessage(seq=seq, payload=payload, signature=signature)
+        parsed = AdlpMessage.parse(msg.encode())
+        assert (parsed.seq, parsed.payload, parsed.signature) == (
+            seq,
+            payload,
+            signature,
+        )
+
+    @given(seq=seqs, payload=payloads, signature=signatures)
+    def test_ack_data_form_roundtrip(self, seq, payload, signature):
+        ack = AdlpAck(seq=seq, signature=signature, returns_data=True, payload=payload)
+        parsed = AdlpAck.parse(ack.encode())
+        assert parsed.acknowledged_hash() == message_digest(seq, payload)
+
+    @given(st.binary(max_size=64))
+    def test_garbage_never_crashes_parse(self, blob):
+        for parser in (AdlpMessage.parse, AdlpAck.parse):
+            try:
+                parser(blob)
+            except ProtocolError:
+                pass  # rejection is fine; uncontrolled exceptions are not
+
+    @given(seq=seqs, payload=payloads)
+    def test_digest_symmetry(self, seq, payload):
+        """Publisher and subscriber compute identical digests from the
+        wire fields alone."""
+        msg = AdlpMessage(seq=seq, payload=payload, signature=b"s")
+        decoded = AdlpMessage.decode(msg.encode())
+        assert message_digest(decoded.seq, decoded.payload) == message_digest(
+            seq, payload
+        )
+
+
+class TestLogEntryRoundtrip:
+    entries = st.builds(
+        LogEntry,
+        component_id=st.sampled_from(["/a", "/b", "/node_1"]),
+        topic=st.sampled_from(["/t", "/camera/image_raw"]),
+        type_name=st.just("std/String"),
+        direction=st.sampled_from([Direction.OUT, Direction.IN]),
+        seq=seqs,
+        timestamp=st.floats(min_value=0, max_value=1e12),
+        scheme=st.sampled_from([Scheme.NAIVE, Scheme.ADLP]),
+        data=st.binary(max_size=128),
+        data_hash=st.binary(max_size=32),
+        own_sig=st.binary(max_size=128),
+        peer_id=st.sampled_from(["", "/peer"]),
+        peer_hash=st.binary(max_size=32),
+        peer_sig=st.binary(max_size=128),
+    )
+
+    @given(entries)
+    def test_roundtrip(self, entry):
+        assert LogEntry.decode(entry.encode()) == entry
+
+    @given(entries, entries)
+    def test_injective_encoding(self, a, b):
+        if a != b:
+            assert a.encode() != b.encode()
+
+
+class TestSignatureInvariants:
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        seq=st.integers(min_value=0, max_value=(1 << 64) - 2),  # seq+1 below
+        payload=payloads,
+    )
+    def test_signed_digest_verifies_only_for_exact_pair(self, keypool, seq, payload):
+        pair = keypool[0]
+        digest = message_digest(seq, payload)
+        signature = pair.private.sign_digest(digest)
+        assert pair.public.verify_digest(digest, signature)
+        # any change to seq or payload breaks verification
+        assert not pair.public.verify_digest(
+            message_digest(seq + 1, payload), signature
+        )
+        assert not pair.public.verify_digest(
+            message_digest(seq, payload + b"x"), signature
+        )
+
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(seq=seqs, payload=payloads)
+    def test_signature_not_transferable_between_keys(self, keypool, seq, payload):
+        digest = message_digest(seq, payload)
+        signature = keypool[0].private.sign_digest(digest)
+        assert not keypool[1].public.verify_digest(digest, signature)

@@ -1,0 +1,126 @@
+"""The remote log server: registration, submission, failure tolerance."""
+
+import pytest
+
+from repro.core import (
+    AdlpConfig,
+    AdlpProtocol,
+    Direction,
+    LogServer,
+    LogServerEndpoint,
+    RemoteLogger,
+)
+from repro.core.entries import LogEntry, Scheme
+from repro.errors import LoggingError
+from repro.middleware import Master, Node
+from repro.middleware.msgtypes import StringMsg
+from repro.util.concurrency import wait_for
+
+
+@pytest.fixture()
+def endpoint():
+    server = LogServer()
+    endpoint = LogServerEndpoint(server)
+    yield server, endpoint
+    endpoint.close()
+
+
+class TestRemoteLogger:
+    def test_key_registration_roundtrip(self, endpoint, keypool):
+        server, ep = endpoint
+        client = RemoteLogger(ep.address)
+        client.register_key("/a", keypool[0].public)
+        assert server.public_key("/a") == keypool[0].public
+        client.close()
+
+    def test_conflicting_key_rejected_remotely(self, endpoint, keypool):
+        _, ep = endpoint
+        client = RemoteLogger(ep.address)
+        client.register_key("/a", keypool[0].public)
+        with pytest.raises(LoggingError):
+            client.register_key("/a", keypool[1].public)
+        client.close()
+
+    def test_submit_reaches_server(self, endpoint):
+        server, ep = endpoint
+        client = RemoteLogger(ep.address)
+        entry = LogEntry(
+            component_id="/a",
+            topic="/t",
+            type_name="std/String",
+            direction=Direction.OUT,
+            seq=1,
+            scheme=Scheme.ADLP,
+            data=b"remote",
+        )
+        client.submit(entry)
+        assert wait_for(lambda: len(server) == 1, timeout=2.0)
+        assert server.entries()[0].data == b"remote"
+        client.close()
+
+    def test_unreachable_server_fails_registration(self, keypool):
+        client = RemoteLogger(("tcp", "127.0.0.1", 1))  # nothing listens
+        with pytest.raises(LoggingError):
+            client.register_key("/a", keypool[0].public)
+        client.close()
+
+    def test_submit_tolerates_dead_server(self, endpoint, keypool):
+        """The paper's no-single-point-of-failure property: once running,
+        a logger failure must not raise into the component."""
+        server, ep = endpoint
+        client = RemoteLogger(ep.address)
+        client.register_key("/a", keypool[0].public)
+        ep.close()
+        entry = LogEntry(component_id="/a", topic="/t", seq=1)
+        for _ in range(3):
+            client.submit(entry)  # must not raise
+        assert client.dropped >= 1
+        client.close()
+
+    def test_malformed_frames_do_not_kill_server(self, endpoint, keypool):
+        server, ep = endpoint
+        from repro.middleware.transport.tcp import TcpTransport
+
+        raw = TcpTransport().connect(ep.address)
+        raw.send_frame(b"\xff\xfe\xfd")  # garbage
+        raw.close()
+        client = RemoteLogger(ep.address)
+        client.register_key("/a", keypool[0].public)  # server still alive
+        client.close()
+
+
+class TestAdlpOverRemoteLogger:
+    def test_full_protocol_with_remote_logging(self, endpoint, keypool, fast_config):
+        """ADLP nodes pointed at a socket logger, end to end."""
+        server, ep = endpoint
+        master = Master()
+        pub_logger = RemoteLogger(ep.address)
+        sub_logger = RemoteLogger(ep.address)
+        pub_protocol = AdlpProtocol(
+            "/pub", pub_logger, config=fast_config, keypair=keypool[0]
+        )
+        sub_protocol = AdlpProtocol(
+            "/sub", sub_logger, config=fast_config, keypair=keypool[1]
+        )
+        pub_node = Node("/pub", master, protocol=pub_protocol)
+        sub_node = Node("/sub", master, protocol=sub_protocol)
+        try:
+            sub = sub_node.subscribe("/t", StringMsg, lambda m: None)
+            pub = pub_node.advertise("/t", StringMsg)
+            assert pub.wait_for_subscribers(1)
+            for i in range(3):
+                pub.publish(StringMsg(data=f"m{i}"))
+            assert sub.wait_for_messages(3)
+            assert wait_for(lambda: len(server) >= 6, timeout=5.0)
+        finally:
+            pub_node.shutdown()
+            sub_node.shutdown()
+            pub_logger.close()
+            sub_logger.close()
+        # the server-side audit works exactly as with a local logger
+        from repro.audit import Auditor, Topology
+
+        topology = Topology(publisher_of={"/t": "/pub"})
+        report = Auditor.for_server(server, topology).audit_server(server)
+        assert report.flagged_components() == []
+        assert len(report.valid_entries()) == 6

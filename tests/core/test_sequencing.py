@@ -1,0 +1,34 @@
+from repro.core.sequencing import SequenceTracker
+
+
+class TestSequenceTracker:
+    def test_monotone_sequence_accepted(self):
+        tracker = SequenceTracker()
+        assert all(tracker.accept(i) for i in range(1, 6))
+        assert tracker.stats.accepted == 5
+        assert tracker.stats.stale == 0
+        assert tracker.last == 5
+
+    def test_replay_rejected(self):
+        tracker = SequenceTracker()
+        tracker.accept(3)
+        assert not tracker.accept(3)
+        assert not tracker.accept(2)
+        assert tracker.stats.stale == 2
+
+    def test_gap_counting(self):
+        tracker = SequenceTracker()
+        tracker.accept(1)
+        tracker.accept(5)  # 2, 3, 4 skipped
+        assert tracker.stats.gaps == 3
+
+    def test_first_accept_counts_no_gap(self):
+        tracker = SequenceTracker()
+        tracker.accept(10)
+        assert tracker.stats.gaps == 0
+
+    def test_fresh_after_stale(self):
+        tracker = SequenceTracker()
+        tracker.accept(5)
+        tracker.accept(2)
+        assert tracker.accept(6)

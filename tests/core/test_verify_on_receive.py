@@ -1,0 +1,86 @@
+"""The eager-verification option: subscribers can check the publisher's
+signature before delivery (off the paper's measured path, but the natural
+hardening when subscribers do not trust the transport's signing layer)."""
+
+import pytest
+
+from repro.adversary import GroundTruth, PublisherBehavior, UnfaithfulAdlpProtocol
+from repro.core import AdlpConfig, AdlpProtocol, LogServer
+from repro.middleware import Master, Node
+from repro.middleware.msgtypes import StringMsg
+from repro.util.concurrency import wait_for
+
+
+class TestVerifyOnReceive:
+    def test_invalid_wire_signature_blocked_before_delivery(self, keypool):
+        """A publisher shipping garbage signatures (Figure 8 a) cannot get
+        its data consumed by a verifying subscriber."""
+        config = AdlpConfig(
+            key_bits=512, verify_on_receive=True, require_ack=False
+        )
+        server = LogServer()
+        truth = GroundTruth()
+        pub_protocol = UnfaithfulAdlpProtocol(
+            "/pub",
+            server,
+            truth,
+            publisher_behavior=PublisherBehavior(send_invalid_signature=True),
+            config=config,
+            keypair=keypool[0],
+        )
+        sub_protocol = AdlpProtocol("/sub", server, config=config, keypair=keypool[1])
+        master = Master()
+        pub_node = Node("/pub", master, protocol=pub_protocol)
+        sub_node = Node("/sub", master, protocol=sub_protocol)
+        try:
+            received = []
+            sub_node.subscribe("/t", StringMsg, received.append)
+            pub = pub_node.advertise("/t", StringMsg)
+            assert pub.wait_for_subscribers(1)
+            for i in range(3):
+                pub.publish(StringMsg(data=f"m{i}"))
+            assert wait_for(
+                lambda: sub_protocol.stats.invalid_signatures >= 3, timeout=5.0
+            )
+            assert received == []  # nothing reached the application
+        finally:
+            pub_node.shutdown()
+            sub_node.shutdown()
+
+    def test_resolve_key_absent_for_remote_logger(self, keypool):
+        """RemoteLogger exposes no keystore, so eager verification has no
+        key source and resolve_key degrades to None."""
+        from repro.core import LogServerEndpoint, RemoteLogger
+
+        server = LogServer()
+        endpoint = LogServerEndpoint(server)
+        client = RemoteLogger(endpoint.address)
+        try:
+            protocol = AdlpProtocol(
+                "/pub", client, config=AdlpConfig(key_bits=512), keypair=keypool[0]
+            )
+            assert protocol.resolve_key("/anyone") is None
+            protocol.close()
+        finally:
+            client.close()
+            endpoint.close()
+
+    def test_valid_traffic_unaffected(self, keypool):
+        config = AdlpConfig(key_bits=512, verify_on_receive=True)
+        server = LogServer()
+        master = Master()
+        pub_protocol = AdlpProtocol("/pub", server, config=config, keypair=keypool[0])
+        sub_protocol = AdlpProtocol("/sub", server, config=config, keypair=keypool[1])
+        pub_node = Node("/pub", master, protocol=pub_protocol)
+        sub_node = Node("/sub", master, protocol=sub_protocol)
+        try:
+            received = []
+            sub = sub_node.subscribe("/t", StringMsg, received.append)
+            pub = pub_node.advertise("/t", StringMsg)
+            assert pub.wait_for_subscribers(1)
+            pub.publish(StringMsg(data="ok"))
+            assert sub.wait_for_messages(1)
+            assert sub_protocol.stats.invalid_signatures == 0
+        finally:
+            pub_node.shutdown()
+            sub_node.shutdown()

@@ -1,0 +1,93 @@
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.hashchain import GENESIS, HashChain, chain_digest, verify_chain
+from repro.errors import LogIntegrityError
+
+
+class TestHashChain:
+    def test_empty_chain_verifies(self):
+        chain = HashChain()
+        chain.verify()
+        assert chain.head == GENESIS
+        assert len(chain) == 0
+
+    def test_append_returns_indexed_entries(self):
+        chain = HashChain()
+        e0 = chain.append(b"first")
+        e1 = chain.append(b"second")
+        assert (e0.index, e1.index) == (0, 1)
+        assert chain[1].payload == b"second"
+
+    def test_head_changes_per_append(self):
+        chain = HashChain()
+        heads = {chain.head}
+        for i in range(5):
+            chain.append(f"r{i}".encode())
+            heads.add(chain.head)
+        assert len(heads) == 6
+
+    def test_verify_detects_payload_tamper(self):
+        chain = HashChain()
+        for i in range(5):
+            chain.append(f"record {i}".encode())
+        old = chain[2]
+        chain._entries[2] = type(old)(index=2, payload=b"tampered", digest=old.digest)
+        with pytest.raises(LogIntegrityError, match="entry 2"):
+            chain.verify()
+
+    def test_verify_detects_reordering(self):
+        chain = HashChain()
+        for i in range(4):
+            chain.append(f"record {i}".encode())
+        chain._entries[1], chain._entries[2] = chain._entries[2], chain._entries[1]
+        with pytest.raises(LogIntegrityError):
+            chain.verify()
+
+    def test_verify_against_commitment(self):
+        chain = HashChain()
+        chain.append(b"x")
+        head = chain.head
+        chain.append(b"y")
+        with pytest.raises(LogIntegrityError):
+            chain.verify_against(head)
+        chain.verify_against(chain.head)
+
+    def test_payloads_in_order(self):
+        chain = HashChain()
+        chain.append(b"a")
+        chain.append(b"b")
+        assert chain.payloads() == [b"a", b"b"]
+
+    def test_identical_payloads_get_distinct_digests(self):
+        chain = HashChain()
+        e0 = chain.append(b"same")
+        e1 = chain.append(b"same")
+        assert e0.digest != e1.digest
+
+
+class TestVerifyChain:
+    def test_valid_sequence(self):
+        digests = []
+        prev = GENESIS
+        for payload in [b"1", b"2", b"3"]:
+            prev = chain_digest(prev, payload)
+            digests.append((payload, prev))
+        assert verify_chain(digests) == (True, None)
+
+    def test_reports_first_bad_index(self):
+        records = []
+        prev = GENESIS
+        for payload in [b"1", b"2", b"3"]:
+            prev = chain_digest(prev, payload)
+            records.append([payload, prev])
+        records[1][0] = b"evil"
+        ok, index = verify_chain([tuple(r) for r in records])
+        assert not ok and index == 1
+
+    @given(st.lists(st.binary(max_size=32), max_size=20))
+    def test_honest_chains_always_verify(self, payloads):
+        chain = HashChain()
+        for payload in payloads:
+            chain.append(payload)
+        chain.verify()

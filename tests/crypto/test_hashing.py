@@ -1,0 +1,57 @@
+import hashlib
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.hashing import HASH_LEN, data_digest, sha256, sha256_hex
+
+
+class TestSha256:
+    def test_known_vector(self):
+        # NIST test vector for "abc"
+        assert (
+            sha256_hex(b"abc")
+            == "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        )
+
+    def test_digest_length(self):
+        assert len(sha256(b"anything")) == HASH_LEN
+
+    def test_matches_hashlib(self):
+        data = b"some payload" * 100
+        assert sha256(data) == hashlib.sha256(data).digest()
+
+
+class TestDataDigest:
+    def test_depends_on_seq(self):
+        assert data_digest(1, b"data") != data_digest(2, b"data")
+
+    def test_depends_on_data(self):
+        assert data_digest(1, b"data") != data_digest(1, b"datb")
+
+    def test_fixed_width_seq_prevents_boundary_shifts(self):
+        # If seq were var-width concatenated, these could collide.
+        assert data_digest(0x01, b"\x02" + b"x") != data_digest(0x0102, b"x")
+
+    def test_rejects_negative_seq(self):
+        with pytest.raises(ValueError):
+            data_digest(-1, b"x")
+
+    def test_rejects_oversized_seq(self):
+        with pytest.raises(ValueError):
+            data_digest(1 << 64, b"x")
+
+    def test_empty_data_allowed(self):
+        assert len(data_digest(0, b"")) == HASH_LEN
+
+    @given(
+        st.integers(min_value=0, max_value=(1 << 64) - 1),
+        st.binary(max_size=256),
+    )
+    def test_is_deterministic(self, seq, data):
+        assert data_digest(seq, data) == data_digest(seq, data)
+
+    @given(st.binary(max_size=64), st.binary(max_size=64))
+    def test_distinct_data_distinct_digest(self, a, b):
+        if a != b:
+            assert data_digest(5, a) != data_digest(5, b)

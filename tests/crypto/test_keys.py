@@ -1,0 +1,72 @@
+import pytest
+
+from repro.crypto.hashing import sha256
+from repro.crypto.keys import PublicKey, generate_keypair
+from repro.errors import DecodingError
+
+
+class TestGeneration:
+    def test_seeded_generation_is_deterministic(self):
+        a = generate_keypair(256, seed=5)
+        b = generate_keypair(256, seed=5)
+        assert a.public == b.public
+        assert a.private == b.private
+
+    def test_different_seeds_different_keys(self):
+        assert generate_keypair(256, seed=1).public != generate_keypair(
+            256, seed=2
+        ).public
+
+    def test_default_is_1024_bits(self, keypair_1024):
+        assert keypair_1024.public.numbers.bits == 1024
+        assert keypair_1024.public.signature_size == 128
+
+    def test_public_matches_private(self, keypool):
+        pair = keypool[0]
+        assert pair.private.public_key == pair.public
+
+
+class TestSigning:
+    def test_sign_verify_via_key_objects(self, keypool):
+        pair = keypool[0]
+        digest = sha256(b"data")
+        sig = pair.private.sign_digest(digest)
+        assert pair.public.verify_digest(digest, sig)
+        assert not pair.public.verify_digest(sha256(b"other"), sig)
+
+    def test_message_level_api(self, keypool):
+        pair = keypool[0]
+        sig = pair.private.sign(b"data")
+        assert pair.public.verify(b"data", sig)
+
+
+class TestSerialization:
+    def test_roundtrip(self, keypool):
+        public = keypool[0].public
+        assert PublicKey.from_bytes(public.to_bytes()) == public
+
+    def test_roundtripped_key_verifies(self, keypool):
+        pair = keypool[0]
+        restored = PublicKey.from_bytes(pair.public.to_bytes())
+        sig = pair.private.sign(b"m")
+        assert restored.verify(b"m", sig)
+
+    def test_truncated_rejected(self, keypool):
+        raw = keypool[0].public.to_bytes()
+        with pytest.raises(DecodingError):
+            PublicKey.from_bytes(raw[:-3])
+
+    def test_trailing_garbage_rejected(self, keypool):
+        raw = keypool[0].public.to_bytes()
+        with pytest.raises(DecodingError):
+            PublicKey.from_bytes(raw + b"\x00")
+
+    def test_empty_rejected(self):
+        with pytest.raises(DecodingError):
+            PublicKey.from_bytes(b"")
+
+    def test_fingerprint_stable_and_short(self, keypool):
+        fp = keypool[0].public.fingerprint()
+        assert fp == keypool[0].public.fingerprint()
+        assert len(fp) == 16
+        assert fp != keypool[1].public.fingerprint()

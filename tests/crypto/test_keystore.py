@@ -1,0 +1,47 @@
+import pytest
+
+from repro.crypto.keystore import KeyStore
+from repro.errors import UnknownComponentError
+
+
+class TestKeyStore:
+    def test_register_and_get(self, keypool):
+        store = KeyStore()
+        store.register("/a", keypool[0].public)
+        assert store.get("/a") == keypool[0].public
+
+    def test_unknown_component_raises(self):
+        with pytest.raises(UnknownComponentError):
+            KeyStore().get("/ghost")
+
+    def test_find_returns_none_for_unknown(self):
+        assert KeyStore().find("/ghost") is None
+
+    def test_reregistering_same_key_is_idempotent(self, keypool):
+        store = KeyStore()
+        store.register("/a", keypool[0].public)
+        store.register("/a", keypool[0].public)
+        assert len(store) == 1
+
+    def test_key_replacement_rejected(self, keypool):
+        # A component must not be able to repudiate old signatures by
+        # swapping its registered key.
+        store = KeyStore()
+        store.register("/a", keypool[0].public)
+        with pytest.raises(UnknownComponentError):
+            store.register("/a", keypool[1].public)
+
+    def test_contains_and_len(self, keypool):
+        store = KeyStore()
+        store.register("/a", keypool[0].public)
+        store.register("/b", keypool[1].public)
+        assert "/a" in store
+        assert "/c" not in store
+        assert len(store) == 2
+
+    def test_snapshot_is_a_copy(self, keypool):
+        store = KeyStore()
+        store.register("/a", keypool[0].public)
+        snap = store.snapshot()
+        snap["/b"] = keypool[1].public
+        assert "/b" not in store

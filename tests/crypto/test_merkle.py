@@ -1,0 +1,68 @@
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.merkle import (
+    EMPTY_ROOT,
+    MerkleProof,
+    MerkleTree,
+    leaf_hash,
+    node_hash,
+)
+
+
+class TestMerkleTree:
+    def test_empty_root(self):
+        assert MerkleTree().root() == EMPTY_ROOT
+
+    def test_single_leaf_root_is_leaf_hash(self):
+        tree = MerkleTree([b"only"])
+        assert tree.root() == leaf_hash(b"only")
+
+    def test_two_leaves(self):
+        tree = MerkleTree([b"a", b"b"])
+        assert tree.root() == node_hash(leaf_hash(b"a"), leaf_hash(b"b"))
+
+    def test_append_changes_root(self):
+        tree = MerkleTree([b"a"])
+        r1 = tree.root()
+        index = tree.append(b"b")
+        assert index == 1
+        assert tree.root() != r1
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 7, 8, 9, 16, 33])
+    def test_proofs_verify_for_all_sizes(self, n):
+        payloads = [f"record {i}".encode() for i in range(n)]
+        tree = MerkleTree(payloads)
+        root = tree.root()
+        for i, payload in enumerate(payloads):
+            assert tree.prove(i).verify(payload, root), (n, i)
+
+    def test_proof_fails_for_wrong_payload(self):
+        tree = MerkleTree([b"a", b"b", b"c"])
+        proof = tree.prove(1)
+        assert not proof.verify(b"not-b", tree.root())
+
+    def test_proof_fails_against_wrong_root(self):
+        tree = MerkleTree([b"a", b"b", b"c"])
+        proof = tree.prove(0)
+        other = MerkleTree([b"a", b"b", b"d"])
+        assert not proof.verify(b"a", other.root())
+
+    def test_prove_out_of_range(self):
+        with pytest.raises(IndexError):
+            MerkleTree([b"a"]).prove(1)
+
+    def test_leaf_cannot_masquerade_as_node(self):
+        # domain separation: h(leaf) uses a different prefix than h(node)
+        left, right = leaf_hash(b"x"), leaf_hash(b"y")
+        assert node_hash(left, right) != leaf_hash(left + right)
+
+    @given(st.lists(st.binary(max_size=16), min_size=1, max_size=40))
+    def test_all_proofs_verify_property(self, payloads):
+        tree = MerkleTree(payloads)
+        root = tree.root()
+        for i, payload in enumerate(payloads):
+            assert tree.prove(i).verify(payload, root)
+
+    def test_order_matters(self):
+        assert MerkleTree([b"a", b"b"]).root() != MerkleTree([b"b", b"a"]).root()

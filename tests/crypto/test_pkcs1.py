@@ -1,0 +1,93 @@
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.hashing import sha256
+from repro.crypto.pkcs1 import (
+    _emsa_pkcs1_v15_encode,
+    sign,
+    sign_digest,
+    verify,
+    verify_digest,
+)
+from repro.errors import SignatureError
+
+
+@pytest.fixture(scope="module")
+def key(keypool):
+    return keypool[0]
+
+
+class TestEncoding:
+    def test_structure(self):
+        digest = sha256(b"x")
+        em = _emsa_pkcs1_v15_encode(digest, 128)
+        assert len(em) == 128
+        assert em[0:2] == b"\x00\x01"
+        assert em.endswith(digest)
+        # padding is all 0xff up to the 0x00 separator
+        sep = em.index(b"\x00", 2)
+        assert set(em[2:sep]) == {0xFF}
+
+    def test_too_short_modulus_rejected(self):
+        with pytest.raises(SignatureError):
+            _emsa_pkcs1_v15_encode(sha256(b"x"), 48)
+
+    def test_wrong_digest_size_rejected(self):
+        with pytest.raises(SignatureError):
+            _emsa_pkcs1_v15_encode(b"short", 128)
+
+
+class TestSignVerify:
+    def test_roundtrip(self, key):
+        sig = sign(key.private.numbers, b"hello")
+        assert verify(key.public.numbers, b"hello", sig)
+
+    def test_signature_length_is_modulus_size(self, key):
+        sig = sign(key.private.numbers, b"hello")
+        assert len(sig) == key.public.numbers.byte_size
+
+    def test_wrong_message_fails(self, key):
+        sig = sign(key.private.numbers, b"hello")
+        assert not verify(key.public.numbers, b"hellp", sig)
+
+    def test_wrong_key_fails(self, key, keypool):
+        sig = sign(key.private.numbers, b"hello")
+        assert not verify(keypool[1].public.numbers, b"hello", sig)
+
+    def test_bitflipped_signature_fails(self, key):
+        sig = bytearray(sign(key.private.numbers, b"hello"))
+        sig[10] ^= 0x01
+        assert not verify(key.public.numbers, b"hello", bytes(sig))
+
+    def test_wrong_length_signature_fails_not_raises(self, key):
+        assert not verify(key.public.numbers, b"hello", b"short")
+        assert not verify(key.public.numbers, b"hello", b"\x00" * 200)
+
+    def test_all_ff_signature_fails(self, key):
+        k = key.public.numbers.byte_size
+        assert not verify(key.public.numbers, b"hello", b"\xff" * k)
+
+    def test_digest_api_consistent_with_message_api(self, key):
+        digest = sha256(b"payload")
+        sig = sign_digest(key.private.numbers, digest)
+        assert verify_digest(key.public.numbers, digest, sig)
+        assert verify(key.public.numbers, b"payload", sig)
+
+    def test_deterministic(self, key):
+        # PKCS#1 v1.5 signing is deterministic (unlike PSS).
+        assert sign(key.private.numbers, b"m") == sign(key.private.numbers, b"m")
+
+    def test_1024_bit_signature_is_128_bytes(self, keypair_1024):
+        sig = sign(keypair_1024.private.numbers, b"m")
+        assert len(sig) == 128  # the paper's signed-hash size
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.binary(max_size=128))
+    def test_roundtrip_property(self, key, message):
+        sig = sign(key.private.numbers, message)
+        assert verify(key.public.numbers, message, sig)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.binary(min_size=64, max_size=64))
+    def test_random_blobs_do_not_verify(self, key, blob):
+        assert not verify(key.public.numbers, b"message", blob)

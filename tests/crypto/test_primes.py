@@ -1,0 +1,64 @@
+import random
+
+import pytest
+
+from repro.crypto.primes import generate_prime, is_probable_prime
+
+KNOWN_PRIMES = [2, 3, 5, 7, 97, 101, 7919, 104729, (1 << 61) - 1]
+KNOWN_COMPOSITES = [0, 1, 4, 100, 7917, 104730, (1 << 61) - 3]
+# Carmichael numbers fool Fermat tests; Miller-Rabin must reject them.
+CARMICHAEL = [561, 1105, 1729, 2465, 2821, 6601, 8911, 41041, 825265]
+
+
+class TestIsProbablePrime:
+    @pytest.mark.parametrize("n", KNOWN_PRIMES)
+    def test_accepts_primes(self, n):
+        assert is_probable_prime(n)
+
+    @pytest.mark.parametrize("n", KNOWN_COMPOSITES)
+    def test_rejects_composites(self, n):
+        assert not is_probable_prime(n)
+
+    @pytest.mark.parametrize("n", CARMICHAEL)
+    def test_rejects_carmichael_numbers(self, n):
+        assert not is_probable_prime(n)
+
+    def test_negative_not_prime(self):
+        assert not is_probable_prime(-7)
+
+    def test_agrees_with_sieve_below_10000(self):
+        limit = 10000
+        sieve = [True] * limit
+        sieve[0] = sieve[1] = False
+        for i in range(2, int(limit**0.5) + 1):
+            if sieve[i]:
+                for j in range(i * i, limit, i):
+                    sieve[j] = False
+        for n in range(limit):
+            assert is_probable_prime(n) == sieve[n], n
+
+
+class TestGeneratePrime:
+    def test_exact_bit_length(self):
+        rng = random.Random(7)
+        for bits in (64, 128, 256):
+            p = generate_prime(bits, rng)
+            assert p.bit_length() == bits
+            assert is_probable_prime(p, rng)
+
+    def test_is_odd(self):
+        p = generate_prime(64, random.Random(1))
+        assert p % 2 == 1
+
+    def test_top_two_bits_set(self):
+        p = generate_prime(64, random.Random(2))
+        assert p >> 62 == 0b11
+
+    def test_deterministic_with_seed(self):
+        assert generate_prime(64, random.Random(5)) == generate_prime(
+            64, random.Random(5)
+        )
+
+    def test_rejects_tiny_sizes(self):
+        with pytest.raises(ValueError):
+            generate_prime(4)

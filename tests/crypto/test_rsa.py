@@ -1,0 +1,76 @@
+import random
+
+import pytest
+
+from repro.crypto.rsa import (
+    PUBLIC_EXPONENT,
+    generate_rsa_numbers,
+    rsa_private_op,
+    rsa_public_op,
+)
+from repro.errors import KeyGenerationError, SignatureError
+
+
+@pytest.fixture(scope="module")
+def numbers():
+    return generate_rsa_numbers(512, random.Random(11))
+
+
+class TestKeyGeneration:
+    def test_modulus_bit_length(self, numbers):
+        assert numbers.n.bit_length() == 512
+
+    def test_modulus_is_pq(self, numbers):
+        assert numbers.p * numbers.q == numbers.n
+
+    def test_public_exponent(self, numbers):
+        assert numbers.e == PUBLIC_EXPONENT
+
+    def test_private_exponent_inverts_e(self, numbers):
+        phi = (numbers.p - 1) * (numbers.q - 1)
+        assert (numbers.d * numbers.e) % phi == 1
+
+    def test_crt_values(self, numbers):
+        assert numbers.dp == numbers.d % (numbers.p - 1)
+        assert numbers.dq == numbers.d % (numbers.q - 1)
+        assert (numbers.qinv * numbers.q) % numbers.p == 1
+        assert numbers.p > numbers.q
+
+    def test_paper_key_size_1024(self):
+        numbers = generate_rsa_numbers(1024, random.Random(3))
+        assert numbers.n.bit_length() == 1024
+        assert numbers.byte_size == 128  # the paper's 128-byte signatures
+
+    def test_odd_bits_rejected(self):
+        with pytest.raises(KeyGenerationError):
+            generate_rsa_numbers(511)
+
+    def test_tiny_keys_rejected(self):
+        with pytest.raises(KeyGenerationError):
+            generate_rsa_numbers(64)
+
+    def test_deterministic_with_seed(self):
+        a = generate_rsa_numbers(256, random.Random(9))
+        b = generate_rsa_numbers(256, random.Random(9))
+        assert a == b
+
+
+class TestRawOps:
+    def test_private_inverts_public(self, numbers):
+        m = 0x123456789ABCDEF
+        c = rsa_public_op(numbers.public_numbers, m)
+        assert rsa_private_op(numbers, c) == m
+
+    def test_public_inverts_private(self, numbers):
+        s = rsa_private_op(numbers, 987654321)
+        assert rsa_public_op(numbers.public_numbers, s) == 987654321
+
+    def test_crt_matches_plain_pow(self, numbers):
+        c = 0xDEADBEEF
+        assert rsa_private_op(numbers, c) == pow(c, numbers.d, numbers.n)
+
+    def test_out_of_range_rejected(self, numbers):
+        with pytest.raises(SignatureError):
+            rsa_public_op(numbers.public_numbers, numbers.n)
+        with pytest.raises(SignatureError):
+            rsa_private_op(numbers, -1)

@@ -1,0 +1,122 @@
+"""Test helpers: run a pub/sub scenario under configurable behaviors.
+
+Used heavily by the audit tests: spin up one publisher and N subscribers
+(faithful or adversarial), run a fixed number of publications, and return
+the log server, ground truth, and audit report.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.adversary import (
+    GroundTruth,
+    PublisherBehavior,
+    SubscriberBehavior,
+    UnfaithfulAdlpProtocol,
+)
+from repro.audit import Auditor, AuditReport, Topology
+from repro.core import AdlpConfig, LogServer
+from repro.crypto.keys import KeyPair
+from repro.middleware import Master, Node
+from repro.middleware.msgtypes import StringMsg
+from repro.util.concurrency import wait_for
+
+TOPIC = "/t"
+
+
+@dataclass
+class ScenarioResult:
+    server: LogServer
+    truth: GroundTruth
+    report: AuditReport
+    topology: Topology
+    protocols: Dict[str, UnfaithfulAdlpProtocol]
+
+
+def run_scenario(
+    keypool: Sequence[KeyPair],
+    publisher_behavior: Optional[PublisherBehavior] = None,
+    subscriber_behaviors: Optional[List[Optional[SubscriberBehavior]]] = None,
+    publications: int = 3,
+    config: Optional[AdlpConfig] = None,
+    settle: float = 0.2,
+) -> ScenarioResult:
+    """One publisher, N subscribers, ``publications`` messages, full audit.
+
+    ``subscriber_behaviors`` gives one entry per subscriber (``None`` =
+    faithful); defaults to a single faithful subscriber.
+    """
+    if subscriber_behaviors is None:
+        subscriber_behaviors = [None]
+    config = config or AdlpConfig(key_bits=512, ack_timeout=1.0)
+
+    master = Master()
+    server = LogServer()
+    truth = GroundTruth()
+    protocols: Dict[str, UnfaithfulAdlpProtocol] = {}
+    nodes: List[Node] = []
+
+    pub_name = "/pub"
+    pub_protocol = UnfaithfulAdlpProtocol(
+        pub_name,
+        server,
+        truth,
+        publisher_behavior=publisher_behavior,
+        config=config,
+        keypair=keypool[0],
+    )
+    protocols[pub_name] = pub_protocol
+    pub_node = Node(pub_name, master, protocol=pub_protocol)
+    nodes.append(pub_node)
+
+    sub_names = []
+    subscribers = []
+    for i, behavior in enumerate(subscriber_behaviors):
+        name = f"/sub{i}"
+        sub_names.append(name)
+        protocol = UnfaithfulAdlpProtocol(
+            name,
+            server,
+            truth,
+            subscriber_behavior=behavior,
+            config=config,
+            keypair=keypool[1 + i],
+        )
+        protocols[name] = protocol
+        node = Node(name, master, protocol=protocol)
+        nodes.append(node)
+        subscribers.append(node.subscribe(TOPIC, StringMsg, lambda m: None))
+
+    publisher = pub_node.advertise(TOPIC, StringMsg)
+    publisher.wait_for_subscribers(len(subscriber_behaviors))
+    for i in range(publications):
+        publisher.publish(StringMsg(data=f"message {i}"))
+
+    # Wait until every receipt that will happen has happened.
+    expected = publications * len(
+        [b for b in subscriber_behaviors if b is None or not b.suppress_acks]
+    )
+    wait_for(lambda: len(truth.received) >= expected, timeout=5.0)
+    time.sleep(settle)
+    for protocol in protocols.values():
+        protocol.flush()
+    for node in nodes:
+        node.shutdown()
+    for protocol in protocols.values():
+        protocol.flush()
+
+    topology = Topology(
+        publisher_of={TOPIC: pub_name},
+        subscribers_of={TOPIC: sub_names},
+    )
+    report = Auditor.for_server(server, topology).audit_server(server)
+    return ScenarioResult(
+        server=server,
+        truth=truth,
+        report=report,
+        topology=topology,
+        protocols=protocols,
+    )

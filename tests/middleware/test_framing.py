@@ -1,0 +1,95 @@
+import socket
+import threading
+
+import pytest
+
+from repro.errors import TransportError
+from repro.middleware.transport import framing
+
+
+def socket_pair():
+    server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    server.bind(("127.0.0.1", 0))
+    server.listen(1)
+    client = socket.create_connection(server.getsockname())
+    accepted, _ = server.accept()
+    server.close()
+    return client, accepted
+
+
+class TestEncodeFrame:
+    def test_preamble_is_4_byte_little_endian(self):
+        raw = framing.encode_frame(b"abc")
+        assert raw == b"\x03\x00\x00\x00abc"
+
+    def test_empty_payload(self):
+        assert framing.encode_frame(b"") == b"\x00\x00\x00\x00"
+
+    def test_overhead_constant(self):
+        assert framing.frame_overhead() == 4  # the paper's Table III preamble
+
+    def test_oversized_rejected(self):
+        with pytest.raises(TransportError):
+            framing.encode_frame(b"x" * (framing.MAX_FRAME_SIZE + 1))
+
+
+class TestSocketFraming:
+    def test_roundtrip(self):
+        a, b = socket_pair()
+        try:
+            framing.send_frame(a, b"hello world")
+            assert framing.recv_frame(b) == b"hello world"
+        finally:
+            a.close()
+            b.close()
+
+    def test_multiple_frames_no_coalescing(self):
+        a, b = socket_pair()
+        try:
+            for i in range(10):
+                framing.send_frame(a, f"frame-{i}".encode())
+            for i in range(10):
+                assert framing.recv_frame(b) == f"frame-{i}".encode()
+        finally:
+            a.close()
+            b.close()
+
+    def test_orderly_close_returns_none(self):
+        a, b = socket_pair()
+        try:
+            a.close()
+            assert framing.recv_frame(b) is None
+        finally:
+            b.close()
+
+    def test_mid_frame_close_raises(self):
+        a, b = socket_pair()
+        try:
+            a.sendall(b"\xff\x00\x00\x00partial")  # claims 255 bytes
+            a.close()
+            with pytest.raises(TransportError):
+                framing.recv_frame(b)
+        finally:
+            b.close()
+
+    def test_oversized_announcement_rejected(self):
+        a, b = socket_pair()
+        try:
+            a.sendall((framing.MAX_FRAME_SIZE + 1).to_bytes(4, "little"))
+            with pytest.raises(TransportError):
+                framing.recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_large_frame_chunked_delivery(self):
+        a, b = socket_pair()
+        payload = bytes(range(256)) * 2048  # 512 KiB forces chunked recv
+        try:
+            sender = threading.Thread(target=framing.send_frame, args=(a, payload))
+            sender.start()
+            assert framing.recv_frame(b) == payload
+            sender.join()
+        finally:
+            a.close()
+            b.close()

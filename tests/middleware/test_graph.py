@@ -1,0 +1,62 @@
+import pytest
+
+from repro.middleware import Master, Node
+from repro.middleware.graph import (
+    build_graph,
+    component_graph,
+    data_flows,
+    end_to_end_paths,
+)
+from repro.middleware.msgtypes import Float64, StringMsg
+
+
+@pytest.fixture()
+def chain_master():
+    """camera -> detector -> controller chain plus a bystander."""
+    master = Master()
+    nodes = {
+        name: Node(name, master)
+        for name in ("/camera", "/detector", "/controller", "/bystander")
+    }
+    nodes["/camera"].advertise("/image", StringMsg)
+    nodes["/detector"].subscribe("/image", StringMsg, lambda m: None)
+    nodes["/detector"].advertise("/lane", Float64)
+    nodes["/controller"].subscribe("/lane", Float64, lambda m: None)
+    nodes["/bystander"].subscribe("/image", StringMsg, lambda m: None)
+    yield master
+    for node in nodes.values():
+        node.shutdown()
+
+
+class TestGraph:
+    def test_data_flows(self, chain_master):
+        assert data_flows(chain_master) == [
+            ("/camera", "/image", "/bystander"),
+            ("/camera", "/image", "/detector"),
+            ("/detector", "/lane", "/controller"),
+        ]
+
+    def test_build_graph_node_kinds(self, chain_master):
+        graph = build_graph(chain_master)
+        assert graph.nodes["/camera"]["kind"] == "component"
+        assert graph.nodes["/image"]["kind"] == "topic"
+        assert graph.nodes["/image"]["type_name"] == "std/String"
+        assert graph.has_edge("/camera", "/image")
+        assert graph.has_edge("/image", "/detector")
+
+    def test_component_graph_edges(self, chain_master):
+        graph = component_graph(chain_master)
+        assert graph.has_edge("/camera", "/detector")
+        assert graph.has_edge("/detector", "/controller")
+        assert not graph.has_edge("/camera", "/controller")
+        assert graph["/camera"]["/detector"]["topics"] == ["/image"]
+
+    def test_end_to_end_paths(self, chain_master):
+        paths = end_to_end_paths(chain_master, "/camera", "/controller")
+        assert paths == [["/camera", "/detector", "/controller"]]
+
+    def test_no_path(self, chain_master):
+        assert end_to_end_paths(chain_master, "/bystander", "/controller") == []
+
+    def test_unknown_nodes(self, chain_master):
+        assert end_to_end_paths(chain_master, "/ghost", "/controller") == []

@@ -1,0 +1,68 @@
+"""Latched topics: late subscribers receive the most recent message."""
+
+import pytest
+
+from repro.core import AdlpProtocol, LogServer
+from repro.middleware import Master, Node
+from repro.middleware.msgtypes import StringMsg
+from repro.util.concurrency import wait_for
+
+
+class TestLatch:
+    def test_late_subscriber_gets_latched_message(self):
+        master = Master()
+        with Node("/talker", master) as talker, Node("/late", master) as late:
+            pub = talker.advertise("/state", StringMsg, latch=True)
+            pub.publish(StringMsg(data="old"))
+            pub.publish(StringMsg(data="latest"))
+            got = []
+            sub = late.subscribe("/state", StringMsg, lambda m: got.append(m.data))
+            assert sub.wait_for_messages(1)
+            assert got == ["latest"]
+
+    def test_non_latched_late_subscriber_gets_nothing(self):
+        master = Master()
+        with Node("/talker", master) as talker, Node("/late", master) as late:
+            pub = talker.advertise("/state", StringMsg)  # no latch
+            pub.publish(StringMsg(data="missed"))
+            got = []
+            sub = late.subscribe("/state", StringMsg, lambda m: got.append(m.data))
+            assert sub.wait_for_connection()
+            assert not sub.wait_for_messages(1, timeout=0.3)
+            assert got == []
+
+    def test_latched_then_live_messages_in_order(self):
+        master = Master()
+        with Node("/talker", master) as talker, Node("/late", master) as late:
+            pub = talker.advertise("/state", StringMsg, latch=True)
+            pub.publish(StringMsg(data="latched"))
+            got = []
+            sub = late.subscribe("/state", StringMsg, lambda m: got.append(m.data))
+            assert sub.wait_for_messages(1)
+            pub.publish(StringMsg(data="live"))
+            assert sub.wait_for_messages(2)
+            assert got == ["latched", "live"]
+
+    def test_latched_delivery_is_accountable_under_adlp(self, keypool, fast_config):
+        """A latched re-delivery is a real transmission: the subscriber
+        ACKs it and both sides log it."""
+        master = Master()
+        server = LogServer()
+        pub_protocol = AdlpProtocol("/talker", server, config=fast_config, keypair=keypool[0])
+        sub_protocol = AdlpProtocol("/late", server, config=fast_config, keypair=keypool[1])
+        talker = Node("/talker", master, protocol=pub_protocol)
+        late = Node("/late", master, protocol=sub_protocol)
+        try:
+            pub = talker.advertise("/state", StringMsg, latch=True)
+            pub.publish(StringMsg(data="latched"))
+            got = []
+            sub = late.subscribe("/state", StringMsg, lambda m: got.append(m.data))
+            assert sub.wait_for_messages(1)
+            assert wait_for(lambda: pub_protocol.stats.acks_received >= 1, timeout=5.0)
+            pub_protocol.flush()
+            sub_protocol.flush()
+            assert len(server.entries(component_id="/talker")) == 1
+            assert len(server.entries(component_id="/late")) == 1
+        finally:
+            talker.shutdown()
+            late.shutdown()

@@ -1,0 +1,95 @@
+import pytest
+
+from repro.errors import DuplicatePublisherError, TopicTypeError
+from repro.middleware.master import Master, PublisherInfo
+
+
+ADDRESS = ("inproc", "fake")
+
+
+class TestPublisherRegistration:
+    def test_register_and_lookup(self):
+        master = Master()
+        info = master.register_publisher("/cam", "/image", "sensors/Image", ADDRESS)
+        assert master.lookup_publisher("/image") == info
+        assert info.node_id == "/cam"
+
+    def test_single_publisher_invariant(self):
+        # Section II: no two components publish the same data type.
+        master = Master()
+        master.register_publisher("/cam1", "/image", "sensors/Image", ADDRESS)
+        with pytest.raises(DuplicatePublisherError):
+            master.register_publisher("/cam2", "/image", "sensors/Image", ADDRESS)
+
+    def test_unregister_then_reregister(self):
+        master = Master()
+        master.register_publisher("/cam1", "/image", "sensors/Image", ADDRESS)
+        master.unregister_publisher("/cam1", "/image")
+        master.register_publisher("/cam2", "/image", "sensors/Image", ADDRESS)
+        assert master.lookup_publisher("/image").node_id == "/cam2"
+
+    def test_unregister_wrong_owner_is_noop(self):
+        master = Master()
+        master.register_publisher("/cam1", "/image", "sensors/Image", ADDRESS)
+        master.unregister_publisher("/other", "/image")
+        assert master.lookup_publisher("/image") is not None
+
+    def test_topic_name_canonicalized(self):
+        master = Master()
+        master.register_publisher("/cam", "image", "sensors/Image", ADDRESS)
+        assert master.lookup_publisher("/image") is not None
+
+
+class TestTypeConsistency:
+    def test_subscriber_type_mismatch_rejected(self):
+        master = Master()
+        master.register_publisher("/cam", "/t", "sensors/Image", ADDRESS)
+        with pytest.raises(TopicTypeError):
+            master.register_subscriber("/sub", "/t", "std/String", lambda info: None)
+
+    def test_publisher_type_mismatch_rejected(self):
+        master = Master()
+        master.register_subscriber("/sub", "/t", "std/String", lambda info: None)
+        with pytest.raises(TopicTypeError):
+            master.register_publisher("/cam", "/t", "sensors/Image", ADDRESS)
+
+
+class TestSubscriberNotification:
+    def test_existing_publisher_returned(self):
+        master = Master()
+        master.register_publisher("/cam", "/t", "sensors/Image", ADDRESS)
+        current = master.register_subscriber(
+            "/sub", "/t", "sensors/Image", lambda info: None
+        )
+        assert current is not None and current.node_id == "/cam"
+
+    def test_late_publisher_announced(self):
+        master = Master()
+        announced = []
+        current = master.register_subscriber(
+            "/sub", "/t", "sensors/Image", announced.append
+        )
+        assert current is None
+        master.register_publisher("/cam", "/t", "sensors/Image", ADDRESS)
+        assert [i.node_id for i in announced] == ["/cam"]
+
+    def test_unregistered_subscriber_not_notified(self):
+        master = Master()
+        announced = []
+        master.register_subscriber("/sub", "/t", "sensors/Image", announced.append)
+        master.unregister_subscriber("/sub", "/t")
+        master.register_publisher("/cam", "/t", "sensors/Image", ADDRESS)
+        assert announced == []
+
+
+class TestIntrospection:
+    def test_topics_includes_subscribed_only_topics(self):
+        master = Master()
+        master.register_subscriber("/sub", "/t", "std/String", lambda info: None)
+        assert master.topics() == {"/t": "std/String"}
+
+    def test_subscriber_ids(self):
+        master = Master()
+        master.register_subscriber("/a", "/t", "std/String", lambda info: None)
+        master.register_subscriber("/b", "/t", "std/String", lambda info: None)
+        assert sorted(master.subscriber_ids("/t")) == ["/a", "/b"]

@@ -1,0 +1,109 @@
+import pytest
+
+from repro.errors import SchemaError, TopicTypeError
+from repro.middleware.messages import (
+    Header,
+    MessageMeta,
+    lookup_message,
+    register_message,
+    registered_types,
+)
+from repro.middleware.msgtypes import Image, LaserScan, RawBytes, Steering, StringMsg
+from repro.serialization import uint64
+
+
+class TestHeader:
+    def test_roundtrip(self):
+        header = Header(seq=7, stamp=1234.5, frame_id="base")
+        assert Header.decode(header.encode()) == header
+
+    def test_defaults(self):
+        header = Header()
+        assert header.seq == 0 and header.stamp == 0.0 and header.frame_id == ""
+
+
+class TestMessageMeta:
+    def test_header_travels_with_payload(self):
+        msg = StringMsg(data="hi")
+        msg.ensure_header().seq = 42
+        decoded = StringMsg.decode(msg.encode())
+        assert decoded.header.seq == 42
+        assert decoded.data == "hi"
+
+    def test_ensure_header_creates_once(self):
+        msg = StringMsg()
+        first = msg.ensure_header()
+        assert msg.ensure_header() is first
+
+    def test_seq_changes_serialized_bytes(self):
+        # The seq is inside the signed digest, as the paper requires.
+        a = StringMsg(data="same")
+        b = StringMsg(data="same")
+        a.ensure_header().seq = 1
+        b.ensure_header().seq = 2
+        assert a.encode() != b.encode()
+
+
+class TestRegistry:
+    def test_standard_types_registered(self):
+        types = registered_types()
+        for cls in (Image, LaserScan, Steering, StringMsg, RawBytes):
+            assert types[cls.TYPE_NAME] is cls
+
+    def test_lookup(self):
+        assert lookup_message("sensors/Image") is Image
+
+    def test_lookup_unknown(self):
+        with pytest.raises(TopicTypeError):
+            lookup_message("no/Such")
+
+    def test_reregistration_of_same_class_ok(self):
+        assert register_message(StringMsg) is StringMsg
+
+    def test_conflicting_registration_rejected(self):
+        class Fake(MessageMeta):
+            TYPE_NAME = "std/String"  # collides with StringMsg
+            x = uint64(2)
+
+        with pytest.raises(SchemaError):
+            register_message(Fake)
+
+    def test_non_message_rejected(self):
+        with pytest.raises(SchemaError):
+            register_message(object)
+
+    def test_invalid_type_name_rejected(self):
+        class Bad(MessageMeta):
+            TYPE_NAME = "NoSlash"
+
+        with pytest.raises(Exception):
+            register_message(Bad)
+
+
+class TestPayloadSizes:
+    """The paper's Table I sizes should be reachable with these types."""
+
+    def test_image_payload_near_paper_size(self):
+        frame = Image(
+            height=480, width=640, encoding="rgb8", step=1920, data=b"\xab" * 921600
+        )
+        encoded = len(frame.encode())
+        assert abs(encoded - 921641) < 64  # paper: 921641 bytes
+
+    def test_scan_payload_near_paper_size(self):
+        scan = LaserScan(
+            angle_min=-3.14,
+            angle_max=3.14,
+            angle_increment=0.006,
+            range_min=0.05,
+            range_max=12.0,
+            ranges=b"\x00" * 4320,
+            intensities=b"\x00" * 4320,
+        )
+        assert abs(len(scan.encode()) - 8705) < 64  # paper: 8705 bytes
+
+    def test_steering_payload_near_paper_size(self):
+        steering = Steering(angle=0.25, speed=1.5)
+        steering.ensure_header().seq = 1
+        steering.header.stamp = 123.0
+        assert abs(len(steering.encode()) - 20) <= 16  # paper: 20 bytes

@@ -1,0 +1,75 @@
+"""Roundtrips and semantics of the standard message types."""
+
+import math
+
+import pytest
+
+from repro.middleware.msgtypes import (
+    Float64,
+    Image,
+    LaneOffset,
+    LaserScan,
+    ObstacleArray,
+    PlannedPath,
+    RawBytes,
+    Steering,
+    StringMsg,
+    TrafficSign,
+    VehicleState,
+)
+
+
+class TestRoundtrips:
+    @pytest.mark.parametrize(
+        "msg",
+        [
+            RawBytes(data=b"\x00\x01\x02"),
+            StringMsg(data="hello"),
+            Float64(data=-2.5),
+            Steering(angle=0.3, speed=1.5),
+            LaneOffset(offset_m=-0.2, heading_error_rad=0.05, confidence=0.9),
+            TrafficSign(sign="stop", confidence=1.0, distance_m=2.5),
+            PlannedPath(curvature=0.1, target_speed=2.0, braking=True, reason="stop_sign"),
+            VehicleState(x=1.0, y=-2.0, heading_rad=math.pi / 4, speed=2.0, lap=3),
+        ],
+        ids=lambda m: type(m).__name__,
+    )
+    def test_encode_decode(self, msg):
+        assert type(msg).decode(msg.encode()) == msg
+
+    def test_image_roundtrip(self):
+        img = Image(height=2, width=2, encoding="rgb8", step=6, data=b"\x01" * 12)
+        decoded = Image.decode(img.encode())
+        assert decoded.data == b"\x01" * 12
+        assert decoded.encoding == "rgb8"
+
+    def test_laserscan_roundtrip(self):
+        scan = LaserScan(
+            angle_min=-math.pi,
+            angle_max=math.pi,
+            angle_increment=0.01,
+            range_min=0.05,
+            range_max=12.0,
+            ranges=b"\x00" * 16,
+            intensities=b"\xff" * 16,
+        )
+        decoded = LaserScan.decode(scan.encode())
+        assert decoded.range_max == 12.0
+        assert decoded.intensities == b"\xff" * 16
+
+    def test_obstacle_array_repeated_floats(self):
+        msg = ObstacleArray(angles_rad=[-0.1, 0.0, 0.2], distances_m=[1.0, 2.0, 3.0])
+        decoded = ObstacleArray.decode(msg.encode())
+        assert decoded.angles_rad == [-0.1, 0.0, 0.2]
+        assert decoded.distances_m == [1.0, 2.0, 3.0]
+
+    def test_vehicle_state_negative_lap(self):
+        msg = VehicleState(lap=-1)  # sint64 handles negatives
+        assert VehicleState.decode(msg.encode()).lap == -1
+
+
+class TestTypeNames:
+    def test_all_types_have_valid_names(self):
+        for cls in (RawBytes, StringMsg, Float64, Image, LaserScan, Steering,
+                    LaneOffset, TrafficSign, ObstacleArray, PlannedPath, VehicleState):
+            assert cls.TYPE_NAME.count("/") == 1

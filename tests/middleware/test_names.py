@@ -1,0 +1,57 @@
+import pytest
+
+from repro.errors import NameError_
+from repro.middleware.names import (
+    basename_of,
+    namespace_of,
+    validate_name,
+    validate_type_name,
+)
+
+
+class TestValidateName:
+    @pytest.mark.parametrize(
+        "raw,canonical",
+        [
+            ("camera", "/camera"),
+            ("/camera", "/camera"),
+            ("camera/image_raw", "/camera/image_raw"),
+            ("/a/b/c/", "/a/b/c"),
+            ("Node_1", "/Node_1"),
+        ],
+    )
+    def test_canonicalization(self, raw, canonical):
+        assert validate_name(raw) == canonical
+
+    @pytest.mark.parametrize(
+        "bad", ["", "/", "//", "1camera", "/a//b", "a b", "a-b", "a.b", None]
+    )
+    def test_invalid_names(self, bad):
+        with pytest.raises(NameError_):
+            validate_name(bad)
+
+    def test_error_mentions_kind(self):
+        with pytest.raises(NameError_, match="topic"):
+            validate_name("", "topic")
+
+
+class TestValidateTypeName:
+    def test_accepts_pkg_slash_type(self):
+        assert validate_type_name("sensors/Image") == "sensors/Image"
+
+    @pytest.mark.parametrize("bad", ["Image", "a/b/c", "/Image", "pkg/", "", None])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(NameError_):
+            validate_type_name(bad)
+
+
+class TestNamespaceHelpers:
+    def test_namespace_of_nested(self):
+        assert namespace_of("/camera/image_raw") == "/camera"
+
+    def test_namespace_of_toplevel(self):
+        assert namespace_of("/scan") == "/"
+
+    def test_basename(self):
+        assert basename_of("/camera/image_raw") == "image_raw"
+        assert basename_of("/scan") == "scan"

@@ -1,0 +1,191 @@
+"""Integration tests: nodes, publishers, subscribers end to end."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import DuplicatePublisherError, NodeShutdownError, SchemaError
+from repro.middleware import Master, Node
+from repro.middleware.msgtypes import Float64, StringMsg
+from repro.middleware.transport import TcpTransport
+from repro.util.concurrency import wait_for
+
+
+@pytest.fixture(params=["inproc", "tcp"])
+def master(request):
+    if request.param == "inproc":
+        return Master()
+    return Master(transport=TcpTransport())
+
+
+class Collector:
+    def __init__(self):
+        self.messages = []
+        self._lock = threading.Lock()
+
+    def __call__(self, msg):
+        with self._lock:
+            self.messages.append(msg)
+
+    @property
+    def count(self):
+        with self._lock:
+            return len(self.messages)
+
+
+class TestBasicPubSub:
+    def test_messages_delivered_in_order(self, master):
+        with Node("/talker", master) as talker, Node("/listener", master) as listener:
+            collector = Collector()
+            sub = listener.subscribe("/chat", StringMsg, collector)
+            pub = talker.advertise("/chat", StringMsg)
+            assert pub.wait_for_subscribers(1)
+            for i in range(10):
+                pub.publish(StringMsg(data=f"m{i}"))
+            assert sub.wait_for_messages(10)
+            assert [m.data for m in collector.messages] == [f"m{i}" for i in range(10)]
+
+    def test_headers_stamped_with_increasing_seq(self, master):
+        with Node("/talker", master) as talker, Node("/listener", master) as listener:
+            collector = Collector()
+            sub = listener.subscribe("/chat", StringMsg, collector)
+            pub = talker.advertise("/chat", StringMsg)
+            pub.wait_for_subscribers(1)
+            for i in range(5):
+                pub.publish(StringMsg(data="x"))
+            sub.wait_for_messages(5)
+            seqs = [m.header.seq for m in collector.messages]
+            assert seqs == [1, 2, 3, 4, 5]
+            assert all(m.header.stamp > 0 for m in collector.messages)
+
+    def test_multiple_subscribers_all_receive(self, master):
+        with Node("/talker", master) as talker, Node("/l1", master) as l1, Node(
+            "/l2", master
+        ) as l2, Node("/l3", master) as l3:
+            collectors = [Collector() for _ in range(3)]
+            subs = [
+                node.subscribe("/chat", StringMsg, c)
+                for node, c in zip((l1, l2, l3), collectors)
+            ]
+            pub = talker.advertise("/chat", StringMsg)
+            assert pub.wait_for_subscribers(3)
+            pub.publish(StringMsg(data="fanout"))
+            for sub in subs:
+                assert sub.wait_for_messages(1)
+            assert all(c.messages[0].data == "fanout" for c in collectors)
+
+    def test_subscriber_before_publisher(self, master):
+        with Node("/talker", master) as talker, Node("/listener", master) as listener:
+            collector = Collector()
+            sub = listener.subscribe("/chat", StringMsg, collector)
+            time.sleep(0.05)  # subscriber waits with no publisher
+            pub = talker.advertise("/chat", StringMsg)
+            assert pub.wait_for_subscribers(1)
+            pub.publish(StringMsg(data="late"))
+            assert sub.wait_for_messages(1)
+
+    def test_wrong_message_type_rejected_at_publish(self, master):
+        with Node("/talker", master) as talker:
+            pub = talker.advertise("/chat", StringMsg)
+            with pytest.raises(SchemaError):
+                pub.publish(Float64(data=1.0))
+
+    def test_duplicate_publisher_rejected(self, master):
+        with Node("/a", master) as a, Node("/b", master) as b:
+            a.advertise("/chat", StringMsg)
+            with pytest.raises(DuplicatePublisherError):
+                b.advertise("/chat", StringMsg)
+
+    def test_publisher_stats(self, master):
+        with Node("/talker", master) as talker, Node("/listener", master) as listener:
+            sub = listener.subscribe("/chat", StringMsg, lambda m: None)
+            pub = talker.advertise("/chat", StringMsg)
+            pub.wait_for_subscribers(1)
+            pub.publish(StringMsg(data="x"))
+            sub.wait_for_messages(1)
+            assert pub.stats.published == 1
+            assert wait_for(lambda: pub.stats.sent_frames == 1)
+            assert pub.stats.sent_bytes > 0
+
+    def test_callback_error_does_not_kill_subscription(self, master):
+        with Node("/talker", master) as talker, Node("/listener", master) as listener:
+            collector = Collector()
+
+            def flaky(msg):
+                collector(msg)
+                if collector.count == 1:
+                    raise RuntimeError("boom")
+
+            sub = listener.subscribe("/chat", StringMsg, flaky)
+            pub = talker.advertise("/chat", StringMsg)
+            pub.wait_for_subscribers(1)
+            pub.publish(StringMsg(data="a"))
+            pub.publish(StringMsg(data="b"))
+            assert wait_for(lambda: collector.count == 2)
+            assert sub.stats.callback_errors == 1
+
+
+class TestLifecycle:
+    def test_shutdown_idempotent(self, master):
+        node = Node("/n", master)
+        node.advertise("/t", StringMsg)
+        node.shutdown()
+        node.shutdown()
+
+    def test_operations_after_shutdown_rejected(self, master):
+        node = Node("/n", master)
+        node.shutdown()
+        with pytest.raises(NodeShutdownError):
+            node.advertise("/t", StringMsg)
+        with pytest.raises(NodeShutdownError):
+            node.subscribe("/t", StringMsg, lambda m: None)
+
+    def test_publish_after_close_rejected(self, master):
+        node = Node("/n", master)
+        pub = node.advertise("/t", StringMsg)
+        node.shutdown()
+        with pytest.raises(NodeShutdownError):
+            pub.publish(StringMsg(data="x"))
+
+    def test_publisher_restart_after_owner_shutdown(self, master):
+        first = Node("/n1", master)
+        first.advertise("/t", StringMsg)
+        first.shutdown()
+        with Node("/n2", master) as second:
+            second.advertise("/t", StringMsg)  # topic is free again
+
+    def test_subscriber_survives_publisher_restart(self, master):
+        with Node("/listener", master) as listener:
+            collector = Collector()
+            sub = listener.subscribe("/chat", StringMsg, collector)
+            first = Node("/talker", master)
+            pub1 = first.advertise("/chat", StringMsg)
+            pub1.wait_for_subscribers(1)
+            pub1.publish(StringMsg(data="one"))
+            assert sub.wait_for_messages(1)
+            first.shutdown()
+            second = Node("/talker2", master)
+            pub2 = second.advertise("/chat", StringMsg)
+            assert pub2.wait_for_subscribers(1, timeout=5.0)
+            pub2.publish(StringMsg(data="two"))
+            assert wait_for(lambda: collector.count >= 2, timeout=5.0)
+            second.shutdown()
+
+
+class TestTimers:
+    def test_timer_fires_repeatedly(self, master):
+        with Node("/n", master) as node:
+            hits = []
+            node.create_timer(100.0, lambda: hits.append(1))
+            assert wait_for(lambda: len(hits) >= 5, timeout=2.0)
+
+    def test_timer_stops_on_shutdown(self, master):
+        node = Node("/n", master)
+        hits = []
+        node.create_timer(100.0, lambda: hits.append(1))
+        wait_for(lambda: len(hits) >= 2, timeout=2.0)
+        node.shutdown()
+        count = len(hits)
+        time.sleep(0.1)
+        assert len(hits) <= count + 1  # at most one in-flight tick

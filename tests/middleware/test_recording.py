@@ -1,0 +1,164 @@
+"""Record/replay ("bag") tests, including the ADLP-replay composition."""
+
+import time
+
+import pytest
+
+from repro.errors import DecodingError
+from repro.middleware import Master, Node
+from repro.middleware.msgtypes import Float64, StringMsg
+from repro.middleware.recording import BagReader, BagRecord, BagWriter, Player, Recorder
+from repro.util.concurrency import wait_for
+
+
+class TestBagFile:
+    def test_write_read_roundtrip(self, tmp_path):
+        path = str(tmp_path / "t.bag")
+        writer = BagWriter(path)
+        for i in range(3):
+            writer.write(
+                BagRecord(topic="/t", type_name="std/String", stamp=float(i), payload=bytes([i]))
+            )
+        writer.close()
+        records = BagReader(path).records()
+        assert [r.stamp for r in records] == [0.0, 1.0, 2.0]
+        assert records[2].payload == b"\x02"
+
+    def test_non_bag_rejected(self, tmp_path):
+        path = tmp_path / "junk.bin"
+        path.write_bytes(b"\x05\x00\x00\x00hello")
+        with pytest.raises(DecodingError):
+            BagReader(str(path)).records()
+
+    def test_topics_index(self, tmp_path):
+        path = str(tmp_path / "t.bag")
+        writer = BagWriter(path)
+        writer.write(BagRecord(topic="/a", type_name="std/String", stamp=0.0, payload=b"x"))
+        writer.write(BagRecord(topic="/b", type_name="std/Float64", stamp=0.0, payload=b"y"))
+        writer.close()
+        assert BagReader(path).topics() == {
+            "/a": "std/String",
+            "/b": "std/Float64",
+        }
+
+
+class TestRecorder:
+    def test_records_live_traffic(self, tmp_path):
+        master = Master()
+        path = str(tmp_path / "live.bag")
+        with Node("/talker", master) as talker:
+            pub = talker.advertise("/chat", StringMsg)
+            recorder = Recorder(master, path)
+            assert recorder.topics == ["/chat"]
+            pub.wait_for_subscribers(1)
+            for i in range(4):
+                pub.publish(StringMsg(data=f"m{i}"))
+            assert wait_for(lambda: recorder.count == 4, timeout=5.0)
+            recorder.stop()
+        records = BagReader(path).records()
+        decoded = [StringMsg.decode(r.payload).data for r in records]
+        assert decoded == ["m0", "m1", "m2", "m3"]
+
+    def test_topic_selection(self, tmp_path):
+        master = Master()
+        with Node("/a", master) as a, Node("/b", master) as b:
+            pa = a.advertise("/one", StringMsg)
+            pb = b.advertise("/two", Float64)
+            recorder = Recorder(master, str(tmp_path / "sel.bag"), topics=["/two"])
+            assert recorder.topics == ["/two"]
+            pb.wait_for_subscribers(1)
+            pa.publish(StringMsg(data="ignored"))
+            pb.publish(Float64(data=1.5))
+            assert wait_for(lambda: recorder.count == 1, timeout=5.0)
+            recorder.stop()
+
+
+class TestPlayer:
+    def _record_session(self, tmp_path):
+        master = Master()
+        path = str(tmp_path / "session.bag")
+        with Node("/talker", master) as talker:
+            pub = talker.advertise("/chat", StringMsg)
+            recorder = Recorder(master, path)
+            pub.wait_for_subscribers(1)
+            for i in range(3):
+                pub.publish(StringMsg(data=f"m{i}"))
+            wait_for(lambda: recorder.count == 3, timeout=5.0)
+            recorder.stop()
+        return path
+
+    def test_replay_delivers_same_payloads(self, tmp_path):
+        path = self._record_session(tmp_path)
+        replay_master = Master()
+        got = []
+        with Node("/listener", replay_master) as listener:
+            sub = listener.subscribe("/chat", StringMsg, lambda m: got.append(m.data))
+            player = Player(replay_master, path)
+            published = player.play(rate=0, wait_for_subscribers=1)
+            assert published == 3
+            assert sub.wait_for_messages(3)
+            player.stop()
+        assert got == ["m0", "m1", "m2"]
+
+    def test_replay_restamps_headers(self, tmp_path):
+        path = self._record_session(tmp_path)
+        replay_master = Master()
+        seqs = []
+        with Node("/listener", replay_master) as listener:
+            sub = listener.subscribe("/chat", StringMsg, lambda m: seqs.append(m.header.seq))
+            player = Player(replay_master, path)
+            player.play(rate=0, wait_for_subscribers=1)
+            sub.wait_for_messages(3)
+            player.stop()
+        assert seqs == [1, 2, 3]  # fresh sequence numbers
+
+    def test_replay_under_adlp_is_accountable(self, tmp_path, keypool, fast_config):
+        """Replay composes with ADLP: the re-execution is fully logged."""
+        from repro.audit import Auditor, Topology
+        from repro.core import AdlpProtocol, LogServer
+
+        path = self._record_session(tmp_path)
+        replay_master = Master()
+        server = LogServer()
+        player_protocol = AdlpProtocol("/player", server, config=fast_config, keypair=keypool[0])
+        listener_protocol = AdlpProtocol("/listener", server, config=fast_config, keypair=keypool[1])
+        player = Player(replay_master, path, protocol=player_protocol)
+        listener = Node("/listener", replay_master, protocol=listener_protocol)
+        try:
+            sub = listener.subscribe("/chat", StringMsg, lambda m: None)
+            assert player.play(rate=0, wait_for_subscribers=1) == 3
+            assert sub.wait_for_messages(3)
+            wait_for(lambda: player_protocol.stats.acks_received >= 3, timeout=5.0)
+            player_protocol.flush()
+            listener_protocol.flush()
+        finally:
+            player.stop()
+            listener.shutdown()
+        report = Auditor.for_server(
+            server, Topology(publisher_of={"/chat": "/player"})
+        ).audit_server(server)
+        assert report.flagged_components() == []
+        assert len(report.valid_entries()) == 6
+
+    def test_paced_replay_preserves_relative_timing(self, tmp_path):
+        # hand-write a bag with 0.15 s spacing and replay at rate 1
+        path = str(tmp_path / "paced.bag")
+        writer = BagWriter(path)
+        base = 100.0
+        for i in range(3):
+            msg = StringMsg(data=f"m{i}")
+            writer.write(
+                BagRecord(topic="/chat", type_name="std/String", stamp=base + 0.15 * i, payload=msg.encode())
+            )
+        writer.close()
+        replay_master = Master()
+        stamps = []
+        with Node("/listener", replay_master) as listener:
+            sub = listener.subscribe("/chat", StringMsg, lambda m: stamps.append(time.monotonic()))
+            player = Player(replay_master, path)
+            t0 = time.monotonic()
+            player.play(rate=1.0, wait_for_subscribers=1)
+            duration = time.monotonic() - t0
+            sub.wait_for_messages(3)
+            player.stop()
+        assert duration >= 0.25  # two 0.15 s gaps, minus scheduling slack

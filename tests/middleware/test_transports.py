@@ -1,0 +1,145 @@
+"""Unit tests for both transports against the shared Connection contract."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import TransportError
+from repro.middleware.transport.base import ConnectionClosed
+from repro.middleware.transport.inproc import InprocConnection, InprocTransport
+from repro.middleware.transport.tcp import TcpTransport
+
+
+@pytest.fixture(params=["inproc", "tcp"])
+def transport(request):
+    if request.param == "inproc":
+        return InprocTransport()
+    return TcpTransport()
+
+
+def connected_pair(transport):
+    listener = transport.listen()
+    client = transport.connect(listener.address)
+    server = listener.accept(timeout=2.0)
+    assert server is not None
+    return listener, client, server
+
+
+class TestConnectionContract:
+    def test_send_recv_both_directions(self, transport):
+        listener, client, server = connected_pair(transport)
+        client.send_frame(b"ping")
+        assert server.recv_frame(timeout=2.0) == b"ping"
+        server.send_frame(b"pong")
+        assert client.recv_frame(timeout=2.0) == b"pong"
+        listener.close()
+
+    def test_frames_preserve_boundaries(self, transport):
+        listener, client, server = connected_pair(transport)
+        client.send_frame(b"one")
+        client.send_frame(b"two")
+        client.send_frame(b"")
+        assert server.recv_frame(timeout=2.0) == b"one"
+        assert server.recv_frame(timeout=2.0) == b"two"
+        assert server.recv_frame(timeout=2.0) == b""
+        listener.close()
+
+    def test_large_frame(self, transport):
+        listener, client, server = connected_pair(transport)
+        payload = bytes(range(256)) * 4096  # 1 MiB
+        client.send_frame(payload)
+        assert server.recv_frame(timeout=5.0) == payload
+        listener.close()
+
+    def test_recv_timeout_returns_none(self, transport):
+        listener, client, server = connected_pair(transport)
+        assert server.recv_frame(timeout=0.05) is None
+        listener.close()
+
+    def test_peer_close_raises(self, transport):
+        listener, client, server = connected_pair(transport)
+        client.close()
+        with pytest.raises(ConnectionClosed):
+            # may need to drain a close notification first
+            for _ in range(3):
+                server.recv_frame(timeout=1.0)
+        listener.close()
+
+    def test_send_after_close_raises(self, transport):
+        listener, client, server = connected_pair(transport)
+        client.close()
+        with pytest.raises(ConnectionClosed):
+            client.send_frame(b"late")
+        listener.close()
+
+    def test_closed_property(self, transport):
+        listener, client, server = connected_pair(transport)
+        assert not client.closed
+        client.close()
+        assert client.closed
+        listener.close()
+
+    def test_connect_to_closed_listener_fails(self, transport):
+        listener = transport.listen()
+        address = listener.address
+        listener.close()
+        with pytest.raises(TransportError):
+            conn = transport.connect(address)
+            # TCP may accept at the OS level; force a roundtrip to detect
+            conn.send_frame(b"x")
+            if conn.recv_frame(timeout=0.5) is None:
+                raise TransportError("no listener")
+
+    def test_connect_bad_address(self, transport):
+        with pytest.raises(TransportError):
+            transport.connect(("bogus",))
+
+
+class TestInprocSpecifics:
+    def test_pair_is_symmetric(self):
+        a, b = InprocConnection.pair()
+        a.send_frame(b"x")
+        assert b.recv_frame(timeout=1.0) == b"x"
+        b.send_frame(b"y")
+        assert a.recv_frame(timeout=1.0) == b"y"
+
+    def test_rejects_non_bytes(self):
+        a, b = InprocConnection.pair()
+        with pytest.raises(TransportError):
+            a.send_frame("text")
+
+    def test_listener_accept_timeout(self):
+        transport = InprocTransport()
+        listener = transport.listen()
+        assert listener.accept(timeout=0.05) is None
+
+
+class TestTcpSpecifics:
+    def test_address_shape(self):
+        listener = TcpTransport().listen()
+        kind, host, port = listener.address
+        assert kind == "tcp" and host == "127.0.0.1" and port > 0
+        listener.close()
+
+    def test_concurrent_connections(self):
+        transport = TcpTransport()
+        listener = transport.listen()
+        accepted = []
+
+        def acceptor():
+            for _ in range(4):
+                conn = listener.accept(timeout=2.0)
+                if conn:
+                    accepted.append(conn)
+
+        thread = threading.Thread(target=acceptor)
+        thread.start()
+        clients = [transport.connect(listener.address) for _ in range(4)]
+        thread.join()
+        assert len(accepted) == 4
+        for i, client in enumerate(clients):
+            client.send_frame(f"c{i}".encode())
+        got = sorted(conn.recv_frame(timeout=2.0) for conn in accepted)
+        assert got == [b"c0", b"c1", b"c2", b"c3"]
+        listener.close()

@@ -1,0 +1,62 @@
+"""Serialization edge cases not covered by the roundtrip suites."""
+
+import enum
+
+import pytest
+
+from repro.errors import DecodingError, SchemaError
+from repro.serialization import WireMessage, enum as enum_field, string, uint64
+from repro.serialization.wire import WireType, encode_tag, encode_varint
+
+
+class Mode(enum.IntEnum):
+    OFF = 0
+    ON = 1
+
+
+class Config(WireMessage):
+    mode = enum_field(1, Mode)
+    name = string(2)
+
+
+class TestEnumDecoding:
+    def test_unknown_enum_value_rejected(self):
+        raw = encode_tag(1, WireType.VARINT) + encode_varint(99)
+        with pytest.raises(DecodingError):
+            Config.decode(raw)
+
+    def test_known_value(self):
+        raw = encode_tag(1, WireType.VARINT) + encode_varint(1)
+        assert Config.decode(raw).mode is Mode.ON
+
+
+class TestWireTypeMismatch:
+    def test_scalar_field_with_wrong_wire_type_rejected(self):
+        # field 1 declared VARINT, sent as LEN
+        raw = encode_tag(1, WireType.LEN) + encode_varint(2) + b"ab"
+        with pytest.raises(DecodingError):
+            Config.decode(raw)
+
+    def test_string_field_with_invalid_utf8_rejected(self):
+        raw = encode_tag(2, WireType.LEN) + encode_varint(2) + b"\xff\xfe"
+        with pytest.raises(DecodingError):
+            Config.decode(raw)
+
+
+class TestLastValueWins:
+    def test_duplicate_scalar_field_takes_last(self):
+        # proto3 semantics: the last occurrence of a singular field wins
+        raw = (
+            encode_tag(1, WireType.VARINT)
+            + encode_varint(1)
+            + encode_tag(1, WireType.VARINT)
+            + encode_varint(0)
+        )
+        assert Config.decode(raw).mode is Mode.OFF
+
+
+class TestTruncation:
+    def test_truncated_mid_message(self):
+        full = Config(name="hello").encode()
+        with pytest.raises(DecodingError):
+            Config.decode(full[:-2])

@@ -1,0 +1,127 @@
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import DecodingError
+from repro.serialization.wire import (
+    WireType,
+    decode_double,
+    decode_length_delimited,
+    decode_tag,
+    decode_varint,
+    encode_double,
+    encode_length_delimited,
+    encode_tag,
+    encode_varint,
+    skip_field,
+    zigzag_decode,
+    zigzag_encode,
+)
+
+
+class TestVarint:
+    @pytest.mark.parametrize(
+        "value,encoded",
+        [
+            (0, b"\x00"),
+            (1, b"\x01"),
+            (127, b"\x7f"),
+            (128, b"\x80\x01"),
+            (300, b"\xac\x02"),  # canonical protobuf example
+            (1 << 63, b"\x80\x80\x80\x80\x80\x80\x80\x80\x80\x01"),
+        ],
+    )
+    def test_known_encodings(self, value, encoded):
+        assert encode_varint(value) == encoded
+        assert decode_varint(encoded) == (value, len(encoded))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            encode_varint(-1)
+
+    def test_truncated_rejected(self):
+        with pytest.raises(DecodingError):
+            decode_varint(b"\x80")
+
+    def test_overlong_rejected(self):
+        with pytest.raises(DecodingError):
+            decode_varint(b"\xff" * 11)
+
+    def test_decode_at_offset(self):
+        data = b"junk" + encode_varint(300)
+        assert decode_varint(data, 4) == (300, 6)
+
+    @given(st.integers(min_value=0, max_value=(1 << 64) - 1))
+    def test_roundtrip(self, value):
+        encoded = encode_varint(value)
+        assert decode_varint(encoded) == (value, len(encoded))
+
+
+class TestZigzag:
+    @pytest.mark.parametrize(
+        "signed,unsigned",
+        [(0, 0), (-1, 1), (1, 2), (-2, 3), (2, 4), (2147483647, 4294967294)],
+    )
+    def test_protobuf_vectors(self, signed, unsigned):
+        assert zigzag_encode(signed) == unsigned
+        assert zigzag_decode(unsigned) == signed
+
+    @given(st.integers(min_value=-(1 << 62), max_value=(1 << 62) - 1))
+    def test_roundtrip(self, value):
+        assert zigzag_decode(zigzag_encode(value)) == value
+
+
+class TestTags:
+    def test_roundtrip(self):
+        for number in (1, 15, 16, 2047, 100000):
+            for wtype in WireType:
+                raw = encode_tag(number, wtype)
+                assert decode_tag(raw) == (number, wtype, len(raw))
+
+    def test_invalid_field_number(self):
+        with pytest.raises(ValueError):
+            encode_tag(0, WireType.VARINT)
+
+    def test_unknown_wire_type_rejected(self):
+        with pytest.raises(DecodingError):
+            decode_tag(encode_varint((1 << 3) | 3))  # wire type 3 unused
+
+    def test_field_number_zero_rejected_on_decode(self):
+        with pytest.raises(DecodingError):
+            decode_tag(encode_varint(0 << 3 | 0))
+
+
+class TestLengthDelimited:
+    def test_roundtrip(self):
+        raw = encode_length_delimited(b"payload")
+        assert decode_length_delimited(raw) == (b"payload", len(raw))
+
+    def test_empty_payload(self):
+        assert decode_length_delimited(encode_length_delimited(b"")) == (b"", 1)
+
+    def test_truncated_rejected(self):
+        with pytest.raises(DecodingError):
+            decode_length_delimited(b"\x05abc")
+
+
+class TestDouble:
+    def test_roundtrip(self):
+        raw = encode_double(3.14159)
+        value, end = decode_double(raw)
+        assert value == pytest.approx(3.14159)
+        assert end == 8
+
+    def test_truncated(self):
+        with pytest.raises(DecodingError):
+            decode_double(b"\x00" * 4)
+
+
+class TestSkipField:
+    def test_skips_each_wire_type(self):
+        cases = [
+            (WireType.VARINT, encode_varint(300)),
+            (WireType.I64, b"\x00" * 8),
+            (WireType.I32, b"\x00" * 4),
+            (WireType.LEN, encode_length_delimited(b"abcdef")),
+        ]
+        for wtype, body in cases:
+            assert skip_field(body + b"rest", 0, wtype) == len(body)

@@ -1,0 +1,89 @@
+import pytest
+
+from repro.adversary import SubscriberBehavior
+from repro.adversary.behaviors import flip_first_byte
+from repro.tools.caseio import export_case
+from repro.tools.cli import main
+
+from tests.helpers import run_scenario
+
+
+@pytest.fixture()
+def clean_case(tmp_path, keypool):
+    result = run_scenario(keypool, publications=3)
+    path = str(tmp_path / "clean")
+    export_case(result.server, path)
+    return path
+
+
+@pytest.fixture()
+def dirty_case(tmp_path, keypool):
+    result = run_scenario(
+        keypool,
+        subscriber_behaviors=[SubscriberBehavior(falsify=flip_first_byte)],
+        publications=2,
+    )
+    path = str(tmp_path / "dirty")
+    export_case(result.server, path)
+    return path
+
+
+class TestVerify:
+    def test_intact_case(self, clean_case, capsys):
+        assert main(["verify", clean_case]) == 0
+        out = capsys.readouterr().out
+        assert "INTACT" in out and "merkle root" in out
+
+    def test_tampered_case(self, clean_case, capsys):
+        import os
+
+        entries = os.path.join(clean_case, "entries.log")
+        data = bytearray(open(entries, "rb").read())
+        data[-1] ^= 0x01
+        open(entries, "wb").write(bytes(data))
+        assert main(["verify", clean_case]) == 2
+        assert "TAMPERED" in capsys.readouterr().out
+
+
+class TestInspect:
+    def test_lists_entries(self, clean_case, capsys):
+        assert main(["inspect", clean_case]) == 0
+        out = capsys.readouterr().out
+        assert "/pub" in out and "/sub0" in out and "seq=1" in out
+
+    def test_component_filter(self, clean_case, capsys):
+        assert main(["inspect", clean_case, "--component", "/pub"]) == 0
+        out = capsys.readouterr().out
+        assert "/pub" in out
+        assert "\n" in out
+        assert all("/sub0 " not in line for line in out.splitlines())
+
+    def test_limit(self, clean_case, capsys):
+        assert main(["inspect", clean_case, "--limit", "1"]) == 0
+        assert "more" in capsys.readouterr().out
+
+
+class TestAudit:
+    def test_clean_case_exit_zero(self, clean_case, capsys):
+        assert main(["audit", clean_case, "--publisher", "/t=/pub"]) == 0
+        assert "FLAGGED" not in capsys.readouterr().out
+
+    def test_dirty_case_exit_one(self, dirty_case, capsys):
+        assert main(["audit", dirty_case, "--publisher", "/t=/pub"]) == 1
+        out = capsys.readouterr().out
+        assert "FLAGGED" in out and "/sub0" in out
+
+    def test_bad_publisher_syntax(self, clean_case):
+        with pytest.raises(SystemExit):
+            main(["audit", clean_case, "--publisher", "nonsense"])
+
+
+class TestTrace:
+    def test_traces_known_item(self, clean_case, capsys):
+        assert main(["trace", clean_case, "/t", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "lineage of /t#1" in out and "/pub" in out
+
+    def test_unknown_item(self, clean_case, capsys):
+        assert main(["trace", clean_case, "/t", "999"]) == 2
+        assert "no valid entry" in capsys.readouterr().out

@@ -1,0 +1,75 @@
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.bytesutil import (
+    byte_length,
+    hexdump,
+    human_size,
+    int_from_bytes,
+    int_to_bytes,
+)
+
+
+class TestByteLength:
+    def test_zero_occupies_one_byte(self):
+        assert byte_length(0) == 1
+
+    def test_boundaries(self):
+        assert byte_length(255) == 1
+        assert byte_length(256) == 2
+        assert byte_length(65535) == 2
+        assert byte_length(65536) == 3
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            byte_length(-1)
+
+
+class TestIntBytes:
+    def test_roundtrip_simple(self):
+        assert int_from_bytes(int_to_bytes(123456789)) == 123456789
+
+    def test_fixed_length_padding(self):
+        assert int_to_bytes(1, length=4) == b"\x00\x00\x00\x01"
+
+    def test_overflow_on_short_length(self):
+        with pytest.raises(OverflowError):
+            int_to_bytes(256, length=1)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            int_to_bytes(-5)
+
+    @given(st.integers(min_value=0, max_value=1 << 256))
+    def test_roundtrip_property(self, n):
+        assert int_from_bytes(int_to_bytes(n)) == n
+
+    @given(st.binary(min_size=1, max_size=64))
+    def test_big_endian_matches_python(self, data):
+        assert int_from_bytes(data) == int.from_bytes(data, "big")
+
+
+class TestHexdump:
+    def test_contains_offsets_and_ascii(self):
+        dump = hexdump(b"hello world, this is a hexdump test!")
+        assert "00000000" in dump
+        assert "hello world" in dump
+        assert "00000010" in dump  # second line for >16 bytes
+
+    def test_nonprintables_become_dots(self):
+        dump = hexdump(b"\x00\x01abc")
+        assert "..abc" in dump
+
+    def test_empty(self):
+        assert hexdump(b"") == ""
+
+
+class TestHumanSize:
+    def test_bytes(self):
+        assert human_size(512) == "512 B"
+
+    def test_kib(self):
+        assert human_size(900 * 1024) == "900.0 KiB"
+
+    def test_mib(self):
+        assert human_size(5 * 1024 * 1024) == "5.0 MiB"

@@ -1,0 +1,66 @@
+import time
+
+import pytest
+
+from repro.util.clock import SimulatedClock, SkewedClock, SystemClock
+
+
+class TestSystemClock:
+    def test_tracks_wall_time(self):
+        clock = SystemClock()
+        assert abs(clock.now() - time.time()) < 0.5
+
+    def test_monotone_nondecreasing(self):
+        clock = SystemClock()
+        a = clock.now()
+        b = clock.now()
+        assert b >= a
+
+
+class TestSimulatedClock:
+    def test_starts_at_given_time(self):
+        assert SimulatedClock(start=42.0).now() == 42.0
+
+    def test_advance(self):
+        clock = SimulatedClock()
+        clock.advance(1.5)
+        clock.advance(0.5)
+        assert clock.now() == 2.0
+
+    def test_sleep_advances_instead_of_blocking(self):
+        clock = SimulatedClock()
+        t0 = time.monotonic()
+        clock.sleep(100.0)
+        assert time.monotonic() - t0 < 1.0
+        assert clock.now() == 100.0
+
+    def test_cannot_go_backwards(self):
+        clock = SimulatedClock(start=10.0)
+        with pytest.raises(ValueError):
+            clock.advance(-1.0)
+        with pytest.raises(ValueError):
+            clock.set(5.0)
+
+    def test_set_forward(self):
+        clock = SimulatedClock()
+        clock.set(7.0)
+        assert clock.now() == 7.0
+
+
+class TestSkewedClock:
+    def test_offset(self):
+        base = SimulatedClock(start=100.0)
+        skewed = SkewedClock(base, offset=-30.0)
+        assert skewed.now() == 70.0
+
+    def test_scale(self):
+        base = SimulatedClock(start=10.0)
+        skewed = SkewedClock(base, scale=2.0)
+        assert skewed.now() == 20.0
+
+    def test_sleep_delegates_to_base(self):
+        base = SimulatedClock()
+        skewed = SkewedClock(base, offset=5.0)
+        skewed.sleep(3.0)
+        assert base.now() == 3.0
+        assert skewed.now() == 8.0

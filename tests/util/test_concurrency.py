@@ -1,0 +1,76 @@
+import threading
+import time
+
+import pytest
+
+from repro.util.concurrency import RateLimiter, StoppableThread, wait_for
+
+
+class TestStoppableThread:
+    def test_stop_terminates_polling_target(self):
+        started = threading.Event()
+
+        def work():
+            started.set()
+            while not thread.stopped():
+                time.sleep(0.005)
+
+        thread = StoppableThread("worker", target=work)
+        thread.start()
+        assert started.wait(2.0)
+        thread.stop()
+        assert not thread.is_alive()
+
+    def test_is_daemon(self):
+        thread = StoppableThread("t", target=lambda: None)
+        assert thread.daemon
+
+    def test_stop_without_start_is_safe(self):
+        thread = StoppableThread("t", target=lambda: None)
+        thread.stop()
+        assert thread.stopped()
+
+
+class TestRateLimiter:
+    def test_paces_loop(self):
+        limiter = RateLimiter(hz=200.0)
+        t0 = time.monotonic()
+        for _ in range(10):
+            limiter.wait()
+        elapsed = time.monotonic() - t0
+        # 9 full periods of 5ms after the first immediate return
+        assert elapsed >= 0.040
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError):
+            RateLimiter(0)
+        with pytest.raises(ValueError):
+            RateLimiter(-1.0)
+
+    def test_slow_body_reanchors_instead_of_bursting(self):
+        limiter = RateLimiter(hz=100.0)
+        limiter.wait()
+        time.sleep(0.05)  # fall behind by ~5 periods
+        t0 = time.monotonic()
+        limiter.wait()  # should not block (behind)
+        first = time.monotonic() - t0
+        t0 = time.monotonic()
+        limiter.wait()  # should wait ~one period, not burst
+        second = time.monotonic() - t0
+        assert first < 0.005
+        assert second >= 0.005
+
+
+class TestWaitFor:
+    def test_true_immediately(self):
+        assert wait_for(lambda: True, timeout=0.1)
+
+    def test_becomes_true(self):
+        flag = []
+        threading.Timer(0.05, lambda: flag.append(1)).start()
+        assert wait_for(lambda: bool(flag), timeout=2.0)
+
+    def test_timeout_returns_false(self):
+        t0 = time.monotonic()
+        assert not wait_for(lambda: False, timeout=0.1)
+        assert time.monotonic() - t0 < 1.0

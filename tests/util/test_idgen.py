@@ -1,0 +1,47 @@
+import threading
+
+from repro.util.idgen import SequenceCounter, unique_id
+
+
+class TestSequenceCounter:
+    def test_starts_at_given_value(self):
+        counter = SequenceCounter(start=1)
+        assert counter.next() == 1
+        assert counter.next() == 2
+
+    def test_last_before_any_issue(self):
+        assert SequenceCounter(start=5).last == 4
+
+    def test_last_tracks_latest(self):
+        counter = SequenceCounter()
+        counter.next()
+        counter.next()
+        assert counter.last == 1
+
+    def test_thread_safety_no_duplicates(self):
+        counter = SequenceCounter()
+        seen = []
+        lock = threading.Lock()
+
+        def worker():
+            for _ in range(500):
+                value = counter.next()
+                with lock:
+                    seen.append(value)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(seen) == 4000
+        assert len(set(seen)) == 4000
+
+
+class TestUniqueId:
+    def test_unique_across_calls(self):
+        ids = {unique_id() for _ in range(100)}
+        assert len(ids) == 100
+
+    def test_prefix(self):
+        assert unique_id("node").startswith("node_")
