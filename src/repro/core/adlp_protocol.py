@@ -47,6 +47,10 @@ from repro.util.clock import Clock, SystemClock
 #: Publications a publisher protocol remembers while awaiting ACKs.
 _PENDING_CAPACITY = 1024
 
+#: Recently sent ACKs a subscriber remembers (per publisher link) so a
+#: retransmitted frame can be re-acknowledged without re-delivery.
+_ACK_CACHE_CAPACITY = 128
+
 
 @dataclass
 class AdlpStats:
@@ -57,6 +61,9 @@ class AdlpStats:
     acks_sent: int = 0
     acks_received: int = 0
     ack_timeouts: int = 0
+    retransmits: int = 0
+    dup_frames_dropped: int = 0
+    log_submit_retries: int = 0
     invalid_frames: int = 0
     invalid_signatures: int = 0
     stale_frames: int = 0
@@ -163,9 +170,28 @@ class _AdlpPublisherProtocol(PublisherProtocol):
         if not config.require_ack:
             self._drain_async_acks(subscriber_id, connection)
             return
-        ack = self._await_ack(connection, seq, config.ack_timeout)
-        if ack is None:
+        # Bounded ACK wait with exponential backoff and capped retransmit:
+        # a frame (or its ACK) lost to the network is re-sent up to
+        # ``max_retransmits`` times; the subscriber's duplicate-seq handling
+        # re-ACKs without re-delivering, so retransmission is idempotent.
+        timeout = config.ack_timeout
+        attempt = 0
+        ack = None
+        while True:
+            ack = self._await_ack(connection, seq, timeout)
+            if ack is not None:
+                break
             self._outer.stats.bump("ack_timeouts")
+            if attempt >= config.max_retransmits or connection.closed:
+                break
+            attempt += 1
+            timeout = min(timeout * config.retransmit_backoff, config.max_ack_timeout)
+            self._outer.stats.bump("retransmits")
+            try:
+                connection.send_frame(frame)
+            except ConnectionClosed:
+                break
+        if ack is None:
             # Log the publication anyway: the publisher's own record exists
             # even when the subscriber stays stealthy (the missing ACK is
             # itself evidence for the auditor).
@@ -271,6 +297,12 @@ class _AdlpSubscriberProtocol(SubscriberProtocol):
         self._topic = topic
         self._type_name = type_name
         self._tracker = SequenceTracker()
+        # seq -> encoded ACK, for idempotent re-acknowledgement of
+        # retransmitted/duplicated frames (never re-delivered, never
+        # re-logged: the same signature bytes go back out, so duplicates
+        # cannot corrupt the log -- Lemma 4's causality argument).
+        self._ack_cache: "OrderedDict[int, bytes]" = OrderedDict()
+        self._ack_cache_lock = threading.Lock()
 
     def on_frame(
         self, publisher_id: str, connection: Connection, frame: bytes
@@ -283,6 +315,18 @@ class _AdlpSubscriberProtocol(SubscriberProtocol):
             outer.stats.bump("invalid_frames")
             return None
         if not self._tracker.accept(msg.seq):
+            with self._ack_cache_lock:
+                cached = self._ack_cache.get(msg.seq)
+            if cached is not None:
+                # A duplicate of a frame we already ACKed (retransmission
+                # after a lost ACK, or a network-duplicated frame): re-ACK
+                # so the publisher can make progress, deliver nothing.
+                outer.stats.bump("dup_frames_dropped")
+                try:
+                    connection.send_frame(cached)
+                except ConnectionClosed:
+                    pass
+                return None
             outer.stats.bump("stale_frames")
             return None
 
@@ -327,11 +371,19 @@ class _AdlpSubscriberProtocol(SubscriberProtocol):
             )
         else:
             ack = AdlpAck(seq=seq, data_hash=digest, signature=signature)
+        raw = ack.encode()
+        self._remember_ack(seq, raw)
         try:
-            connection.send_frame(ack.encode())
+            connection.send_frame(raw)
             self._outer.stats.bump("acks_sent")
         except ConnectionClosed:
             pass  # publisher went away; still log and deliver
+
+    def _remember_ack(self, seq: int, raw: bytes) -> None:
+        with self._ack_cache_lock:
+            self._ack_cache[seq] = raw
+            while len(self._ack_cache) > _ACK_CACHE_CAPACITY:
+                self._ack_cache.popitem(last=False)
 
     def _build_entry(
         self, publisher_id: str, msg: AdlpMessage, digest: bytes, signature: bytes
@@ -385,7 +437,13 @@ class AdlpProtocol(TransportProtocol):
         self.stats = AdlpStats()
         self._log_server = log_server
         log_server.register_key(component_id, self.keypair.public)
-        self.logging_thread = LoggingThread(component_id, log_server.submit)
+        self.logging_thread = LoggingThread(
+            component_id,
+            log_server.submit,
+            max_retries=self.config.log_retry_limit,
+            retry_backoff=self.config.log_retry_backoff,
+            on_retry=lambda: self.stats.bump("log_submit_retries"),
+        )
 
     def resolve_key(self, component_id: str) -> Optional[PublicKey]:
         """Look up a peer's public key (used by ``verify_on_receive``)."""

@@ -34,6 +34,9 @@ class LogServer:
         self._bytes_by_component: Dict[str, int] = {}
         self._observers: List = []
         self._lock = threading.Lock()
+        #: Undecodable submissions refused (never ingested); lets chaos
+        #: tests tell "network mangled the entry" from "entry never sent".
+        self.rejected_submissions = 0
 
     def add_observer(self, callback) -> None:
         """Register a callable invoked with each decoded entry after
@@ -69,6 +72,8 @@ class LogServer:
             try:
                 decoded = LogEntry.decode(record)
             except DecodingError as exc:
+                with self._lock:
+                    self.rejected_submissions += 1
                 raise LoggingError(f"undecodable log entry: {exc}") from exc
         with self._lock:
             index = self.store.append(record)

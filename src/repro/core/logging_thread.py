@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import queue
 import threading
+import time
 from typing import Callable, Optional, Union
 
 from repro.core.entries import LogEntry
@@ -26,15 +27,27 @@ class LoggingThread:
     :param component_id: owning node's id (used for the thread name).
     :param submit: the ingestion function, typically
         :meth:`repro.core.log_server.LogServer.submit`.
+    :param max_retries: failed submissions are retried this many times
+        (with exponentially growing sleeps) before the entry is counted as
+        dropped -- a transient logger hiccup must not lose evidence.
+    :param retry_backoff: initial sleep between retries; doubles per
+        attempt.
+    :param on_retry: callable invoked once per retry attempt (stats hook).
     """
 
     def __init__(
         self,
         component_id: str,
         submit: Callable[[Union[LogEntry, bytes]], int],
+        max_retries: int = 0,
+        retry_backoff: float = 0.01,
+        on_retry: Optional[Callable[[], None]] = None,
     ):
         self.component_id = component_id
         self._submit = submit
+        self._max_retries = max_retries
+        self._retry_backoff = retry_backoff
+        self._on_retry = on_retry
         self._queue: "queue.Queue" = queue.Queue(maxsize=_QUEUE_CAPACITY)
         self._pending = 0
         self._pending_lock = threading.Lock()
@@ -77,13 +90,26 @@ class LoggingThread:
                     return
                 continue
             try:
+                self._submit_with_retries(entry)
+            finally:
+                self._finish_one()
+
+    def _submit_with_retries(self, entry: LogEntry) -> None:
+        backoff = self._retry_backoff
+        for attempt in range(self._max_retries + 1):
+            try:
                 self._submit(entry)
+                return
             except Exception:
                 # The logger is outside the node's failure domain; errors
                 # are tolerated (and visible in server-side counts).
-                self._dropped += 1
-            finally:
-                self._finish_one()
+                if attempt >= self._max_retries or self._worker.stopped():
+                    break
+                if self._on_retry is not None:
+                    self._on_retry()
+                time.sleep(backoff)
+                backoff *= 2
+        self._dropped += 1
 
     @property
     def dropped(self) -> int:

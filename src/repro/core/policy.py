@@ -47,6 +47,28 @@ class AdlpConfig:
     #: paper's penalty), ``False`` keeps sending (ablation).
     drop_unacked_subscriber: bool = True
 
+    #: Retransmissions of an unacknowledged publication before giving up.
+    #: ``0`` is the paper-faithful behavior (a missing ACK is treated as
+    #: subscriber misbehavior, never a network fault); lossy deployments
+    #: raise it so transient frame loss does not starve a faithful
+    #: subscriber or litter the log with unproven publications.
+    max_retransmits: int = 0
+
+    #: Multiplier applied to the ACK-wait timeout after each timeout
+    #: (exponential backoff across retransmission attempts).
+    retransmit_backoff: float = 2.0
+
+    #: Upper bound a single ACK wait can grow to under backoff.
+    max_ack_timeout: float = 30.0
+
+    #: Per-server-submission retries performed by the logging thread before
+    #: an entry is counted as dropped.
+    log_retry_limit: int = 2
+
+    #: Initial sleep between logging-thread submission retries (doubles per
+    #: attempt).
+    log_retry_backoff: float = 0.01
+
     #: Fold all subscribers' ACKs for one publication into one publisher
     #: entry (Section VI-E extension).
     aggregate_publisher_entries: bool = False
@@ -64,5 +86,15 @@ class AdlpConfig:
             raise ValueError("key_bits must be at least 128")
         if self.ack_timeout <= 0:
             raise ValueError("ack_timeout must be positive")
+        if self.max_retransmits < 0:
+            raise ValueError("max_retransmits must be non-negative")
+        if self.retransmit_backoff < 1.0:
+            raise ValueError("retransmit_backoff must be at least 1")
+        if self.max_ack_timeout < self.ack_timeout:
+            raise ValueError("max_ack_timeout must be at least ack_timeout")
+        if self.log_retry_limit < 0:
+            raise ValueError("log_retry_limit must be non-negative")
+        if self.log_retry_backoff < 0:
+            raise ValueError("log_retry_backoff must be non-negative")
         if self.aggregation_window < 0:
             raise ValueError("aggregation_window must be non-negative")

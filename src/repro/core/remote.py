@@ -24,7 +24,9 @@ flows).
 from __future__ import annotations
 
 import threading
-from typing import List, Optional, Union
+import time
+from collections import deque
+from typing import Deque, List, Optional, Union
 
 from repro.core.entries import LogEntry
 from repro.core.log_server import LogServer
@@ -69,6 +71,10 @@ class LogServerEndpoint:
         self._listener = self._transport.listen()
         self._connections: List[Connection] = []
         self._lock = threading.Lock()
+        #: Submission frames received / rejected by the server (observability
+        #: for chaos runs; rejection never propagates to the component).
+        self.submissions = 0
+        self.rejected = 0
         self._acceptor = StoppableThread("logserver-accept", target=self._accept_loop)
         self._acceptor.start()
 
@@ -112,10 +118,14 @@ class LogServerEndpoint:
                 except ConnectionClosed:
                     return
             elif request.op == OP_SUBMIT:
+                with self._lock:
+                    self.submissions += 1
                 try:
                     self.server.submit(request.entry_bytes)
                 except LoggingError:
-                    pass  # fire-and-forget: bad entries are dropped server-side
+                    # fire-and-forget: bad entries are dropped server-side
+                    with self._lock:
+                        self.rejected += 1
 
     def close(self) -> None:
         self._acceptor.stop(join=False)
@@ -134,27 +144,57 @@ class RemoteLogger:
     :class:`~repro.core.adlp_protocol.AdlpProtocol` /
     :class:`~repro.core.naive_protocol.NaiveProtocol` (``submit``).
 
-    ``submit`` never blocks on the server: frames are written to the socket
-    and forgotten.  If the connection dies, entries are dropped and counted
-    -- the node keeps running (the paper's no-single-point-of-failure
-    property).
+    ``submit`` never blocks on the server.  If the connection dies, entries
+    are *spilled* into a bounded in-memory queue and re-sent (oldest first)
+    once the connection recovers -- an entry is only ever lost, and counted
+    in :attr:`dropped`, when the spill queue overflows.  Reconnection
+    attempts back off exponentially so a dead server is not hammered on the
+    hot path.  The node keeps running throughout (the paper's
+    no-single-point-of-failure property).
     """
 
-    def __init__(self, address, transport: Optional[Transport] = None):
+    def __init__(
+        self,
+        address,
+        transport: Optional[Transport] = None,
+        spill_capacity: int = 1024,
+        reconnect_backoff: float = 0.05,
+        max_reconnect_backoff: float = 2.0,
+    ):
         self._transport = transport or TcpTransport()
         self._address = address
         self._connection: Optional[Connection] = None
         self._lock = threading.Lock()
+        self._spill: Deque[bytes] = deque()
+        self._spill_capacity = spill_capacity
+        self._initial_backoff = reconnect_backoff
+        self._max_backoff = max_reconnect_backoff
+        self._backoff = reconnect_backoff
+        self._next_attempt = 0.0
+        #: Entries permanently lost to spill-queue overflow.
         self.dropped = 0
+        #: Spilled entries successfully re-sent after a reconnect.
+        self.retries = 0
+
+    @property
+    def spilled(self) -> int:
+        """Entries currently parked in the spill queue."""
+        with self._lock:
+            return len(self._spill)
 
     def _connect(self) -> Optional[Connection]:
         with self._lock:
             if self._connection is not None and not self._connection.closed:
                 return self._connection
+            if time.monotonic() < self._next_attempt:
+                return None  # backing off; do not hammer a dead server
             try:
                 self._connection = self._transport.connect(self._address)
+                self._backoff = self._initial_backoff
             except TransportError:
                 self._connection = None
+                self._next_attempt = time.monotonic() + self._backoff
+                self._backoff = min(self._backoff * 2, self._max_backoff)
             return self._connection
 
     def register_key(self, component_id: str, key: Union[PublicKey, bytes]) -> None:
@@ -177,19 +217,60 @@ class RemoteLogger:
             raise LoggingError(f"key registration rejected: {response.error}")
 
     def submit(self, entry: Union[LogEntry, bytes]) -> int:
-        """Fire-and-forget submission; returns 0 (no server-side index)."""
+        """Fire-and-forget submission; returns 0 (no server-side index).
+
+        Never raises: on connection trouble the encoded entry is spilled
+        and retried on a later call (or via :meth:`flush_spill`).
+        """
         record = entry.encode() if isinstance(entry, LogEntry) else bytes(entry)
         connection = self._connect()
         if connection is None:
-            self.dropped += 1
+            self._spill_entry(record)
+            return 0
+        if not self._drain_spill(connection):
+            self._spill_entry(record)
             return 0
         try:
             connection.send_frame(
                 LoggerRequest(op=OP_SUBMIT, entry_bytes=record).encode()
             )
         except ConnectionClosed:
-            self.dropped += 1
+            self._spill_entry(record)
         return 0
+
+    def _spill_entry(self, record: bytes) -> None:
+        with self._lock:
+            self._spill.append(record)
+            while len(self._spill) > self._spill_capacity:
+                self._spill.popleft()
+                self.dropped += 1  # overflow: oldest evidence lost, counted
+
+    def _drain_spill(self, connection: Connection) -> bool:
+        """Re-send parked entries oldest-first; ``False`` on failure."""
+        while True:
+            with self._lock:
+                if not self._spill:
+                    return True
+                record = self._spill[0]
+            try:
+                connection.send_frame(
+                    LoggerRequest(op=OP_SUBMIT, entry_bytes=record).encode()
+                )
+            except ConnectionClosed:
+                return False
+            with self._lock:
+                # pop what we just sent (submit is single-callered per node,
+                # but stay safe against concurrent drains)
+                if self._spill and self._spill[0] is record:
+                    self._spill.popleft()
+                self.retries += 1
+
+    def flush_spill(self) -> bool:
+        """Attempt to re-send all spilled entries now; ``True`` if empty."""
+        connection = self._connect()
+        if connection is None:
+            return self.spilled == 0
+        return self._drain_spill(connection)
 
     def close(self) -> None:
         with self._lock:

@@ -5,6 +5,12 @@ type, md5sum).  We do the same: the subscriber sends a
 :class:`ConnectionHeader` as the first frame, the publisher replies with its
 own.  The exchange is what tells the ADLP publisher *which* subscriber a
 connection belongs to, so acknowledgements can be attributed in log entries.
+
+Over a lossy link a header frame can be dropped or mangled, so both sides
+retry: :func:`client_handshake` re-sends its header after each timed-out
+wait, :func:`server_handshake` keeps waiting (and ignores malformed frames)
+across the same budget.  The total wait stays bounded by the caller's
+timeout.
 """
 
 from __future__ import annotations
@@ -12,11 +18,14 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.errors import DecodingError, TopicTypeError, TransportError
-from repro.middleware.transport.base import Connection
+from repro.middleware.transport.base import Connection, ConnectionClosed
 from repro.serialization import WireMessage, string
 
-#: Seconds either side waits for the peer's handshake frame.
+#: Seconds either side waits, in total, for the peer's handshake frame.
 HANDSHAKE_TIMEOUT = 5.0
+
+#: Send/wait attempts either side makes within that budget.
+HANDSHAKE_ATTEMPTS = 3
 
 
 class ConnectionHeader(WireMessage):
@@ -49,6 +58,75 @@ def recv_header(
         return ConnectionHeader.decode(frame)
     except DecodingError as exc:
         raise TransportError(f"malformed connection header: {exc}") from exc
+
+
+def client_handshake(
+    connection: Connection,
+    node_id: str,
+    topic: str,
+    type_name: str,
+    role: str = "subscriber",
+    expected_role: str = "publisher",
+    attempts: int = HANDSHAKE_ATTEMPTS,
+    timeout: Optional[float] = None,
+) -> Optional[ConnectionHeader]:
+    """Initiator side: send our header, await the peer's, resend on timeout.
+
+    Returns the validated peer header, or ``None`` when every attempt timed
+    out.  Raises on a peer that answers with a *mismatched* header (that is
+    a real error, not a lossy link).
+    """
+    if timeout is None:
+        timeout = HANDSHAKE_TIMEOUT  # late-bound so tests can shrink it
+    per_wait = timeout / max(attempts, 1)
+    for _ in range(max(attempts, 1)):
+        send_header(connection, node_id, topic, type_name, role)
+        try:
+            peer = recv_header(connection, timeout=per_wait)
+        except TransportError as exc:
+            if isinstance(exc, (TopicTypeError, ConnectionClosed)):
+                raise
+            continue  # malformed (e.g. truncated) header frame: retry
+        if peer is not None:
+            check_header(peer, topic, type_name, expected_role)
+            return peer
+    return None
+
+
+def server_handshake(
+    connection: Connection,
+    node_id: str,
+    topic: str,
+    type_name: str,
+    role: str = "publisher",
+    expected_role: str = "subscriber",
+    attempts: int = HANDSHAKE_ATTEMPTS,
+    timeout: Optional[float] = None,
+) -> Optional[ConnectionHeader]:
+    """Acceptor side: await the initiator's header, then reply with ours.
+
+    Keeps waiting across ``attempts`` windows (the initiator re-sends on
+    timeout) and skips malformed frames.  Returns ``None`` when nothing
+    valid arrived within the budget.
+    """
+    if timeout is None:
+        timeout = HANDSHAKE_TIMEOUT  # late-bound so tests can shrink it
+    per_wait = timeout / max(attempts, 1)
+    peer: Optional[ConnectionHeader] = None
+    for _ in range(max(attempts, 1)):
+        try:
+            peer = recv_header(connection, timeout=per_wait)
+        except TransportError as exc:
+            if isinstance(exc, (TopicTypeError, ConnectionClosed)):
+                raise
+            continue  # malformed header frame: keep waiting for a resend
+        if peer is not None:
+            break
+    if peer is None:
+        return None
+    check_header(peer, topic, type_name, expected_role)
+    send_header(connection, node_id, topic, type_name, role)
+    return peer
 
 
 def check_header(

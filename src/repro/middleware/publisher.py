@@ -191,14 +191,12 @@ class Publisher:
                 connection.close()
 
     def _handshake(self, connection: Connection) -> None:
-        peer = handshake.recv_header(connection)
+        peer = handshake.server_handshake(
+            connection, self._node.name, self.topic, self.type_name
+        )
         if peer is None:
             connection.close()
             return
-        handshake.check_header(peer, self.topic, self.type_name, "subscriber")
-        handshake.send_header(
-            connection, self._node.name, self.topic, self.type_name, "publisher"
-        )
         link = _SubscriberLink(self, peer.node_id, connection)
         with self._links_lock:
             old = self._links.pop(peer.node_id, None)

@@ -26,8 +26,11 @@ from repro.util.concurrency import StoppableThread, wait_for
 if TYPE_CHECKING:  # pragma: no cover
     from repro.middleware.node import Node
 
-#: Delay before re-attempting a failed publisher connection.
+#: Delay before re-attempting a failed publisher connection.  Grows
+#: exponentially (doubling, capped) while attempts keep failing, and resets
+#: once a connection succeeds.
 _RECONNECT_DELAY = 0.05
+_MAX_RECONNECT_DELAY = 2.0
 
 
 @dataclass
@@ -86,6 +89,7 @@ class Subscriber:
     # -- receive loop ------------------------------------------------------
 
     def _run(self) -> None:
+        delay = _RECONNECT_DELAY
         while not self._worker.stopped():
             if not self._pub_available.wait(timeout=0.1):
                 continue
@@ -96,8 +100,10 @@ class Subscriber:
                 continue
             connection = self._connect(info)
             if connection is None:
-                time.sleep(_RECONNECT_DELAY)
+                time.sleep(delay)
+                delay = min(delay * 2, _MAX_RECONNECT_DELAY)
                 continue
+            delay = _RECONNECT_DELAY
             try:
                 self._receive_loop(info, connection)
             finally:
@@ -110,14 +116,12 @@ class Subscriber:
         except Exception:
             return None
         try:
-            handshake.send_header(
-                connection, self._node.name, self.topic, self.type_name, "subscriber"
+            peer = handshake.client_handshake(
+                connection, self._node.name, self.topic, self.type_name
             )
-            peer = handshake.recv_header(connection)
             if peer is None:
                 connection.close()
                 return None
-            handshake.check_header(peer, self.topic, self.type_name, "publisher")
         except Exception:
             connection.close()
             return None

@@ -8,6 +8,9 @@ transports here expose the same bidirectional framed-connection interface:
 - :mod:`repro.middleware.transport.tcp` -- real TCP sockets on localhost.
 - :mod:`repro.middleware.transport.inproc` -- queue pairs inside one
   process, deterministic and fast, used by most tests.
+- :mod:`repro.middleware.transport.faulty` -- a fault-injection decorator
+  over either of the above: seeded, deterministic drop/dup/delay/reorder/
+  truncate/disconnect faults for chaos and resilience testing.
 """
 
 from repro.middleware.transport.base import (
@@ -20,10 +23,20 @@ from repro.middleware.transport.base import (
     SubscriberProtocol,
     PlainProtocol,
 )
+from repro.middleware.transport.faulty import (
+    FaultProfile,
+    FaultSchedule,
+    FaultStats,
+    FaultyTransport,
+)
 from repro.middleware.transport.inproc import InprocTransport
 from repro.middleware.transport.tcp import TcpTransport
 
 __all__ = [
+    "FaultProfile",
+    "FaultSchedule",
+    "FaultStats",
+    "FaultyTransport",
     "Connection",
     "ConnectionClosed",
     "Listener",

@@ -4,9 +4,17 @@ RSA key generation is the only expensive setup, so a pool of seeded
 512-bit key pairs is generated once per session and handed out by index.
 512-bit keys keep tests fast; the algorithms are size-independent and the
 crypto unit tests cover 1024-bit (the paper's size) explicitly.
+
+Every randomized test draws (directly or via the ``rng`` fixture) from the
+session-wide ``deterministic_seed``, controlled by the ``PYTEST_SEED``
+environment variable, so any failing run can be reproduced exactly with
+``PYTEST_SEED=<n> pytest ...``.
 """
 
 from __future__ import annotations
+
+import os
+import random
 
 import pytest
 
@@ -18,15 +26,31 @@ _POOL_SIZE = 12
 
 
 @pytest.fixture(scope="session")
-def keypool():
-    """A list of deterministic 512-bit key pairs."""
-    return [generate_keypair(512, seed=9000 + i) for i in range(_POOL_SIZE)]
+def deterministic_seed() -> int:
+    """The session's master seed (``PYTEST_SEED`` env var, default 1337)."""
+    return int(os.environ.get("PYTEST_SEED", "1337"))
+
+
+@pytest.fixture()
+def rng(deterministic_seed) -> random.Random:
+    """A fresh, seeded PRNG per test (independent of call ordering in
+    other tests, since each test gets its own instance)."""
+    return random.Random(deterministic_seed)
 
 
 @pytest.fixture(scope="session")
-def keypair_1024():
+def keypool(deterministic_seed):
+    """A list of deterministic 512-bit key pairs (master-seed derived)."""
+    return [
+        generate_keypair(512, seed=deterministic_seed + 9000 + i)
+        for i in range(_POOL_SIZE)
+    ]
+
+
+@pytest.fixture(scope="session")
+def keypair_1024(deterministic_seed):
     """One deterministic 1024-bit pair (the paper's key size)."""
-    return generate_keypair(1024, seed=4242)
+    return generate_keypair(1024, seed=deterministic_seed + 4242)
 
 
 @pytest.fixture()

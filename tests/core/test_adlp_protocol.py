@@ -234,5 +234,16 @@ class TestReplayProtection:
             seq=5, payload=b"data", signature=keypool[0].private.sign_digest(digest)
         ).encode()
         assert sub_proto.on_frame("/pub", FakeConn(), frame) == b"data"
-        assert sub_proto.on_frame("/pub", FakeConn(), frame) is None  # replay
+        # An exact replay of an already-ACKed seq is swallowed as a
+        # duplicate (idempotently re-ACKed, never re-delivered).
+        assert sub_proto.on_frame("/pub", FakeConn(), frame) is None
+        assert sub_protocol.stats.dup_frames_dropped >= 1
+        # A *stale* frame -- an old seq the subscriber never ACKed (its
+        # ACK cache has no entry) -- is dropped as stale, not re-ACKed.
+        stale_digest = message_digest(2, b"old")
+        stale = AdlpMessage(
+            seq=2, payload=b"old",
+            signature=keypool[0].private.sign_digest(stale_digest),
+        ).encode()
+        assert sub_proto.on_frame("/pub", FakeConn(), stale) is None
         assert sub_protocol.stats.stale_frames >= 1

@@ -66,7 +66,8 @@ class TestRemoteLogger:
 
     def test_submit_tolerates_dead_server(self, endpoint, keypool):
         """The paper's no-single-point-of-failure property: once running,
-        a logger failure must not raise into the component."""
+        a logger failure must not raise into the component.  Entries from
+        the outage are parked in the spill queue, not silently lost."""
         server, ep = endpoint
         client = RemoteLogger(ep.address)
         client.register_key("/a", keypool[0].public)
@@ -74,7 +75,46 @@ class TestRemoteLogger:
         entry = LogEntry(component_id="/a", topic="/t", seq=1)
         for _ in range(3):
             client.submit(entry)  # must not raise
-        assert client.dropped >= 1
+        assert client.spilled >= 1
+        assert client.dropped == 0  # parked, not lost
+        client.close()
+
+    def test_spilled_entries_resent_after_recovery(self, keypool):
+        """Entries spilled while the server is down are re-sent (oldest
+        first) once it comes back."""
+        client = RemoteLogger(("tcp", "127.0.0.1", 1), reconnect_backoff=0.01)
+        entries = [
+            LogEntry(component_id="/a", topic="/t", seq=i, scheme=Scheme.ADLP)
+            for i in range(1, 4)
+        ]
+        for entry in entries:
+            client.submit(entry)  # nothing listens yet: all spill
+        assert client.spilled == 3
+
+        server = LogServer()
+        ep = LogServerEndpoint(server)
+        try:
+            client._address = ep.address  # server "comes back" here
+            wait_for(lambda: client.flush_spill(), timeout=5.0)
+            assert client.spilled == 0
+            assert client.retries == 3
+            assert client.dropped == 0
+            assert wait_for(lambda: len(server) == 3, timeout=5.0)
+            assert [e.seq for e in server.entries()] == [1, 2, 3]
+        finally:
+            ep.close()
+            client.close()
+
+    def test_spill_queue_is_bounded(self):
+        """Overflowing the spill queue evicts the oldest entry and counts
+        it as dropped -- bounded memory, visible loss."""
+        client = RemoteLogger(
+            ("tcp", "127.0.0.1", 1), spill_capacity=5, reconnect_backoff=10.0
+        )
+        for i in range(8):
+            client.submit(LogEntry(component_id="/a", topic="/t", seq=i))
+        assert client.spilled == 5
+        assert client.dropped == 3
         client.close()
 
     def test_malformed_frames_do_not_kill_server(self, endpoint, keypool):

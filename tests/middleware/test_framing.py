@@ -93,3 +93,70 @@ class TestSocketFraming:
         finally:
             a.close()
             b.close()
+
+
+class TestFramingProperties:
+    """Property-style checks over randomized inputs (seeded via the shared
+    ``rng`` fixture, reproducible with ``PYTEST_SEED``)."""
+
+    def test_arbitrary_payloads_roundtrip(self, rng):
+        """Any payload -- any length, any bytes -- survives frame/deframe
+        unchanged, including back-to-back frames on one stream."""
+        a, b = socket_pair()
+        payloads = [
+            rng.randbytes(rng.randrange(0, 4096)) for _ in range(60)
+        ] + [b"", b"\x00" * 4, bytes(range(256))]
+        try:
+            sender = threading.Thread(
+                target=lambda: [framing.send_frame(a, p) for p in payloads]
+            )
+            sender.start()
+            for expected in payloads:
+                assert framing.recv_frame(b) == expected
+            sender.join()
+        finally:
+            a.close()
+            b.close()
+
+    def test_encode_frame_is_parseable_prefix(self, rng):
+        """encode_frame's preamble always announces exactly the payload
+        length, so deframing is a pure prefix read."""
+        for _ in range(50):
+            payload = rng.randbytes(rng.randrange(0, 2048))
+            raw = framing.encode_frame(payload)
+            assert len(raw) == framing.frame_overhead() + len(payload)
+            assert int.from_bytes(raw[:4], "little") == len(payload)
+            assert raw[4:] == payload
+
+    def test_truncated_frame_raises_not_hangs(self, rng):
+        """A frame cut off at any point after the preamble must raise
+        TransportError once the stream ends -- never return a short payload
+        or block forever."""
+        for _ in range(20):
+            a, b = socket_pair()
+            payload = rng.randbytes(rng.randrange(8, 512))
+            raw = framing.encode_frame(payload)
+            cut = rng.randrange(4, len(raw))  # keep preamble, lose payload tail
+            try:
+                a.sendall(raw[:cut])
+                a.close()
+                b.settimeout(2.0)  # hang guard: fail loudly, don't block
+                with pytest.raises(TransportError):
+                    framing.recv_frame(b)
+            finally:
+                b.close()
+
+    def test_corrupted_length_raises_not_hangs(self, rng):
+        """A length preamble corrupted past MAX_FRAME_SIZE is rejected
+        before any payload is read."""
+        for _ in range(20):
+            a, b = socket_pair()
+            length = rng.randrange(framing.MAX_FRAME_SIZE + 1, 2**32)
+            try:
+                a.sendall(length.to_bytes(4, "little"))
+                b.settimeout(2.0)
+                with pytest.raises(TransportError):
+                    framing.recv_frame(b)
+            finally:
+                a.close()
+                b.close()
