@@ -27,8 +27,10 @@ from repro.core.logging_thread import LoggingThread
 from repro.core.naive_protocol import NaiveProtocol
 from repro.core.adlp_protocol import AdlpProtocol
 from repro.core.remote import LogServerEndpoint, RemoteLogger
+from repro.storage.durable_store import DurableLogStore
 
 __all__ = [
+    "DurableLogStore",
     "LogServerEndpoint",
     "RemoteLogger",
     "Direction",

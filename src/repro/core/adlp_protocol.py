@@ -22,10 +22,11 @@ Everything here lives below the application layer: installing
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.core.entries import Direction, LogEntry, Scheme
@@ -42,6 +43,7 @@ from repro.middleware.transport.base import (
     SubscriberProtocol,
     TransportProtocol,
 )
+from repro.storage.seqstate import SequenceStateFile
 from repro.util.clock import Clock, SystemClock
 
 #: Publications a publisher protocol remembers while awaiting ACKs.
@@ -54,7 +56,14 @@ _ACK_CACHE_CAPACITY = 128
 
 @dataclass
 class AdlpStats:
-    """Per-node protocol counters (exposed for tests and benchmarks)."""
+    """Per-node protocol counters (exposed for tests and benchmarks).
+
+    The object doubles as a callable: ``protocol.stats()`` returns one flat
+    dict combining these counters with any attached sources (the logging
+    thread's ``dropped``, a remote logger's spill counters), so loss is
+    visible next to ``retransmits`` instead of scattered over three
+    objects.
+    """
 
     signatures: int = 0
     digests: int = 0
@@ -68,10 +77,34 @@ class AdlpStats:
     invalid_signatures: int = 0
     stale_frames: int = 0
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+    _sources: List[Callable[[], Dict[str, int]]] = field(
+        default_factory=list, repr=False
+    )
 
     def bump(self, name: str, amount: int = 1) -> None:
         with self._lock:
             setattr(self, name, getattr(self, name) + amount)
+
+    def attach_source(self, source: Callable[[], Dict[str, int]]) -> None:
+        """Fold ``source()``'s counters into every :meth:`as_dict` call."""
+        with self._lock:
+            self._sources.append(source)
+
+    def as_dict(self) -> Dict[str, int]:
+        """All counters, own fields plus attached sources, as one dict."""
+        with self._lock:
+            out = {
+                f.name: getattr(self, f.name)
+                for f in fields(self)
+                if not f.name.startswith("_")
+            }
+            sources = list(self._sources)
+        for source in sources:
+            for name, value in source().items():
+                out[name] = out.get(name, 0) + int(value)
+        return out
+
+    __call__ = as_dict
 
 
 class _AckAggregator:
@@ -149,7 +182,21 @@ class _AdlpPublisherProtocol(PublisherProtocol):
 
     # -- once per publication ----------------------------------------------
 
+    def initial_seq(self) -> int:
+        state = self._outer.seq_state
+        if state is None:
+            return 1
+        # Resume after the highest number ever signed on this topic: reusing
+        # one would audit as a ``replayed_sequence`` against a faithful node.
+        return state.last_published(self._topic) + 1
+
     def make_frame(self, seq: int, payload: bytes) -> bytes:
+        state = self._outer.seq_state
+        if state is not None:
+            # Journal before signing: a crash after the journal write but
+            # before the send merely skips a number, which audits as a gap,
+            # never as a replay.
+            state.record_published(self._topic, seq)
         digest = message_digest(seq, payload)
         signature = self._outer.keypair.private.sign_digest(digest)
         self._outer.stats.bump("digests")
@@ -296,7 +343,13 @@ class _AdlpSubscriberProtocol(SubscriberProtocol):
         self._outer = outer
         self._topic = topic
         self._type_name = type_name
-        self._tracker = SequenceTracker()
+        initial = 0
+        if outer.seq_state is not None:
+            # Seed from the journal so a restarted subscriber keeps
+            # rejecting frames its predecessor already accepted (replay
+            # across restart would be re-delivered *and* double-logged).
+            initial = outer.seq_state.last_received(topic)
+        self._tracker = SequenceTracker(initial=initial)
         # seq -> encoded ACK, for idempotent re-acknowledgement of
         # retransmitted/duplicated frames (never re-delivered, never
         # re-logged: the same signature bytes go back out, so duplicates
@@ -341,6 +394,9 @@ class _AdlpSubscriberProtocol(SubscriberProtocol):
 
         signature = outer.keypair.private.sign_digest(digest)
         outer.stats.bump("signatures")
+
+        if outer.seq_state is not None:
+            outer.seq_state.record_received(self._topic, publisher_id, msg.seq)
 
         # ACK before delivering to the application, as the prototype does
         # ("performed in the middle of message deserialization step before
@@ -436,6 +492,18 @@ class AdlpProtocol(TransportProtocol):
         self.keypair = keypair or generate_keypair(self.config.key_bits)
         self.stats = AdlpStats()
         self._log_server = log_server
+        #: Durable per-topic sequence counters (``None`` without a
+        #: ``state_dir``); restart-safe freshness, see
+        #: :mod:`repro.storage.seqstate`.
+        self.seq_state: Optional[SequenceStateFile] = None
+        if self.config.state_dir:
+            # Component ids look like "/pub" -- flatten the leading/namespace
+            # slashes so the journal lands *inside* state_dir (os.path.join
+            # would treat "/pub.seqstate" as an absolute path).
+            safe = component_id.replace("/", "_").strip("_") or "component"
+            self.seq_state = SequenceStateFile(
+                os.path.join(self.config.state_dir, f"{safe}.seqstate")
+            )
         log_server.register_key(component_id, self.keypair.public)
         self.logging_thread = LoggingThread(
             component_id,
@@ -444,6 +512,24 @@ class AdlpProtocol(TransportProtocol):
             retry_backoff=self.config.log_retry_backoff,
             on_retry=lambda: self.stats.bump("log_submit_retries"),
         )
+        self.stats.attach_source(self._loss_counters)
+
+    def _loss_counters(self) -> Dict[str, int]:
+        """Evidence-loss counters merged into ``stats()``: the logging
+        thread's drops plus, for a :class:`~repro.core.remote.RemoteLogger`,
+        its spill-queue counters -- so ``stats()["dropped"]`` is the total
+        number of entries that will never reach the trusted logger."""
+        out = {
+            "dropped": self.logging_thread.dropped,
+            "spilled": 0,
+            "spilled_to_disk": 0,
+            "spill_retries": 0,
+        }
+        peer_stats = getattr(self._log_server, "stats", None)
+        if callable(peer_stats):
+            for name, value in peer_stats().items():
+                out[name] = out.get(name, 0) + int(value)
+        return out
 
     def resolve_key(self, component_id: str) -> Optional[PublicKey]:
         """Look up a peer's public key (used by ``verify_on_receive``)."""
@@ -467,3 +553,5 @@ class AdlpProtocol(TransportProtocol):
 
     def close(self) -> None:
         self.logging_thread.stop()
+        if self.seq_state is not None:
+            self.seq_state.close()

@@ -5,19 +5,27 @@ entries tamper-evidently, and answers the auditor's queries.  Entries are
 "simply pushed into the server" (Section V-B): there is no response path a
 component could depend on, so a logger failure cannot stall the data plane
 -- the paper's freedom from single-point failure.
+
+When backed by a :class:`~repro.storage.durable_store.DurableLogStore` the
+server also survives its *own* death: on construction it replays whatever
+the store recovered -- decoded entries, Merkle tree, per-component
+counters, and the key registry (journaled KEY records plus the checkpoint
+snapshot) -- and cross-checks the rebuilt state against the checkpoint
+commitments, so ``verify_integrity()``, ``merkle_root()``, and every audit
+verdict after a crash equal those of a never-crashed run.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Dict, Iterable, List, Optional, Union
+from typing import Any, Dict, Iterable, List, Optional, Union
 
 from repro.core.entries import Direction, LogEntry
 from repro.crypto.keys import PublicKey
 from repro.crypto.keystore import KeyStore
-from repro.crypto.merkle import MerkleProof, MerkleTree
+from repro.crypto.merkle import MerkleFrontier, MerkleProof, MerkleTree
 from repro.core.log_store import InMemoryLogStore, LogStore
-from repro.errors import DecodingError, LoggingError
+from repro.errors import DecodingError, LogIntegrityError, LoggingError
 
 
 class LogServer:
@@ -30,13 +38,101 @@ class LogServer:
         self.store: LogStore = store if store is not None else InMemoryLogStore()
         self._entries: List[LogEntry] = []
         self._merkle = MerkleTree()
+        #: incremental twin of the Merkle tree; O(log n) to snapshot into
+        #: a checkpoint where rebuilding the tree's frontier would be O(n)
+        self._frontier = MerkleFrontier()
         self._by_component: Dict[str, int] = {}
         self._bytes_by_component: Dict[str, int] = {}
         self._observers: List = []
-        self._lock = threading.Lock()
+        # reentrant: a durable store's auto-checkpoint fires inside
+        # ``submit`` (under this lock) and calls back into
+        # ``_checkpoint_extra``, which locks again
+        self._lock = threading.RLock()
         #: Undecodable submissions refused (never ingested); lets chaos
         #: tests tell "network mangled the entry" from "entry never sent".
         self.rejected_submissions = 0
+        if hasattr(self.store, "checkpoint_extra_provider"):
+            self.store.checkpoint_extra_provider = self._checkpoint_extra
+        if len(self.store):
+            self._recover_from_store()
+
+    # -- crash recovery ----------------------------------------------------
+
+    def _recover_from_store(self) -> None:
+        """Rebuild derived state from a store that recovered from disk."""
+        records = self.store.records()
+        recovery = getattr(self.store, "recovery", None)
+        with self._lock:
+            for index, record in enumerate(records):
+                try:
+                    decoded = LogEntry.decode(record)
+                except DecodingError as exc:
+                    # CRC and chain both passed, so these bytes are what
+                    # was originally accepted -- an undecodable record here
+                    # means the store was fed garbage, not torn by a crash.
+                    raise LogIntegrityError(
+                        f"recovered record {index} does not decode: {exc}"
+                    ) from exc
+                self._entries.append(decoded)
+                self._merkle.append(record)
+                self._frontier.append(record)
+                cid = decoded.component_id
+                self._by_component[cid] = self._by_component.get(cid, 0) + 1
+                self._bytes_by_component[cid] = (
+                    self._bytes_by_component.get(cid, 0) + len(record)
+                )
+            store_root = getattr(self.store, "merkle_root", None)
+            if store_root is not None and store_root() != self._merkle.root():
+                raise LogIntegrityError(
+                    "rebuilt Merkle tree disagrees with the store's "
+                    "recovered frontier"
+                )
+            extra = dict(recovery.extra) if recovery is not None else {}
+            self._restore_keys(extra)
+            self._check_recovered_counters(extra)
+
+    def _restore_keys(self, extra: Dict[str, Any]) -> None:
+        keys: Dict[str, bytes] = {}
+        for component_id, key_hex in extra.get("keys", {}).items():
+            keys[component_id] = bytes.fromhex(key_hex)
+        keys.update(getattr(self.store, "recovered_keys", {}))
+        for component_id, key_bytes in keys.items():
+            self.keystore.register(component_id, PublicKey.from_bytes(key_bytes))
+
+    def _check_recovered_counters(self, extra: Dict[str, Any]) -> None:
+        """The checkpoint's counters must match a recount of the prefix it
+        covered -- a mismatch means entries were reordered or substituted
+        in a way that kept the chain intact, which cannot happen short of
+        a broken store implementation, so fail loudly."""
+        snapshot = extra.get("by_component")
+        anchor = getattr(
+            getattr(self.store, "recovery", None), "checkpoint_entries", None
+        )
+        if snapshot is None or anchor is None:
+            return
+        recount: Dict[str, int] = {}
+        for entry in self._entries[:anchor]:
+            recount[entry.component_id] = recount.get(entry.component_id, 0) + 1
+        if recount != {k: int(v) for k, v in snapshot.items()}:
+            raise LogIntegrityError(
+                "checkpointed per-component counters disagree with the "
+                "recovered entries"
+            )
+
+    def _checkpoint_extra(self) -> Dict[str, Any]:
+        """Server-side state folded into every durable-store checkpoint."""
+        with self._lock:
+            return {
+                "keys": {
+                    component_id: key.to_bytes().hex()
+                    for component_id, key in self.keystore.snapshot().items()
+                },
+                "by_component": dict(self._by_component),
+                "bytes_by_component": dict(self._bytes_by_component),
+                "merkle_root": self._frontier.root().hex(),
+            }
+
+    # -- observers --------------------------------------------------------
 
     def add_observer(self, callback) -> None:
         """Register a callable invoked with each decoded entry after
@@ -53,10 +149,17 @@ class LogServer:
     # -- component-facing API ---------------------------------------------
 
     def register_key(self, component_id: str, key: Union[PublicKey, bytes]) -> None:
-        """Store a component's public key (step 1 of the prototype flow)."""
+        """Store a component's public key (step 1 of the prototype flow).
+
+        With a durable store the registration is also journaled (as an
+        unchained KEY record), so the registry survives a logger restart.
+        """
         if isinstance(key, bytes):
             key = PublicKey.from_bytes(key)
         self.keystore.register(component_id, key)
+        append_key = getattr(self.store, "append_key", None)
+        if append_key is not None:
+            append_key(component_id, key.to_bytes())
 
     def submit(self, entry: Union[LogEntry, bytes]) -> int:
         """Ingest one log entry; returns its index in the log.
@@ -76,14 +179,33 @@ class LogServer:
                     self.rejected_submissions += 1
                 raise LoggingError(f"undecodable log entry: {exc}") from exc
         with self._lock:
-            index = self.store.append(record)
+            # Derived state first, the store's append last: if the store
+            # auto-checkpoints inside ``append``, the checkpoint must see
+            # counters that already include this entry.
+            size = len(self._entries)
             self._entries.append(decoded)
             self._merkle.append(record)
+            self._frontier.append(record)
             cid = decoded.component_id
             self._by_component[cid] = self._by_component.get(cid, 0) + 1
             self._bytes_by_component[cid] = (
                 self._bytes_by_component.get(cid, 0) + len(record)
             )
+            try:
+                index = self.store.append(record)
+            except BaseException:
+                # An injected crash or a real I/O failure: roll the derived
+                # state back so memory never claims more than disk holds.
+                del self._entries[size:]
+                self._merkle.truncate(size)
+                self._frontier = self._merkle.frontier()
+                self._by_component[cid] -= 1
+                if not self._by_component[cid]:
+                    del self._by_component[cid]
+                self._bytes_by_component[cid] -= len(record)
+                if not self._bytes_by_component[cid]:
+                    del self._bytes_by_component[cid]
+                raise
             observers = list(self._observers)
         for observer in observers:
             try:
@@ -121,7 +243,11 @@ class LogServer:
     @property
     def total_bytes(self) -> int:
         """Total encoded bytes ingested (the Figure 15 / Table IV metric)."""
-        return self.store.total_bytes
+        # Taken under the server lock like the sibling accessors: reading
+        # the store while ``submit`` appends under the lock would otherwise
+        # race on multi-field store state.
+        with self._lock:
+            return self.store.total_bytes
 
     def bytes_by_component(self) -> Dict[str, int]:
         """Encoded bytes ingested per component."""
@@ -152,6 +278,12 @@ class LogServer:
         Merkle root -- what a third-party investigator checks."""
         with self._lock:
             return self._merkle.prove(index)
+
+    def checkpoint(self) -> None:
+        """Force a durable checkpoint now (no-op for in-memory stores)."""
+        do_checkpoint = getattr(self.store, "checkpoint", None)
+        if do_checkpoint is not None:
+            do_checkpoint()
 
     def close(self) -> None:
         self.store.close()

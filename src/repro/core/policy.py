@@ -81,6 +81,14 @@ class AdlpConfig:
     #: message to the application (eager detection; off the paper's path).
     verify_on_receive: bool = False
 
+    #: Directory for per-component durable sequence state (one journal per
+    #: component id).  ``None`` keeps counters in memory only; set it and a
+    #: restarted publisher resumes numbering where it stopped instead of
+    #: re-signing old sequence numbers (which would audit as
+    #: ``replayed_sequence``), while a restarted subscriber keeps rejecting
+    #: frames it already accepted.
+    state_dir: "str | None" = None
+
     def __post_init__(self) -> None:
         if self.key_bits < 128:
             raise ValueError("key_bits must be at least 128")

@@ -23,10 +23,11 @@ flows).
 
 from __future__ import annotations
 
+import logging
 import threading
 import time
 from collections import deque
-from typing import Deque, List, Optional, Union
+from typing import Deque, Dict, List, Optional, Union
 
 from repro.core.entries import LogEntry
 from repro.core.log_server import LogServer
@@ -39,7 +40,10 @@ from repro.middleware.transport.base import (
 )
 from repro.middleware.transport.tcp import TcpTransport
 from repro.serialization import WireMessage, boolean, bytes_, string, uint64
+from repro.storage.spillfile import DiskSpillFile
 from repro.util.concurrency import StoppableThread
+
+logger = logging.getLogger(__name__)
 
 #: RPC operation codes.
 OP_REGISTER_KEY = 1
@@ -146,11 +150,14 @@ class RemoteLogger:
 
     ``submit`` never blocks on the server.  If the connection dies, entries
     are *spilled* into a bounded in-memory queue and re-sent (oldest first)
-    once the connection recovers -- an entry is only ever lost, and counted
-    in :attr:`dropped`, when the spill queue overflows.  Reconnection
-    attempts back off exponentially so a dead server is not hammered on the
-    hot path.  The node keeps running throughout (the paper's
-    no-single-point-of-failure property).
+    once the connection recovers.  When the queue overflows, the oldest
+    entries overflow to a :class:`~repro.storage.spillfile.DiskSpillFile`
+    (if ``spill_path`` was given) instead of being discarded -- a long
+    outage then costs disk space, not evidence; an entry is only counted in
+    :attr:`dropped` when there is no disk spill (or writing it fails).
+    Reconnection attempts back off exponentially so a dead server is not
+    hammered on the hot path.  The node keeps running throughout (the
+    paper's no-single-point-of-failure property).
     """
 
     def __init__(
@@ -160,6 +167,7 @@ class RemoteLogger:
         spill_capacity: int = 1024,
         reconnect_backoff: float = 0.05,
         max_reconnect_backoff: float = 2.0,
+        spill_path: Optional[str] = None,
     ):
         self._transport = transport or TcpTransport()
         self._address = address
@@ -167,20 +175,40 @@ class RemoteLogger:
         self._lock = threading.Lock()
         self._spill: Deque[bytes] = deque()
         self._spill_capacity = spill_capacity
+        self._disk: Optional[DiskSpillFile] = (
+            DiskSpillFile(spill_path) if spill_path else None
+        )
         self._initial_backoff = reconnect_backoff
         self._max_backoff = max_reconnect_backoff
         self._backoff = reconnect_backoff
         self._next_attempt = 0.0
+        self._overflow_warned = False
         #: Entries permanently lost to spill-queue overflow.
         self.dropped = 0
+        #: Entries that overflowed the memory queue onto disk.
+        self.spilled_to_disk = 0
         #: Spilled entries successfully re-sent after a reconnect.
         self.retries = 0
 
     @property
     def spilled(self) -> int:
-        """Entries currently parked in the spill queue."""
+        """Entries currently parked in the spill queue (memory + disk)."""
         with self._lock:
-            return len(self._spill)
+            pending = len(self._spill)
+            if self._disk is not None:
+                pending += len(self._disk)
+            return pending
+
+    def stats(self) -> Dict[str, int]:
+        """Loss/overflow counters, for merging into protocol ``stats()``."""
+        with self._lock:
+            return {
+                "dropped": self.dropped,
+                "spilled": len(self._spill)
+                + (len(self._disk) if self._disk is not None else 0),
+                "spilled_to_disk": self.spilled_to_disk,
+                "spill_retries": self.retries,
+            }
 
     def _connect(self) -> Optional[Connection]:
         with self._lock:
@@ -242,11 +270,50 @@ class RemoteLogger:
         with self._lock:
             self._spill.append(record)
             while len(self._spill) > self._spill_capacity:
-                self._spill.popleft()
-                self.dropped += 1  # overflow: oldest evidence lost, counted
+                overflow = self._spill.popleft()
+                if not self._overflow_warned:
+                    self._overflow_warned = True
+                    logger.warning(
+                        "RemoteLogger spill queue overflowed (capacity %d); "
+                        "%s",
+                        self._spill_capacity,
+                        "overflowing oldest entries to %s" % self._disk.path
+                        if self._disk is not None
+                        else "oldest evidence is being DROPPED "
+                        "(no spill_path configured)",
+                    )
+                if self._disk is None:
+                    self.dropped += 1  # overflow: oldest evidence lost
+                    continue
+                try:
+                    self._disk.append(overflow)
+                    self.spilled_to_disk += 1
+                except OSError:
+                    self.dropped += 1  # disk full/gone: lost after all
 
     def _drain_spill(self, connection: Connection) -> bool:
-        """Re-send parked entries oldest-first; ``False`` on failure."""
+        """Re-send parked entries oldest-first; ``False`` on failure.
+
+        The disk file holds entries *older* than anything in memory (it
+        receives the memory queue's overflow), so it drains first to keep
+        global FIFO order.
+        """
+        while self._disk is not None:
+            record = self._disk.peek()
+            if record is None:
+                break
+            try:
+                connection.send_frame(
+                    LoggerRequest(op=OP_SUBMIT, entry_bytes=record).encode()
+                )
+            except ConnectionClosed:
+                return False
+            # At-least-once window: a crash between send and consume re-sends
+            # this one record on restart.  The server-side duplicate is
+            # visible to the auditor, never silent loss.
+            self._disk.consume()
+            with self._lock:
+                self.retries += 1
         while True:
             with self._lock:
                 if not self._spill:
@@ -277,3 +344,5 @@ class RemoteLogger:
             if self._connection is not None:
                 self._connection.close()
                 self._connection = None
+            if self._disk is not None:
+                self._disk.close()

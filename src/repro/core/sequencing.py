@@ -24,8 +24,11 @@ class SequenceStats:
 class SequenceTracker:
     """Tracks the highest sequence number seen on one inbound link."""
 
-    def __init__(self) -> None:
-        self._last = 0
+    def __init__(self, initial: int = 0) -> None:
+        # ``initial`` seeds the high-water mark (e.g. from a persisted
+        # sequence-state journal) so a restarted subscriber keeps rejecting
+        # frames its predecessor already accepted.
+        self._last = initial
         self._lock = threading.Lock()
         self.stats = SequenceStats()
 

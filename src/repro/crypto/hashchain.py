@@ -54,6 +54,28 @@ class HashChain:
         self._head = digest
         return entry
 
+    def adopt(self, payload: bytes, digest: bytes) -> ChainEntry:
+        """Append a record whose chain digest was computed in an earlier
+        life of this chain, without recomputing it.
+
+        This is the recovery fast path: a durable store replaying a WAL
+        prefix that a checkpoint already anchors adopts the stored digests
+        and only recomputes the post-checkpoint tail.  :meth:`verify`
+        still recomputes everything, so adoption never weakens the tamper
+        check -- it only defers it.
+        """
+        entry = ChainEntry(index=len(self._entries), payload=payload, digest=digest)
+        self._entries.append(entry)
+        self._head = digest
+        return entry
+
+    def truncate(self, size: int) -> None:
+        """Drop entries beyond ``size`` (rollback of a failed append)."""
+        if not 0 <= size <= len(self._entries):
+            raise IndexError("truncation size out of range")
+        del self._entries[size:]
+        self._head = self._entries[-1].digest if self._entries else GENESIS
+
     @property
     def head(self) -> bytes:
         """Digest of the latest entry (GENESIS when empty)."""

@@ -8,10 +8,12 @@ a committed epoch without downloading the whole log.
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass, field
-from typing import List, Sequence, Tuple
+from typing import Iterable, List, Sequence, Tuple
 
 from repro.crypto.hashing import sha256
+from repro.errors import LogIntegrityError
 
 # Domain-separation prefixes prevent a leaf from being reinterpreted as an
 # interior node (the classic second-preimage attack on naive Merkle trees).
@@ -69,6 +71,16 @@ class MerkleTree:
         self._leaves.append(leaf_hash(payload))
         return len(self._leaves) - 1
 
+    def truncate(self, size: int) -> None:
+        """Drop leaves beyond ``size`` (rollback of a failed append)."""
+        if not 0 <= size <= len(self._leaves):
+            raise IndexError("truncation size out of range")
+        del self._leaves[size:]
+
+    def frontier(self) -> "MerkleFrontier":
+        """The compact O(log n) frontier equivalent of this tree."""
+        return MerkleFrontier.from_leaf_hashes(self._leaves)
+
     def __len__(self) -> int:
         return len(self._leaves)
 
@@ -107,4 +119,81 @@ class MerkleTree:
             index //= 2
         return MerkleProof(
             leaf_index=leaf_index, tree_size=len(self._leaves), path=tuple(path)
+        )
+
+
+_PEAK = struct.Struct("<Q32s")
+
+
+class MerkleFrontier:
+    """Incremental Merkle root computation in O(log n) state.
+
+    The frontier holds one digest per perfect subtree ("peak") of the
+    current leaf count, largest first -- exactly the binary decomposition
+    of ``n``.  Appending a leaf pushes a size-1 peak and merges equal-sized
+    neighbors; the root folds the peaks right-to-left, which reproduces
+    :class:`MerkleTree`'s promote-the-odd-node (RFC 6962) shape for every
+    size.  Because the state is logarithmic and serializable, a checkpoint
+    can commit to the whole log without storing any leaves, and recovery
+    can *continue* the frontier from the checkpoint and verify that
+    appending the replayed tail reproduces the full tree's root.
+    """
+
+    def __init__(self, peaks: Sequence[Tuple[int, bytes]] = ()) -> None:
+        self._peaks: List[Tuple[int, bytes]] = list(peaks)
+        for (size, digest), (next_size, _) in zip(self._peaks, self._peaks[1:]):
+            if size <= next_size:
+                raise LogIntegrityError("frontier peaks must strictly shrink")
+        for size, digest in self._peaks:
+            if size & (size - 1) or len(digest) != 32:
+                raise LogIntegrityError("malformed frontier peak")
+
+    @classmethod
+    def from_leaf_hashes(cls, leaves: Iterable[bytes]) -> "MerkleFrontier":
+        frontier = cls()
+        for leaf in leaves:
+            frontier.append_leaf(leaf)
+        return frontier
+
+    def append(self, payload: bytes) -> None:
+        """Fold one record into the frontier."""
+        self.append_leaf(leaf_hash(payload))
+
+    def append_leaf(self, leaf: bytes) -> None:
+        """Fold an already-hashed leaf into the frontier."""
+        self._peaks.append((1, leaf))
+        while len(self._peaks) >= 2 and self._peaks[-1][0] == self._peaks[-2][0]:
+            right_size, right = self._peaks.pop()
+            left_size, left = self._peaks.pop()
+            self._peaks.append((left_size + right_size, node_hash(left, right)))
+
+    def __len__(self) -> int:
+        return sum(size for size, _ in self._peaks)
+
+    def root(self) -> bytes:
+        """Root digest; equals ``MerkleTree(payloads).root()`` at any size."""
+        if not self._peaks:
+            return EMPTY_ROOT
+        digest = self._peaks[-1][1]
+        for _, peak in reversed(self._peaks[:-1]):
+            digest = node_hash(peak, digest)
+        return digest
+
+    def copy(self) -> "MerkleFrontier":
+        return MerkleFrontier(self._peaks)
+
+    # -- checkpoint serialization -----------------------------------------
+
+    def to_bytes(self) -> bytes:
+        return b"".join(_PEAK.pack(size, digest) for size, digest in self._peaks)
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "MerkleFrontier":
+        if len(blob) % _PEAK.size:
+            raise LogIntegrityError("malformed frontier serialization")
+        return cls(
+            [
+                _PEAK.unpack_from(blob, offset)
+                for offset in range(0, len(blob), _PEAK.size)
+            ]
         )

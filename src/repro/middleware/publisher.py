@@ -125,13 +125,16 @@ class Publisher:
         self.latch = latch
         self.stats = PublisherStats()
         self._node = node
-        self._seq = SequenceCounter(start=1)
         self._links: Dict[str, _SubscriberLink] = {}
         self._links_lock = threading.Lock()
         self._last_frame: Optional[tuple] = None  # (seq, frame) for latch
         self._closed = threading.Event()
 
         self._protocol = node.protocol.publisher_protocol(self.topic, self.type_name)
+        # The protocol chooses where numbering starts: with durable sequence
+        # state a restarted publisher resumes after its last signed number
+        # instead of re-using sequence numbers from its previous life.
+        self._seq = SequenceCounter(start=self._protocol.initial_seq())
         self._listener = node.master.transport.listen()
         try:
             node.master.register_publisher(

@@ -90,6 +90,15 @@ class PublisherProtocol:
     of subscribers (Section VI-B).
     """
 
+    def initial_seq(self) -> int:
+        """First sequence number this publisher should use.
+
+        Protocols with durable sequence state override this so a restarted
+        publisher resumes after its highest previously-published number
+        instead of re-signing old ones.
+        """
+        return 1
+
     def make_frame(self, seq: int, payload: bytes) -> bytes:
         """Build the outbound frame for publication ``seq``.  Called once
         per publication."""

@@ -1,0 +1,47 @@
+"""Durable storage for the trusted logger.
+
+The paper's accountability argument assumes the trusted logger never loses
+evidence (Section II-A); an in-memory store breaks that assumption the
+moment the logger process dies.  This package hardens the storage path the
+same way PR 1 hardened the network path:
+
+- :mod:`repro.storage.wal` -- an append-only write-ahead log with
+  length-prefixed, CRC-checksummed records, segment rotation, and a
+  configurable fsync policy;
+- :mod:`repro.storage.checkpoint` -- atomically committed snapshots of the
+  hash-chain head, Merkle frontier, and server-side counters that bound
+  recovery work and anchor tamper detection;
+- :mod:`repro.storage.durable_store` -- :class:`DurableLogStore`, a
+  :class:`~repro.core.log_store.LogStore` whose recovery replays the WAL
+  from the last checkpoint and tolerates torn tail writes;
+- :mod:`repro.storage.spillfile` -- the disk overflow file behind
+  :class:`~repro.core.remote.RemoteLogger`'s spill queue;
+- :mod:`repro.storage.seqstate` -- persisted endpoint sequence counters so
+  a restarted publisher/subscriber resumes without manufacturing false
+  ``invalid``/``hidden`` audit verdicts;
+- :mod:`repro.storage.crashpoints` -- the named crash-injection harness the
+  recovery tests are built on.
+"""
+
+from repro.storage.crashpoints import SimulatedCrash, arm, crashpoint, reset
+from repro.storage.checkpoint import Checkpoint, CheckpointManager
+from repro.storage.durable_store import DurableLogStore, RecoveryInfo
+from repro.storage.seqstate import SequenceStateFile
+from repro.storage.spillfile import DiskSpillFile
+from repro.storage.wal import FsyncPolicy, WalRecord, WriteAheadLog
+
+__all__ = [
+    "Checkpoint",
+    "CheckpointManager",
+    "DiskSpillFile",
+    "DurableLogStore",
+    "FsyncPolicy",
+    "RecoveryInfo",
+    "SequenceStateFile",
+    "SimulatedCrash",
+    "WalRecord",
+    "WriteAheadLog",
+    "arm",
+    "crashpoint",
+    "reset",
+]

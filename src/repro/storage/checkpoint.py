@@ -1,0 +1,194 @@
+"""Atomically committed recovery checkpoints.
+
+A checkpoint snapshots the trusted logger's derived state at entry count
+``n``: the hash-chain head, the Merkle frontier (O(log n) peaks, see
+:class:`repro.crypto.merkle.MerkleFrontier`), byte totals, and an opaque
+``extra`` dictionary the :class:`~repro.core.log_server.LogServer`
+contributes (key registry, per-component counters).  Recovery then only
+re-verifies the WAL *after* the last checkpoint; the prefix is vouched for
+by the checkpointed chain head.
+
+Commit protocol (the textbook atomic-publish dance):
+
+1. serialize to ``checkpoint-<n>.ckpt.tmp`` (crashpoint
+   ``checkpoint.partial`` fires mid-write);
+2. flush + fsync the temp file (crashpoint ``checkpoint.pre_rename``);
+3. ``os.replace`` to the final name, then fsync the directory.
+
+A crash at any point leaves either the previous checkpoint set intact or
+the new file fully committed -- loaders ignore ``.tmp`` litter and any
+file whose CRC does not validate (a *recovery* concession; the strict
+:meth:`CheckpointManager.load_all_strict` used by tamper verification
+raises on exactly those files).
+
+File format: magic, uint32 body length, JSON body (sorted keys, binary
+fields hex-encoded), uint32 CRC over magic+length+body.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.crypto.merkle import MerkleFrontier
+from repro.errors import LogIntegrityError
+from repro.storage.crashpoints import crashpoint
+
+_MAGIC = b"ADLPCKP1"
+_LEN = struct.Struct("<I")
+_CRC = struct.Struct("<I")
+
+_PREFIX = "checkpoint-"
+_SUFFIX = ".ckpt"
+
+
+def _crc(data: bytes) -> int:
+    return zlib.crc32(data) & 0xFFFFFFFF
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """A snapshot of logger state at :attr:`entry_count` entries."""
+
+    entry_count: int
+    chain_head: bytes
+    total_bytes: int
+    frontier: MerkleFrontier
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    def encode(self) -> bytes:
+        body = json.dumps(
+            {
+                "entry_count": self.entry_count,
+                "chain_head": self.chain_head.hex(),
+                "total_bytes": self.total_bytes,
+                "frontier": self.frontier.to_bytes().hex(),
+                "extra": self.extra,
+            },
+            sort_keys=True,
+        ).encode("utf-8")
+        framed = _MAGIC + _LEN.pack(len(body)) + body
+        return framed + _CRC.pack(_crc(framed))
+
+    @classmethod
+    def decode(cls, blob: bytes) -> "Checkpoint":
+        prefix = len(_MAGIC) + _LEN.size
+        if len(blob) < prefix + _CRC.size or blob[: len(_MAGIC)] != _MAGIC:
+            raise LogIntegrityError("not a checkpoint file")
+        (length,) = _LEN.unpack(blob[len(_MAGIC) : prefix])
+        framed, crc_raw = blob[: prefix + length], blob[prefix + length :]
+        if len(framed) < prefix + length or len(crc_raw) < _CRC.size:
+            raise LogIntegrityError("truncated checkpoint")
+        if _CRC.unpack(crc_raw[: _CRC.size])[0] != _crc(framed):
+            raise LogIntegrityError("checkpoint checksum mismatch")
+        data = json.loads(framed[prefix:].decode("utf-8"))
+        return cls(
+            entry_count=int(data["entry_count"]),
+            chain_head=bytes.fromhex(data["chain_head"]),
+            total_bytes=int(data["total_bytes"]),
+            frontier=MerkleFrontier.from_bytes(bytes.fromhex(data["frontier"])),
+            extra=dict(data.get("extra", {})),
+        )
+
+
+class CheckpointManager:
+    """Writes, prunes, and loads the checkpoint files of one store."""
+
+    def __init__(self, directory: str, keep: int = 2):
+        if keep < 1:
+            raise ValueError("must keep at least one checkpoint")
+        self.directory = directory
+        self.keep = keep
+        os.makedirs(directory, exist_ok=True)
+
+    def _path(self, entry_count: int) -> str:
+        return os.path.join(self.directory, f"{_PREFIX}{entry_count:012d}{_SUFFIX}")
+
+    def paths(self) -> List[Tuple[int, str]]:
+        """Sorted ``(entry_count, path)`` of committed checkpoint files."""
+        pairs = []
+        for name in os.listdir(self.directory):
+            if name.startswith(_PREFIX) and name.endswith(_SUFFIX):
+                pairs.append(
+                    (
+                        int(name[len(_PREFIX) : -len(_SUFFIX)]),
+                        os.path.join(self.directory, name),
+                    )
+                )
+        pairs.sort()
+        return pairs
+
+    # -- writing ----------------------------------------------------------
+
+    def write(self, checkpoint: Checkpoint) -> str:
+        """Atomically commit ``checkpoint``; returns its path."""
+        encoded = checkpoint.encode()
+        final = self._path(checkpoint.entry_count)
+        temp = final + ".tmp"
+        with open(temp, "wb") as f:
+            half = len(encoded) // 2
+            f.write(encoded[:half])
+            f.flush()
+            crashpoint("checkpoint.partial")
+            f.write(encoded[half:])
+            f.flush()
+            os.fsync(f.fileno())
+        crashpoint("checkpoint.pre_rename")
+        os.replace(temp, final)
+        self._fsync_directory()
+        self._prune()
+        return final
+
+    def _fsync_directory(self) -> None:
+        fd = os.open(self.directory, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    def _prune(self) -> None:
+        pairs = self.paths()
+        for _, path in pairs[: -self.keep]:
+            os.unlink(path)
+
+    # -- loading ----------------------------------------------------------
+
+    def load_latest(self) -> Optional[Checkpoint]:
+        """The newest checkpoint that parses and CRC-validates.
+
+        Crash-tolerant: ``.tmp`` litter is removed, corrupt files are
+        skipped (recovery falls back to the next older checkpoint, or to a
+        full-WAL replay when none survives).
+        """
+        for name in os.listdir(self.directory):
+            if name.endswith(".tmp"):
+                os.unlink(os.path.join(self.directory, name))
+        for _, path in reversed(self.paths()):
+            try:
+                with open(path, "rb") as f:
+                    return Checkpoint.decode(f.read())
+            except (LogIntegrityError, ValueError, KeyError):
+                continue
+        return None
+
+    def load_all_strict(self) -> List[Checkpoint]:
+        """Every committed checkpoint, raising on any corrupt one.
+
+        This is the tamper-check path: a *committed* (renamed) checkpoint
+        was fsynced before the rename, so it can never be legitimately
+        partial -- a CRC failure here is modification, not a crash.
+        """
+        checkpoints = []
+        for _, path in self.paths():
+            with open(path, "rb") as f:
+                try:
+                    checkpoints.append(Checkpoint.decode(f.read()))
+                except (ValueError, KeyError) as exc:
+                    raise LogIntegrityError(
+                        f"unreadable checkpoint {os.path.basename(path)}: {exc}"
+                    ) from exc
+        return checkpoints

@@ -1,0 +1,143 @@
+"""Persisted endpoint sequence counters.
+
+ADLP's freshness argument keys on per-topic sequence numbers, but the
+counters backing them live in process memory: a restarted *publisher*
+restarts at ``seq = 1`` and re-uses numbers it already signed (every reuse
+audits as an INVALID ``replayed_sequence``), and a restarted *subscriber*
+forgets the highest ``seq`` it accepted, so a replayed old frame is
+re-accepted and double-logged.  Either way a clean restart manufactures
+false verdicts against faithful components.
+
+:class:`SequenceStateFile` fixes both with a tiny append-only journal, one
+per component::
+
+    P\t<topic>\t<seq>\n            -- published <seq> on <topic>
+    S\t<topic>\t<publisher>\t<seq>\n  -- accepted <seq> from <publisher>
+
+Loading takes the per-key maximum (later lines win), ignores a torn last
+line (crash mid-append), and compacts the journal back to one line per key
+when it has grown past a threshold.  Appends are flushed but not fsynced:
+the counters only ever need to survive a *process* death -- after a power
+loss the whole endpoint state is gone anyway and a fresh key pair is the
+correct response.
+
+Names are validated middleware names (no whitespace), so the tab-separated
+format is unambiguous.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Dict, Optional, Tuple
+
+#: Journal lines beyond which loading rewrites the file compacted.
+_COMPACT_THRESHOLD = 4096
+
+
+class SequenceStateFile:
+    """Durable per-component publish/receive sequence counters."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self._lock = threading.Lock()
+        self._published: Dict[str, int] = {}
+        self._received: Dict[Tuple[str, str], int] = {}
+        parent = os.path.dirname(os.path.abspath(path))
+        os.makedirs(parent, exist_ok=True)
+        lines = self._load()
+        self._file = open(path, "a", encoding="utf-8")
+        if lines > _COMPACT_THRESHOLD:
+            self._compact()
+
+    def _load(self) -> int:
+        if not os.path.exists(self.path):
+            return 0
+        lines = 0
+        with open(self.path, "r", encoding="utf-8", errors="replace") as f:
+            content = f.read()
+        for line in content.split("\n")[:-1]:  # a torn tail has no final \n
+            lines += 1
+            fields = line.split("\t")
+            try:
+                if fields[0] == "P" and len(fields) == 3:
+                    topic, seq = fields[1], int(fields[2])
+                    if seq > self._published.get(topic, 0):
+                        self._published[topic] = seq
+                elif fields[0] == "S" and len(fields) == 4:
+                    key = (fields[1], fields[2])
+                    seq = int(fields[3])
+                    if seq > self._received.get(key, 0):
+                        self._received[key] = seq
+                # anything else: a torn or alien line; counters only ever
+                # grow, so skipping it is safe (worst case we under-resume,
+                # never reuse)
+            except ValueError:
+                continue
+        return lines
+
+    def _compact(self) -> None:
+        temp = self.path + ".tmp"
+        with open(temp, "w", encoding="utf-8") as f:
+            for topic, seq in sorted(self._published.items()):
+                f.write(f"P\t{topic}\t{seq}\n")
+            for (topic, publisher), seq in sorted(self._received.items()):
+                f.write(f"S\t{topic}\t{publisher}\t{seq}\n")
+            f.flush()
+            os.fsync(f.fileno())
+        self._file.close()
+        os.replace(temp, self.path)
+        self._file = open(self.path, "a", encoding="utf-8")
+
+    # -- recording --------------------------------------------------------
+
+    def record_published(self, topic: str, seq: int) -> None:
+        """Journal that this component published ``seq`` on ``topic``."""
+        with self._lock:
+            if seq <= self._published.get(topic, 0):
+                return
+            self._published[topic] = seq
+            self._file.write(f"P\t{topic}\t{seq}\n")
+            self._file.flush()
+
+    def record_received(self, topic: str, publisher: str, seq: int) -> None:
+        """Journal the highest accepted ``seq`` from ``publisher``."""
+        with self._lock:
+            key = (topic, publisher)
+            if seq <= self._received.get(key, 0):
+                return
+            self._received[key] = seq
+            self._file.write(f"S\t{topic}\t{publisher}\t{seq}\n")
+            self._file.flush()
+
+    # -- querying ---------------------------------------------------------
+
+    def last_published(self, topic: str) -> int:
+        """Highest sequence number ever published on ``topic`` (0 if none)."""
+        with self._lock:
+            return self._published.get(topic, 0)
+
+    def last_received(self, topic: str, publisher: Optional[str] = None) -> int:
+        """Highest sequence number accepted on ``topic`` (0 if none).
+
+        With ``publisher=None`` the maximum over all publishers is
+        returned; the system model guarantees one publisher per topic, so
+        this is the common lookup.
+        """
+        with self._lock:
+            if publisher is not None:
+                return self._received.get((topic, publisher), 0)
+            return max(
+                (
+                    seq
+                    for (t, _), seq in self._received.items()
+                    if t == topic
+                ),
+                default=0,
+            )
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._file.closed:
+                self._file.flush()
+                self._file.close()

@@ -1,0 +1,368 @@
+"""Append-only write-ahead log with CRC-checksummed records.
+
+On-disk layout: a directory of numbered segment files ::
+
+    wal-00000001.seg
+    wal-00000002.seg
+    ...
+
+Each segment starts with a 16-byte header (magic, segment index, CRC).
+Each record is::
+
+    uint32 length | uint8 type | payload (length bytes) | uint32 crc32
+
+where the CRC covers the length, type, and payload bytes, so a corrupted
+length prefix is detected just like corrupted payload bytes.  Record
+*types* are opaque to the WAL; :mod:`repro.storage.durable_store` uses
+them to distinguish chained log entries from key registrations.
+
+Two read paths with deliberately different strictness:
+
+- **Recovery** (:meth:`WriteAheadLog.__init__` replay) tolerates a *torn
+  tail*: a short or CRC-invalid record in the **last** segment is treated
+  as an interrupted write -- the segment is truncated at the record's
+  start (never mid-record, never mid-log) and appending resumes from the
+  clean tail.  Anything wrong in a sealed (non-last) segment is tampering
+  and raises.
+- **Verification** (:func:`scan` with ``strict=True``) tolerates nothing:
+  any short read or CRC mismatch anywhere raises
+  :class:`~repro.errors.LogIntegrityError`.  A store believed intact has
+  no torn tail to excuse.
+
+The fsync policy bounds what a crash can lose: ``always`` fsyncs every
+record (lose nothing), ``interval`` fsyncs at most every
+``fsync_interval`` seconds (lose a bounded suffix), ``never`` leaves
+durability to the OS (lose the page cache).  Sealed segments are always
+fsynced at rotation, so only the active segment is ever at risk.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import threading
+import time
+import zlib
+from dataclasses import dataclass
+from typing import Callable, Iterator, List, Optional, Tuple
+
+from repro.errors import LogIntegrityError
+from repro.storage.crashpoints import crashpoint
+
+_MAGIC = b"ADLPWAL1"
+_SEG_INDEX = struct.Struct("<I")
+_REC_HEAD = struct.Struct("<IB")  # payload length, record type
+_CRC = struct.Struct("<I")
+
+#: Total bytes of a segment header: magic + index + crc.
+SEGMENT_HEADER_SIZE = len(_MAGIC) + _SEG_INDEX.size + _CRC.size
+
+#: Upper bound on a single record's payload (sanity check against reading
+#: gigabytes because a corrupted length prefix says so).
+MAX_RECORD_BYTES = 1 << 31
+
+_SEGMENT_PREFIX = "wal-"
+_SEGMENT_SUFFIX = ".seg"
+
+
+def _segment_name(index: int) -> str:
+    return f"{_SEGMENT_PREFIX}{index:08d}{_SEGMENT_SUFFIX}"
+
+
+def _crc(data: bytes) -> int:
+    return zlib.crc32(data) & 0xFFFFFFFF
+
+
+def _encode_header(index: int) -> bytes:
+    body = _MAGIC + _SEG_INDEX.pack(index)
+    return body + _CRC.pack(_crc(body))
+
+
+def _encode_record(rtype: int, payload: bytes) -> bytes:
+    head = _REC_HEAD.pack(len(payload), rtype)
+    return head + payload + _CRC.pack(_crc(head + payload))
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One replayed record: its type byte, payload, and home segment."""
+
+    rtype: int
+    payload: bytes
+    segment: int
+
+
+@dataclass(frozen=True)
+class FsyncPolicy:
+    """When appended records are forced to stable storage.
+
+    :attr:`mode` is ``"always"``, ``"interval"``, or ``"never"``;
+    :attr:`interval` applies only to ``interval`` mode.
+    """
+
+    mode: str = "interval"
+    interval: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("always", "interval", "never"):
+            raise ValueError(f"unknown fsync mode {self.mode!r}")
+        if self.interval <= 0:
+            raise ValueError("fsync interval must be positive")
+
+    @classmethod
+    def of(cls, value) -> "FsyncPolicy":
+        """Coerce a policy, mode string, or None into a policy."""
+        if isinstance(value, FsyncPolicy):
+            return value
+        if value is None:
+            return cls()
+        return cls(mode=str(value))
+
+
+class _TornTail(Exception):
+    """Internal: scan hit an interrupted write at ``offset`` of a segment."""
+
+    def __init__(self, offset: int, reason: str):
+        super().__init__(reason)
+        self.offset = offset
+        self.reason = reason
+
+
+def _scan_segment(path: str, expected_index: int) -> Iterator[WalRecord]:
+    """Yield records of one segment; raise :class:`_TornTail` on a short or
+    CRC-invalid read (the caller decides whether that is torn or tamper)."""
+    with open(path, "rb") as f:
+        header = f.read(SEGMENT_HEADER_SIZE)
+        if len(header) < SEGMENT_HEADER_SIZE:
+            raise _TornTail(0, "short segment header")
+        body, crc_raw = header[: -_CRC.size], header[-_CRC.size :]
+        if (
+            body[: len(_MAGIC)] != _MAGIC
+            or _CRC.unpack(crc_raw)[0] != _crc(body)
+        ):
+            raise _TornTail(0, "corrupt segment header")
+        (seg_index,) = _SEG_INDEX.unpack(body[len(_MAGIC) :])
+        if seg_index != expected_index:
+            raise LogIntegrityError(
+                f"segment {path} carries index {seg_index}, "
+                f"expected {expected_index}"
+            )
+        offset = SEGMENT_HEADER_SIZE
+        while True:
+            head = f.read(_REC_HEAD.size)
+            if not head:
+                return
+            if len(head) < _REC_HEAD.size:
+                raise _TornTail(offset, "short record header")
+            length, rtype = _REC_HEAD.unpack(head)
+            if length > MAX_RECORD_BYTES:
+                raise _TornTail(offset, "implausible record length")
+            payload = f.read(length)
+            crc_raw = f.read(_CRC.size)
+            if len(payload) < length or len(crc_raw) < _CRC.size:
+                raise _TornTail(offset, "short record body")
+            if _CRC.unpack(crc_raw)[0] != _crc(head + payload):
+                raise _TornTail(offset, "record checksum mismatch")
+            yield WalRecord(rtype=rtype, payload=payload, segment=seg_index)
+            offset += _REC_HEAD.size + length + _CRC.size
+
+
+def segment_paths(directory: str) -> List[Tuple[int, str]]:
+    """Sorted ``(index, path)`` pairs of the directory's segment files."""
+    pairs = []
+    for name in os.listdir(directory):
+        if name.startswith(_SEGMENT_PREFIX) and name.endswith(_SEGMENT_SUFFIX):
+            raw = name[len(_SEGMENT_PREFIX) : -len(_SEGMENT_SUFFIX)]
+            try:
+                pairs.append((int(raw), os.path.join(directory, name)))
+            except ValueError:
+                raise LogIntegrityError(f"alien file in WAL directory: {name}")
+    pairs.sort()
+    for position, (index, _) in enumerate(pairs):
+        if index != pairs[0][0] + position:
+            raise LogIntegrityError(
+                f"WAL segment sequence has a gap before index {index}"
+            )
+    return pairs
+
+
+def scan(
+    directory: str, strict: bool = True
+) -> Tuple[List[WalRecord], int]:
+    """Read every record in the WAL directory.
+
+    Returns ``(records, torn_bytes)``.  With ``strict=True`` (the tamper
+    check) any corruption raises :class:`LogIntegrityError` and
+    ``torn_bytes`` is always 0; with ``strict=False`` a torn tail in the
+    last segment is *reported* (records up to the tear, plus the count of
+    unreadable tail bytes) but the files are not modified.
+    """
+    records: List[WalRecord] = []
+    torn_bytes = 0
+    pairs = segment_paths(directory)
+    for position, (index, path) in enumerate(pairs):
+        last = position == len(pairs) - 1
+        try:
+            for record in _scan_segment(path, index):
+                records.append(record)
+        except _TornTail as tear:
+            if strict or not last:
+                raise LogIntegrityError(
+                    f"corrupt WAL record in {os.path.basename(path)} at "
+                    f"offset {tear.offset}: {tear.reason}"
+                ) from None
+            torn_bytes = os.path.getsize(path) - tear.offset
+    return records, torn_bytes
+
+
+class WriteAheadLog:
+    """The writable WAL: replay-on-open, append, rotate, fsync policy.
+
+    Opening replays every existing record through ``replay_sink`` (in
+    order), truncates a torn tail, then positions for appending.  The
+    number of tail bytes discarded is exposed as :attr:`truncated_bytes`.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        fsync: "FsyncPolicy | str | None" = None,
+        segment_max_bytes: int = 4 * 1024 * 1024,
+        replay_sink: Optional[Callable[[WalRecord], None]] = None,
+    ):
+        if segment_max_bytes < SEGMENT_HEADER_SIZE + _REC_HEAD.size:
+            raise ValueError("segment_max_bytes is implausibly small")
+        self.directory = directory
+        self.fsync_policy = FsyncPolicy.of(fsync)
+        self.segment_max_bytes = segment_max_bytes
+        self.truncated_bytes = 0
+        self._lock = threading.Lock()
+        self._last_sync = time.monotonic()
+        os.makedirs(directory, exist_ok=True)
+        self._replay(replay_sink)
+
+    # -- opening / replay -------------------------------------------------
+
+    def _replay(self, sink: Optional[Callable[[WalRecord], None]]) -> None:
+        pairs = segment_paths(self.directory)
+        if not pairs:
+            self._create_segment(1)
+            return
+        truncate_at: Optional[int] = None
+        for position, (index, path) in enumerate(pairs):
+            last = position == len(pairs) - 1
+            try:
+                for record in _scan_segment(path, index):
+                    if sink is not None:
+                        sink(record)
+            except _TornTail as tear:
+                if not last:
+                    raise LogIntegrityError(
+                        f"corrupt WAL record in sealed segment "
+                        f"{os.path.basename(path)} at offset {tear.offset}: "
+                        f"{tear.reason}"
+                    ) from None
+                truncate_at = tear.offset
+        index, path = pairs[-1]
+        if truncate_at is not None:
+            size = os.path.getsize(path)
+            self.truncated_bytes = size - truncate_at
+            if truncate_at < SEGMENT_HEADER_SIZE:
+                # Even the header is torn (crash during rotation): restart
+                # the segment from scratch.
+                with open(path, "wb") as f:
+                    f.write(_encode_header(index))
+                    f.flush()
+                    os.fsync(f.fileno())
+            else:
+                with open(path, "r+b") as f:
+                    f.truncate(truncate_at)
+                    f.flush()
+                    os.fsync(f.fileno())
+        self._segment_index = index
+        self._file = open(path, "ab")
+        self._segment_bytes = os.path.getsize(path)
+
+    def _create_segment(self, index: int) -> None:
+        path = os.path.join(self.directory, _segment_name(index))
+        self._file = open(path, "ab")
+        self._file.write(_encode_header(index))
+        self._file.flush()
+        self._segment_index = index
+        self._segment_bytes = SEGMENT_HEADER_SIZE
+
+    # -- appending --------------------------------------------------------
+
+    def append(self, rtype: int, payload: bytes) -> None:
+        """Durably append one record (durability per the fsync policy)."""
+        encoded = _encode_record(rtype, payload)
+        with self._lock:
+            # Write in two halves with an intervening flush so the
+            # ``wal.mid_record`` crashpoint leaves a genuinely torn record
+            # on disk rather than an empty Python buffer.
+            half = len(encoded) // 2
+            self._file.write(encoded[:half])
+            self._file.flush()
+            crashpoint("wal.mid_record")
+            self._file.write(encoded[half:])
+            self._file.flush()
+            crashpoint("wal.pre_fsync")
+            self._maybe_sync()
+            self._segment_bytes += len(encoded)
+            if self._segment_bytes >= self.segment_max_bytes:
+                self._rotate()
+
+    def _maybe_sync(self) -> None:
+        policy = self.fsync_policy
+        if policy.mode == "always":
+            os.fsync(self._file.fileno())
+            self._last_sync = time.monotonic()
+        elif policy.mode == "interval":
+            now = time.monotonic()
+            if now - self._last_sync >= policy.interval:
+                os.fsync(self._file.fileno())
+                self._last_sync = now
+
+    def _rotate(self) -> None:
+        # A sealed segment is a durability boundary: it is always fsynced,
+        # so torn tails can only ever exist in the active (last) segment.
+        self._file.flush()
+        os.fsync(self._file.fileno())
+        self._file.close()
+        crashpoint("wal.pre_rotate")
+        self._create_segment(self._segment_index + 1)
+
+    # -- maintenance ------------------------------------------------------
+
+    def sync(self) -> None:
+        """Force everything appended so far to stable storage."""
+        with self._lock:
+            self._file.flush()
+            os.fsync(self._file.fileno())
+            self._last_sync = time.monotonic()
+
+    def flush(self) -> None:
+        """Push buffered bytes to the OS (readable by other handles)."""
+        with self._lock:
+            self._file.flush()
+
+    @property
+    def segment_index(self) -> int:
+        """Index of the active segment."""
+        with self._lock:
+            return self._segment_index
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._file.closed:
+                self._file.flush()
+                os.fsync(self._file.fileno())
+                self._file.close()
+
+    def abandon(self) -> None:
+        """Close without syncing -- test helper for simulated crashes, so a
+        half-dead store object cannot later flush bytes into a directory a
+        recovered store has already reopened."""
+        with self._lock:
+            if not self._file.closed:
+                self._file.close()

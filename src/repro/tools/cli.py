@@ -2,34 +2,69 @@
 
 ::
 
-    python -m repro.tools verify  CASE_DIR
-    python -m repro.tools inspect CASE_DIR [--component C] [--topic T] [--limit N]
-    python -m repro.tools audit   CASE_DIR [--publisher TOPIC=COMPONENT ...]
+    python -m repro.tools verify  CASE_DIR | --store STORE_DIR
+    python -m repro.tools inspect CASE_DIR | --store STORE_DIR
+                                  [--component C] [--topic T] [--limit N]
+    python -m repro.tools audit   CASE_DIR | --store STORE_DIR
+                                  [--publisher TOPIC=COMPONENT ...]
     python -m repro.tools trace   CASE_DIR TOPIC SEQ
+    python -m repro.tools recover STORE_DIR
 
-``CASE_DIR`` is a bundle produced by :func:`repro.tools.caseio.export_case`.
+``CASE_DIR`` is a bundle produced by :func:`repro.tools.caseio.export_case`;
+``STORE_DIR`` is a :class:`~repro.storage.durable_store.DurableLogStore`
+directory (a crashed logger's WAL + checkpoints), opened and replayed in
+place -- the investigator can work directly on the wreckage.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
 from repro.audit import Auditor, ProvenanceGraph, Topology, render_report
 from repro.core.entries import Direction
+from repro.core.log_server import LogServer
 from repro.errors import LogIntegrityError
+from repro.storage.durable_store import DurableLogStore
 from repro.tools.caseio import load_case
+
+
+def _open_store(store_dir: str) -> DurableLogStore:
+    """Open an existing store directory; a typo'd path must error, not
+    quietly materialize an empty (and trivially "intact") store."""
+    if not os.path.isdir(store_dir):
+        raise SystemExit(f"no such store directory: {store_dir}")
+    return DurableLogStore(store_dir)
+
+
+def _load_server(args: argparse.Namespace) -> LogServer:
+    """The log server named by the arguments: an exported case bundle or,
+    with ``--store``, a durable store directory recovered in place."""
+    store_dir = getattr(args, "store", None)
+    if store_dir is not None:
+        if args.case is not None:
+            raise SystemExit("give either CASE_DIR or --store, not both")
+        return LogServer(_open_store(store_dir))
+    if args.case is None:
+        raise SystemExit("either CASE_DIR or --store is required")
+    return load_case(args.case).server
+
+
+def _source_label(args: argparse.Namespace) -> str:
+    store_dir = getattr(args, "store", None)
+    return f"store {store_dir}" if store_dir is not None else f"case {args.case}"
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:
     try:
-        bundle = load_case(args.case)
+        server = _load_server(args)
+        server.verify_integrity()
     except LogIntegrityError as exc:
         print(f"TAMPERED: {exc}")
         return 2
-    server = bundle.server
-    print(f"case {args.case}: INTACT")
+    print(f"{_source_label(args)}: INTACT")
     print(f"  entries:     {len(server)}")
     print(f"  components:  {len(server.keystore)}")
     print(f"  chain head:  {server.store.head().hex()}")
@@ -38,10 +73,8 @@ def _cmd_verify(args: argparse.Namespace) -> int:
 
 
 def _cmd_inspect(args: argparse.Namespace) -> int:
-    bundle = load_case(args.case)
-    entries = bundle.server.entries(
-        component_id=args.component, topic=args.topic
-    )
+    server = _load_server(args)
+    entries = server.entries(component_id=args.component, topic=args.topic)
     shown = entries[: args.limit] if args.limit else entries
     for i, entry in enumerate(shown):
         direction = "out" if entry.direction is Direction.OUT else "in "
@@ -71,10 +104,10 @@ def _parse_topology(pairs: List[str]) -> Optional[Topology]:
 
 
 def _cmd_audit(args: argparse.Namespace) -> int:
-    bundle = load_case(args.case)
+    server = _load_server(args)
     topology = _parse_topology(args.publisher)
-    auditor = Auditor.for_server(bundle.server, topology)
-    report = auditor.audit_server(bundle.server)
+    auditor = Auditor.for_server(server, topology)
+    report = auditor.audit_server(server)
     print(render_report(report, max_findings=args.max_findings))
     return 1 if report.flagged_components() else 0
 
@@ -97,6 +130,35 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_recover(args: argparse.Namespace) -> int:
+    """Replay a durable store's WAL and report what survived the crash."""
+    try:
+        store = _open_store(args.store_dir)
+    except LogIntegrityError as exc:
+        print(f"TAMPERED: {exc}")
+        return 2
+    recovery = store.recovery
+    print(f"store {args.store_dir}: recovered")
+    print(f"  entries:          {recovery.entries}")
+    print(f"  from checkpoint:  {recovery.checkpoint_entries or 0}")
+    print(f"  replayed tail:    {recovery.replayed}")
+    print(f"  torn tail bytes:  {recovery.truncated_bytes} (truncated)")
+    print(f"  chain head:       {store.head().hex()}")
+    print(f"  merkle root:      {store.merkle_root().hex()}")
+    store.close()
+    return 0
+
+
+def _add_source_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("case", nargs="?", default=None)
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="STORE_DIR",
+        help="operate on a durable log-store directory instead of a case",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.tools",
@@ -105,18 +167,18 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_verify = sub.add_parser("verify", help="check tamper evidence")
-    p_verify.add_argument("case")
+    _add_source_arguments(p_verify)
     p_verify.set_defaults(func=_cmd_verify)
 
     p_inspect = sub.add_parser("inspect", help="list log entries")
-    p_inspect.add_argument("case")
+    _add_source_arguments(p_inspect)
     p_inspect.add_argument("--component", default=None)
     p_inspect.add_argument("--topic", default=None)
     p_inspect.add_argument("--limit", type=int, default=50)
     p_inspect.set_defaults(func=_cmd_inspect)
 
     p_audit = sub.add_parser("audit", help="classify all entries")
-    p_audit.add_argument("case")
+    _add_source_arguments(p_audit)
     p_audit.add_argument(
         "--publisher",
         action="append",
@@ -132,6 +194,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("topic")
     p_trace.add_argument("seq", type=int)
     p_trace.set_defaults(func=_cmd_trace)
+
+    p_recover = sub.add_parser(
+        "recover", help="replay a durable store's WAL after a crash"
+    )
+    p_recover.add_argument("store_dir")
+    p_recover.set_defaults(func=_cmd_recover)
     return parser
 
 

@@ -117,6 +117,100 @@ class TestRemoteLogger:
         assert client.dropped == 3
         client.close()
 
+    def test_overflow_spills_to_disk_when_configured(self, tmp_path):
+        """With a ``spill_path`` the bounded memory queue overflows to disk
+        instead of dropping: evidence survives arbitrarily long outages."""
+        client = RemoteLogger(
+            ("tcp", "127.0.0.1", 1),
+            spill_capacity=5,
+            reconnect_backoff=10.0,
+            spill_path=str(tmp_path / "spill.dat"),
+        )
+        for i in range(8):
+            client.submit(LogEntry(component_id="/a", topic="/t", seq=i))
+        assert client.spilled == 8  # memory (5) + disk (3)
+        assert client.spilled_to_disk == 3
+        assert client.dropped == 0
+        stats = client.stats()
+        assert stats["spilled"] == 8
+        assert stats["spilled_to_disk"] == 3
+        assert stats["dropped"] == 0
+        client.close()
+
+    def test_overflow_warning_fires_once(self, tmp_path, caplog):
+        client = RemoteLogger(
+            ("tcp", "127.0.0.1", 1),
+            spill_capacity=2,
+            reconnect_backoff=10.0,
+            spill_path=str(tmp_path / "spill.dat"),
+        )
+        with caplog.at_level("WARNING", logger="repro.core.remote"):
+            for i in range(10):
+                client.submit(LogEntry(component_id="/a", topic="/t", seq=i))
+        warnings = [
+            r for r in caplog.records if "spill queue" in r.getMessage()
+        ]
+        assert len(warnings) == 1
+        client.close()
+
+    def test_disk_spilled_entries_resent_oldest_first(self, tmp_path):
+        """Disk holds the *older* entries, so recovery drains disk before
+        the memory queue: server-side order stays 1..n."""
+        client = RemoteLogger(
+            ("tcp", "127.0.0.1", 1),
+            spill_capacity=3,
+            reconnect_backoff=0.01,
+            spill_path=str(tmp_path / "spill.dat"),
+        )
+        for i in range(1, 8):
+            client.submit(
+                LogEntry(component_id="/a", topic="/t", seq=i, scheme=Scheme.ADLP)
+            )
+        assert client.spilled_to_disk == 4
+        server = LogServer()
+        ep = LogServerEndpoint(server)
+        try:
+            client._address = ep.address
+            wait_for(lambda: client.flush_spill(), timeout=5.0)
+            assert client.spilled == 0
+            assert client.dropped == 0
+            assert wait_for(lambda: len(server) == 7, timeout=5.0)
+            assert [e.seq for e in server.entries()] == list(range(1, 8))
+        finally:
+            ep.close()
+            client.close()
+
+    def test_disk_spill_survives_client_restart(self, tmp_path):
+        """A crashed-and-restarted component re-sends what its predecessor
+        spilled to disk -- the outage evidence is not tied to the process."""
+        path = str(tmp_path / "spill.dat")
+        client = RemoteLogger(
+            ("tcp", "127.0.0.1", 1),
+            spill_capacity=2,
+            reconnect_backoff=10.0,
+            spill_path=path,
+        )
+        for i in range(1, 6):
+            client.submit(
+                LogEntry(component_id="/a", topic="/t", seq=i, scheme=Scheme.ADLP)
+            )
+        assert client.spilled_to_disk == 3
+        client.close()  # memory queue dies with the process
+
+        server = LogServer()
+        ep = LogServerEndpoint(server)
+        reborn = RemoteLogger(
+            ep.address, reconnect_backoff=0.01, spill_path=path
+        )
+        try:
+            assert reborn.spilled == 3  # the disk backlog is still pending
+            wait_for(lambda: reborn.flush_spill(), timeout=5.0)
+            assert wait_for(lambda: len(server) == 3, timeout=5.0)
+            assert [e.seq for e in server.entries()] == [1, 2, 3]
+        finally:
+            ep.close()
+            reborn.close()
+
     def test_malformed_frames_do_not_kill_server(self, endpoint, keypool):
         server, ep = endpoint
         from repro.middleware.transport.tcp import TcpTransport
@@ -164,3 +258,26 @@ class TestAdlpOverRemoteLogger:
         report = Auditor.for_server(server, topology).audit_server(server)
         assert report.flagged_components() == []
         assert len(report.valid_entries()) == 6
+
+    def test_protocol_stats_dict_surfaces_loss_counters(
+        self, endpoint, keypool, fast_config
+    ):
+        """``protocol.stats()`` merges the protocol counters with the
+        logging thread's and remote logger's loss counters, so one dict
+        answers both 'how chatty' and 'how lossy'."""
+        _, ep = endpoint
+        logger = RemoteLogger(ep.address)
+        protocol = AdlpProtocol(
+            "/pub", logger, config=fast_config, keypair=keypool[0]
+        )
+        try:
+            stats = protocol.stats()
+            for key in ("retransmits", "signatures", "dropped", "spilled",
+                        "spilled_to_disk", "spill_retries"):
+                assert key in stats, key
+            assert stats["dropped"] == 0
+            # attribute access still works for existing call sites
+            assert protocol.stats.retransmits == 0
+        finally:
+            protocol.close()
+            logger.close()

@@ -1,0 +1,14 @@
+"""Storage-suite fixtures: crashpoints never leak between tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.storage import crashpoints
+
+
+@pytest.fixture(autouse=True)
+def clean_crashpoints():
+    crashpoints.reset()
+    yield
+    crashpoints.reset()

@@ -1,0 +1,103 @@
+"""Checkpoint encoding, atomic commit, pruning, and corruption handling."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.crypto.merkle import MerkleFrontier
+from repro.errors import LogIntegrityError
+from repro.storage.checkpoint import Checkpoint, CheckpointManager
+from repro.storage.crashpoints import SimulatedCrash, arm
+
+
+def make_checkpoint(n: int, extra=None) -> Checkpoint:
+    frontier = MerkleFrontier()
+    for i in range(n):
+        frontier.append(b"record-%04d" % i)
+    return Checkpoint(
+        entry_count=n,
+        chain_head=bytes([n % 256]) * 32,
+        total_bytes=11 * n,
+        frontier=frontier,
+        extra=extra or {},
+    )
+
+
+class TestEncoding:
+    def test_round_trip(self):
+        original = make_checkpoint(7, extra={"keys": {"/pub": "aa55"}})
+        decoded = Checkpoint.decode(original.encode())
+        assert decoded.entry_count == 7
+        assert decoded.chain_head == original.chain_head
+        assert decoded.total_bytes == original.total_bytes
+        assert decoded.frontier.root() == original.frontier.root()
+        assert len(decoded.frontier) == 7
+        assert decoded.extra == {"keys": {"/pub": "aa55"}}
+
+    def test_any_flipped_byte_is_detected(self):
+        blob = bytearray(make_checkpoint(3).encode())
+        blob[len(blob) // 2] ^= 0x40
+        with pytest.raises(LogIntegrityError):
+            Checkpoint.decode(bytes(blob))
+
+
+class TestManager:
+    def test_write_and_load_latest(self, tmp_path):
+        manager = CheckpointManager(str(tmp_path / "ckpt"))
+        manager.write(make_checkpoint(5))
+        manager.write(make_checkpoint(9))
+        latest = manager.load_latest()
+        assert latest is not None and latest.entry_count == 9
+
+    def test_prunes_to_keep(self, tmp_path):
+        manager = CheckpointManager(str(tmp_path / "ckpt"), keep=2)
+        for n in (3, 6, 9, 12):
+            manager.write(make_checkpoint(n))
+        assert [n for n, _ in manager.paths()] == [9, 12]
+
+    def test_empty_directory(self, tmp_path):
+        manager = CheckpointManager(str(tmp_path / "ckpt"))
+        assert manager.load_latest() is None
+        assert manager.load_all_strict() == []
+
+    def test_corrupt_newest_falls_back_to_previous(self, tmp_path):
+        manager = CheckpointManager(str(tmp_path / "ckpt"))
+        manager.write(make_checkpoint(5))
+        path = manager.write(make_checkpoint(9))
+        with open(path, "r+b") as f:
+            f.seek(20)
+            f.write(b"\xff")
+        # Recovery (lenient) skips the damaged file ...
+        latest = manager.load_latest()
+        assert latest is not None and latest.entry_count == 5
+        # ... but the tamper check does not excuse it.
+        with pytest.raises(LogIntegrityError):
+            manager.load_all_strict()
+
+    def test_tmp_litter_is_ignored_and_removed(self, tmp_path):
+        directory = str(tmp_path / "ckpt")
+        manager = CheckpointManager(directory)
+        manager.write(make_checkpoint(4))
+        litter = os.path.join(directory, "checkpoint-000000000009.ckpt.tmp")
+        with open(litter, "wb") as f:
+            f.write(b"half a checkpoint")
+        latest = manager.load_latest()
+        assert latest is not None and latest.entry_count == 4
+        assert not os.path.exists(litter)
+
+
+class TestCrashpoints:
+    @pytest.mark.parametrize("point", ["checkpoint.partial", "checkpoint.pre_rename"])
+    def test_crashed_write_commits_nothing(self, tmp_path, point):
+        manager = CheckpointManager(str(tmp_path / "ckpt"))
+        manager.write(make_checkpoint(5))
+        arm(point)
+        with pytest.raises(SimulatedCrash):
+            manager.write(make_checkpoint(9))
+        # A fresh manager (the restarted process) sees only the old one.
+        recovered = CheckpointManager(str(tmp_path / "ckpt"))
+        latest = recovered.load_latest()
+        assert latest is not None and latest.entry_count == 5
+        recovered.load_all_strict()  # the half-written tmp is not tamper

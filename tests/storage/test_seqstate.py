@@ -1,0 +1,199 @@
+"""Persisted sequence counters: journal semantics and restart-safe freshness."""
+
+from __future__ import annotations
+
+import os
+from dataclasses import replace
+
+import pytest
+
+from repro.core.adlp_protocol import AdlpProtocol
+from repro.core.log_server import LogServer
+from repro.core.log_store import InMemoryLogStore
+from repro.storage.seqstate import SequenceStateFile
+
+
+def state_path(tmp_path) -> str:
+    return str(tmp_path / "comp.seqstate")
+
+
+class TestJournal:
+    def test_round_trip(self, tmp_path):
+        state = SequenceStateFile(state_path(tmp_path))
+        state.record_published("/t", 3)
+        state.record_received("/t", "/pub", 7)
+        state.close()
+        reopened = SequenceStateFile(state_path(tmp_path))
+        assert reopened.last_published("/t") == 3
+        assert reopened.last_received("/t", "/pub") == 7
+        reopened.close()
+
+    def test_unknown_keys_are_zero(self, tmp_path):
+        state = SequenceStateFile(state_path(tmp_path))
+        assert state.last_published("/other") == 0
+        assert state.last_received("/other") == 0
+        state.close()
+
+    def test_counters_are_monotonic(self, tmp_path):
+        state = SequenceStateFile(state_path(tmp_path))
+        state.record_published("/t", 9)
+        state.record_published("/t", 4)  # late/out-of-order: must not regress
+        state.record_received("/t", "/pub", 9)
+        state.record_received("/t", "/pub", 4)
+        assert state.last_published("/t") == 9
+        assert state.last_received("/t", "/pub") == 9
+        state.close()
+
+    def test_per_key_maximum_across_topics_and_publishers(self, tmp_path):
+        state = SequenceStateFile(state_path(tmp_path))
+        state.record_published("/a", 2)
+        state.record_published("/b", 5)
+        state.record_received("/a", "/pub1", 3)
+        state.record_received("/a", "/pub2", 8)
+        state.close()
+        reopened = SequenceStateFile(state_path(tmp_path))
+        assert reopened.last_published("/a") == 2
+        assert reopened.last_published("/b") == 5
+        assert reopened.last_received("/a", "/pub1") == 3
+        assert reopened.last_received("/a", "/pub2") == 8
+        # publisher=None: max over all publishers on the topic
+        assert reopened.last_received("/a") == 8
+        reopened.close()
+
+    def test_torn_last_line_is_ignored(self, tmp_path):
+        path = state_path(tmp_path)
+        state = SequenceStateFile(path)
+        state.record_published("/t", 6)
+        state.close()
+        with open(path, "a", encoding="utf-8") as f:
+            f.write("P\t/t\t9")  # crash mid-append: no trailing newline
+        reopened = SequenceStateFile(path)
+        # Under-resuming is safe (audits as a gap); the torn line must not
+        # be trusted.
+        assert reopened.last_published("/t") == 6
+        reopened.close()
+
+    def test_alien_lines_are_skipped(self, tmp_path):
+        path = state_path(tmp_path)
+        with open(path, "w", encoding="utf-8") as f:
+            f.write("P\t/t\t4\n")
+            f.write("garbage line\n")
+            f.write("P\t/t\tnot-a-number\n")
+            f.write("S\t/t\t/pub\t2\n")
+        state = SequenceStateFile(path)
+        assert state.last_published("/t") == 4
+        assert state.last_received("/t", "/pub") == 2
+        state.close()
+
+    def test_compaction_rewrites_grown_journal(self, tmp_path):
+        path = state_path(tmp_path)
+        with open(path, "w", encoding="utf-8") as f:
+            for i in range(1, 5001):
+                f.write(f"P\t/t\t{i}\n")
+        state = SequenceStateFile(path)
+        assert state.last_published("/t") == 5000
+        state.close()
+        with open(path, encoding="utf-8") as f:
+            lines = f.read().splitlines()
+        assert lines == ["P\t/t\t5000"]
+        # Compaction must not lose anything across the next restart.
+        reopened = SequenceStateFile(path)
+        assert reopened.last_published("/t") == 5000
+        reopened.close()
+
+
+class _StubConnection:
+    """Just enough Connection for a subscriber protocol: collects ACKs."""
+
+    closed = False
+
+    def __init__(self):
+        self.sent = []
+
+    def send_frame(self, frame: bytes) -> None:
+        self.sent.append(frame)
+
+
+@pytest.fixture
+def stateful_config(fast_config, tmp_path):
+    return replace(fast_config, state_dir=str(tmp_path / "state"))
+
+
+class TestProtocolIntegration:
+    """With ``state_dir`` set, restarts neither reuse nor re-accept seqs."""
+
+    def test_journal_lives_inside_state_dir(self, keypool, stateful_config):
+        """Component ids are slash-prefixed ("/pub"); a naive path join
+        would escape state_dir into the filesystem root."""
+        server = LogServer(InMemoryLogStore())
+        protocol = AdlpProtocol(
+            "/pub", server, config=stateful_config, keypair=keypool[0]
+        )
+        path = os.path.abspath(protocol.seq_state.path)
+        protocol.close()
+        assert path.startswith(os.path.abspath(stateful_config.state_dir) + os.sep)
+
+    def test_publisher_resumes_after_restart(self, tmp_path, keypool, stateful_config):
+        server = LogServer(InMemoryLogStore())
+
+        def run_publisher(count: int) -> int:
+            protocol = AdlpProtocol(
+                "/pub", server, config=stateful_config, keypair=keypool[0]
+            )
+            pub = protocol.publisher_protocol("/t", "std/String")
+            seq = pub.initial_seq()
+            for _ in range(count):
+                pub.make_frame(seq, b"payload")
+                seq += 1
+            protocol.close()
+            return seq
+
+        assert run_publisher(3) == 4  # started at 1, published 1..3
+        # The restarted publisher must not re-sign 1..3.
+        protocol = AdlpProtocol(
+            "/pub", server, config=stateful_config, keypair=keypool[0]
+        )
+        assert protocol.publisher_protocol("/t", "std/String").initial_seq() == 4
+        protocol.close()
+
+    def test_publisher_without_state_dir_restarts_at_one(
+        self, keypool, fast_config
+    ):
+        server = LogServer(InMemoryLogStore())
+        protocol = AdlpProtocol(
+            "/pub", server, config=fast_config, keypair=keypool[0]
+        )
+        assert protocol.publisher_protocol("/t", "std/String").initial_seq() == 1
+        protocol.close()
+
+    def test_subscriber_rejects_replay_across_restart(
+        self, keypool, stateful_config
+    ):
+        server = LogServer(InMemoryLogStore())
+        pub = AdlpProtocol(
+            "/pub", server, config=stateful_config, keypair=keypool[0]
+        )
+        pub_proto = pub.publisher_protocol("/t", "std/String")
+        frames = {
+            seq: pub_proto.make_frame(seq, b"msg-%d" % seq) for seq in (1, 2, 3)
+        }
+
+        sub = AdlpProtocol(
+            "/sub", server, config=stateful_config, keypair=keypool[1]
+        )
+        sub_proto = sub.subscriber_protocol("/t", "std/String")
+        connection = _StubConnection()
+        for seq in (1, 2):
+            assert sub_proto.on_frame("/pub", connection, frames[seq]) is not None
+        sub.close()
+
+        # Restart the subscriber: a replay of seq 2 must be refused, the
+        # genuinely fresh seq 3 delivered.
+        sub2 = AdlpProtocol(
+            "/sub", server, config=stateful_config, keypair=keypool[1]
+        )
+        sub2_proto = sub2.subscriber_protocol("/t", "std/String")
+        assert sub2_proto.on_frame("/pub", connection, frames[2]) is None
+        assert sub2_proto.on_frame("/pub", connection, frames[3]) == b"msg-3"
+        pub.close()
+        sub2.close()

@@ -1,0 +1,101 @@
+"""Disk spill FIFO: ordering, restart resume, torn tails, space reclaim."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.storage.crashpoints import SimulatedCrash, arm
+from repro.storage.spillfile import DiskSpillFile
+
+
+def spill_path(tmp_path) -> str:
+    return str(tmp_path / "spill.dat")
+
+
+class TestFifo:
+    def test_append_peek_consume_order(self, tmp_path):
+        spill = DiskSpillFile(spill_path(tmp_path))
+        for payload in (b"one", b"two", b"three"):
+            spill.append(payload)
+        assert len(spill) == 3
+        seen = []
+        while len(spill):
+            seen.append(spill.peek())
+            spill.consume()
+        assert seen == [b"one", b"two", b"three"]
+        spill.close()
+
+    def test_consume_empty_raises(self, tmp_path):
+        spill = DiskSpillFile(spill_path(tmp_path))
+        assert spill.peek() is None
+        with pytest.raises(IndexError):
+            spill.consume()
+        spill.close()
+
+    def test_drain_reclaims_disk_space(self, tmp_path):
+        path = spill_path(tmp_path)
+        spill = DiskSpillFile(path)
+        for i in range(5):
+            spill.append(b"x" * 100)
+        while len(spill):
+            spill.consume()
+        spill.close()
+        assert os.path.getsize(path) == 0
+
+
+class TestRestart:
+    def test_pending_records_survive_reopen(self, tmp_path):
+        path = spill_path(tmp_path)
+        spill = DiskSpillFile(path)
+        for payload in (b"a", b"b", b"c"):
+            spill.append(payload)
+        spill.close()
+        reopened = DiskSpillFile(path)
+        assert len(reopened) == 3
+        assert reopened.peek() == b"a"
+        reopened.close()
+
+    def test_consumed_records_stay_consumed_across_restart(self, tmp_path):
+        """The sidecar offset file prevents the restart-duplicate bug:
+        re-sending already-delivered evidence would fabricate duplicate
+        entries and false ``replayed_sequence`` verdicts."""
+        path = spill_path(tmp_path)
+        spill = DiskSpillFile(path)
+        for payload in (b"sent-1", b"sent-2", b"pending-3", b"pending-4"):
+            spill.append(payload)
+        spill.consume()
+        spill.consume()
+        spill.close()
+        reopened = DiskSpillFile(path)
+        assert len(reopened) == 2
+        assert reopened.peek() == b"pending-3"
+        reopened.consume()
+        assert reopened.peek() == b"pending-4"
+        reopened.close()
+
+    def test_torn_tail_is_truncated_on_reopen(self, tmp_path):
+        path = spill_path(tmp_path)
+        spill = DiskSpillFile(path)
+        spill.append(b"whole")
+        spill.append(b"doomed")
+        spill.close()
+        with open(path, "r+b") as f:
+            f.truncate(os.path.getsize(path) - 3)
+        reopened = DiskSpillFile(path)
+        assert len(reopened) == 1
+        assert reopened.peek() == b"whole"
+        reopened.close()
+
+    def test_crash_mid_spill_write(self, tmp_path):
+        path = spill_path(tmp_path)
+        spill = DiskSpillFile(path)
+        spill.append(b"durable")
+        arm("spill.mid_record")
+        with pytest.raises(SimulatedCrash):
+            spill.append(b"torn-in-half")
+        reopened = DiskSpillFile(path)
+        assert len(reopened) == 1
+        assert reopened.peek() == b"durable"
+        reopened.close()

@@ -1,7 +1,10 @@
+import os
+
 import pytest
 
 from repro.adversary import SubscriberBehavior
 from repro.adversary.behaviors import flip_first_byte
+from repro.core import DurableLogStore, LogServer
 from repro.tools.caseio import export_case
 from repro.tools.cli import main
 
@@ -26,6 +29,26 @@ def dirty_case(tmp_path, keypool):
     path = str(tmp_path / "dirty")
     export_case(result.server, path)
     return path
+
+
+@pytest.fixture()
+def durable_store(tmp_path, keypool):
+    """A durable store directory holding a clean scenario's entries."""
+    result = run_scenario(keypool, publications=3)
+    store_dir = str(tmp_path / "store")
+    server = LogServer(DurableLogStore(store_dir))
+    for component_id, key in result.server.keystore.snapshot().items():
+        server.register_key(component_id, key)
+    entries = result.server.entries()
+    # Checkpoint mid-stream so the store has both a checkpointed prefix and
+    # a replayable (tearable) tail.
+    for entry in entries[:-2]:
+        server.submit(entry)
+    server.checkpoint()
+    for entry in entries[-2:]:
+        server.submit(entry)
+    server.close()
+    return store_dir
 
 
 class TestVerify:
@@ -76,6 +99,89 @@ class TestAudit:
     def test_bad_publisher_syntax(self, clean_case):
         with pytest.raises(SystemExit):
             main(["audit", clean_case, "--publisher", "nonsense"])
+
+
+class TestRecover:
+    def test_recover_reports_store_state(self, durable_store, capsys):
+        assert main(["recover", durable_store]) == 0
+        out = capsys.readouterr().out
+        assert "recovered" in out
+        assert "entries:" in out and "chain head:" in out
+        assert "from checkpoint:" in out
+
+    def test_recover_reports_torn_tail(self, durable_store, capsys):
+        from repro.storage.durable_store import WAL_SUBDIR
+        from repro.storage.wal import segment_paths
+
+        wal_path = segment_paths(os.path.join(durable_store, WAL_SUBDIR))[-1][1]
+        with open(wal_path, "r+b") as f:
+            f.truncate(os.path.getsize(wal_path) - 4)
+        assert main(["recover", durable_store]) == 0
+        out = capsys.readouterr().out
+        assert "torn tail bytes:" in out
+        assert "torn tail bytes:  0" not in out
+
+    def test_recover_refuses_evidence_loss(self, durable_store, capsys):
+        from repro.storage.durable_store import WAL_SUBDIR
+        from repro.storage.wal import segment_paths
+
+        # The checkpoint promises entries; the WAL is gone.
+        for _, path in segment_paths(os.path.join(durable_store, WAL_SUBDIR)):
+            os.remove(path)
+        assert main(["recover", durable_store]) == 2
+        assert "TAMPERED" in capsys.readouterr().out
+
+
+class TestStoreSource:
+    """verify/inspect/audit accept --store as an alternative to a case."""
+
+    def test_verify_store(self, durable_store, capsys):
+        assert main(["verify", "--store", durable_store]) == 0
+        out = capsys.readouterr().out
+        assert "INTACT" in out and durable_store in out
+
+    def test_verify_tampered_store(self, durable_store, capsys):
+        from repro.storage.durable_store import WAL_SUBDIR
+        from repro.storage.wal import SEGMENT_HEADER_SIZE, segment_paths
+
+        wal_path = segment_paths(os.path.join(durable_store, WAL_SUBDIR))[0][1]
+        with open(wal_path, "r+b") as f:
+            f.seek(SEGMENT_HEADER_SIZE + 7)
+            byte = f.read(1)
+            f.seek(SEGMENT_HEADER_SIZE + 7)
+            f.write(bytes([byte[0] ^ 0x01]))
+        assert main(["verify", "--store", durable_store]) == 2
+        assert "TAMPERED" in capsys.readouterr().out
+
+    def test_inspect_store(self, durable_store, capsys):
+        assert main(["inspect", "--store", durable_store]) == 0
+        out = capsys.readouterr().out
+        assert "/pub" in out and "seq=1" in out
+
+    def test_audit_store(self, durable_store, capsys):
+        assert (
+            main(["audit", "--store", durable_store, "--publisher", "/t=/pub"])
+            == 0
+        )
+        assert "FLAGGED" not in capsys.readouterr().out
+
+    def test_both_sources_rejected(self, clean_case, durable_store):
+        with pytest.raises(SystemExit):
+            main(["verify", clean_case, "--store", durable_store])
+
+    def test_no_source_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["verify"])
+
+    def test_missing_store_directory_rejected(self, tmp_path):
+        """A typo'd path must error out, not materialize an empty store
+        that then verifies as trivially intact."""
+        ghost = str(tmp_path / "no-such-store")
+        with pytest.raises(SystemExit):
+            main(["verify", "--store", ghost])
+        with pytest.raises(SystemExit):
+            main(["recover", ghost])
+        assert not os.path.exists(ghost)
 
 
 class TestTrace:
