@@ -30,6 +30,11 @@ from repro.audit.causality import check_pair_precedence, check_chain_precedence,
 from repro.audit.collusion import CollusionModel, maximal_collusion_groups
 from repro.audit.online import OnlineAuditor, OnlineFinding
 from repro.audit.provenance import DataItem, ProvenanceGraph
+from repro.audit.replica_audit import (
+    ReplicaDivergence,
+    ReplicaSetAudit,
+    audit_replica_set,
+)
 from repro.audit.report import render_report
 
 __all__ = [
@@ -52,5 +57,8 @@ __all__ = [
     "ProvenanceGraph",
     "OnlineAuditor",
     "OnlineFinding",
+    "ReplicaDivergence",
+    "ReplicaSetAudit",
+    "audit_replica_set",
     "render_report",
 ]

@@ -19,8 +19,8 @@ prototype structure:
 
 from repro.core.entries import Direction, Scheme, LogEntry
 from repro.core.protocol import AdlpMessage, AdlpAck, message_digest
-from repro.core.policy import AdlpConfig
-from repro.core.log_server import LogServer
+from repro.core.policy import AdlpConfig, ReplicationConfig
+from repro.core.log_server import LogCommitment, LogServer
 from repro.core.log_store import InMemoryLogStore, FileLogStore
 from repro.core.dedup_store import DedupLogStore
 from repro.core.logging_thread import LoggingThread
@@ -40,7 +40,9 @@ __all__ = [
     "AdlpAck",
     "message_digest",
     "AdlpConfig",
+    "ReplicationConfig",
     "LogServer",
+    "LogCommitment",
     "InMemoryLogStore",
     "FileLogStore",
     "DedupLogStore",

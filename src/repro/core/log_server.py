@@ -18,6 +18,7 @@ verdict after a crash equal those of a never-crashed run.
 from __future__ import annotations
 
 import threading
+from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Optional, Union
 
 from repro.core.entries import Direction, LogEntry
@@ -26,6 +27,23 @@ from repro.crypto.keystore import KeyStore
 from repro.crypto.merkle import MerkleFrontier, MerkleProof, MerkleTree
 from repro.core.log_store import InMemoryLogStore, LogStore
 from repro.errors import DecodingError, LogIntegrityError, LoggingError
+
+
+@dataclass(frozen=True)
+class LogCommitment:
+    """A logger's publishable commitment to everything it has ingested.
+
+    One replica's answer to "what do you hold?": two replicas holding the
+    same entries in the same order agree on every field; any divergence in
+    content or order changes ``chain_head`` and ``merkle_root``.  Cheap to
+    take (O(log n) via the Merkle frontier), so replicated deployments can
+    poll it as a health probe.
+    """
+
+    entries: int
+    chain_head: bytes
+    merkle_root: bytes
+    total_bytes: int
 
 
 class LogServer:
@@ -254,9 +272,31 @@ class LogServer:
         with self._lock:
             return dict(self._bytes_by_component)
 
+    def raw_records(self, start: int = 0, count: Optional[int] = None) -> List[bytes]:
+        """Encoded records ``[start, start + count)`` in ingestion order.
+
+        The fetch side of anti-entropy: a lagging replica replays exactly
+        these bytes, so its hash chain and Merkle tree land on the same
+        commitments as the donor's.
+        """
+        with self._lock:
+            records = self.store.records()
+        if start < 0:
+            raise ValueError("start must be non-negative")
+        end = len(records) if count is None else start + count
+        return records[start:end]
+
     def components(self) -> List[str]:
         """All component ids that have registered a key."""
         return sorted(self.keystore.snapshot())
+
+    def keys_snapshot(self) -> Dict[str, bytes]:
+        """The key registry as ``component_id -> encoded public key``
+        (what a recovering replica re-registers during catch-up)."""
+        return {
+            component_id: key.to_bytes()
+            for component_id, key in self.keystore.snapshot().items()
+        }
 
     def public_key(self, component_id: str) -> PublicKey:
         """The registered key for ``component_id`` (raises if unknown)."""
@@ -272,6 +312,21 @@ class LogServer:
         """Commitment over all ingested entries (publishable per epoch)."""
         with self._lock:
             return self._merkle.root()
+
+    def commitment(self) -> LogCommitment:
+        """Entry count, chain head, and Merkle root in one lock acquisition.
+
+        Uses the incremental frontier for the root, so the snapshot is
+        O(log n) even mid-ingest -- cheap enough for the ``OP_HEALTH``
+        probe of a replicated deployment to poll continuously.
+        """
+        with self._lock:
+            return LogCommitment(
+                entries=len(self._entries),
+                chain_head=self.store.head(),
+                merkle_root=self._frontier.root(),
+                total_bytes=self.store.total_bytes,
+            )
 
     def prove_inclusion(self, index: int) -> MerkleProof:
         """Inclusion proof for the entry at ``index`` against the current

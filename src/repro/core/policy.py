@@ -18,6 +18,7 @@ sweep them:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional, Tuple
 
 from repro.crypto.keys import DEFAULT_KEY_BITS
 
@@ -106,3 +107,71 @@ class AdlpConfig:
             raise ValueError("log_retry_backoff must be non-negative")
         if self.aggregation_window < 0:
             raise ValueError("aggregation_window must be non-negative")
+
+
+@dataclass(frozen=True)
+class ReplicationConfig:
+    """Client-side policy for a replicated trusted logger.
+
+    Governs how :class:`~repro.replication.ReplicatedLogger` fans submits
+    out to a replica set: what counts as a durable quorum, when a replica's
+    circuit breaker trips and how its half-open probes back off, and how
+    anti-entropy catch-up batches its record fetches.
+    """
+
+    #: Replica endpoints (transport addresses); may also be given directly
+    #: to :class:`~repro.replication.ReplicatedLogger`.
+    replicas: Tuple = ()
+
+    #: Replicas a submit must reach for "durable on a quorum"; ``None``
+    #: derives a majority (``n // 2 + 1``) from the replica-set size.
+    quorum: Optional[int] = None
+
+    #: Consecutive failures that trip a replica's breaker open.
+    breaker_failure_threshold: int = 3
+
+    #: Seconds a freshly-opened breaker waits before its first half-open
+    #: probe (doubles on every failed probe).
+    breaker_reset_timeout: float = 0.5
+
+    #: Upper bound the open interval can grow to under backoff.
+    breaker_max_reset_timeout: float = 30.0
+
+    #: Jitter fraction applied to every open interval (0.2 = up to +20%),
+    #: so a replica coming back does not face synchronized probe storms.
+    breaker_jitter: float = 0.2
+
+    #: Seconds a health probe waits for the replica's commitment.
+    health_timeout: float = 2.0
+
+    #: Seconds between background health probes (``start_probing``).
+    probe_interval: float = 1.0
+
+    #: Records fetched per anti-entropy batch during catch-up.
+    fetch_batch: int = 1024
+
+    def __post_init__(self) -> None:
+        if self.quorum is not None and self.quorum < 1:
+            raise ValueError("quorum must be at least 1")
+        if self.breaker_failure_threshold < 1:
+            raise ValueError("breaker_failure_threshold must be at least 1")
+        if self.breaker_reset_timeout <= 0:
+            raise ValueError("breaker_reset_timeout must be positive")
+        if self.breaker_max_reset_timeout < self.breaker_reset_timeout:
+            raise ValueError(
+                "breaker_max_reset_timeout must be at least breaker_reset_timeout"
+            )
+        if not 0 <= self.breaker_jitter <= 1:
+            raise ValueError("breaker_jitter must be within [0, 1]")
+        if self.health_timeout <= 0:
+            raise ValueError("health_timeout must be positive")
+        if self.probe_interval <= 0:
+            raise ValueError("probe_interval must be positive")
+        if self.fetch_batch < 1:
+            raise ValueError("fetch_batch must be at least 1")
+
+    def quorum_for(self, replica_count: int) -> int:
+        """The effective quorum for a set of ``replica_count`` replicas."""
+        if self.quorum is not None:
+            return self.quorum
+        return replica_count // 2 + 1

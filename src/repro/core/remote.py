@@ -7,7 +7,9 @@ module puts it behind a socket:
 
 - :class:`LogServerEndpoint` exposes a :class:`LogServer` over any
   middleware transport (TCP in practice), speaking a small framed RPC:
-  ``REGISTER_KEY`` and ``SUBMIT``.
+  ``REGISTER_KEY``, ``SUBMIT``, ``HEALTH`` (the replica commitment probe),
+  ``FETCH`` (raw-record ranges for anti-entropy catch-up), and ``KEYS``
+  (key-registry snapshot, so a recovering replica can be re-keyed).
 - :class:`RemoteLogger` is the component-side stub with the same
   ``register_key``/``submit`` surface the protocols expect, so an
   :class:`~repro.core.adlp_protocol.AdlpProtocol` can be pointed at a
@@ -30,7 +32,7 @@ from collections import deque
 from typing import Deque, Dict, List, Optional, Union
 
 from repro.core.entries import LogEntry
-from repro.core.log_server import LogServer
+from repro.core.log_server import LogCommitment, LogServer
 from repro.crypto.keys import PublicKey
 from repro.errors import LoggingError, TransportError
 from repro.middleware.transport.base import (
@@ -39,7 +41,14 @@ from repro.middleware.transport.base import (
     Transport,
 )
 from repro.middleware.transport.tcp import TcpTransport
-from repro.serialization import WireMessage, boolean, bytes_, string, uint64
+from repro.serialization import (
+    WireMessage,
+    boolean,
+    bytes_,
+    repeated,
+    string,
+    uint64,
+)
 from repro.storage.spillfile import DiskSpillFile
 from repro.util.concurrency import StoppableThread
 
@@ -48,6 +57,18 @@ logger = logging.getLogger(__name__)
 #: RPC operation codes.
 OP_REGISTER_KEY = 1
 OP_SUBMIT = 2
+OP_HEALTH = 3
+OP_FETCH = 4
+OP_KEYS = 5
+
+#: Upper bound on records returned by one ``OP_FETCH`` (bounds response
+#: frames; catch-up loops until it has the whole range).
+FETCH_BATCH_LIMIT = 4096
+
+#: Seconds a served connection may sit idle before the endpoint reaps it
+#: (components reconnect transparently; a leaked/wedged client must not
+#: pin a worker thread and socket forever).
+DEFAULT_IDLE_TIMEOUT = 300.0
 
 
 class LoggerRequest(WireMessage):
@@ -57,28 +78,45 @@ class LoggerRequest(WireMessage):
     component_id = string(2)
     key_bytes = bytes_(3)  # OP_REGISTER_KEY
     entry_bytes = bytes_(4)  # OP_SUBMIT
+    start = uint64(5)  # OP_FETCH: first record index
+    count = uint64(6)  # OP_FETCH: max records to return
 
 
 class LoggerResponse(WireMessage):
-    """Response to synchronous requests (key registration only)."""
+    """Response to synchronous requests (everything but ``OP_SUBMIT``)."""
 
     ok = boolean(1)
     error = string(2)
+    entries = uint64(3)  # OP_HEALTH
+    chain_head = bytes_(4)  # OP_HEALTH
+    merkle_root = bytes_(5)  # OP_HEALTH
+    total_bytes = uint64(6)  # OP_HEALTH
+    records = repeated(bytes_(7))  # OP_FETCH
+    key_ids = repeated(string(8))  # OP_KEYS (parallel with key_blobs)
+    key_blobs = repeated(bytes_(9))  # OP_KEYS
 
 
 class LogServerEndpoint:
     """Serves a :class:`LogServer` over a transport listener."""
 
-    def __init__(self, server: LogServer, transport: Optional[Transport] = None):
+    def __init__(
+        self,
+        server: LogServer,
+        transport: Optional[Transport] = None,
+        idle_timeout: Optional[float] = DEFAULT_IDLE_TIMEOUT,
+    ):
         self.server = server
         self._transport = transport or TcpTransport()
         self._listener = self._transport.listen()
         self._connections: List[Connection] = []
         self._lock = threading.Lock()
+        self._idle_timeout = idle_timeout
         #: Submission frames received / rejected by the server (observability
         #: for chaos runs; rejection never propagates to the component).
         self.submissions = 0
         self.rejected = 0
+        #: Connections closed by the idle reaper (observability).
+        self.reaped = 0
         self._acceptor = StoppableThread("logserver-accept", target=self._accept_loop)
         self._acceptor.start()
 
@@ -100,28 +138,39 @@ class LogServerEndpoint:
             worker.start()
 
     def _serve(self, connection: Connection) -> None:
+        try:
+            self._serve_loop(connection)
+        finally:
+            connection.close()
+            with self._lock:
+                if connection in self._connections:
+                    self._connections.remove(connection)
+
+    def _serve_loop(self, connection: Connection) -> None:
+        last_active = time.monotonic()
         while not self._acceptor.stopped():
             try:
                 frame = connection.recv_frame(timeout=0.1)
             except ConnectionClosed:
                 return
             if frame is None:
+                if (
+                    self._idle_timeout is not None
+                    and time.monotonic() - last_active > self._idle_timeout
+                ):
+                    # Reap the connection: a wedged or leaked client must
+                    # not pin a worker thread forever.  A live component
+                    # reconnects transparently on its next submit.
+                    with self._lock:
+                        self.reaped += 1
+                    return
                 continue
+            last_active = time.monotonic()
             try:
                 request = LoggerRequest.decode(frame)
             except Exception:
                 continue  # a malformed frame must not kill the server
-            if request.op == OP_REGISTER_KEY:
-                response = LoggerResponse(ok=True)
-                try:
-                    self.server.register_key(request.component_id, request.key_bytes)
-                except Exception as exc:
-                    response = LoggerResponse(ok=False, error=str(exc))
-                try:
-                    connection.send_frame(response.encode())
-                except ConnectionClosed:
-                    return
-            elif request.op == OP_SUBMIT:
+            if request.op == OP_SUBMIT:
                 with self._lock:
                     self.submissions += 1
                 try:
@@ -130,6 +179,41 @@ class LogServerEndpoint:
                     # fire-and-forget: bad entries are dropped server-side
                     with self._lock:
                         self.rejected += 1
+                continue
+            response = self._answer(request)
+            try:
+                connection.send_frame(response.encode())
+            except ConnectionClosed:
+                return
+
+    def _answer(self, request: LoggerRequest) -> LoggerResponse:
+        """Build the response for a synchronous (non-SUBMIT) request."""
+        try:
+            if request.op == OP_REGISTER_KEY:
+                self.server.register_key(request.component_id, request.key_bytes)
+                return LoggerResponse(ok=True)
+            if request.op == OP_HEALTH:
+                commitment = self.server.commitment()
+                return LoggerResponse(
+                    ok=True,
+                    entries=commitment.entries,
+                    chain_head=commitment.chain_head,
+                    merkle_root=commitment.merkle_root,
+                    total_bytes=commitment.total_bytes,
+                )
+            if request.op == OP_FETCH:
+                count = min(request.count or FETCH_BATCH_LIMIT, FETCH_BATCH_LIMIT)
+                records = self.server.raw_records(request.start, count)
+                return LoggerResponse(ok=True, records=list(records))
+            if request.op == OP_KEYS:
+                keys = self.server.keys_snapshot()
+                ids = sorted(keys)
+                return LoggerResponse(
+                    ok=True, key_ids=ids, key_blobs=[keys[i] for i in ids]
+                )
+            return LoggerResponse(ok=False, error=f"unknown op {request.op}")
+        except Exception as exc:
+            return LoggerResponse(ok=False, error=str(exc))
 
     def close(self) -> None:
         self._acceptor.stop(join=False)
@@ -173,6 +257,11 @@ class RemoteLogger:
         self._address = address
         self._connection: Optional[Connection] = None
         self._lock = threading.Lock()
+        # Serializes synchronous request/response exchanges so two RPCs
+        # never interleave their responses on the shared connection
+        # (fire-and-forget submits may interleave freely: they produce no
+        # response frames).
+        self._rpc_lock = threading.Lock()
         self._spill: Deque[bytes] = deque()
         self._spill_capacity = spill_capacity
         self._disk: Optional[DiskSpillFile] = (
@@ -189,6 +278,17 @@ class RemoteLogger:
         self.spilled_to_disk = 0
         #: Spilled entries successfully re-sent after a reconnect.
         self.retries = 0
+
+    @property
+    def address(self):
+        """The server address this stub currently targets."""
+        return self._address
+
+    @property
+    def connected(self) -> bool:
+        """Whether a live connection to the server exists right now."""
+        with self._lock:
+            return self._connection is not None and not self._connection.closed
 
     @property
     def spilled(self) -> int:
@@ -213,7 +313,13 @@ class RemoteLogger:
     def _connect(self) -> Optional[Connection]:
         with self._lock:
             if self._connection is not None and not self._connection.closed:
-                return self._connection
+                # A peer-closed socket (e.g. the endpoint's idle reaper)
+                # would accept one fire-and-forget send and discard it;
+                # peek for EOF before trusting the cached connection.
+                if not self._connection.peer_closed():
+                    return self._connection
+                self._connection.close()
+                self._connection = None
             if time.monotonic() < self._next_attempt:
                 return None  # backing off; do not hammer a dead server
             try:
@@ -225,24 +331,69 @@ class RemoteLogger:
                 self._backoff = min(self._backoff * 2, self._max_backoff)
             return self._connection
 
+    def _rpc(self, request: LoggerRequest, timeout: float) -> LoggerResponse:
+        """One synchronous request/response exchange; raises
+        :class:`LoggingError` on any connection or timeout trouble."""
+        with self._rpc_lock:
+            connection = self._connect()
+            if connection is None:
+                raise LoggingError(f"log server unreachable at {self._address!r}")
+            try:
+                connection.send_frame(request.encode())
+                frame = connection.recv_frame(timeout=timeout)
+            except ConnectionClosed as exc:
+                raise LoggingError(f"log server connection lost: {exc}") from exc
+            if frame is None:
+                raise LoggingError("log server did not answer in time")
+            return LoggerResponse.decode(frame)
+
     def register_key(self, component_id: str, key: Union[PublicKey, bytes]) -> None:
         """Synchronously register; raises if the server is unreachable or
         rejects the key (startup must not proceed unkeyed)."""
         if isinstance(key, PublicKey):
             key = key.to_bytes()
-        connection = self._connect()
-        if connection is None:
-            raise LoggingError(f"log server unreachable at {self._address!r}")
-        request = LoggerRequest(
-            op=OP_REGISTER_KEY, component_id=component_id, key_bytes=key
+        response = self._rpc(
+            LoggerRequest(op=OP_REGISTER_KEY, component_id=component_id, key_bytes=key),
+            timeout=5.0,
         )
-        connection.send_frame(request.encode())
-        frame = connection.recv_frame(timeout=5.0)
-        if frame is None:
-            raise LoggingError("log server did not answer key registration")
-        response = LoggerResponse.decode(frame)
         if not response.ok:
             raise LoggingError(f"key registration rejected: {response.error}")
+
+    def health(self, timeout: float = 5.0) -> LogCommitment:
+        """Probe the server's commitment (entry count, chain head, Merkle
+        root).  Raises :class:`LoggingError` when the server is down --
+        the signal a replicated deployment's circuit breaker feeds on."""
+        response = self._rpc(LoggerRequest(op=OP_HEALTH), timeout=timeout)
+        if not response.ok:
+            raise LoggingError(f"health probe rejected: {response.error}")
+        return LogCommitment(
+            entries=int(response.entries),
+            chain_head=bytes(response.chain_head),
+            merkle_root=bytes(response.merkle_root),
+            total_bytes=int(response.total_bytes),
+        )
+
+    def fetch_records(
+        self, start: int, count: int, timeout: float = 10.0
+    ) -> List[bytes]:
+        """Fetch up to ``count`` raw records starting at index ``start``
+        (the donor side of anti-entropy catch-up)."""
+        response = self._rpc(
+            LoggerRequest(op=OP_FETCH, start=start, count=count), timeout=timeout
+        )
+        if not response.ok:
+            raise LoggingError(f"record fetch rejected: {response.error}")
+        return [bytes(record) for record in response.records]
+
+    def fetch_keys(self, timeout: float = 5.0) -> Dict[str, bytes]:
+        """Fetch the server's key registry (``component_id -> key bytes``)."""
+        response = self._rpc(LoggerRequest(op=OP_KEYS), timeout=timeout)
+        if not response.ok:
+            raise LoggingError(f"key fetch rejected: {response.error}")
+        return {
+            component_id: bytes(blob)
+            for component_id, blob in zip(response.key_ids, response.key_blobs)
+        }
 
     def submit(self, entry: Union[LogEntry, bytes]) -> int:
         """Fire-and-forget submission; returns 0 (no server-side index).
@@ -339,8 +490,45 @@ class RemoteLogger:
             return self.spilled == 0
         return self._drain_spill(connection)
 
-    def close(self) -> None:
+    def discard_spill(self) -> int:
+        """Drop every parked entry (memory and disk); returns the count.
+
+        Only the replication layer calls this, right before anti-entropy
+        catch-up: the discarded entries are re-fetched from a healthy peer
+        that already holds them, so discarding loses no evidence -- it
+        prevents the reconnect drain from double-submitting them.
+        """
         with self._lock:
+            count = len(self._spill)
+            self._spill.clear()
+            if self._disk is not None:
+                count += len(self._disk)
+                while len(self._disk):
+                    self._disk.consume()
+            return count
+
+    def close(self) -> None:
+        """Drain-then-stop: re-send what a live connection will take, park
+        the rest on the disk FIFO (when configured), then release
+        resources.  A clean shutdown therefore never silently discards
+        queued evidence -- it either reaches the server or survives on
+        disk for the next incarnation of this component."""
+        with self._lock:
+            connection = self._connection
+        if connection is not None and not connection.closed:
+            try:
+                self._drain_spill(connection)
+            except Exception:
+                pass  # best effort; whatever remains is parked below
+        with self._lock:
+            if self._disk is not None:
+                while self._spill:
+                    record = self._spill.popleft()
+                    try:
+                        self._disk.append(record)
+                        self.spilled_to_disk += 1
+                    except OSError:
+                        self.dropped += 1
             if self._connection is not None:
                 self._connection.close()
                 self._connection = None

@@ -13,6 +13,7 @@ so a correct type label uniquely identifies the publisher.
 
 from __future__ import annotations
 
+import logging
 import threading
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
@@ -21,6 +22,8 @@ from repro.errors import DuplicatePublisherError, TopicTypeError
 from repro.middleware.names import validate_name, validate_type_name
 from repro.middleware.transport.base import Transport
 from repro.middleware.transport.inproc import InprocTransport
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -74,8 +77,30 @@ class Master:
             self._check_type_consistency(topic, type_name)
             self._publishers[topic] = info
             waiting = list(self._subscribers.get(topic, []))
+        dead: List[_SubscriberRecord] = []
         for record in waiting:
-            record.on_publisher(info)
+            try:
+                record.on_publisher(info)
+            except Exception as exc:
+                # A dead subscriber (torn-down node whose callback now
+                # throws) must not poison the announcement loop for the
+                # others, nor be re-announced to forever: drop its record.
+                dead.append(record)
+                logger.warning(
+                    "dropping subscriber %r on topic %r: "
+                    "publisher callback raised %r",
+                    record.node_id,
+                    topic,
+                    exc,
+                )
+        if dead:
+            with self._lock:
+                records = self._subscribers.get(topic, [])
+                # identity comparison: records are plain dataclasses whose
+                # field equality could alias two distinct registrations
+                self._subscribers[topic] = [
+                    r for r in records if not any(r is d for d in dead)
+                ]
         return info
 
     def unregister_publisher(self, node_id: str, topic: str) -> None:

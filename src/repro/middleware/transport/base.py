@@ -50,6 +50,16 @@ class Connection:
     def closed(self) -> bool:
         raise NotImplementedError
 
+    def peer_closed(self) -> bool:
+        """Best-effort check whether the peer has closed its end.
+
+        Fire-and-forget senders use this before reusing a cached
+        connection: a send into a peer-closed socket can succeed at the
+        kernel level while the bytes are discarded.  Transports that
+        cannot tell return ``False``.
+        """
+        return self.closed
+
 
 class Listener:
     """The publisher-side accept endpoint of a transport."""

@@ -8,7 +8,9 @@ ADLP's extra round trip crosses a real socket.
 
 from __future__ import annotations
 
+import errno
 import socket
+import struct
 import threading
 from typing import Optional, Tuple
 
@@ -21,6 +23,13 @@ from repro.middleware.transport.base import (
     Transport,
 )
 
+#: Seconds a blocked ``send_frame`` may wait for the peer to drain its
+#: receive buffer before the connection is declared dead.  Without this, a
+#: subscriber that stops reading (wedged process, frozen VM) would park the
+#: publisher's link worker in ``sendall`` forever -- the kernel buffer
+#: fills, ``send`` never progresses, and no timeout ever fires.
+DEFAULT_SEND_TIMEOUT = 30.0
+
 
 class TcpConnection(Connection):
     """A framed, bidirectional TCP connection.
@@ -28,10 +37,27 @@ class TcpConnection(Connection):
     Send and receive each have their own lock so a link worker can block in
     ``recv_frame`` (waiting for an ADLP ACK) while no sender interferes with
     partially written frames.
+
+    Sends are bounded by ``send_timeout`` via ``SO_SNDTIMEO`` (kernel-side,
+    so it composes with the per-call ``settimeout`` that receives use): a
+    stalled peer makes ``send_frame`` raise :class:`ConnectionClosed` (a
+    :class:`TransportError`) instead of blocking forever.
     """
 
-    def __init__(self, sock: socket.socket):
+    def __init__(
+        self,
+        sock: socket.socket,
+        send_timeout: Optional[float] = DEFAULT_SEND_TIMEOUT,
+    ):
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        if send_timeout is not None:
+            seconds = int(send_timeout)
+            sock.setsockopt(
+                socket.SOL_SOCKET,
+                socket.SO_SNDTIMEO,
+                struct.pack("ll", seconds, int((send_timeout - seconds) * 1e6)),
+            )
+        self._send_timeout = send_timeout
         self._sock = sock
         self._send_lock = threading.Lock()
         self._recv_lock = threading.Lock()
@@ -45,6 +71,13 @@ class TcpConnection(Connection):
                 framing.send_frame(self._sock, frame)
         except (OSError, BrokenPipeError) as exc:
             self.close()
+            if isinstance(exc, socket.timeout) or getattr(
+                exc, "errno", None
+            ) in (errno.EAGAIN, errno.EWOULDBLOCK):
+                raise ConnectionClosed(
+                    f"send timed out after {self._send_timeout}s "
+                    "(peer not draining)"
+                ) from exc
             raise ConnectionClosed(f"send failed: {exc}") from exc
 
     def recv_frame(self, timeout: Optional[float] = None) -> Optional[bytes]:
@@ -64,6 +97,29 @@ class TcpConnection(Connection):
             raise ConnectionClosed("peer closed the connection")
         return frame
 
+    def peer_closed(self) -> bool:
+        if self._closed.is_set():
+            return True
+        if not self._recv_lock.acquire(blocking=False):
+            return False  # a receive is in flight: the pipe is in use
+        try:
+            # Force non-blocking for the peek: with a plain MSG_DONTWAIT,
+            # Python still waits for readability up to the socket's
+            # current timeout before issuing the recv.
+            previous = self._sock.gettimeout()
+            self._sock.setblocking(False)
+            try:
+                data = self._sock.recv(1, socket.MSG_PEEK)
+            finally:
+                self._sock.settimeout(previous)
+        except (BlockingIOError, socket.timeout):
+            return False  # nothing pending: still open
+        except OSError:
+            return True
+        finally:
+            self._recv_lock.release()
+        return data == b""  # EOF peeked without consuming buffered frames
+
     def close(self) -> None:
         if not self._closed.is_set():
             self._closed.set()
@@ -81,12 +137,17 @@ class TcpConnection(Connection):
 class TcpListener(Listener):
     """Accept endpoint bound to an ephemeral localhost port."""
 
-    def __init__(self, host: str = "127.0.0.1"):
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        send_timeout: Optional[float] = DEFAULT_SEND_TIMEOUT,
+    ):
         self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._sock.bind((host, 0))
         self._sock.listen(64)
         self._address = self._sock.getsockname()
+        self._send_timeout = send_timeout
         self._closed = threading.Event()
 
     @property
@@ -103,7 +164,7 @@ class TcpListener(Listener):
             return None
         except OSError:
             return None  # listener closed concurrently
-        return TcpConnection(client)
+        return TcpConnection(client, send_timeout=self._send_timeout)
 
     def close(self) -> None:
         if not self._closed.is_set():
@@ -114,12 +175,18 @@ class TcpListener(Listener):
 class TcpTransport(Transport):
     """Factory for TCP listeners/connections on a single host."""
 
-    def __init__(self, host: str = "127.0.0.1", connect_timeout: float = 5.0):
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        connect_timeout: float = 5.0,
+        send_timeout: Optional[float] = DEFAULT_SEND_TIMEOUT,
+    ):
         self.host = host
         self.connect_timeout = connect_timeout
+        self.send_timeout = send_timeout
 
     def listen(self) -> Listener:
-        return TcpListener(self.host)
+        return TcpListener(self.host, send_timeout=self.send_timeout)
 
     def connect(self, address: Tuple) -> Connection:
         if not (isinstance(address, tuple) and len(address) == 3 and address[0] == "tcp"):
@@ -130,4 +197,4 @@ class TcpTransport(Transport):
         except OSError as exc:
             raise TransportError(f"connect to {host}:{port} failed: {exc}") from exc
         sock.settimeout(None)
-        return TcpConnection(sock)
+        return TcpConnection(sock, send_timeout=self.send_timeout)

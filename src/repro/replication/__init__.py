@@ -1,0 +1,33 @@
+"""Trusted-logger replication: fan-out, health, failover, anti-entropy.
+
+The paper keeps the logger out of the data path so its failure "does not
+interrupt a normal operation of the ROS nodes" -- but a single logger that
+dies still takes the *evidence* with it.  This package removes that single
+point of evidence loss: components fan every log entry out to a replica
+set and the audit survives any minority of replica failures.
+
+- :class:`~repro.replication.replicated.ReplicatedLogger` -- client-side
+  fan-out stub, drop-in for the ``log_server`` the protocols expect.
+- :class:`~repro.replication.breaker.CircuitBreaker` -- per-replica
+  failure isolation with jittered half-open probing.
+- :class:`~repro.replication.divergence.DivergenceDetector` -- flags
+  replicas whose commitments disagree at the same entry count.
+"""
+
+from repro.replication.breaker import BreakerState, CircuitBreaker
+from repro.replication.divergence import DivergenceDetector, DivergenceEvidence
+from repro.replication.replicated import (
+    CatchUpResult,
+    ReplicaStatus,
+    ReplicatedLogger,
+)
+
+__all__ = [
+    "BreakerState",
+    "CircuitBreaker",
+    "DivergenceDetector",
+    "DivergenceEvidence",
+    "CatchUpResult",
+    "ReplicaStatus",
+    "ReplicatedLogger",
+]

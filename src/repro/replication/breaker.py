@@ -1,0 +1,145 @@
+"""Per-replica circuit breaker.
+
+A replica that stops answering must not be hammered from the hot path:
+every submit attempt against a dead socket costs a connect timeout, and a
+replica coming back up would face a thundering herd of reconnects.  The
+classic three-state breaker solves both:
+
+- **closed** -- requests flow; consecutive failures are counted.
+- **open** -- after ``failure_threshold`` consecutive failures, requests
+  are skipped entirely until a jittered backoff interval expires.
+- **half-open** -- exactly one probe is let through; success closes the
+  breaker, failure re-opens it with a doubled (capped) interval.
+
+The jitter is multiplicative (up to ``+jitter`` fraction of the interval)
+so that many clients whose breakers opened at the same moment -- the usual
+consequence of one replica dying -- do not probe it back in lockstep.
+
+Time and randomness are injected (``time_source``, ``rng``) so tests can
+drive the state machine deterministically.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+import threading
+import time
+from typing import Callable, Optional
+
+
+class BreakerState(enum.Enum):
+    """The three classic circuit-breaker states."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Thread-safe breaker gating requests to one replica."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        reset_timeout: float = 0.5,
+        max_reset_timeout: float = 30.0,
+        jitter: float = 0.2,
+        time_source: Callable[[], float] = time.monotonic,
+        rng: Optional[random.Random] = None,
+    ):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be at least 1")
+        if reset_timeout <= 0:
+            raise ValueError("reset_timeout must be positive")
+        if max_reset_timeout < reset_timeout:
+            raise ValueError("max_reset_timeout must be at least reset_timeout")
+        if not 0 <= jitter <= 1:
+            raise ValueError("jitter must be within [0, 1]")
+        self._failure_threshold = failure_threshold
+        self._reset_timeout = reset_timeout
+        self._max_reset_timeout = max_reset_timeout
+        self._jitter = jitter
+        self._now = time_source
+        self._rng = rng or random.Random()
+        self._lock = threading.Lock()
+        self._state = BreakerState.CLOSED
+        self._consecutive_failures = 0
+        self._current_timeout = reset_timeout
+        self._open_until = 0.0
+        #: Times the breaker tripped open (observability).
+        self.opens = 0
+
+    @property
+    def state(self) -> BreakerState:
+        """Current state; an expired OPEN reads as HALF_OPEN-eligible but
+        only :meth:`allow` performs the transition."""
+        with self._lock:
+            return self._state
+
+    @property
+    def consecutive_failures(self) -> int:
+        with self._lock:
+            return self._consecutive_failures
+
+    def time_until_probe(self) -> float:
+        """Seconds until an open breaker admits its half-open probe
+        (0 when requests are currently admitted or a probe is due)."""
+        with self._lock:
+            if self._state is not BreakerState.OPEN:
+                return 0.0
+            return max(0.0, self._open_until - self._now())
+
+    def allow(self) -> bool:
+        """Whether a request may proceed right now.
+
+        In OPEN state with an expired interval, transitions to HALF_OPEN
+        and admits exactly one probe; further calls return ``False`` until
+        the probe's outcome is recorded.
+        """
+        with self._lock:
+            if self._state is BreakerState.CLOSED:
+                return True
+            if self._state is BreakerState.HALF_OPEN:
+                return False  # one probe in flight; wait for its verdict
+            if self._now() >= self._open_until:
+                self._state = BreakerState.HALF_OPEN
+                return True
+            return False
+
+    def record_success(self) -> None:
+        """A request succeeded: close the breaker and reset the backoff."""
+        with self._lock:
+            self._state = BreakerState.CLOSED
+            self._consecutive_failures = 0
+            self._current_timeout = self._reset_timeout
+
+    def record_failure(self) -> None:
+        """A request failed: count it, tripping or re-opening as due."""
+        with self._lock:
+            self._consecutive_failures += 1
+            if self._state is BreakerState.HALF_OPEN:
+                # the probe failed: back off harder
+                self._trip_locked(escalate=True)
+            elif (
+                self._state is BreakerState.CLOSED
+                and self._consecutive_failures >= self._failure_threshold
+            ):
+                self._trip_locked(escalate=False)
+
+    def force_open(self) -> None:
+        """Trip the breaker immediately (e.g. a divergent replica must be
+        quarantined regardless of its liveness)."""
+        with self._lock:
+            if self._state is not BreakerState.OPEN:
+                self._trip_locked(escalate=False)
+
+    def _trip_locked(self, escalate: bool) -> None:
+        if escalate:
+            self._current_timeout = min(
+                self._current_timeout * 2, self._max_reset_timeout
+            )
+        interval = self._current_timeout * (1.0 + self._jitter * self._rng.random())
+        self._state = BreakerState.OPEN
+        self._open_until = self._now() + interval
+        self.opens += 1

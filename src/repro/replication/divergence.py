@@ -1,0 +1,119 @@
+"""Cross-replica commitment checking.
+
+Replicating the trusted logger keeps availability, but it also changes the
+trust calculus: with one logger, tampering is caught by the hash chain;
+with N loggers, a *misbehaving replica* can present an internally
+consistent chain that simply differs from its peers'.  The detector makes
+that observable: every health probe deposits a ``(entry count -> chain
+head, Merkle root)`` snapshot per replica, and any two replicas whose
+snapshots share an entry count but disagree on the root are flagged, with
+the conflicting roots retained as evidence.
+
+This is the gossip/cross-audit pattern of the related work (clients
+comparing the commitments different servers hand out): the logger stays
+*trusted but verified* -- a lying replica cannot also match its peers'
+roots, because the root commits to every record's bytes and order.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.core.log_server import LogCommitment
+
+#: Snapshots retained per replica; old counts age out FIFO.  Divergence at
+#: any shared count within the window is caught; replicas probed at wildly
+#: different cadences may miss overlaps, which catch-up re-checks anyway.
+HISTORY_LIMIT = 256
+
+
+@dataclass(frozen=True)
+class DivergenceEvidence:
+    """Two (or more) replicas disagreeing at the same entry count.
+
+    ``roots`` and ``heads`` map replica label -> commitment at ``entries``;
+    at least two of the roots differ.  This is presentable evidence: the
+    roots are recomputable by any investigator holding the replicas'
+    records, so a lying replica cannot repudiate its own commitment.
+    """
+
+    entries: int
+    roots: Tuple[Tuple[str, bytes], ...]
+    heads: Tuple[Tuple[str, bytes], ...]
+
+    def replicas(self) -> List[str]:
+        return [label for label, _ in self.roots]
+
+
+class DivergenceDetector:
+    """Accumulates per-replica commitment snapshots and flags conflicts."""
+
+    def __init__(self, history_limit: int = HISTORY_LIMIT):
+        self._history_limit = history_limit
+        # replica label -> (entry count -> (chain head, merkle root))
+        self._history: Dict[str, "OrderedDict[int, Tuple[bytes, bytes]]"] = {}
+        self._flagged_counts: set = set()
+        self._evidence: List[DivergenceEvidence] = []
+        self._lock = threading.Lock()
+
+    def observe(self, replica: str, commitment: LogCommitment) -> List[DivergenceEvidence]:
+        """Record one replica's commitment; returns any *new* evidence.
+
+        A replica re-reporting a different root for a count it previously
+        reported is itself divergence (it rewrote history), and is flagged
+        the same way.
+        """
+        with self._lock:
+            history = self._history.setdefault(replica, OrderedDict())
+            previous = history.get(commitment.entries)
+            snapshot = (commitment.chain_head, commitment.merkle_root)
+            if previous is not None and previous != snapshot:
+                # self-divergence: same count, different story over time
+                evidence = DivergenceEvidence(
+                    entries=commitment.entries,
+                    roots=(
+                        (f"{replica}@earlier", previous[1]),
+                        (replica, commitment.merkle_root),
+                    ),
+                    heads=(
+                        (f"{replica}@earlier", previous[0]),
+                        (replica, commitment.chain_head),
+                    ),
+                )
+                self._evidence.append(evidence)
+                self._flagged_counts.add(commitment.entries)
+                return [evidence]
+            history[commitment.entries] = snapshot
+            while len(history) > self._history_limit:
+                history.popitem(last=False)
+            return self._check_count_locked(commitment.entries)
+
+    def check(self) -> List[DivergenceEvidence]:
+        """All evidence accumulated so far."""
+        with self._lock:
+            return list(self._evidence)
+
+    def _check_count_locked(self, entries: int) -> List[DivergenceEvidence]:
+        if entries in self._flagged_counts:
+            return []  # already reported; don't spam identical evidence
+        snapshots = [
+            (replica, history[entries])
+            for replica, history in sorted(self._history.items())
+            if entries in history
+        ]
+        if len(snapshots) < 2:
+            return []
+        roots = {root for _, (_, root) in snapshots}
+        if len(roots) == 1:
+            return []
+        evidence = DivergenceEvidence(
+            entries=entries,
+            roots=tuple((replica, root) for replica, (_, root) in snapshots),
+            heads=tuple((replica, head) for replica, (head, _) in snapshots),
+        )
+        self._evidence.append(evidence)
+        self._flagged_counts.add(entries)
+        return [evidence]

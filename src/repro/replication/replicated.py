@@ -1,0 +1,667 @@
+"""Client-side replication of the trusted logger.
+
+:class:`ReplicatedLogger` is a drop-in for the ``log_server`` argument of
+:class:`~repro.core.adlp_protocol.AdlpProtocol` (the ``register_key`` /
+``submit`` / ``stats`` surface) that fans every operation out to N
+:class:`~repro.core.remote.LogServerEndpoint` replicas:
+
+- **Quorum submission** -- each submit is sent to every replica whose
+  circuit breaker admits it; the call reports (via counters and
+  :meth:`quorum_status`) whether it reached a durable majority or is
+  limping on fewer replicas.  Submits stay fire-and-forget per replica,
+  so a dead replica never stalls the data plane -- the paper's
+  no-single-point-of-failure property, now without the single point.
+- **Health probes** -- the ``OP_HEALTH`` RPC returns each replica's
+  :class:`~repro.core.log_server.LogCommitment` (entry count, chain head,
+  Merkle root); probes drive the per-replica breaker and feed the
+  :class:`~repro.replication.divergence.DivergenceDetector`.
+- **Failover** -- consecutive failures trip a replica's breaker open;
+  fan-out skips it (no spill build-up for a quarantined replica) until a
+  jittered half-open probe readmits it.
+- **Anti-entropy catch-up** -- :meth:`catch_up` replays a lagging
+  replica's missing suffix from the healthiest peer, re-verifying the
+  hash chain record by record before trusting the rejoin.
+
+**Ordering caveat**: replica commitments are order-sensitive, so all
+components of one deployment must fan out through a *shared*
+``ReplicatedLogger`` instance (submits are serialized internally, giving
+every replica the identical interleaving).  Independent fan-out points
+would produce replicas that disagree on order -- indistinguishable from
+divergence.  See PROTOCOL.md §9.
+"""
+
+from __future__ import annotations
+
+import logging
+import random
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from repro.core.entries import LogEntry
+from repro.core.log_server import LogCommitment
+from repro.core.policy import ReplicationConfig
+from repro.core.remote import RemoteLogger
+from repro.crypto.hashchain import chain_digest
+from repro.crypto.keys import PublicKey
+from repro.errors import LoggingError, TransportError
+from repro.middleware.transport.base import Transport
+from repro.replication.breaker import BreakerState, CircuitBreaker
+from repro.replication.divergence import DivergenceDetector, DivergenceEvidence
+from repro.util.concurrency import StoppableThread
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass
+class ReplicaStatus:
+    """One replica's view for operators (the CLI ``replicas`` command)."""
+
+    index: int
+    address: object
+    breaker: str
+    connected: bool
+    entries: Optional[int]
+    chain_head: Optional[bytes]
+    merkle_root: Optional[bytes]
+    lag: Optional[int]
+    submitted: int
+    skipped: int
+    last_error: Optional[str]
+
+
+@dataclass(frozen=True)
+class CatchUpResult:
+    """Outcome of one replica's anti-entropy catch-up."""
+
+    replica: int
+    donor: int
+    replayed: int
+    discarded_spill: int
+    ok: bool
+    reason: str = ""
+
+
+class _ReplicaHandle:
+    """One replica: its client stub, breaker, and bookkeeping."""
+
+    def __init__(self, index: int, address, client: RemoteLogger, breaker: CircuitBreaker):
+        self.index = index
+        self.address = address
+        self.client = client
+        self.breaker = breaker
+        self.last_health: Optional[LogCommitment] = None
+        self.last_error: Optional[str] = None
+        self.submitted = 0
+        self.skipped = 0
+
+    @property
+    def label(self) -> str:
+        return f"replica-{self.index}"
+
+
+class ReplicatedLogger:
+    """Fan-out stub over a set of trusted-logger replicas.
+
+    :param addresses: replica endpoint addresses (falls back to
+        ``config.replicas`` when omitted).
+    :param config: replication policy; see
+        :class:`~repro.core.policy.ReplicationConfig`.
+    :param transport: shared transport used for every replica connection
+        (defaults to TCP, like :class:`~repro.core.remote.RemoteLogger`).
+    :param spill_dir: directory for per-replica disk spill files; ``None``
+        keeps the per-replica spill queues memory-only.
+    :param time_source: injected clock for the breakers (tests).
+    :param rng: injected randomness for breaker jitter (tests).
+    """
+
+    def __init__(
+        self,
+        addresses: Optional[Sequence] = None,
+        config: Optional[ReplicationConfig] = None,
+        transport: Optional[Transport] = None,
+        spill_dir: Optional[str] = None,
+        time_source: Callable[[], float] = time.monotonic,
+        rng: Optional[random.Random] = None,
+    ):
+        self.config = config or ReplicationConfig()
+        addresses = list(addresses if addresses is not None else self.config.replicas)
+        if not addresses:
+            raise ValueError("a replica set needs at least one address")
+        self._transport = transport
+        self._spill_dir = spill_dir
+        self._rng = rng or random.Random()
+        self._time = time_source
+        self._handles: List[_ReplicaHandle] = [
+            self._make_handle(index, address)
+            for index, address in enumerate(addresses)
+        ]
+        self.detector = DivergenceDetector()
+        # Serializes fan-out so every replica sees the same interleaving of
+        # submissions (multiple components share one instance; commitments
+        # are order-sensitive).
+        self._submit_lock = threading.Lock()
+        self._counter_lock = threading.Lock()
+        self.submits = 0
+        self.quorum_submits = 0
+        self.degraded_submits = 0
+        self.last_reached = 0
+        self._prober: Optional[StoppableThread] = None
+
+    # -- construction ----------------------------------------------------
+
+    def _make_handle(self, index: int, address) -> _ReplicaHandle:
+        spill_path = None
+        if self._spill_dir is not None:
+            spill_path = f"{self._spill_dir}/replica-{index}.spill"
+        client = RemoteLogger(
+            address, transport=self._transport, spill_path=spill_path
+        )
+        breaker = CircuitBreaker(
+            failure_threshold=self.config.breaker_failure_threshold,
+            reset_timeout=self.config.breaker_reset_timeout,
+            max_reset_timeout=self.config.breaker_max_reset_timeout,
+            jitter=self.config.breaker_jitter,
+            time_source=self._time,
+            rng=self._rng,
+        )
+        return _ReplicaHandle(index, address, client, breaker)
+
+    @property
+    def quorum(self) -> int:
+        """Replicas a submit must reach to count as durably logged."""
+        return self.config.quorum_for(len(self._handles))
+
+    @property
+    def replica_count(self) -> int:
+        return len(self._handles)
+
+    # -- AdlpProtocol-facing surface -------------------------------------
+
+    def register_key(self, component_id: str, key: Union[PublicKey, bytes]) -> None:
+        """Register on every reachable replica; raises unless at least a
+        quorum accepted (startup must not proceed under-replicated)."""
+        if isinstance(key, PublicKey):
+            key = key.to_bytes()
+        accepted = 0
+        errors: List[str] = []
+        for handle in self._handles:
+            try:
+                handle.client.register_key(component_id, key)
+                accepted += 1
+                handle.breaker.record_success()
+            except (LoggingError, TransportError) as exc:
+                handle.breaker.record_failure()
+                handle.last_error = str(exc)
+                errors.append(f"{handle.label}: {exc}")
+        if accepted < self.quorum:
+            raise LoggingError(
+                f"key registration for {component_id!r} reached only "
+                f"{accepted}/{len(self._handles)} replicas "
+                f"(quorum {self.quorum}): {'; '.join(errors)}"
+            )
+
+    def submit(self, entry: Union[LogEntry, bytes]) -> int:
+        """Fan the entry out to every admissible replica; returns 0.
+
+        Never raises and never blocks on a dead replica: per-replica
+        trouble is absorbed by that replica's client (spill) or breaker
+        (skip).  Quorum accounting is visible via :meth:`quorum_status`.
+        """
+        record = entry.encode() if isinstance(entry, LogEntry) else bytes(entry)
+        reached = 0
+        with self._submit_lock:
+            for handle in self._handles:
+                # Only CLOSED replicas get data: a submit must never be the
+                # half-open readmission probe, because a replica that came
+                # back *behind* its peers would append new entries over the
+                # gap and fork its chain.  Readmission goes through
+                # :meth:`probe` (which demands an up-to-date commitment) or
+                # :meth:`catch_up` (which restores one).
+                if handle.breaker.state is not BreakerState.CLOSED:
+                    handle.skipped += 1
+                    continue
+                handle.client.submit(record)
+                handle.submitted += 1
+                if handle.client.connected:
+                    reached += 1
+                    handle.breaker.record_success()
+                else:
+                    self._note_failure(handle, "submit could not connect")
+        with self._counter_lock:
+            self.submits += 1
+            self.last_reached = reached
+            if reached >= self.quorum:
+                self.quorum_submits += 1
+            else:
+                self.degraded_submits += 1
+        return 0
+
+    def stats(self) -> Dict[str, int]:
+        """Replication counters, shaped for ``AdlpStats.attach_source``.
+
+        Per-replica spill/drop counters are summed under ``replica_``
+        prefixes (a drop at one replica is not evidence loss while a
+        quorum holds the entry, so they must not pollute the component's
+        own ``dropped``)."""
+        with self._counter_lock:
+            out = {
+                "replicated_submits": self.submits,
+                "quorum_submits": self.quorum_submits,
+                "degraded_submits": self.degraded_submits,
+                "replica_dropped": 0,
+                "replica_spilled": 0,
+                "replica_skipped": 0,
+                "breaker_opens": 0,
+            }
+        for handle in self._handles:
+            client_stats = handle.client.stats()
+            out["replica_dropped"] += client_stats["dropped"]
+            out["replica_spilled"] += client_stats["spilled"]
+            out["replica_skipped"] += handle.skipped
+            out["breaker_opens"] += handle.breaker.opens
+        return out
+
+    # -- health / failover ------------------------------------------------
+
+    def _note_failure(self, handle: _ReplicaHandle, error: str) -> None:
+        handle.last_error = error
+        before = handle.breaker.state
+        handle.breaker.record_failure()
+        if (
+            before is not BreakerState.OPEN
+            and handle.breaker.state is BreakerState.OPEN
+        ):
+            # Quarantined: drop the entries parked for this replica.  They
+            # are durable on the quorum peers, and anti-entropy catch-up
+            # will replay them in canonical order -- letting the reconnect
+            # drain push them later would fork this replica's chain from
+            # its peers' (order divergence), which is strictly worse.
+            discarded = handle.client.discard_spill()
+            logger.warning(
+                "%s breaker opened after %r; discarded %d parked entries "
+                "(recoverable via catch_up from a quorum peer)",
+                handle.label,
+                error,
+                discarded,
+            )
+
+    def probe(self) -> List[DivergenceEvidence]:
+        """Health-probe every admissible replica once.
+
+        Drives the breakers (an open replica whose backoff expired gets
+        its half-open probe here) and feeds the divergence detector.
+        Returns any *new* divergence evidence this round surfaced.
+
+        A quarantined replica that answers its half-open probe is only
+        readmitted if its commitment has caught up with the healthy
+        replicas' entry count; an alive-but-lagging replica stays out
+        (its probe counts as a failure) until :meth:`catch_up` restores
+        a commitment-identical state -- handing it fresh submits over the
+        gap would fork its chain, which is worse than its absence.
+        """
+        fresh: List[DivergenceEvidence] = []
+        healthy = [
+            h for h in self._handles if h.breaker.state is BreakerState.CLOSED
+        ]
+        rejoining = [h for h in self._handles if h not in healthy]
+        best: Optional[int] = None
+        for handle in healthy:
+            health = self._probe_one(handle, fresh)
+            if health is not None and (best is None or health.entries > best):
+                best = health.entries
+        for handle in rejoining:
+            if not handle.breaker.allow():
+                continue
+            health = self._probe_one(handle, fresh, readmit_at=best)
+        for evidence in fresh:
+            self._quarantine_divergent(evidence)
+        return fresh
+
+    def _probe_one(
+        self,
+        handle: _ReplicaHandle,
+        fresh: List[DivergenceEvidence],
+        readmit_at: Optional[int] = None,
+    ) -> Optional[LogCommitment]:
+        try:
+            health = handle.client.health(timeout=self.config.health_timeout)
+        except (LoggingError, TransportError) as exc:
+            self._note_failure(handle, str(exc))
+            return None
+        handle.last_health = health
+        fresh.extend(self.detector.observe(handle.label, health))
+        if readmit_at is not None and health.entries < readmit_at:
+            handle.breaker.record_failure()
+            handle.last_error = (
+                f"alive but lagging {readmit_at - health.entries} entries; "
+                "catch_up required before readmission"
+            )
+            return health
+        handle.last_error = None
+        handle.breaker.record_success()
+        return health
+
+    def _quarantine_divergent(self, evidence: DivergenceEvidence) -> None:
+        """Force-open the breakers of the replicas on the *minority* side
+        of a divergence: their entries can no longer be trusted for
+        quorum, and an operator must resolve the fork before they rejoin.
+        When no side has a majority (a perfect split), every participant
+        is quarantined -- there is no way to tell who is lying."""
+        # Vote with every replica's latest commitment at this entry count,
+        # not just the pair that triggered the evidence: when the rogue is
+        # probed before the agreeing majority, the evidence alone looks
+        # like a perfect split and would quarantine an honest replica.
+        roots: Dict[str, bytes] = dict(evidence.roots)
+        for handle in self._handles:
+            health = handle.last_health
+            if health is not None and health.entries == evidence.entries:
+                roots.setdefault(handle.label, health.merkle_root)
+        by_root: Dict[bytes, List[str]] = {}
+        for label, root in roots.items():
+            by_root.setdefault(root, []).append(label)
+        majority = max(len(labels) for labels in by_root.values())
+        flagged = {
+            label
+            for labels in by_root.values()
+            if len(labels) < majority
+            for label in labels
+        }
+        if not flagged:  # perfect split: quarantine all participants
+            flagged = set(roots)
+        for handle in self._handles:
+            if handle.label in flagged:
+                handle.breaker.force_open()
+
+    def start_probing(self) -> None:
+        """Run :meth:`probe` every ``config.probe_interval`` seconds in a
+        background thread until :meth:`close`."""
+        if self._prober is not None:
+            return
+        thread_box: List[StoppableThread] = []
+
+        def loop() -> None:
+            thread = thread_box[0]
+            while not thread.stopped():
+                try:
+                    self.probe()
+                except Exception:
+                    logger.exception("replica health probe failed")
+                thread.stop_event.wait(self.config.probe_interval)
+
+        self._prober = StoppableThread("replica-prober", target=loop)
+        thread_box.append(self._prober)
+        self._prober.start()
+
+    # -- observability ----------------------------------------------------
+
+    def statuses(self) -> List[ReplicaStatus]:
+        """Per-replica status for operators; lag is relative to the most
+        advanced *probed* replica."""
+        max_entries = max(
+            (h.last_health.entries for h in self._handles if h.last_health),
+            default=None,
+        )
+        statuses = []
+        for handle in self._handles:
+            health = handle.last_health
+            statuses.append(
+                ReplicaStatus(
+                    index=handle.index,
+                    address=handle.address,
+                    breaker=handle.breaker.state.value,
+                    connected=handle.client.connected,
+                    entries=health.entries if health else None,
+                    chain_head=health.chain_head if health else None,
+                    merkle_root=health.merkle_root if health else None,
+                    lag=(
+                        max_entries - health.entries
+                        if health is not None and max_entries is not None
+                        else None
+                    ),
+                    submitted=handle.submitted,
+                    skipped=handle.skipped,
+                    last_error=handle.last_error,
+                )
+            )
+        return statuses
+
+    def quorum_status(self) -> Dict[str, object]:
+        """One dict answering "are we durable on a majority right now?"."""
+        closed = sum(
+            1 for h in self._handles if h.breaker.state is BreakerState.CLOSED
+        )
+        with self._counter_lock:
+            last_reached = self.last_reached
+            degraded = self.degraded_submits
+        return {
+            "replicas": len(self._handles),
+            "quorum": self.quorum,
+            "breakers_closed": closed,
+            "quorum_met": closed >= self.quorum,
+            "last_submit_reached": last_reached,
+            "degraded_submits": degraded,
+        }
+
+    def divergence(self) -> List[DivergenceEvidence]:
+        """All divergence evidence accumulated by the detector."""
+        return self.detector.check()
+
+    # -- failover plumbing -------------------------------------------------
+
+    def reset_replica(self, index: int, address=None) -> None:
+        """Point a replica slot at a (possibly new) endpoint address.
+
+        Failover support: a replica that died and came back on a different
+        port (or a replacement machine) is re-attached here.  The slot's
+        breaker state is preserved -- the newcomer still has to pass a
+        half-open probe and, typically, :meth:`catch_up` before it counts
+        toward the quorum again.
+        """
+        handle = self._handles[index]
+        handle.client.close()
+        if address is not None:
+            handle.address = address
+        spill_path = None
+        if self._spill_dir is not None:
+            spill_path = f"{self._spill_dir}/replica-{index}.spill"
+        handle.client = RemoteLogger(
+            handle.address, transport=self._transport, spill_path=spill_path
+        )
+        handle.last_health = None
+        handle.last_error = None
+
+    # -- anti-entropy ------------------------------------------------------
+
+    def catch_up(
+        self, replica: Optional[int] = None, attempts: int = 3
+    ) -> List[CatchUpResult]:
+        """Replay missing entries onto lagging replicas from the most
+        advanced healthy peer; returns one result per replica attempted.
+
+        The replayed records are chain-verified locally (folding the
+        laggard's head through every fetched record must reproduce the
+        donor's head) *before* the rejoin is trusted, and the laggard's
+        post-replay commitment must equal the donor's -- so a replica
+        only rejoins in a commitment-identical state.
+
+        When the donor advanced while a replay was in flight (live
+        submits), the verification misses and the replay is retried with
+        fresh commitments, up to ``attempts`` times per replica -- each
+        pass shrinks the gap, so this converges whenever the fan-out rate
+        allows it at all.  A *fork* (the donor's suffix does not extend
+        the laggard's chain) is never retried: no amount of replaying
+        reconciles divergent histories.
+        """
+        healths: Dict[int, LogCommitment] = {}
+        for handle in self._handles:
+            try:
+                healths[handle.index] = handle.client.health(
+                    timeout=self.config.health_timeout
+                )
+            except (LoggingError, TransportError) as exc:
+                handle.last_error = str(exc)
+        if not healths:
+            raise LoggingError("catch_up: no reachable replica to act on")
+        donor_index = max(healths, key=lambda i: healths[i].entries)
+        donor = self._handles[donor_index]
+        donor_entries = healths[donor_index].entries
+        if replica is not None:
+            targets = [replica]
+        else:
+            targets = [
+                i
+                for i, health in sorted(healths.items())
+                if health.entries < donor_entries
+            ]
+        results = []
+        for index in targets:
+            if index == donor_index:
+                continue
+            if index not in healths:
+                results.append(
+                    CatchUpResult(
+                        replica=index,
+                        donor=donor_index,
+                        replayed=0,
+                        discarded_spill=0,
+                        ok=False,
+                        reason="replica unreachable",
+                    )
+                )
+                continue
+            handle = self._handles[index]
+            result = None
+            for _ in range(max(1, attempts)):
+                try:
+                    # fresh commitments each pass: the donor may have
+                    # advanced while the previous replay was in flight
+                    donor_health = donor.client.health(
+                        timeout=self.config.health_timeout
+                    )
+                    lag_health = handle.client.health(
+                        timeout=self.config.health_timeout
+                    )
+                except (LoggingError, TransportError) as exc:
+                    result = CatchUpResult(
+                        replica=index,
+                        donor=donor_index,
+                        replayed=0,
+                        discarded_spill=0,
+                        ok=False,
+                        reason=str(exc),
+                    )
+                    break
+                result = self._catch_up_one(handle, lag_health, donor, donor_health)
+                if result.ok or "forked" in result.reason:
+                    break
+            results.append(result)
+        return results
+
+    def _catch_up_one(
+        self,
+        handle: _ReplicaHandle,
+        lag_health: LogCommitment,
+        donor: _ReplicaHandle,
+        donor_health: LogCommitment,
+    ) -> CatchUpResult:
+        try:
+            # Stale parked entries would replay out of canonical order;
+            # the donor's records supersede them.
+            discarded = handle.client.discard_spill()
+            # Key registry first: replayed entries audit as valid only if
+            # the replica knows every component's public key.
+            for component_id, key in sorted(donor.client.fetch_keys().items()):
+                handle.client.register_key(component_id, key)
+            # Fetch and fold the whole missing suffix BEFORE submitting any
+            # of it: a fork is only provable once the complete fold is
+            # compared against the donor's head, and by then a submitted
+            # record has already buried the forked replica's evidence.
+            expected_head = lag_health.chain_head
+            start = lag_health.entries
+            suffix: List[bytes] = []
+            while start < donor_health.entries:
+                batch = donor.client.fetch_records(
+                    start, min(self.config.fetch_batch, donor_health.entries - start)
+                )
+                if not batch:
+                    raise LoggingError(
+                        f"donor {donor.label} returned no records at {start}"
+                    )
+                for record in batch:
+                    expected_head = chain_digest(expected_head, record)
+                suffix.extend(batch)
+                start += len(batch)
+            if expected_head != donor_health.chain_head:
+                # The donor's suffix does not extend the laggard's chain:
+                # one of the two forked -- that is divergence, not lag.
+                return CatchUpResult(
+                    replica=handle.index,
+                    donor=donor.index,
+                    replayed=0,
+                    discarded_spill=discarded,
+                    ok=False,
+                    reason="chain mismatch: replica and donor have forked",
+                )
+            replayed = 0
+            for record in suffix:
+                handle.client.submit(record)
+                if not handle.client.connected:
+                    raise LoggingError(
+                        f"{handle.label} connection lost mid-replay"
+                    )
+                replayed += 1
+            # The health request rides the same ordered connection as the
+            # replayed submits, so its response proves they were ingested.
+            final = handle.client.health(timeout=self.config.health_timeout)
+        except (LoggingError, TransportError) as exc:
+            self._note_failure(handle, str(exc))
+            return CatchUpResult(
+                replica=handle.index,
+                donor=donor.index,
+                replayed=0,
+                discarded_spill=0,
+                ok=False,
+                reason=str(exc),
+            )
+        handle.last_health = final
+        commitment_identical = (
+            final.entries == donor_health.entries
+            and final.chain_head == donor_health.chain_head
+            and final.merkle_root == donor_health.merkle_root
+        )
+        if not commitment_identical:
+            self._note_failure(handle, "catch-up verification failed")
+            return CatchUpResult(
+                replica=handle.index,
+                donor=donor.index,
+                replayed=replayed,
+                discarded_spill=discarded,
+                ok=False,
+                reason="post-replay commitment does not match the donor",
+            )
+        handle.breaker.record_success()
+        handle.last_error = None
+        self.detector.observe(handle.label, final)
+        return CatchUpResult(
+            replica=handle.index,
+            donor=donor.index,
+            replayed=replayed,
+            discarded_spill=discarded,
+            ok=True,
+        )
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def flush_spill(self) -> bool:
+        """Attempt every replica's spill drain; ``True`` if all are empty."""
+        with self._submit_lock:
+            return all(handle.client.flush_spill() for handle in self._handles)
+
+    def close(self) -> None:
+        if self._prober is not None:
+            self._prober.stop()
+            self._prober = None
+        for handle in self._handles:
+            handle.client.close()

@@ -9,6 +9,9 @@
                                   [--publisher TOPIC=COMPONENT ...]
     python -m repro.tools trace   CASE_DIR TOPIC SEQ
     python -m repro.tools recover STORE_DIR
+    python -m repro.tools health  HOST:PORT [HOST:PORT ...]
+    python -m repro.tools replicas HOST:PORT [HOST:PORT ...]
+                                  [--quorum N] [--audit]
 
 ``CASE_DIR`` is a bundle produced by :func:`repro.tools.caseio.export_case`;
 ``STORE_DIR`` is a :class:`~repro.storage.durable_store.DurableLogStore`
@@ -23,10 +26,19 @@ import os
 import sys
 from typing import List, Optional
 
-from repro.audit import Auditor, ProvenanceGraph, Topology, render_report
+from repro.audit import (
+    Auditor,
+    ProvenanceGraph,
+    Topology,
+    audit_replica_set,
+    render_report,
+)
 from repro.core.entries import Direction
 from repro.core.log_server import LogServer
-from repro.errors import LogIntegrityError
+from repro.core.policy import ReplicationConfig
+from repro.core.remote import RemoteLogger
+from repro.errors import LogIntegrityError, LoggingError
+from repro.replication import DivergenceDetector, ReplicatedLogger
 from repro.storage.durable_store import DurableLogStore
 from repro.tools.caseio import load_case
 
@@ -149,6 +161,112 @@ def _cmd_recover(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_address(value: str):
+    """``HOST:PORT`` -> the transport-layer tcp address tuple."""
+    host, sep, port = value.rpartition(":")
+    if not sep or not host or not port.isdigit():
+        raise SystemExit(f"replica address must be HOST:PORT, got {value!r}")
+    return ("tcp", host, int(port))
+
+
+def _cmd_health(args: argparse.Namespace) -> int:
+    """Probe each replica's commitment once; cross-check for divergence."""
+    detector = DivergenceDetector()
+    unreachable = 0
+    for value in args.replica:
+        client = RemoteLogger(_parse_address(value))
+        try:
+            commitment = client.health(timeout=args.timeout)
+        except LoggingError as exc:
+            print(f"{value:<28} UNREACHABLE ({exc})")
+            unreachable += 1
+            continue
+        finally:
+            client.close()
+        detector.observe(value, commitment)
+        print(
+            f"{value:<28} entries={commitment.entries:<8} "
+            f"bytes={commitment.total_bytes:<10} "
+            f"head={commitment.chain_head.hex()[:16]} "
+            f"root={commitment.merkle_root.hex()[:16]}"
+        )
+    evidence = detector.check()
+    for item in evidence:
+        print(
+            f"DIVERGENCE at {item.entries} entries: "
+            + ", ".join(f"{label}={root.hex()[:16]}" for label, root in item.roots)
+        )
+    if evidence:
+        return 2
+    return 1 if unreachable else 0
+
+
+def _cmd_replicas(args: argparse.Namespace) -> int:
+    """Replica-set status: per-replica health, breaker, lag, quorum."""
+    config = ReplicationConfig(quorum=args.quorum)
+    logger_set = ReplicatedLogger(
+        [_parse_address(value) for value in args.replica], config=config
+    )
+    try:
+        logger_set.probe()
+        for status in logger_set.statuses():
+            if status.entries is None:
+                detail = f"UNREACHABLE ({status.last_error})"
+            else:
+                detail = (
+                    f"entries={status.entries:<8} lag={status.lag:<6} "
+                    f"root={status.merkle_root.hex()[:16]}"
+                )
+            print(
+                f"replica-{status.index} {args.replica[status.index]:<24} "
+                f"breaker={status.breaker:<9} {detail}"
+            )
+        # One-shot probe: judge quorum on what actually answered (a single
+        # failed health is below the breaker threshold, so breaker state
+        # alone would call a dead replica healthy here).
+        statuses = logger_set.statuses()
+        healthy = sum(
+            1
+            for s in statuses
+            if s.entries is not None and s.breaker != "open"
+        )
+        quorum_status = logger_set.quorum_status()
+        quorum_met = healthy >= quorum_status["quorum"]
+        print(
+            f"quorum: {healthy}/{quorum_status['replicas']} healthy, "
+            f"{quorum_status['quorum']} required -> "
+            + ("MET" if quorum_met else "NOT MET")
+        )
+        evidence = logger_set.divergence()
+        for item in evidence:
+            print(
+                f"DIVERGENCE at {item.entries} entries: "
+                + ", ".join(
+                    f"{label}={root.hex()[:16]}" for label, root in item.roots
+                )
+            )
+        if args.audit:
+            audit_clients = [
+                RemoteLogger(_parse_address(value)) for value in args.replica
+            ]
+            try:
+                result = audit_replica_set(audit_clients, quorum=args.quorum)
+            finally:
+                for client in audit_clients:
+                    client.close()
+            print(
+                f"audited replica-{result.audited_replica} "
+                f"({result.audited_entries} entries, "
+                f"common prefix {result.common_prefix}): "
+                f"{len(result.report.valid_entries())} valid"
+            )
+        if evidence:
+            return 2
+        return 0 if quorum_met else 1
+    finally:
+        logger_set.close()
+
+
 def _add_source_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("case", nargs="?", default=None)
     parser.add_argument(
@@ -200,6 +318,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_recover.add_argument("store_dir")
     p_recover.set_defaults(func=_cmd_recover)
+
+    p_health = sub.add_parser(
+        "health", help="probe live log-server replicas' commitments"
+    )
+    p_health.add_argument("replica", nargs="+", metavar="HOST:PORT")
+    p_health.add_argument("--timeout", type=float, default=2.0)
+    p_health.set_defaults(func=_cmd_health)
+
+    p_replicas = sub.add_parser(
+        "replicas", help="replica-set status: breakers, lag, quorum"
+    )
+    p_replicas.add_argument("replica", nargs="+", metavar="HOST:PORT")
+    p_replicas.add_argument(
+        "--quorum",
+        type=int,
+        default=None,
+        help="required agreeing replicas (default: majority)",
+    )
+    p_replicas.add_argument(
+        "--audit",
+        action="store_true",
+        help="also audit the quorum-consistent view",
+    )
+    p_replicas.set_defaults(func=_cmd_replicas)
     return parser
 
 

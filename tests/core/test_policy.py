@@ -27,3 +27,65 @@ class TestAdlpConfig:
     def test_rejects_negative_window(self):
         with pytest.raises(ValueError):
             AdlpConfig(aggregation_window=-0.1)
+
+
+class TestReplicationConfig:
+    def test_defaults(self):
+        from repro.core.policy import ReplicationConfig
+
+        config = ReplicationConfig()
+        assert config.replicas == ()
+        assert config.quorum is None
+        assert config.breaker_failure_threshold == 3
+        assert config.breaker_reset_timeout == 0.5
+        assert config.breaker_max_reset_timeout == 30.0
+        assert config.breaker_jitter == 0.2
+        assert config.health_timeout == 2.0
+        assert config.probe_interval == 1.0
+        assert config.fetch_batch == 1024
+
+    def test_frozen(self):
+        from dataclasses import FrozenInstanceError
+
+        from repro.core.policy import ReplicationConfig
+
+        config = ReplicationConfig()
+        with pytest.raises(FrozenInstanceError):
+            config.quorum = 5
+
+    def test_quorum_for_derives_majority(self):
+        from repro.core.policy import ReplicationConfig
+
+        config = ReplicationConfig()
+        assert config.quorum_for(1) == 1
+        assert config.quorum_for(2) == 2
+        assert config.quorum_for(3) == 2
+        assert config.quorum_for(4) == 3
+        assert config.quorum_for(5) == 3
+
+    def test_quorum_for_explicit_override(self):
+        from repro.core.policy import ReplicationConfig
+
+        assert ReplicationConfig(quorum=1).quorum_for(5) == 1
+        assert ReplicationConfig(quorum=5).quorum_for(5) == 5
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"quorum": 0},
+            {"breaker_failure_threshold": 0},
+            {"breaker_reset_timeout": 0},
+            {"breaker_reset_timeout": -1.0},
+            {"breaker_max_reset_timeout": 0.1},  # below reset_timeout
+            {"breaker_jitter": -0.1},
+            {"breaker_jitter": 1.5},
+            {"health_timeout": 0},
+            {"probe_interval": 0},
+            {"fetch_batch": 0},
+        ],
+    )
+    def test_rejects_invalid_values(self, kwargs):
+        from repro.core.policy import ReplicationConfig
+
+        with pytest.raises(ValueError):
+            ReplicationConfig(**kwargs)

@@ -195,7 +195,9 @@ class TestRemoteLogger:
                 LogEntry(component_id="/a", topic="/t", seq=i, scheme=Scheme.ADLP)
             )
         assert client.spilled_to_disk == 3
-        client.close()  # memory queue dies with the process
+        client.close()  # drain-then-stop: the memory queue parks on disk too
+        assert client.spilled_to_disk == 5
+        assert client.dropped == 0
 
         server = LogServer()
         ep = LogServerEndpoint(server)
@@ -203,10 +205,10 @@ class TestRemoteLogger:
             ep.address, reconnect_backoff=0.01, spill_path=path
         )
         try:
-            assert reborn.spilled == 3  # the disk backlog is still pending
+            assert reborn.spilled == 5  # the disk backlog is still pending
             wait_for(lambda: reborn.flush_spill(), timeout=5.0)
-            assert wait_for(lambda: len(server) == 3, timeout=5.0)
-            assert [e.seq for e in server.entries()] == [1, 2, 3]
+            assert wait_for(lambda: len(server) == 5, timeout=5.0)
+            assert [e.seq for e in server.entries()] == [1, 2, 3, 4, 5]
         finally:
             ep.close()
             reborn.close()
@@ -281,3 +283,206 @@ class TestAdlpOverRemoteLogger:
         finally:
             protocol.close()
             logger.close()
+
+
+class TestLoggerRpcSurface:
+    """The replication-facing RPCs: HEALTH, FETCH, KEYS."""
+
+    def test_health_mirrors_server_commitment(self, endpoint):
+        server, ep = endpoint
+        client = RemoteLogger(ep.address)
+        for i in range(5):
+            client.submit(LogEntry(component_id="/a", topic="/t", seq=i,
+                                   scheme=Scheme.ADLP, data=b"x" * i))
+        assert wait_for(lambda: len(server) == 5)
+        health = client.health()
+        assert health == server.commitment()
+        assert health.entries == 5
+        assert health.total_bytes == server.total_bytes
+        client.close()
+
+    def test_fetch_records_returns_exact_raw_bytes(self, endpoint):
+        server, ep = endpoint
+        client = RemoteLogger(ep.address)
+        records = [
+            LogEntry(component_id="/a", topic="/t", seq=i,
+                     scheme=Scheme.ADLP).encode()
+            for i in range(6)
+        ]
+        for record in records:
+            client.submit(record)
+        assert wait_for(lambda: len(server) == 6)
+        assert client.fetch_records(0, 100) == records
+        assert client.fetch_records(4, 2) == records[4:]
+        assert client.fetch_records(6, 10) == []  # past the end: empty
+        client.close()
+
+    def test_fetch_keys_roundtrip(self, endpoint, keypool):
+        server, ep = endpoint
+        client = RemoteLogger(ep.address)
+        client.register_key("/a", keypool[0].public)
+        client.register_key("/b", keypool[1].public)
+        keys = client.fetch_keys()
+        assert sorted(keys) == ["/a", "/b"]
+        assert keys["/a"] == keypool[0].public.to_bytes()
+        client.close()
+
+    def test_rpc_against_dead_server_raises_logging_error(self):
+        client = RemoteLogger(("tcp", "127.0.0.1", 1))
+        with pytest.raises(LoggingError):
+            client.health(timeout=0.5)
+        with pytest.raises(LoggingError):
+            client.fetch_records(0, 1, timeout=0.5)
+        client.close()
+
+    def test_discard_spill_counts_and_clears(self):
+        client = RemoteLogger(("tcp", "127.0.0.1", 1), reconnect_backoff=10.0)
+        for i in range(4):
+            client.submit(LogEntry(component_id="/a", topic="/t", seq=i))
+        assert client.spilled == 4
+        assert client.discard_spill() == 4
+        assert client.spilled == 0
+        client.close()
+
+
+class TestConcurrentClients:
+    def test_many_clients_with_disconnects_lose_nothing(self, endpoint):
+        """Several components log through one endpoint concurrently, each
+        suffering a forced mid-stream disconnect.  Every entry arrives,
+        per-component counts are exact, and the server's total_bytes
+        equals the sum of what the clients actually encoded."""
+        import threading
+
+        server, ep = endpoint
+        clients_n, per_client = 5, 40
+        sent_bytes = [0] * clients_n
+        failures = []
+
+        def worker(k):
+            try:
+                client = RemoteLogger(ep.address, reconnect_backoff=0.001)
+                for i in range(per_client):
+                    record = LogEntry(
+                        component_id="/c%d" % k, topic="/t", seq=i,
+                        scheme=Scheme.ADLP, data=b"p" * (k + 1),
+                    ).encode()
+                    sent_bytes[k] += len(record)
+                    client.submit(record)
+                    if i == per_client // 2:
+                        # yank the connection mid-stream: the stub must
+                        # reconnect and drain its spill transparently
+                        with client._lock:
+                            if client._connection is not None:
+                                client._connection.close()
+                assert wait_for(lambda: client.flush_spill(), timeout=10.0)
+                assert client.dropped == 0
+                client.close()
+            except Exception as exc:  # surfaces in the main thread
+                failures.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(k,)) for k in range(clients_n)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30.0)
+        assert failures == []
+        total = clients_n * per_client
+        assert wait_for(lambda: len(server) == total, timeout=10.0)
+        for k in range(clients_n):
+            component = server.entries(component_id="/c%d" % k)
+            assert len(component) == per_client
+            assert sorted(e.seq for e in component) == list(range(per_client))
+        by_component = server.bytes_by_component()
+        for k in range(clients_n):
+            assert by_component["/c%d" % k] == sent_bytes[k]
+        assert server.total_bytes == sum(sent_bytes)
+
+
+class TestIdleReaping:
+    def test_idle_connection_reaped_and_client_recovers(self):
+        server = LogServer()
+        ep = LogServerEndpoint(server, idle_timeout=0.15)
+        try:
+            client = RemoteLogger(ep.address, reconnect_backoff=0.001)
+            client.submit(LogEntry(component_id="/a", topic="/t", seq=0,
+                                   scheme=Scheme.ADLP))
+            assert wait_for(lambda: len(server) == 1)
+            # go quiet past the idle window: the endpoint reaps the socket
+            assert wait_for(lambda: ep.reaped >= 1, timeout=5.0)
+            # the component just reconnects on its next submit
+            client.submit(LogEntry(component_id="/a", topic="/t", seq=1,
+                                   scheme=Scheme.ADLP))
+            assert wait_for(lambda: len(server) == 2, timeout=5.0)
+            client.close()
+        finally:
+            ep.close()
+
+    def test_no_reaping_when_disabled(self):
+        server = LogServer()
+        ep = LogServerEndpoint(server, idle_timeout=None)
+        try:
+            client = RemoteLogger(ep.address)
+            client.submit(LogEntry(component_id="/a", topic="/t", seq=0,
+                                   scheme=Scheme.ADLP))
+            assert wait_for(lambda: len(server) == 1)
+            import time as _time
+
+            _time.sleep(0.4)
+            assert ep.reaped == 0
+            client.close()
+        finally:
+            ep.close()
+
+
+class TestCloseDrains:
+    def test_close_parks_memory_spill_on_disk(self, tmp_path):
+        """A clean shutdown with no reachable server must not discard the
+        memory spill queue: it is flushed to the disk FIFO for the next
+        incarnation of the component."""
+        path = str(tmp_path / "spill.dat")
+        client = RemoteLogger(
+            ("tcp", "127.0.0.1", 1), reconnect_backoff=10.0, spill_path=path
+        )
+        for i in range(1, 5):
+            client.submit(
+                LogEntry(component_id="/a", topic="/t", seq=i, scheme=Scheme.ADLP)
+            )
+        assert client.spilled == 4  # all in memory so far
+        client.close()
+        assert client.spilled_to_disk == 4
+        assert client.dropped == 0
+
+        server = LogServer()
+        ep = LogServerEndpoint(server)
+        reborn = RemoteLogger(ep.address, reconnect_backoff=0.001, spill_path=path)
+        try:
+            assert reborn.spilled == 4
+            assert wait_for(lambda: reborn.flush_spill(), timeout=5.0)
+            assert wait_for(lambda: len(server) == 4)
+            assert [e.seq for e in server.entries()] == [1, 2, 3, 4]
+        finally:
+            ep.close()
+            reborn.close()
+
+    def test_close_drains_pending_spill_over_live_connection(self, endpoint):
+        """With the server reachable, ``close`` re-sends queued entries
+        before releasing the socket -- a clean shutdown loses nothing."""
+        server, ep = endpoint
+        client = RemoteLogger(ep.address)
+        client.submit(
+            LogEntry(component_id="/a", topic="/t", seq=0, scheme=Scheme.ADLP)
+        )
+        assert wait_for(lambda: len(server) == 1)
+        # park two entries in the spill queue behind the live connection
+        with client._lock:
+            for i in (1, 2):
+                client._spill.append(
+                    LogEntry(
+                        component_id="/a", topic="/t", seq=i, scheme=Scheme.ADLP
+                    ).encode()
+                )
+        client.close()
+        assert wait_for(lambda: len(server) == 3, timeout=5.0)
+        assert [e.seq for e in server.entries()] == [0, 1, 2]

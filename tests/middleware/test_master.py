@@ -93,3 +93,64 @@ class TestIntrospection:
         master.register_subscriber("/a", "/t", "std/String", lambda info: None)
         master.register_subscriber("/b", "/t", "std/String", lambda info: None)
         assert sorted(master.subscriber_ids("/t")) == ["/a", "/b"]
+
+
+class TestDeadSubscriberCleanup:
+    def test_raising_callback_is_dropped_and_others_still_served(self, caplog):
+        """A subscriber whose announcement callback raises (a torn-down
+        node) is dropped from the registry -- it must not poison the loop
+        for live subscribers, nor be re-announced to forever."""
+        master = Master()
+        announced = []
+
+        def dead(info):
+            raise RuntimeError("subscriber went away")
+
+        master.register_subscriber("/dead", "/t", "sensors/Image", dead)
+        master.register_subscriber("/live", "/t", "sensors/Image", announced.append)
+        with caplog.at_level("WARNING", logger="repro.middleware.master"):
+            master.register_publisher("/cam", "/t", "sensors/Image", ADDRESS)
+        # the live subscriber was still notified, after the dead one threw
+        assert [i.node_id for i in announced] == ["/cam"]
+        # the dead record is gone; the live one remains
+        assert master.subscriber_ids("/t") == ["/live"]
+        assert any(
+            "dropping subscriber" in r.getMessage() and "/dead" in r.getMessage()
+            for r in caplog.records
+        )
+
+    def test_next_publisher_no_longer_announces_to_dead_subscriber(self):
+        master = Master()
+        calls = {"dead": 0, "live": 0}
+
+        def dead(info):
+            calls["dead"] += 1
+            raise RuntimeError("gone")
+
+        master.register_subscriber("/dead", "/t", "sensors/Image", dead)
+        master.register_subscriber(
+            "/live", "/t", "sensors/Image", lambda info: calls.__setitem__(
+                "live", calls["live"] + 1
+            )
+        )
+        master.register_publisher("/cam", "/t", "sensors/Image", ADDRESS)
+        master.unregister_publisher("/cam", "/t")
+        master.register_publisher("/cam2", "/t", "sensors/Image", ADDRESS)
+        assert calls["dead"] == 1  # dropped after the first failure
+        assert calls["live"] == 2  # served by both announcements
+
+    def test_identical_looking_registrations_drop_only_the_dead_one(self):
+        """Removal is by record identity: a second registration with the
+        same node id and type but a healthy callback must survive the
+        dead twin's removal."""
+        master = Master()
+        announced = []
+
+        def dead(info):
+            raise RuntimeError("gone")
+
+        master.register_subscriber("/sub", "/t", "sensors/Image", dead)
+        master.register_subscriber("/sub", "/t", "sensors/Image", announced.append)
+        master.register_publisher("/cam", "/t", "sensors/Image", ADDRESS)
+        assert len(announced) == 1
+        assert master.subscriber_ids("/t") == ["/sub"]  # the healthy twin

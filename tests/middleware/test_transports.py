@@ -143,3 +143,55 @@ class TestTcpSpecifics:
         got = sorted(conn.recv_frame(timeout=2.0) for conn in accepted)
         assert got == [b"c0", b"c1", b"c2", b"c3"]
         listener.close()
+
+
+class TestTcpSendTimeout:
+    def test_send_to_stalled_peer_raises_instead_of_hanging(self):
+        """A peer that stops draining its socket must not park the sender
+        forever: once the kernel buffer is full, ``send_frame`` blocks
+        until ``send_timeout`` and then raises a ``TransportError``."""
+        import socket
+
+        transport = TcpTransport(send_timeout=0.3)
+        listener = transport.listen()
+        client = transport.connect(listener.address)
+        server = listener.accept(timeout=2.0)
+        assert server is not None
+        # shrink the send buffer so the kernel absorbs as little as possible
+        client._sock.setsockopt(socket.SOL_SOCKET, socket.SO_SNDBUF, 8192)
+        payload = b"x" * (1 << 20)
+        start = time.monotonic()
+        with pytest.raises(TransportError, match="timed out"):
+            for _ in range(64):  # enough to overrun any default buffering
+                client.send_frame(payload)
+        elapsed = time.monotonic() - start
+        assert elapsed < 10.0  # it gave up, it did not hang
+        assert client.closed  # a timed-out connection is dead, not limbo
+        server.close()
+        listener.close()
+
+    def test_send_timeout_disabled_with_none(self):
+        """``send_timeout=None`` keeps the old unbounded behavior for
+        callers that prefer it."""
+        transport = TcpTransport(send_timeout=None)
+        listener = transport.listen()
+        client = transport.connect(listener.address)
+        server = listener.accept(timeout=2.0)
+        client.send_frame(b"fits-in-buffer")  # plain send still works
+        assert server.recv_frame(timeout=2.0) == b"fits-in-buffer"
+        client.close()
+        server.close()
+        listener.close()
+
+    def test_normal_traffic_unaffected_by_send_timeout(self):
+        """A draining peer never notices the timeout."""
+        transport = TcpTransport(send_timeout=0.5)
+        listener = transport.listen()
+        client = transport.connect(listener.address)
+        server = listener.accept(timeout=2.0)
+        for i in range(50):
+            client.send_frame(b"frame-%02d" % i)
+            assert server.recv_frame(timeout=2.0) == b"frame-%02d" % i
+        client.close()
+        server.close()
+        listener.close()

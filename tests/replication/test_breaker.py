@@ -1,0 +1,153 @@
+"""The per-replica circuit breaker, driven by a fake clock."""
+
+import random
+
+import pytest
+
+from repro.replication import BreakerState, CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+def make_breaker(clock, **kwargs):
+    kwargs.setdefault("failure_threshold", 3)
+    kwargs.setdefault("reset_timeout", 1.0)
+    kwargs.setdefault("jitter", 0.0)  # deterministic intervals
+    return CircuitBreaker(time_source=clock, rng=random.Random(0), **kwargs)
+
+
+class TestStateMachine:
+    def test_starts_closed_and_allows(self):
+        breaker = make_breaker(FakeClock())
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allow()
+
+    def test_trips_after_threshold_consecutive_failures(self):
+        breaker = make_breaker(FakeClock())
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        assert not breaker.allow()
+        assert breaker.opens == 1
+
+    def test_success_resets_failure_count(self):
+        breaker = make_breaker(FakeClock())
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_half_open_admits_exactly_one_probe(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        assert not breaker.allow()
+        clock.advance(1.01)
+        assert breaker.allow()  # the probe
+        assert breaker.state is BreakerState.HALF_OPEN
+        assert not breaker.allow()  # probe in flight; nobody else
+
+    def test_probe_success_closes(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(1.01)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allow()
+
+    def test_probe_failure_reopens_with_doubled_interval(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(1.01)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        # backoff doubled: 1s interval became 2s
+        assert breaker.time_until_probe() == pytest.approx(2.0)
+
+    def test_backoff_is_capped(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock, max_reset_timeout=3.0)
+        for _ in range(3):
+            breaker.record_failure()
+        for _ in range(5):  # repeated failed probes: 2.0, 3.0, 3.0, ...
+            clock.advance(100.0)
+            assert breaker.allow()
+            breaker.record_failure()
+        assert breaker.time_until_probe() == pytest.approx(3.0)
+
+    def test_success_resets_backoff_escalation(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(100.0)
+        assert breaker.allow()
+        breaker.record_failure()  # escalates to 2s
+        clock.advance(100.0)
+        assert breaker.allow()
+        breaker.record_success()
+        for _ in range(3):  # trips again: interval back at the initial 1s
+            breaker.record_failure()
+        assert breaker.time_until_probe() == pytest.approx(1.0)
+
+    def test_force_open_quarantines_immediately(self):
+        breaker = make_breaker(FakeClock())
+        breaker.force_open()
+        assert breaker.state is BreakerState.OPEN
+        assert not breaker.allow()
+        assert breaker.opens == 1
+
+
+class TestJitter:
+    def test_jitter_stretches_interval_within_bound(self):
+        clock = FakeClock()
+        rng = random.Random(7)
+        breaker = CircuitBreaker(
+            failure_threshold=1,
+            reset_timeout=1.0,
+            jitter=0.5,
+            time_source=clock,
+            rng=rng,
+        )
+        breaker.record_failure()
+        remaining = breaker.time_until_probe()
+        assert 1.0 <= remaining <= 1.5
+
+    def test_time_until_probe_zero_when_closed(self):
+        breaker = make_breaker(FakeClock())
+        assert breaker.time_until_probe() == 0.0
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(failure_threshold=0),
+            dict(reset_timeout=0.0),
+            dict(reset_timeout=2.0, max_reset_timeout=1.0),
+            dict(jitter=1.5),
+        ],
+    )
+    def test_bad_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            CircuitBreaker(**kwargs)

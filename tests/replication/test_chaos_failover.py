@@ -1,0 +1,230 @@
+"""Chaos: SIGKILL a real replica process mid-publish, then rejoin it.
+
+The issue's acceptance scenario, subprocess flavor: one of three replicas
+is a separate OS process over a durable store.  It is SIGKILLed (no
+cleanup, no flush) while an ADLP publisher/subscriber pair is live.  The
+run must lose no audit evidence: submits keep reaching a quorum, the dead
+replica's breaker opens, the restarted process (same store, new port)
+recovers its durable prefix, catch-up replays exactly the missed suffix,
+and the final replica-set audit is unanimous with zero false verdicts.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import time
+
+import pytest
+
+from repro.audit import audit_replica_set
+from repro.core import AdlpProtocol, LogServer, LogServerEndpoint, RemoteLogger
+from repro.core.policy import ReplicationConfig
+from repro.middleware import Master, Node
+from repro.middleware.msgtypes import StringMsg
+from repro.replication import ReplicatedLogger
+from repro.util.concurrency import wait_for
+
+pytestmark = pytest.mark.soak
+
+_CHILD_SCRIPT = textwrap.dedent(
+    """
+    import sys, time
+    store_dir = sys.argv[1]
+    from repro.core.log_server import LogServer
+    from repro.core.remote import LogServerEndpoint
+    from repro.storage.durable_store import DurableLogStore
+
+    server = LogServer(DurableLogStore(store_dir, fsync="always"))
+    endpoint = LogServerEndpoint(server)
+    print("PORT %d" % endpoint.address[2], flush=True)
+    while True:
+        time.sleep(0.5)
+    """
+)
+
+
+def _spawn_replica(store_dir: str) -> "tuple[subprocess.Popen, int]":
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src)
+    env.pop("ADLP_CRASHPOINT", None)
+    child = subprocess.Popen(
+        [sys.executable, "-c", _CHILD_SCRIPT, store_dir],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+    )
+    line = child.stdout.readline().decode()
+    assert line.startswith("PORT "), (line, child.stderr.read().decode())
+    return child, int(line.split()[1])
+
+
+class TestSigkillFailover:
+    def test_sigkilled_replica_rejoins_with_no_evidence_loss(
+        self, tmp_path, keypool, fast_config
+    ):
+        store_dir = str(tmp_path / "replica2")
+        child, port = _spawn_replica(store_dir)
+
+        servers = [LogServer(), LogServer()]
+        endpoints = [LogServerEndpoint(s) for s in servers]
+        addresses = [e.address for e in endpoints] + [("tcp", "127.0.0.1", port)]
+        shared = ReplicatedLogger(
+            addresses,
+            config=ReplicationConfig(
+                breaker_failure_threshold=2,
+                breaker_reset_timeout=0.05,
+                breaker_max_reset_timeout=0.2,
+            ),
+        )
+        master = Master()
+        pub_protocol = AdlpProtocol(
+            "/pub", shared, config=fast_config, keypair=keypool[0]
+        )
+        sub_protocol = AdlpProtocol(
+            "/sub", shared, config=fast_config, keypair=keypool[1]
+        )
+        pub_node = Node("/pub", master, protocol=pub_protocol)
+        sub_node = Node("/sub", master, protocol=sub_protocol)
+        restarted = None
+        try:
+            sub = sub_node.subscribe("/t", StringMsg, lambda m: None)
+            pub = pub_node.advertise("/t", StringMsg)
+            assert pub.wait_for_subscribers(1)
+
+            for i in range(5):
+                pub.publish(StringMsg(data=f"before-{i}"))
+            assert sub.wait_for_messages(5)
+            assert wait_for(lambda: len(servers[0]) >= 10, timeout=10.0)
+
+            # -- the chaos moment: no cleanup, no flush, just SIGKILL --
+            os.kill(child.pid, signal.SIGKILL)
+            child.wait(timeout=10)
+
+            for i in range(5):
+                pub.publish(StringMsg(data=f"during-{i}"))
+                time.sleep(0.02)
+            assert sub.wait_for_messages(10)
+            assert wait_for(
+                lambda: len(servers[0]) >= 20 and len(servers[1]) >= 20,
+                timeout=10.0,
+            )
+            assert wait_for(
+                lambda: shared.statuses()[2].breaker == "open", timeout=5.0
+            )
+            assert shared.quorum_status()["quorum_met"]
+            assert shared.stats()["degraded_submits"] == 0  # quorum held
+
+            # -- restart on the same store: the durable prefix survives --
+            restarted, new_port = _spawn_replica(store_dir)
+            shared.reset_replica(2, ("tcp", "127.0.0.1", new_port))
+            time.sleep(0.25)  # let the open interval expire
+            shared.probe()  # alive + lagging: must stay quarantined
+            assert shared.statuses()[2].breaker == "open"
+
+            results = shared.catch_up(replica=2)
+            assert results[0].ok, results
+            # the recovered prefix was reused: the replay covered only the
+            # suffix the dead process missed, not the whole history
+            assert results[0].replayed < len(servers[0])
+            assert shared.statuses()[2].breaker == "closed"
+
+            client = RemoteLogger(("tcp", "127.0.0.1", new_port))
+            rejoined = client.health()
+            client.close()
+            reference = servers[0].commitment()
+            assert rejoined == reference  # commitment-identical rejoin
+        finally:
+            pub_node.shutdown()
+            sub_node.shutdown()
+            shared.close()
+            for proc in (child, restarted):
+                if proc is not None and proc.poll() is None:
+                    proc.kill()
+                    proc.wait(timeout=10)
+
+        # -- the accountability bar: zero false verdicts, nothing hidden.
+        # The caught-up replica was killed with the others above; a fresh
+        # process over the same durable store serves the identical log.
+        audit_child, audit_port = _spawn_replica(store_dir)
+        clients = [RemoteLogger(e.address) for e in endpoints] + [
+            RemoteLogger(("tcp", "127.0.0.1", audit_port))
+        ]
+        try:
+            audit = audit_replica_set(clients)
+            assert audit.divergent == []
+            assert audit.unreachable == []
+            assert sorted(audit.agreeing) == [0, 1, 2]
+            assert audit.report.flagged_components() == []
+            assert audit.report.hidden == []
+            assert len(audit.report.valid_entries()) == len(servers[0])
+        finally:
+            for c in clients:
+                c.close()
+            for endpoint in endpoints:
+                endpoint.close()
+            if audit_child.poll() is None:
+                audit_child.kill()
+                audit_child.wait(timeout=10)
+
+    def test_repeated_kill_restart_cycles_converge(self, tmp_path, keypool):
+        """Three kill/restart cycles against a durable replica: every
+        rejoin lands commitment-identical with the in-process peers."""
+        from repro.core.entries import Direction, LogEntry, Scheme
+
+        def entry(seq):
+            return LogEntry(
+                component_id="/p",
+                topic="/t",
+                type_name="std/String",
+                direction=Direction.OUT,
+                seq=seq,
+                scheme=Scheme.ADLP,
+                data=b"cycle-%04d" % seq,
+            )
+
+        store_dir = str(tmp_path / "replica2")
+        child, port = _spawn_replica(store_dir)
+        servers = [LogServer(), LogServer()]
+        endpoints = [LogServerEndpoint(s) for s in servers]
+        shared = ReplicatedLogger(
+            [e.address for e in endpoints] + [("tcp", "127.0.0.1", port)],
+            config=ReplicationConfig(
+                breaker_failure_threshold=2, breaker_reset_timeout=0.05
+            ),
+        )
+        shared.register_key("/p", keypool[0].public)
+        seq = 0
+        try:
+            for cycle in range(3):
+                for _ in range(4):
+                    shared.submit(entry(seq))
+                    seq += 1
+                os.kill(child.pid, signal.SIGKILL)
+                child.wait(timeout=10)
+                for _ in range(4):
+                    shared.submit(entry(seq))
+                    seq += 1
+                    time.sleep(0.01)
+                assert wait_for(
+                    lambda: len(servers[0]) == seq and len(servers[1]) == seq,
+                    timeout=10.0,
+                )
+                child, port = _spawn_replica(store_dir)
+                shared.reset_replica(2, ("tcp", "127.0.0.1", port))
+                results = shared.catch_up(replica=2)
+                assert results[0].ok, (cycle, results)
+                client = RemoteLogger(("tcp", "127.0.0.1", port))
+                assert client.health() == servers[0].commitment(), cycle
+                client.close()
+        finally:
+            shared.close()
+            for endpoint in endpoints:
+                endpoint.close()
+            if child.poll() is None:
+                child.kill()
+                child.wait(timeout=10)

@@ -1,0 +1,66 @@
+"""Cross-replica divergence detection."""
+
+from repro.core.log_server import LogCommitment
+from repro.replication import DivergenceDetector
+
+
+def commit(entries, head, root, total_bytes=0):
+    return LogCommitment(
+        entries=entries,
+        chain_head=head,
+        merkle_root=root,
+        total_bytes=total_bytes,
+    )
+
+
+class TestDivergenceDetector:
+    def test_agreeing_replicas_produce_no_evidence(self):
+        detector = DivergenceDetector()
+        assert detector.observe("a", commit(3, b"h", b"r")) == []
+        assert detector.observe("b", commit(3, b"h", b"r")) == []
+        assert detector.check() == []
+
+    def test_different_counts_are_lag_not_divergence(self):
+        detector = DivergenceDetector()
+        detector.observe("a", commit(5, b"h5", b"r5"))
+        assert detector.observe("b", commit(3, b"h3", b"r3")) == []
+
+    def test_conflicting_roots_at_same_count_flagged(self):
+        detector = DivergenceDetector()
+        detector.observe("a", commit(4, b"ha", b"ra"))
+        evidence = detector.observe("b", commit(4, b"hb", b"rb"))
+        assert len(evidence) == 1
+        assert evidence[0].entries == 4
+        assert dict(evidence[0].roots) == {"a": b"ra", "b": b"rb"}
+        assert dict(evidence[0].heads) == {"a": b"ha", "b": b"hb"}
+        assert sorted(evidence[0].replicas()) == ["a", "b"]
+
+    def test_same_conflict_not_reported_twice(self):
+        detector = DivergenceDetector()
+        detector.observe("a", commit(4, b"ha", b"ra"))
+        assert detector.observe("b", commit(4, b"hb", b"rb"))
+        # a third replica weighing in on an already-flagged count is quiet
+        assert detector.observe("c", commit(4, b"ha", b"ra")) == []
+        assert len(detector.check()) == 1
+
+    def test_replica_rewriting_its_own_history_flagged(self):
+        detector = DivergenceDetector()
+        detector.observe("a", commit(4, b"h1", b"r1"))
+        evidence = detector.observe("a", commit(4, b"h2", b"r2"))
+        assert len(evidence) == 1
+        labels = evidence[0].replicas()
+        assert "a" in labels and "a@earlier" in labels
+
+    def test_re_reporting_identical_commitment_is_fine(self):
+        detector = DivergenceDetector()
+        detector.observe("a", commit(4, b"h", b"r"))
+        assert detector.observe("a", commit(4, b"h", b"r")) == []
+
+    def test_history_is_bounded(self):
+        detector = DivergenceDetector(history_limit=4)
+        for i in range(10):
+            detector.observe("a", commit(i, b"h%d" % i, b"r%d" % i))
+        # old counts aged out: a conflict at count 2 is no longer visible
+        assert detector.observe("b", commit(2, b"x", b"y")) == []
+        # but a conflict within the window still is
+        assert detector.observe("b", commit(9, b"x", b"y"))

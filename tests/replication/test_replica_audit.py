@@ -1,0 +1,127 @@
+"""Auditing a replica set as one logical trusted logger."""
+
+import pytest
+
+from repro.audit import audit_replica_set
+from repro.audit.replica_audit import ReplicaDivergence
+from repro.core import LogServer, LogServerEndpoint, RemoteLogger
+from repro.core.entries import Direction, LogEntry, Scheme
+from repro.errors import LogIntegrityError
+
+
+def entry(seq, component="/p", data=None):
+    return LogEntry(
+        component_id=component,
+        topic="/t",
+        type_name="std/String",
+        direction=Direction.OUT,
+        seq=seq,
+        scheme=Scheme.ADLP,
+        data=data if data is not None else b"payload-%04d" % seq,
+    )
+
+
+@pytest.fixture()
+def replica_set():
+    servers = [LogServer() for _ in range(3)]
+    endpoints = [LogServerEndpoint(s) for s in servers]
+    clients = [RemoteLogger(e.address) for e in endpoints]
+    yield servers, endpoints, clients
+    for client in clients:
+        client.close()
+    for endpoint in endpoints:
+        endpoint.close()
+
+
+def feed(servers, count=4, skip=None):
+    for i in range(count):
+        record = entry(i).encode()
+        for index, server in enumerate(servers):
+            if skip is not None and index == skip:
+                continue
+            server.submit(record)
+
+
+class TestReplicaSetAudit:
+    def test_healthy_set_agrees_and_audits_cleanly(self, replica_set):
+        servers, _, clients = replica_set
+        feed(servers)
+        result = audit_replica_set(clients)
+        assert sorted(result.agreeing) == [0, 1, 2]
+        assert result.divergent == []
+        assert result.unreachable == []
+        assert result.common_prefix == 4
+        assert result.audited_entries == 4
+
+    def test_lagging_replica_is_not_divergence(self, replica_set):
+        """Different entry counts are lag; the audit compares the common
+        prefix and audits the longest agreeing history."""
+        servers, _, clients = replica_set
+        feed(servers, count=4)
+        servers[0].submit(entry(4).encode())  # replica 0 is ahead by one
+        result = audit_replica_set(clients)
+        assert result.common_prefix == 4
+        assert result.audited_replica == 0  # longest history wins
+        assert result.audited_entries == 5
+        assert result.divergent == []
+
+    def test_divergent_minority_flagged_with_roots(self, replica_set):
+        servers, _, clients = replica_set
+        for i in range(4):
+            record = entry(i).encode()
+            servers[0].submit(record)
+            servers[1].submit(record)
+            servers[2].submit(
+                entry(99).encode() if i == 1 else record  # the substitution
+            )
+        result = audit_replica_set(clients)
+        assert sorted(result.agreeing) == [0, 1]
+        assert len(result.divergent) == 1
+        evidence = result.divergent[0]
+        assert isinstance(evidence, ReplicaDivergence)
+        assert evidence.replica == 2
+        assert evidence.prefix_root != evidence.quorum_root  # presentable
+        # the quorum view still audits; the rogue does not poison it
+        assert result.audited_replica in (0, 1)
+
+    def test_crashed_replica_reported_unreachable(self, replica_set):
+        servers, endpoints, clients = replica_set
+        feed(servers)
+        endpoints[1].close()
+        result = audit_replica_set(clients)
+        assert result.unreachable == [1]
+        assert sorted(result.agreeing) == [0, 2]
+
+    def test_no_quorum_of_answers_fails_loudly(self, replica_set):
+        servers, endpoints, clients = replica_set
+        feed(servers)
+        endpoints[0].close()
+        endpoints[1].close()
+        with pytest.raises(LogIntegrityError, match="quorum"):
+            audit_replica_set(clients)
+
+    def test_split_brain_fails_loudly(self, replica_set):
+        """When no root reaches a quorum, there is no trustworthy view to
+        audit -- refusing is the only honest answer."""
+        servers, _, clients = replica_set
+        for i in range(3):
+            servers[0].submit(entry(i).encode())
+            servers[1].submit(entry(i, data=b"alt-%d" % i).encode())
+            servers[2].submit(entry(i, data=b"other-%d" % i).encode())
+        with pytest.raises(LogIntegrityError, match="no quorum-consistent"):
+            audit_replica_set(clients)
+
+    def test_explicit_quorum_override(self, replica_set):
+        servers, endpoints, clients = replica_set
+        feed(servers)
+        endpoints[1].close()
+        endpoints[2].close()
+        # operator accepts a single replica's word (e.g. forensics on
+        # whatever survived): quorum=1 audits what is reachable
+        result = audit_replica_set(clients, quorum=1)
+        assert result.audited_replica == 0
+        assert sorted(result.unreachable) == [1, 2]
+
+    def test_empty_client_list_rejected(self):
+        with pytest.raises(ValueError):
+            audit_replica_set([])

@@ -193,3 +193,121 @@ class TestTrace:
     def test_unknown_item(self, clean_case, capsys):
         assert main(["trace", clean_case, "/t", "999"]) == 2
         assert "no valid entry" in capsys.readouterr().out
+
+
+@pytest.fixture()
+def replica_endpoints():
+    from repro.core import LogServerEndpoint
+
+    servers = [LogServer() for _ in range(3)]
+    endpoints = [LogServerEndpoint(s) for s in servers]
+    yield servers, endpoints
+    for endpoint in endpoints:
+        endpoint.close()
+
+
+def _addr(endpoint) -> str:
+    return "%s:%d" % (endpoint.address[1], endpoint.address[2])
+
+
+def _feed_replicas(servers, keypool, count=4, rogue=None):
+    from repro.core.entries import Direction, LogEntry, Scheme
+
+    for server in servers:
+        server.register_key("/p", keypool[0].public)
+    for i in range(count):
+        record = LogEntry(
+            component_id="/p", topic="/t", type_name="std/String",
+            direction=Direction.OUT, seq=i, scheme=Scheme.ADLP,
+            data=b"payload-%04d" % i,
+        ).encode()
+        for index, server in enumerate(servers):
+            if index == rogue and i == 1:
+                server.submit(
+                    LogEntry(
+                        component_id="/p", topic="/t", type_name="std/String",
+                        direction=Direction.OUT, seq=99, scheme=Scheme.ADLP,
+                        data=b"substituted",
+                    ).encode()
+                )
+            else:
+                server.submit(record)
+
+
+class TestHealthCommand:
+    def test_healthy_set_exits_zero(self, replica_endpoints, keypool, capsys):
+        servers, endpoints = replica_endpoints
+        _feed_replicas(servers, keypool)
+        assert main(["health"] + [_addr(e) for e in endpoints]) == 0
+        out = capsys.readouterr().out
+        assert out.count("entries=4") == 3
+        assert "UNREACHABLE" not in out and "DIVERGENCE" not in out
+
+    def test_unreachable_replica_exits_one(self, replica_endpoints, keypool, capsys):
+        servers, endpoints = replica_endpoints
+        _feed_replicas(servers, keypool)
+        endpoints[1].close()
+        assert (
+            main(["health", "--timeout", "0.5"] + [_addr(e) for e in endpoints])
+            == 1
+        )
+        out = capsys.readouterr().out
+        assert "UNREACHABLE" in out
+        assert out.count("entries=4") == 2
+
+    def test_divergence_exits_two_with_roots(
+        self, replica_endpoints, keypool, capsys
+    ):
+        servers, endpoints = replica_endpoints
+        _feed_replicas(servers, keypool, rogue=2)
+        assert main(["health"] + [_addr(e) for e in endpoints]) == 2
+        out = capsys.readouterr().out
+        assert "DIVERGENCE at 4 entries" in out
+
+    def test_malformed_address_rejected(self):
+        with pytest.raises(SystemExit, match="HOST:PORT"):
+            main(["health", "localhost"])
+        with pytest.raises(SystemExit, match="HOST:PORT"):
+            main(["health", "localhost:notaport"])
+
+
+class TestReplicasCommand:
+    def test_healthy_set_reports_quorum_met(
+        self, replica_endpoints, keypool, capsys
+    ):
+        servers, endpoints = replica_endpoints
+        _feed_replicas(servers, keypool)
+        assert main(["replicas"] + [_addr(e) for e in endpoints]) == 0
+        out = capsys.readouterr().out
+        assert "3/3 healthy" in out and "MET" in out
+        assert out.count("breaker=closed") == 3
+
+    def test_no_quorum_exits_one(self, replica_endpoints, keypool, capsys):
+        servers, endpoints = replica_endpoints
+        _feed_replicas(servers, keypool)
+        endpoints[0].close()
+        endpoints[1].close()
+        assert main(["replicas"] + [_addr(e) for e in endpoints]) == 1
+        out = capsys.readouterr().out
+        assert "NOT MET" in out
+        assert "UNREACHABLE" in out
+
+    def test_divergent_minority_exits_two(
+        self, replica_endpoints, keypool, capsys
+    ):
+        servers, endpoints = replica_endpoints
+        _feed_replicas(servers, keypool, rogue=2)
+        assert main(["replicas"] + [_addr(e) for e in endpoints]) == 2
+        out = capsys.readouterr().out
+        assert "DIVERGENCE" in out
+        assert "breaker=open" in out  # the rogue was quarantined
+
+    def test_audit_flag_runs_replica_set_audit(
+        self, replica_endpoints, keypool, capsys
+    ):
+        servers, endpoints = replica_endpoints
+        _feed_replicas(servers, keypool)
+        assert main(["replicas", "--audit"] + [_addr(e) for e in endpoints]) == 0
+        out = capsys.readouterr().out
+        assert "audited replica-" in out
+        assert "common prefix 4" in out
