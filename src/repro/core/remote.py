@@ -65,9 +65,12 @@ OP_KEYS = 5
 #: frames; catch-up loops until it has the whole range).
 FETCH_BATCH_LIMIT = 4096
 
-#: Seconds a served connection may sit idle before the endpoint reaps it
-#: (components reconnect transparently; a leaked/wedged client must not
-#: pin a worker thread and socket forever).
+#: Suggested ``idle_timeout`` for endpoints serving many short-lived or
+#: replicated clients (a leaked/wedged client must not pin a worker thread
+#: and socket forever).  Reaping is OFF by default: with fire-and-forget
+#: submits, a reap racing the client's pre-send liveness peek can silently
+#: discard an entry, so a standalone logger with sporadic traffic must not
+#: opt into that window unknowingly.
 DEFAULT_IDLE_TIMEOUT = 300.0
 
 
@@ -103,7 +106,7 @@ class LogServerEndpoint:
         self,
         server: LogServer,
         transport: Optional[Transport] = None,
-        idle_timeout: Optional[float] = DEFAULT_IDLE_TIMEOUT,
+        idle_timeout: Optional[float] = None,
     ):
         self.server = server
         self._transport = transport or TcpTransport()
@@ -344,6 +347,15 @@ class RemoteLogger:
             except ConnectionClosed as exc:
                 raise LoggingError(f"log server connection lost: {exc}") from exc
             if frame is None:
+                # The server may still answer after the deadline; a late
+                # response left queued on this socket would be decoded as
+                # the NEXT exchange's reply (responses carry no correlation
+                # ids).  Drop the connection so every later RPC -- and the
+                # breaker decisions fed by it -- starts on a clean stream.
+                with self._lock:
+                    if self._connection is connection:
+                        self._connection = None
+                connection.close()
                 raise LoggingError("log server did not answer in time")
             return LoggerResponse.decode(frame)
 

@@ -9,6 +9,7 @@ ADLP's extra round trip crosses a real socket.
 from __future__ import annotations
 
 import errno
+import select
 import socket
 import struct
 import threading
@@ -103,22 +104,28 @@ class TcpConnection(Connection):
         if not self._recv_lock.acquire(blocking=False):
             return False  # a receive is in flight: the pipe is in use
         try:
-            # Force non-blocking for the peek: with a plain MSG_DONTWAIT,
-            # Python still waits for readability up to the socket's
-            # current timeout before issuing the recv.
-            previous = self._sock.gettimeout()
-            self._sock.setblocking(False)
+            # Probe readability with select instead of toggling the socket
+            # non-blocking: blocking mode is per-socket, and a concurrent
+            # send_frame (guarded only by _send_lock) caught inside the
+            # toggle window would hit a spurious EAGAIN mid-sendall and be
+            # misclassified as a stalled peer.
             try:
+                readable, _, _ = select.select([self._sock], [], [], 0)
+            except (OSError, ValueError):
+                return True  # fd closed under us
+            if not readable:
+                return False  # nothing pending: still open
+            try:
+                # Readability is already established, so the peek returns
+                # immediately regardless of the socket's timeout setting.
                 data = self._sock.recv(1, socket.MSG_PEEK)
-            finally:
-                self._sock.settimeout(previous)
-        except (BlockingIOError, socket.timeout):
-            return False  # nothing pending: still open
-        except OSError:
-            return True
+            except (BlockingIOError, InterruptedError, socket.timeout):
+                return False
+            except OSError:
+                return True
+            return data == b""  # EOF peeked, buffered frames not consumed
         finally:
             self._recv_lock.release()
-        return data == b""  # EOF peeked without consuming buffered frames
 
     def close(self) -> None:
         if not self._closed.is_set():

@@ -311,6 +311,20 @@ class ReplicatedLogger:
             health = self._probe_one(handle, fresh)
             if health is not None and (best is None or health.entries > best):
                 best = health.entries
+        if best is None:
+            # No CLOSED replica answered this round (e.g. a full outage
+            # tripped every breaker).  Fall back to the best commitment
+            # ever observed: probing rejoiners with no reference at all
+            # would skip the lag check and readmit a lagging replica,
+            # which forks its chain the moment submits resume.
+            best = max(
+                (
+                    h.last_health.entries
+                    for h in self._handles
+                    if h.last_health is not None
+                ),
+                default=None,
+            )
         for handle in rejoining:
             if not handle.breaker.allow():
                 continue
@@ -486,13 +500,16 @@ class ReplicatedLogger:
         post-replay commitment must equal the donor's -- so a replica
         only rejoins in a commitment-identical state.
 
-        When the donor advanced while a replay was in flight (live
-        submits), the verification misses and the replay is retried with
-        fresh commitments, up to ``attempts`` times per replica -- each
-        pass shrinks the gap, so this converges whenever the fan-out rate
-        allows it at all.  A *fork* (the donor's suffix does not extend
-        the laggard's chain) is never retried: no amount of replaying
-        reconciles divergent histories.
+        The bulk of the gap is replayed off the submit lock (live
+        fan-out keeps flowing); the *final* verification then freezes
+        fan-out, closes whatever residual gap live submits opened
+        mid-replay, and compares the laggard against the donor's frozen
+        commitment -- readmission happens inside that window, so no
+        submit can land between a verification and the rejoin.  Failed
+        passes (transient connection trouble) are retried up to
+        ``attempts`` times per replica.  A *fork* (the donor's suffix
+        does not extend the laggard's chain) is never retried: no amount
+        of replaying reconciles divergent histories.
         """
         healths: Dict[int, LogCommitment] = {}
         for handle in self._handles:
@@ -559,6 +576,49 @@ class ReplicatedLogger:
             results.append(result)
         return results
 
+    def _replay_gap(
+        self,
+        handle: _ReplicaHandle,
+        lag_health: LogCommitment,
+        donor: _ReplicaHandle,
+        donor_health: LogCommitment,
+    ) -> Optional[int]:
+        """Fetch, chain-verify, and replay the records the laggard lacks
+        relative to ``donor_health``; returns the count replayed, or
+        ``None`` on a fork.  Raises on fetch/connection trouble.
+
+        The whole suffix is fetched and folded BEFORE submitting any of
+        it: a fork is only provable once the complete fold is compared
+        against the donor's head, and by then a submitted record would
+        have buried the forked replica's evidence.
+        """
+        expected_head = lag_health.chain_head
+        start = lag_health.entries
+        suffix: List[bytes] = []
+        while start < donor_health.entries:
+            batch = donor.client.fetch_records(
+                start, min(self.config.fetch_batch, donor_health.entries - start)
+            )
+            if not batch:
+                raise LoggingError(
+                    f"donor {donor.label} returned no records at {start}"
+                )
+            for record in batch:
+                expected_head = chain_digest(expected_head, record)
+            suffix.extend(batch)
+            start += len(batch)
+        if expected_head != donor_health.chain_head:
+            # The donor's suffix does not extend the laggard's chain:
+            # one of the two forked -- that is divergence, not lag.
+            return None
+        replayed = 0
+        for record in suffix:
+            handle.client.submit(record)
+            if not handle.client.connected:
+                raise LoggingError(f"{handle.label} connection lost mid-replay")
+            replayed += 1
+        return replayed
+
     def _catch_up_one(
         self,
         handle: _ReplicaHandle,
@@ -566,6 +626,16 @@ class ReplicatedLogger:
         donor: _ReplicaHandle,
         donor_health: LogCommitment,
     ) -> CatchUpResult:
+        def failure(reason: str, replayed: int = 0, discarded: int = 0):
+            return CatchUpResult(
+                replica=handle.index,
+                donor=donor.index,
+                replayed=replayed,
+                discarded_spill=discarded,
+                ok=False,
+                reason=reason,
+            )
+
         try:
             # Stale parked entries would replay out of canonical order;
             # the donor's records supersede them.
@@ -574,75 +644,59 @@ class ReplicatedLogger:
             # the replica knows every component's public key.
             for component_id, key in sorted(donor.client.fetch_keys().items()):
                 handle.client.register_key(component_id, key)
-            # Fetch and fold the whole missing suffix BEFORE submitting any
-            # of it: a fork is only provable once the complete fold is
-            # compared against the donor's head, and by then a submitted
-            # record has already buried the forked replica's evidence.
-            expected_head = lag_health.chain_head
-            start = lag_health.entries
-            suffix: List[bytes] = []
-            while start < donor_health.entries:
-                batch = donor.client.fetch_records(
-                    start, min(self.config.fetch_batch, donor_health.entries - start)
+            # Bulk replay against the snapshots, off the submit lock:
+            # live fan-out keeps flowing and may advance the donor past
+            # ``donor_health`` while this runs.
+            replayed = self._replay_gap(handle, lag_health, donor, donor_health)
+            if replayed is None:
+                return failure(
+                    "chain mismatch: replica and donor have forked",
+                    discarded=discarded,
                 )
-                if not batch:
-                    raise LoggingError(
-                        f"donor {donor.label} returned no records at {start}"
-                    )
-                for record in batch:
-                    expected_head = chain_digest(expected_head, record)
-                suffix.extend(batch)
-                start += len(batch)
-            if expected_head != donor_health.chain_head:
-                # The donor's suffix does not extend the laggard's chain:
-                # one of the two forked -- that is divergence, not lag.
-                return CatchUpResult(
-                    replica=handle.index,
-                    donor=donor.index,
-                    replayed=0,
-                    discarded_spill=discarded,
-                    ok=False,
-                    reason="chain mismatch: replica and donor have forked",
+            # Readmission window: freeze fan-out, close whatever residual
+            # gap live submits opened during the bulk replay, and verify
+            # against the donor's commitment taken INSIDE the freeze.
+            # Verifying against the pre-replay snapshot instead would pass
+            # while the donor is already ahead, and readmitting the still-
+            # lagging replica would fork its chain on the next submit.
+            with self._submit_lock:
+                donor_now = donor.client.health(timeout=self.config.health_timeout)
+                lag_now = handle.client.health(timeout=self.config.health_timeout)
+                if lag_now.entries < donor_now.entries:
+                    residual = self._replay_gap(handle, lag_now, donor, donor_now)
+                    if residual is None:
+                        return failure(
+                            "chain mismatch: replica and donor have forked",
+                            replayed=replayed,
+                            discarded=discarded,
+                        )
+                    replayed += residual
+                # The health request rides the same ordered connection as
+                # the replayed submits, so its response proves they were
+                # ingested.
+                final = handle.client.health(timeout=self.config.health_timeout)
+                handle.last_health = final
+                commitment_identical = (
+                    final.entries == donor_now.entries
+                    and final.chain_head == donor_now.chain_head
+                    and final.merkle_root == donor_now.merkle_root
                 )
-            replayed = 0
-            for record in suffix:
-                handle.client.submit(record)
-                if not handle.client.connected:
-                    raise LoggingError(
-                        f"{handle.label} connection lost mid-replay"
-                    )
-                replayed += 1
-            # The health request rides the same ordered connection as the
-            # replayed submits, so its response proves they were ingested.
-            final = handle.client.health(timeout=self.config.health_timeout)
+                if commitment_identical:
+                    # Readmit while fan-out is still frozen: the first
+                    # submit after the lock releases reaches a replica
+                    # that is provably level with the donor.
+                    handle.breaker.record_success()
+                    handle.last_error = None
         except (LoggingError, TransportError) as exc:
             self._note_failure(handle, str(exc))
-            return CatchUpResult(
-                replica=handle.index,
-                donor=donor.index,
-                replayed=0,
-                discarded_spill=0,
-                ok=False,
-                reason=str(exc),
-            )
-        handle.last_health = final
-        commitment_identical = (
-            final.entries == donor_health.entries
-            and final.chain_head == donor_health.chain_head
-            and final.merkle_root == donor_health.merkle_root
-        )
+            return failure(str(exc))
         if not commitment_identical:
             self._note_failure(handle, "catch-up verification failed")
-            return CatchUpResult(
-                replica=handle.index,
-                donor=donor.index,
+            return failure(
+                "post-replay commitment does not match the donor",
                 replayed=replayed,
-                discarded_spill=discarded,
-                ok=False,
-                reason="post-replay commitment does not match the donor",
+                discarded=discarded,
             )
-        handle.breaker.record_success()
-        handle.last_error = None
         self.detector.observe(handle.label, final)
         return CatchUpResult(
             replica=handle.index,

@@ -419,10 +419,14 @@ class TestIdleReaping:
         finally:
             ep.close()
 
-    def test_no_reaping_when_disabled(self):
+    def test_no_reaping_by_default(self):
+        """Reaping is opt-in: a standalone logger with sporadic traffic
+        must never race a reap against a client's fire-and-forget send
+        (the reap window would silently discard the entry)."""
         server = LogServer()
-        ep = LogServerEndpoint(server, idle_timeout=None)
+        ep = LogServerEndpoint(server)
         try:
+            assert ep._idle_timeout is None
             client = RemoteLogger(ep.address)
             client.submit(LogEntry(component_id="/a", topic="/t", seq=0,
                                    scheme=Scheme.ADLP))
@@ -434,6 +438,62 @@ class TestIdleReaping:
             client.close()
         finally:
             ep.close()
+
+
+class TestRpcTimeout:
+    def test_late_response_is_not_decoded_as_next_reply(self):
+        """An RPC that times out must abandon its connection: responses
+        carry no correlation ids, so a late reply left queued on the
+        socket would otherwise be decoded as the NEXT rpc's answer."""
+        import threading
+        import time as _time
+
+        from repro.core.remote import LoggerResponse
+        from repro.middleware.transport.tcp import TcpTransport
+
+        transport = TcpTransport()
+        listener = transport.listen()
+
+        def serve():
+            # First connection: stall past the client's deadline, then
+            # deliver a poisoned late reply.
+            conn = listener.accept(timeout=5.0)
+            assert conn.recv_frame(timeout=5.0) is not None
+            _time.sleep(0.4)
+            try:
+                conn.send_frame(
+                    LoggerResponse(
+                        ok=True, entries=999, chain_head=b"stale",
+                        merkle_root=b"stale", total_bytes=0,
+                    ).encode()
+                )
+            except Exception:
+                pass  # the client may already have hung up on us
+            # Second connection: answer promptly and correctly.
+            conn2 = listener.accept(timeout=5.0)
+            if conn2 is not None:
+                assert conn2.recv_frame(timeout=5.0) is not None
+                conn2.send_frame(
+                    LoggerResponse(
+                        ok=True, entries=7, chain_head=b"fresh",
+                        merkle_root=b"fresh", total_bytes=42,
+                    ).encode()
+                )
+
+        thread = threading.Thread(target=serve)
+        thread.start()
+        client = RemoteLogger(listener.address, reconnect_backoff=0.001)
+        try:
+            with pytest.raises(LoggingError, match="did not answer"):
+                client.health(timeout=0.1)
+            _time.sleep(0.5)  # let the late reply land on the old socket
+            health = client.health(timeout=5.0)
+            assert health.entries == 7
+            assert health.chain_head == b"fresh"
+        finally:
+            thread.join(timeout=5.0)
+            client.close()
+            listener.close()
 
 
 class TestCloseDrains:

@@ -145,6 +145,78 @@ class TestTcpSpecifics:
         listener.close()
 
 
+class TestTcpPeerClosedPeek:
+    def test_peek_does_not_disturb_concurrent_sends(self):
+        """The pre-send liveness peek must not mutate socket state: a
+        concurrent ``send_frame`` caught inside a blocking-mode toggle
+        would hit EAGAIN mid-frame and be misclassified as a stalled
+        peer, closing a healthy connection."""
+        transport = TcpTransport(send_timeout=5.0)
+        listener = transport.listen()
+        client = transport.connect(listener.address)
+        server = listener.accept(timeout=2.0)
+        assert server is not None
+        stop = threading.Event()
+        peeked_closed = []
+
+        def peeker():
+            while not stop.is_set():
+                if client.peer_closed():
+                    peeked_closed.append(True)
+
+        payload = b"x" * 65536
+        frames = 100
+        received = []
+
+        def drain():
+            while len(received) < frames:
+                frame = server.recv_frame(timeout=5.0)
+                if frame is not None:
+                    received.append(frame)
+
+        peek_thread = threading.Thread(target=peeker)
+        drain_thread = threading.Thread(target=drain)
+        peek_thread.start()
+        drain_thread.start()
+        try:
+            for _ in range(frames):
+                client.send_frame(payload)  # must never raise
+        finally:
+            stop.set()
+            peek_thread.join(timeout=5.0)
+        drain_thread.join(timeout=10.0)
+        assert len(received) == frames
+        assert all(frame == payload for frame in received)
+        assert not client.closed  # no spurious stalled-peer verdict
+        assert peeked_closed == []  # the peer never actually closed
+        client.close()
+        server.close()
+        listener.close()
+
+    def test_peek_preserves_socket_timeout(self):
+        """``peer_closed`` must leave the socket's timeout/blocking mode
+        exactly as it found it, whatever that was."""
+        transport = TcpTransport()
+        listener = transport.listen()
+        client = transport.connect(listener.address)
+        server = listener.accept(timeout=2.0)
+        for mode in (None, 0.5):
+            client._sock.settimeout(mode)
+            assert client.peer_closed() is False
+            assert client._sock.gettimeout() == mode
+        server.send_frame(b"buffered")  # pending data must not read as EOF
+        import time as _time
+
+        _time.sleep(0.05)  # let the frame cross loopback
+        assert client.peer_closed() is False
+        assert client.recv_frame(timeout=2.0) == b"buffered"
+        server.close()
+        _time.sleep(0.05)
+        assert client.peer_closed() is True
+        client.close()
+        listener.close()
+
+
 class TestTcpSendTimeout:
     def test_send_to_stalled_peer_raises_instead_of_hanging(self):
         """A peer that stops draining its socket must not park the sender

@@ -134,6 +134,58 @@ class TestCatchUp:
         results = rlogger.catch_up(replica=1)
         assert not results[0].ok
 
+    def test_catch_up_verifies_against_live_donor_not_stale_snapshot(
+        self, replica_set, rlogger
+    ):
+        """Live fan-out advancing the donor mid-replay must not slip past
+        verification: comparing the laggard to a pre-replay snapshot would
+        pass while the donor is already ahead, readmitting a still-lagging
+        replica that forks on the next submit.  The freeze-and-verify step
+        has to close the residual gap and rejoin commitment-identical with
+        the donor's CURRENT state."""
+        import time
+
+        servers, endpoints = replica_set
+        endpoints[2].close()
+        for i in range(6):
+            rlogger.submit(entry(i))
+            time.sleep(0.01)
+        assert rlogger.statuses()[2].breaker == "open"
+        assert wait_for(lambda: len(servers[0]) == 6 and len(servers[1]) == 6)
+        servers[2] = LogServer()
+        endpoints[2] = LogServerEndpoint(servers[2])
+        rlogger.reset_replica(2, endpoints[2].address)
+
+        # Make the donor advance deterministically mid-replay: the first
+        # record fetch triggers a live submit (replica 2 is quarantined,
+        # so it lands only on the healthy peers).
+        donor_client = rlogger._handles[0].client
+        real_fetch = donor_client.fetch_records
+        injected = []
+
+        def fetch_and_advance(start, count, **kwargs):
+            batch = real_fetch(start, count, **kwargs)
+            if not injected:
+                injected.append(True)
+                rlogger.submit(entry(100))
+                assert wait_for(
+                    lambda: len(servers[0]) == 7 and len(servers[1]) == 7
+                )
+            return batch
+
+        donor_client.fetch_records = fetch_and_advance
+        results = rlogger.catch_up(replica=2)
+        assert results[0].ok, results
+        assert results[0].replayed == 7  # 6 from the snapshot + 1 residual
+        assert len(servers[2]) == 7
+        assert servers[0].commitment() == servers[2].commitment()
+        assert rlogger.statuses()[2].breaker == "closed"
+
+        # the rejoined replica tracks new submissions without forking
+        rlogger.submit(entry(101))
+        assert wait_for(lambda: all(len(s) == 8 for s in servers))
+        assert servers[0].commitment() == servers[2].commitment()
+
     def test_catch_up_discards_stale_spill(self, replica_set, rlogger):
         """Entries parked in a dead replica's client-side spill queue are
         superseded by the donor replay; keeping them would double-submit

@@ -146,6 +146,33 @@ class TestBreakerLifecycle:
         assert rlogger.statuses()[1].breaker == "closed"
         assert servers[0].commitment() == servers[1].commitment()
 
+    def test_total_outage_keeps_readmission_lag_check(self, replica_set, rlogger):
+        """With EVERY breaker open (full outage) there is no live replica
+        to reference; readmission must fall back to the best commitment
+        ever observed rather than skip the lag check -- an empty rejoiner
+        waved through here would fork the moment submits resume."""
+        servers, endpoints = replica_set
+        for i in range(6):
+            rlogger.submit(entry(i))
+        assert wait_for(lambda: all(len(s) == 6 for s in servers))
+        rlogger.probe()  # record every replica's commitment at 6 entries
+        for endpoint in endpoints:
+            endpoint.close()  # total outage
+        for i in range(6, 10):
+            rlogger.submit(entry(i))
+            time.sleep(0.01)
+        assert all(s.breaker == "open" for s in rlogger.statuses())
+
+        # replica 1 restarts EMPTY while both its peers are still down
+        servers[1] = LogServer()
+        endpoints[1] = LogServerEndpoint(servers[1])
+        rlogger.reset_replica(1, endpoints[1].address)
+        time.sleep(0.3)  # let the open intervals expire
+        rlogger.probe()
+        status = rlogger.statuses()[1]
+        assert status.breaker == "open"  # alive is still not enough
+        assert "catch_up" in status.last_error
+
     def test_readmitted_replica_receives_new_submits(self, replica_set, rlogger):
         servers, endpoints = replica_set
         endpoints[2].close()
