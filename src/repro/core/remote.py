@@ -60,10 +60,16 @@ OP_SUBMIT = 2
 OP_HEALTH = 3
 OP_FETCH = 4
 OP_KEYS = 5
+OP_SUBMIT_BATCH = 6
 
 #: Upper bound on records returned by one ``OP_FETCH`` (bounds response
 #: frames; catch-up loops until it has the whole range).
 FETCH_BATCH_LIMIT = 4096
+
+#: Payload bytes per ``OP_SUBMIT_BATCH`` frame before a batch is split
+#: across frames (stays far below the transport's 64 MiB frame cap even
+#: for image-sized entries).
+BATCH_FRAME_BYTES = 8 * 1024 * 1024
 
 #: Suggested ``idle_timeout`` for endpoints serving many short-lived or
 #: replicated clients (a leaked/wedged client must not pin a worker thread
@@ -83,6 +89,7 @@ class LoggerRequest(WireMessage):
     entry_bytes = bytes_(4)  # OP_SUBMIT
     start = uint64(5)  # OP_FETCH: first record index
     count = uint64(6)  # OP_FETCH: max records to return
+    entry_batch = repeated(bytes_(7))  # OP_SUBMIT_BATCH: N entries, 1 frame
 
 
 class LoggerResponse(WireMessage):
@@ -183,11 +190,42 @@ class LogServerEndpoint:
                     with self._lock:
                         self.rejected += 1
                 continue
+            if request.op == OP_SUBMIT_BATCH:
+                self._ingest_batch(
+                    [bytes(record) for record in request.entry_batch]
+                )
+                continue
             response = self._answer(request)
             try:
                 connection.send_frame(response.encode())
             except ConnectionClosed:
                 return
+
+    def _ingest_batch(self, batch: List[bytes]) -> None:
+        """Group-commit a batched submission; fire-and-forget like SUBMIT.
+
+        The server's batch ingest is all-or-nothing, so when it refuses the
+        batch (an undecodable entry) the records are re-submitted one at a
+        time -- only the poison entry is rejected, its batchmates are
+        ingested exactly once.
+        """
+        if not batch:
+            return
+        with self._lock:
+            self.submissions += len(batch)
+        submit_batch = getattr(self.server, "submit_batch", None)
+        if submit_batch is not None:
+            try:
+                submit_batch(batch)
+                return
+            except LoggingError:
+                pass  # isolate the poison entry below
+        for record in batch:
+            try:
+                self.server.submit(record)
+            except LoggingError:
+                with self._lock:
+                    self.rejected += 1
 
     def _answer(self, request: LoggerRequest) -> LoggerResponse:
         """Build the response for a synchronous (non-SUBMIT) request."""
@@ -255,8 +293,12 @@ class RemoteLogger:
         reconnect_backoff: float = 0.05,
         max_reconnect_backoff: float = 2.0,
         spill_path: Optional[str] = None,
+        submit_batch_max: int = 64,
     ):
+        if submit_batch_max < 1:
+            raise ValueError("submit_batch_max must be at least 1")
         self._transport = transport or TcpTransport()
+        self._submit_batch_max = submit_batch_max
         self._address = address
         self._connection: Optional[Connection] = None
         self._lock = threading.Lock()
@@ -429,6 +471,53 @@ class RemoteLogger:
             self._spill_entry(record)
         return 0
 
+    def submit_batch(self, entries: List[Union[LogEntry, bytes]]) -> List[int]:
+        """Fire-and-forget batched submission: one ``OP_SUBMIT_BATCH``
+        frame (one send, one server round trip's worth of framing) carries
+        every entry.  Never raises; on connection trouble the whole batch
+        is spilled in order and re-sent later, exactly like per-entry
+        submits."""
+        records = [
+            entry.encode() if isinstance(entry, LogEntry) else bytes(entry)
+            for entry in entries
+        ]
+        if not records:
+            return []
+        connection = self._connect()
+        if connection is None or not self._drain_spill(connection):
+            for record in records:
+                self._spill_entry(record)
+            return [0] * len(records)
+        try:
+            self._send_records(connection, records)
+        except ConnectionClosed:
+            for record in records:
+                self._spill_entry(record)
+        return [0] * len(records)
+
+    def _send_records(self, connection: Connection, records: List[bytes]) -> None:
+        """Send records in as few frames as possible (``OP_SUBMIT`` for a
+        lone record, ``OP_SUBMIT_BATCH`` otherwise), splitting batches
+        whose payload bytes would approach the transport's frame cap."""
+        frame: List[bytes] = []
+        size = 0
+        for record in records:
+            if frame and size + len(record) > BATCH_FRAME_BYTES:
+                self._send_frame_of(connection, frame)
+                frame, size = [], 0
+            frame.append(record)
+            size += len(record)
+        if frame:
+            self._send_frame_of(connection, frame)
+
+    @staticmethod
+    def _send_frame_of(connection: Connection, records: List[bytes]) -> None:
+        if len(records) == 1:
+            request = LoggerRequest(op=OP_SUBMIT, entry_bytes=records[0])
+        else:
+            request = LoggerRequest(op=OP_SUBMIT_BATCH, entry_batch=records)
+        connection.send_frame(request.encode())
+
     def _spill_entry(self, record: bytes) -> None:
         with self._lock:
             self._spill.append(record)
@@ -459,41 +548,43 @@ class RemoteLogger:
 
         The disk file holds entries *older* than anything in memory (it
         receives the memory queue's overflow), so it drains first to keep
-        global FIFO order.
+        global FIFO order.  Both queues drain in ``submit_batch_max``-sized
+        ``OP_SUBMIT_BATCH`` frames, so recovering from a long outage costs
+        one frame per batch instead of one per parked entry.
         """
         while self._disk is not None:
-            record = self._disk.peek()
-            if record is None:
+            batch = self._disk.peek_many(self._submit_batch_max)
+            if not batch:
                 break
             try:
-                connection.send_frame(
-                    LoggerRequest(op=OP_SUBMIT, entry_bytes=record).encode()
-                )
+                self._send_records(connection, batch)
             except ConnectionClosed:
                 return False
             # At-least-once window: a crash between send and consume re-sends
-            # this one record on restart.  The server-side duplicate is
+            # this batch on restart.  The server-side duplicates are
             # visible to the auditor, never silent loss.
-            self._disk.consume()
+            self._disk.consume_many(len(batch))
             with self._lock:
-                self.retries += 1
+                self.retries += len(batch)
         while True:
             with self._lock:
                 if not self._spill:
                     return True
-                record = self._spill[0]
+                batch = [
+                    self._spill[i]
+                    for i in range(min(len(self._spill), self._submit_batch_max))
+                ]
             try:
-                connection.send_frame(
-                    LoggerRequest(op=OP_SUBMIT, entry_bytes=record).encode()
-                )
+                self._send_records(connection, batch)
             except ConnectionClosed:
                 return False
             with self._lock:
                 # pop what we just sent (submit is single-callered per node,
                 # but stay safe against concurrent drains)
-                if self._spill and self._spill[0] is record:
-                    self._spill.popleft()
-                self.retries += 1
+                for record in batch:
+                    if self._spill and self._spill[0] is record:
+                        self._spill.popleft()
+                self.retries += len(batch)
 
     def flush_spill(self) -> bool:
         """Attempt to re-send all spilled entries now; ``True`` if empty."""

@@ -37,6 +37,7 @@ CRASH_EXIT_STATUS = 137
 KNOWN_CRASHPOINTS: FrozenSet[str] = frozenset(
     {
         "wal.mid_record",  # half of a record's bytes written
+        "wal.batch_mid",  # between two records of one group-commit batch
         "wal.pre_fsync",  # record fully written+flushed, not fsynced
         "wal.pre_rotate",  # old segment sealed, new segment not yet created
         "checkpoint.partial",  # temp checkpoint file half-written

@@ -126,12 +126,34 @@ class DiskSpillFile:
                 (length,) = _LEN.unpack(f.read(_LEN.size))
                 return f.read(length)
 
+    def peek_many(self, count: int) -> List[bytes]:
+        """The oldest ``count`` pending records (fewer if the FIFO is
+        shorter), without consuming them -- the read side of a batched
+        spill drain."""
+        with self._lock:
+            if not self._pending or count < 1:
+                return []
+            self._file.flush()
+            out: List[bytes] = []
+            with open(self.path, "rb") as f:
+                for offset in self._pending[:count]:
+                    f.seek(offset)
+                    (length,) = _LEN.unpack(f.read(_LEN.size))
+                    out.append(f.read(length))
+            return out
+
     def consume(self) -> None:
         """Drop the oldest pending record (it was delivered)."""
+        self.consume_many(1)
+
+    def consume_many(self, count: int) -> None:
+        """Drop the oldest ``count`` pending records (they were delivered)."""
         with self._lock:
-            if not self._pending:
+            if count < 1:
+                return
+            if count > len(self._pending):
                 raise IndexError("spill file is empty")
-            self._pending.pop(0)
+            del self._pending[:count]
             if not self._pending:
                 # Fully drained: reclaim the disk space.
                 self._file.truncate(0)

@@ -44,7 +44,7 @@ import threading
 import time
 import zlib
 from dataclasses import dataclass
-from typing import Callable, Iterator, List, Optional, Tuple
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import LogIntegrityError
 from repro.storage.crashpoints import crashpoint
@@ -309,6 +309,61 @@ class WriteAheadLog:
             crashpoint("wal.pre_fsync")
             self._maybe_sync()
             self._segment_bytes += len(encoded)
+            if self._segment_bytes >= self.segment_max_bytes:
+                self._rotate()
+
+    def append_many(self, items: Sequence[Tuple[int, bytes]]) -> None:
+        """Durably append ``(rtype, payload)`` records as one group commit.
+
+        The whole batch is written as one burst and synced **once** per the
+        fsync policy (one fsync per batch under ``always``, instead of one
+        per record) -- the group-commit coalescing that makes batched
+        submission cheap.  A *process death* between two records of the
+        batch leaves a clean prefix on disk: recovery replays the records
+        written before the tear and truncates the rest, exactly like a
+        torn single-record tail.
+
+        An in-process failure (an I/O error surfacing mid-burst) instead
+        truncates the segment back to the pre-batch offset before
+        re-raising.  Unlike a torn half-record -- which the CRC makes
+        invisible to recovery -- a *complete* prefix of an abandoned batch
+        would replay as real entries, and the caller's per-entry fallback
+        re-submission would then append non-chaining duplicates after it,
+        wedging recovery permanently.  The live store and the segment must
+        agree on the same prefix, so the leaked prefix has to go.
+        """
+        if not items:
+            return
+        with self._lock:
+            start = self._file.tell()
+            segment_bytes = self._segment_bytes
+            try:
+                written = 0
+                for rtype, payload in items:
+                    if written:
+                        crashpoint("wal.batch_mid")
+                    encoded = _encode_record(rtype, payload)
+                    # Same two-halves discipline as ``append`` so the
+                    # ``wal.mid_record`` crashpoint tears a batched record
+                    # the way it tears a lone one.
+                    half = len(encoded) // 2
+                    self._file.write(encoded[:half])
+                    self._file.flush()
+                    crashpoint("wal.mid_record")
+                    self._file.write(encoded[half:])
+                    self._segment_bytes += len(encoded)
+                    written += 1
+                self._file.flush()
+                crashpoint("wal.pre_fsync")
+                self._maybe_sync()
+            except BaseException:
+                try:
+                    self._file.flush()
+                    self._file.truncate(start)
+                    self._segment_bytes = segment_bytes
+                except OSError:
+                    pass  # the recovery scan will truncate the tail instead
+                raise
             if self._segment_bytes >= self.segment_max_bytes:
                 self._rotate()
 

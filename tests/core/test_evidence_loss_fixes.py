@@ -1,0 +1,341 @@
+"""Regression tests for hot-path evidence-loss bugs.
+
+Four fixes, one theme: evidence that exists must not silently evaporate.
+
+1. An aggregated publisher entry whose window lapsed used to wait for a
+   *later* ACK to flush it; on an idle topic it waited forever.  Expiry is
+   now deadline-driven off the logging thread's tick.
+2. Evicting an un-ACKed publication from the pending window was invisible;
+   it is now counted (``pending_evicted``) and warned about once.
+3. An ACK arriving after retransmit exhaustion was discarded as stale even
+   though its publication was still pending; the proven entry is now
+   submitted (``late_acks_recovered``).
+4. The subscriber's ACK cache was bounded by count only; with
+   ``ack_returns_data`` each cached ACK embeds the payload, so it is now
+   bounded by bytes as well.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import AdlpConfig, AdlpProtocol, LogServer
+from repro.core import adlp_protocol as adlp_module
+from repro.core.adlp_protocol import _AckAggregator
+from repro.core.entries import LogEntry
+from repro.core.protocol import AdlpAck, message_digest
+from repro.util.clock import SimulatedClock
+from repro.util.concurrency import wait_for
+
+TOPIC = "/t"
+
+
+class FakeConn:
+    """Scripted connection: hands out queued frames, swallows sends."""
+
+    def __init__(self, frames=()):
+        self.frames = list(frames)
+        self.sent = []
+        self.closed = False
+
+    def send_frame(self, frame):
+        self.sent.append(frame)
+
+    def recv_frame(self, timeout=None):
+        if self.frames:
+            return self.frames.pop(0)
+        return None
+
+
+def subscriber_ack(keypool, seq: int, payload: bytes) -> AdlpAck:
+    digest = message_digest(seq, payload)
+    return AdlpAck(
+        seq=seq, data_hash=digest, signature=keypool[1].private.sign_digest(digest)
+    )
+
+
+class TestAggregatorDeadlineFlush:
+    def test_flush_expired_uses_injected_clock(self):
+        clock = SimulatedClock()
+        flushed = []
+        agg = _AckAggregator(window=5.0, flush=flushed.append, now=clock.now)
+        agg.add(LogEntry(component_id="/p", topic=TOPIC, seq=1), "/s", b"h", b"sig")
+        agg.flush_expired()
+        assert flushed == []  # window not lapsed: still buffering
+        clock.advance(5.0)
+        agg.flush_expired()
+        assert len(flushed) == 1
+        assert flushed[0].aggregated
+        agg.flush_expired()
+        assert len(flushed) == 1  # flushing is not repeated
+
+    def test_idle_topic_flushes_without_later_ack(self, keypool):
+        """The regression: the last publication's aggregated entry used to
+        sit in the buffer until another ACK arrived.  The logging thread's
+        tick must flush it once the window lapses -- with no further
+        protocol activity at all."""
+        clock = SimulatedClock()
+        server = LogServer()
+        config = AdlpConfig(
+            key_bits=512,
+            aggregate_publisher_entries=True,
+            aggregation_window=5.0,
+        )
+        protocol = AdlpProtocol(
+            "/pub", server, config=config, keypair=keypool[0], clock=clock
+        )
+        try:
+            pub_proto = protocol.publisher_protocol(TOPIC, "std/String")
+            payload = b"last message"
+            pub_proto.make_frame(1, payload)
+            pub_proto._log_publication(
+                1, "/sub0", ack=subscriber_ack(keypool, 1, payload)
+            )
+            # The window has not lapsed and no later ACK will ever arrive.
+            assert protocol.flush(2.0)
+            assert len(server) == 0
+            clock.advance(6.0)
+            # No protocol activity: only the logging thread's wakeup tick
+            # can flush the buffer now.
+            assert wait_for(lambda: len(server) == 1, timeout=3.0)
+            entry = server.entries()[0]
+            assert entry.aggregated
+            assert entry.ack_peer_ids == ["/sub0"]
+        finally:
+            protocol.close()
+
+    def test_close_still_flushes_unexpired_buffers(self, keypool):
+        clock = SimulatedClock()
+        server = LogServer()
+        config = AdlpConfig(
+            key_bits=512,
+            aggregate_publisher_entries=True,
+            aggregation_window=60.0,
+        )
+        protocol = AdlpProtocol(
+            "/pub", server, config=config, keypair=keypool[0], clock=clock
+        )
+        try:
+            pub_proto = protocol.publisher_protocol(TOPIC, "std/String")
+            payload = b"m"
+            pub_proto.make_frame(1, payload)
+            pub_proto._log_publication(
+                1, "/sub0", ack=subscriber_ack(keypool, 1, payload)
+            )
+            pub_proto.close()  # explicit close flushes regardless of window
+            assert protocol.flush(2.0)
+            assert len(server) == 1
+        finally:
+            protocol.close()
+
+
+class TestPendingEvictionCounted:
+    def test_eviction_bumps_counter(self, keypool, monkeypatch):
+        monkeypatch.setattr(adlp_module, "_PENDING_CAPACITY", 4)
+        server = LogServer()
+        protocol = AdlpProtocol(
+            "/pub", server, config=AdlpConfig(key_bits=512), keypair=keypool[0]
+        )
+        try:
+            pub_proto = protocol.publisher_protocol(TOPIC, "std/String")
+            for seq in range(1, 5):
+                pub_proto.make_frame(seq, b"m%d" % seq)
+            assert protocol.stats.pending_evicted == 0
+            for seq in range(5, 8):
+                pub_proto.make_frame(seq, b"m%d" % seq)
+            assert protocol.stats.pending_evicted == 3
+            assert "pending_evicted" in protocol.stats.as_dict()
+        finally:
+            protocol.close()
+
+    def test_eviction_warns_once(self, keypool, monkeypatch, caplog):
+        monkeypatch.setattr(adlp_module, "_PENDING_CAPACITY", 2)
+        server = LogServer()
+        protocol = AdlpProtocol(
+            "/pub", server, config=AdlpConfig(key_bits=512), keypair=keypool[0]
+        )
+        try:
+            pub_proto = protocol.publisher_protocol(TOPIC, "std/String")
+            with caplog.at_level("WARNING", logger="repro.core.adlp_protocol"):
+                for seq in range(1, 7):
+                    pub_proto.make_frame(seq, b"x")
+            warnings = [
+                r for r in caplog.records if "evicted an un-ACKed" in r.message
+            ]
+            assert len(warnings) == 1  # one warning, not one per eviction
+            assert protocol.stats.pending_evicted == 4
+        finally:
+            protocol.close()
+
+    def test_evicted_ack_cannot_be_logged(self, keypool, monkeypatch):
+        """The loss the counter makes visible: an ACK for an evicted seq
+        produces no entry (there is nothing to log it against)."""
+        monkeypatch.setattr(adlp_module, "_PENDING_CAPACITY", 1)
+        server = LogServer()
+        protocol = AdlpProtocol(
+            "/pub", server, config=AdlpConfig(key_bits=512), keypair=keypool[0]
+        )
+        try:
+            pub_proto = protocol.publisher_protocol(TOPIC, "std/String")
+            pub_proto.make_frame(1, b"one")
+            pub_proto.make_frame(2, b"two")  # evicts seq 1
+            pub_proto._log_publication(1, "/sub", subscriber_ack(keypool, 1, b"one"))
+            assert protocol.flush(2.0)
+            assert len(server) == 0
+            assert protocol.stats.pending_evicted == 1
+        finally:
+            protocol.close()
+
+
+class TestLateAckRecovered:
+    def test_late_ack_submits_proven_entry(self, keypool):
+        server = LogServer()
+        protocol = AdlpProtocol(
+            "/pub", server, config=AdlpConfig(key_bits=512), keypair=keypool[0]
+        )
+        try:
+            pub_proto = protocol.publisher_protocol(TOPIC, "std/String")
+            pub_proto.make_frame(1, b"one")
+            pub_proto.make_frame(2, b"two")
+            ack1 = subscriber_ack(keypool, 1, b"one")
+            ack2 = subscriber_ack(keypool, 2, b"two")
+            conn = FakeConn([ack1.encode(), ack2.encode()])
+            # Awaiting seq 2, the late ACK for the still-pending seq 1
+            # arrives first: it must be recovered, not discarded.
+            got = pub_proto._await_ack("/sub", conn, 2, timeout=1.0)
+            assert got is not None and got.seq == 2
+            assert protocol.stats.late_acks_recovered == 1
+            assert protocol.stats.stale_frames == 0
+            assert protocol.flush(2.0)
+            entries = server.entries(component_id="/pub")
+            assert [e.seq for e in entries] == [1]
+            # The recovered entry is *proven*: it carries the subscriber's
+            # signature over the acknowledged hash.
+            assert entries[0].peer_id == "/sub"
+            assert entries[0].peer_hash == message_digest(1, b"one")
+            assert keypool[1].public.verify_digest(
+                entries[0].peer_hash, entries[0].peer_sig
+            )
+        finally:
+            protocol.close()
+
+    def test_entry_stays_pending_for_other_links(self, keypool):
+        """Recovery must not pop the publication: another subscriber link
+        may still deliver (or recover) its own ACK for the same seq."""
+        server = LogServer()
+        protocol = AdlpProtocol(
+            "/pub", server, config=AdlpConfig(key_bits=512), keypair=keypool[0]
+        )
+        try:
+            pub_proto = protocol.publisher_protocol(TOPIC, "std/String")
+            pub_proto.make_frame(1, b"one")
+            pub_proto.make_frame(2, b"two")
+            ack1 = subscriber_ack(keypool, 1, b"one")
+            conn_a = FakeConn([ack1.encode(), subscriber_ack(keypool, 2, b"two").encode()])
+            pub_proto._await_ack("/subA", conn_a, 2, timeout=1.0)
+            conn_b = FakeConn([ack1.encode(), subscriber_ack(keypool, 2, b"two").encode()])
+            pub_proto._await_ack("/subB", conn_b, 2, timeout=1.0)
+            assert protocol.stats.late_acks_recovered == 2
+            assert protocol.flush(2.0)
+            peers = sorted(
+                e.peer_id for e in server.entries(component_id="/pub", seq=1)
+            )
+            assert peers == ["/subA", "/subB"]
+        finally:
+            protocol.close()
+
+    def test_truly_stale_ack_still_dropped(self, keypool):
+        server = LogServer()
+        protocol = AdlpProtocol(
+            "/pub", server, config=AdlpConfig(key_bits=512), keypair=keypool[0]
+        )
+        try:
+            pub_proto = protocol.publisher_protocol(TOPIC, "std/String")
+            pub_proto.make_frame(2, b"two")
+            # seq 99 was never published (not in the pending window).
+            ghost = subscriber_ack(keypool, 99, b"zzz")
+            conn = FakeConn(
+                [ghost.encode(), subscriber_ack(keypool, 2, b"two").encode()]
+            )
+            got = pub_proto._await_ack("/sub", conn, 2, timeout=1.0)
+            assert got is not None and got.seq == 2
+            assert protocol.stats.stale_frames == 1
+            assert protocol.stats.late_acks_recovered == 0
+            assert protocol.flush(2.0)
+            assert len(server) == 0
+        finally:
+            protocol.close()
+
+
+class TestAckCacheByteBound:
+    def test_cache_bounded_by_bytes(self, keypool, monkeypatch):
+        monkeypatch.setattr(adlp_module, "_ACK_CACHE_MAX_BYTES", 1000)
+        server = LogServer()
+        protocol = AdlpProtocol(
+            "/sub",
+            server,
+            config=AdlpConfig(key_bits=512, ack_returns_data=True),
+            keypair=keypool[0],
+        )
+        try:
+            sub_proto = protocol.subscriber_protocol(TOPIC, "std/String")
+            raw = b"x" * 400
+            for seq in range(1, 11):
+                sub_proto._remember_ack(seq, raw)
+            with sub_proto._ack_cache_lock:
+                total = sum(len(v) for v in sub_proto._ack_cache.values())
+                count = len(sub_proto._ack_cache)
+                newest = next(reversed(sub_proto._ack_cache))
+            assert total <= 1000
+            assert count == 2  # 2 * 400 <= 1000 < 3 * 400
+            assert newest == 10  # the newest ACK always survives
+        finally:
+            protocol.close()
+
+    def test_single_oversized_ack_survives(self, keypool, monkeypatch):
+        """The newest entry is kept even when it alone busts the byte cap:
+        it is the ACK a retransmit will ask for."""
+        monkeypatch.setattr(adlp_module, "_ACK_CACHE_MAX_BYTES", 100)
+        server = LogServer()
+        protocol = AdlpProtocol(
+            "/sub", server, config=AdlpConfig(key_bits=512), keypair=keypool[0]
+        )
+        try:
+            sub_proto = protocol.subscriber_protocol(TOPIC, "std/String")
+            sub_proto._remember_ack(1, b"a" * 40)
+            sub_proto._remember_ack(2, b"b" * 500)
+            with sub_proto._ack_cache_lock:
+                assert list(sub_proto._ack_cache) == [2]
+        finally:
+            protocol.close()
+
+    def test_replacing_same_seq_does_not_leak_accounting(self, keypool):
+        server = LogServer()
+        protocol = AdlpProtocol(
+            "/sub", server, config=AdlpConfig(key_bits=512), keypair=keypool[0]
+        )
+        try:
+            sub_proto = protocol.subscriber_protocol(TOPIC, "std/String")
+            for _ in range(50):
+                sub_proto._remember_ack(7, b"y" * 123)
+            with sub_proto._ack_cache_lock:
+                assert sub_proto._ack_cache_bytes == 123
+                assert len(sub_proto._ack_cache) == 1
+        finally:
+            protocol.close()
+
+    def test_count_cap_still_applies(self, keypool, monkeypatch):
+        monkeypatch.setattr(adlp_module, "_ACK_CACHE_CAPACITY", 5)
+        server = LogServer()
+        protocol = AdlpProtocol(
+            "/sub", server, config=AdlpConfig(key_bits=512), keypair=keypool[0]
+        )
+        try:
+            sub_proto = protocol.subscriber_protocol(TOPIC, "std/String")
+            for seq in range(1, 20):
+                sub_proto._remember_ack(seq, b"tiny")
+            with sub_proto._ack_cache_lock:
+                assert len(sub_proto._ack_cache) == 5
+                assert list(sub_proto._ack_cache) == [15, 16, 17, 18, 19]
+        finally:
+            protocol.close()

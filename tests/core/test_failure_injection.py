@@ -33,6 +33,14 @@ class FlakyLogServer(LogServer):
             raise LoggingError("log server outage")
         return super().submit(entry)
 
+    def submit_batch(self, entries):
+        # An outage takes down the whole ingestion surface: group-commit
+        # batches fail exactly like per-entry submissions.
+        if self.down.is_set():
+            self.rejected += len(entries)
+            raise LoggingError("log server outage")
+        return super().submit_batch(entries)
+
 
 class TestLoggerOutage:
     def test_data_plane_survives_logger_outage(self, keypool, fast_config):

@@ -1,0 +1,129 @@
+"""Batched submission over the remote logging RPC (``OP_SUBMIT_BATCH``).
+
+One framed round trip carries the whole batch; the server must ingest it
+in order, all-or-nothing with a server-side per-entry fallback for poison
+records, and a dead server must spill the whole batch instead of raising.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import LogServer, LogServerEndpoint, RemoteLogger
+from repro.core.entries import Direction, LogEntry, Scheme
+from repro.util.concurrency import wait_for
+
+
+@pytest.fixture()
+def endpoint():
+    server = LogServer()
+    endpoint = LogServerEndpoint(server)
+    yield server, endpoint
+    endpoint.close()
+
+
+def make_entry(i: int) -> LogEntry:
+    return LogEntry(
+        component_id="/a",
+        topic="/t",
+        type_name="std/String",
+        direction=Direction.OUT,
+        seq=i,
+        timestamp=float(i),
+        scheme=Scheme.ADLP,
+        data=b"remote-%04d" % i,
+        own_sig=b"\x5a" * 16,
+    )
+
+
+class TestRemoteSubmitBatch:
+    def test_batch_reaches_server_in_order(self, endpoint):
+        server, ep = endpoint
+        client = RemoteLogger(ep.address)
+        entries = [make_entry(i) for i in range(1, 33)]
+        client.submit_batch(entries)
+        assert wait_for(lambda: len(server) == 32, timeout=5.0)
+        assert [e.seq for e in server.entries()] == list(range(1, 33))
+        client.close()
+
+    def test_batched_commitment_equals_per_entry(self, endpoint):
+        server, ep = endpoint
+        entries = [make_entry(i) for i in range(1, 21)]
+        client = RemoteLogger(ep.address)
+        client.submit_batch(entries)
+        assert wait_for(lambda: len(server) == 20, timeout=5.0)
+        client.close()
+        reference = LogServer()
+        for entry in entries:
+            reference.submit(entry)
+        ours, theirs = server.commitment(), reference.commitment()
+        assert (ours.chain_head, ours.merkle_root) == (
+            theirs.chain_head,
+            theirs.merkle_root,
+        )
+
+    def test_single_entry_batch_uses_plain_submit_frame(self, endpoint):
+        server, ep = endpoint
+        client = RemoteLogger(ep.address)
+        client.submit_batch([make_entry(1)])
+        assert wait_for(lambda: len(server) == 1, timeout=5.0)
+        client.close()
+
+    def test_empty_batch_is_noop(self, endpoint):
+        server, ep = endpoint
+        client = RemoteLogger(ep.address)
+        assert client.submit_batch([]) == []
+        client.close()
+        assert len(server) == 0
+
+    def test_poison_record_isolated_server_side(self, endpoint):
+        """A batch with one undecodable record must not take down its
+        batchmates: the endpoint retries per entry and rejects only the
+        poison record."""
+        server, ep = endpoint
+        client = RemoteLogger(ep.address)
+        batch = [make_entry(1).encode(), b"\xff\xffgarbage", make_entry(2).encode()]
+        client.submit_batch(batch)
+        assert wait_for(lambda: len(server) == 2, timeout=5.0)
+        assert [e.seq for e in server.entries()] == [1, 2]
+        assert wait_for(lambda: ep.rejected == 1, timeout=5.0)
+        client.close()
+
+    def test_dead_server_spills_whole_batch(self, endpoint, keypool):
+        server, ep = endpoint
+        client = RemoteLogger(ep.address)
+        client.register_key("/a", keypool[0].public)
+        ep.close()
+        entries = [make_entry(i) for i in range(1, 9)]
+        client.submit_batch(entries)  # must not raise
+        assert client.spilled == 8
+        assert client.dropped == 0
+        client.close()
+
+    def test_spilled_batch_resent_after_recovery(self, tmp_path):
+        """A spilled batch drains oldest-first in ``submit_batch_max``-sized
+        slices once the server is back -- from the disk FIFO too."""
+        client = RemoteLogger(
+            ("tcp", "127.0.0.1", 1),  # nothing listens yet
+            reconnect_backoff=0.01,
+            spill_capacity=3,  # overflow the memory queue onto disk
+            spill_path=str(tmp_path / "s.spill"),
+            submit_batch_max=4,
+        )
+        entries = [make_entry(i) for i in range(1, 11)]
+        client.submit_batch(entries)
+        assert client.spilled == 10
+
+        server = LogServer()
+        ep = LogServerEndpoint(server)
+        try:
+            client._address = ep.address  # server "comes back" here
+            assert wait_for(lambda: client.flush_spill(), timeout=5.0)
+            assert client.spilled == 0
+            assert client.retries == 10
+            assert client.dropped == 0
+            assert wait_for(lambda: len(server) == 10, timeout=5.0)
+            assert [e.seq for e in server.entries()] == list(range(1, 11))
+        finally:
+            ep.close()
+            client.close()

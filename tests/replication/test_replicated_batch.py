@@ -1,0 +1,102 @@
+"""Batched fan-out through the replicated logger.
+
+One ``submit_batch`` call sends the batch to every admissible replica as a
+single frame; quorum accounting is entry-denominated so the counters stay
+comparable with per-entry operation, and skipped replicas are charged the
+whole batch.
+"""
+
+import pytest
+
+from repro.core import LogServer, LogServerEndpoint
+from repro.core.entries import Direction, LogEntry, Scheme
+from repro.core.policy import ReplicationConfig
+from repro.replication import BreakerState, ReplicatedLogger
+from repro.util.concurrency import wait_for
+
+FAST = ReplicationConfig(
+    breaker_failure_threshold=2,
+    breaker_reset_timeout=0.05,
+    breaker_max_reset_timeout=0.2,
+    health_timeout=2.0,
+)
+
+
+def entry(seq, component="/p"):
+    return LogEntry(
+        component_id=component,
+        topic="/t",
+        type_name="std/String",
+        direction=Direction.OUT,
+        seq=seq,
+        scheme=Scheme.ADLP,
+        data=b"payload-%04d" % seq,
+    )
+
+
+@pytest.fixture()
+def replica_set():
+    servers = [LogServer() for _ in range(3)]
+    endpoints = [LogServerEndpoint(s) for s in servers]
+    yield servers, endpoints
+    for endpoint in endpoints:
+        endpoint.close()
+
+
+@pytest.fixture()
+def rlogger(replica_set):
+    _, endpoints = replica_set
+    rlogger = ReplicatedLogger([e.address for e in endpoints], config=FAST)
+    yield rlogger
+    rlogger.close()
+
+
+class TestBatchedFanOut:
+    def test_batch_reaches_every_replica_in_order(self, replica_set, rlogger):
+        servers, _ = replica_set
+        batch = [entry(i) for i in range(1, 17)]
+        assert rlogger.submit_batch(batch) == [0] * 16
+        assert wait_for(lambda: all(len(s) == 16 for s in servers))
+        roots = {s.merkle_root() for s in servers}
+        assert len(roots) == 1  # identical order everywhere
+        for server in servers:
+            assert [e.seq for e in server.entries()] == list(range(1, 17))
+
+    def test_batches_interleave_with_singles_identically(self, replica_set, rlogger):
+        servers, _ = replica_set
+        rlogger.submit(entry(1))
+        rlogger.submit_batch([entry(i) for i in range(2, 8)])
+        rlogger.submit(entry(8))
+        assert wait_for(lambda: all(len(s) == 8 for s in servers))
+        reference = LogServer()
+        for i in range(1, 9):
+            reference.submit(entry(i))
+        for server in servers:
+            assert server.merkle_root() == reference.merkle_root()
+
+    def test_quorum_accounting_is_entry_denominated(self, replica_set, rlogger):
+        rlogger.submit_batch([entry(i) for i in range(1, 11)])
+        status = rlogger.quorum_status()
+        assert status["last_submit_reached"] == 3
+        assert rlogger.submits == 10
+        assert rlogger.quorum_submits == 10
+        assert rlogger.degraded_submits == 0
+
+    def test_empty_batch_is_noop(self, rlogger):
+        assert rlogger.submit_batch([]) == []
+        assert rlogger.submits == 0
+
+    def test_open_breaker_skips_whole_batch(self, replica_set, rlogger):
+        servers, endpoints = replica_set
+        endpoints[0].close()
+        # Trip replica 0's breaker with per-entry submissions first.
+        rlogger.submit(entry(1))
+        rlogger.submit(entry(2))
+        handle = rlogger._handles[0]
+        assert wait_for(lambda: handle.breaker.state is BreakerState.OPEN)
+        skipped_before = handle.skipped
+        rlogger.submit_batch([entry(i) for i in range(3, 8)])
+        assert handle.skipped == skipped_before + 5
+        # The healthy majority still ingested the batch.
+        assert wait_for(lambda: all(len(s) == 7 for s in servers[1:]))
+        assert rlogger.degraded_submits == 0  # quorum 2/3 still met
