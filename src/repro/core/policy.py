@@ -160,7 +160,17 @@ class ReplicationConfig:
     #: Records fetched per anti-entropy batch during catch-up.
     fetch_batch: int = 1024
 
+    #: Shard count of the replicated servers (each replica a
+    #: :class:`~repro.sharding.sharded_server.ShardedLogServer` with the
+    #: same count).  ``0`` means unsharded replicas.  Sharding changes
+    #: catch-up only: record indexes and chain heads are per shard, so
+    #: anti-entropy replays each shard's gap separately and the final
+    #: commitment comparison uses the shard-set root.
+    shards: int = 0
+
     def __post_init__(self) -> None:
+        if self.shards < 0:
+            raise ValueError("shards must be non-negative")
         if self.quorum is not None and self.quorum < 1:
             raise ValueError("quorum must be at least 1")
         if self.breaker_failure_threshold < 1:

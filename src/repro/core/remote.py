@@ -90,6 +90,11 @@ class LoggerRequest(WireMessage):
     start = uint64(5)  # OP_FETCH: first record index
     count = uint64(6)  # OP_FETCH: max records to return
     entry_batch = repeated(bytes_(7))  # OP_SUBMIT_BATCH: N entries, 1 frame
+    #: Shard targeting for SUBMIT/SUBMIT_BATCH/FETCH/HEALTH against a
+    #: sharded server, encoded as ``shard_index + 1`` so the wire default
+    #: ``0`` means "untargeted" and frames from pre-sharding clients keep
+    #: their old meaning.
+    shard = uint64(8)
 
 
 class LoggerResponse(WireMessage):
@@ -104,6 +109,9 @@ class LoggerResponse(WireMessage):
     records = repeated(bytes_(7))  # OP_FETCH
     key_ids = repeated(string(8))  # OP_KEYS (parallel with key_blobs)
     key_blobs = repeated(bytes_(9))  # OP_KEYS
+    #: OP_HEALTH: shard count of a sharded server (0 = not sharded); lets
+    #: a client discover the shard layout before tagging frames.
+    shards = uint64(10)
 
 
 class LogServerEndpoint:
@@ -184,7 +192,7 @@ class LogServerEndpoint:
                 with self._lock:
                     self.submissions += 1
                 try:
-                    self.server.submit(request.entry_bytes)
+                    self._submit_one(request.entry_bytes, request.shard)
                 except LoggingError:
                     # fire-and-forget: bad entries are dropped server-side
                     with self._lock:
@@ -192,7 +200,8 @@ class LogServerEndpoint:
                 continue
             if request.op == OP_SUBMIT_BATCH:
                 self._ingest_batch(
-                    [bytes(record) for record in request.entry_batch]
+                    [bytes(record) for record in request.entry_batch],
+                    shard_tag=request.shard,
                 )
                 continue
             response = self._answer(request)
@@ -201,18 +210,62 @@ class LogServerEndpoint:
             except ConnectionClosed:
                 return
 
-    def _ingest_batch(self, batch: List[bytes]) -> None:
+    def _submit_one(self, record: bytes, shard_tag: int) -> None:
+        """Route one submitted record, honoring a shard tag.
+
+        A tag against a sharded server goes through ``submit_to_shard``
+        (which verifies the tag against the router -- a client holding a
+        stale shard count must not scatter a topic across shards).  A
+        plain server is treated as a one-shard set: tag 1 targets the
+        whole log, any other tag is rejected.
+        """
+        if shard_tag:
+            submit_to_shard = getattr(self.server, "submit_to_shard", None)
+            if submit_to_shard is not None:
+                submit_to_shard(shard_tag - 1, record)
+                return
+            if shard_tag != 1:
+                raise LoggingError(
+                    f"shard {shard_tag - 1} targeted on an unsharded server"
+                )
+        self.server.submit(record)
+
+    def _ingest_batch(self, batch: List[bytes], shard_tag: int = 0) -> None:
         """Group-commit a batched submission; fire-and-forget like SUBMIT.
 
         The server's batch ingest is all-or-nothing, so when it refuses the
         batch (an undecodable entry) the records are re-submitted one at a
         time -- only the poison entry is rejected, its batchmates are
-        ingested exactly once.
+        ingested exactly once.  Shard tags are honored exactly like
+        :meth:`_submit_one`, including on the per-entry fallback path.
         """
         if not batch:
             return
         with self._lock:
             self.submissions += len(batch)
+        if shard_tag:
+            submit_batch_to_shard = getattr(
+                self.server, "submit_batch_to_shard", None
+            )
+            if submit_batch_to_shard is not None:
+                try:
+                    submit_batch_to_shard(shard_tag - 1, batch)
+                    return
+                except LoggingError:
+                    pass  # isolate the poison entry below
+                for record in batch:
+                    try:
+                        self._submit_one(record, shard_tag)
+                    except LoggingError:
+                        with self._lock:
+                            self.rejected += 1
+                return
+            if shard_tag != 1:
+                # plain server, impossible shard: the whole batch is
+                # misaddressed (never silently ingested under shard 0)
+                with self._lock:
+                    self.rejected += len(batch)
+                return
         submit_batch = getattr(self.server, "submit_batch", None)
         if submit_batch is not None:
             try:
@@ -234,17 +287,10 @@ class LogServerEndpoint:
                 self.server.register_key(request.component_id, request.key_bytes)
                 return LoggerResponse(ok=True)
             if request.op == OP_HEALTH:
-                commitment = self.server.commitment()
-                return LoggerResponse(
-                    ok=True,
-                    entries=commitment.entries,
-                    chain_head=commitment.chain_head,
-                    merkle_root=commitment.merkle_root,
-                    total_bytes=commitment.total_bytes,
-                )
+                return self._health_response(request.shard)
             if request.op == OP_FETCH:
                 count = min(request.count or FETCH_BATCH_LIMIT, FETCH_BATCH_LIMIT)
-                records = self.server.raw_records(request.start, count)
+                records = self._fetch_records(request.shard, request.start, count)
                 return LoggerResponse(ok=True, records=list(records))
             if request.op == OP_KEYS:
                 keys = self.server.keys_snapshot()
@@ -255,6 +301,72 @@ class LogServerEndpoint:
             return LoggerResponse(ok=False, error=f"unknown op {request.op}")
         except Exception as exc:
             return LoggerResponse(ok=False, error=str(exc))
+
+    def _health_response(self, shard_tag: int) -> LoggerResponse:
+        """Commitment probe, shard-aware.
+
+        Untargeted against a sharded server, the probe reports the
+        aggregate: total entries/bytes, the *set root* in both hash slots,
+        and the shard count (how a client discovers the layout).  A shard
+        tag selects one shard's ordinary commitment; a plain server
+        answers tag 1 as "the whole log" and rejects any other tag.
+        """
+        shard_commitment = getattr(self.server, "shard_commitment", None)
+        if shard_tag:
+            if shard_commitment is not None:
+                commitment = shard_commitment(shard_tag - 1)
+            elif shard_tag == 1:
+                commitment = self.server.commitment()
+            else:
+                return LoggerResponse(
+                    ok=False,
+                    error=f"shard {shard_tag - 1} probed on an unsharded server",
+                )
+            return LoggerResponse(
+                ok=True,
+                entries=commitment.entries,
+                chain_head=commitment.chain_head,
+                merkle_root=commitment.merkle_root,
+                total_bytes=commitment.total_bytes,
+            )
+        commitment = self.server.commitment()
+        shards = 0
+        if hasattr(commitment, "root"):  # ShardSetCommitment
+            shards = commitment.shards
+            commitment = commitment.as_log_commitment()
+        return LoggerResponse(
+            ok=True,
+            entries=commitment.entries,
+            chain_head=commitment.chain_head,
+            merkle_root=commitment.merkle_root,
+            total_bytes=commitment.total_bytes,
+            shards=shards,
+        )
+
+    def _fetch_records(self, shard_tag: int, start: int, count: int) -> List[bytes]:
+        """Raw-record range, shard-aware.
+
+        A sharded server's record indexes are per shard, so fetches
+        against one MUST carry a shard tag -- an untargeted fetch would
+        need a merged index space that is not stable while shards ingest
+        concurrently.  A plain server ignores sharding (tag 1 = the whole
+        log) for symmetry with :meth:`_submit_one`.
+        """
+        shard_fetch = getattr(self.server, "shard_raw_records", None)
+        if shard_tag:
+            if shard_fetch is not None:
+                return shard_fetch(shard_tag - 1, start, count)
+            if shard_tag == 1:
+                return self.server.raw_records(start, count)
+            raise LoggingError(
+                f"shard {shard_tag - 1} fetched from an unsharded server"
+            )
+        if shard_fetch is not None:
+            raise LoggingError(
+                "a sharded log server requires a shard id for FETCH "
+                "(per-shard record indexes; fetch each shard separately)"
+            )
+        return self.server.raw_records(start, count)
 
     def close(self) -> None:
         self._acceptor.stop(join=False)
@@ -294,9 +406,16 @@ class RemoteLogger:
         max_reconnect_backoff: float = 2.0,
         spill_path: Optional[str] = None,
         submit_batch_max: int = 64,
+        shard: Optional[int] = None,
     ):
         if submit_batch_max < 1:
             raise ValueError("submit_batch_max must be at least 1")
+        if shard is not None and shard < 0:
+            raise ValueError("shard must be non-negative")
+        #: Pinned shard: every frame this stub sends is tagged with it.
+        #: Used by the replication layer's per-shard catch-up; ordinary
+        #: components leave it unset (the server routes by topic).
+        self._shard = shard
         self._transport = transport or TcpTransport()
         self._submit_batch_max = submit_batch_max
         self._address = address
@@ -413,11 +532,25 @@ class RemoteLogger:
         if not response.ok:
             raise LoggingError(f"key registration rejected: {response.error}")
 
-    def health(self, timeout: float = 5.0) -> LogCommitment:
+    def _shard_tag(self, shard: Optional[int]) -> int:
+        """Wire encoding of a shard choice: an explicit ``shard`` wins,
+        then the pinned shard, then 0 (untargeted)."""
+        if shard is None:
+            shard = self._shard
+        return 0 if shard is None else shard + 1
+
+    def health(
+        self, timeout: float = 5.0, shard: Optional[int] = None
+    ) -> LogCommitment:
         """Probe the server's commitment (entry count, chain head, Merkle
         root).  Raises :class:`LoggingError` when the server is down --
-        the signal a replicated deployment's circuit breaker feeds on."""
-        response = self._rpc(LoggerRequest(op=OP_HEALTH), timeout=timeout)
+        the signal a replicated deployment's circuit breaker feeds on.
+        Against a sharded server an untargeted probe reports the aggregate
+        (set root in both hash slots); ``shard`` selects one shard."""
+        response = self._rpc(
+            LoggerRequest(op=OP_HEALTH, shard=self._shard_tag(shard)),
+            timeout=timeout,
+        )
         if not response.ok:
             raise LoggingError(f"health probe rejected: {response.error}")
         return LogCommitment(
@@ -427,13 +560,30 @@ class RemoteLogger:
             total_bytes=int(response.total_bytes),
         )
 
+    def shard_count(self, timeout: float = 5.0) -> int:
+        """The server's shard count (0 = not sharded), via an untargeted
+        health probe -- how callers discover a sharded layout."""
+        response = self._rpc(LoggerRequest(op=OP_HEALTH), timeout=timeout)
+        if not response.ok:
+            raise LoggingError(f"health probe rejected: {response.error}")
+        return int(response.shards)
+
     def fetch_records(
-        self, start: int, count: int, timeout: float = 10.0
+        self,
+        start: int,
+        count: int,
+        timeout: float = 10.0,
+        shard: Optional[int] = None,
     ) -> List[bytes]:
         """Fetch up to ``count`` raw records starting at index ``start``
-        (the donor side of anti-entropy catch-up)."""
+        (the donor side of anti-entropy catch-up).  Record indexes on a
+        sharded server are per shard, so pass ``shard`` (or pin one) when
+        fetching from one."""
         response = self._rpc(
-            LoggerRequest(op=OP_FETCH, start=start, count=count), timeout=timeout
+            LoggerRequest(
+                op=OP_FETCH, start=start, count=count, shard=self._shard_tag(shard)
+            ),
+            timeout=timeout,
         )
         if not response.ok:
             raise LoggingError(f"record fetch rejected: {response.error}")
@@ -465,18 +615,26 @@ class RemoteLogger:
             return 0
         try:
             connection.send_frame(
-                LoggerRequest(op=OP_SUBMIT, entry_bytes=record).encode()
+                LoggerRequest(
+                    op=OP_SUBMIT, entry_bytes=record, shard=self._shard_tag(None)
+                ).encode()
             )
         except ConnectionClosed:
             self._spill_entry(record)
         return 0
 
-    def submit_batch(self, entries: List[Union[LogEntry, bytes]]) -> List[int]:
+    def submit_batch(
+        self,
+        entries: List[Union[LogEntry, bytes]],
+        shard: Optional[int] = None,
+    ) -> List[int]:
         """Fire-and-forget batched submission: one ``OP_SUBMIT_BATCH``
         frame (one send, one server round trip's worth of framing) carries
         every entry.  Never raises; on connection trouble the whole batch
         is spilled in order and re-sent later, exactly like per-entry
-        submits."""
+        submits.  ``shard`` tags the frames for a sharded server (the
+        per-shard anti-entropy replay path); spilled entries are re-sent
+        untagged and route by topic, which lands them identically."""
         records = [
             entry.encode() if isinstance(entry, LogEntry) else bytes(entry)
             for entry in entries
@@ -489,13 +647,18 @@ class RemoteLogger:
                 self._spill_entry(record)
             return [0] * len(records)
         try:
-            self._send_records(connection, records)
+            self._send_records(connection, records, shard)
         except ConnectionClosed:
             for record in records:
                 self._spill_entry(record)
         return [0] * len(records)
 
-    def _send_records(self, connection: Connection, records: List[bytes]) -> None:
+    def _send_records(
+        self,
+        connection: Connection,
+        records: List[bytes],
+        shard: Optional[int] = None,
+    ) -> None:
         """Send records in as few frames as possible (``OP_SUBMIT`` for a
         lone record, ``OP_SUBMIT_BATCH`` otherwise), splitting batches
         whose payload bytes would approach the transport's frame cap."""
@@ -503,19 +666,24 @@ class RemoteLogger:
         size = 0
         for record in records:
             if frame and size + len(record) > BATCH_FRAME_BYTES:
-                self._send_frame_of(connection, frame)
+                self._send_frame_of(connection, frame, shard)
                 frame, size = [], 0
             frame.append(record)
             size += len(record)
         if frame:
-            self._send_frame_of(connection, frame)
+            self._send_frame_of(connection, frame, shard)
 
-    @staticmethod
-    def _send_frame_of(connection: Connection, records: List[bytes]) -> None:
+    def _send_frame_of(
+        self,
+        connection: Connection,
+        records: List[bytes],
+        shard: Optional[int] = None,
+    ) -> None:
+        tag = self._shard_tag(shard)
         if len(records) == 1:
-            request = LoggerRequest(op=OP_SUBMIT, entry_bytes=records[0])
+            request = LoggerRequest(op=OP_SUBMIT, entry_bytes=records[0], shard=tag)
         else:
-            request = LoggerRequest(op=OP_SUBMIT_BATCH, entry_batch=records)
+            request = LoggerRequest(op=OP_SUBMIT_BATCH, entry_batch=records, shard=tag)
         connection.send_frame(request.encode())
 
     def _spill_entry(self, record: bytes) -> None:

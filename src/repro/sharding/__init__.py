@@ -1,0 +1,31 @@
+"""Topic-sharded trusted logger with parallel audit.
+
+Partitions the log by topic across N independent shards -- each with its
+own lock, hash chain, Merkle frontier, and (when durable) WAL + checkpoint
+directory -- so submits to different shards no longer contend, while a
+single :class:`ShardSetCommitment` (Merkle root over the ordered shard
+roots) still pins the entire log.  ``audit_sharded`` fans per-shard audits
+across a worker pool and localizes tampering to the shard it lives in.
+"""
+
+from repro.sharding.parallel_audit import (
+    ShardAuditOutcome,
+    ShardedAuditResult,
+    audit_sharded,
+)
+from repro.sharding.router import ShardRouter
+from repro.sharding.sharded_server import (
+    ShardedLogServer,
+    ShardSetCommitment,
+    shard_dirname,
+)
+
+__all__ = [
+    "ShardAuditOutcome",
+    "ShardRouter",
+    "ShardSetCommitment",
+    "ShardedAuditResult",
+    "ShardedLogServer",
+    "audit_sharded",
+    "shard_dirname",
+]

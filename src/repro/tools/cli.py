@@ -2,13 +2,15 @@
 
 ::
 
-    python -m repro.tools verify  CASE_DIR | --store STORE_DIR
-    python -m repro.tools inspect CASE_DIR | --store STORE_DIR
+    python -m repro.tools verify  CASE_DIR | --store STORE_DIR [--shards N]
+    python -m repro.tools inspect CASE_DIR | --store STORE_DIR [--shards N]
                                   [--component C] [--topic T] [--limit N]
-    python -m repro.tools audit   CASE_DIR | --store STORE_DIR
+                                  [--shard I]
+    python -m repro.tools audit   CASE_DIR | --store STORE_DIR [--shards N]
                                   [--publisher TOPIC=COMPONENT ...]
+                                  [--workers N]
     python -m repro.tools trace   CASE_DIR TOPIC SEQ
-    python -m repro.tools recover STORE_DIR
+    python -m repro.tools recover STORE_DIR [--shards N | --shard I]
     python -m repro.tools health  HOST:PORT [HOST:PORT ...]
     python -m repro.tools replicas HOST:PORT [HOST:PORT ...]
                                   [--quorum N] [--audit]
@@ -39,6 +41,7 @@ from repro.core.policy import ReplicationConfig
 from repro.core.remote import RemoteLogger
 from repro.errors import LogIntegrityError, LoggingError
 from repro.replication import DivergenceDetector, ReplicatedLogger
+from repro.sharding import ShardedLogServer, audit_sharded, shard_dirname
 from repro.storage.durable_store import DurableLogStore
 from repro.tools.caseio import load_case
 
@@ -51,13 +54,21 @@ def _open_store(store_dir: str) -> DurableLogStore:
     return DurableLogStore(store_dir)
 
 
-def _load_server(args: argparse.Namespace) -> LogServer:
+def _load_server(args: argparse.Namespace) -> "LogServer | ShardedLogServer":
     """The log server named by the arguments: an exported case bundle or,
-    with ``--store``, a durable store directory recovered in place."""
+    with ``--store``, a durable store directory recovered in place
+    (``--shards N`` reopens it as a sharded layout)."""
     store_dir = getattr(args, "store", None)
+    shards = getattr(args, "shards", None)
+    if shards is not None and store_dir is None:
+        raise SystemExit("--shards requires --store (case bundles are unsharded)")
     if store_dir is not None:
         if args.case is not None:
             raise SystemExit("give either CASE_DIR or --store, not both")
+        if shards is not None:
+            if not os.path.isdir(store_dir):
+                raise SystemExit(f"no such store directory: {store_dir}")
+            return ShardedLogServer(shards=shards, store_dir=store_dir)
         return LogServer(_open_store(store_dir))
     if args.case is None:
         raise SystemExit("either CASE_DIR or --store is required")
@@ -79,14 +90,33 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     print(f"{_source_label(args)}: INTACT")
     print(f"  entries:     {len(server)}")
     print(f"  components:  {len(server.keystore)}")
-    print(f"  chain head:  {server.store.head().hex()}")
-    print(f"  merkle root: {server.merkle_root().hex()}")
+    if isinstance(server, ShardedLogServer):
+        commitment = server.commitment()
+        print(f"  shards:      {commitment.shards}")
+        print(f"  set root:    {commitment.root.hex()}")
+        for index, shard in enumerate(commitment.shard_commitments):
+            print(
+                f"  shard {index:3}:   entries={shard.entries:<8} "
+                f"head={shard.chain_head.hex()[:16]} "
+                f"root={shard.merkle_root.hex()[:16]}"
+            )
+    else:
+        print(f"  chain head:  {server.store.head().hex()}")
+        print(f"  merkle root: {server.merkle_root().hex()}")
     return 0
 
 
 def _cmd_inspect(args: argparse.Namespace) -> int:
     server = _load_server(args)
-    entries = server.entries(component_id=args.component, topic=args.topic)
+    shard = getattr(args, "shard", None)
+    if shard is not None:
+        if not isinstance(server, ShardedLogServer):
+            raise SystemExit("--shard requires --shards (an unsharded source)")
+        entries = server.entries(
+            component_id=args.component, topic=args.topic, shard=shard
+        )
+    else:
+        entries = server.entries(component_id=args.component, topic=args.topic)
     shown = entries[: args.limit] if args.limit else entries
     for i, entry in enumerate(shown):
         direction = "out" if entry.direction is Direction.OUT else "in "
@@ -118,6 +148,20 @@ def _parse_topology(pairs: List[str]) -> Optional[Topology]:
 def _cmd_audit(args: argparse.Namespace) -> int:
     server = _load_server(args)
     topology = _parse_topology(args.publisher)
+    if isinstance(server, ShardedLogServer):
+        result = audit_sharded(
+            server, topology=topology, workers=getattr(args, "workers", None)
+        )
+        for outcome in result.outcomes:
+            if outcome.tampered:
+                print(f"shard {outcome.shard}: TAMPERED ({outcome.error})")
+            else:
+                print(f"shard {outcome.shard}: {outcome.entries} entries, intact")
+        print(render_report(result.report, max_findings=args.max_findings))
+        if result.tampered_shards:
+            print(f"tampered shards: {result.tampered_shards}")
+            return 2
+        return 1 if result.report.flagged_components() else 0
     auditor = Auditor.for_server(server, topology)
     report = auditor.audit_server(server)
     print(render_report(report, max_findings=args.max_findings))
@@ -142,15 +186,14 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_recover(args: argparse.Namespace) -> int:
-    """Replay a durable store's WAL and report what survived the crash."""
+def _recover_one(store_dir: str, label: str) -> int:
     try:
-        store = _open_store(args.store_dir)
+        store = _open_store(store_dir)
     except LogIntegrityError as exc:
-        print(f"TAMPERED: {exc}")
+        print(f"{label}: TAMPERED: {exc}")
         return 2
     recovery = store.recovery
-    print(f"store {args.store_dir}: recovered")
+    print(f"{label}: recovered")
     print(f"  entries:          {recovery.entries}")
     print(f"  from checkpoint:  {recovery.checkpoint_entries or 0}")
     print(f"  replayed tail:    {recovery.replayed}")
@@ -159,6 +202,30 @@ def _cmd_recover(args: argparse.Namespace) -> int:
     print(f"  merkle root:      {store.merkle_root().hex()}")
     store.close()
     return 0
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    """Replay a durable store's WAL and report what survived the crash.
+
+    For a sharded layout, ``--shards N`` recovers every shard directory in
+    turn and ``--shard I`` exactly one -- tamper localization means an
+    investigator usually needs to replay a single shard's wreckage, not
+    the whole set.
+    """
+    shards = getattr(args, "shards", None)
+    shard = getattr(args, "shard", None)
+    if shard is not None:
+        target = os.path.join(args.store_dir, shard_dirname(shard))
+        return _recover_one(target, f"store {args.store_dir} shard {shard}")
+    if shards is not None:
+        worst = 0
+        for index in range(shards):
+            target = os.path.join(args.store_dir, shard_dirname(index))
+            worst = max(
+                worst, _recover_one(target, f"store {args.store_dir} shard {index}")
+            )
+        return worst
+    return _recover_one(args.store_dir, f"store {args.store_dir}")
 
 
 def _parse_address(value: str):
@@ -275,6 +342,13 @@ def _add_source_arguments(parser: argparse.ArgumentParser) -> None:
         metavar="STORE_DIR",
         help="operate on a durable log-store directory instead of a case",
     )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="open --store as a sharded layout of N shard directories",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -293,6 +367,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_inspect.add_argument("--component", default=None)
     p_inspect.add_argument("--topic", default=None)
     p_inspect.add_argument("--limit", type=int, default=50)
+    p_inspect.add_argument(
+        "--shard",
+        type=int,
+        default=None,
+        metavar="I",
+        help="list only shard I's entries (with --shards)",
+    )
     p_inspect.set_defaults(func=_cmd_inspect)
 
     p_audit = sub.add_parser("audit", help="classify all entries")
@@ -305,6 +386,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="declare a topic's unique publisher (repeatable)",
     )
     p_audit.add_argument("--max-findings", type=int, default=20)
+    p_audit.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker threads for a sharded audit (default: min(shards, cpus))",
+    )
     p_audit.set_defaults(func=_cmd_audit)
 
     p_trace = sub.add_parser("trace", help="provenance lineage of one datum")
@@ -317,6 +405,20 @@ def build_parser() -> argparse.ArgumentParser:
         "recover", help="replay a durable store's WAL after a crash"
     )
     p_recover.add_argument("store_dir")
+    p_recover.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="recover all N shard directories of a sharded layout",
+    )
+    p_recover.add_argument(
+        "--shard",
+        type=int,
+        default=None,
+        metavar="I",
+        help="recover only shard I's directory",
+    )
     p_recover.set_defaults(func=_cmd_recover)
 
     p_health = sub.add_parser(

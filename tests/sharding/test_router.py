@@ -1,0 +1,91 @@
+"""ShardRouter: deterministic, salt-free, stable topic -> shard hashing."""
+
+import random
+import subprocess
+import sys
+
+import pytest
+
+from repro.sharding import ShardRouter
+
+from tests.sharding.workload import GOLDEN_SHARDS_4, TOPICS
+
+
+class TestDeterminism:
+    def test_golden_values_at_four_shards(self):
+        """The mapping is a protocol constant: a change here silently
+        scatters existing durable layouts across the wrong shards."""
+        router = ShardRouter(4)
+        assert {t: router.shard_of(t) for t in TOPICS} == GOLDEN_SHARDS_4
+
+    def test_identical_across_instances(self, rng):
+        a, b = ShardRouter(8), ShardRouter(8)
+        for _ in range(100):
+            topic = "/topic-%d" % rng.randrange(10**6)
+            assert a.shard_of(topic) == b.shard_of(topic)
+
+    def test_stable_across_processes(self):
+        """Python's builtin hash() is salted per process; the router must
+        not be.  A child interpreter with a different PYTHONHASHSEED must
+        agree on every golden value."""
+        program = (
+            "from repro.sharding import ShardRouter\n"
+            "r = ShardRouter(4)\n"
+            "print([r.shard_of(t) for t in %r])\n" % TOPICS
+        )
+        import os
+
+        import repro
+
+        src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        env = dict(os.environ)
+        env["PYTHONHASHSEED"] = "12345"
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        out = subprocess.run(
+            [sys.executable, "-c", program],
+            capture_output=True, text=True, check=True, env=env,
+        ).stdout.strip()
+        assert out == str([GOLDEN_SHARDS_4[t] for t in TOPICS])
+
+
+class TestRange:
+    def test_single_shard_maps_everything_to_zero(self, rng):
+        router = ShardRouter(1)
+        for _ in range(50):
+            assert router.shard_of("/t%d" % rng.getrandbits(32)) == 0
+
+    def test_all_shards_within_range(self, rng):
+        for shards in (2, 3, 5, 16):
+            router = ShardRouter(shards)
+            for _ in range(200):
+                assert 0 <= router.shard_of("/t%d" % rng.getrandbits(32)) < shards
+
+    def test_large_topic_pool_touches_every_shard(self):
+        router = ShardRouter(4)
+        hit = {router.shard_of("/topic-%d" % i) for i in range(256)}
+        assert hit == {0, 1, 2, 3}
+
+
+class TestPartition:
+    def test_partition_agrees_with_shard_of(self):
+        router = ShardRouter(4)
+        buckets = router.partition(TOPICS)
+        assert len(buckets) == 4
+        for shard, bucket in enumerate(buckets):
+            for topic in bucket:
+                assert router.shard_of(topic) == shard
+
+    def test_partition_preserves_every_topic(self):
+        router = ShardRouter(3)
+        buckets = router.partition(TOPICS)
+        assert sorted(t for b in buckets for t in b) == sorted(TOPICS)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("bad", [0, -1, -100])
+    def test_rejects_non_positive_shard_count(self, bad):
+        with pytest.raises(ValueError):
+            ShardRouter(bad)
+
+    def test_repr_names_count(self):
+        assert "7" in repr(ShardRouter(7))

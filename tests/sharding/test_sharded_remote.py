@@ -1,0 +1,207 @@
+"""The wire protocol around sharding: tagged frames, discovery, fetch.
+
+A shard tag on the wire is ``shard_index + 1`` (0 = untargeted), so every
+pre-sharding frame keeps its meaning: old clients talk to sharded servers
+(routed by topic) and shard-pinned clients talking to a *plain* server
+are accepted for tag 1 (the whole log) and refused otherwise.
+"""
+
+import pytest
+
+from repro.core import LogServer, LogServerEndpoint
+from repro.core.remote import RemoteLogger
+from repro.errors import LoggingError
+from repro.sharding import ShardedLogServer
+from repro.util.concurrency import wait_for
+
+from tests.sharding.workload import (
+    GOLDEN_SHARDS_4,
+    TOPICS,
+    honest_pair,
+    register_pair,
+)
+
+
+@pytest.fixture()
+def sharded_endpoint(keypool):
+    server = ShardedLogServer(shards=4)
+    register_pair(server, keypool)
+    endpoint = LogServerEndpoint(server)
+    yield server, endpoint
+    endpoint.close()
+
+
+@pytest.fixture()
+def plain_endpoint(keypool):
+    server = LogServer()
+    register_pair(server, keypool)
+    endpoint = LogServerEndpoint(server)
+    yield server, endpoint
+    endpoint.close()
+
+
+def record_for(keypool, topic, seq=1):
+    pub, _ = honest_pair(keypool, topic, seq, b"remote-%d" % seq)
+    return pub.encode()
+
+
+class TestDiscovery:
+    def test_shard_count_via_untargeted_health(self, sharded_endpoint):
+        _, endpoint = sharded_endpoint
+        client = RemoteLogger(endpoint.address)
+        assert client.shard_count() == 4
+        client.close()
+
+    def test_plain_server_reports_zero_shards(self, plain_endpoint):
+        _, endpoint = plain_endpoint
+        client = RemoteLogger(endpoint.address)
+        assert client.shard_count() == 0
+        client.close()
+
+    def test_untargeted_health_aggregates_the_set(self, sharded_endpoint, keypool):
+        server, endpoint = sharded_endpoint
+        for topic in TOPICS:
+            server.submit(record_for(keypool, topic))
+        client = RemoteLogger(endpoint.address)
+        health = client.health()
+        commitment = server.commitment()
+        assert health.entries == len(TOPICS)
+        assert health.chain_head == commitment.root
+        assert health.merkle_root == commitment.root
+        client.close()
+
+    def test_targeted_health_reports_one_shard(self, sharded_endpoint, keypool):
+        server, endpoint = sharded_endpoint
+        for topic in TOPICS:
+            server.submit(record_for(keypool, topic))
+        client = RemoteLogger(endpoint.address)
+        for shard in range(4):
+            health = client.health(shard=shard)
+            assert health == server.shard_commitment(shard)
+        client.close()
+
+    def test_out_of_range_shard_health_rejected(self, sharded_endpoint):
+        _, endpoint = sharded_endpoint
+        client = RemoteLogger(endpoint.address)
+        with pytest.raises(LoggingError):
+            client.health(shard=9)
+        client.close()
+
+
+class TestRoutedSubmission:
+    def test_untagged_submit_routes_by_topic(self, sharded_endpoint, keypool):
+        server, endpoint = sharded_endpoint
+        client = RemoteLogger(endpoint.address)
+        for topic in TOPICS:
+            client.submit(record_for(keypool, topic))
+        assert wait_for(lambda: len(server) == len(TOPICS), timeout=5.0)
+        for topic, shard in GOLDEN_SHARDS_4.items():
+            assert len(server.shard(shard).entries(topic=topic)) == 1
+        client.close()
+
+    def test_pinned_client_submits_to_its_shard(self, sharded_endpoint, keypool):
+        server, endpoint = sharded_endpoint
+        shard = GOLDEN_SHARDS_4["/a"]
+        client = RemoteLogger(endpoint.address, shard=shard)
+        client.submit(record_for(keypool, "/a"))
+        assert wait_for(lambda: len(server.shard(shard)) == 1, timeout=5.0)
+        client.close()
+
+    def test_misrouted_pin_rejected_server_side(self, sharded_endpoint, keypool):
+        """A pinned client whose topic belongs elsewhere must not scatter
+        the topic: the server refuses and counts the rejection."""
+        server, endpoint = sharded_endpoint
+        wrong = (GOLDEN_SHARDS_4["/a"] + 1) % 4
+        client = RemoteLogger(endpoint.address, shard=wrong)
+        client.submit(record_for(keypool, "/a"))
+        assert wait_for(lambda: endpoint.rejected == 1, timeout=5.0)
+        assert len(server) == 0
+        client.close()
+
+    def test_tagged_batch_lands_in_one_shard(self, sharded_endpoint, keypool):
+        server, endpoint = sharded_endpoint
+        shard = GOLDEN_SHARDS_4["/b"]
+        client = RemoteLogger(endpoint.address)
+        batch = [record_for(keypool, "/b", seq=i) for i in range(1, 6)]
+        client.submit_batch(batch, shard=shard)
+        assert wait_for(lambda: len(server.shard(shard)) == 5, timeout=5.0)
+        client.close()
+
+    def test_untagged_batch_splits_across_shards(self, sharded_endpoint, keypool):
+        server, endpoint = sharded_endpoint
+        client = RemoteLogger(endpoint.address)
+        client.submit_batch([record_for(keypool, topic) for topic in TOPICS])
+        assert wait_for(lambda: len(server) == len(TOPICS), timeout=5.0)
+        for topic, shard in GOLDEN_SHARDS_4.items():
+            assert len(server.shard(shard).entries(topic=topic)) == 1
+        client.close()
+
+    def test_negative_pin_rejected_client_side(self, plain_endpoint):
+        _, endpoint = plain_endpoint
+        with pytest.raises(ValueError):
+            RemoteLogger(endpoint.address, shard=-1)
+
+
+class TestPlainServerCompat:
+    def test_tag_one_means_the_whole_log_on_a_plain_server(
+        self, plain_endpoint, keypool
+    ):
+        """shard=0 against an unsharded server is the benign degenerate
+        case: the set has one shard, the whole log."""
+        server, endpoint = plain_endpoint
+        client = RemoteLogger(endpoint.address, shard=0)
+        client.submit(record_for(keypool, "/a"))
+        assert wait_for(lambda: len(server) == 1, timeout=5.0)
+        assert client.health(shard=0) == server.commitment()
+        client.close()
+
+    def test_other_tags_rejected_by_a_plain_server(self, plain_endpoint, keypool):
+        server, endpoint = plain_endpoint
+        client = RemoteLogger(endpoint.address, shard=2)
+        client.submit(record_for(keypool, "/a"))
+        assert wait_for(lambda: endpoint.rejected == 1, timeout=5.0)
+        assert len(server) == 0
+        with pytest.raises(LoggingError):
+            client.health(shard=2)
+        client.close()
+
+
+class TestShardedFetch:
+    def test_per_shard_fetch_matches_raw_records(self, sharded_endpoint, keypool):
+        server, endpoint = sharded_endpoint
+        for topic in TOPICS:
+            for seq in (1, 2):
+                server.submit(record_for(keypool, topic, seq))
+        client = RemoteLogger(endpoint.address)
+        for shard in range(4):
+            fetched = client.fetch_records(0, 100, shard=shard)
+            assert fetched == server.shard_raw_records(shard)
+        client.close()
+
+    def test_fetch_honors_start_and_count(self, sharded_endpoint, keypool):
+        server, endpoint = sharded_endpoint
+        shard = GOLDEN_SHARDS_4["/c"]
+        for seq in range(1, 7):
+            server.submit(record_for(keypool, "/c", seq))
+        client = RemoteLogger(endpoint.address)
+        fetched = client.fetch_records(2, 3, shard=shard)
+        assert fetched == server.shard_raw_records(shard, 2, 3)
+        assert len(fetched) == 3
+        client.close()
+
+    def test_untargeted_fetch_on_sharded_server_refused(self, sharded_endpoint):
+        """Per-shard index spaces make an untargeted fetch meaningless;
+        the server says so instead of inventing a merged order."""
+        _, endpoint = sharded_endpoint
+        client = RemoteLogger(endpoint.address)
+        with pytest.raises(LoggingError, match="shard"):
+            client.fetch_records(0, 10)
+        client.close()
+
+    def test_key_registration_reaches_every_shard(self, sharded_endpoint, keypool):
+        server, endpoint = sharded_endpoint
+        client = RemoteLogger(endpoint.address)
+        client.register_key("/extra", keypool[2].public)
+        for shard in range(4):
+            assert server.shard(shard).public_key("/extra") == keypool[2].public
+        client.close()

@@ -1,0 +1,166 @@
+"""Replication over sharded replicas: quorum fan-out and per-shard
+anti-entropy catch-up (``ReplicationConfig.shards``)."""
+
+import pytest
+
+from repro.core import LogServerEndpoint
+from repro.core.entries import Direction, LogEntry, Scheme
+from repro.core.policy import ReplicationConfig
+from repro.replication import ReplicatedLogger
+from repro.sharding import ShardedLogServer
+from repro.util.concurrency import wait_for
+
+from tests.sharding.workload import TOPICS, register_pair
+
+SHARDS = 3
+
+FAST = ReplicationConfig(
+    breaker_failure_threshold=2,
+    breaker_reset_timeout=0.05,
+    fetch_batch=3,  # force multi-batch replays even for small logs
+    shards=SHARDS,
+)
+
+
+def entry(i):
+    return LogEntry(
+        component_id="/pub",
+        topic=TOPICS[i % len(TOPICS)],  # spread the stream over every shard
+        type_name="std/String",
+        direction=Direction.OUT,
+        seq=i,
+        scheme=Scheme.ADLP,
+        data=b"payload-%04d" % i,
+    )
+
+
+def fresh_replica(keypool):
+    server = ShardedLogServer(shards=SHARDS)
+    register_pair(server, keypool)
+    return server
+
+
+@pytest.fixture()
+def replica_set(keypool):
+    servers = [fresh_replica(keypool) for _ in range(3)]
+    endpoints = [LogServerEndpoint(s) for s in servers]
+    yield servers, endpoints
+    for endpoint in endpoints:
+        endpoint.close()
+
+
+@pytest.fixture()
+def rlogger(replica_set):
+    _, endpoints = replica_set
+    rlogger = ReplicatedLogger([e.address for e in endpoints], config=FAST)
+    yield rlogger
+    rlogger.close()
+
+
+class TestShardedFanOut:
+    def test_submits_route_identically_on_every_replica(
+        self, replica_set, rlogger
+    ):
+        servers, _ = replica_set
+        for i in range(12):
+            rlogger.submit(entry(i))
+        assert wait_for(lambda: all(len(s) == 12 for s in servers), timeout=5.0)
+        roots = [s.commitment().root for s in servers]
+        assert roots[0] == roots[1] == roots[2]
+        # per-shard agreement too, not just the aggregate
+        for shard in range(SHARDS):
+            heads = [s.shard_commitment(shard).chain_head for s in servers]
+            assert heads[0] == heads[1] == heads[2]
+
+
+class TestShardedCatchUp:
+    def test_fresh_replica_replays_every_shard(
+        self, replica_set, rlogger, keypool
+    ):
+        servers, endpoints = replica_set
+        for i in range(15):
+            rlogger.submit(entry(i))
+        assert wait_for(lambda: all(len(s) == 15 for s in servers), timeout=5.0)
+
+        servers[1] = fresh_replica(keypool)
+        endpoints[1] = LogServerEndpoint(servers[1])
+        rlogger.reset_replica(1, endpoints[1].address)
+        results = rlogger.catch_up(replica=1)
+        assert results[0].ok
+        assert results[0].replayed == 15
+        assert servers[1].commitment().root == servers[0].commitment().root
+
+    def test_partial_lag_replays_only_the_missing_suffix(
+        self, replica_set, rlogger
+    ):
+        servers, _ = replica_set
+        for i in range(6):
+            rlogger.submit(entry(i))
+        assert wait_for(lambda: all(len(s) == 6 for s in servers), timeout=5.0)
+        # replica 0 misses a window; the others keep going
+        for i in range(6, 12):
+            record = entry(i).encode()
+            servers[1].submit(record)
+            servers[2].submit(record)
+        results = rlogger.catch_up()
+        assert [r.replica for r in results] == [0]
+        assert results[0].ok
+        assert results[0].replayed == 6
+        assert servers[0].commitment().root == servers[1].commitment().root
+
+    def test_lag_confined_to_one_shard_is_repaired(self, replica_set, rlogger):
+        """Only one shard lags (a single-topic burst was missed); the
+        per-shard fold touches just that shard's records."""
+        servers, _ = replica_set
+        for i in range(6):
+            rlogger.submit(entry(i))
+        assert wait_for(lambda: all(len(s) == 6 for s in servers), timeout=5.0)
+        topic = TOPICS[0]
+        lagging_shard = servers[0].shard_of(topic)
+        for seq in (100, 101, 102):
+            record = LogEntry(
+                component_id="/pub", topic=topic, type_name="std/String",
+                direction=Direction.OUT, seq=seq, scheme=Scheme.ADLP,
+                data=b"burst",
+            ).encode()
+            servers[1].submit(record)
+            servers[2].submit(record)
+        results = rlogger.catch_up()
+        assert [r.replica for r in results] == [0]
+        assert results[0].ok
+        assert results[0].replayed == 3
+        assert (
+            servers[0].shard_commitment(lagging_shard)
+            == servers[1].shard_commitment(lagging_shard)
+        )
+        assert servers[0].commitment().root == servers[1].commitment().root
+
+    def test_forked_shard_is_refused_not_overwritten(
+        self, replica_set, rlogger, keypool
+    ):
+        """A replica whose shard history contradicts the donor's must stay
+        quarantined: replaying over the fork would bury the evidence."""
+        servers, endpoints = replica_set
+        donor_records = [entry(i).encode() for i in range(6)]
+        for record in donor_records:
+            servers[1].submit(record)
+            servers[2].submit(record)
+        # replica 0: shorter AND forked (one record substituted)
+        forked = list(donor_records[:4])
+        forked[1] = entry(99).encode()
+        for record in forked:
+            servers[0].submit(record)
+
+        results = rlogger.catch_up(replica=0)
+        assert not results[0].ok
+        assert len(servers[0]) == 4  # untouched, evidence preserved
+        assert servers[0].commitment().root != servers[1].commitment().root
+
+
+class TestConfigValidation:
+    def test_negative_shards_rejected(self):
+        with pytest.raises(ValueError):
+            ReplicationConfig(shards=-1)
+
+    def test_zero_means_unsharded(self):
+        assert ReplicationConfig().shards == 0

@@ -1,0 +1,152 @@
+"""Satellite: tampering is localized to the shard that holds it.
+
+Three escalating scenarios:
+
+- an in-memory shard's store is rewritten -> ``audit_sharded`` flags
+  exactly that shard as tampered while the others still classify;
+- a durable shard's WAL is flipped mid-record while the server is live
+  -> the strict per-shard verify fails for that shard only;
+- a durable shard's WAL tail is flipped, the set is re-opened (recovery
+  truncates the damaged suffix), and the audit compares against the
+  previously published :class:`ShardSetCommitment` -> the mismatch names
+  exactly the damaged shard.
+"""
+
+import os
+
+import pytest
+
+from repro.errors import LogIntegrityError
+from repro.sharding import ShardedLogServer, audit_sharded, shard_dirname
+from repro.storage.durable_store import WAL_SUBDIR
+from repro.storage.wal import SEGMENT_HEADER_SIZE, segment_paths
+
+from tests.sharding.workload import (
+    TOPICS,
+    honest_pair,
+    register_pair,
+    topology_for,
+)
+
+
+def feed(server, keypool, seqs=(1, 2, 3)):
+    for topic in TOPICS:
+        for seq in seqs:
+            pub, sub = honest_pair(keypool, topic, seq, b"payload-%d" % seq)
+            server.submit(pub.encode())
+            server.submit(sub.encode())
+
+
+def flip_byte(path, offset):
+    with open(path, "r+b") as f:
+        f.seek(offset)
+        byte = f.read(1)
+        f.seek(offset)
+        f.write(bytes([byte[0] ^ 0x01]))
+
+
+def shard_wal_segments(store_dir, shard):
+    return segment_paths(
+        os.path.join(store_dir, shard_dirname(shard), WAL_SUBDIR)
+    )
+
+
+class TestInMemoryTamper:
+    @pytest.mark.parametrize("victim", [0, 2, 3])
+    def test_exactly_the_rewritten_shard_is_flagged(self, keypool, victim):
+        server = ShardedLogServer(shards=4)
+        register_pair(server, keypool)
+        feed(server, keypool)
+        server.shard(victim).store.tamper(0, b"rewritten history")
+
+        result = audit_sharded(server, topology=topology_for())
+        assert result.tampered_shards == [victim]
+        assert result.flagged_shards() == [victim]
+        assert not result.clean
+        # the damaged shard produced no verdicts; the others all did
+        for outcome in result.outcomes:
+            if outcome.shard == victim:
+                assert outcome.tampered and outcome.report is None
+                assert outcome.error
+            else:
+                assert not outcome.tampered and outcome.report is not None
+        # merged report covers exactly the three intact shards' entries
+        intact = sum(
+            o.entries for o in result.outcomes if o.shard != victim
+        )
+        assert len(result.report.classified) == intact
+
+    def test_clean_set_is_clean(self, keypool):
+        server = ShardedLogServer(shards=4)
+        register_pair(server, keypool)
+        feed(server, keypool)
+        result = audit_sharded(server, topology=topology_for())
+        assert result.tampered_shards == []
+        assert result.clean
+
+
+class TestLiveDurableTamper:
+    def test_wal_flip_fails_exactly_one_shard(self, tmp_path, keypool):
+        store_dir = str(tmp_path / "sharded")
+        server = ShardedLogServer(shards=3, store_dir=store_dir, fsync="never")
+        register_pair(server, keypool)
+        feed(server, keypool)
+        victim = server.shard_of("/a")
+        wal_path = shard_wal_segments(store_dir, victim)[-1][1]
+        flip_byte(wal_path, SEGMENT_HEADER_SIZE + 9)
+
+        with pytest.raises(LogIntegrityError, match="shard %d" % victim):
+            server.verify_integrity()
+        result = audit_sharded(server, topology=topology_for())
+        assert result.tampered_shards == [victim]
+        server.close()
+
+
+class TestRecoveredTamperLocalization:
+    def test_set_commitment_mismatch_names_the_damaged_shard(
+        self, tmp_path, keypool
+    ):
+        store_dir = str(tmp_path / "sharded")
+        server = ShardedLogServer(shards=3, store_dir=store_dir, fsync="never")
+        register_pair(server, keypool)
+        feed(server, keypool)
+        published = server.commitment()
+        victim = server.shard_of("/h")
+        server.close()
+
+        # flip a byte inside the WAL's final record: recovery truncates
+        # the damaged suffix instead of vouching for it
+        wal_path = shard_wal_segments(store_dir, victim)[-1][1]
+        flip_byte(wal_path, os.path.getsize(wal_path) - 3)
+
+        reopened = ShardedLogServer(shards=3, store_dir=store_dir, fsync="never")
+        result = audit_sharded(
+            reopened, topology=topology_for(), expected=published
+        )
+        assert result.mismatched_shards == [victim]
+        assert result.flagged_shards() == [victim]
+        assert not result.clean
+        assert result.commitment.root != published.root
+        # the recovered shard is internally consistent -- shorter, not torn
+        assert result.tampered_shards == []
+        assert len(reopened) == published.entries - 1
+        reopened.close()
+
+    def test_undamaged_reopen_matches_the_published_commitment(
+        self, tmp_path, keypool
+    ):
+        store_dir = str(tmp_path / "sharded")
+        server = ShardedLogServer(shards=3, store_dir=store_dir, fsync="never")
+        register_pair(server, keypool)
+        feed(server, keypool)
+        published = server.commitment()
+        server.close()
+
+        reopened = ShardedLogServer(shards=3, store_dir=store_dir, fsync="never")
+        result = audit_sharded(
+            reopened, topology=topology_for(), expected=published
+        )
+        assert result.mismatched_shards == []
+        assert result.commitment.root == published.root
+        assert result.clean
+        reopened.close()
