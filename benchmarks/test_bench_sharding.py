@@ -14,12 +14,19 @@ axes that sharding opens up:
 - **audit wall-clock vs worker count**: ``audit_sharded`` fans per-shard
   audits (signature verification and pairwise matching) across a worker
   pool.
+- **thread vs process backend, batched submit**: the same durable
+  4-shard workload group-committed in 64-entry batches through
+  ``ShardedLogServer`` and ``ProcessShardedLogServer`` -- the row that
+  shows what escaping the GIL buys once each shard hashes in its own
+  interpreter.
 
 Sharding is verdict- and commitment-preserving (asserted by
-``tests/sharding/``); this file measures only speed.  The >2x scaling
-assertion only runs where scaling is physically possible (4+ CPUs, not
-SMOKE); the recorded numbers are honest either way -- on a 1-CPU host
-every shard count lands near the same rate.
+``tests/sharding/``); this file measures only speed.  Scaling assertions
+only run where scaling is physically possible (4+ CPUs via
+:func:`host_cpu_count`, not SMOKE), and every saved row carries the
+``cpu_count`` it was measured on so the numbers stay interpretable --
+on a 1-CPU host every variant lands near the same rate and that is the
+honest result.
 
 Set ``REPRO_BENCH_SMOKE=1`` for a tiny CI-sized workload.
 """
@@ -27,15 +34,22 @@ Set ``REPRO_BENCH_SMOKE=1`` for a tiny CI-sized workload.
 from __future__ import annotations
 
 import os
+import shutil
+import tempfile
 import threading
 import time
 
 import pytest
 
-from repro.bench.reporting import Table, save_results
+from repro.bench.reporting import Table, host_cpu_count, save_results
 from repro.core.entries import Direction, LogEntry, Scheme
 from repro.core.protocol import message_digest
-from repro.sharding import ShardRouter, ShardedLogServer, audit_sharded
+from repro.sharding import (
+    ShardRouter,
+    ShardedLogServer,
+    audit_sharded,
+    make_sharded_server,
+)
 from repro.sharding.router import _ROUTE_PREFIX  # the routing hash domain
 
 SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
@@ -46,8 +60,17 @@ ROUNDS = 1 if SMOKE else 3
 SHARD_COUNTS = (1, 2, 4)
 WORKER_COUNTS = (1, 2, 4)
 AUDIT_TRANSMISSIONS = 12 if SMOKE else 48
+BACKENDS = ("thread", "process")
+BATCH = 64
 
 _results: dict = {}
+
+
+def _row(value: float) -> dict:
+    """One saved benchmark row: the measurement plus the host's CPU
+    count, so a scaling number can never be read without knowing whether
+    scaling was physically possible when it was taken."""
+    return {"value": value, "cpu_count": host_cpu_count()}
 
 
 def _topic_groups(count: int = THREADS) -> dict:
@@ -130,6 +153,54 @@ def test_submit_scaling(benchmark, shards):
     )
 
 
+# -- thread vs process backend, batched submit --------------------------------
+
+
+def _interleaved_records() -> list:
+    """The submit workload as encoded records, round-robin across the
+    four topic groups so every 64-entry batch spans every shard (the
+    fan-out the process backend parallelizes)."""
+    records = []
+    for i in range(PER_THREAD):
+        for group in range(THREADS):
+            records.append(WORK[group][i].encode())
+    return records
+
+
+BATCHED_RECORDS = _interleaved_records()
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_batched_submit_backends(benchmark, backend):
+    """Group-committed ingest through both sharding backends, durable
+    stores with ``fsync="never"`` for both so the comparison isolates
+    hashing parallelism, not fsync policy."""
+    created = []
+
+    def setup():
+        store_dir = tempfile.mkdtemp(prefix="bench-%s-" % backend)
+        server = make_sharded_server(
+            backend=backend, shards=4, store_dir=store_dir, fsync="never"
+        )
+        created.append((server, store_dir))
+        return (server,), {}
+
+    def hammer(server):
+        for start in range(0, len(BATCHED_RECORDS), BATCH):
+            server.submit_batch(BATCHED_RECORDS[start : start + BATCH])
+        assert len(server) == THREADS * PER_THREAD
+
+    try:
+        benchmark.pedantic(hammer, setup=setup, rounds=ROUNDS, warmup_rounds=0)
+    finally:
+        for server, store_dir in created:
+            server.close()
+            shutil.rmtree(store_dir, ignore_errors=True)
+    _results[f"batched_submit_{backend}"] = (
+        THREADS * PER_THREAD / benchmark.stats.stats.mean
+    )
+
+
 # -- audit wall-clock vs worker count -----------------------------------------
 
 
@@ -188,21 +259,39 @@ def test_audit_scaling(benchmark, audit_server, workers):
 
 def test_report_sharding(benchmark):
     benchmark(lambda: None)
-    cpus = os.cpu_count() or 1
+    cpus = host_cpu_count()
 
     table = Table(
         f"Sharded submit: entries/s, {THREADS} threads, "
         f"{len(PAYLOAD)} B payloads ({cpus} cpus)",
         ["Shards", "Entries/s", "vs 1 shard"],
     )
-    data = {"cpus": cpus, "threads": THREADS, "payload_bytes": len(PAYLOAD)}
+    data = {
+        "cpus": cpus,  # legacy top-level copy; every row repeats it
+        "threads": THREADS,
+        "payload_bytes": len(PAYLOAD),
+    }
     base = _results["submit_1_shards"]
     for shards in SHARD_COUNTS:
         rate = _results[f"submit_{shards}_shards"]
         table.add_row(shards, rate, f"{rate / base:.2f}x")
-        data[f"submit_{shards}_shards"] = rate
-    data["submit_speedup_4_shards"] = _results["submit_4_shards"] / base
+        data[f"submit_{shards}_shards"] = _row(rate)
+    data["submit_speedup_4_shards"] = _row(_results["submit_4_shards"] / base)
     table.show()
+
+    backend_table = Table(
+        f"Batched submit, 4 shards, batch={BATCH}: entries/s by backend "
+        f"({cpus} cpus)",
+        ["Backend", "Entries/s", "vs thread"],
+    )
+    thread_rate = _results["batched_submit_thread"]
+    for backend in BACKENDS:
+        rate = _results[f"batched_submit_{backend}"]
+        backend_table.add_row(backend, rate, f"{rate / thread_rate:.2f}x")
+        data[f"batched_submit_{backend}"] = _row(rate)
+    process_speedup = _results["batched_submit_process"] / thread_rate
+    data["batched_submit_process_speedup"] = _row(process_speedup)
+    backend_table.show()
 
     audit_table = Table(
         f"Sharded audit: wall-clock seconds, 4 shards, "
@@ -213,17 +302,24 @@ def test_report_sharding(benchmark):
     for workers in WORKER_COUNTS:
         seconds = _results[f"audit_{workers}_workers"]
         audit_table.add_row(workers, seconds, f"{audit_base / seconds:.2f}x")
-        data[f"audit_seconds_{workers}_workers"] = seconds
-    data["audit_speedup_4_workers"] = audit_base / _results["audit_4_workers"]
+        data[f"audit_seconds_{workers}_workers"] = _row(seconds)
+    data["audit_speedup_4_workers"] = _row(
+        audit_base / _results["audit_4_workers"]
+    )
     audit_table.show()
 
     save_results("sharding", data)
     assert all(rate > 0 for rate in _results.values())
-    # The scaling bar only applies where scaling is physically possible:
-    # chain/Merkle hashing overlaps across shards via GIL release, which
-    # needs cores to land on.  A 1-CPU host records honest flat numbers.
+    # The scaling bars only apply where scaling is physically possible:
+    # threaded shards overlap hashing via GIL release, process shards via
+    # separate interpreters -- both need cores to land on.  A 1-CPU host
+    # records honest flat numbers (each row says so via its cpu_count).
     if not SMOKE and cpus >= 4:
-        assert data["submit_speedup_4_shards"] >= 2.0, (
-            f"4-shard submit speedup "
-            f"{data['submit_speedup_4_shards']:.2f}x < 2x on {cpus} cpus"
+        speedup = data["submit_speedup_4_shards"]["value"]
+        assert speedup >= 2.0, (
+            f"4-shard submit speedup {speedup:.2f}x < 2x on {cpus} cpus"
+        )
+        assert process_speedup >= 2.0, (
+            f"process backend batched submit {process_speedup:.2f}x the "
+            f"threaded rate on {cpus} cpus (expected >= 2x at 4 shards)"
         )

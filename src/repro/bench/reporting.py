@@ -14,6 +14,21 @@ from typing import Any, Dict, List, Sequence
 
 _RESULTS_PATH = os.environ.get("REPRO_BENCH_RESULTS", "bench_results.json")
 _lock = threading.Lock()
+_cpu_count: "int | None" = None
+
+
+def host_cpu_count() -> int:
+    """The host's CPU count, detected once and shared.
+
+    Every benchmark that gates a scaling assertion on available
+    parallelism (and every saved row that must be interpretable later)
+    uses this single helper, so gating and recording can never disagree
+    about what host the numbers came from.
+    """
+    global _cpu_count
+    if _cpu_count is None:
+        _cpu_count = os.cpu_count() or 1
+    return _cpu_count
 
 
 class Table:

@@ -25,6 +25,7 @@ flows).
 
 from __future__ import annotations
 
+import json
 import logging
 import threading
 import time
@@ -54,6 +55,18 @@ from repro.util.concurrency import StoppableThread
 
 logger = logging.getLogger(__name__)
 
+
+class RemoteUnavailable(LoggingError):
+    """The server could not be reached, the connection died mid-exchange,
+    or the reply never arrived.
+
+    A :class:`LoggingError` subclass so existing callers are unaffected,
+    but distinguishable from a server that *answered* with a rejection:
+    the process-shard supervisor restarts a worker on this, while a
+    server-side rejection (misroute, undecodable entry) must propagate --
+    restarting would just replay the same refusal.
+    """
+
 #: RPC operation codes.
 OP_REGISTER_KEY = 1
 OP_SUBMIT = 2
@@ -61,6 +74,9 @@ OP_HEALTH = 3
 OP_FETCH = 4
 OP_KEYS = 5
 OP_SUBMIT_BATCH = 6
+OP_CHECKPOINT = 7
+OP_STATS = 8
+OP_VERIFY = 9
 
 #: Upper bound on records returned by one ``OP_FETCH`` (bounds response
 #: frames; catch-up loops until it has the whole range).
@@ -95,6 +111,12 @@ class LoggerRequest(WireMessage):
     #: ``0`` means "untargeted" and frames from pre-sharding clients keep
     #: their old meaning.
     shard = uint64(8)
+    #: SUBMIT/SUBMIT_BATCH: when set, the server answers with a
+    #: :class:`LoggerResponse` whose ``entries`` is its post-ingest entry
+    #: count -- the acknowledged submission mode the process-sharded
+    #: parent uses (the wire default ``0`` keeps classic frames
+    #: fire-and-forget).
+    sync = boolean(9)
 
 
 class LoggerResponse(WireMessage):
@@ -112,6 +134,10 @@ class LoggerResponse(WireMessage):
     #: OP_HEALTH: shard count of a sharded server (0 = not sharded); lets
     #: a client discover the shard layout before tagging frames.
     shards = uint64(10)
+    #: OP_STATS: the server's flat counters as a JSON object (a schema
+    #: field per counter would couple the wire format to every backend's
+    #: counter set; stats are observability, not evidence).
+    stats_json = string(11)
 
 
 class LogServerEndpoint:
@@ -191,6 +217,15 @@ class LogServerEndpoint:
             if request.op == OP_SUBMIT:
                 with self._lock:
                     self.submissions += 1
+                if request.sync:
+                    response = self._ingest_sync(
+                        [bytes(request.entry_bytes)], request.shard
+                    )
+                    try:
+                        connection.send_frame(response.encode())
+                    except ConnectionClosed:
+                        return
+                    continue
                 try:
                     self._submit_one(request.entry_bytes, request.shard)
                 except LoggingError:
@@ -199,10 +234,17 @@ class LogServerEndpoint:
                         self.rejected += 1
                 continue
             if request.op == OP_SUBMIT_BATCH:
-                self._ingest_batch(
-                    [bytes(record) for record in request.entry_batch],
-                    shard_tag=request.shard,
-                )
+                batch = [bytes(record) for record in request.entry_batch]
+                if request.sync:
+                    with self._lock:
+                        self.submissions += len(batch)
+                    response = self._ingest_sync(batch, request.shard)
+                    try:
+                        connection.send_frame(response.encode())
+                    except ConnectionClosed:
+                        return
+                    continue
+                self._ingest_batch(batch, shard_tag=request.shard)
                 continue
             response = self._answer(request)
             try:
@@ -280,6 +322,53 @@ class LogServerEndpoint:
                 with self._lock:
                     self.rejected += 1
 
+    def _ingest_sync(self, batch: List[bytes], shard_tag: int) -> LoggerResponse:
+        """Acknowledged ingest: all-or-nothing, with the post-ingest entry
+        count in the response.
+
+        Unlike the fire-and-forget path there is no per-entry poison
+        fallback -- the caller holds the batch and learns exactly what
+        happened, so a refusal is *reported* (``ok=False`` plus the
+        server's unchanged count) instead of being partially absorbed.
+        The count is what lets the process-shard parent reconcile after a
+        crash: the server ingests this connection's frames in order, so
+        ``entries`` tells the caller precisely which prefix of its
+        submissions has been accepted (and, with a durable store, made
+        crash-durable) so far.
+        """
+        try:
+            if shard_tag:
+                submit_batch_to_shard = getattr(
+                    self.server, "submit_batch_to_shard", None
+                )
+                if submit_batch_to_shard is not None:
+                    submit_batch_to_shard(shard_tag - 1, batch)
+                elif shard_tag == 1:
+                    self._ingest_plain_sync(batch)
+                else:
+                    raise LoggingError(
+                        f"shard {shard_tag - 1} targeted on an unsharded server"
+                    )
+            else:
+                self._ingest_plain_sync(batch)
+        except Exception as exc:
+            # Includes store failures: the server's batch ingest rolled
+            # back, so the count we report is still exact.
+            with self._lock:
+                self.rejected += len(batch)
+            return LoggerResponse(
+                ok=False, error=str(exc), entries=len(self.server)
+            )
+        return LoggerResponse(ok=True, entries=len(self.server))
+
+    def _ingest_plain_sync(self, batch: List[bytes]) -> None:
+        submit_batch = getattr(self.server, "submit_batch", None)
+        if submit_batch is not None:
+            submit_batch(batch)
+            return
+        for record in batch:
+            self.server.submit(record)
+
     def _answer(self, request: LoggerRequest) -> LoggerResponse:
         """Build the response for a synchronous (non-SUBMIT) request."""
         try:
@@ -298,6 +387,35 @@ class LogServerEndpoint:
                 return LoggerResponse(
                     ok=True, key_ids=ids, key_blobs=[keys[i] for i in ids]
                 )
+            if request.op == OP_CHECKPOINT:
+                # Force a durable checkpoint now (no-op for in-memory
+                # stores) -- how the process-shard parent fans its own
+                # ``checkpoint()`` out to worker subprocesses.
+                self.server.checkpoint()
+                return LoggerResponse(ok=True)
+            if request.op == OP_STATS:
+                data: Dict[str, int] = {
+                    "entries": len(self.server),
+                    "total_bytes": int(self.server.total_bytes),
+                    "rejected_submissions": int(
+                        getattr(self.server, "rejected_submissions", 0)
+                    ),
+                }
+                stats = getattr(self.server, "stats", None)
+                if callable(stats):
+                    data.update(stats())
+                return LoggerResponse(
+                    ok=True,
+                    entries=len(self.server),
+                    stats_json=json.dumps(data, sort_keys=True),
+                )
+            if request.op == OP_VERIFY:
+                # Tamper-evidence check of the server's *actual* store
+                # (the durable WAL bytes for a durable store) -- fetching
+                # records and re-chaining them client-side would only
+                # prove transit integrity.
+                self.server.verify_integrity()
+                return LoggerResponse(ok=True, entries=len(self.server))
             return LoggerResponse(ok=False, error=f"unknown op {request.op}")
         except Exception as exc:
             return LoggerResponse(ok=False, error=str(exc))
@@ -497,16 +615,21 @@ class RemoteLogger:
 
     def _rpc(self, request: LoggerRequest, timeout: float) -> LoggerResponse:
         """One synchronous request/response exchange; raises
-        :class:`LoggingError` on any connection or timeout trouble."""
+        :class:`RemoteUnavailable` (a :class:`LoggingError`) on any
+        connection or timeout trouble."""
         with self._rpc_lock:
             connection = self._connect()
             if connection is None:
-                raise LoggingError(f"log server unreachable at {self._address!r}")
+                raise RemoteUnavailable(
+                    f"log server unreachable at {self._address!r}"
+                )
             try:
                 connection.send_frame(request.encode())
                 frame = connection.recv_frame(timeout=timeout)
             except ConnectionClosed as exc:
-                raise LoggingError(f"log server connection lost: {exc}") from exc
+                raise RemoteUnavailable(
+                    f"log server connection lost: {exc}"
+                ) from exc
             if frame is None:
                 # The server may still answer after the deadline; a late
                 # response left queued on this socket would be decoded as
@@ -517,7 +640,7 @@ class RemoteLogger:
                     if self._connection is connection:
                         self._connection = None
                 connection.close()
-                raise LoggingError("log server did not answer in time")
+                raise RemoteUnavailable("log server did not answer in time")
             return LoggerResponse.decode(frame)
 
     def register_key(self, component_id: str, key: Union[PublicKey, bytes]) -> None:
@@ -598,6 +721,83 @@ class RemoteLogger:
             component_id: bytes(blob)
             for component_id, blob in zip(response.key_ids, response.key_blobs)
         }
+
+    def submit_batch_sync(
+        self,
+        entries: List[Union[LogEntry, bytes]],
+        shard: Optional[int] = None,
+        timeout: float = 30.0,
+    ) -> int:
+        """Acknowledged group commit: returns the server's entry count
+        after the whole batch is ingested (and, on a durable server,
+        journaled).
+
+        The process-sharded parent's submission mode: nothing is spilled
+        or retried here -- :class:`RemoteUnavailable` means the caller
+        does not know how much of the batch landed and must reconcile
+        against the server's count after reconnecting (frames on one
+        connection are ingested in order, so the count identifies the
+        accepted prefix exactly); a plain :class:`LoggingError` means the
+        server answered and refused (nothing was ingested).
+        """
+        records = [
+            entry.encode() if isinstance(entry, LogEntry) else bytes(entry)
+            for entry in entries
+        ]
+        tag = self._shard_tag(shard)
+        count = 0
+        chunk: List[bytes] = []
+        size = 0
+        chunks: List[List[bytes]] = []
+        for record in records:
+            if chunk and size + len(record) > BATCH_FRAME_BYTES:
+                chunks.append(chunk)
+                chunk, size = [], 0
+            chunk.append(record)
+            size += len(record)
+        if chunk:
+            chunks.append(chunk)
+        if not chunks:
+            chunks = [[]]  # an empty batch still round-trips for the count
+        for chunk in chunks:
+            if len(chunk) == 1:
+                request = LoggerRequest(
+                    op=OP_SUBMIT, entry_bytes=chunk[0], shard=tag, sync=True
+                )
+            else:
+                request = LoggerRequest(
+                    op=OP_SUBMIT_BATCH, entry_batch=chunk, shard=tag, sync=True
+                )
+            response = self._rpc(request, timeout=timeout)
+            if not response.ok:
+                raise LoggingError(f"batch submission rejected: {response.error}")
+            count = int(response.entries)
+        return count
+
+    def checkpoint(self, timeout: float = 30.0) -> None:
+        """Ask the server to take a durable checkpoint now."""
+        response = self._rpc(LoggerRequest(op=OP_CHECKPOINT), timeout=timeout)
+        if not response.ok:
+            raise LoggingError(f"checkpoint rejected: {response.error}")
+
+    def server_stats(self, timeout: float = 5.0) -> Dict[str, int]:
+        """The server's flat counters (entry/byte/rejection totals plus
+        whatever its ``stats()`` contributes, e.g. a shard worker's
+        recovery summary)."""
+        response = self._rpc(LoggerRequest(op=OP_STATS), timeout=timeout)
+        if not response.ok:
+            raise LoggingError(f"stats probe rejected: {response.error}")
+        return json.loads(response.stats_json) if response.stats_json else {}
+
+    def verify_remote(self, timeout: float = 60.0) -> int:
+        """Run the server's tamper-evidence verification (its actual
+        store, WAL bytes included); returns its entry count.  Raises
+        :class:`LoggingError` with the server's integrity error when the
+        store fails verification."""
+        response = self._rpc(LoggerRequest(op=OP_VERIFY), timeout=timeout)
+        if not response.ok:
+            raise LoggingError(f"remote store failed verification: {response.error}")
+        return int(response.entries)
 
     def submit(self, entry: Union[LogEntry, bytes]) -> int:
         """Fire-and-forget submission; returns 0 (no server-side index).

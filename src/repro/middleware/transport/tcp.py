@@ -50,7 +50,10 @@ class TcpConnection(Connection):
         sock: socket.socket,
         send_timeout: Optional[float] = DEFAULT_SEND_TIMEOUT,
     ):
-        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        # The framing/locking/timeout logic is family-agnostic, so the unix
+        # transport reuses this class; Nagle only exists for TCP sockets.
+        if sock.family in (socket.AF_INET, socket.AF_INET6):
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         if send_timeout is not None:
             seconds = int(send_timeout)
             sock.setsockopt(

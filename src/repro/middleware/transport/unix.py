@@ -1,0 +1,126 @@
+"""Unix-domain stream transport with the same 4-byte length framing.
+
+The process-sharded logger (:mod:`repro.sharding.process_server`) talks to
+its worker subprocesses over this transport: both ends live on one host,
+so a filesystem socket gives the parent a name it can choose *before* the
+worker exists (a TCP listener binds an ephemeral port the parent would
+have to learn back out of the child), skips the TCP handshake/port
+accounting, and disappears with the store directory.
+
+Framing, locking, send timeouts, and the peer-EOF peek are all
+family-agnostic, so connections reuse :class:`TcpConnection` directly over
+``AF_UNIX`` sockets.  Addresses are ``("unix", path)`` tuples, mirroring
+the ``("tcp", host, port)`` shape the rest of the stack passes around.
+
+On platforms without ``AF_UNIX`` (Windows before 1803), callers should
+fall back to :class:`~repro.middleware.transport.tcp.TcpTransport` on
+localhost; :func:`unix_sockets_supported` is the feature probe.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+from typing import Optional, Tuple
+
+from repro.errors import TransportError
+from repro.middleware.transport.base import Connection, Listener, Transport
+from repro.middleware.transport.tcp import DEFAULT_SEND_TIMEOUT, TcpConnection
+
+
+def unix_sockets_supported() -> bool:
+    """Whether this platform can create ``AF_UNIX`` stream sockets."""
+    return hasattr(socket, "AF_UNIX")
+
+
+class UnixListener(Listener):
+    """Accept endpoint bound to a filesystem socket path."""
+
+    def __init__(
+        self,
+        path: str,
+        send_timeout: Optional[float] = DEFAULT_SEND_TIMEOUT,
+    ):
+        self._path = path
+        self._send_timeout = send_timeout
+        self._closed = threading.Event()
+        # A stale socket file from a SIGKILLed previous incarnation would
+        # make bind() fail with EADDRINUSE even though nobody listens; the
+        # supervisor restarts workers onto the same path, so clear it.
+        try:
+            os.unlink(path)
+        except FileNotFoundError:
+            pass
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        try:
+            sock.bind(path)
+            sock.listen(64)
+        except OSError as exc:
+            sock.close()
+            raise TransportError(f"cannot listen on {path!r}: {exc}") from exc
+        self._sock = sock
+
+    @property
+    def address(self) -> Tuple:
+        return ("unix", self._path)
+
+    def accept(self, timeout: Optional[float] = None) -> Optional[Connection]:
+        if self._closed.is_set():
+            return None
+        try:
+            self._sock.settimeout(timeout)
+            client, _ = self._sock.accept()
+        except socket.timeout:
+            return None
+        except OSError:
+            return None  # listener closed concurrently
+        return TcpConnection(client, send_timeout=self._send_timeout)
+
+    def close(self) -> None:
+        if not self._closed.is_set():
+            self._closed.set()
+            self._sock.close()
+            try:
+                os.unlink(self._path)
+            except OSError:
+                pass
+
+
+class UnixTransport(Transport):
+    """Factory for unix-domain stream listeners/connections.
+
+    :param path: the socket path ``listen()`` binds.  Connect-only uses
+        (e.g. the parent side of the worker protocol) may omit it.
+    """
+
+    def __init__(
+        self,
+        path: Optional[str] = None,
+        connect_timeout: float = 5.0,
+        send_timeout: Optional[float] = DEFAULT_SEND_TIMEOUT,
+    ):
+        self.path = path
+        self.connect_timeout = connect_timeout
+        self.send_timeout = send_timeout
+
+    def listen(self) -> Listener:
+        if self.path is None:
+            raise TransportError("UnixTransport needs a path to listen on")
+        return UnixListener(self.path, send_timeout=self.send_timeout)
+
+    def connect(self, address: Tuple) -> Connection:
+        if not (
+            isinstance(address, tuple) and len(address) == 2 and address[0] == "unix"
+        ):
+            raise TransportError(f"not a unix address: {address!r}")
+        _, path = address
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        try:
+            sock.settimeout(self.connect_timeout)
+            sock.connect(path)
+        except OSError as exc:
+            sock.close()
+            raise TransportError(f"connect to {path!r} failed: {exc}") from exc
+        sock.settimeout(None)
+        return TcpConnection(sock, send_timeout=self.send_timeout)

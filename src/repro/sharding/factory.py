@@ -1,0 +1,66 @@
+"""Backend switch for the sharded trusted logger.
+
+Both backends expose the same logger surface and produce byte-identical
+:class:`~repro.sharding.sharded_server.ShardSetCommitment` roots for
+identical inputs (the cross-process equivalence suite's invariant), so
+callers pick purely on deployment shape:
+
+- ``"thread"``: N shards inside this interpreter
+  (:class:`~repro.sharding.sharded_server.ShardedLogServer`).  Cheapest;
+  hashing still serializes on the GIL.  In-memory unless ``store_dir``
+  is given.
+- ``"process"``: N worker subprocesses
+  (:class:`~repro.sharding.process_server.ProcessShardedLogServer`).
+  True CPU parallelism; always durable (each worker owns a WAL), and
+  ``fsync`` defaults to ``"always"`` there so an acknowledged submit is a
+  durable submit.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import LoggingError
+from repro.sharding.process_server import ProcessShardedLogServer
+from repro.sharding.sharded_server import ShardedLogServer
+
+#: Backends :func:`make_sharded_server` accepts.
+BACKENDS = ("thread", "process")
+
+
+def make_sharded_server(
+    backend: str = "thread",
+    shards: int = 4,
+    store_dir: Optional[str] = None,
+    fsync: "str | None" = None,
+    checkpoint_every: int = 256,
+    **kwargs,
+):
+    """Build a sharded logger; ``backend`` selects threads or processes.
+
+    Extra keyword arguments pass through to the chosen class (e.g. the
+    process backend's ``initial_worker_env``/``probe_interval``); an
+    argument the chosen backend does not take raises ``TypeError`` like
+    any wrong call would.
+    """
+    if backend == "thread":
+        return ShardedLogServer(
+            shards=shards,
+            store_dir=store_dir,
+            fsync=fsync,
+            checkpoint_every=checkpoint_every,
+            **kwargs,
+        )
+    if backend == "process":
+        if fsync is None:
+            fsync = "always"  # ACK == durable, the reconcile contract
+        return ProcessShardedLogServer(
+            shards=shards,
+            store_dir=store_dir,
+            fsync=fsync,
+            checkpoint_every=checkpoint_every,
+            **kwargs,
+        )
+    raise LoggingError(
+        f"unknown sharding backend {backend!r}; expected one of {BACKENDS}"
+    )

@@ -1,0 +1,852 @@
+"""Process-parallel topic-sharded trusted logger.
+
+:class:`~repro.sharding.sharded_server.ShardedLogServer` removes the
+single submit lock but keeps every shard inside one interpreter, so one
+GIL still serializes the hashing.  This module moves each shard into its
+own *worker subprocess* (:mod:`repro.sharding.worker`): one ``LogServer``
++ WAL/checkpoint directory per worker, served over a unix socket through
+the ordinary :class:`~repro.core.remote.LogServerEndpoint`.  The parent
+routes with the same deterministic :class:`ShardRouter` and speaks the
+shard-tagged wire protocol through one pinned
+:class:`~repro.core.remote.RemoteLogger` per worker -- the sharded remote
+protocol *is* the parent<->worker transport; no new RPC layer exists.
+
+Layout on disk is byte-identical to the threaded backend's::
+
+    store_dir/
+        shard-000/       <- worker 0's DurableLogStore
+        shard-001/
+        ...
+        worker-000.log   <- worker stdout/stderr (not a shard dir)
+        worker-000.sock  <- unix socket (unlinked on close)
+
+so a store written by one backend reopens under the other, and identical
+inputs produce identical :class:`ShardSetCommitment` roots (asserted by
+the cross-process equivalence suite).
+
+Exactly-once submission across worker crashes
+---------------------------------------------
+
+Parent submits are *acknowledged*: every sub-batch goes out as a sync
+``OP_SUBMIT(_BATCH)`` and the worker answers with its post-ingest entry
+count.  The parent keeps a per-worker ``acked`` count; because each worker
+has exactly one writer (this parent) feeding one FIFO connection, the
+count identifies the accepted prefix of in-flight records exactly.  When
+a worker dies mid-batch the supervisor respawns it on the same store
+directory, the worker recovers from its own WAL, and the parent resends
+``records[recovered - acked:]`` -- nothing is dropped, nothing is
+double-ingested.  A recovered count *below* ``acked`` means previously
+acknowledged (and, with the default ``fsync="always"``, durable) evidence
+vanished: that is not a crash to retry around but tampering/data loss,
+reported as :class:`LogIntegrityError`.
+
+Worker supervision: a background probe thread health-checks each worker
+(``OP_HEALTH``) and respawns dead ones; ``close()`` drains cleanly
+(SIGTERM -> wait -> SIGKILL).  Each worker also watches its stdin pipe,
+so workers never outlive a SIGKILLed parent.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+
+from repro.core.entries import Direction, LogEntry
+from repro.core.log_server import LogCommitment, LogServer
+from repro.core.remote import FETCH_BATCH_LIMIT, RemoteLogger, RemoteUnavailable
+from repro.crypto.keys import PublicKey
+from repro.errors import DecodingError, LogIntegrityError, LoggingError
+from repro.middleware.transport.unix import UnixTransport, unix_sockets_supported
+from repro.sharding.router import ShardRouter
+from repro.sharding.sharded_server import (
+    ShardSetCommitment,
+    ShardedLogServer,
+    _shard_set_root,
+    shard_dirname,
+)
+from repro.util.concurrency import StoppableThread
+
+#: The environment variable the storage chaos hooks arm; restarts strip it
+#: so an injected crash fires once, not on every respawn.
+_CRASHPOINT_ENV = "ADLP_CRASHPOINT"
+
+
+def _src_pythonpath() -> str:
+    """Directory that must be on the worker's ``PYTHONPATH`` so
+    ``python -m repro.sharding.worker`` imports this very library."""
+    import repro
+
+    return os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+
+class _WorkerHandle:
+    """Parent-side state for one worker subprocess.
+
+    ``lock`` serializes everything that touches this worker's connection
+    or reconciliation state: the submit path, the supervisor's probe, and
+    restart.  ``acked`` is the worker's entry count as of the last
+    acknowledged exchange -- the anchor of crash reconciliation.
+    """
+
+    def __init__(self, index: int, store_dir: str, socket_path: str, log_path: str):
+        self.index = index
+        self.store_dir = store_dir
+        self.socket_path = socket_path
+        self.log_path = log_path
+        self.lock = threading.RLock()
+        self.process: Optional[subprocess.Popen] = None
+        self.client: Optional[RemoteLogger] = None
+        self.log_file = None
+        self.acked = 0
+        self.restarts = 0
+        #: Permanent failure (evidence loss, restart budget exhausted):
+        #: every later operation on this shard re-raises it.
+        self.poison: Optional[Exception] = None
+
+    def alive(self) -> bool:
+        return self.process is not None and self.process.poll() is None
+
+
+class ProcessShardedLogServer:
+    """N worker subprocesses behind the :class:`ShardedLogServer` surface.
+
+    Drop-in for the threaded backend (see
+    :func:`repro.sharding.factory.make_sharded_server`): ``register_key``
+    / ``submit`` / ``submit_batch`` / ``entries`` / ``commitment`` /
+    ``stats`` / ``verify_integrity`` all exist with the same semantics,
+    and identical input streams produce byte-identical
+    :class:`ShardSetCommitment` roots.  Intentional differences:
+
+    - every shard is durable (each worker owns a ``DurableLogStore``);
+      ``fsync`` defaults to ``"always"`` so an acknowledgement implies
+      crash-durability -- the property the reconcile protocol leans on;
+    - ``shard(index)`` returns a locally *rebuilt* ``LogServer`` (records
+      and keys fetched from the worker), not the live one -- the live one
+      lives in another process;
+    - observers cannot cross the process boundary, so
+      ``add_observer``/``remove_observer`` raise.
+
+    :param initial_worker_env: extra environment variables for a worker's
+        *first* spawn only, keyed by shard index -- the chaos suite's hook
+        for arming ``ADLP_CRASHPOINT`` in exactly one worker.  Restarts
+        always use a clean environment (the crashpoint must fire once).
+    """
+
+    def __init__(
+        self,
+        shards: int = 4,
+        store_dir: Optional[str] = None,
+        fsync: "str | None" = "always",
+        checkpoint_every: int = 256,
+        segment_max_bytes: int = 4 * 1024 * 1024,
+        probe_interval: float = 1.0,
+        spawn_timeout: float = 20.0,
+        restart_limit: int = 5,
+        supervise: bool = True,
+        rpc_timeout: float = 30.0,
+        initial_worker_env: Optional[Dict[int, Dict[str, str]]] = None,
+    ):
+        if not unix_sockets_supported():  # pragma: no cover - posix-only CI
+            raise LoggingError(
+                "process-sharded logging needs AF_UNIX sockets; "
+                "use the thread backend on this platform"
+            )
+        if shards < 1:
+            raise ValueError("need at least one shard")
+        self.router = ShardRouter(shards)
+        self._owns_store = store_dir is None
+        if store_dir is None:
+            store_dir = tempfile.mkdtemp(prefix="adlp-shards-")
+        else:
+            os.makedirs(store_dir, exist_ok=True)
+        # Same reopen discipline as the threaded backend: a layout written
+        # with a different shard count is refused, never re-routed.
+        ShardedLogServer._check_layout(store_dir, shards)
+        self.store_dir = store_dir
+        self._fsync = fsync or "always"
+        self._checkpoint_every = checkpoint_every
+        self._segment_max_bytes = segment_max_bytes
+        self._probe_interval = probe_interval
+        self._spawn_timeout = spawn_timeout
+        self._restart_limit = restart_limit
+        self._rpc_timeout = rpc_timeout
+        self._initial_env = dict(initial_worker_env or {})
+        self._sock_dir: Optional[str] = None
+        self._unroutable = 0
+        self._restarts_total = 0
+        self._resubmitted = 0
+        self._counter_lock = threading.Lock()
+        self._closed = False
+        self._handles: List[_WorkerHandle] = [
+            _WorkerHandle(
+                index,
+                os.path.join(store_dir, shard_dirname(index)),
+                self._socket_path(index),
+                os.path.join(store_dir, "worker-%03d.log" % index),
+            )
+            for index in range(shards)
+        ]
+        self._pool = ThreadPoolExecutor(
+            max_workers=shards, thread_name_prefix="shard-proc"
+        )
+        try:
+            for handle in self._handles:
+                # The first health probe doubles as reconciliation anchor:
+                # a reopened store's WAL recovery is this worker's state.
+                handle.acked = self._spawn(handle, first=True).entries
+        except Exception:
+            self.close()
+            raise
+        self._supervisor: Optional[StoppableThread] = None
+        if supervise:
+            self._supervisor = StoppableThread(
+                "shard-supervisor", target=self._supervise_loop
+            )
+            self._supervisor.start()
+
+    # -- worker lifecycle --------------------------------------------------
+
+    def _socket_path(self, index: int) -> str:
+        """Socket path for worker ``index``; falls back to a short private
+        directory when the store path would overflow ``sun_path`` (107
+        bytes on Linux -- deep pytest tmp dirs get close)."""
+        path = os.path.join(self.store_dir, "worker-%03d.sock" % index)
+        if len(path.encode()) <= 96:
+            return path
+        if self._sock_dir is None:
+            self._sock_dir = tempfile.mkdtemp(prefix="adlp-sock-")
+        return os.path.join(self._sock_dir, "%03d.sock" % index)
+
+    def _spawn(self, handle: _WorkerHandle, first: bool) -> LogCommitment:
+        """Start (or restart) one worker and wait until its socket answers
+        ``OP_HEALTH``; returns that first health commitment (the worker's
+        post-recovery state)."""
+        env = os.environ.copy()
+        # A crashpoint armed for the parent's own storage tests -- or for
+        # this worker's previous incarnation -- must not re-fire forever.
+        env.pop(_CRASHPOINT_ENV, None)
+        env["PYTHONPATH"] = _src_pythonpath() + os.pathsep + env.get("PYTHONPATH", "")
+        if first:
+            env.update(self._initial_env.get(handle.index, {}))
+        if handle.client is not None:
+            handle.client.close()
+            handle.client = None
+        if handle.log_file is not None:
+            handle.log_file.close()
+        handle.log_file = open(handle.log_path, "ab")
+        handle.process = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.sharding.worker",
+                "--socket",
+                handle.socket_path,
+                "--store-dir",
+                handle.store_dir,
+                "--shard",
+                str(handle.index),
+                "--shards",
+                str(self.shard_count),
+                "--fsync",
+                self._fsync,
+                "--checkpoint-every",
+                str(self._checkpoint_every),
+                "--segment-max-bytes",
+                str(self._segment_max_bytes),
+            ],
+            stdin=subprocess.PIPE,
+            stdout=handle.log_file,
+            stderr=subprocess.STDOUT,
+            env=env,
+        )
+        handle.client = RemoteLogger(
+            ("unix", handle.socket_path),
+            transport=UnixTransport(),
+            shard=handle.index,
+            reconnect_backoff=0.01,
+            max_reconnect_backoff=0.25,
+        )
+        deadline = time.monotonic() + self._spawn_timeout
+        last_error: Optional[Exception] = None
+        while time.monotonic() < deadline:
+            code = handle.process.poll()
+            if code is not None:
+                raise LoggingError(
+                    f"worker for shard {handle.index} exited with status "
+                    f"{code} during startup (log: {handle.log_path})"
+                )
+            try:
+                return handle.client.health(timeout=1.0)
+            except LoggingError as exc:
+                last_error = exc
+                time.sleep(0.02)
+        self._kill(handle)
+        raise LoggingError(
+            f"worker for shard {handle.index} did not become ready within "
+            f"{self._spawn_timeout}s: {last_error}"
+        )
+
+    def _kill(self, handle: _WorkerHandle) -> None:
+        process = handle.process
+        if process is None:
+            return
+        if process.poll() is None:
+            process.terminate()
+            try:
+                process.wait(timeout=5.0)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.wait()
+        if process.stdin is not None:
+            try:
+                process.stdin.close()
+            except OSError:
+                pass
+
+    def _restart_worker(self, handle: _WorkerHandle) -> int:
+        """Respawn a dead/unresponsive worker (caller holds ``handle.lock``)
+        and reconcile ``acked`` against what its WAL recovered.
+
+        Returns the recovered entry count.  Raises
+        :class:`LogIntegrityError` -- and poisons the handle -- when the
+        worker comes back with *fewer* entries than were acknowledged:
+        acknowledged evidence is durable by contract, so a shrunken log is
+        loss/tampering, not a transient fault.
+        """
+        if handle.poison is not None:
+            raise handle.poison
+        if handle.restarts >= self._restart_limit:
+            handle.poison = LoggingError(
+                f"shard {handle.index} worker exceeded its restart budget "
+                f"({self._restart_limit}); refusing further restarts "
+                f"(log: {handle.log_path})"
+            )
+            raise handle.poison
+        handle.restarts += 1
+        with self._counter_lock:
+            self._restarts_total += 1
+        self._kill(handle)
+        try:
+            commitment = self._spawn(handle, first=False)
+        except LoggingError as exc:
+            # Leave the handle restartable (budget permitting): a spawn
+            # that raced a dying predecessor's socket may succeed next try.
+            raise RemoteUnavailable(
+                f"shard {handle.index} worker failed to restart: {exc}"
+            ) from exc
+        recovered = commitment.entries
+        if recovered < handle.acked:
+            handle.poison = LogIntegrityError(
+                f"shard {handle.index} recovered only {recovered} entries "
+                f"but {handle.acked} were acknowledged as durable -- "
+                f"acknowledged evidence vanished across the restart"
+            )
+            raise handle.poison
+        handle.acked = recovered
+        return recovered
+
+    def _supervise_loop(self) -> None:
+        supervisor = self._supervisor
+        assert supervisor is not None
+        while not supervisor.stop_event.wait(self._probe_interval):
+            for handle in self._handles:
+                if supervisor.stopped():
+                    return
+                # Never contend with a submit in flight: the submit path
+                # handles its own worker's failures (and holds the batch
+                # being reconciled, which the supervisor must not race).
+                if not handle.lock.acquire(blocking=False):
+                    continue
+                try:
+                    if handle.poison is not None:
+                        continue
+                    healthy = handle.alive()
+                    if healthy and handle.client is not None:
+                        try:
+                            handle.client.health(timeout=2.0)
+                        except LoggingError:
+                            healthy = False
+                    if not healthy:
+                        try:
+                            self._restart_worker(handle)
+                        except Exception:
+                            # poison (or restart budget) is recorded on the
+                            # handle; the next caller touching this shard
+                            # gets the real error.
+                            pass
+                finally:
+                    handle.lock.release()
+
+    # -- shard access ------------------------------------------------------
+
+    @property
+    def shard_count(self) -> int:
+        return self.router.shards
+
+    def shard_of(self, topic: str) -> int:
+        return self.router.shard_of(topic)
+
+    def worker_log_path(self, shard: int) -> str:
+        """Path of one worker's captured stdout/stderr (chaos-run
+        forensics; CI uploads these on soak failures)."""
+        return self._handles[shard].log_path
+
+    def worker_pid(self, shard: int) -> Optional[int]:
+        """The live worker's PID (the chaos suite SIGKILLs through this);
+        ``None`` once the process has exited."""
+        handle = self._handles[shard]
+        return handle.process.pid if handle.alive() else None
+
+    def shard(self, index: int) -> LogServer:
+        """A locally rebuilt :class:`LogServer` holding shard ``index``'s
+        records and keys -- same observable state as the worker's live
+        server (the audit path's per-shard view)."""
+        records, keys = self.shard_audit_payload(index)
+        server = LogServer()
+        for component_id in sorted(keys):
+            server.register_key(component_id, keys[component_id])
+        if records:
+            server.submit_batch(records)
+        return server
+
+    # -- worker RPC plumbing -----------------------------------------------
+
+    def _worker_call(self, shard: int, fn: Callable[[RemoteLogger], Any]) -> Any:
+        """Run one RPC against a worker under its lock, restarting it once
+        on transport failure (:class:`RemoteUnavailable`); server-side
+        rejections propagate untouched."""
+        handle = self._handles[shard]
+        with handle.lock:
+            if handle.poison is not None:
+                raise handle.poison
+            try:
+                return fn(handle.client)
+            except RemoteUnavailable:
+                self._restart_worker(handle)
+                return fn(handle.client)
+
+    # -- component-facing API ---------------------------------------------
+
+    def register_key(self, component_id: str, key: Union[PublicKey, bytes]) -> None:
+        """Register a component's key on *every* worker (each shard must
+        be independently auditable).  Workers journal registrations in
+        their WALs, so restarts need no re-registration."""
+        if isinstance(key, PublicKey):
+            key = key.to_bytes()
+        for index in range(self.shard_count):
+            self._worker_call(
+                index, lambda client: client.register_key(component_id, key)
+            )
+
+    def _route(self, entry: Union[LogEntry, bytes]) -> Tuple[int, bytes]:
+        """Pick the shard and the exact wire bytes for one entry; raises
+        ``LoggingError`` (counting the rejection) on undecodable bytes --
+        same semantics as the threaded backend's ``_route``."""
+        if isinstance(entry, LogEntry):
+            return self.router.shard_of(entry.topic), entry.encode()
+        record = bytes(entry)
+        try:
+            topic = LogEntry.decode(record).topic
+        except DecodingError as exc:
+            with self._counter_lock:
+                self._unroutable += 1
+            raise LoggingError(f"undecodable log entry: {exc}") from exc
+        return self.router.shard_of(topic), record
+
+    def _submit_shard(self, shard: int, records: List[bytes]) -> int:
+        """Acknowledged submission of one shard's sub-batch; returns the
+        first record's index within the shard.
+
+        Runs the crash-reconcile loop: on transport failure the worker is
+        restarted, its recovered count tells us which prefix of
+        ``records`` already landed (FIFO connection, single writer), and
+        only the suffix is resent.  The final count must equal
+        ``base + len(records)`` exactly -- anything else is an integrity
+        failure, not a retry case.
+        """
+        handle = self._handles[shard]
+        with handle.lock:
+            if handle.poison is not None:
+                raise handle.poison
+            base = handle.acked
+            remaining = records
+            attempts = 0
+            while True:
+                try:
+                    count = handle.client.submit_batch_sync(
+                        remaining, timeout=self._rpc_timeout
+                    )
+                except RemoteUnavailable as exc:
+                    attempts += 1
+                    if attempts > self._restart_limit:
+                        raise LoggingError(
+                            f"shard {shard} worker kept failing mid-batch "
+                            f"({attempts} attempts): {exc}"
+                        ) from exc
+                    recovered = self._restart_worker(handle)
+                    landed = recovered - base
+                    if landed > len(records):
+                        raise LogIntegrityError(
+                            f"shard {shard} recovered {recovered} entries, "
+                            f"more than the {base + len(records)} ever "
+                            f"submitted -- phantom evidence appeared"
+                        )
+                    if landed < len(records) - len(remaining):
+                        # recovery rolled back past what an earlier round
+                        # trip acknowledged -- same loss class as acked
+                        handle.poison = LogIntegrityError(
+                            f"shard {shard} lost acknowledged entries "
+                            f"across a restart ({recovered} recovered)"
+                        )
+                        raise handle.poison
+                    resend = records[landed:]
+                    # every record of the interrupted attempt was settled
+                    # by reconciliation -- either proven landed by the
+                    # recovered count or resent below
+                    with self._counter_lock:
+                        self._resubmitted += len(remaining)
+                    remaining = resend
+                    if not remaining:
+                        count = recovered
+                        break
+                    continue
+                except LoggingError as exc:
+                    # The worker answered and refused: nothing of
+                    # ``remaining`` was ingested (sync ingest is
+                    # all-or-nothing); propagate like the threaded backend.
+                    raise LoggingError(
+                        f"shard {shard} rejected its sub-batch: {exc}"
+                    ) from exc
+                break
+            if count != base + len(records):
+                handle.poison = LogIntegrityError(
+                    f"shard {shard} acknowledged {count} entries where "
+                    f"{base + len(records)} were expected -- submission "
+                    f"accounting diverged"
+                )
+                raise handle.poison
+            handle.acked = count
+            return base
+
+    def submit(self, entry: Union[LogEntry, bytes]) -> int:
+        """Ingest one entry into its topic's shard (acknowledged: when
+        this returns, the worker has journaled it); returns the entry's
+        index within that shard."""
+        shard, record = self._route(entry)
+        return self._submit_shard(shard, [record])
+
+    def submit_batch(self, entries: List[Union[LogEntry, bytes]]) -> List[int]:
+        """Group-commit a batch, split by shard, sub-batches submitted to
+        their workers concurrently.
+
+        Routing happens first (an undecodable entry rejects the whole
+        batch before anything is sent).  All-or-nothing holds per shard
+        exactly like the threaded backend; across shards, sub-batches
+        committed to healthy workers stay even if another shard fails.
+        """
+        if not entries:
+            return []
+        routed = [self._route(entry) for entry in entries]
+        by_shard: Dict[int, List[int]] = {}
+        for position, (shard, _) in enumerate(routed):
+            by_shard.setdefault(shard, []).append(position)
+        futures = {
+            shard: self._pool.submit(
+                self._submit_shard, shard, [routed[p][1] for p in positions]
+            )
+            for shard, positions in by_shard.items()
+        }
+        indices: List[int] = [0] * len(entries)
+        failure: Optional[Exception] = None
+        for shard in sorted(futures):
+            try:
+                start = futures[shard].result()
+            except Exception as exc:
+                if failure is None:
+                    failure = exc
+                continue
+            for offset, position in enumerate(by_shard[shard]):
+                indices[position] = start + offset
+        if failure is not None:
+            raise failure
+        return indices
+
+    # -- auditor/query API -------------------------------------------------
+
+    def _fetch_all_records(self, shard: int) -> List[bytes]:
+        def fetch(client: RemoteLogger) -> List[bytes]:
+            total = client.health(timeout=self._rpc_timeout).entries
+            records: List[bytes] = []
+            while len(records) < total:
+                page = client.fetch_records(
+                    len(records), FETCH_BATCH_LIMIT, timeout=self._rpc_timeout
+                )
+                if not page:
+                    raise LoggingError(
+                        f"shard {shard} fetch stalled at {len(records)} of "
+                        f"{total} records"
+                    )
+                records.extend(page)
+            return records
+
+        return self._worker_call(shard, fetch)
+
+    def shard_audit_payload(self, shard: int) -> Tuple[List[bytes], Dict[str, bytes]]:
+        """Everything the pairwise audit needs from one shard -- its raw
+        records (fetched in ``FETCH_BATCH_LIMIT`` pages) and the key
+        registry -- as plain picklable values for a process-pool auditor."""
+        records = self._fetch_all_records(shard)
+        keys = self._worker_call(shard, lambda client: client.fetch_keys())
+        return records, keys
+
+    def entries(
+        self,
+        component_id: Optional[str] = None,
+        topic: Optional[str] = None,
+        direction: Optional[Direction] = None,
+        seq: Optional[int] = None,
+        shard: Optional[int] = None,
+    ) -> List[LogEntry]:
+        """Entries matching every filter, shard-major in ingestion order
+        (same filter semantics as the threaded backend; a ``topic`` filter
+        touches only that topic's shard)."""
+        if shard is not None:
+            shards = [shard]
+        elif topic is not None:
+            shards = [self.router.shard_of(topic)]
+        else:
+            shards = list(range(self.shard_count))
+        result: List[LogEntry] = []
+        for index in shards:
+            for record in self._fetch_all_records(index):
+                entry = LogEntry.decode(record)
+                if component_id is not None and entry.component_id != component_id:
+                    continue
+                if topic is not None and entry.topic != topic:
+                    continue
+                if direction is not None and entry.direction is not direction:
+                    continue
+                if seq is not None and entry.seq != seq:
+                    continue
+                result.append(entry)
+        return result
+
+    def __len__(self) -> int:
+        return sum(handle.acked for handle in self._handles)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(
+            self.shard_commitment(index).total_bytes
+            for index in range(self.shard_count)
+        )
+
+    def shard_raw_records(
+        self, shard: int, start: int = 0, count: Optional[int] = None
+    ) -> List[bytes]:
+        records: List[bytes] = []
+        remaining = count
+        cursor = start
+        while remaining is None or remaining > 0:
+            page_size = FETCH_BATCH_LIMIT
+            if remaining is not None:
+                page_size = min(page_size, remaining)
+            page = self._worker_call(
+                shard,
+                lambda client, c=cursor, n=page_size: client.fetch_records(
+                    c, n, timeout=self._rpc_timeout
+                ),
+            )
+            records.extend(page)
+            if len(page) < page_size or not page:
+                break
+            cursor += len(page)
+            if remaining is not None:
+                remaining -= len(page)
+        return records
+
+    def components(self) -> List[str]:
+        return sorted(self.keys_snapshot())
+
+    def keys_snapshot(self) -> Dict[str, bytes]:
+        return self._worker_call(0, lambda client: client.fetch_keys())
+
+    def public_key(self, component_id: str) -> PublicKey:
+        try:
+            blob = self.keys_snapshot()[component_id]
+        except KeyError:
+            raise LoggingError(f"no key registered for {component_id!r}") from None
+        return PublicKey.from_bytes(blob)
+
+    def add_observer(self, callback) -> None:
+        raise LoggingError(
+            "log observers cannot cross the worker process boundary; "
+            "attach them to an in-process backend instead"
+        )
+
+    def remove_observer(self, callback) -> None:
+        raise LoggingError(
+            "log observers cannot cross the worker process boundary"
+        )
+
+    @property
+    def rejected_submissions(self) -> int:
+        """Undecodable submissions refused across the set (parent-side
+        routing rejections plus, best-effort, each live worker's own
+        counter)."""
+        total = self._unroutable
+        for index in range(self.shard_count):
+            try:
+                stats = self._worker_call(
+                    index, lambda client: client.server_stats(timeout=5.0)
+                )
+            except LoggingError:
+                continue
+            total += int(stats.get("rejected_submissions", 0))
+        return total
+
+    # -- stats -------------------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        """Flat integer counters (same keys as the threaded backend, plus
+        the process-supervision counters)."""
+        return {
+            "shard_count": self.shard_count,
+            "sharded_entries": len(self),
+            "sharded_bytes": self.total_bytes,
+            "sharded_rejected": self.rejected_submissions,
+            "worker_restarts": self._restarts_total,
+            "resubmitted_after_crash": self._resubmitted,
+        }
+
+    def shard_stats(self) -> List[Dict[str, Any]]:
+        """Per-shard detail, merging each worker's ``OP_STATS`` counters
+        (entry/byte/rejection totals plus its recovery summary) with the
+        parent's supervision state."""
+        result: List[Dict[str, Any]] = []
+        for handle in self._handles:
+            row: Dict[str, Any] = {
+                "shard": handle.index,
+                "entries": handle.acked,
+                "restarts": handle.restarts,
+                "alive": handle.alive(),
+            }
+            try:
+                row.update(
+                    self._worker_call(
+                        handle.index,
+                        lambda client: client.server_stats(timeout=5.0),
+                    )
+                )
+            except LoggingError as exc:
+                row["stats_error"] = str(exc)
+            result.append(row)
+        return result
+
+    # -- integrity ---------------------------------------------------------
+
+    def verify_shard(self, shard: int) -> None:
+        """Tamper-evidence check of one worker's *actual* store (WAL bytes
+        included), via ``OP_VERIFY``; raises :class:`LogIntegrityError`
+        naming the shard."""
+        try:
+            self._worker_call(
+                shard, lambda client: client.verify_remote(timeout=self._rpc_timeout)
+            )
+        except RemoteUnavailable:
+            raise
+        except LogIntegrityError as exc:
+            raise LogIntegrityError(f"shard {shard}: {exc}") from exc
+        except LoggingError as exc:
+            raise LogIntegrityError(f"shard {shard}: {exc}") from exc
+
+    def verify_integrity(self) -> None:
+        """Check every worker's store; raises naming the first failing
+        shard -- same contract as the threaded backend."""
+        for index in range(self.shard_count):
+            self.verify_shard(index)
+
+    def shard_commitment(self, shard: int) -> LogCommitment:
+        return self._worker_call(
+            shard, lambda client: client.health(timeout=self._rpc_timeout)
+        )
+
+    def commitment(self) -> ShardSetCommitment:
+        """The set commitment over all workers (probed concurrently).
+
+        Like the threaded backend, the set is a consistent point-in-time
+        snapshot only when no submits are in flight -- which is when
+        commitments are taken (epoch close, audit).
+        """
+        futures = [
+            self._pool.submit(self.shard_commitment, index)
+            for index in range(self.shard_count)
+        ]
+        commitments = tuple(future.result() for future in futures)
+        return ShardSetCommitment(
+            shards=self.shard_count,
+            entries=sum(c.entries for c in commitments),
+            total_bytes=sum(c.total_bytes for c in commitments),
+            root=_shard_set_root(commitments),
+            shard_commitments=commitments,
+        )
+
+    def merkle_root(self) -> bytes:
+        return self.commitment().root
+
+    def prove_inclusion(self, shard: int, index: int):
+        """Inclusion proof for entry ``index`` of shard ``shard`` (built
+        on the locally rebuilt shard view -- proofs verify against the
+        worker's Merkle root because the records are byte-identical)."""
+        return self.shard(shard).prove_inclusion(index)
+
+    def checkpoint(self) -> None:
+        """Fan a durable-checkpoint request out to every worker."""
+        for index in range(self.shard_count):
+            self._worker_call(
+                index, lambda client: client.checkpoint(timeout=self._rpc_timeout)
+            )
+
+    # -- shutdown ----------------------------------------------------------
+
+    def close(self) -> None:
+        """Drain and stop every worker: SIGTERM (clean close: endpoint
+        drained, WAL sealed), bounded wait, SIGKILL stragglers.  Removes
+        the store directory only when this server created it."""
+        if self._closed:
+            return
+        self._closed = True
+        supervisor = getattr(self, "_supervisor", None)
+        if supervisor is not None:
+            supervisor.stop()
+        for handle in self._handles:
+            with handle.lock:
+                if handle.client is not None:
+                    handle.client.close()
+                    handle.client = None
+                self._kill(handle)
+                if handle.log_file is not None:
+                    handle.log_file.close()
+                    handle.log_file = None
+                try:
+                    os.unlink(handle.socket_path)
+                except OSError:
+                    pass
+        self._pool.shutdown(wait=True)
+        if self._sock_dir is not None:
+            shutil.rmtree(self._sock_dir, ignore_errors=True)
+        if self._owns_store:
+            shutil.rmtree(self.store_dir, ignore_errors=True)
+
+    def __enter__(self) -> "ProcessShardedLogServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

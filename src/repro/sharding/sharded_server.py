@@ -386,16 +386,28 @@ class ShardedLogServer:
             for index, server in enumerate(self._servers)
         ]
 
+    def shard_audit_payload(self, shard: int) -> Tuple[List[bytes], Dict[str, bytes]]:
+        """One shard's raw records and the key registry, as plain
+        picklable values -- what a process-pool auditor ships to a child
+        interpreter (both sharding backends expose this)."""
+        server = self._servers[shard]
+        return server.raw_records(), server.keys_snapshot()
+
     # -- integrity ---------------------------------------------------------
+
+    def verify_shard(self, shard: int) -> None:
+        """Check one shard's tamper-evident store; raises a
+        :class:`LogIntegrityError` naming the shard."""
+        try:
+            self._servers[shard].verify_integrity()
+        except LogIntegrityError as exc:
+            raise LogIntegrityError(f"shard {shard}: {exc}") from exc
 
     def verify_integrity(self) -> None:
         """Check every shard's tamper-evident store; raises a
         :class:`LogIntegrityError` naming the first failing shard."""
-        for index, server in enumerate(self._servers):
-            try:
-                server.verify_integrity()
-            except LogIntegrityError as exc:
-                raise LogIntegrityError(f"shard {index}: {exc}") from exc
+        for index in range(self.shard_count):
+            self.verify_shard(index)
 
     def shard_commitment(self, shard: int) -> LogCommitment:
         """One shard's commitment (what a shard-targeted ``OP_HEALTH``

@@ -1,0 +1,212 @@
+"""One shard's worker subprocess.
+
+``python -m repro.sharding.worker`` hosts a single
+:class:`~repro.core.log_server.LogServer` backed by its own
+:class:`~repro.storage.durable_store.DurableLogStore` and serves it over a
+unix socket through the ordinary
+:class:`~repro.core.remote.LogServerEndpoint` -- the shard-tagged wire
+protocol from the sharded remote work *is* the parent<->worker transport,
+so the worker side adds no new RPC machinery, only an adapter
+(:class:`ShardWorkerServer`) that pins the endpoint's shard-tag dispatch
+to this worker's assigned shard.
+
+Lifecycle contract with the parent
+(:class:`~repro.sharding.process_server.ProcessShardedLogServer`):
+
+- the parent chooses the socket path and store directory *before*
+  spawning, so there is no address hand-back step; readiness is "the
+  socket accepts connections and answers ``OP_HEALTH``";
+- the worker exits on ``SIGTERM`` (clean close: endpoint drained, WAL
+  sealed) and also when its stdin reaches EOF -- the parent holds the
+  write end of that pipe, so even a SIGKILLed parent reaps its workers;
+- on startup the worker recovers from whatever its WAL holds (that is the
+  whole restart-with-recovery story: the supervisor just respawns this
+  module on the same directory).
+
+Crash injection: the worker imports :mod:`repro.storage.crashpoints`,
+whose ``ADLP_CRASHPOINT`` environment arming applies here exactly as in
+the single-logger SIGKILL tests -- the parent's chaos suite arms a point
+in one worker's first-spawn environment and the supervisor's restart (with
+a clean environment) must recover it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import signal
+import sys
+import threading
+from typing import Dict, List, Optional, Union
+
+from repro.core.entries import LogEntry
+from repro.core.log_server import LogCommitment, LogServer
+from repro.core.remote import LogServerEndpoint
+from repro.errors import LoggingError
+from repro.middleware.transport.unix import UnixTransport
+from repro.sharding.router import ShardRouter
+from repro.storage.durable_store import DurableLogStore
+
+
+class ShardWorkerServer(LogServer):
+    """A :class:`LogServer` that knows which shard of which set it is.
+
+    The endpoint dispatches shard-tagged frames through the duck-typed
+    ``submit_to_shard`` / ``shard_commitment`` / ``shard_raw_records``
+    surface; this adapter implements that surface for exactly one shard
+    index, re-verifying with the *full* router (all ``total_shards``
+    buckets) that every entry's topic actually routes here -- a parent
+    with a stale shard count, or a frame misdelivered to the wrong
+    worker's socket, must be refused, never silently ingested into the
+    wrong chain.
+    """
+
+    def __init__(self, store, shard_index: int, total_shards: int):
+        super().__init__(store)
+        if not 0 <= shard_index < total_shards:
+            raise ValueError(
+                f"shard index {shard_index} out of range for "
+                f"{total_shards} shards"
+            )
+        self.shard_index = shard_index
+        self.router = ShardRouter(total_shards)
+
+    # -- shard-tag verification -------------------------------------------
+
+    def _check_tag(self, shard: int) -> None:
+        if shard != self.shard_index:
+            raise LoggingError(
+                f"frame targets shard {shard} but this worker hosts "
+                f"shard {self.shard_index}"
+            )
+
+    def _check_route(self, entry: Union[LogEntry, bytes]) -> None:
+        if isinstance(entry, LogEntry):
+            topic = entry.topic
+        else:
+            # Undecodable bytes are LogServer.submit's rejection to make;
+            # here we only refuse *routable* entries that belong elsewhere.
+            try:
+                topic = LogEntry.decode(bytes(entry)).topic
+            except Exception:
+                return
+        expected = self.router.shard_of(topic)
+        if expected != self.shard_index:
+            raise LoggingError(
+                f"topic {topic!r} routes to shard {expected} of "
+                f"{self.router.shards}, not this worker's shard "
+                f"{self.shard_index}"
+            )
+
+    # -- the endpoint's shard-aware dispatch surface ----------------------
+
+    def submit_to_shard(self, shard: int, entry: Union[LogEntry, bytes]) -> int:
+        self._check_tag(shard)
+        self._check_route(entry)
+        return self.submit(entry)
+
+    def submit_batch_to_shard(
+        self, shard: int, entries: List[Union[LogEntry, bytes]]
+    ) -> List[int]:
+        self._check_tag(shard)
+        for entry in entries:
+            self._check_route(entry)
+        return self.submit_batch(entries)
+
+    def shard_commitment(self, shard: int) -> LogCommitment:
+        self._check_tag(shard)
+        return self.commitment()
+
+    def shard_raw_records(
+        self, shard: int, start: int = 0, count: Optional[int] = None
+    ) -> List[bytes]:
+        self._check_tag(shard)
+        return self.raw_records(start, count)
+
+    # -- observability ----------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        """Worker counters, including what recovery found at startup --
+        the parent's ``OP_STATS`` probe merges these into its own."""
+        data: Dict[str, int] = {
+            "shard": self.shard_index,
+            "shards": self.router.shards,
+            "entries": len(self),
+            "total_bytes": self.total_bytes,
+            "rejected_submissions": self.rejected_submissions,
+        }
+        recovery = getattr(self.store, "recovery", None)
+        if recovery is not None:
+            data.update(recovery.summary())
+        return data
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sharding.worker",
+        description="Serve one shard of a process-sharded trusted logger.",
+    )
+    parser.add_argument("--socket", required=True, help="unix socket path")
+    parser.add_argument("--store-dir", required=True, help="this shard's store")
+    parser.add_argument("--shard", type=int, required=True)
+    parser.add_argument("--shards", type=int, required=True)
+    parser.add_argument("--fsync", default="always")
+    parser.add_argument("--checkpoint-every", type=int, default=256)
+    parser.add_argument(
+        "--segment-max-bytes", type=int, default=4 * 1024 * 1024
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    store = DurableLogStore(
+        args.store_dir,
+        fsync=args.fsync,
+        segment_max_bytes=args.segment_max_bytes,
+        checkpoint_every=args.checkpoint_every,
+    )
+    server = ShardWorkerServer(store, args.shard, args.shards)
+    endpoint = LogServerEndpoint(
+        server, transport=UnixTransport(path=args.socket)
+    )
+
+    stop = threading.Event()
+    signal.signal(signal.SIGTERM, lambda signum, frame: stop.set())
+    signal.signal(signal.SIGINT, lambda signum, frame: stop.set())
+
+    def watch_parent() -> None:
+        # The parent holds our stdin's write end; EOF means it is gone
+        # (exited, crashed, or SIGKILLed) and nobody will ever talk to
+        # this socket again -- exit instead of leaking a process.  Raw
+        # ``os.read`` on the fd, NOT ``sys.stdin.buffer.read()``: a daemon
+        # thread parked inside the buffered reader holds its lock across
+        # interpreter shutdown and turns every clean SIGTERM exit into a
+        # ``_enter_buffered_busy`` abort.
+        try:
+            while os.read(0, 4096):
+                pass
+        except OSError:
+            pass
+        stop.set()
+
+    watcher = threading.Thread(
+        target=watch_parent, name="worker-parent-watch", daemon=True
+    )
+    watcher.start()
+
+    # Readiness marker for humans reading the worker log; the parent's
+    # actual readiness check is an OP_HEALTH round trip on the socket.
+    print(
+        f"ADLP-WORKER-READY shard={args.shard}/{args.shards} "
+        f"recovered={len(server)}",
+        flush=True,
+    )
+    stop.wait()
+    endpoint.close()
+    server.close()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - subprocess entrypoint
+    sys.exit(main())

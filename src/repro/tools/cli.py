@@ -8,7 +8,7 @@
                                   [--shard I]
     python -m repro.tools audit   CASE_DIR | --store STORE_DIR [--shards N]
                                   [--publisher TOPIC=COMPONENT ...]
-                                  [--workers N]
+                                  [--workers N] [--backend thread|process]
     python -m repro.tools trace   CASE_DIR TOPIC SEQ
     python -m repro.tools recover STORE_DIR [--shards N | --shard I]
     python -m repro.tools health  HOST:PORT [HOST:PORT ...]
@@ -107,7 +107,11 @@ def _cmd_verify(args: argparse.Namespace) -> int:
 
 
 def _cmd_inspect(args: argparse.Namespace) -> int:
-    server = _load_server(args)
+    try:
+        server = _load_server(args)
+    except LogIntegrityError as exc:
+        print(f"TAMPERED: {exc}")
+        return 2
     shard = getattr(args, "shard", None)
     if shard is not None:
         if not isinstance(server, ShardedLogServer):
@@ -146,11 +150,21 @@ def _parse_topology(pairs: List[str]) -> Optional[Topology]:
 
 
 def _cmd_audit(args: argparse.Namespace) -> int:
-    server = _load_server(args)
+    # Opening a durable store replays its journal, and replay itself can
+    # detect tampering (e.g. a WAL shorter than its checkpoint) -- report
+    # it like verify does instead of surfacing a traceback.
+    try:
+        server = _load_server(args)
+    except LogIntegrityError as exc:
+        print(f"TAMPERED: {exc}")
+        return 2
     topology = _parse_topology(args.publisher)
     if isinstance(server, ShardedLogServer):
         result = audit_sharded(
-            server, topology=topology, workers=getattr(args, "workers", None)
+            server,
+            topology=topology,
+            workers=getattr(args, "workers", None),
+            executor=getattr(args, "backend", "thread"),
         )
         for outcome in result.outcomes:
             if outcome.tampered:
@@ -391,7 +405,14 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         metavar="N",
-        help="worker threads for a sharded audit (default: min(shards, cpus))",
+        help="pool size for a sharded audit (default: min(shards, cpus))",
+    )
+    p_audit.add_argument(
+        "--backend",
+        choices=("thread", "process"),
+        default="thread",
+        help="sharded-audit pool: threads in this process, or a "
+        "spawn-context process pool (signature checks escape the GIL)",
     )
     p_audit.set_defaults(func=_cmd_audit)
 

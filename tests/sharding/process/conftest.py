@@ -1,0 +1,36 @@
+"""Fixtures for the process-sharded backend battery.
+
+Worker subprocesses are the expensive resource here (a Python interpreter
+plus recovery per shard), so tests share spawned servers where the
+semantics allow it and always close through the factory helpers below --
+a leaked worker would outlive the test process only until its stdin-EOF
+watcher fires, but would still slow the suite down.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sharding import make_sharded_server
+
+
+@pytest.fixture()
+def spawn_server(tmp_path):
+    """Factory for process-sharded servers rooted under this test's tmp
+    dir; everything it spawns is closed at teardown."""
+    created = []
+
+    def factory(shards=2, subdir="proc-store", backend="process", **kwargs):
+        kwargs.setdefault("probe_interval", 0.2)
+        server = make_sharded_server(
+            backend=backend,
+            shards=shards,
+            store_dir=str(tmp_path / subdir),
+            **kwargs,
+        )
+        created.append(server)
+        return server
+
+    yield factory
+    for server in created:
+        server.close()

@@ -1,0 +1,169 @@
+"""Soak: deterministic worker crashes at every named storage crashpoint.
+
+One worker per scenario is armed (via ``initial_worker_env`` ->
+``ADLP_CRASHPOINT``) to hard-exit at a specific WAL or checkpoint
+passage mid-workload -- the in-process equivalent of SIGKILL.  The
+supervisor must restart it, recovery must reconstruct the acknowledged
+prefix, the parent must resend exactly the rest, and the final audit of
+honest traffic must stay honest: identical commitment to an uncrashed
+threaded twin, zero false ``invalid`` or ``hidden`` verdicts.
+
+``spill.mid_record`` is deliberately absent: workers journal straight to
+their WAL and never write spill files, so that point cannot fire here.
+
+Excluded from tier-1 by the ``soak`` marker.  When ``ADLP_SOAK_LOG_DIR``
+is set (CI does this), each scenario's store -- including the per-worker
+``worker-*.log`` files -- is rooted there and left behind, so a failing
+soak run uploads the worker logs as artifacts.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+
+import pytest
+
+from repro.sharding import ShardedLogServer, audit_sharded, make_sharded_server
+from tests.sharding.workload import (
+    honest_pair,
+    register_pair,
+    report_summary,
+    topology_for,
+)
+
+pytestmark = pytest.mark.soak
+
+#: The armed worker (topics ``/d`` and ``/e`` route here at 4 shards).
+VICTIM = 1
+
+#: crashpoint -> (fire_on passage, extra server config).  The offsets
+#: land inside the submission workload: the two key registrations consume
+#: the first two ``wal.mid_record``/``wal.pre_fsync`` passages, each
+#: two-record sub-batch then costs 2 mid_record + 1 batch_mid +
+#: 1 pre_fsync.  Rotation and checkpoint points are made reachable by
+#: shrinking the segment/checkpoint cadence instead.
+MATRIX = [
+    ("wal.mid_record", 7, {}),
+    ("wal.batch_mid", 3, {}),
+    ("wal.pre_fsync", 5, {}),
+    ("wal.pre_rotate", 1, {"segment_max_bytes": 1024}),
+    ("checkpoint.partial", 1, {"checkpoint_every": 8}),
+    ("checkpoint.pre_rename", 1, {"checkpoint_every": 8}),
+]
+
+TRANSMISSIONS = 40
+
+
+@pytest.fixture()
+def soak_store(tmp_path):
+    """A fresh store root per test: under ``ADLP_SOAK_LOG_DIR`` when set
+    (persisted for artifact upload), else under pytest's tmp dir."""
+    root = os.environ.get("ADLP_SOAK_LOG_DIR")
+    if root:
+        os.makedirs(root, exist_ok=True)
+        return tempfile.mkdtemp(prefix="process-soak-", dir=root)
+    return str(tmp_path / "soak-store")
+
+
+def _workload(keypool):
+    """Round-robin honest pairs over all eight topics; payloads sized so
+    small WAL segments actually rotate."""
+    from tests.sharding.workload import TOPICS
+
+    records = []
+    for i in range(TRANSMISSIONS):
+        pub, sub = honest_pair(
+            keypool, TOPICS[i % len(TOPICS)], i + 1, b"soak-%03d" % i * 6
+        )
+        records += [pub.encode(), sub.encode()]
+    return records
+
+
+@pytest.mark.parametrize(
+    "crashpoint,fire_on,config", MATRIX, ids=[m[0] for m in MATRIX]
+)
+def test_crashpoint_storm_keeps_audit_honest(
+    soak_store, keypool, crashpoint, fire_on, config
+):
+    proc = make_sharded_server(
+        backend="process",
+        shards=4,
+        store_dir=os.path.join(soak_store, crashpoint.replace(".", "-")),
+        probe_interval=0.2,
+        initial_worker_env={
+            VICTIM: {"ADLP_CRASHPOINT": f"{crashpoint}:{fire_on}"}
+        },
+        **config,
+    )
+    try:
+        register_pair(proc, keypool)
+        records = _workload(keypool)
+        for start in range(0, len(records), 8):
+            proc.submit_batch(records[start : start + 8])
+
+        # the bomb went off and the supervisor (or the reconcile path)
+        # brought the worker back
+        assert proc.stats()["worker_restarts"] >= 1
+        assert proc.shard_stats()[VICTIM]["restarts"] >= 1
+        with open(proc.worker_log_path(VICTIM)) as f:
+            assert f.read().count("ADLP-WORKER-READY") >= 2
+
+        # nothing lost, nothing duplicated, chains verify
+        assert len(proc) == len(records)
+        proc.verify_integrity()
+
+        twin = ShardedLogServer(shards=4)
+        register_pair(twin, keypool)
+        twin.submit_batch(records)
+        assert proc.commitment().root == twin.commitment().root
+
+        # honest traffic audits honest: crash recovery must not
+        # manufacture evidence of misbehavior
+        result = audit_sharded(proc, topology_for())
+        assert result.clean
+        assert not result.tampered_shards
+        assert not result.report.hidden
+        for stats in result.report.components.values():
+            assert stats.invalid_entries == 0
+            assert stats.hidden_entries == 0
+        assert report_summary(result.report) == report_summary(
+            audit_sharded(twin, topology_for()).report
+        )
+        twin.close()
+    finally:
+        proc.close()
+
+
+def test_supervisor_restarts_idle_victim_without_traffic(soak_store, keypool):
+    """The probe loop alone (no submission to trip reconcile) must notice
+    a dead worker and bring it back."""
+    import signal
+
+    proc = make_sharded_server(
+        backend="process",
+        shards=2,
+        store_dir=os.path.join(soak_store, "idle-restart"),
+        probe_interval=0.1,
+    )
+    try:
+        register_pair(proc, keypool)
+        first_pid = proc.worker_pid(0)
+        os.kill(first_pid, signal.SIGKILL)
+        deadline = time.monotonic() + 20
+        while time.monotonic() < deadline:
+            pid = proc.worker_pid(0)
+            if pid is not None and pid != first_pid and proc.shard_stats()[0]["alive"]:
+                break
+            time.sleep(0.05)
+        else:
+            pytest.fail("supervisor never restarted the killed worker")
+        assert proc.stats()["worker_restarts"] >= 1
+        # the restarted worker serves reads and writes again
+        pub, sub = honest_pair(keypool, "/b", 1, b"post-restart")  # shard 0
+        proc.submit_batch([pub.encode(), sub.encode()])
+        assert len(proc) == 2
+        proc.verify_integrity()
+    finally:
+        proc.close()

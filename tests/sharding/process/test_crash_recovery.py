@@ -1,0 +1,211 @@
+"""Worker crashes: SIGKILL mid-batch, reconciliation, evidence loss,
+and tamper localization to the damaged worker's shard.
+
+The deterministic crashes use the storage layer's ``ADLP_CRASHPOINT``
+arming (passed through ``initial_worker_env`` so exactly one worker's
+*first* incarnation is a time bomb; supervisor restarts always run
+clean), so each test pins the exact torn state it proves recoverable --
+the same discipline as the single-store crash battery.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+
+import pytest
+
+from repro.errors import LogIntegrityError
+from repro.sharding import ShardedLogServer, audit_sharded, shard_dirname
+from repro.storage.durable_store import WAL_SUBDIR
+from repro.storage.wal import SEGMENT_HEADER_SIZE, segment_paths
+from tests.sharding.workload import (
+    GOLDEN_SHARDS_4,
+    TOPICS,
+    honest_pair,
+    register_pair,
+    report_summary,
+    topology_for,
+)
+
+
+def _honest_records(keypool, count, topics=TOPICS):
+    records = []
+    for i in range(count):
+        pub, sub = honest_pair(keypool, topics[i % len(topics)], i + 1, b"c%d" % i)
+        records += [pub.encode(), sub.encode()]
+    return records
+
+
+def _twin(keypool, records):
+    twin = ShardedLogServer(shards=4)
+    register_pair(twin, keypool)
+    twin.submit_batch(records)
+    return twin
+
+
+def _flip_byte(path, offset):
+    with open(path, "r+b") as f:
+        f.seek(offset)
+        byte = f.read(1)
+        f.seek(offset)
+        f.write(bytes([byte[0] ^ 0x01]))
+
+
+def _last_wal_segment(store_dir, shard):
+    wal_dir = os.path.join(str(store_dir), shard_dirname(shard), WAL_SUBDIR)
+    return segment_paths(wal_dir)[-1][1]
+
+
+# fire_on offsets chosen to land inside the submission workload: the two
+# key registrations consume the first two ``wal.pre_fsync`` passages (one
+# WAL append each), and ``wal.batch_mid`` is only ever passed inside a
+# multi-record group commit.
+CRASHPOINTS = {"wal.batch_mid": 3, "wal.pre_fsync": 5}
+
+
+@pytest.mark.parametrize("crashpoint", sorted(CRASHPOINTS))
+def test_crashpoint_mid_batch_recovers_to_identical_audit(
+    spawn_server, keypool, crashpoint
+):
+    """A worker that dies *inside* a group commit (between journaled
+    records, or after the write but before the fsync) is restarted,
+    recovers from its own WAL, the parent resends exactly the unlanded
+    suffix -- and the final commitment and audit verdicts are identical
+    to an uncrashed threaded run of the same stream."""
+    victim = 1
+    fire_on = CRASHPOINTS[crashpoint]
+    proc = spawn_server(
+        shards=4,
+        subdir=f"crash-{crashpoint.replace('.', '-')}",
+        initial_worker_env={victim: {"ADLP_CRASHPOINT": f"{crashpoint}:{fire_on}"}},
+    )
+    register_pair(proc, keypool)
+    records = _honest_records(keypool, count=24)
+    for start in range(0, len(records), 8):
+        proc.submit_batch(records[start : start + 8])
+
+    assert len(proc) == len(records)
+    assert proc.stats()["worker_restarts"] >= 1
+    assert proc.stats()["resubmitted_after_crash"] >= 1
+    assert proc.shard_stats()[victim]["restarts"] >= 1
+    proc.verify_integrity()
+
+    twin = _twin(keypool, records)
+    assert proc.commitment().root == twin.commitment().root
+    topology = topology_for()
+    crashed = audit_sharded(proc, topology)
+    clean = audit_sharded(twin, topology)
+    assert not crashed.tampered_shards
+    assert report_summary(crashed.report) == report_summary(clean.report)
+    assert crashed.clean
+    twin.close()
+
+
+def test_sigkill_between_batches_recovers(spawn_server, keypool):
+    """A raw SIGKILL (no cooperative crashpoint at all) while traffic
+    flows: the next submission reconciles and nothing is lost."""
+    proc = spawn_server(shards=4, subdir="sigkill")
+    register_pair(proc, keypool)
+    records = _honest_records(keypool, count=20)
+    proc.submit_batch(records[:20])
+    os.kill(proc.worker_pid(2), signal.SIGKILL)
+    proc.submit_batch(records[20:])
+    assert len(proc) == len(records)
+    assert proc.stats()["worker_restarts"] >= 1
+    proc.verify_integrity()
+    twin = _twin(keypool, records)
+    assert proc.commitment().root == twin.commitment().root
+    twin.close()
+
+
+def test_acknowledged_evidence_loss_is_integrity_failure(
+    spawn_server, keypool, tmp_path
+):
+    """A worker that comes back with *fewer* entries than were
+    acknowledged is not a crash to retry around: acknowledged means
+    durable, so the parent must report loss, and the shard stays
+    poisoned rather than quietly re-ingesting."""
+    proc = spawn_server(shards=4, subdir="loss", supervise=False)
+    register_pair(proc, keypool)
+    victim_topic = "/a"
+    victim = GOLDEN_SHARDS_4[victim_topic]
+    records = []
+    for i in range(6):
+        pub, sub = honest_pair(keypool, victim_topic, i + 1, b"x%d" % i)
+        records += [pub.encode(), sub.encode()]
+    proc.submit_batch(records)
+
+    # Simulate durable loss: kill the worker and vaporize its journal.
+    os.kill(proc.worker_pid(victim), signal.SIGKILL)
+    wal_dir = tmp_path / "loss" / shard_dirname(victim) / WAL_SUBDIR
+    for name in os.listdir(wal_dir):
+        os.unlink(wal_dir / name)
+
+    pub, sub = honest_pair(keypool, victim_topic, 99, b"after")
+    with pytest.raises(LogIntegrityError, match="acknowledged"):
+        proc.submit_batch([pub.encode(), sub.encode()])
+    # the shard is poisoned: later operations re-raise, never re-ingest
+    with pytest.raises(LogIntegrityError, match="acknowledged"):
+        proc.submit(pub.encode())
+    # ...but other shards keep working
+    other_topic = next(t for t in TOPICS if GOLDEN_SHARDS_4[t] != victim)
+    pub2, _ = honest_pair(keypool, other_topic, 50, b"ok")
+    proc.submit(pub2.encode())
+
+
+def test_live_tamper_flags_exactly_the_damaged_workers_shard(
+    spawn_server, keypool, tmp_path
+):
+    """Flip a byte in one worker's WAL while the set is live: the strict
+    per-shard verify (an ``OP_VERIFY`` round trip into that worker) fails
+    for that shard alone, and the sharded audit still classifies every
+    other shard's evidence."""
+    proc = spawn_server(shards=4, subdir="tamper-live")
+    register_pair(proc, keypool)
+    proc.submit_batch(_honest_records(keypool, count=16))
+
+    victim = GOLDEN_SHARDS_4["/a"]
+    _flip_byte(
+        _last_wal_segment(tmp_path / "tamper-live", victim),
+        SEGMENT_HEADER_SIZE + 9,
+    )
+
+    with pytest.raises(LogIntegrityError, match=f"shard {victim}"):
+        proc.verify_integrity()
+    result = audit_sharded(proc, topology_for())
+    assert result.tampered_shards == [victim]
+    assert not result.clean
+    intact = [o for o in result.outcomes if not o.tampered]
+    assert len(intact) == 3
+    assert all(o.report is not None for o in intact)
+
+
+def test_recovered_tamper_localizes_via_published_commitment(
+    spawn_server, keypool
+):
+    """Damage one worker's WAL tail after a clean shutdown: recovery
+    truncates the damaged suffix (shorter, not torn), so localization
+    comes from comparing the reopened set against the previously
+    published commitment -- which names exactly the damaged worker's
+    shard."""
+    proc = spawn_server(shards=4, subdir="tamper-reopen")
+    register_pair(proc, keypool)
+    proc.submit_batch(_honest_records(keypool, count=16))
+    published = proc.commitment()
+    store_dir = proc.store_dir
+    proc.close()
+
+    victim = GOLDEN_SHARDS_4["/h"]
+    wal_path = _last_wal_segment(store_dir, victim)
+    _flip_byte(wal_path, os.path.getsize(wal_path) - 3)
+
+    reopened = spawn_server(shards=4, subdir="tamper-reopen")
+    result = audit_sharded(reopened, topology_for(), expected=published)
+    assert result.mismatched_shards == [victim]
+    assert result.flagged_shards() == [victim]
+    assert not result.clean
+    assert result.commitment.root != published.root
+    # the recovered shard is internally consistent -- shorter, not torn
+    assert result.tampered_shards == []
+    assert len(reopened) == published.entries - 1

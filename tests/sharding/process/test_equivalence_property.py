@@ -1,0 +1,171 @@
+"""Property-based cross-process equivalence.
+
+The process backend's headline invariant: for identical inputs, thread
+and process backends produce byte-identical
+:class:`ShardSetCommitment`s -- through randomized mixed workloads,
+through checkpoint+reopen of both backends, and straight through a
+SIGKILLed worker's restart-with-recovery.
+
+One hundred-plus randomized workload rounds run against a single
+long-lived backend pair (spawning fresh workers per round would measure
+process startup, not equivalence), with the commitment compared after
+*every* round -- a divergence localizes to the round (and, via
+``mismatched_shards``, the shard) that introduced it.  All randomness is
+``PYTEST_SEED``-driven through the ``rng`` fixture.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.audit import Auditor
+from repro.sharding import ShardedLogServer, audit_sharded
+from tests.sharding.workload import (
+    TOPICS,
+    build_stream,
+    honest_pair,
+    register_pair,
+    report_summary,
+    topology_for,
+)
+
+#: Randomized workload rounds (the acceptance bar is >= 100, including
+#: the special rounds below).
+ROUNDS = 104
+#: Rounds at which both backends are closed and reopened from their
+#: stores (recovery must be commitment-preserving).
+REOPEN_ROUNDS = frozenset({40})
+#: Rounds at which one worker is SIGKILLed right before the submissions
+#: (restart-with-recovery mid-suite; the victim rotates).
+SIGKILL_ROUNDS = frozenset({20, 71})
+
+
+def _random_workload(keypool, rng, seqs, size):
+    """``size`` honest transmissions on random topics, returned as
+    encoded records in a deterministic-random order."""
+    records = []
+    for _ in range(size):
+        topic = rng.choice(TOPICS)
+        seqs[topic] += 1
+        payload = bytes(rng.getrandbits(8) for _ in range(rng.randrange(4, 20)))
+        pub, sub = honest_pair(keypool, topic, seqs[topic], payload)
+        records += [pub.encode(), sub.encode()]
+    rng.shuffle(records)
+    return records
+
+
+def _submit_like(rng, server, records):
+    """Mixed submission plan: some records go through ``submit``, some
+    through ``submit_batch``, in rng-chosen runs (the same plan is applied
+    to both backends by re-seeding)."""
+    i = 0
+    while i < len(records):
+        if rng.random() < 0.5:
+            server.submit(records[i])
+            i += 1
+        else:
+            run = min(rng.randrange(2, 7), len(records) - i)
+            server.submit_batch(records[i : i + run])
+            i += run
+
+
+def test_randomized_workloads_commitment_equivalent(
+    spawn_server, keypool, rng, tmp_path, deterministic_seed
+):
+    import random
+
+    proc = spawn_server(shards=4, subdir="equiv-proc", fsync="always")
+    thread = ShardedLogServer(
+        shards=4, store_dir=str(tmp_path / "equiv-thread"), fsync="never"
+    )
+    register_pair(proc, keypool)
+    register_pair(thread, keypool)
+    seqs = {t: 0 for t in TOPICS}
+    victim = 0
+    restarts_before_reopen = 0
+    try:
+        for round_no in range(ROUNDS):
+            if round_no in REOPEN_ROUNDS:
+                restarts_before_reopen += proc.stats()["worker_restarts"]
+                proc.checkpoint()
+                proc.close()
+                thread.checkpoint()
+                thread.close()
+                proc = spawn_server(
+                    shards=4, subdir="equiv-proc", fsync="always"
+                )
+                thread = ShardedLogServer(
+                    shards=4,
+                    store_dir=str(tmp_path / "equiv-thread"),
+                    fsync="never",
+                )
+            if round_no in SIGKILL_ROUNDS:
+                pid = proc.worker_pid(victim)
+                assert pid is not None
+                os.kill(pid, signal.SIGKILL)
+                victim = (victim + 1) % 4
+            records = _random_workload(
+                keypool, rng, seqs, size=rng.randrange(2, 5)
+            )
+            # identical submission plan on both backends
+            plan_seed = deterministic_seed * 100003 + round_no
+            _submit_like(random.Random(plan_seed), proc, records)
+            _submit_like(random.Random(plan_seed), thread, records)
+            pc, tc = proc.commitment(), thread.commitment()
+            assert pc.root == tc.root, (
+                f"round {round_no}: commitment diverged in shards "
+                f"{tc.mismatched_shards(pc)}"
+            )
+        assert len(proc) == len(thread) > 0
+        total_restarts = restarts_before_reopen + proc.stats()["worker_restarts"]
+        assert total_restarts >= len(SIGKILL_ROUNDS)
+        proc.verify_integrity()
+    finally:
+        thread.close()
+
+
+def test_verdict_multiset_equivalent_for_dishonest_traffic(
+    spawn_server, keypool, rng
+):
+    """Honest, hidden, and forged traffic classifies identically across
+    backends -- and identically across thread- and process-pool audit
+    executors -- against a single unsharded reference audit."""
+    records = build_stream(keypool, rng, transmissions=40)
+    topology = topology_for()
+
+    proc = spawn_server(shards=4, fsync="never")
+    thread = ShardedLogServer(shards=4)
+    register_pair(proc, keypool)
+    register_pair(thread, keypool)
+    proc.submit_batch(records)
+    thread.submit_batch(records)
+
+    # unsharded reference: one LogServer fed the same stream
+    from repro.core.log_server import LogServer
+
+    reference = LogServer()
+    register_pair(reference, keypool)
+    reference.submit_batch(records)
+    reference_report = Auditor(reference.keystore, topology).audit(
+        reference.entries()
+    )
+    expected = report_summary(reference_report)
+
+    results = {
+        "thread/thread": audit_sharded(thread, topology, executor="thread"),
+        "thread/process": audit_sharded(thread, topology, executor="process"),
+        "process/thread": audit_sharded(proc, topology, executor="thread"),
+        "process/process": audit_sharded(proc, topology, executor="process"),
+    }
+    for label, result in results.items():
+        assert not result.tampered_shards, label
+        assert report_summary(result.report) == expected, label
+    assert (
+        results["thread/thread"].commitment.root
+        == results["process/process"].commitment.root
+    )
+    thread.close()

@@ -1,0 +1,248 @@
+"""Direct behavior of the process-sharded backend and its worker adapter.
+
+The cross-backend equivalence battery proves the big invariant (identical
+commitments); this file pins the surface contracts around it: the factory
+switch, filterable queries, rejection semantics, worker-side misroute
+guards, reopen discipline, and checkpoint+reopen recovery.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.errors import LogIntegrityError, LoggingError
+from repro.sharding import (
+    ProcessShardedLogServer,
+    ShardWorkerServer,
+    ShardedLogServer,
+    make_sharded_server,
+)
+from tests.sharding.workload import (
+    GOLDEN_SHARDS_4,
+    TOPICS,
+    honest_pair,
+    register_pair,
+)
+
+
+def _stream(keypool, count=12, topics=TOPICS):
+    records = []
+    for i in range(count):
+        pub, sub = honest_pair(keypool, topics[i % len(topics)], i + 1, b"m%d" % i)
+        records += [pub.encode(), sub.encode()]
+    return records
+
+
+def test_factory_switches_backends(tmp_path):
+    thread = make_sharded_server(backend="thread", shards=2)
+    assert isinstance(thread, ShardedLogServer)
+    thread.close()
+    process = make_sharded_server(
+        backend="process", shards=2, store_dir=str(tmp_path / "s")
+    )
+    assert isinstance(process, ProcessShardedLogServer)
+    process.close()
+    with pytest.raises(LoggingError, match="unknown sharding backend"):
+        make_sharded_server(backend="fiber")
+
+
+def test_surface_parity_with_thread_backend(spawn_server, keypool):
+    proc = spawn_server(shards=4)
+    thread = ShardedLogServer(shards=4)
+    register_pair(proc, keypool)
+    register_pair(thread, keypool)
+    records = _stream(keypool)
+    assert proc.submit_batch(records) == thread.submit_batch(records)
+
+    assert len(proc) == len(thread)
+    assert proc.total_bytes == thread.total_bytes
+    assert proc.components() == thread.components() == ["/pub", "/sub"]
+    assert proc.keys_snapshot() == thread.keys_snapshot()
+    assert (
+        proc.public_key("/pub").to_bytes() == thread.public_key("/pub").to_bytes()
+    )
+    for topic in TOPICS[:3]:
+        assert proc.entries(topic=topic) == thread.entries(topic=topic)
+    assert proc.entries(component_id="/sub") == thread.entries(component_id="/sub")
+    for shard in range(4):
+        assert proc.shard_raw_records(shard) == thread.shard_raw_records(shard)
+        assert proc.shard_commitment(shard) == thread.shard_commitment(shard)
+    assert proc.commitment() == thread.commitment()
+    assert proc.merkle_root() == thread.merkle_root()
+    thread.close()
+
+
+def test_stats_and_shard_stats_shape(spawn_server, keypool):
+    proc = spawn_server(shards=2)
+    register_pair(proc, keypool)
+    proc.submit_batch(_stream(keypool, count=6))
+    stats = proc.stats()
+    assert stats["shard_count"] == 2
+    assert stats["sharded_entries"] == 12
+    assert stats["worker_restarts"] == 0
+    rows = proc.shard_stats()
+    assert [row["shard"] for row in rows] == [0, 1]
+    assert all(row["alive"] for row in rows)
+    assert sum(row["entries"] for row in rows) == 12
+    # every worker reports what its startup recovery found
+    assert all("recovered_entries" in row for row in rows)
+
+
+def test_undecodable_submissions_rejected_and_counted(spawn_server, keypool):
+    proc = spawn_server(shards=2)
+    register_pair(proc, keypool)
+    with pytest.raises(LoggingError, match="undecodable log entry"):
+        proc.submit(b"\xff\xfe not an entry")
+    good = _stream(keypool, count=2)
+    # one bad entry rejects the whole batch before anything is sent
+    with pytest.raises(LoggingError, match="undecodable log entry"):
+        proc.submit_batch([good[0], b"\x00garbage", good[1]])
+    assert len(proc) == 0
+    assert proc.stats()["sharded_rejected"] == 2
+
+
+def test_observers_cannot_cross_process_boundary(spawn_server):
+    proc = spawn_server(shards=2)
+    with pytest.raises(LoggingError, match="process boundary"):
+        proc.add_observer(lambda record: None)
+    with pytest.raises(LoggingError, match="process boundary"):
+        proc.remove_observer(lambda record: None)
+
+
+def test_worker_logs_record_readiness(spawn_server):
+    proc = spawn_server(shards=2)
+    for shard in range(2):
+        with open(proc.worker_log_path(shard)) as f:
+            content = f.read()
+        assert f"ADLP-WORKER-READY shard={shard}/2" in content
+
+
+def test_reopen_with_different_count_refused(spawn_server, keypool, tmp_path):
+    proc = spawn_server(shards=2, subdir="layout")
+    register_pair(proc, keypool)
+    proc.submit_batch(_stream(keypool, count=4))
+    proc.close()
+    with pytest.raises(LogIntegrityError, match="shard directories"):
+        ProcessShardedLogServer(shards=3, store_dir=str(tmp_path / "layout"))
+    # ...and the refusal is symmetric across backends: the threaded
+    # server refuses the process-written layout at the wrong count too.
+    with pytest.raises(LogIntegrityError, match="shard directories"):
+        ShardedLogServer(shards=3, store_dir=str(tmp_path / "layout"))
+
+
+def test_checkpoint_and_reopen_recovers_from_checkpoint(
+    spawn_server, keypool, tmp_path
+):
+    proc = spawn_server(shards=2, subdir="ckpt")
+    register_pair(proc, keypool)
+    records = _stream(keypool, count=10)
+    proc.submit_batch(records)
+    commitment = proc.commitment()
+    proc.checkpoint()
+    proc.close()
+
+    reopened = spawn_server(shards=2, subdir="ckpt")
+    assert len(reopened) == len(records)
+    assert reopened.commitment() == commitment
+    assert any(
+        row.get("recovered_from_checkpoint", 0) > 0
+        for row in reopened.shard_stats()
+    )
+    reopened.verify_integrity()
+
+
+class TestWorkerAdapterGuards:
+    """The worker-side refusals behind shard-tagged frames (unit-level:
+    no subprocess, just the adapter)."""
+
+    def test_rejects_wrong_shard_tag(self, keypool):
+        worker = ShardWorkerServer(None, shard_index=1, total_shards=4)
+        pub, _ = honest_pair(keypool, "/d", 1, b"x")  # /d routes to shard 1
+        with pytest.raises(LoggingError, match="hosts shard 1"):
+            worker.submit_to_shard(2, pub.encode())
+        with pytest.raises(LoggingError, match="hosts shard 1"):
+            worker.shard_commitment(0)
+        with pytest.raises(LoggingError, match="hosts shard 1"):
+            worker.shard_raw_records(3)
+
+    def test_rejects_misrouted_topic(self, keypool):
+        worker = ShardWorkerServer(None, shard_index=1, total_shards=4)
+        register_pair(worker, keypool)
+        topic = "/a"
+        assert GOLDEN_SHARDS_4[topic] == 3  # belongs elsewhere
+        pub, _ = honest_pair(keypool, topic, 1, b"x")
+        with pytest.raises(LoggingError, match="routes to shard 3"):
+            worker.submit_to_shard(1, pub.encode())
+        with pytest.raises(LoggingError, match="routes to shard 3"):
+            worker.submit_batch_to_shard(1, [pub.encode()])
+        assert len(worker) == 0
+
+    def test_accepts_its_own_shard(self, keypool):
+        worker = ShardWorkerServer(None, shard_index=1, total_shards=4)
+        register_pair(worker, keypool)
+        pub, sub = honest_pair(keypool, "/d", 1, b"x")  # shard 1 at 4 shards
+        assert worker.submit_batch_to_shard(1, [pub.encode(), sub.encode()]) == [
+            0,
+            1,
+        ]
+        assert worker.shard_commitment(1).entries == 2
+
+    def test_out_of_range_index_refused(self):
+        with pytest.raises(ValueError, match="out of range"):
+            ShardWorkerServer(None, shard_index=4, total_shards=4)
+
+
+def test_worker_cli_entrypoint_round_trip(tmp_path):
+    """`python -m repro.sharding.worker` is a functioning standalone
+    server: spawn one directly and speak the wire protocol to it."""
+    import subprocess
+    import sys
+    import time
+
+    from repro.core.remote import RemoteLogger
+    from repro.middleware.transport.unix import UnixTransport
+
+    socket_path = str(tmp_path / "w.sock")
+    env = os.environ.copy()
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "..", "src")
+    env["PYTHONPATH"] = (
+        os.path.abspath(src) + os.pathsep + env.get("PYTHONPATH", "")
+    )
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.sharding.worker",
+            "--socket",
+            socket_path,
+            "--store-dir",
+            str(tmp_path / "w-store"),
+            "--shard",
+            "0",
+            "--shards",
+            "1",
+            "--fsync",
+            "never",
+        ],
+        stdin=subprocess.PIPE,
+        env=env,
+    )
+    client = RemoteLogger((("unix"), socket_path), transport=UnixTransport(), shard=0)
+    try:
+        deadline = time.monotonic() + 15
+        while True:
+            try:
+                commitment = client.health(timeout=1.0)
+                break
+            except LoggingError:
+                assert time.monotonic() < deadline, "worker never became ready"
+                time.sleep(0.05)
+        assert commitment.entries == 0
+        assert client.server_stats()["shard"] == 0
+    finally:
+        client.close()
+        process.terminate()
+        process.wait(timeout=10)
+    assert process.returncode == 0  # SIGTERM exits the clean path

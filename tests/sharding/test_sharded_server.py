@@ -191,8 +191,28 @@ class TestCommitment:
 
     def test_comparing_different_sized_sets_raises(self, sharded):
         other = ShardedLogServer(shards=2).commitment()
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="different sizes"):
             sharded.commitment().mismatched_shards(other)
+
+    def test_mismatched_shards_names_every_damaged_shard(self, sharded, keypool):
+        """Two shards diverge simultaneously: localization must name both
+        (sorted), not stop at the first."""
+        for topic in TOPICS:
+            sharded.submit(pair_records(keypool, topic)[0])
+        before = sharded.commitment()
+        sharded.submit(pair_records(keypool, "/e", seq=2)[0])  # shard 1
+        sharded.submit(pair_records(keypool, "/f", seq=2)[0])  # shard 2
+        after = sharded.commitment()
+        damaged = sorted({GOLDEN_SHARDS_4["/e"], GOLDEN_SHARDS_4["/f"]})
+        assert before.mismatched_shards(after) == damaged
+        # localization is symmetric
+        assert after.mismatched_shards(before) == damaged
+
+    def test_mismatched_shards_when_every_shard_diverged(self, sharded, keypool):
+        before = sharded.commitment()
+        for topic in TOPICS:  # the golden mapping covers all four shards
+            sharded.submit(pair_records(keypool, topic)[0])
+        assert before.mismatched_shards(sharded.commitment()) == [0, 1, 2, 3]
 
     def test_as_log_commitment_carries_set_root(self, sharded, keypool):
         sharded.submit(pair_records(keypool, "/a")[0])
@@ -256,6 +276,34 @@ class TestDurableLayout:
         ShardedLogServer(shards=3, store_dir=store_dir, fsync="never").close()
         with pytest.raises(LogIntegrityError):
             ShardedLogServer(shards=4, store_dir=store_dir, fsync="never")
+
+    @pytest.mark.parametrize("requested", [1, 2, 8])
+    def test_rebalance_refusal_covers_shrink_and_grow(self, tmp_path, requested):
+        """The topic->shard mapping depends on the count, so a 4-shard
+        layout refuses *any* other count -- halving, doubling, and
+        collapsing to one all included -- and the refusal names both the
+        layout's directories and the requested count."""
+        store_dir = str(tmp_path / "sharded")
+        ShardedLogServer(shards=4, store_dir=store_dir, fsync="never").close()
+        with pytest.raises(LogIntegrityError, match="shard directories") as err:
+            ShardedLogServer(shards=requested, store_dir=store_dir, fsync="never")
+        assert "[0, 1, 2, 3]" in str(err.value)
+        assert f"{requested} shards were requested" in str(err.value)
+        # the refusal must fire before any shard store is opened or
+        # mutated: the untouched layout still reopens cleanly at 4
+        ShardedLogServer(shards=4, store_dir=store_dir, fsync="never").close()
+
+    def test_partial_layout_is_refused_too(self, tmp_path):
+        """A layout with a missing shard directory (torn manual copy) is
+        rejected rather than silently re-created with fresh chains."""
+        store_dir = str(tmp_path / "sharded")
+        ShardedLogServer(shards=3, store_dir=store_dir, fsync="never").close()
+        os.rename(
+            os.path.join(store_dir, shard_dirname(2)),
+            os.path.join(store_dir, "stash"),
+        )
+        with pytest.raises(LogIntegrityError, match="shard directories"):
+            ShardedLogServer(shards=3, store_dir=store_dir, fsync="never")
 
     def test_store_dir_and_factory_are_exclusive(self, tmp_path):
         with pytest.raises(ValueError):

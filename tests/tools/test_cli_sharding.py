@@ -114,6 +114,14 @@ class TestInspect:
         listed = {line.split()[3] for line in out.splitlines() if line.strip()}
         assert listed == expected
 
+    def test_evidence_loss_at_open_is_reported_not_raised(self, layout, capsys):
+        # Dropping a checkpointed shard's WAL makes store-open itself fail
+        # during journal replay; the CLI must report it, not traceback.
+        drop_wal(layout, 1)
+        assert main(["inspect", "--store", layout, "--shards", str(SHARDS)]) == 2
+        out = capsys.readouterr().out
+        assert "TAMPERED" in out and "checkpointed evidence" in out
+
     def test_shard_flag_requires_sharded_source(self, tmp_path, keypool):
         from repro.core import DurableLogStore, LogServer
 
@@ -146,6 +154,12 @@ class TestAudit:
         layout = build_layout(tmp_path, keypool, dirty=True)
         assert main(["audit", "--store", layout, "--shards", str(SHARDS)]) == 1
         assert "/pub" in capsys.readouterr().out
+
+    def test_evidence_loss_at_open_is_reported_not_raised(self, layout, capsys):
+        drop_wal(layout, 1)
+        assert main(["audit", "--store", layout, "--shards", str(SHARDS)]) == 2
+        out = capsys.readouterr().out
+        assert "TAMPERED" in out and "checkpointed evidence" in out
 
     def test_tampered_shard_exits_two_and_is_named(self, layout, capsys):
         flip_checkpoint_byte(layout, 2)
