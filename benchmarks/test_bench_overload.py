@@ -1,0 +1,261 @@
+"""Engineering benchmark (beyond the paper): overload protection.
+
+A saturated trusted logger is the regime the resilience stack exists
+for: ingest is slowed (``OverloadInjector``) so offered load exceeds
+service rate, two fire-and-forget flooders keep the server pinned, and
+one well-behaved acknowledged client keeps submitting small batches
+through the congestion.  The same workload runs twice:
+
+- **off**: no admission controller on the endpoint, no client flow
+  control -- every frame queues unboundedly in front of the slowed
+  ingest loop and the acknowledged client waits behind the backlog;
+- **on**: the endpoint runs admission control (bounded ingest with
+  BUSY + retry-after), the flooders run credit windows, retry budgets
+  and shed-to-spill, and the acknowledged client paces itself by the
+  server's own hints.
+
+Measured per config: **goodput** (entries fully landed per wall-clock
+second, flood *and* sync, spill drained to zero -- shed entries must be
+delayed, never lost, or the run fails) and the acknowledged client's
+ack latency distribution.  The bar: admission control must not cost
+goodput -- refusing early and pacing resends keeps the server exactly
+as busy as letting the backlog pile up, while keeping the queue (and
+therefore the sync client's latency) bounded.
+
+Set ``REPRO_BENCH_SMOKE=1`` for a tiny CI-sized workload.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+import time
+
+import pytest
+
+from repro.bench.reporting import Table, host_cpu_count, save_results
+from repro.core.log_server import LogServer
+from repro.core.remote import LogServerEndpoint, RemoteLogger
+from repro.errors import LoggingError, ServerBusy
+from repro.middleware.transport.inproc import InprocTransport
+from repro.resilience.admission import AdmissionConfig, AdmissionController
+from repro.resilience.flow import FlowControlConfig
+from repro.resilience.matrix import _build_records, _cell_keys
+from repro.resilience.overload import OverloadInjector
+
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+SEED = 90210
+INGEST_DELAY = 0.001
+FLOODERS = 2
+FLOOD_ENTRIES = 64 if SMOKE else 320  # per flooder (entries, i.e. pub+sub rows)
+FLOOD_BATCH = 64
+SYNC_PROBES = 8 if SMOKE else 48  # acknowledged 2-record batches
+DRAIN_TIMEOUT = 120.0
+CONFIGS = ("off", "on")
+
+_TOPICS = ["/bench/ack/a", "/bench/ack/b", "/bench/noise/a", "/bench/noise/b"]
+
+# Tuned for goodput parity on a saturated server: the admission queue
+# must bank enough work (high_watermark x ingest delay ~ 50 ms) to keep
+# the ingest loop busy across the clients' paced retry windows, and the
+# pause caps stay on the order of the queue-drain time -- a 250 ms pause
+# over a 24-entry queue would idle the server 3/4 of the cycle.
+_ADMISSION = AdmissionConfig(
+    high_watermark=48, low_watermark=16, retry_after=0.01, max_retry_after=0.02
+)
+_FLOW = FlowControlConfig(
+    window_bytes=4096,
+    credit_timeout=2.0,
+    retry_budget=64.0,
+    retry_token_ratio=0.5,
+    retry_time_refill=50.0,
+    shed_min_pause=0.01,
+    shed_max_pause=0.05,
+)
+
+_results: dict = {}
+
+
+def _percentile(values, q: float) -> float:
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _run_config(protected: bool) -> dict:
+    rng = random.Random(SEED)
+    keys = _cell_keys(SEED)
+    sync_records = _build_records(rng, keys, _TOPICS[:2], SYNC_PROBES)
+    flood_shares = [
+        _build_records(
+            rng, keys, _TOPICS[2:], FLOOD_ENTRIES // 2, seq_base=10_000 * (i + 1)
+        )
+        for i in range(FLOODERS)
+    ]
+
+    server = LogServer()
+    server.register_key("/pub", keys[0].public)
+    server.register_key("/sub", keys[1].public)
+    ingest = OverloadInjector(server, delay=INGEST_DELAY)
+    transport = InprocTransport()
+    endpoint = LogServerEndpoint(
+        ingest,
+        transport=transport,
+        admission=AdmissionController(_ADMISSION) if protected else None,
+    )
+
+    flooders = [
+        RemoteLogger(
+            endpoint.address,
+            transport=transport,
+            spill_capacity=100_000,
+            flow_control=_FLOW if protected else None,
+            rng=random.Random(SEED + 100 + i),
+        )
+        for i in range(FLOODERS)
+    ]
+    sync_client = RemoteLogger(
+        endpoint.address, transport=transport, rng=random.Random(SEED + 7)
+    )
+
+    drain_failures: list = []
+
+    def flood(client: RemoteLogger, share) -> None:
+        """One flooder's whole life: offer its share, then autonomously
+        drain whatever it shed until everything landed.  Each client owns
+        its connection, so the (per-entry, lock-free) ingest slowdowns of
+        concurrent clients overlap identically in both configs -- the
+        comparison isolates the protection stack, not a serialization
+        artifact of the harness."""
+        for start in range(0, len(share), FLOOD_BATCH):
+            client.submit_batch(share[start : start + FLOOD_BATCH])
+        deadline = time.perf_counter() + DRAIN_TIMEOUT
+        while client.spilled > 0 or client.shedding:
+            if time.perf_counter() > deadline:
+                drain_failures.append(
+                    f"spill failed to drain: {client.spilled} entries "
+                    f"still parked"
+                )
+                return
+            client.flush_spill()
+            time.sleep(0.005)
+        while True:  # FIFO barrier: any answer proves prior frames landed
+            if time.perf_counter() > deadline:
+                drain_failures.append("drain barrier never answered")
+                return
+            try:
+                client.health(timeout=2.0)
+                break
+            except LoggingError:
+                time.sleep(0.02)
+
+    latencies = []
+    busy_responses = 0
+    started = time.perf_counter()
+    threads = [
+        threading.Thread(target=flood, args=(c, s), daemon=True)
+        for c, s in zip(flooders, flood_shares)
+    ]
+    try:
+        for thread in threads:
+            thread.start()
+        # The well-behaved client: acknowledged 2-record batches through
+        # the congestion; a BUSY answer is honored (that wait is part of
+        # the honest ack latency, not excluded from it).
+        for i in range(0, len(sync_records), 2):
+            chunk = list(sync_records[i : i + 2])
+            op_start = time.perf_counter()
+            while True:
+                try:
+                    sync_client.submit_batch_sync(chunk, timeout=30.0)
+                    break
+                except ServerBusy as exc:
+                    busy_responses += 1
+                    time.sleep(min(max(exc.retry_after, 0.005), 0.25))
+            latencies.append(time.perf_counter() - op_start)
+        for thread in threads:
+            thread.join(timeout=DRAIN_TIMEOUT)
+        assert not drain_failures, "; ".join(drain_failures)
+        elapsed = time.perf_counter() - started
+        expected = len(sync_records) + sum(len(s) for s in flood_shares)
+        landed = len(server)
+        assert landed == expected, (
+            f"{expected - landed} entries lost under overload "
+            f"({landed}/{expected} landed)"
+        )
+        shed = sum(c.shed_entries for c in flooders)
+        busy_responses += sum(c.busy_responses for c in flooders)
+        return {
+            "goodput_eps": landed / elapsed,
+            "ack_p50_ms": _percentile(latencies, 0.50) * 1e3,
+            "ack_p95_ms": _percentile(latencies, 0.95) * 1e3,
+            "busy_responses": busy_responses,
+            "shed_entries": shed,
+            "landed": landed,
+            "elapsed_s": elapsed,
+        }
+    finally:
+        for client in flooders:
+            client.close()
+        sync_client.close()
+        endpoint.close()
+        server.close()
+
+
+@pytest.mark.parametrize("config", CONFIGS)
+def test_saturated_goodput(benchmark, config):
+    protected = config == "on"
+
+    def run():
+        _results[config] = _run_config(protected)
+
+    benchmark.pedantic(run, rounds=1, warmup_rounds=0)
+    measured = _results[config]
+    assert measured["goodput_eps"] > 0
+    if protected:
+        # The whole point: the flood actually tripped admission control
+        # and shedding delayed (not lost -- asserted inside) entries.
+        assert measured["busy_responses"] > 0, (
+            "saturated run never saw a BUSY response; admission control "
+            "was not exercised"
+        )
+
+
+def test_report_overload(benchmark):
+    benchmark(lambda: None)
+    cpus = host_cpu_count()
+    table = Table(
+        f"Saturated-server overload: {FLOODERS} flooders x "
+        f"{FLOOD_ENTRIES} entries + {SYNC_PROBES} acked batches, "
+        f"ingest delay {INGEST_DELAY * 1e3:.1f} ms ({cpus} cpus)",
+        ["Protection", "Goodput e/s", "Ack p50 ms", "Ack p95 ms",
+         "BUSY", "Shed"],
+    )
+    data: dict = {"cpus": cpus, "ingest_delay_ms": INGEST_DELAY * 1e3}
+    for config in CONFIGS:
+        row = _results[config]
+        table.add_row(
+            config,
+            row["goodput_eps"],
+            row["ack_p50_ms"],
+            row["ack_p95_ms"],
+            row["busy_responses"],
+            row["shed_entries"],
+        )
+        for key, value in row.items():
+            data[f"{config}_{key}"] = value
+    ratio = _results["on"]["goodput_eps"] / _results["off"]["goodput_eps"]
+    data["goodput_ratio_on_vs_off"] = ratio
+    table.show()
+    save_results("overload", data)
+    # The acceptance bar: overload protection must not cost goodput.
+    # Refuse-early + paced resends keeps the (saturated) ingest loop as
+    # busy as an unbounded backlog does; the generous floor absorbs
+    # scheduler noise on small CI hosts without letting a real
+    # regression (pacing idling the server) through.
+    assert ratio >= 0.6, (
+        f"admission control cost {1 - ratio:.0%} goodput on a saturated "
+        f"server (on={_results['on']['goodput_eps']:.0f} e/s, "
+        f"off={_results['off']['goodput_eps']:.0f} e/s)"
+    )

@@ -22,6 +22,19 @@ from typing import Optional, Tuple
 
 from repro.crypto.keys import DEFAULT_KEY_BITS
 
+# Overload-protection configs live with their mechanisms in
+# ``repro.resilience`` (stdlib-only modules, so this import direction is
+# cycle-free); re-exported here because callers treat them as policy.
+from repro.resilience.admission import AdmissionConfig
+from repro.resilience.flow import FlowControlConfig
+
+__all__ = [
+    "AdlpConfig",
+    "AdmissionConfig",
+    "FlowControlConfig",
+    "ReplicationConfig",
+]
+
 
 @dataclass(frozen=True)
 class AdlpConfig:
@@ -167,6 +180,11 @@ class ReplicationConfig:
     #: anti-entropy replays each shard's gap separately and the final
     #: commitment comparison uses the shard-set root.
     shards: int = 0
+
+    #: Client-side overload protection applied to every replica handle
+    #: (credit window, retry budget, BUSY-driven shedding).  ``None``
+    #: keeps the pre-overload behavior.
+    flow_control: Optional[FlowControlConfig] = None
 
     def __post_init__(self) -> None:
         if self.shards < 0:

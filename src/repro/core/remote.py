@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import json
 import logging
+import random
 import threading
 import time
 from collections import deque
@@ -35,7 +36,19 @@ from typing import Deque, Dict, List, Optional, Union
 from repro.core.entries import LogEntry
 from repro.core.log_server import LogCommitment, LogServer
 from repro.crypto.keys import PublicKey
-from repro.errors import LoggingError, TransportError
+from repro.errors import (
+    DeadlineExceeded,
+    LoggingError,
+    ServerBusy,
+    TransportError,
+)
+from repro.resilience.admission import AdmissionController
+from repro.resilience.flow import (
+    CreditWindow,
+    FlowControlConfig,
+    RetryBudget,
+    full_jitter,
+)
 from repro.middleware.transport.base import (
     Connection,
     ConnectionClosed,
@@ -77,6 +90,15 @@ OP_SUBMIT_BATCH = 6
 OP_CHECKPOINT = 7
 OP_STATS = 8
 OP_VERIFY = 9
+#: Response verdict codes (``LoggerResponse.code``; share the op number
+#: space so a wire trace reads unambiguously).  ``OP_BUSY`` is admission
+#: control refusing sync work -- the response carries the server's queue
+#: depth and retry-after hint; ``OP_DEADLINE_EXPIRED`` is a request whose
+#: client-stamped budget ran out before the expensive work (the entry was
+#: NOT ingested).  Pre-overload clients skip the unknown fields and see an
+#: ordinary ``ok=False`` rejection, which is safe (the work did not land).
+OP_BUSY = 10
+OP_DEADLINE_EXPIRED = 11
 
 #: Upper bound on records returned by one ``OP_FETCH`` (bounds response
 #: frames; catch-up loops until it has the whole range).
@@ -86,6 +108,25 @@ FETCH_BATCH_LIMIT = 4096
 #: across frames (stays far below the transport's 64 MiB frame cap even
 #: for image-sized entries).
 BATCH_FRAME_BYTES = 8 * 1024 * 1024
+
+def _raise_for_verdict(response: "LoggerResponse") -> None:
+    """Translate overload verdict codes on a failed response into typed
+    exceptions (:class:`ServerBusy` / :class:`DeadlineExceeded`); plain
+    rejections fall through to the caller's generic handling."""
+    if response.ok:
+        return
+    code = int(response.code)
+    if code == OP_BUSY:
+        raise ServerBusy(
+            str(response.error) or "log server is overloaded",
+            retry_after=int(response.retry_after_ms) / 1000.0,
+            queue_depth=int(response.queue_depth),
+        )
+    if code == OP_DEADLINE_EXPIRED:
+        raise DeadlineExceeded(
+            str(response.error) or "deadline expired server-side"
+        )
+
 
 #: Suggested ``idle_timeout`` for endpoints serving many short-lived or
 #: replicated clients (a leaked/wedged client must not pin a worker thread
@@ -117,6 +158,12 @@ class LoggerRequest(WireMessage):
     #: parent uses (the wire default ``0`` keeps classic frames
     #: fire-and-forget).
     sync = boolean(9)
+    #: Client-stamped deadline budget in milliseconds for sync submits:
+    #: if the server cannot start the expensive work (admission wait
+    #: included) within this budget of receiving the frame, it answers
+    #: ``OP_DEADLINE_EXPIRED`` instead of doing work whose caller has
+    #: already given up on it.  0 (the wire default) = no deadline.
+    deadline_ms = uint64(10)
 
 
 class LoggerResponse(WireMessage):
@@ -138,6 +185,16 @@ class LoggerResponse(WireMessage):
     #: field per counter would couple the wire format to every backend's
     #: counter set; stats are observability, not evidence).
     stats_json = string(11)
+    #: Response verdict: 0 = plain ok/error, :data:`OP_BUSY` = admission
+    #: control refused (see ``queue_depth`` / ``retry_after_ms``),
+    #: :data:`OP_DEADLINE_EXPIRED` = the request's deadline budget ran
+    #: out server-side.  Old clients skip this field and treat both as
+    #: ordinary rejections.
+    code = uint64(12)
+    #: OP_BUSY: the server's ingest depth when it refused.
+    queue_depth = uint64(13)
+    #: OP_BUSY: suggested client backoff before retrying, milliseconds.
+    retry_after_ms = uint64(14)
 
 
 class LogServerEndpoint:
@@ -148,6 +205,7 @@ class LogServerEndpoint:
         server: LogServer,
         transport: Optional[Transport] = None,
         idle_timeout: Optional[float] = None,
+        admission: Optional[AdmissionController] = None,
     ):
         self.server = server
         self._transport = transport or TcpTransport()
@@ -155,6 +213,9 @@ class LogServerEndpoint:
         self._connections: List[Connection] = []
         self._lock = threading.Lock()
         self._idle_timeout = idle_timeout
+        #: Admission control (overload protection).  ``None`` keeps the
+        #: pre-overload behavior: every frame is ingested unconditionally.
+        self.admission = admission
         #: Submission frames received / rejected by the server (observability
         #: for chaos runs; rejection never propagates to the component).
         self.submissions = 0
@@ -219,32 +280,57 @@ class LogServerEndpoint:
                     self.submissions += 1
                 if request.sync:
                     response = self._ingest_sync(
-                        [bytes(request.entry_bytes)], request.shard
+                        [bytes(request.entry_bytes)],
+                        request.shard,
+                        deadline_ms=int(request.deadline_ms),
+                        arrival=last_active,
                     )
                     try:
                         connection.send_frame(response.encode())
                     except ConnectionClosed:
                         return
                     continue
+                admission = self.admission
+                if admission is not None:
+                    # Fire-and-forget work is never refused (no response
+                    # channel = refusal would be silent evidence loss); it
+                    # is force-admitted so the depth gauge stays honest
+                    # and *sync* traffic sheds on its behalf.
+                    admission.force_admit(1)
                 try:
                     self._submit_one(request.entry_bytes, request.shard)
                 except LoggingError:
                     # fire-and-forget: bad entries are dropped server-side
                     with self._lock:
                         self.rejected += 1
+                finally:
+                    if admission is not None:
+                        admission.release(1)
                 continue
             if request.op == OP_SUBMIT_BATCH:
                 batch = [bytes(record) for record in request.entry_batch]
                 if request.sync:
                     with self._lock:
                         self.submissions += len(batch)
-                    response = self._ingest_sync(batch, request.shard)
+                    response = self._ingest_sync(
+                        batch,
+                        request.shard,
+                        deadline_ms=int(request.deadline_ms),
+                        arrival=last_active,
+                    )
                     try:
                         connection.send_frame(response.encode())
                     except ConnectionClosed:
                         return
                     continue
-                self._ingest_batch(batch, shard_tag=request.shard)
+                admission = self.admission
+                if admission is not None:
+                    admission.force_admit(len(batch))
+                try:
+                    self._ingest_batch(batch, shard_tag=request.shard)
+                finally:
+                    if admission is not None:
+                        admission.release(len(batch))
                 continue
             response = self._answer(request)
             try:
@@ -322,7 +408,13 @@ class LogServerEndpoint:
                 with self._lock:
                     self.rejected += 1
 
-    def _ingest_sync(self, batch: List[bytes], shard_tag: int) -> LoggerResponse:
+    def _ingest_sync(
+        self,
+        batch: List[bytes],
+        shard_tag: int,
+        deadline_ms: int = 0,
+        arrival: Optional[float] = None,
+    ) -> LoggerResponse:
         """Acknowledged ingest: all-or-nothing, with the post-ingest entry
         count in the response.
 
@@ -335,7 +427,55 @@ class LogServerEndpoint:
         ``entries`` tells the caller precisely which prefix of its
         submissions has been accepted (and, with a durable store, made
         crash-durable) so far.
+
+        Overload protection (sync-only, both opt-in): with an
+        :class:`AdmissionController` installed, a busy server answers
+        ``OP_BUSY`` (depth + retry-after hint) *before* any expensive
+        work -- the count in that response is still exact, so even a
+        refused credit sync settles the client's outstanding-bytes
+        window.  With ``deadline_ms`` stamped by the client, a budget
+        that expired while the frame waited (admission wait included)
+        answers ``OP_DEADLINE_EXPIRED`` instead of doing work the caller
+        has already abandoned; the entry is NOT ingested.
         """
+        admission = self.admission
+        if admission is not None:
+            decision = admission.try_admit(len(batch))
+            if decision is not None:
+                return LoggerResponse(
+                    ok=False,
+                    error=(
+                        "server busy: ingest depth "
+                        f"{decision.queue_depth}"
+                    ),
+                    entries=len(self.server),
+                    code=OP_BUSY,
+                    queue_depth=decision.queue_depth,
+                    retry_after_ms=int(decision.retry_after * 1000),
+                )
+        try:
+            if deadline_ms and arrival is not None:
+                elapsed_ms = (time.monotonic() - arrival) * 1000.0
+                if elapsed_ms > deadline_ms:
+                    if admission is not None:
+                        admission.note_deadline_rejection()
+                    return LoggerResponse(
+                        ok=False,
+                        error=(
+                            f"deadline of {deadline_ms} ms expired "
+                            f"({elapsed_ms:.0f} ms elapsed) before ingest"
+                        ),
+                        entries=len(self.server),
+                        code=OP_DEADLINE_EXPIRED,
+                    )
+            return self._ingest_sync_admitted(batch, shard_tag)
+        finally:
+            if admission is not None:
+                admission.release(len(batch))
+
+    def _ingest_sync_admitted(
+        self, batch: List[bytes], shard_tag: int
+    ) -> LoggerResponse:
         try:
             if shard_tag:
                 submit_batch_to_shard = getattr(
@@ -404,6 +544,8 @@ class LogServerEndpoint:
                 stats = getattr(self.server, "stats", None)
                 if callable(stats):
                     data.update(stats())
+                if self.admission is not None:
+                    data.update(self.admission.stats())
                 return LoggerResponse(
                     ok=True,
                     entries=len(self.server),
@@ -510,9 +652,23 @@ class RemoteLogger:
     (if ``spill_path`` was given) instead of being discarded -- a long
     outage then costs disk space, not evidence; an entry is only counted in
     :attr:`dropped` when there is no disk spill (or writing it fails).
-    Reconnection attempts back off exponentially so a dead server is not
-    hammered on the hot path.  The node keeps running throughout (the
-    paper's no-single-point-of-failure property).
+    Reconnection attempts back off exponentially with *full jitter*
+    (``uniform(0, backoff)``) so a fleet of clients that all watched the
+    same server restart does not rejoin in lockstep.  The node keeps
+    running throughout (the paper's no-single-point-of-failure property).
+
+    With a :class:`~repro.resilience.flow.FlowControlConfig` the stub
+    additionally (1) caps outstanding fire-and-forget bytes with a credit
+    window -- crossing it forces an empty synchronous batch round trip
+    whose reply proves the server drained every earlier frame on this
+    connection; (2) honors the server's ``OP_BUSY`` verdicts by entering
+    a *shed* window: submissions divert to the spill queue (delayed, not
+    lost -- counted in :attr:`shed_entries`) and drain resumes with
+    paced, jittered retries once the window expires; (3) bounds
+    retransmit amplification with a gRPC-style retry budget: spill-drain
+    batches each spend a token, tokens are minted by acked successes
+    (plus a slow time trickle for liveness), so retries can never exceed
+    a configured fraction of goodput.
     """
 
     def __init__(
@@ -525,6 +681,8 @@ class RemoteLogger:
         spill_path: Optional[str] = None,
         submit_batch_max: int = 64,
         shard: Optional[int] = None,
+        flow_control: Optional[FlowControlConfig] = None,
+        rng: Optional[random.Random] = None,
     ):
         if submit_batch_max < 1:
             raise ValueError("submit_batch_max must be at least 1")
@@ -560,6 +718,29 @@ class RemoteLogger:
         self.spilled_to_disk = 0
         #: Spilled entries successfully re-sent after a reconnect.
         self.retries = 0
+        #: Jitter source (seedable so chaos tests are reproducible).
+        self._rng = rng or random.Random()
+        #: Client-side overload machinery; ``None`` = pre-overload
+        #: behavior (no credit window, no shed mode, unbounded drain).
+        self._flow = flow_control
+        self._credit: Optional[CreditWindow] = None
+        self._retry_budget: Optional[RetryBudget] = None
+        self._shed_until = 0.0
+        self._shed_pause = 0.0
+        self._unacked = 0
+        #: OP_BUSY verdicts observed (sync + credit-sync paths).
+        self.busy_responses = 0
+        #: Entries diverted to the spill queue by shed mode (delayed, not
+        #: lost -- the audit-facing complement of :attr:`dropped`).
+        self.shed_entries = 0
+        if flow_control is not None:
+            self._credit = CreditWindow(flow_control.window_bytes)
+            self._retry_budget = RetryBudget(
+                capacity=flow_control.retry_budget,
+                token_ratio=flow_control.retry_token_ratio,
+                time_refill=flow_control.retry_time_refill,
+            )
+            self._shed_pause = flow_control.shed_min_pause
 
     @property
     def address(self):
@@ -581,16 +762,38 @@ class RemoteLogger:
                 pending += len(self._disk)
             return pending
 
+    @property
+    def shedding(self) -> bool:
+        """Whether submissions are currently diverting to the spill queue
+        because the server said BUSY (shed = delayed, never lost)."""
+        return self._flow is not None and time.monotonic() < self._shed_until
+
     def stats(self) -> Dict[str, int]:
-        """Loss/overflow counters, for merging into protocol ``stats()``."""
+        """Loss/overflow counters, for merging into protocol ``stats()``.
+
+        With flow control enabled the counters also separate *shed*
+        (diverted to spill on BUSY -- delayed) from *dropped* (lost), so
+        an audit reading these numbers can tell backpressure from
+        evidence loss.
+        """
         with self._lock:
-            return {
+            data = {
                 "dropped": self.dropped,
                 "spilled": len(self._spill)
                 + (len(self._disk) if self._disk is not None else 0),
                 "spilled_to_disk": self.spilled_to_disk,
                 "spill_retries": self.retries,
             }
+        if self._flow is not None:
+            data["busy_responses"] = self.busy_responses
+            data["shed_entries"] = self.shed_entries
+            data["shedding"] = int(self.shedding)
+            if self._credit is not None:
+                data["outstanding_bytes"] = self._credit.outstanding
+                data["credit_syncs"] = self._credit.credit_syncs
+            if self._retry_budget is not None:
+                data["retry_budget_exhausted"] = self._retry_budget.exhausted
+        return data
 
     def _connect(self) -> Optional[Connection]:
         with self._lock:
@@ -608,8 +811,14 @@ class RemoteLogger:
                 self._connection = self._transport.connect(self._address)
                 self._backoff = self._initial_backoff
             except TransportError:
+                # Full jitter (uniform(0, backoff)) decorrelates a fleet
+                # of clients that all watched the same server die; the
+                # *cap* still doubles per consecutive failure, so the
+                # expected retry rate halves just like plain exponential.
                 self._connection = None
-                self._next_attempt = time.monotonic() + self._backoff
+                self._next_attempt = time.monotonic() + full_jitter(
+                    self._backoff, self._rng
+                )
                 self._backoff = min(self._backoff * 2, self._max_backoff)
             return self._connection
 
@@ -759,17 +968,31 @@ class RemoteLogger:
             chunks.append(chunk)
         if not chunks:
             chunks = [[]]  # an empty batch still round-trips for the count
+        # Deadline propagation: the server refuses (without ingesting)
+        # work it cannot start before this client would have given up.
+        deadline_ms = max(1, int(timeout * 1000))
         for chunk in chunks:
             if len(chunk) == 1:
                 request = LoggerRequest(
-                    op=OP_SUBMIT, entry_bytes=chunk[0], shard=tag, sync=True
+                    op=OP_SUBMIT,
+                    entry_bytes=chunk[0],
+                    shard=tag,
+                    sync=True,
+                    deadline_ms=deadline_ms,
                 )
             else:
                 request = LoggerRequest(
-                    op=OP_SUBMIT_BATCH, entry_batch=chunk, shard=tag, sync=True
+                    op=OP_SUBMIT_BATCH,
+                    entry_batch=chunk,
+                    shard=tag,
+                    sync=True,
+                    deadline_ms=deadline_ms,
                 )
             response = self._rpc(request, timeout=timeout)
             if not response.ok:
+                if int(response.code) == OP_BUSY:
+                    self.busy_responses += 1
+                _raise_for_verdict(response)
                 raise LoggingError(f"batch submission rejected: {response.error}")
             count = int(response.entries)
         return count
@@ -803,9 +1026,15 @@ class RemoteLogger:
         """Fire-and-forget submission; returns 0 (no server-side index).
 
         Never raises: on connection trouble the encoded entry is spilled
-        and retried on a later call (or via :meth:`flush_spill`).
+        and retried on a later call (or via :meth:`flush_spill`); while
+        shed mode is active (the server said BUSY recently) the entry is
+        spilled immediately instead of adding load.
         """
         record = entry.encode() if isinstance(entry, LogEntry) else bytes(entry)
+        if self.shedding:
+            self.shed_entries += 1
+            self._spill_entry(record)
+            return 0
         connection = self._connect()
         if connection is None:
             self._spill_entry(record)
@@ -821,6 +1050,8 @@ class RemoteLogger:
             )
         except ConnectionClosed:
             self._spill_entry(record)
+            return 0
+        self._after_send([record])
         return 0
 
     def submit_batch(
@@ -841,6 +1072,11 @@ class RemoteLogger:
         ]
         if not records:
             return []
+        if self.shedding:
+            self.shed_entries += len(records)
+            for record in records:
+                self._spill_entry(record)
+            return [0] * len(records)
         connection = self._connect()
         if connection is None or not self._drain_spill(connection):
             for record in records:
@@ -851,6 +1087,8 @@ class RemoteLogger:
         except ConnectionClosed:
             for record in records:
                 self._spill_entry(record)
+            return [0] * len(records)
+        self._after_send(records)
         return [0] * len(records)
 
     def _send_records(
@@ -886,6 +1124,64 @@ class RemoteLogger:
             request = LoggerRequest(op=OP_SUBMIT_BATCH, entry_batch=records, shard=tag)
         connection.send_frame(request.encode())
 
+    def _after_send(self, records: List[bytes]) -> None:
+        """Flow-control bookkeeping after fire-and-forget sends landed on
+        the socket: charge the credit window and, when it fills, force a
+        credit sync before stuffing more unconfirmed bytes in."""
+        if self._credit is None:
+            return
+        self._unacked += len(records)
+        if self._credit.charge(sum(len(record) for record in records)):
+            self._credit_sync()
+
+    def _credit_sync(self) -> None:
+        """One empty synchronous batch round trip.
+
+        TCP delivers this connection's frames in order and the endpoint
+        serves them serially, so *any* answer -- including a BUSY refusal
+        -- proves every earlier fire-and-forget frame was ingested: the
+        window settles and the retry budget collects the acked entries'
+        tokens.  A BUSY answer additionally opens a shed window.  Never
+        raises (fire-and-forget callers sit above this).
+        """
+        flow = self._flow
+        assert flow is not None and self._credit is not None
+        request = LoggerRequest(
+            op=OP_SUBMIT_BATCH,
+            shard=self._shard_tag(None),
+            sync=True,
+            deadline_ms=max(1, int(flow.credit_timeout * 1000)),
+        )
+        try:
+            response = self._rpc(request, timeout=flow.credit_timeout)
+        except LoggingError:
+            # Unreachable / timed out: outstanding bytes are moot, the
+            # spill/drain machinery owns recovery from here.
+            self._credit.reset()
+            return
+        acked, self._unacked = self._unacked, 0
+        self._credit.settle()
+        if self._retry_budget is not None and acked:
+            self._retry_budget.deposit(acked)
+        if not response.ok and int(response.code) == OP_BUSY:
+            self.busy_responses += 1
+            self._enter_shed(int(response.retry_after_ms) / 1000.0)
+        else:
+            self._shed_pause = flow.shed_min_pause
+
+    def _enter_shed(self, hint: float) -> None:
+        """Open (or extend) the shed window: at least the server's
+        retry-after hint, escalating exponentially on consecutive BUSY
+        verdicts, with full jitter so a fleet's drain attempts spread."""
+        flow = self._flow
+        assert flow is not None
+        pause = max(hint, self._shed_pause, flow.shed_min_pause)
+        pause = min(pause, flow.shed_max_pause)
+        self._shed_until = time.monotonic() + pause + full_jitter(
+            pause, self._rng
+        )
+        self._shed_pause = min(pause * 2, flow.shed_max_pause)
+
     def _spill_entry(self, record: bytes) -> None:
         with self._lock:
             self._spill.append(record)
@@ -919,11 +1215,19 @@ class RemoteLogger:
         global FIFO order.  Both queues drain in ``submit_batch_max``-sized
         ``OP_SUBMIT_BATCH`` frames, so recovering from a long outage costs
         one frame per batch instead of one per parked entry.
+
+        With flow control, every drained batch is a *retransmission* and
+        spends one retry-budget token; an empty bucket pauses the drain
+        (``False``) until successes or the time trickle mint more.  That
+        is the bound that keeps a fleet recovering from an outage from
+        re-flooding the server that just came back.
         """
         while self._disk is not None:
             batch = self._disk.peek_many(self._submit_batch_max)
             if not batch:
                 break
+            if self._retry_budget is not None and not self._retry_budget.take():
+                return False
             try:
                 self._send_records(connection, batch)
             except ConnectionClosed:
@@ -934,6 +1238,9 @@ class RemoteLogger:
             self._disk.consume_many(len(batch))
             with self._lock:
                 self.retries += len(batch)
+            if self._credit is not None:
+                self._unacked += len(batch)
+                self._credit.charge(sum(len(record) for record in batch))
         while True:
             with self._lock:
                 if not self._spill:
@@ -942,10 +1249,15 @@ class RemoteLogger:
                     self._spill[i]
                     for i in range(min(len(self._spill), self._submit_batch_max))
                 ]
+            if self._retry_budget is not None and not self._retry_budget.take():
+                return False
             try:
                 self._send_records(connection, batch)
             except ConnectionClosed:
                 return False
+            if self._credit is not None:
+                self._unacked += len(batch)
+                self._credit.charge(sum(len(record) for record in batch))
             with self._lock:
                 # pop what we just sent (submit is single-callered per node,
                 # but stay safe against concurrent drains)

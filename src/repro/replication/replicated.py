@@ -156,7 +156,11 @@ class ReplicatedLogger:
         if self._spill_dir is not None:
             spill_path = f"{self._spill_dir}/replica-{index}.spill"
         client = RemoteLogger(
-            address, transport=self._transport, spill_path=spill_path
+            address,
+            transport=self._transport,
+            spill_path=spill_path,
+            flow_control=self.config.flow_control,
+            rng=self._rng,
         )
         breaker = CircuitBreaker(
             failure_threshold=self.config.breaker_failure_threshold,
@@ -224,6 +228,12 @@ class ReplicatedLogger:
                     continue
                 handle.client.submit(record)
                 handle.submitted += 1
+                if handle.client.shedding:
+                    # Shed mode: the entry parked in the replica's spill
+                    # (delayed, not lost).  Not "reached" for quorum
+                    # purposes, but not a breaker failure either -- the
+                    # server IS up, it asked us to back off.
+                    continue
                 if handle.client.connected:
                     reached += 1
                     handle.breaker.record_success()
@@ -265,6 +275,10 @@ class ReplicatedLogger:
                     continue
                 handle.client.submit_batch(records)
                 handle.submitted += len(records)
+                if handle.client.shedding:
+                    # Same as submit(): shed = delayed at the replica's
+                    # spill, neither reached nor a breaker failure.
+                    continue
                 if handle.client.connected:
                     reached += 1
                     handle.breaker.record_success()
@@ -295,6 +309,8 @@ class ReplicatedLogger:
                 "replica_spilled": 0,
                 "replica_skipped": 0,
                 "breaker_opens": 0,
+                "replica_shed": 0,
+                "replica_busy": 0,
             }
         for handle in self._handles:
             client_stats = handle.client.stats()
@@ -302,6 +318,10 @@ class ReplicatedLogger:
             out["replica_spilled"] += client_stats["spilled"]
             out["replica_skipped"] += handle.skipped
             out["breaker_opens"] += handle.breaker.opens
+            # Overload counters (present only on flow-controlled clients):
+            # shed = diverted to spill on BUSY, i.e. delayed-not-lost.
+            out["replica_shed"] += client_stats.get("shed_entries", 0)
+            out["replica_busy"] += client_stats.get("busy_responses", 0)
         return out
 
     # -- health / failover ------------------------------------------------
@@ -505,6 +525,35 @@ class ReplicatedLogger:
 
     # -- failover plumbing -------------------------------------------------
 
+    def quiesce(
+        self, replica: Optional[int] = None, timeout: float = 5.0
+    ) -> bool:
+        """Barrier: one synchronous round trip per targeted replica.
+
+        The transport delivers a connection's frames in order and the
+        endpoint serves them serially, so a health response proves every
+        fire-and-forget frame sent *earlier on that connection* has been
+        ingested.  This is the signal an orchestrator needs before
+        gracefully restarting a replica's endpoint: bouncing one with
+        frames still buffered would discard them silently, and the
+        survivor/newcomer histories could fork (which :meth:`catch_up`
+        correctly refuses to merge).  Entries parked in spill queues are
+        NOT covered -- they live client-side and survive a bounce.
+
+        Returns ``True`` only when every targeted replica answered.
+        """
+        handles = (
+            self._handles if replica is None else [self._handles[replica]]
+        )
+        ok = True
+        for handle in handles:
+            try:
+                handle.client.health(timeout=timeout)
+            except (LoggingError, TransportError) as exc:
+                handle.last_error = str(exc)
+                ok = False
+        return ok
+
     def reset_replica(self, index: int, address=None) -> None:
         """Point a replica slot at a (possibly new) endpoint address.
 
@@ -522,7 +571,11 @@ class ReplicatedLogger:
         if self._spill_dir is not None:
             spill_path = f"{self._spill_dir}/replica-{index}.spill"
         handle.client = RemoteLogger(
-            handle.address, transport=self._transport, spill_path=spill_path
+            handle.address,
+            transport=self._transport,
+            spill_path=spill_path,
+            flow_control=self.config.flow_control,
+            rng=self._rng,
         )
         handle.last_health = None
         handle.last_error = None

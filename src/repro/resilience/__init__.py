@@ -1,0 +1,45 @@
+"""End-to-end overload protection for the logging stack.
+
+This package holds the pieces that keep the accountability guarantee
+intact at saturation:
+
+- :mod:`repro.resilience.admission` -- server-side bounded ingest with
+  high/low watermark hysteresis and BUSY verdicts;
+- :mod:`repro.resilience.flow` -- client-side credit windows, gRPC-style
+  retry budgets, and full-jitter backoff;
+- :mod:`repro.resilience.overload` -- deterministic overload injection
+  for tests and benchmarks;
+- :mod:`repro.resilience.matrix` -- the churn x fault x overload x
+  backend scenario matrix (imported explicitly as
+  ``repro.resilience.matrix``; it pulls in the whole core stack, so the
+  package ``__init__`` deliberately leaves it out to keep
+  ``core.remote`` <-> ``resilience`` import edges acyclic).
+
+Design rule for this package: everything importable from here is
+stdlib-only plus :mod:`repro.errors`, so ``repro.core`` modules may
+import it freely without cycles.
+"""
+
+from repro.resilience.admission import (
+    AdmissionConfig,
+    AdmissionController,
+    BusyDecision,
+)
+from repro.resilience.flow import (
+    CreditWindow,
+    FlowControlConfig,
+    RetryBudget,
+    full_jitter,
+)
+from repro.resilience.overload import OverloadInjector
+
+__all__ = [
+    "AdmissionConfig",
+    "AdmissionController",
+    "BusyDecision",
+    "CreditWindow",
+    "FlowControlConfig",
+    "RetryBudget",
+    "full_jitter",
+    "OverloadInjector",
+]

@@ -1,0 +1,217 @@
+"""Server-side admission control for the trusted logger's ingest path.
+
+A flooded :class:`~repro.core.remote.LogServerEndpoint` previously had no
+relief valve of its own: TCP backpressure stalls every connection equally,
+clients retry blindly, and the spill queues back up under exactly the
+conditions where evidence matters most.  :class:`AdmissionController` puts
+a bounded gauge in front of the expensive work (signature checks, chain
+extension, WAL fsync) with classic high/low watermark hysteresis:
+
+- while the in-flight depth is below ``high_watermark`` everything is
+  admitted;
+- once depth reaches the high watermark the controller trips *busy* and
+  refuses further **synchronous** work with a ``BUSY`` verdict carrying
+  the current depth and a retry-after hint, until depth drains back to
+  ``low_watermark`` (hysteresis prevents admit/refuse flapping right at
+  the boundary);
+- **fire-and-forget** submissions are *never* refused -- there is no
+  response channel to say BUSY on, so refusal would be silent evidence
+  loss, the one thing this protocol exists to prevent.  They are
+  force-admitted and only counted, which keeps the depth gauge honest so
+  sync traffic (which *can* be told to back off) sheds first.
+
+The controller is deliberately stdlib-only and knows nothing about wire
+formats; the endpoint translates ``BusyDecision`` into an ``OP_BUSY``
+response and the client translates that into
+:class:`~repro.errors.ServerBusy`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Tuning knobs for :class:`AdmissionController`.
+
+    ``high_watermark`` bounds the number of log entries allowed in flight
+    (admitted but not yet released) before sync traffic is refused;
+    ``low_watermark`` is where the busy latch resets (default: half the
+    high watermark).  ``retry_after`` is the base backoff hint returned
+    with a BUSY verdict; the hint scales linearly with overshoot past the
+    high watermark and is clamped to ``max_retry_after`` so a deeply
+    flooded server cannot park clients forever.  ``sync_wait`` lets a
+    sync admit block briefly for capacity before refusing -- 0 means
+    refuse immediately (pure fail-fast).
+    """
+
+    high_watermark: int = 4096
+    low_watermark: Optional[int] = None
+    retry_after: float = 0.05
+    max_retry_after: float = 2.0
+    sync_wait: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.high_watermark < 1:
+            raise ValueError("high_watermark must be >= 1")
+        low = self.effective_low_watermark
+        if not 0 <= low < self.high_watermark:
+            raise ValueError(
+                f"low_watermark {low} must be in [0, high_watermark)"
+            )
+        if self.retry_after < 0 or self.max_retry_after < self.retry_after:
+            raise ValueError(
+                "need 0 <= retry_after <= max_retry_after"
+            )
+        if self.sync_wait < 0:
+            raise ValueError("sync_wait must be >= 0")
+
+    @property
+    def effective_low_watermark(self) -> int:
+        if self.low_watermark is not None:
+            return self.low_watermark
+        return self.high_watermark // 2
+
+
+@dataclass(frozen=True)
+class BusyDecision:
+    """The controller's refusal: depth observed and how long to wait."""
+
+    queue_depth: int
+    retry_after: float
+
+
+@dataclass
+class AdmissionStats:
+    """Counters the endpoint merges into ``OP_STATS`` / ``OP_HEALTH``."""
+
+    admitted: int = 0
+    forced: int = 0
+    busy_rejections: int = 0
+    deadline_rejections: int = 0
+    peak_depth: int = 0
+    lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+
+class AdmissionController:
+    """Bounded ingest gauge with high/low watermark hysteresis.
+
+    Thread-safe; one instance guards one endpoint (all its connection
+    threads share the gauge, which is the point -- overload is a property
+    of the server, not of any one connection).
+    """
+
+    def __init__(self, config: Optional[AdmissionConfig] = None):
+        self.config = config or AdmissionConfig()
+        self._lock = threading.Lock()
+        self._drained = threading.Condition(self._lock)
+        self._depth = 0
+        self._busy = False
+        self._stats = AdmissionStats()
+
+    # -- gauge ------------------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        with self._lock:
+            return self._depth
+
+    @property
+    def busy(self) -> bool:
+        with self._lock:
+            return self._busy
+
+    def _retry_hint(self) -> float:
+        # Scale the hint with overshoot: a server one entry past the
+        # watermark suggests the base pause, one 2x past suggests double,
+        # clamped so the hint never parks a client indefinitely.
+        cfg = self.config
+        overshoot = max(1.0, self._depth / float(cfg.high_watermark))
+        return min(cfg.max_retry_after, cfg.retry_after * overshoot)
+
+    def _note_depth(self, n: int) -> None:
+        self._depth += n
+        if self._depth > self._stats.peak_depth:
+            self._stats.peak_depth = self._depth
+        if self._depth >= self.config.high_watermark:
+            self._busy = True
+
+    def try_admit(self, n: int = 1) -> Optional[BusyDecision]:
+        """Admit ``n`` entries of synchronous work, or refuse.
+
+        Returns ``None`` on admission (caller MUST pair with
+        :meth:`release`) or a :class:`BusyDecision` on refusal (caller
+        must NOT release).  If ``sync_wait`` is positive, blocks up to
+        that long for the busy latch to clear before refusing.
+        """
+        if n < 0:
+            raise ValueError("cannot admit a negative batch")
+        deadline = None
+        with self._drained:
+            while True:
+                if not self._busy:
+                    self._note_depth(n)
+                    self._stats.admitted += n
+                    return None
+                wait = self.config.sync_wait
+                if wait <= 0:
+                    break
+                now = time.monotonic()
+                if deadline is None:
+                    deadline = now + wait
+                remaining = deadline - now
+                if remaining <= 0:
+                    break
+                self._drained.wait(remaining)
+            self._stats.busy_rejections += 1
+            return BusyDecision(
+                queue_depth=self._depth, retry_after=self._retry_hint()
+            )
+
+    def force_admit(self, n: int = 1) -> None:
+        """Admit fire-and-forget work unconditionally (accounting only).
+
+        Refusing would lose evidence silently -- there is no response
+        channel -- so this always succeeds; the depth it adds still
+        trips the busy latch so *sync* traffic sheds on its behalf.
+        """
+        if n < 0:
+            raise ValueError("cannot admit a negative batch")
+        with self._lock:
+            self._note_depth(n)
+            self._stats.forced += n
+
+    def release(self, n: int = 1) -> None:
+        """Return ``n`` entries of capacity after ingest finishes
+        (successfully or not -- the work is no longer in flight)."""
+        with self._drained:
+            self._depth = max(0, self._depth - n)
+            if self._busy and self._depth <= self.config.effective_low_watermark:
+                self._busy = False
+                self._drained.notify_all()
+
+    # -- deadline accounting ----------------------------------------------
+
+    def note_deadline_rejection(self) -> None:
+        with self._lock:
+            self._stats.deadline_rejections += 1
+
+    # -- observability ----------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "admission_depth": self._depth,
+                "admission_busy": int(self._busy),
+                "admission_admitted": self._stats.admitted,
+                "admission_forced": self._stats.forced,
+                "admission_busy_rejections": self._stats.busy_rejections,
+                "admission_deadline_rejections": (
+                    self._stats.deadline_rejections
+                ),
+                "admission_peak_depth": self._stats.peak_depth,
+            }

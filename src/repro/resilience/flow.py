@@ -1,0 +1,194 @@
+"""Client-side flow control: credit windows, retry budgets, jitter.
+
+Three small mechanisms that together keep a fleet of
+:class:`~repro.core.remote.RemoteLogger` clients from amplifying a
+server's overload into a retry storm:
+
+**Credit window** -- fire-and-forget submission has no per-request ack,
+so a client can stuff an unbounded number of bytes into a socket whose
+far end has stopped draining.  The window caps *outstanding* (sent but
+unconfirmed) bytes; crossing it triggers a *credit sync* -- an empty
+synchronous batch round trip.  TCP delivers frames in order, so the
+server's reply to the empty batch proves every earlier fire-and-forget
+frame on that connection was ingested, and the window resets to zero.
+
+**Retry budget** -- a token bucket in the style of gRPC's retry budgets
+(see also "Accountability of Things": device fleets must bound their
+retransmit amplification).  Every *successful* submission deposits
+``token_ratio`` tokens; every retry attempt withdraws one.  An empty
+bucket means retries wait -- so retransmits can never exceed roughly
+``token_ratio`` of goodput in steady state.  A slow time-based refill
+(``time_refill`` tokens/second) keeps the budget from deadlocking drain
+after a total outage, when there are no fresh successes to mint tokens.
+
+**Full jitter** -- backoff helper per the classic AWS analysis: sleeping
+``uniform(0, cap)`` instead of exactly ``cap`` decorrelates a herd of
+clients that all observed the same server restart at the same moment.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+
+@dataclass(frozen=True)
+class FlowControlConfig:
+    """Tuning knobs for the client-side overload machinery.
+
+    ``window_bytes`` caps outstanding fire-and-forget bytes before a
+    credit sync is forced; ``credit_timeout`` bounds that sync round
+    trip.  ``retry_budget`` is the token bucket capacity (and initial
+    fill), ``retry_token_ratio`` the tokens minted per successfully
+    acked entry, ``retry_time_refill`` the trickle refill in tokens per
+    second.  ``shed_min_pause``/``shed_max_pause`` bound the paced,
+    jittered drain while the client is shedding to disk.
+    """
+
+    window_bytes: int = 1024 * 1024
+    credit_timeout: float = 5.0
+    retry_budget: float = 32.0
+    retry_token_ratio: float = 0.1
+    retry_time_refill: float = 1.0
+    shed_min_pause: float = 0.05
+    shed_max_pause: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.window_bytes < 1:
+            raise ValueError("window_bytes must be >= 1")
+        if self.credit_timeout <= 0:
+            raise ValueError("credit_timeout must be positive")
+        if self.retry_budget < 1:
+            raise ValueError("retry_budget must be >= 1")
+        if self.retry_token_ratio < 0 or self.retry_time_refill < 0:
+            raise ValueError("retry refill rates must be >= 0")
+        if not 0 < self.shed_min_pause <= self.shed_max_pause:
+            raise ValueError(
+                "need 0 < shed_min_pause <= shed_max_pause"
+            )
+
+
+class RetryBudget:
+    """Token bucket bounding retransmit amplification.
+
+    Starts full (a cold client may retry immediately); successes deposit
+    ``token_ratio`` each; :meth:`take` withdraws one per retry attempt.
+    The ``time_refill`` trickle (tokens/second, capped at capacity)
+    guarantees liveness when a long outage starved the bucket of
+    success-minted tokens.
+    """
+
+    def __init__(
+        self,
+        capacity: float = 32.0,
+        token_ratio: float = 0.1,
+        time_refill: float = 1.0,
+        clock=time.monotonic,
+    ):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self._capacity = float(capacity)
+        self._ratio = float(token_ratio)
+        self._refill = float(time_refill)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._tokens = self._capacity
+        self._last = clock()
+        self.exhausted = 0
+
+    def _advance(self) -> None:
+        now = self._clock()
+        elapsed = now - self._last
+        self._last = now
+        if elapsed > 0 and self._refill > 0:
+            self._tokens = min(
+                self._capacity, self._tokens + elapsed * self._refill
+            )
+
+    @property
+    def tokens(self) -> float:
+        with self._lock:
+            self._advance()
+            return self._tokens
+
+    def deposit(self, successes: int = 1) -> None:
+        """Mint tokens for ``successes`` acked entries."""
+        with self._lock:
+            self._advance()
+            self._tokens = min(
+                self._capacity, self._tokens + successes * self._ratio
+            )
+
+    def take(self) -> bool:
+        """Withdraw one token for a retry attempt; ``False`` = over
+        budget, caller must wait instead of retransmitting."""
+        with self._lock:
+            self._advance()
+            if self._tokens >= 1.0:
+                self._tokens -= 1.0
+                return True
+            self.exhausted += 1
+            return False
+
+    def seconds_until_token(self) -> float:
+        """How long the trickle refill needs to mint one token (0 if one
+        is already available; inf if the trickle is disabled)."""
+        with self._lock:
+            self._advance()
+            if self._tokens >= 1.0:
+                return 0.0
+            if self._refill <= 0:
+                return float("inf")
+            return (1.0 - self._tokens) / self._refill
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "retry_tokens": round(self.tokens, 3),
+            "retry_budget_exhausted": self.exhausted,
+        }
+
+
+def full_jitter(cap: float, rng: Optional[random.Random] = None) -> float:
+    """AWS-style full jitter: ``uniform(0, cap)``.
+
+    Decorrelates clients that all hit the same failure at the same time;
+    pass a seeded ``rng`` in tests for determinism.
+    """
+    if cap <= 0:
+        return 0.0
+    r = rng.random() if rng is not None else random.random()
+    return cap * r
+
+
+class CreditWindow:
+    """Outstanding-bytes gauge for one fire-and-forget connection.
+
+    Not thread-safe on its own -- the owning :class:`RemoteLogger`
+    serializes RPCs under its lock already, so this stays a plain
+    counter.  ``charge`` returns ``True`` when the window is exceeded
+    and a credit sync should be issued; ``settle`` resets after the sync
+    round trip proved the server drained everything prior.
+    """
+
+    def __init__(self, window_bytes: int):
+        if window_bytes < 1:
+            raise ValueError("window_bytes must be >= 1")
+        self.window_bytes = window_bytes
+        self.outstanding = 0
+        self.credit_syncs = 0
+
+    def charge(self, nbytes: int) -> bool:
+        self.outstanding += max(0, nbytes)
+        return self.outstanding >= self.window_bytes
+
+    def settle(self) -> None:
+        self.outstanding = 0
+        self.credit_syncs += 1
+
+    def reset(self) -> None:
+        """Connection dropped: outstanding bytes are moot (the client
+        re-reconciles through its spill/replay machinery)."""
+        self.outstanding = 0

@@ -1,0 +1,95 @@
+"""Overload injection: make a healthy server act saturated.
+
+The PR 1 transport faults (drop/delay/disconnect/truncate) model a bad
+*network*; overload is a different failure mode -- the server answers,
+slowly, and eventually starts refusing.  :class:`OverloadInjector` wraps
+any :class:`~repro.core.log_server.LogServer`-shaped object and slows its
+ingest surface down by a configurable per-entry delay, optionally only
+during a window of submissions, so tests and benchmarks can drive a real
+endpoint into its admission-control regime deterministically instead of
+depending on the host being slow.
+
+It is a transparent proxy: everything except the ingest methods (and
+``__len__``, which proxies explicitly because ``__getattr__`` never sees
+dunder lookups) passes straight through, so the wrapped server's audit /
+commitment / stats surfaces keep working unchanged.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, List, Optional, Union
+
+
+class OverloadInjector:
+    """Per-entry ingest slowdown around a wrapped log server.
+
+    ``delay`` seconds are slept per entry submitted (batches sleep
+    ``delay * len(batch)``, mirroring the real cost model: signature
+    verification and chain extension are per-entry).  ``burst_after`` /
+    ``burst_length`` scope the slowdown to a window of submissions, so a
+    scenario can model "the server degrades mid-run and then recovers".
+    """
+
+    def __init__(
+        self,
+        server: Any,
+        delay: float = 0.0,
+        burst_after: int = 0,
+        burst_length: Optional[int] = None,
+    ):
+        if delay < 0:
+            raise ValueError("delay must be >= 0")
+        self._server = server
+        self.delay = delay
+        self.burst_after = burst_after
+        self.burst_length = burst_length
+        self._lock = threading.Lock()
+        self._seen = 0
+        self.delayed_entries = 0
+
+    # -- slowdown ---------------------------------------------------------
+
+    def _throttle(self, n: int) -> None:
+        if self.delay <= 0 or n <= 0:
+            return
+        with self._lock:
+            start = self._seen
+            self._seen += n
+        if start < self.burst_after:
+            return
+        if (
+            self.burst_length is not None
+            and start >= self.burst_after + self.burst_length
+        ):
+            return
+        with self._lock:
+            self.delayed_entries += n
+        time.sleep(self.delay * n)
+
+    # -- ingest surface (throttled) ---------------------------------------
+
+    def submit(self, entry: Union[Any, bytes]) -> int:
+        self._throttle(1)
+        return self._server.submit(entry)
+
+    def submit_batch(self, entries: List[Any]) -> List[int]:
+        self._throttle(len(entries))
+        return self._server.submit_batch(entries)
+
+    def submit_to_shard(self, shard: int, entry: Any) -> int:
+        self._throttle(1)
+        return self._server.submit_to_shard(shard, entry)
+
+    def submit_batch_to_shard(self, shard: int, entries: List[Any]) -> Any:
+        self._throttle(len(entries))
+        return self._server.submit_batch_to_shard(shard, entries)
+
+    # -- transparent proxy ------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._server)
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._server, name)

@@ -62,8 +62,15 @@ from repro.core.entries import Direction, LogEntry
 from repro.core.log_server import LogCommitment, LogServer
 from repro.core.remote import FETCH_BATCH_LIMIT, RemoteLogger, RemoteUnavailable
 from repro.crypto.keys import PublicKey
-from repro.errors import DecodingError, LogIntegrityError, LoggingError
+from repro.errors import (
+    DecodingError,
+    LogIntegrityError,
+    LoggingError,
+    ServerBusy,
+)
 from repro.middleware.transport.unix import UnixTransport, unix_sockets_supported
+from repro.resilience.admission import AdmissionConfig
+from repro.resilience.flow import full_jitter
 from repro.sharding.router import ShardRouter
 from repro.sharding.sharded_server import (
     ShardSetCommitment,
@@ -106,6 +113,12 @@ class _WorkerHandle:
         self.log_file = None
         self.acked = 0
         self.restarts = 0
+        #: Restart-storm hysteresis state (supervised restarts only): the
+        #: current backoff interval, the earliest time the supervisor may
+        #: respawn this worker again, and when it last restarted it.
+        self.restart_backoff = 0.0
+        self.next_restart_at = 0.0
+        self.last_restart_at = 0.0
         #: Permanent failure (evidence loss, restart budget exhausted):
         #: every later operation on this shard re-raises it.
         self.poison: Optional[Exception] = None
@@ -152,6 +165,11 @@ class ProcessShardedLogServer:
         supervise: bool = True,
         rpc_timeout: float = 30.0,
         initial_worker_env: Optional[Dict[int, Dict[str, str]]] = None,
+        admission: Optional[AdmissionConfig] = None,
+        ingest_delay: float = 0.0,
+        restart_backoff_base: float = 0.25,
+        restart_backoff_max: float = 5.0,
+        restart_backoff_reset: float = 10.0,
     ):
         if not unix_sockets_supported():  # pragma: no cover - posix-only CI
             raise LoggingError(
@@ -173,15 +191,27 @@ class ProcessShardedLogServer:
         self._fsync = fsync or "always"
         self._checkpoint_every = checkpoint_every
         self._segment_max_bytes = segment_max_bytes
+        if ingest_delay < 0:
+            raise ValueError("ingest_delay must be >= 0")
         self._probe_interval = probe_interval
         self._spawn_timeout = spawn_timeout
         self._restart_limit = restart_limit
         self._rpc_timeout = rpc_timeout
         self._initial_env = dict(initial_worker_env or {})
+        #: Worker-side admission control (BUSY on sync submits past the
+        #: high watermark) and test-only ingest slowdown, both forwarded
+        #: on each worker's command line.
+        self._admission = admission
+        self._ingest_delay = ingest_delay
+        self._restart_backoff_base = restart_backoff_base
+        self._restart_backoff_max = restart_backoff_max
+        self._restart_backoff_reset = restart_backoff_reset
         self._sock_dir: Optional[str] = None
         self._unroutable = 0
         self._restarts_total = 0
+        self._restarts_deferred = 0
         self._resubmitted = 0
+        self._busy_backoffs = 0
         self._counter_lock = threading.Lock()
         self._closed = False
         self._handles: List[_WorkerHandle] = [
@@ -241,26 +271,38 @@ class ProcessShardedLogServer:
         if handle.log_file is not None:
             handle.log_file.close()
         handle.log_file = open(handle.log_path, "ab")
+        argv = [
+            sys.executable,
+            "-m",
+            "repro.sharding.worker",
+            "--socket",
+            handle.socket_path,
+            "--store-dir",
+            handle.store_dir,
+            "--shard",
+            str(handle.index),
+            "--shards",
+            str(self.shard_count),
+            "--fsync",
+            self._fsync,
+            "--checkpoint-every",
+            str(self._checkpoint_every),
+            "--segment-max-bytes",
+            str(self._segment_max_bytes),
+        ]
+        if self._admission is not None:
+            argv += [
+                "--admission-high",
+                str(self._admission.high_watermark),
+                "--admission-low",
+                str(self._admission.effective_low_watermark),
+                "--retry-after",
+                str(self._admission.retry_after),
+            ]
+        if self._ingest_delay > 0:
+            argv += ["--ingest-delay", str(self._ingest_delay)]
         handle.process = subprocess.Popen(
-            [
-                sys.executable,
-                "-m",
-                "repro.sharding.worker",
-                "--socket",
-                handle.socket_path,
-                "--store-dir",
-                handle.store_dir,
-                "--shard",
-                str(handle.index),
-                "--shards",
-                str(self.shard_count),
-                "--fsync",
-                self._fsync,
-                "--checkpoint-every",
-                str(self._checkpoint_every),
-                "--segment-max-bytes",
-                str(self._segment_max_bytes),
-            ],
+            argv,
             stdin=subprocess.PIPE,
             stdout=handle.log_file,
             stderr=subprocess.STDOUT,
@@ -330,6 +372,7 @@ class ProcessShardedLogServer:
             )
             raise handle.poison
         handle.restarts += 1
+        handle.last_restart_at = time.monotonic()
         with self._counter_lock:
             self._restarts_total += 1
         self._kill(handle)
@@ -373,14 +416,43 @@ class ProcessShardedLogServer:
                             handle.client.health(timeout=2.0)
                         except LoggingError:
                             healthy = False
-                    if not healthy:
-                        try:
-                            self._restart_worker(handle)
-                        except Exception:
-                            # poison (or restart budget) is recorded on the
-                            # handle; the next caller touching this shard
-                            # gets the real error.
-                            pass
+                    now = time.monotonic()
+                    if healthy:
+                        # A worker that stayed healthy long enough after
+                        # its last restart earns its hysteresis back.
+                        if (
+                            handle.restart_backoff
+                            and now - handle.last_restart_at
+                            >= self._restart_backoff_reset
+                        ):
+                            handle.restart_backoff = 0.0
+                            handle.next_restart_at = 0.0
+                        continue
+                    # Restart-storm hysteresis: a crash-looping shard is
+                    # respawned on an exponentially growing schedule
+                    # instead of burning its whole restart budget in one
+                    # probe-interval burst.  (Submit-path restarts stay
+                    # immediate -- a caller is waiting on that worker.)
+                    if now < handle.next_restart_at:
+                        with self._counter_lock:
+                            self._restarts_deferred += 1
+                        continue
+                    try:
+                        self._restart_worker(handle)
+                    except Exception:
+                        # poison (or restart budget) is recorded on the
+                        # handle; the next caller touching this shard
+                        # gets the real error.
+                        pass
+                    handle.restart_backoff = min(
+                        self._restart_backoff_base
+                        if handle.restart_backoff <= 0
+                        else handle.restart_backoff * 2,
+                        self._restart_backoff_max,
+                    )
+                    handle.next_restart_at = (
+                        time.monotonic() + handle.restart_backoff
+                    )
                 finally:
                     handle.lock.release()
 
@@ -397,6 +469,12 @@ class ProcessShardedLogServer:
         """Path of one worker's captured stdout/stderr (chaos-run
         forensics; CI uploads these on soak failures)."""
         return self._handles[shard].log_path
+
+    def worker_socket_path(self, shard: int) -> str:
+        """The unix socket one worker serves on (stable across restarts).
+        The resilience matrix's overload cells attach their flood and
+        sync clients here directly."""
+        return self._handles[shard].socket_path
 
     def worker_pid(self, shard: int) -> Optional[int]:
         """The live worker's PID (the chaos suite SIGKILLs through this);
@@ -418,10 +496,21 @@ class ProcessShardedLogServer:
 
     # -- worker RPC plumbing -----------------------------------------------
 
-    def _worker_call(self, shard: int, fn: Callable[[RemoteLogger], Any]) -> Any:
+    def _worker_call(
+        self,
+        shard: int,
+        fn: Callable[[RemoteLogger], Any],
+        restart: bool = True,
+    ) -> Any:
         """Run one RPC against a worker under its lock, restarting it once
         on transport failure (:class:`RemoteUnavailable`); server-side
-        rejections propagate untouched."""
+        rejections propagate untouched.
+
+        Observability probes pass ``restart=False``: a stats read must
+        never burn restart budget or bypass the supervisor's restart
+        hysteresis -- monitoring a crash-looping worker would otherwise
+        mask the very crash loop being monitored.
+        """
         handle = self._handles[shard]
         with handle.lock:
             if handle.poison is not None:
@@ -429,6 +518,8 @@ class ProcessShardedLogServer:
             try:
                 return fn(handle.client)
             except RemoteUnavailable:
+                if not restart:
+                    raise
                 self._restart_worker(handle)
                 return fn(handle.client)
 
@@ -478,11 +569,62 @@ class ProcessShardedLogServer:
             base = handle.acked
             remaining = records
             attempts = 0
+            busy_waited = 0.0
             while True:
                 try:
                     count = handle.client.submit_batch_sync(
                         remaining, timeout=self._rpc_timeout
                     )
+                except ServerBusy as exc:
+                    # Cooperative backpressure, not a crash: BUSY refuses
+                    # a sync frame *before* ingesting it, so wait the
+                    # hinted time (jittered) and resend -- bounded so a
+                    # permanently wedged worker still surfaces.  A multi-
+                    # frame batch may have landed a prefix of frames
+                    # before the refused one; the worker's count (single
+                    # writer, FIFO connection) identifies that prefix
+                    # exactly, so only the suffix is resent.
+                    if busy_waited >= 2 * self._rpc_timeout:
+                        raise LoggingError(
+                            f"shard {shard} stayed busy for "
+                            f"{busy_waited:.1f}s; giving up on this batch: "
+                            f"{exc}"
+                        ) from exc
+                    pause = max(exc.retry_after, 0.01)
+                    pause += full_jitter(pause)
+                    busy_waited += pause
+                    with self._counter_lock:
+                        self._busy_backoffs += 1
+                    time.sleep(pause)
+                    try:
+                        landed = (
+                            handle.client.health(
+                                timeout=self._rpc_timeout
+                            ).entries
+                            - base
+                        )
+                    except LoggingError:
+                        # Health probe trouble: fall through to the next
+                        # submit attempt, whose own failure takes the
+                        # crash-reconcile path.
+                        continue
+                    if landed > len(records):
+                        raise LogIntegrityError(
+                            f"shard {shard} holds {base + landed} entries, "
+                            f"more than the {base + len(records)} ever "
+                            f"submitted -- phantom evidence appeared"
+                        )
+                    if landed < len(records) - len(remaining):
+                        handle.poison = LogIntegrityError(
+                            f"shard {shard} lost acknowledged entries "
+                            f"while busy ({base + landed} remain)"
+                        )
+                        raise handle.poison
+                    remaining = records[landed:]
+                    if not remaining:
+                        count = base + len(records)
+                        break
+                    continue
                 except RemoteUnavailable as exc:
                     attempts += 1
                     if attempts > self._restart_limit:
@@ -705,7 +847,9 @@ class ProcessShardedLogServer:
         for index in range(self.shard_count):
             try:
                 stats = self._worker_call(
-                    index, lambda client: client.server_stats(timeout=5.0)
+                    index,
+                    lambda client: client.server_stats(timeout=5.0),
+                    restart=False,
                 )
             except LoggingError:
                 continue
@@ -716,14 +860,26 @@ class ProcessShardedLogServer:
 
     def stats(self) -> Dict[str, int]:
         """Flat integer counters (same keys as the threaded backend, plus
-        the process-supervision counters)."""
+        the process-supervision counters).
+
+        A pure observability read: dead workers contribute zero bytes
+        instead of being respawned mid-probe (respawning is the
+        supervisor's job, subject to its restart hysteresis)."""
+        nbytes = 0
+        for index in range(self.shard_count):
+            try:
+                nbytes += self.shard_commitment(index, restart=False).total_bytes
+            except LoggingError:
+                continue
         return {
             "shard_count": self.shard_count,
             "sharded_entries": len(self),
-            "sharded_bytes": self.total_bytes,
+            "sharded_bytes": nbytes,
             "sharded_rejected": self.rejected_submissions,
             "worker_restarts": self._restarts_total,
+            "restarts_deferred": self._restarts_deferred,
             "resubmitted_after_crash": self._resubmitted,
+            "busy_backoffs": self._busy_backoffs,
         }
 
     def shard_stats(self) -> List[Dict[str, Any]]:
@@ -743,6 +899,7 @@ class ProcessShardedLogServer:
                     self._worker_call(
                         handle.index,
                         lambda client: client.server_stats(timeout=5.0),
+                        restart=False,
                     )
                 )
             except LoggingError as exc:
@@ -773,9 +930,11 @@ class ProcessShardedLogServer:
         for index in range(self.shard_count):
             self.verify_shard(index)
 
-    def shard_commitment(self, shard: int) -> LogCommitment:
+    def shard_commitment(self, shard: int, restart: bool = True) -> LogCommitment:
         return self._worker_call(
-            shard, lambda client: client.health(timeout=self._rpc_timeout)
+            shard,
+            lambda client: client.health(timeout=self._rpc_timeout),
+            restart=restart,
         )
 
     def commitment(self) -> ShardSetCommitment:

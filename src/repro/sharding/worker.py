@@ -44,6 +44,8 @@ from repro.core.log_server import LogCommitment, LogServer
 from repro.core.remote import LogServerEndpoint
 from repro.errors import LoggingError
 from repro.middleware.transport.unix import UnixTransport
+from repro.resilience.admission import AdmissionConfig, AdmissionController
+from repro.resilience.overload import OverloadInjector
 from repro.sharding.router import ShardRouter
 from repro.storage.durable_store import DurableLogStore
 
@@ -155,6 +157,35 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--segment-max-bytes", type=int, default=4 * 1024 * 1024
     )
+    # Overload protection / injection (0 = disabled, the default --
+    # parents predating these flags spawn workers with classic behavior).
+    parser.add_argument(
+        "--admission-high",
+        type=int,
+        default=0,
+        help="admission-control high watermark (entries in flight); "
+        "0 disables admission control",
+    )
+    parser.add_argument(
+        "--admission-low",
+        type=int,
+        default=0,
+        help="low watermark where the busy latch clears "
+        "(default: half the high watermark)",
+    )
+    parser.add_argument(
+        "--retry-after",
+        type=float,
+        default=0.05,
+        help="base retry-after hint returned with BUSY verdicts, seconds",
+    )
+    parser.add_argument(
+        "--ingest-delay",
+        type=float,
+        default=0.0,
+        help="test-only per-entry ingest slowdown, seconds "
+        "(drives this worker into its admission regime deterministically)",
+    )
     return parser
 
 
@@ -167,8 +198,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         checkpoint_every=args.checkpoint_every,
     )
     server = ShardWorkerServer(store, args.shard, args.shards)
+    ingest = server
+    if args.ingest_delay > 0:
+        # Overload injection: the endpoint talks to a throttled proxy so
+        # tests can saturate this worker without a hot host.
+        ingest = OverloadInjector(server, delay=args.ingest_delay)
+    admission = None
+    if args.admission_high > 0:
+        admission = AdmissionController(
+            AdmissionConfig(
+                high_watermark=args.admission_high,
+                low_watermark=args.admission_low or None,
+                retry_after=args.retry_after,
+            )
+        )
     endpoint = LogServerEndpoint(
-        server, transport=UnixTransport(path=args.socket)
+        ingest,
+        transport=UnixTransport(path=args.socket),
+        admission=admission,
     )
 
     stop = threading.Event()

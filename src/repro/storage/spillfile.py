@@ -71,10 +71,32 @@ class DiskSpillFile:
             self._store_offset(0)
             return
         consumed = min(self._load_offset(), os.path.getsize(self.path))
-        good_end = consumed
+        pending, good_end = self._scan_from(consumed)
+        if not pending and consumed > 0 and os.path.getsize(self.path) > 0:
+            # The sidecar offset is bogus: either it did not land on a
+            # record boundary (a torn or stale offset write tripped the
+            # scan's first CRC check), or it claims everything up to EOF
+            # was consumed -- impossible for a non-empty file, because a
+            # legitimate full drain truncates the file to zero.  Trusting
+            # it would discard every record after the bogus offset --
+            # spilled evidence lost to a bookkeeping file.  Rescan from 0
+            # instead: the worst case is re-sending already-delivered
+            # records, which the auditor sees as duplicates (never as
+            # loss).
+            pending, good_end = self._scan_from(0)
+            self._store_offset(0)
+        if good_end < os.path.getsize(self.path):
+            with open(self.path, "r+b") as f:
+                f.truncate(good_end)
+        self._pending = pending
+
+    def _scan_from(self, start: int) -> "tuple[List[int], int]":
+        """Walk records from ``start``; returns (record offsets, end of the
+        last whole record) -- the tail past that end is torn."""
+        good_end = start
         pending: List[int] = []
         with open(self.path, "rb") as f:
-            f.seek(consumed)
+            f.seek(start)
             while True:
                 offset = f.tell()
                 head = f.read(_LEN.size)
@@ -91,10 +113,7 @@ class DiskSpillFile:
                     break  # torn tail
                 pending.append(offset)
                 good_end = f.tell()
-        if good_end < os.path.getsize(self.path):
-            with open(self.path, "r+b") as f:
-                f.truncate(good_end)
-        self._pending = pending
+        return pending, good_end
 
     def __len__(self) -> int:
         """Pending (unconsumed) records."""
@@ -114,6 +133,22 @@ class DiskSpillFile:
             self._file.write(encoded[half:])
             self._file.flush()
             self._pending.append(offset)
+
+    def append_many(self, records: List[bytes]) -> None:
+        """Park a whole batch at the back of the FIFO under one lock
+        acquisition and one flush -- the write-side analogue of
+        :meth:`peek_many` (a shedding client parks batches, not single
+        records)."""
+        if not records:
+            return
+        with self._lock:
+            for record in records:
+                head = _LEN.pack(len(record))
+                encoded = head + record + _CRC.pack(_crc(head + record))
+                offset = self._file.tell()
+                self._file.write(encoded)
+                self._pending.append(offset)
+            self._file.flush()
 
     def peek(self) -> Optional[bytes]:
         """The oldest pending record, without consuming it."""

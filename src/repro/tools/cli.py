@@ -256,8 +256,15 @@ def _cmd_health(args: argparse.Namespace) -> int:
     unreachable = 0
     for value in args.replica:
         client = RemoteLogger(_parse_address(value))
+        stats: dict = {}
         try:
             commitment = client.health(timeout=args.timeout)
+            try:
+                # Best-effort observability: servers without an admission
+                # controller (or without OP_STATS) just omit the line.
+                stats = client.server_stats(timeout=args.timeout)
+            except LoggingError:
+                stats = {}
         except LoggingError as exc:
             print(f"{value:<28} UNREACHABLE ({exc})")
             unreachable += 1
@@ -271,6 +278,15 @@ def _cmd_health(args: argparse.Namespace) -> int:
             f"head={commitment.chain_head.hex()[:16]} "
             f"root={commitment.merkle_root.hex()[:16]}"
         )
+        if any(key.startswith("admission_") for key in stats):
+            print(
+                f"{'':<28} overload: "
+                f"depth={stats.get('admission_depth', 0)} "
+                f"peak={stats.get('admission_peak_depth', 0)} "
+                f"busy={stats.get('admission_busy_rejections', 0)} "
+                f"deadline_expired="
+                f"{stats.get('admission_deadline_rejections', 0)}"
+            )
     evidence = detector.check()
     for item in evidence:
         print(

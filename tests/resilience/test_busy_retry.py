@@ -1,0 +1,103 @@
+"""LoggingThread's cooperative BUSY handling: the server's retry-after
+hints are honored on a separate bound, never burned against the ordinary
+retry ladder -- but a forever-busy server cannot wedge the worker."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.core.logging_thread import _BUSY_RETRY_LIMIT, LoggingThread
+from repro.errors import ServerBusy
+
+
+class _BusyThenOk:
+    """Sink that answers BUSY ``n`` times, then accepts."""
+
+    def __init__(self, busy_times: int):
+        self.busy_times = busy_times
+        self.calls = 0
+        self.accepted = []
+        self.lock = threading.Lock()
+
+    def submit(self, entry):
+        with self.lock:
+            self.calls += 1
+            if self.calls <= self.busy_times:
+                raise ServerBusy(retry_after=0.001, queue_depth=9)
+            self.accepted.append(entry)
+            return len(self.accepted)
+
+
+def test_busy_waits_do_not_burn_the_retry_ladder():
+    sink = _BusyThenOk(busy_times=3)
+    worker = LoggingThread("/node", sink.submit, max_retries=0, retry_backoff=0.001)
+    try:
+        worker.enqueue(b"evidence")
+        assert worker.flush(timeout=5.0)
+        # max_retries=0 means any ordinary failure drops the entry; the
+        # three BUSY verdicts were absorbed by the busy bound instead.
+        assert sink.accepted == [b"evidence"]
+        assert worker.dropped == 0
+        assert worker.busy_backoffs == 3
+    finally:
+        worker.stop()
+
+
+def test_forever_busy_server_cannot_wedge_the_worker():
+    class _AlwaysBusy:
+        calls = 0
+
+        def submit(self, entry):
+            _AlwaysBusy.calls += 1
+            raise ServerBusy(retry_after=0.001, queue_depth=9)
+
+    worker = LoggingThread(
+        "/node", _AlwaysBusy().submit, max_retries=0, retry_backoff=0.001
+    )
+    try:
+        worker.enqueue(b"evidence")
+        assert worker.flush(timeout=5.0)
+        # The busy bound is spent, the retry ladder (zero retries) follows,
+        # and the entry is counted dropped -- bounded, not wedged.
+        assert worker.dropped == 1
+        assert worker.busy_backoffs == _BUSY_RETRY_LIMIT
+    finally:
+        worker.stop()
+
+
+def test_batch_submission_honors_busy_then_lands_whole_batch():
+    accepted = []
+    state = {"busy": 1}
+    lock = threading.Lock()
+
+    def submit(entry):
+        raise AssertionError("batch path must be used")
+
+    def submit_batch(batch):
+        with lock:
+            if state["busy"] > 0:
+                state["busy"] -= 1
+                raise ServerBusy(retry_after=0.001, queue_depth=4)
+            accepted.extend(batch)
+            return list(range(len(batch)))
+
+    worker = LoggingThread(
+        "/node",
+        submit,
+        submit_batch=submit_batch,
+        batch_max=8,
+        max_retries=0,
+        retry_backoff=0.001,
+    )
+    try:
+        # Stall the worker briefly so the queue accumulates a real batch.
+        with lock:
+            for i in range(4):
+                worker.enqueue(b"e%d" % i)
+        assert worker.flush(timeout=5.0)
+        assert sorted(accepted) == [b"e0", b"e1", b"e2", b"e3"]
+        assert worker.busy_backoffs >= 1
+        assert worker.batches >= 1
+        assert worker.dropped == 0
+    finally:
+        worker.stop()

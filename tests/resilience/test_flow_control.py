@@ -1,0 +1,332 @@
+"""Client-side flow control: credit window, retry budget, jitter, and
+the RemoteLogger shed-mode state machine they plug into."""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from repro.core import LogServer, LogServerEndpoint, RemoteLogger
+from repro.core.entries import Direction, LogEntry, Scheme
+from repro.errors import LoggingError
+from repro.middleware.transport.inproc import InprocTransport
+from repro.resilience import (
+    AdmissionConfig,
+    AdmissionController,
+    CreditWindow,
+    FlowControlConfig,
+    RetryBudget,
+    full_jitter,
+)
+
+
+def entry(seq, topic="/t", component="/p"):
+    return LogEntry(
+        component_id=component,
+        topic=topic,
+        type_name="std/String",
+        direction=Direction.OUT,
+        seq=seq,
+        scheme=Scheme.ADLP,
+        data=b"payload-%04d" % seq,
+    )
+
+
+def _keypair():
+    from repro.crypto.keys import generate_keypair
+
+    return generate_keypair(512, seed=424243)
+
+
+class TestCreditWindow:
+    def test_charge_accumulates_and_trips_at_window(self):
+        window = CreditWindow(window_bytes=100)
+        assert not window.charge(40)
+        assert not window.charge(40)
+        assert window.charge(40)  # 120 >= 100: sync due
+        assert window.outstanding == 120
+
+    def test_settle_resets_and_counts(self):
+        window = CreditWindow(window_bytes=10)
+        window.charge(25)
+        window.settle()
+        assert window.outstanding == 0
+        assert window.credit_syncs == 1
+
+    def test_reset_clears_without_counting_a_sync(self):
+        window = CreditWindow(window_bytes=10)
+        window.charge(25)
+        window.reset()
+        assert window.outstanding == 0
+        assert window.credit_syncs == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CreditWindow(window_bytes=0)
+
+
+class TestRetryBudget:
+    def test_starts_full_and_exhausts(self):
+        budget = RetryBudget(capacity=2.0, token_ratio=0.5, time_refill=0.0)
+        assert budget.take()
+        assert budget.take()
+        assert not budget.take()  # empty: retry must wait
+        assert budget.exhausted == 1
+
+    def test_successes_mint_tokens_capped_at_capacity(self):
+        budget = RetryBudget(capacity=2.0, token_ratio=0.5, time_refill=0.0)
+        budget.take()
+        budget.take()
+        budget.deposit(2)  # 2 * 0.5 = one token back
+        assert budget.take()
+        assert not budget.take()
+        budget.deposit(1000)  # capped: at most `capacity` tokens
+        assert budget.tokens == pytest.approx(2.0)
+
+    def test_time_trickle_restores_liveness(self):
+        clock = {"now": 0.0}
+        budget = RetryBudget(
+            capacity=1.0, token_ratio=0.0, time_refill=2.0,
+            clock=lambda: clock["now"],
+        )
+        assert budget.take()
+        assert not budget.take()
+        assert budget.seconds_until_token() == pytest.approx(0.5)
+        clock["now"] += 0.5  # the 2 tokens/s trickle mints one
+        assert budget.seconds_until_token() == 0.0
+        assert budget.take()
+
+    def test_disabled_trickle_reports_infinite_wait(self):
+        budget = RetryBudget(capacity=1.0, token_ratio=0.5, time_refill=0.0)
+        budget.take()
+        assert budget.seconds_until_token() == float("inf")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryBudget(capacity=0.5)
+
+
+class TestFullJitter:
+    def test_within_range_and_deterministic_when_seeded(self):
+        rng = random.Random(7)
+        values = [full_jitter(1.0, rng) for _ in range(100)]
+        assert all(0.0 <= v <= 1.0 for v in values)
+        assert len(set(values)) > 1  # actually jittered
+        replay = random.Random(7)
+        assert values == [full_jitter(1.0, replay) for _ in range(100)]
+
+    def test_nonpositive_cap_is_zero(self):
+        assert full_jitter(0.0) == 0.0
+        assert full_jitter(-1.0) == 0.0
+
+
+class TestFlowControlConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FlowControlConfig(window_bytes=0)
+        with pytest.raises(ValueError):
+            FlowControlConfig(credit_timeout=0.0)
+        with pytest.raises(ValueError):
+            FlowControlConfig(retry_budget=0.0)
+        with pytest.raises(ValueError):
+            FlowControlConfig(retry_token_ratio=-1.0)
+        with pytest.raises(ValueError):
+            FlowControlConfig(shed_min_pause=0.5, shed_max_pause=0.1)
+
+
+class TestReconnectJitter:
+    """Satellite: reconnect backoff uses full jitter, not lockstep."""
+
+    def test_failed_connect_backs_off_with_jitter_and_doubles_cap(self):
+        transport = InprocTransport()  # nothing listening on this net
+        client = RemoteLogger(
+            ("inproc", "nowhere"),
+            transport=transport,
+            reconnect_backoff=0.5,
+            max_reconnect_backoff=1.0,
+            rng=random.Random(42),
+        )
+        try:
+            before = time.monotonic()
+            client.submit(entry(1))  # spills; schedules a jittered retry
+            delay = client._next_attempt - before
+            assert 0.0 <= delay <= 0.5 + 0.01
+            assert client._backoff == pytest.approx(1.0)  # doubled
+            client._next_attempt = 0.0  # force another attempt now
+            client.submit(entry(2))
+            assert client._backoff == pytest.approx(1.0)  # capped
+            assert client.spilled == 2  # parked, not lost
+        finally:
+            client.close()
+
+    def test_jitter_decorrelates_two_seeds(self):
+        transport = InprocTransport()
+        delays = []
+        for seed in (1, 2):
+            client = RemoteLogger(
+                ("inproc", "nowhere"),
+                transport=transport,
+                reconnect_backoff=0.5,
+                rng=random.Random(seed),
+            )
+            before = time.monotonic()
+            client.submit(entry(1))
+            delays.append(client._next_attempt - before)
+            client.close()
+        assert delays[0] != pytest.approx(delays[1], abs=1e-6)
+
+
+def _flow(**overrides):
+    kwargs = dict(
+        window_bytes=1,  # every fire-and-forget send forces a credit sync
+        credit_timeout=2.0,
+        retry_budget=64.0,
+        retry_token_ratio=0.5,
+        retry_time_refill=50.0,
+        shed_min_pause=0.05,
+        shed_max_pause=0.2,
+    )
+    kwargs.update(overrides)
+    return FlowControlConfig(**kwargs)
+
+
+class TestRemoteLoggerShedMode:
+    def _serve(self, **admission_kwargs):
+        server = LogServer()
+        server.register_key("/p", _keypair().public)
+        admission = AdmissionController(AdmissionConfig(**admission_kwargs))
+        endpoint = LogServerEndpoint(
+            server, transport=InprocTransport(), admission=admission
+        )
+        return server, admission, endpoint
+
+    def test_credit_sync_settles_window_and_mints_tokens(self):
+        server, admission, endpoint = self._serve(high_watermark=1024)
+        client = RemoteLogger(
+            endpoint.address,
+            transport=endpoint._transport,
+            flow_control=_flow(),
+            rng=random.Random(1),
+        )
+        try:
+            client.submit(entry(1))
+            stats = client.stats()
+            assert stats["credit_syncs"] == 1
+            assert stats["outstanding_bytes"] == 0
+            assert stats["busy_responses"] == 0
+            assert not client.shedding
+            assert len(server) == 1  # the sync proved the frame drained
+        finally:
+            client.close()
+            endpoint.close()
+
+    def test_busy_credit_sync_opens_a_shed_window(self):
+        server, admission, endpoint = self._serve(
+            high_watermark=2, low_watermark=0, retry_after=0.05
+        )
+        client = RemoteLogger(
+            endpoint.address,
+            transport=endpoint._transport,
+            flow_control=_flow(),
+            rng=random.Random(2),
+        )
+        try:
+            admission.force_admit(5)  # latch the server busy
+            client.submit(entry(1))  # forced in; its credit sync sees BUSY
+            assert client.busy_responses == 1
+            assert client.shedding
+            # While shedding, submissions divert to spill: delayed, not
+            # lost, and the server sees no new load from this client.
+            base = len(server)
+            client.submit(entry(2))
+            client.submit(entry(3))
+            assert client.stats()["shed_entries"] == 2
+            assert client.spilled == 2
+            assert len(server) == base
+        finally:
+            client.close()
+            endpoint.close()
+
+    def test_shed_window_expires_and_spill_drains(self):
+        server, admission, endpoint = self._serve(
+            high_watermark=2, low_watermark=0, retry_after=0.01
+        )
+        client = RemoteLogger(
+            endpoint.address,
+            transport=endpoint._transport,
+            flow_control=_flow(shed_min_pause=0.01, shed_max_pause=0.05),
+            rng=random.Random(3),
+        )
+        try:
+            admission.force_admit(5)
+            client.submit(entry(1))
+            assert client.shedding
+            client.submit(entry(2))  # shed to spill
+            assert client.spilled == 1
+            admission.release(5)  # server recovers
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                if not client.shedding and client.flush_spill():
+                    break
+                time.sleep(0.01)
+            assert client.spilled == 0
+            assert client.stats()["spill_retries"] == 1
+            deadline = time.monotonic() + 5.0
+            while len(server) < 2 and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert len(server) == 2  # everything landed exactly once
+        finally:
+            client.close()
+            endpoint.close()
+
+    def test_consecutive_busy_escalates_the_shed_pause(self):
+        server, admission, endpoint = self._serve(
+            high_watermark=2, low_watermark=0, retry_after=0.01
+        )
+        client = RemoteLogger(
+            endpoint.address,
+            transport=endpoint._transport,
+            flow_control=_flow(shed_min_pause=0.01, shed_max_pause=0.5),
+            rng=random.Random(4),
+        )
+        try:
+            admission.force_admit(5)
+            client.submit(entry(1))
+            first = client._shed_pause
+            # Expire the window, then observe BUSY again: the pause doubles.
+            client._shed_until = 0.0
+            client.submit(entry(2))
+            assert client.busy_responses == 2
+            assert client._shed_pause == pytest.approx(first * 2)
+        finally:
+            client.close()
+            endpoint.close()
+
+    def test_drain_pauses_when_retry_budget_is_exhausted(self):
+        server, admission, endpoint = self._serve(high_watermark=1024)
+        client = RemoteLogger(
+            ("inproc", "nowhere"),  # park everything in the spill queue
+            transport=endpoint._transport,
+            flow_control=_flow(
+                retry_budget=1.0, retry_token_ratio=0.0, retry_time_refill=0.0
+            ),
+            rng=random.Random(5),
+            submit_batch_max=1,
+        )
+        try:
+            for seq in range(1, 4):
+                client.submit(entry(seq))
+            assert client.spilled == 3
+            client._address = endpoint.address  # server "comes back"
+            client._next_attempt = 0.0
+            # One token: exactly one retransmit batch goes out, then the
+            # drain reports "not empty" instead of flooding.
+            assert not client.flush_spill()
+            assert client.stats()["spill_retries"] == 1
+            assert client.stats()["retry_budget_exhausted"] >= 1
+            assert client.spilled == 2
+        finally:
+            client.close()
+            endpoint.close()

@@ -1,0 +1,85 @@
+"""Supervisor restart-storm hysteresis: a crash-looping worker is
+respawned on an exponentially growing schedule instead of burning its
+whole restart budget in one probe-interval burst."""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _unix_only():
+    from repro.middleware.transport.unix import unix_sockets_supported
+
+    if not unix_sockets_supported():
+        pytest.skip("needs AF_UNIX sockets")
+
+
+def _wait_for(predicate, deadline_s=15.0, interval=0.02):
+    deadline = time.monotonic() + deadline_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+def test_second_crash_is_deferred_not_respawned_immediately(tmp_path):
+    from repro.sharding.process_server import ProcessShardedLogServer
+
+    server = ProcessShardedLogServer(
+        shards=1,
+        store_dir=str(tmp_path / "shards"),
+        probe_interval=0.05,
+        restart_limit=5,
+        restart_backoff_base=30.0,  # park the second respawn far away
+        restart_backoff_max=60.0,
+        restart_backoff_reset=600.0,
+    )
+    try:
+        os.kill(server.worker_pid(0), signal.SIGKILL)
+        # First supervised restart is immediate (no backoff yet).
+        assert _wait_for(lambda: server.stats()["worker_restarts"] == 1)
+        assert _wait_for(lambda: server._handles[0].alive())
+        # The restart armed the hysteresis; a second crash inside the
+        # backoff window is observed but NOT respawned.
+        os.kill(server.worker_pid(0), signal.SIGKILL)
+        assert _wait_for(lambda: server.stats()["restarts_deferred"] >= 2)
+        stats = server.stats()
+        assert stats["worker_restarts"] == 1
+        assert not server._handles[0].alive()
+    finally:
+        server.close()
+
+
+def test_staying_healthy_earns_the_hysteresis_back(tmp_path):
+    from repro.sharding.process_server import ProcessShardedLogServer
+
+    server = ProcessShardedLogServer(
+        shards=1,
+        store_dir=str(tmp_path / "shards"),
+        probe_interval=0.05,
+        restart_limit=5,
+        restart_backoff_base=0.05,
+        restart_backoff_max=0.5,
+        restart_backoff_reset=0.3,  # short: health quickly resets backoff
+    )
+    try:
+        os.kill(server.worker_pid(0), signal.SIGKILL)
+        assert _wait_for(lambda: server.stats()["worker_restarts"] == 1)
+        assert _wait_for(lambda: server._handles[0].alive())
+        # After restart_backoff_reset of continuous health the supervisor
+        # clears the backoff: the worker earned its fast restarts back.
+        assert _wait_for(
+            lambda: server._handles[0].restart_backoff == 0.0, deadline_s=10.0
+        )
+        # ... so the next crash is respawned immediately again.
+        os.kill(server.worker_pid(0), signal.SIGKILL)
+        assert _wait_for(lambda: server.stats()["worker_restarts"] == 2)
+        assert _wait_for(lambda: server._handles[0].alive())
+    finally:
+        server.close()
