@@ -12,9 +12,13 @@ makes those behaviors injectable so the accountability guarantees
 - :mod:`repro.adversary.scenarios` -- offline forgery helpers (fabricated
   entries, impersonation, colluding consistent lies) and canned scenarios
   from the paper's figures.
+- :mod:`repro.adversary.forking` -- the *compromised logger* itself: an
+  equivocating server signing two histories under one identity, for
+  exercising the gossip layer's split-view detection.
 """
 
 from repro.adversary.behaviors import PublisherBehavior, SubscriberBehavior
+from repro.adversary.forking import ForkingLogServer, tamper_timestamp
 from repro.adversary.harness import (
     GroundTruth,
     TransmissionRecord,
@@ -28,6 +32,8 @@ from repro.adversary.scenarios import (
 )
 
 __all__ = [
+    "ForkingLogServer",
+    "tamper_timestamp",
     "PublisherBehavior",
     "SubscriberBehavior",
     "GroundTruth",

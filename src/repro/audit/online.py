@@ -202,6 +202,42 @@ class OnlineAuditor:
         for finding in emitted:
             self._on_finding(finding)
 
+    # -- continuous verification (STH gossip) -----------------------------
+
+    def watch_gossip(self, relay) -> None:
+        """Continuously-verified mode: subscribe to a
+        :class:`~repro.gossip.relay.GossipRelay` so proven logger
+        equivocation surfaces through the same findings stream as
+        entry-level misbehavior.
+
+        The resulting findings use ``kind="equivocation"`` with the
+        convicted *log id* in the ``component_id`` slot -- here the
+        accountable party is the logger itself, not a pub/sub component.
+        """
+        relay.add_listener(self._on_equivocation)
+        self._watched_relays = getattr(self, "_watched_relays", [])
+        self._watched_relays.append(relay)
+        # Evidence the relay accumulated before we subscribed still counts.
+        for evidence in relay.evidence():
+            self._on_equivocation(evidence)
+
+    def _on_equivocation(self, evidence) -> None:
+        finding = OnlineFinding(
+            kind="equivocation",
+            component_id=evidence.log_id,
+            topic=f"sth-scope-{evidence.scope}",
+            seq=evidence.second.entries,
+            detail=evidence.describe(),
+        )
+        with self._lock:
+            if any(
+                f.kind == "equivocation" and f.detail == finding.detail
+                for f in self._findings
+            ):
+                return  # already reported (e.g. pre-subscription replay)
+            self._findings.append(finding)
+        self._on_finding(finding)
+
     # -- inspection ---------------------------------------------------------
 
     @property

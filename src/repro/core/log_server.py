@@ -22,9 +22,14 @@ from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Optional, Union
 
 from repro.core.entries import Direction, LogEntry
-from repro.crypto.keys import PublicKey
+from repro.crypto.keys import PrivateKey, PublicKey
 from repro.crypto.keystore import KeyStore
-from repro.crypto.merkle import MerkleFrontier, MerkleProof, MerkleTree
+from repro.crypto.merkle import (
+    MerkleConsistencyProof,
+    MerkleFrontier,
+    MerkleProof,
+    MerkleTree,
+)
 from repro.core.log_store import InMemoryLogStore, LogStore
 from repro.errors import DecodingError, LogIntegrityError, LoggingError
 
@@ -49,8 +54,18 @@ class LogCommitment:
 class LogServer:
     """Key registry + tamper-evident entry store + query interface."""
 
-    def __init__(self, store: Optional[LogStore] = None):
+    def __init__(
+        self,
+        store: Optional[LogStore] = None,
+        signer: Optional[PrivateKey] = None,
+        log_id: Optional[str] = None,
+    ):
         self.keystore = KeyStore()
+        #: Logger identity keypair; enables signed tree heads when set.
+        self._signer = signer
+        self.log_id = log_id or (
+            f"log-{signer.public_key.fingerprint()}" if signer else "unsigned"
+        )
         # identity test: an empty LogStore is falsy (it defines __len__),
         # `or` would wrongly replace it
         self.store: LogStore = store if store is not None else InMemoryLogStore()
@@ -398,11 +413,62 @@ class LogServer:
                 total_bytes=self.store.total_bytes,
             )
 
-    def prove_inclusion(self, index: int) -> MerkleProof:
-        """Inclusion proof for the entry at ``index`` against the current
-        Merkle root -- what a third-party investigator checks."""
+    def prove_inclusion(self, index: int, tree_size: Optional[int] = None) -> MerkleProof:
+        """Inclusion proof for the entry at ``index`` -- what a third-party
+        investigator checks.  ``tree_size`` targets a historical root (the
+        one a signed tree head of that size committed to); the default is
+        the current tree.  Raises :class:`~repro.errors.ProofError` on an
+        out-of-range index or size.
+        """
         with self._lock:
-            return self._merkle.prove(index)
+            if tree_size is None:
+                return self._merkle.prove(index)
+            return self._merkle.prove(index, tree_size)
+
+    def prove_consistency(
+        self, old_size: int, new_size: Optional[int] = None
+    ) -> MerkleConsistencyProof:
+        """RFC 6962 consistency proof that the log at ``new_size`` (default:
+        current) is an append-only extension of the log at ``old_size``."""
+        with self._lock:
+            if new_size is None:
+                new_size = len(self._merkle)
+            return self._merkle.prove_consistency(old_size, new_size)
+
+    # -- signed tree heads -------------------------------------------------
+
+    def attach_signer(self, signer: PrivateKey, log_id: Optional[str] = None) -> None:
+        """Give the logger an identity keypair so it can issue signed tree
+        heads.  ``log_id`` defaults to the key's fingerprint."""
+        with self._lock:
+            self._signer = signer
+            self.log_id = log_id or f"log-{signer.public_key.fingerprint()}"
+
+    @property
+    def signer_public_key(self) -> Optional[PublicKey]:
+        """The logger identity's public key (the STH trust anchor)."""
+        with self._lock:
+            return self._signer.public_key if self._signer else None
+
+    def signed_tree_head(self, timestamp: Optional[float] = None):
+        """Sign the current commitment: the logger's publishable promise of
+        *the* history at this size.  Raises when no signer is attached."""
+        from repro.gossip.sth import issue_sth
+
+        with self._lock:
+            if self._signer is None:
+                raise LoggingError(
+                    "log server has no signer attached; cannot issue a "
+                    "signed tree head"
+                )
+            return issue_sth(
+                self._signer,
+                self.log_id,
+                entries=len(self._entries),
+                chain_head=self.store.head(),
+                merkle_root=self._frontier.root(),
+                timestamp=timestamp,
+            )
 
     def checkpoint(self) -> None:
         """Force a durable checkpoint now (no-op for in-memory stores)."""

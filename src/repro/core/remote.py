@@ -36,12 +36,16 @@ from typing import Deque, Dict, List, Optional, Union
 from repro.core.entries import LogEntry
 from repro.core.log_server import LogCommitment, LogServer
 from repro.crypto.keys import PublicKey
+from repro.crypto.merkle import MerkleConsistencyProof, MerkleProof
 from repro.errors import (
     DeadlineExceeded,
     LoggingError,
+    ProofError,
     ServerBusy,
     TransportError,
 )
+from repro.gossip.monitor import TreeHeadMonitor
+from repro.gossip.sth import SignedTreeHead
 from repro.resilience.admission import AdmissionController
 from repro.resilience.flow import (
     CreditWindow,
@@ -99,6 +103,17 @@ OP_VERIFY = 9
 #: ordinary ``ok=False`` rejection, which is safe (the work did not land).
 OP_BUSY = 10
 OP_DEADLINE_EXPIRED = 11
+#: Proof-plane ops (split-view detection): ``OP_STH`` fetches the signed
+#: tree head, ``OP_PROVE_INCLUSION`` / ``OP_PROVE_CONSISTENCY`` fetch
+#: Merkle proofs a client verifies against the heads it holds.  All three
+#: are shard-tagged, deadline-aware, and admission-controlled like every
+#: other sync op (a proof storm must shed before it starves ingest).
+OP_STH = 12
+OP_PROVE_INCLUSION = 13
+OP_PROVE_CONSISTENCY = 14
+#: Response verdict: the proof request itself was malformed (out-of-range
+#: or negative index / size) -- a clean typed refusal, never a traceback.
+OP_PROOF_RANGE = 15
 
 #: Upper bound on records returned by one ``OP_FETCH`` (bounds response
 #: frames; catch-up loops until it has the whole range).
@@ -164,6 +179,14 @@ class LoggerRequest(WireMessage):
     #: ``OP_DEADLINE_EXPIRED`` instead of doing work whose caller has
     #: already given up on it.  0 (the wire default) = no deadline.
     deadline_ms = uint64(10)
+    #: OP_PROVE_INCLUSION: leaf index to prove.
+    proof_index = uint64(11)
+    #: OP_PROVE_INCLUSION: historical tree size to prove against;
+    #: OP_PROVE_CONSISTENCY: the *new* (larger) size.  0 (the wire
+    #: default) = the server's current size.
+    proof_tree_size = uint64(12)
+    #: OP_PROVE_CONSISTENCY: the *old* (smaller) size.
+    proof_old_size = uint64(13)
 
 
 class LoggerResponse(WireMessage):
@@ -195,6 +218,21 @@ class LoggerResponse(WireMessage):
     queue_depth = uint64(13)
     #: OP_BUSY: suggested client backoff before retrying, milliseconds.
     retry_after_ms = uint64(14)
+    #: OP_STH: the encoded :class:`~repro.gossip.sth.SignedTreeHead`.
+    sth_bytes = bytes_(15)
+    #: OP_PROVE_*: proof path digests in verification order.
+    proof_hashes = repeated(bytes_(16))
+    #: OP_PROVE_INCLUSION: one byte per path digest, 1 = sibling is on
+    #: the right (parallel with ``proof_hashes``; consistency proofs are
+    #: direction-free and leave this empty).
+    proof_flags = bytes_(17)
+    #: OP_PROVE_INCLUSION: echo of the proven leaf index.
+    proof_index = uint64(18)
+    #: OP_PROVE_INCLUSION: tree size the proof targets;
+    #: OP_PROVE_CONSISTENCY: the new size.
+    proof_tree_size = uint64(19)
+    #: OP_PROVE_CONSISTENCY: the old size.
+    proof_old_size = uint64(20)
 
 
 class LogServerEndpoint:
@@ -332,7 +370,10 @@ class LogServerEndpoint:
                     if admission is not None:
                         admission.release(len(batch))
                 continue
-            response = self._answer(request)
+            if request.op in (OP_STH, OP_PROVE_INCLUSION, OP_PROVE_CONSISTENCY):
+                response = self._answer_proof(request, arrival=last_active)
+            else:
+                response = self._answer(request)
             try:
                 connection.send_frame(response.encode())
             except ConnectionClosed:
@@ -628,6 +669,150 @@ class LogServerEndpoint:
             )
         return self.server.raw_records(start, count)
 
+    # -- proof plane (signed tree heads + Merkle proofs) -------------------
+
+    def _answer_proof(
+        self, request: LoggerRequest, arrival: Optional[float] = None
+    ) -> LoggerResponse:
+        """Serve a proof-plane op under the same overload discipline as
+        sync ingest: admission first (OP_BUSY), then the client-stamped
+        deadline (OP_DEADLINE_EXPIRED), then the actual work.  Proof
+        building walks the Merkle tree, so an unmetered proof storm could
+        starve ingest -- auditors must shed like everyone else.
+        """
+        admission = self.admission
+        if admission is not None:
+            decision = admission.try_admit(1)
+            if decision is not None:
+                return LoggerResponse(
+                    ok=False,
+                    error=f"server busy: ingest depth {decision.queue_depth}",
+                    code=OP_BUSY,
+                    queue_depth=decision.queue_depth,
+                    retry_after_ms=int(decision.retry_after * 1000),
+                )
+        try:
+            deadline_ms = int(request.deadline_ms)
+            if deadline_ms and arrival is not None:
+                elapsed_ms = (time.monotonic() - arrival) * 1000.0
+                if elapsed_ms > deadline_ms:
+                    admission_ = self.admission
+                    if admission_ is not None:
+                        admission_.note_deadline_rejection()
+                    return LoggerResponse(
+                        ok=False,
+                        error=(
+                            f"deadline of {deadline_ms} ms expired "
+                            f"({elapsed_ms:.0f} ms elapsed) before proving"
+                        ),
+                        code=OP_DEADLINE_EXPIRED,
+                    )
+            return self._proof_response(request)
+        finally:
+            if admission is not None:
+                admission.release(1)
+
+    def _proof_response(self, request: LoggerRequest) -> LoggerResponse:
+        try:
+            if request.op == OP_STH:
+                sth = self._issue_sth(request.shard)
+                return LoggerResponse(
+                    ok=True, entries=sth.entries, sth_bytes=sth.to_bytes()
+                )
+            if request.op == OP_PROVE_INCLUSION:
+                proof = self._prove_inclusion(
+                    request.shard,
+                    int(request.proof_index),
+                    int(request.proof_tree_size),
+                )
+                return LoggerResponse(
+                    ok=True,
+                    proof_hashes=[digest for digest, _ in proof.path],
+                    proof_flags=bytes(
+                        1 if is_right else 0 for _, is_right in proof.path
+                    ),
+                    proof_index=proof.leaf_index,
+                    proof_tree_size=proof.tree_size,
+                )
+            proof = self._prove_consistency(
+                request.shard,
+                int(request.proof_old_size),
+                int(request.proof_tree_size),
+            )
+            return LoggerResponse(
+                ok=True,
+                proof_hashes=list(proof.path),
+                proof_old_size=proof.old_size,
+                proof_tree_size=proof.new_size,
+            )
+        except ProofError as exc:
+            # The request was malformed (range), not the server broken:
+            # answer with a typed verdict the client maps back to
+            # ProofError -- a clean refusal, never a worker traceback.
+            return LoggerResponse(ok=False, error=str(exc), code=OP_PROOF_RANGE)
+        except Exception as exc:
+            return LoggerResponse(ok=False, error=str(exc))
+
+    def _issue_sth(self, shard_tag: int) -> SignedTreeHead:
+        """Signed tree head, shard-aware.
+
+        Untargeted against a sharded server returns the signed *set* head
+        (the roll-up over per-shard commitments); a shard tag selects one
+        shard's head.  A plain server answers tag 1 as the whole log.
+        """
+        shard_sth = getattr(self.server, "shard_signed_tree_head", None)
+        if shard_tag:
+            if shard_sth is not None:
+                return shard_sth(shard_tag - 1)
+            if shard_tag == 1:
+                return self.server.signed_tree_head()
+            raise LoggingError(
+                f"shard {shard_tag - 1} STH requested on an unsharded server"
+            )
+        return self.server.signed_tree_head()
+
+    def _prove_inclusion(
+        self, shard_tag: int, index: int, tree_size: int
+    ) -> MerkleProof:
+        """Inclusion proof, shard-aware (per-shard trees, like FETCH)."""
+        size = tree_size or None  # wire 0 = the current tree
+        shard_prove = getattr(self.server, "shard_prove_inclusion", None)
+        if shard_tag:
+            if shard_prove is not None:
+                return shard_prove(shard_tag - 1, index, size)
+            if shard_tag == 1:
+                return self.server.prove_inclusion(index, size)
+            raise LoggingError(
+                f"shard {shard_tag - 1} proof requested on an unsharded server"
+            )
+        if shard_prove is not None:
+            raise LoggingError(
+                "a sharded log server requires a shard id for "
+                "PROVE_INCLUSION (per-shard Merkle trees)"
+            )
+        return self.server.prove_inclusion(index, size)
+
+    def _prove_consistency(
+        self, shard_tag: int, old_size: int, new_size: int
+    ) -> MerkleConsistencyProof:
+        """Consistency proof, shard-aware (per-shard trees)."""
+        size = new_size or None  # wire 0 = the current tree
+        shard_prove = getattr(self.server, "shard_prove_consistency", None)
+        if shard_tag:
+            if shard_prove is not None:
+                return shard_prove(shard_tag - 1, old_size, size)
+            if shard_tag == 1:
+                return self.server.prove_consistency(old_size, size)
+            raise LoggingError(
+                f"shard {shard_tag - 1} proof requested on an unsharded server"
+            )
+        if shard_prove is not None:
+            raise LoggingError(
+                "a sharded log server requires a shard id for "
+                "PROVE_CONSISTENCY (per-shard Merkle trees)"
+            )
+        return self.server.prove_consistency(old_size, size)
+
     def close(self) -> None:
         self._acceptor.stop(join=False)
         self._listener.close()
@@ -733,6 +918,10 @@ class RemoteLogger:
         #: Entries diverted to the spill queue by shed mode (delayed, not
         #: lost -- the audit-facing complement of :attr:`dropped`).
         self.shed_entries = 0
+        #: Client-side STH verification (opt-in via
+        #: :meth:`enable_sth_verification`): the logger's public key plus
+        #: a verified-head cache with append-only consistency checking.
+        self._sth_monitor: Optional[TreeHeadMonitor] = None
         if flow_control is not None:
             self._credit = CreditWindow(flow_control.window_bytes)
             self._retry_budget = RetryBudget(
@@ -930,6 +1119,156 @@ class RemoteLogger:
             component_id: bytes(blob)
             for component_id, blob in zip(response.key_ids, response.key_blobs)
         }
+
+    # -- proof plane (signed tree heads + Merkle proofs) -------------------
+
+    def _proof_rpc(self, request: LoggerRequest, timeout: float) -> LoggerResponse:
+        request.deadline_ms = max(1, int(timeout * 1000))
+        response = self._rpc(request, timeout=timeout)
+        if not response.ok:
+            if int(response.code) == OP_PROOF_RANGE:
+                raise ProofError(str(response.error) or "proof request refused")
+            _raise_for_verdict(response)
+            raise LoggingError(f"proof request rejected: {response.error}")
+        return response
+
+    def fetch_sth(
+        self, timeout: float = 5.0, shard: Optional[int] = None
+    ) -> SignedTreeHead:
+        """Fetch the server's signed tree head (unverified -- pair with
+        :meth:`enable_sth_verification` / :meth:`verified_sth` to check
+        it).  Untargeted against a sharded server this is the signed *set*
+        head; ``shard`` selects one shard's head."""
+        response = self._proof_rpc(
+            LoggerRequest(op=OP_STH, shard=self._shard_tag(shard)), timeout
+        )
+        return SignedTreeHead.from_bytes(bytes(response.sth_bytes))
+
+    def prove_inclusion(
+        self,
+        index: int,
+        tree_size: Optional[int] = None,
+        timeout: float = 5.0,
+        shard: Optional[int] = None,
+    ) -> MerkleProof:
+        """Fetch an inclusion proof for the entry at ``index``, against the
+        current tree or (``tree_size``) the tree a given STH committed to.
+        Raises :class:`~repro.errors.ProofError` on out-of-range input --
+        including locally for negatives, which the wire cannot carry."""
+        if index < 0 or (tree_size is not None and tree_size < 0):
+            raise ProofError(
+                f"proof request out of range: index {index}, "
+                f"tree size {tree_size}"
+            )
+        response = self._proof_rpc(
+            LoggerRequest(
+                op=OP_PROVE_INCLUSION,
+                proof_index=index,
+                proof_tree_size=tree_size or 0,
+                shard=self._shard_tag(shard),
+            ),
+            timeout,
+        )
+        hashes = [bytes(digest) for digest in response.proof_hashes]
+        flags = bytes(response.proof_flags)
+        if len(hashes) != len(flags):
+            raise LoggingError(
+                "malformed inclusion proof: digest/direction length mismatch"
+            )
+        return MerkleProof(
+            leaf_index=int(response.proof_index),
+            tree_size=int(response.proof_tree_size),
+            path=tuple(
+                (digest, bool(flag)) for digest, flag in zip(hashes, flags)
+            ),
+        )
+
+    def prove_consistency(
+        self,
+        old_size: int,
+        new_size: Optional[int] = None,
+        timeout: float = 5.0,
+        shard: Optional[int] = None,
+    ) -> MerkleConsistencyProof:
+        """Fetch an RFC 6962 consistency proof between two sizes of the
+        server's log (``new_size`` defaults to the current size)."""
+        if old_size < 0 or (new_size is not None and new_size < 0):
+            raise ProofError(
+                f"proof request out of range: old size {old_size}, "
+                f"new size {new_size}"
+            )
+        response = self._proof_rpc(
+            LoggerRequest(
+                op=OP_PROVE_CONSISTENCY,
+                proof_old_size=old_size,
+                proof_tree_size=new_size or 0,
+                shard=self._shard_tag(shard),
+            ),
+            timeout,
+        )
+        return MerkleConsistencyProof(
+            old_size=int(response.proof_old_size),
+            new_size=int(response.proof_tree_size),
+            path=tuple(bytes(digest) for digest in response.proof_hashes),
+        )
+
+    def enable_sth_verification(self, public_key: PublicKey) -> TreeHeadMonitor:
+        """Arm client-side verification: ``public_key`` is the logger
+        identity's key (the trust anchor); every head fetched through
+        :meth:`verified_sth` is then signature-checked and consistency-
+        checked against the previously verified head before being cached.
+        Returns the monitor (its ``evidence()`` holds any convictions)."""
+        monitor = TreeHeadMonitor(public_key)
+        self._sth_monitor = monitor
+        return monitor
+
+    @property
+    def sth_monitor(self) -> Optional[TreeHeadMonitor]:
+        return self._sth_monitor
+
+    def verified_sth(
+        self, timeout: float = 5.0, shard: Optional[int] = None
+    ) -> SignedTreeHead:
+        """Fetch the latest STH and verify it: signature against the
+        configured logger key, append-only growth from the cached verified
+        head via a consistency-proof challenge to the server.  Raises
+        :class:`~repro.errors.LogIntegrityError` on any failure (the
+        monitor then holds the equivocation evidence, if one was built)."""
+        monitor = self._sth_monitor
+        if monitor is None:
+            raise LoggingError(
+                "call enable_sth_verification(public_key) before verified_sth()"
+            )
+        sth = self.fetch_sth(timeout=timeout, shard=shard)
+        return monitor.observe(
+            sth,
+            prove_consistency=lambda old, new: self.prove_consistency(
+                old, new, timeout=timeout, shard=shard
+            ),
+        )
+
+    def verify_own_entry(
+        self,
+        record: Union[LogEntry, bytes],
+        index: int,
+        timeout: float = 5.0,
+        shard: Optional[int] = None,
+    ) -> bool:
+        """The client-audit primitive: is *my* entry really in the log the
+        server is showing everyone?  Fetches and verifies the latest STH,
+        then an inclusion proof for ``record`` at ``index`` against that
+        exact tree size, and checks it up to the signed root."""
+        payload = record.encode() if isinstance(record, LogEntry) else bytes(record)
+        sth = self.verified_sth(timeout=timeout, shard=shard)
+        if index >= sth.entries:
+            raise ProofError(
+                f"entry index {index} is not covered by the latest signed "
+                f"tree head (size {sth.entries})"
+            )
+        proof = self.prove_inclusion(
+            index, tree_size=sth.entries, timeout=timeout, shard=shard
+        )
+        return proof.verify(payload, sth.merkle_root)
 
     def submit_batch_sync(
         self,

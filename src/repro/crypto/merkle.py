@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, List, Sequence, Tuple
 
 from repro.crypto.hashing import sha256
-from repro.errors import LogIntegrityError
+from repro.errors import LogIntegrityError, ProofError
 
 # Domain-separation prefixes prevent a leaf from being reinterpreted as an
 # interior node (the classic second-preimage attack on naive Merkle trees).
@@ -56,6 +56,88 @@ class MerkleProof:
         return digest == root
 
 
+@dataclass(frozen=True)
+class MerkleConsistencyProof:
+    """An RFC 6962 consistency proof between two sizes of the same log.
+
+    :attr:`path` is the node sequence produced by the SUBPROOF algorithm;
+    a verifier folds it to recompute *both* the old root and the new root,
+    proving the tree at :attr:`new_size` is an append-only extension of the
+    tree at :attr:`old_size`.
+    """
+
+    old_size: int
+    new_size: int
+    path: Tuple[bytes, ...] = field(default_factory=tuple)
+
+    def verify(self, old_root: bytes, new_root: bytes) -> bool:
+        """Check that the tree grew append-only from ``old_root`` to ``new_root``."""
+        m, n = self.old_size, self.new_size
+        if m < 0 or m > n:
+            return False
+        if m == n:
+            return not self.path and old_root == new_root
+        if m == 0:
+            # The empty tree is a prefix of everything; nothing to fold.
+            return not self.path and old_root == EMPTY_ROOT
+        path = list(self.path)
+        node, last_node = m - 1, n - 1
+        while node % 2 == 1:
+            node //= 2
+            last_node //= 2
+        if node:
+            if not path:
+                return False
+            old_digest = new_digest = path.pop(0)
+        else:
+            # old_size is a power of two: its root is a node of the new tree.
+            old_digest = new_digest = old_root
+        while node or last_node:
+            if node % 2 == 1:
+                if not path:
+                    return False
+                sibling = path.pop(0)
+                old_digest = node_hash(sibling, old_digest)
+                new_digest = node_hash(sibling, new_digest)
+            elif node < last_node:
+                if not path:
+                    return False
+                new_digest = node_hash(new_digest, path.pop(0))
+            node //= 2
+            last_node //= 2
+        return not path and old_digest == old_root and new_digest == new_root
+
+
+def _mth(leaves: Sequence[bytes]) -> bytes:
+    """Merkle tree head over already-hashed leaves (RFC 6962 MTH)."""
+    n = len(leaves)
+    if n == 0:
+        return EMPTY_ROOT
+    if n == 1:
+        return leaves[0]
+    k = _largest_power_of_two_below(n)
+    return node_hash(_mth(leaves[:k]), _mth(leaves[k:]))
+
+
+def _largest_power_of_two_below(n: int) -> int:
+    """The largest power of two strictly less than ``n`` (n >= 2)."""
+    k = 1
+    while k * 2 < n:
+        k *= 2
+    return k
+
+
+def _subproof(m: int, leaves: Sequence[bytes], complete: bool) -> List[bytes]:
+    """RFC 6962 SUBPROOF(m, D[n], b) over already-hashed leaves."""
+    n = len(leaves)
+    if m == n:
+        return [] if complete else [_mth(leaves)]
+    k = _largest_power_of_two_below(n)
+    if m <= k:
+        return _subproof(m, leaves[:k], complete) + [_mth(leaves[k:])]
+    return _subproof(m - k, leaves[k:], False) + [_mth(leaves[:k])]
+
+
 class MerkleTree:
     """A Merkle tree over an ordered list of byte records.
 
@@ -84,9 +166,14 @@ class MerkleTree:
     def __len__(self) -> int:
         return len(self._leaves)
 
-    def _levels(self) -> List[List[bytes]]:
-        """All tree levels bottom-up (levels[0] == leaves)."""
-        levels = [list(self._leaves)]
+    def _levels(self, tree_size: int = -1) -> List[List[bytes]]:
+        """All tree levels bottom-up (levels[0] == leaves).
+
+        ``tree_size`` restricts the tree to its first ``tree_size`` leaves,
+        reconstructing the historical shape at that size.
+        """
+        leaves = self._leaves if tree_size < 0 else self._leaves[:tree_size]
+        levels = [list(leaves)]
         while len(levels[-1]) > 1:
             prev = levels[-1]
             nxt = []
@@ -103,13 +190,39 @@ class MerkleTree:
             return EMPTY_ROOT
         return self._levels()[-1][0]
 
-    def prove(self, leaf_index: int) -> MerkleProof:
-        """Build an inclusion proof for the leaf at ``leaf_index``."""
-        if not 0 <= leaf_index < len(self._leaves):
-            raise IndexError("leaf index out of range")
+    def root_at(self, tree_size: int) -> bytes:
+        """Root digest of the historical tree over the first ``tree_size`` leaves."""
+        self._check_size(tree_size)
+        if tree_size == 0:
+            return EMPTY_ROOT
+        return self._levels(tree_size)[-1][0]
+
+    def _check_size(self, tree_size: int) -> None:
+        if not 0 <= tree_size <= len(self._leaves):
+            raise ProofError(
+                "tree size %d out of range for a log of %d entries"
+                % (tree_size, len(self._leaves))
+            )
+
+    def prove(self, leaf_index: int, tree_size: int = -1) -> MerkleProof:
+        """Build an inclusion proof for the leaf at ``leaf_index``.
+
+        When ``tree_size`` is given, the proof targets the historical tree
+        over the first ``tree_size`` leaves (so it verifies against the root
+        a signed tree head of that size committed to).
+        """
+        if tree_size < 0:
+            tree_size = len(self._leaves)
+        else:
+            self._check_size(tree_size)
+        if not 0 <= leaf_index < tree_size:
+            raise ProofError(
+                "leaf index %d out of range for tree size %d"
+                % (leaf_index, tree_size)
+            )
         path: List[Tuple[bytes, bool]] = []
         index = leaf_index
-        for level in self._levels()[:-1]:
+        for level in self._levels(tree_size)[:-1]:
             if index % 2 == 0:
                 if index + 1 < len(level):
                     path.append((level[index + 1], True))
@@ -118,7 +231,28 @@ class MerkleTree:
                 path.append((level[index - 1], False))
             index //= 2
         return MerkleProof(
-            leaf_index=leaf_index, tree_size=len(self._leaves), path=tuple(path)
+            leaf_index=leaf_index, tree_size=tree_size, path=tuple(path)
+        )
+
+    def prove_consistency(
+        self, old_size: int, new_size: int = -1
+    ) -> MerkleConsistencyProof:
+        """Build an RFC 6962 consistency proof between two sizes of this log."""
+        if new_size < 0:
+            new_size = len(self._leaves)
+        else:
+            self._check_size(new_size)
+        if not 0 <= old_size <= new_size:
+            raise ProofError(
+                "inconsistent proof range: old size %d, new size %d"
+                % (old_size, new_size)
+            )
+        if old_size == new_size or old_size == 0:
+            # Equal sizes and the empty prefix verify without any path.
+            return MerkleConsistencyProof(old_size=old_size, new_size=new_size)
+        path = _subproof(old_size, self._leaves[:new_size], True)
+        return MerkleConsistencyProof(
+            old_size=old_size, new_size=new_size, path=tuple(path)
         )
 
 

@@ -125,5 +125,17 @@ class UnknownComponentError(LoggingError):
     """Raised when a log entry references a component with no registered key."""
 
 
+class ProofError(LoggingError, IndexError):
+    """Raised when a Merkle proof request is malformed or unsatisfiable.
+
+    Covers out-of-range or negative leaf indexes, tree sizes beyond the
+    current log, and inverted consistency ranges.  Deliberately *not* a
+    :class:`LogIntegrityError`: the log is fine, the request is not, and
+    remote servers answer it with a clean typed error rather than a
+    traceback.  Also derives from :class:`IndexError` so callers that
+    treated proof requests as plain sequence lookups keep working.
+    """
+
+
 class AuditError(ReproError):
     """Base class for auditor failures (not detections -- real errors)."""

@@ -42,10 +42,13 @@ from typing import Callable, Dict, List, Optional, Sequence, Union
 from repro.core.entries import LogEntry
 from repro.core.log_server import LogCommitment
 from repro.core.policy import ReplicationConfig
-from repro.core.remote import RemoteLogger
+from repro.core.remote import RemoteLogger, RemoteUnavailable
 from repro.crypto.hashchain import chain_digest
 from repro.crypto.keys import PublicKey
 from repro.errors import LoggingError, TransportError
+from repro.gossip.evidence import EquivocationEvidence
+from repro.gossip.relay import GossipRelay
+from repro.gossip.sth import SignedTreeHead
 from repro.middleware.transport.base import Transport
 from repro.replication.breaker import BreakerState, CircuitBreaker
 from repro.replication.divergence import DivergenceDetector, DivergenceEvidence
@@ -95,6 +98,11 @@ class _ReplicaHandle:
         self.last_error: Optional[str] = None
         self.submitted = 0
         self.skipped = 0
+        #: Latest signed tree head fetched from this replica (gossip mode).
+        self.last_sth: Optional[SignedTreeHead] = None
+        #: Cleared after a clean "no signer" refusal so an unsigned
+        #: replica is not re-asked on every probe.
+        self.sth_enabled = True
 
     @property
     def label(self) -> str:
@@ -138,6 +146,11 @@ class ReplicatedLogger:
             for index, address in enumerate(addresses)
         ]
         self.detector = DivergenceDetector()
+        #: STH gossip (opt-in via :meth:`enable_sth_gossip`): health probes
+        #: then also fetch each replica's signed tree head, and any
+        #: equivocation evidence force-opens the offender's breaker.
+        self.gossip: Optional[GossipRelay] = None
+        self._gossip_key: Optional[PublicKey] = None
         # Serializes fan-out so every replica sees the same interleaving of
         # submissions (multiple components share one instance; commitments
         # are order-sensitive).
@@ -322,6 +335,8 @@ class ReplicatedLogger:
             # shed = diverted to spill on BUSY, i.e. delayed-not-lost.
             out["replica_shed"] += client_stats.get("shed_entries", 0)
             out["replica_busy"] += client_stats.get("busy_responses", 0)
+        if self.gossip is not None:
+            out["equivocation_evidence"] = len(self.gossip.evidence())
         return out
 
     # -- health / failover ------------------------------------------------
@@ -407,6 +422,12 @@ class ReplicatedLogger:
             return None
         handle.last_health = health
         fresh.extend(self.detector.observe(handle.label, health))
+        if self._gossip_probe(handle):
+            # Proven equivocation: the quarantine the gossip listener just
+            # applied must not be undone by this probe's success path --
+            # and a half-open re-probe of a convicted logger re-opens here
+            # every time (conviction is permanent; evidence never expires).
+            return health
         if readmit_at is not None and health.entries < readmit_at:
             handle.breaker.record_failure()
             handle.last_error = (
@@ -417,6 +438,83 @@ class ReplicatedLogger:
         handle.last_error = None
         handle.breaker.record_success()
         return health
+
+    # -- STH gossip (split-view detection) --------------------------------
+
+    def enable_sth_gossip(
+        self,
+        public_key: Optional[PublicKey] = None,
+        relay: Optional[GossipRelay] = None,
+    ) -> GossipRelay:
+        """Arm STH gossip: every health probe then also fetches the
+        replica's signed tree head and deposits it in ``relay`` (created
+        here when not supplied -- supplying one shares a pool with other
+        observers, e.g. an auditor's).  ``public_key`` is the logger
+        identity's key; it is registered for every log id the replicas
+        present, so forged heads are dropped rather than convicting anyone.
+
+        Any equivocation evidence -- from this client's own probes or
+        gossiped in by whoever else feeds the relay -- force-opens the
+        breaker of every replica presenting the convicted log id: the
+        strongest possible divergence signal, since the logger signed two
+        different histories itself.
+        """
+        self.gossip = relay or GossipRelay("replicated-client")
+        self._gossip_key = public_key
+        self.gossip.add_listener(self._quarantine_equivocator)
+        return self.gossip
+
+    def _gossip_probe(self, handle: _ReplicaHandle) -> bool:
+        """Fetch and gossip one replica's STH; returns True when this
+        replica presents a *convicted* log id (its quarantine must then
+        stick -- the caller skips the probe's success bookkeeping)."""
+        relay = self.gossip
+        if relay is None or not handle.sth_enabled:
+            return False
+        try:
+            sth = handle.client.fetch_sth(timeout=self.config.health_timeout)
+        except (RemoteUnavailable, TransportError):
+            return False  # transient; the health probe already noted it
+        except LoggingError:
+            # A clean server-side refusal: the replica has no signer.
+            # Remember that instead of re-asking on every probe.
+            handle.sth_enabled = False
+            return False
+        handle.last_sth = sth
+        if self._gossip_key is not None:
+            relay.register_key(sth.log_id, self._gossip_key)
+        # Fresh evidence reaches _quarantine_equivocator via the relay
+        # listener; the membership check below also re-convicts on old
+        # evidence (a half-open re-probe of an already-convicted logger).
+        relay.observe(sth, source=handle.label)
+        convicted = any(
+            ev.log_id == sth.log_id and ev.scope == sth.scope
+            for ev in relay.evidence()
+        )
+        if convicted:
+            handle.breaker.force_open()
+            handle.last_error = (
+                f"equivocation proven for log {sth.log_id!r}"
+            )
+        return convicted
+
+    def _quarantine_equivocator(self, evidence: EquivocationEvidence) -> None:
+        """Force-open every replica presenting the convicted log id.  No
+        majority vote here (unlike root divergence): the evidence embeds
+        two heads the logger *signed*, so there is no honest explanation
+        to protect."""
+        for handle in self._handles:
+            sth = handle.last_sth
+            if sth is not None and sth.log_id == evidence.log_id:
+                handle.breaker.force_open()
+                handle.last_error = (
+                    f"equivocation ({evidence.kind}) proven for log "
+                    f"{evidence.log_id!r} at size {evidence.second.entries}"
+                )
+
+    def equivocation(self) -> List[EquivocationEvidence]:
+        """All equivocation evidence the gossip relay has accumulated."""
+        return self.gossip.evidence() if self.gossip is not None else []
 
     def _quarantine_divergent(self, evidence: DivergenceEvidence) -> None:
         """Force-open the breakers of the replicas on the *minority* side

@@ -11,10 +11,15 @@ an executable grid.  A :class:`ScenarioCell` names one combination of
   ``process`` (worker subprocesses over unix sockets), ``replicated``
   (fan-out over two endpoints with spill + catch-up);
 - **fault**: a transport fault profile from the PR-1 fault injector
-  (``drop`` / ``delay`` / ``disconnect`` / ``truncate``), ``none``, or
+  (``drop`` / ``delay`` / ``disconnect`` / ``truncate``), ``none``,
   ``overload`` -- a slowed ingest path plus a concurrent fire-and-forget
   flood that drives the server's admission controller into its BUSY
-  regime;
+  regime -- or ``equivocation``: a *compromised logger*
+  (:class:`~repro.adversary.forking.ForkingLogServer`) serving a forked
+  view to a second client group, which STH gossip must detect within
+  :data:`EQUIVOCATION_ROUND_BOUND` rounds while every honest plain cell
+  (which runs the same gossip machinery against its honest logger)
+  reports zero evidence;
 - **churn**: ``none`` or ``restart`` (endpoint bounce, worker SIGKILL,
   or replica bounce + catch-up, whichever the backend calls a restart);
 - **load**: ``light`` or ``flood`` (transmission count scales, and the
@@ -56,6 +61,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.adversary.forking import ForkingLogServer
 from repro.audit import Topology
 from repro.audit.auditor import Auditor
 from repro.audit.verdicts import EntryClass
@@ -65,6 +71,7 @@ from repro.core.protocol import message_digest
 from repro.core.remote import LogServerEndpoint, RemoteLogger
 from repro.crypto.keys import KeyPair, generate_keypair
 from repro.errors import LoggingError, ServerBusy
+from repro.gossip import GossipRelay, gossip_round
 from repro.middleware.transport.faulty import FaultyTransport
 from repro.middleware.transport.inproc import InprocTransport
 from repro.middleware.transport.unix import UnixTransport, unix_sockets_supported
@@ -77,15 +84,22 @@ from repro.sharding.factory import make_sharded_server
 from repro.sharding.router import ShardRouter
 
 BACKENDS = ("plain", "sharded", "process", "replicated")
-FAULTS = ("none", "drop", "delay", "disconnect", "truncate", "overload")
+FAULTS = (
+    "none", "drop", "delay", "disconnect", "truncate", "overload",
+    "equivocation",
+)
 CHURNS = ("none", "restart")
 LOADS = ("light", "flood")
 
 #: Which fault kinds are sound per backend (see the module docstring for
-#: why the exclusions are exclusions).
+#: why the exclusions are exclusions).  ``equivocation`` -- a compromised
+#: *logger* serving a forked view to a second client group -- runs on the
+#: plain backend only: the fork adversary is a pair of in-process
+#: ``LogServer`` views behind two endpoints, and one backend suffices to
+#: exercise the gossip detection path the fault exists to test.
 FAULTS_BY_BACKEND: Dict[str, Tuple[str, ...]] = {
     "plain": FAULTS,
-    "sharded": FAULTS,
+    "sharded": ("none", "drop", "delay", "disconnect", "truncate", "overload"),
     "process": ("none", "overload"),
     "replicated": ("none", "delay", "disconnect", "overload"),
 }
@@ -94,11 +108,17 @@ FAULTS_BY_BACKEND: Dict[str, Tuple[str, ...]] = {
 FAULT_PROFILES: Dict[str, Dict[str, float]] = {
     "none": {},
     "overload": {},  # server-side injection, not a transport fault
+    "equivocation": {},  # logger-side fork, not a transport fault
     "drop": {"drop": 0.05},
     "delay": {"delay": 0.25, "delay_by": 0.002},
     "disconnect": {"disconnect": 0.02},
     "truncate": {"truncate": 0.03},
 }
+
+#: Gossip rounds within which a split view must surface as evidence (the
+#: ring topology over two client groups connects them in one round; two
+#: is the asserted bound, leaving slack for a late second fetch).
+EQUIVOCATION_ROUND_BOUND = 2
 
 #: Honest transmissions per load level (each is one pub + one sub entry).
 TRANSMISSIONS = {"light": 12, "flood": 48}
@@ -153,6 +173,12 @@ class ScenarioCell:
                 "overload cells pin churn=none (the noise flood breaks "
                 "restart count-reconciliation)"
             )
+        if self.fault == "equivocation" and self.churn != "none":
+            raise ValueError(
+                "equivocation cells pin churn=none (the fault under test "
+                "is the logger's, and churning the endpoints would only "
+                "blur the bounded-round detection claim)"
+            )
         if self.load not in LOADS:
             raise ValueError(f"unknown load {self.load!r}")
 
@@ -177,6 +203,8 @@ class CellResult:
     valid: int = 0
     invalid: int = 0
     hidden: int = 0
+    equivocation_evidence: int = 0
+    gossip_rounds: int = 0
     elapsed: float = 0.0
     failures: List[str] = None  # type: ignore[assignment]
 
@@ -218,6 +246,8 @@ class CellResult:
             "valid": self.valid,
             "invalid": self.invalid,
             "hidden": self.hidden,
+            "equivocation_evidence": self.equivocation_evidence,
+            "gossip_rounds": self.gossip_rounds,
             "elapsed_s": round(self.elapsed, 3),
             "throughput_eps": round(self.throughput, 1),
             "failures": list(self.failures),
@@ -226,12 +256,13 @@ class CellResult:
 
 def enumerate_cells(full: bool = False) -> List[ScenarioCell]:
     """The matrix.  ``full`` is the overload-marked soak grid; the
-    default is the 4-cell tier-1 smoke slice (one cell per backend,
-    chosen to cover a transport fault, an overload, a churn and a
-    replicated disconnect between them)."""
+    default is the 5-cell tier-1 smoke slice (at least one cell per
+    backend, chosen to cover a transport fault, an equivocating logger,
+    an overload, a churn and a replicated disconnect between them)."""
     if not full:
         return [
             ScenarioCell("plain", "drop", "none", "light"),
+            ScenarioCell("plain", "equivocation", "none", "light"),
             ScenarioCell("sharded", "overload", "none", "flood"),
             ScenarioCell("process", "none", "restart", "light"),
             ScenarioCell("replicated", "disconnect", "none", "light"),
@@ -239,7 +270,9 @@ def enumerate_cells(full: bool = False) -> List[ScenarioCell]:
     cells: List[ScenarioCell] = []
     for backend in BACKENDS:
         for fault in FAULTS_BY_BACKEND[backend]:
-            churns: Sequence[str] = CHURNS if fault != "overload" else ("none",)
+            churns: Sequence[str] = (
+                ("none",) if fault in ("overload", "equivocation") else CHURNS
+            )
             for churn in churns:
                 for load in LOADS:
                     cells.append(ScenarioCell(backend, fault, churn, load))
@@ -601,11 +634,127 @@ class _NoiseFlood:
 # -- per-backend cell runners ----------------------------------------------
 
 
+def _run_equivocation_cell(
+    cell: ScenarioCell, seed: int, result: CellResult
+) -> None:
+    """The compromised-logger cell: one signing identity forks its log
+    and serves each view to a different client group.  Each group's
+    experience is internally consistent (its own STH verifies, inclusion
+    proofs check out), so detection must come from gossip -- and must
+    arrive within :data:`EQUIVOCATION_ROUND_BOUND` ring rounds, yielding
+    evidence that verifies under the logger's own key."""
+    rng = random.Random(seed)
+    keys = _cell_keys(seed)
+    logger_keys = generate_keypair(512, seed=seed + 3)
+    records = _build_records(rng, keys, _TOPICS[:4], TRANSMISSIONS[cell.load])
+    result.submitted = len(records)
+
+    fork = ForkingLogServer(logger_keys.private, fork_at=len(records) // 2)
+    fork.register_key("/pub", keys[0].public)
+    fork.register_key("/sub", keys[1].public)
+    transports = [InprocTransport(), InprocTransport()]
+    endpoints = [
+        LogServerEndpoint(fork.face("honest"), transport=transports[0]),
+        LogServerEndpoint(fork.face("forked"), transport=transports[1]),
+    ]
+    clients = [
+        RemoteLogger(e.address, transport=t)
+        for e, t in zip(endpoints, transports)
+    ]
+    relays = [GossipRelay(f"group-{i}") for i in range(len(clients))]
+    for relay in relays:
+        relay.register_key(fork.log_id, logger_keys.public)
+
+    deadline = time.monotonic() + CELL_TIMEOUT
+    started = time.monotonic()
+    try:
+        driver = _SyncDriver(
+            {"client": clients[0]}, result, count_exact=True,
+            deadline=deadline,
+        )
+        if not driver.anchor():
+            return
+        acked = driver.run(records)
+        result.acked = acked
+        result.elapsed = time.monotonic() - started
+
+        # Per-group verification passes: the split view is invisible to a
+        # client that only ever talks to one face.
+        for group, (client, relay) in enumerate(zip(clients, relays)):
+            sth = client.fetch_sth(timeout=2.0)
+            if not sth.verify(logger_keys.public):
+                result.failures.append(
+                    f"group {group}'s STH failed signature verification"
+                )
+                continue
+            proof = client.prove_inclusion(0, tree_size=sth.entries)
+            record = client.fetch_records(0, 1)[0]
+            if not proof.verify(record, sth.merkle_root):
+                result.failures.append(
+                    f"group {group}'s inclusion proof failed against its "
+                    f"own signed head"
+                )
+            if relay.observe(sth, source=f"replica-{group}"):
+                result.failures.append(
+                    "evidence before any gossip: a single group should "
+                    "never see the fork"
+                )
+
+        # Detection: ring gossip between the two groups' relays.
+        rounds = 0
+        while (
+            rounds < EQUIVOCATION_ROUND_BOUND
+            and not any(relay.evidence() for relay in relays)
+        ):
+            gossip_round(relays)
+            rounds += 1
+        result.gossip_rounds = rounds
+        evidence = [ev for relay in relays for ev in relay.evidence()]
+        result.equivocation_evidence = len(evidence)
+        if not evidence:
+            result.failures.append(
+                f"split view undetected after {rounds} gossip rounds"
+            )
+        for ev in evidence:
+            if not ev.verify(logger_keys.public):
+                result.failures.append(
+                    "equivocation evidence does not verify under the "
+                    "logger's key (unconvincing conviction)"
+                )
+            if ev.first.log_id != fork.log_id:
+                result.failures.append(
+                    f"evidence convicts {ev.first.log_id!r}, not the "
+                    f"forking logger {fork.log_id!r}"
+                )
+
+        # The standard invariant bar still applies to the honest view.
+        must_have = list(records[:acked])
+        delivered = [bytes(r) for r in fork.honest.raw_records()]
+        deduped = _check_delivery(
+            result, must_have, records, delivered, allow_duplicates=False
+        )
+        try:
+            fork.honest.verify_integrity()
+        except Exception as exc:
+            result.failures.append(f"store failed verification: {exc}")
+        _audit(result, keys, _TOPICS, deduped)
+        _check_budget(result)
+    finally:
+        for client in clients:
+            client.close()
+        for endpoint in endpoints:
+            endpoint.close()
+        fork.close()
+
+
 def _run_endpoint_cell(
     cell: ScenarioCell, seed: int, result: CellResult
 ) -> None:
     """The plain and (threaded) sharded backends: one endpoint, one
     acknowledged client, transport faults or an overload flood."""
+    if cell.fault == "equivocation":
+        _run_equivocation_cell(cell, seed, result)
+        return
     rng = random.Random(seed)
     keys = _cell_keys(seed)
     overload = cell.fault == "overload"
@@ -619,6 +768,21 @@ def _run_endpoint_cell(
         server = LogServer()
     server.register_key("/pub", keys[0].public)
     server.register_key("/sub", keys[1].public)
+    honest_gossip: Optional[GossipRelay] = None
+    if cell.backend == "plain":
+        # False-positive bar: an *honest* logger under this cell's fault
+        # and load, observed through the full gossip machinery (signed
+        # heads, consistency challenges), must yield zero evidence.
+        logger_keys = generate_keypair(512, seed=seed + 3)
+        server.attach_signer(logger_keys.private)
+        honest_gossip = GossipRelay(
+            "honest-watch",
+            consistency_prover=lambda old, new: server.prove_consistency(
+                old.entries, new.entries
+            ),
+        )
+        honest_gossip.register_key(server.log_id, logger_keys.public)
+        honest_gossip.observe(server.signed_tree_head(), source="anchor")
     ingest = (
         OverloadInjector(server, delay=_INGEST_DELAY) if overload else server
     )
@@ -720,6 +884,17 @@ def _run_endpoint_cell(
             server.verify_integrity()
         except Exception as exc:
             result.failures.append(f"store failed verification: {exc}")
+        if honest_gossip is not None:
+            honest_gossip.observe(server.signed_tree_head(), source="final")
+            result.equivocation_evidence = len(honest_gossip.evidence())
+            if result.equivocation_evidence:
+                result.failures.append(
+                    "honest cell produced equivocation evidence "
+                    "(false positive): "
+                    + "; ".join(
+                        ev.describe() for ev in honest_gossip.evidence()
+                    )
+                )
         _audit(result, keys, _TOPICS, deduped)
         _check_budget(result)
     finally:

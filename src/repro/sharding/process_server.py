@@ -61,11 +61,12 @@ from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 from repro.core.entries import Direction, LogEntry
 from repro.core.log_server import LogCommitment, LogServer
 from repro.core.remote import FETCH_BATCH_LIMIT, RemoteLogger, RemoteUnavailable
-from repro.crypto.keys import PublicKey
+from repro.crypto.keys import PrivateKey, PublicKey
 from repro.errors import (
     DecodingError,
     LogIntegrityError,
     LoggingError,
+    ProofError,
     ServerBusy,
 )
 from repro.middleware.transport.unix import UnixTransport, unix_sockets_supported
@@ -170,6 +171,8 @@ class ProcessShardedLogServer:
         restart_backoff_base: float = 0.25,
         restart_backoff_max: float = 5.0,
         restart_backoff_reset: float = 10.0,
+        signer: Optional[PrivateKey] = None,
+        log_id: Optional[str] = None,
     ):
         if not unix_sockets_supported():  # pragma: no cover - posix-only CI
             raise LoggingError(
@@ -206,6 +209,13 @@ class ProcessShardedLogServer:
         self._restart_backoff_base = restart_backoff_base
         self._restart_backoff_max = restart_backoff_max
         self._restart_backoff_reset = restart_backoff_reset
+        #: Logger identity.  Workers hold no key material: the deployment
+        #: (this parent) is the logger the outside world trusts, so the
+        #: parent signs the heads it probes from its workers.
+        self._signer = signer
+        self.log_id = log_id or (
+            f"log-{signer.public_key.fingerprint()}" if signer else "unsigned"
+        )
         self._sock_dir: Optional[str] = None
         self._unroutable = 0
         self._restarts_total = 0
@@ -960,11 +970,107 @@ class ProcessShardedLogServer:
     def merkle_root(self) -> bytes:
         return self.commitment().root
 
-    def prove_inclusion(self, shard: int, index: int):
-        """Inclusion proof for entry ``index`` of shard ``shard`` (built
-        on the locally rebuilt shard view -- proofs verify against the
-        worker's Merkle root because the records are byte-identical)."""
-        return self.shard(shard).prove_inclusion(index)
+    def _check_shard(self, shard: int) -> None:
+        if not 0 <= shard < self.shard_count:
+            raise ProofError(
+                f"shard {shard} out of range for a {self.shard_count}-shard set"
+            )
+
+    def prove_inclusion(self, shard: int, index: int, tree_size: Optional[int] = None):
+        """Inclusion proof for entry ``index`` of shard ``shard``, built by
+        the worker that owns the shard's live Merkle tree (its pinned
+        client shard-tags the ``OP_PROVE_INCLUSION`` frame, so the worker
+        re-verifies the target before proving).  An out-of-range request
+        comes back as a typed :class:`~repro.errors.ProofError`, never a
+        worker traceback."""
+        self._check_shard(shard)
+        return self._worker_call(
+            shard,
+            lambda client: client.prove_inclusion(
+                index, tree_size, timeout=self._rpc_timeout
+            ),
+        )
+
+    def prove_consistency(
+        self, shard: int, old_size: int, new_size: Optional[int] = None
+    ):
+        """RFC 6962 consistency proof between two sizes of one worker's
+        shard log (forwarded like :meth:`prove_inclusion`)."""
+        self._check_shard(shard)
+        return self._worker_call(
+            shard,
+            lambda client: client.prove_consistency(
+                old_size, new_size, timeout=self._rpc_timeout
+            ),
+        )
+
+    # Endpoint protocol aliases, so a ProcessShardedLogServer behind a
+    # LogServerEndpoint serves shard-tagged proof frames like the threaded
+    # backend does.
+    def shard_prove_inclusion(
+        self, shard: int, index: int, tree_size: Optional[int] = None
+    ):
+        return self.prove_inclusion(shard, index, tree_size)
+
+    def shard_prove_consistency(
+        self, shard: int, old_size: int, new_size: Optional[int] = None
+    ):
+        return self.prove_consistency(shard, old_size, new_size)
+
+    # -- signed tree heads ---------------------------------------------------
+
+    def attach_signer(self, signer: PrivateKey, log_id: Optional[str] = None) -> None:
+        """Give the deployment an identity keypair for signed tree heads."""
+        self._signer = signer
+        self.log_id = log_id or f"log-{signer.public_key.fingerprint()}"
+
+    @property
+    def signer_public_key(self) -> Optional[PublicKey]:
+        return self._signer.public_key if self._signer else None
+
+    def _require_signer(self) -> PrivateKey:
+        if self._signer is None:
+            raise LoggingError(
+                "process-sharded log server has no signer attached; cannot "
+                "issue a signed tree head"
+            )
+        return self._signer
+
+    def shard_signed_tree_head(self, shard: int, timestamp: Optional[float] = None):
+        """One worker shard's signed head (scope = shard index + 1).  The
+        parent signs the commitment it probes from the worker: the worker
+        holds no key material, so a compromised worker can corrupt its own
+        chain (caught by divergence/audit) but cannot mint heads."""
+        from repro.gossip.sth import issue_sth
+
+        signer = self._require_signer()
+        self._check_shard(shard)
+        commitment = self.shard_commitment(shard)
+        return issue_sth(
+            signer,
+            self.log_id,
+            entries=commitment.entries,
+            chain_head=commitment.chain_head,
+            merkle_root=commitment.merkle_root,
+            scope=shard + 1,
+            timestamp=timestamp,
+        )
+
+    def signed_tree_head(self, timestamp: Optional[float] = None):
+        """The signed set head over all workers (set root in both hash
+        slots, like the threaded backend)."""
+        from repro.gossip.sth import issue_sth
+
+        signer = self._require_signer()
+        commitment = self.commitment()
+        return issue_sth(
+            signer,
+            self.log_id,
+            entries=commitment.entries,
+            chain_head=commitment.root,
+            merkle_root=commitment.root,
+            timestamp=timestamp,
+        )
 
     def checkpoint(self) -> None:
         """Fan a durable-checkpoint request out to every worker."""

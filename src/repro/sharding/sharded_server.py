@@ -38,9 +38,9 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 from repro.core.entries import Direction, LogEntry
 from repro.core.log_server import LogCommitment, LogServer
 from repro.core.log_store import LogStore
-from repro.crypto.keys import PublicKey
+from repro.crypto.keys import PrivateKey, PublicKey
 from repro.crypto.merkle import MerkleTree
-from repro.errors import DecodingError, LogIntegrityError, LoggingError
+from repro.errors import DecodingError, LogIntegrityError, LoggingError, ProofError
 from repro.sharding.router import ShardRouter
 
 #: Name of shard ``i``'s subdirectory under a durable ``store_dir``.
@@ -134,9 +134,17 @@ class ShardedLogServer:
         fsync: "str | None" = None,
         checkpoint_every: int = 256,
         store_factory: Optional[Callable[[int], LogStore]] = None,
+        signer: Optional[PrivateKey] = None,
+        log_id: Optional[str] = None,
     ):
         if store_dir is not None and store_factory is not None:
             raise ValueError("pass either store_dir or store_factory, not both")
+        #: Logger identity (one keypair for the whole set; per-shard heads
+        #: carry the shard in their scope).  ``None`` = no signed heads.
+        self._signer = signer
+        self.log_id = log_id or (
+            f"log-{signer.public_key.fingerprint()}" if signer else "unsigned"
+        )
         self.router = ShardRouter(shards)
         self.store_dir = store_dir
         if store_dir is not None:
@@ -435,11 +443,89 @@ class ShardedLogServer:
         """The shard-set root (the one hash pinning the whole log)."""
         return self.commitment().root
 
-    def prove_inclusion(self, shard: int, index: int):
+    def _check_shard(self, shard: int) -> None:
+        if not 0 <= shard < self.shard_count:
+            raise ProofError(
+                f"shard {shard} out of range for a {self.shard_count}-shard set"
+            )
+
+    def prove_inclusion(self, shard: int, index: int, tree_size: Optional[int] = None):
         """Inclusion proof for entry ``index`` of shard ``shard`` against
         that shard's Merkle root; pair it with the shard's leaf in the set
-        root for an end-to-end proof."""
-        return self._servers[shard].prove_inclusion(index)
+        root for an end-to-end proof.  ``tree_size`` targets the shard's
+        historical root (the one its signed tree head committed to)."""
+        self._check_shard(shard)
+        return self._servers[shard].prove_inclusion(index, tree_size)
+
+    def shard_prove_inclusion(
+        self, shard: int, index: int, tree_size: Optional[int] = None
+    ):
+        """Shard-tagged ``OP_PROVE_INCLUSION`` entry point (alias of
+        :meth:`prove_inclusion` under the endpoint's protocol name)."""
+        return self.prove_inclusion(shard, index, tree_size)
+
+    def shard_prove_consistency(
+        self, shard: int, old_size: int, new_size: Optional[int] = None
+    ):
+        """RFC 6962 consistency proof between two sizes of one shard's log
+        (the shard-tagged ``OP_PROVE_CONSISTENCY`` entry point)."""
+        self._check_shard(shard)
+        return self._servers[shard].prove_consistency(old_size, new_size)
+
+    # -- signed tree heads ---------------------------------------------------
+
+    def attach_signer(self, signer: PrivateKey, log_id: Optional[str] = None) -> None:
+        """Give the shard set an identity keypair for signed tree heads."""
+        self._signer = signer
+        self.log_id = log_id or f"log-{signer.public_key.fingerprint()}"
+
+    @property
+    def signer_public_key(self) -> Optional[PublicKey]:
+        return self._signer.public_key if self._signer else None
+
+    def _require_signer(self) -> PrivateKey:
+        if self._signer is None:
+            raise LoggingError(
+                "sharded log server has no signer attached; cannot issue "
+                "a signed tree head"
+            )
+        return self._signer
+
+    def shard_signed_tree_head(self, shard: int, timestamp: Optional[float] = None):
+        """One shard's signed head (scope = shard index + 1): the same
+        logger identity signs every shard, so forked views of *any* shard
+        convict the whole logger."""
+        from repro.gossip.sth import issue_sth
+
+        signer = self._require_signer()
+        self._check_shard(shard)
+        commitment = self._servers[shard].commitment()
+        return issue_sth(
+            signer,
+            self.log_id,
+            entries=commitment.entries,
+            chain_head=commitment.chain_head,
+            merkle_root=commitment.merkle_root,
+            scope=shard + 1,
+            timestamp=timestamp,
+        )
+
+    def signed_tree_head(self, timestamp: Optional[float] = None):
+        """The signed *set* head: the shard-set root (which pins every
+        shard's entry count, chain head, and Merkle root) in both hash
+        slots, under the logger identity's signature."""
+        from repro.gossip.sth import issue_sth
+
+        signer = self._require_signer()
+        commitment = self.commitment()
+        return issue_sth(
+            signer,
+            self.log_id,
+            entries=commitment.entries,
+            chain_head=commitment.root,
+            merkle_root=commitment.root,
+            timestamp=timestamp,
+        )
 
     def checkpoint(self) -> None:
         for server in self._servers:

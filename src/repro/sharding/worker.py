@@ -125,6 +125,21 @@ class ShardWorkerServer(LogServer):
         self._check_tag(shard)
         return self.raw_records(start, count)
 
+    def shard_prove_inclusion(
+        self, shard: int, index: int, tree_size: Optional[int] = None
+    ):
+        """Shard-tagged ``OP_PROVE_INCLUSION``: this worker proves against
+        its own live Merkle tree (no key material here -- the parent signs
+        the heads these proofs verify under)."""
+        self._check_tag(shard)
+        return self.prove_inclusion(index, tree_size)
+
+    def shard_prove_consistency(
+        self, shard: int, old_size: int, new_size: Optional[int] = None
+    ):
+        self._check_tag(shard)
+        return self.prove_consistency(old_size, new_size)
+
     # -- observability ----------------------------------------------------
 
     def stats(self) -> Dict[str, int]:

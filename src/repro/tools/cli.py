@@ -13,7 +13,11 @@
     python -m repro.tools recover STORE_DIR [--shards N | --shard I]
     python -m repro.tools health  HOST:PORT [HOST:PORT ...]
     python -m repro.tools replicas HOST:PORT [HOST:PORT ...]
-                                  [--quorum N] [--audit]
+                                  [--quorum N] [--audit] [--key KEY_FILE]
+    python -m repro.tools sth     HOST:PORT [HOST:PORT ...]
+                                  [--shard I] [--key KEY_FILE]
+    python -m repro.tools proof   HOST:PORT INDEX [--shard I]
+                                  [--key KEY_FILE]
 
 ``CASE_DIR`` is a bundle produced by :func:`repro.tools.caseio.export_case`;
 ``STORE_DIR`` is a :class:`~repro.storage.durable_store.DurableLogStore`
@@ -39,7 +43,9 @@ from repro.core.entries import Direction
 from repro.core.log_server import LogServer
 from repro.core.policy import ReplicationConfig
 from repro.core.remote import RemoteLogger
-from repro.errors import LogIntegrityError, LoggingError
+from repro.crypto.keys import PublicKey
+from repro.errors import LogIntegrityError, LoggingError, ProofError
+from repro.gossip import GossipRelay
 from repro.replication import DivergenceDetector, ReplicatedLogger
 from repro.sharding import ShardedLogServer, audit_sharded, shard_dirname
 from repro.storage.durable_store import DurableLogStore
@@ -298,6 +304,125 @@ def _cmd_health(args: argparse.Namespace) -> int:
     return 1 if unreachable else 0
 
 
+def _load_public_key(path: str) -> PublicKey:
+    """Read a logger public key file: raw ``PublicKey.to_bytes()`` output,
+    or the same bytes hex-encoded (what ``sth`` prints)."""
+    try:
+        with open(path, "rb") as f:
+            blob = f.read()
+    except OSError as exc:
+        raise SystemExit(f"cannot read key file {path}: {exc}")
+    try:
+        return PublicKey.from_bytes(blob)
+    except Exception:
+        pass
+    try:
+        return PublicKey.from_bytes(bytes.fromhex(blob.decode("ascii").strip()))
+    except Exception:
+        raise SystemExit(f"{path} is not a logger public key (raw or hex)")
+
+
+def _cmd_sth(args: argparse.Namespace) -> int:
+    """Fetch each replica's signed tree head; cross-check for split views.
+
+    With ``--key`` the heads are signature-verified and any conflict is
+    *proven* equivocation (exit 2); without it the command only reports
+    what each replica claims.
+    """
+    key = _load_public_key(args.key) if args.key else None
+    relay = GossipRelay("cli")
+    unreachable = 0
+    bad_signature = 0
+    for value in args.replica:
+        client = RemoteLogger(_parse_address(value))
+        try:
+            sth = client.fetch_sth(timeout=args.timeout, shard=args.shard)
+        except LoggingError as exc:
+            print(f"{value:<28} UNREACHABLE ({exc})")
+            unreachable += 1
+            continue
+        finally:
+            client.close()
+        if key is not None:
+            relay.register_key(sth.log_id, key)
+            verdict = "sig=OK" if sth.verify(key) else "sig=BAD"
+            if verdict == "sig=BAD":
+                bad_signature += 1
+        else:
+            verdict = "sig=unverified"
+        relay.observe(sth, source=value)
+        print(
+            f"{value:<28} log={sth.log_id} scope={sth.scope} "
+            f"entries={sth.entries:<8} root={sth.merkle_root.hex()[:16]} "
+            f"head={sth.chain_head.hex()[:16]} {verdict}"
+        )
+    for item in relay.evidence():
+        print(f"EQUIVOCATION: {item.describe()}")
+    if relay.evidence() or bad_signature:
+        return 2
+    return 1 if unreachable else 0
+
+
+def _cmd_proof(args: argparse.Namespace) -> int:
+    """Verify one record's inclusion against the replica's signed head.
+
+    Fetches the record, the latest STH, and an inclusion proof at the
+    STH's tree size, then checks the proof against the signed root (and,
+    with ``--key``, the STH signature itself).  Exit 2 on any failure:
+    the logger is claiming a history that does not contain this record.
+    """
+    client = RemoteLogger(_parse_address(args.replica))
+    try:
+        try:
+            sth = client.fetch_sth(timeout=args.timeout, shard=args.shard)
+        except LoggingError as exc:
+            print(f"cannot fetch STH: {exc}")
+            return 2
+        if args.key:
+            key = _load_public_key(args.key)
+            if not sth.verify(key):
+                print(f"STH signature INVALID for log {sth.log_id}")
+                return 2
+        if args.index >= sth.entries:
+            print(
+                f"index {args.index} is beyond the signed head "
+                f"({sth.entries} entries)"
+            )
+            return 2
+        try:
+            records = client.fetch_records(
+                start=args.index, count=1, timeout=args.timeout,
+                shard=args.shard,
+            )
+            proof = client.prove_inclusion(
+                args.index, tree_size=sth.entries, timeout=args.timeout,
+                shard=args.shard,
+            )
+        except ProofError as exc:
+            print(f"proof REFUSED: {exc}")
+            return 2
+        except LoggingError as exc:
+            print(f"cannot fetch proof: {exc}")
+            return 2
+        if not records:
+            print(f"no record at index {args.index}")
+            return 2
+        if not proof.verify(records[0], sth.merkle_root):
+            print(
+                f"inclusion proof INVALID: record {args.index} is not in "
+                f"the signed tree (root {sth.merkle_root.hex()[:16]})"
+            )
+            return 2
+        sig_note = "signature verified" if args.key else "signature unverified"
+        print(
+            f"record {args.index} INCLUDED in log {sth.log_id} at size "
+            f"{sth.entries} (root {sth.merkle_root.hex()[:16]}, {sig_note})"
+        )
+        return 0
+    finally:
+        client.close()
+
+
 def _cmd_replicas(args: argparse.Namespace) -> int:
     """Replica-set status: per-replica health, breaker, lag, quorum."""
     config = ReplicationConfig(quorum=args.quorum)
@@ -305,6 +430,8 @@ def _cmd_replicas(args: argparse.Namespace) -> int:
         [_parse_address(value) for value in args.replica], config=config
     )
     try:
+        if args.key:
+            logger_set.enable_sth_gossip(_load_public_key(args.key))
         logger_set.probe()
         for status in logger_set.statuses():
             if status.entries is None:
@@ -342,6 +469,9 @@ def _cmd_replicas(args: argparse.Namespace) -> int:
                     f"{label}={root.hex()[:16]}" for label, root in item.roots
                 )
             )
+        equivocation = logger_set.equivocation()
+        for item in equivocation:
+            print(f"EQUIVOCATION: {item.describe()}")
         if args.audit:
             audit_clients = [
                 RemoteLogger(_parse_address(value)) for value in args.replica
@@ -357,7 +487,7 @@ def _cmd_replicas(args: argparse.Namespace) -> int:
                 f"common prefix {result.common_prefix}): "
                 f"{len(result.report.valid_entries())} valid"
             )
-        if evidence:
+        if evidence or equivocation:
             return 2
         return 0 if quorum_met else 1
     finally:
@@ -480,7 +610,56 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also audit the quorum-consistent view",
     )
+    p_replicas.add_argument(
+        "--key",
+        default=None,
+        metavar="KEY_FILE",
+        help="logger public key: also gossip signed tree heads across "
+        "the replicas and report proven equivocation",
+    )
     p_replicas.set_defaults(func=_cmd_replicas)
+
+    p_sth = sub.add_parser(
+        "sth", help="fetch signed tree heads; cross-check for split views"
+    )
+    p_sth.add_argument("replica", nargs="+", metavar="HOST:PORT")
+    p_sth.add_argument("--timeout", type=float, default=2.0)
+    p_sth.add_argument(
+        "--shard",
+        type=int,
+        default=None,
+        metavar="I",
+        help="fetch shard I's head instead of the whole-log/set head",
+    )
+    p_sth.add_argument(
+        "--key",
+        default=None,
+        metavar="KEY_FILE",
+        help="logger public key (raw or hex file): verify signatures, "
+        "making any conflict proven equivocation",
+    )
+    p_sth.set_defaults(func=_cmd_sth)
+
+    p_proof = sub.add_parser(
+        "proof", help="verify one record's inclusion against the signed head"
+    )
+    p_proof.add_argument("replica", metavar="HOST:PORT")
+    p_proof.add_argument("index", type=int, metavar="INDEX")
+    p_proof.add_argument("--timeout", type=float, default=2.0)
+    p_proof.add_argument(
+        "--shard",
+        type=int,
+        default=None,
+        metavar="I",
+        help="prove within shard I (sharded servers)",
+    )
+    p_proof.add_argument(
+        "--key",
+        default=None,
+        metavar="KEY_FILE",
+        help="logger public key: also verify the STH signature",
+    )
+    p_proof.set_defaults(func=_cmd_proof)
     return parser
 
 

@@ -1,0 +1,152 @@
+"""Soak: split-view storm under relay churn.
+
+A fleet of loggers -- most honest, several equivocating -- issues heads
+to a mesh of gossip relays that is itself unstable: relays leave and
+(re)join between rounds, so no single relay is guaranteed to see both
+sides of any fork directly.  The storm must still converge:
+
+- every equivocating logger is convicted, with evidence that verifies
+  under its registered key alone;
+- no honest logger is ever convicted (zero false positives), even
+  though honest heads keep growing throughout the storm;
+- evidence spreads: once the churn settles, every surviving relay
+  holds a conviction for every liar.
+
+Excluded from tier-1 by the ``soak`` marker; CI runs it in the
+non-blocking gossip job.  When ``ADLP_SOAK_LOG_DIR`` is set, a round-by-
+round trace is left behind for artifact upload.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.crypto.merkle import MerkleTree
+from repro.crypto.keys import generate_keypair
+from repro.gossip import GossipRelay, gossip_round, issue_sth
+
+pytestmark = pytest.mark.soak
+
+HONEST_LOGGERS = 6
+LYING_LOGGERS = 3
+RELAYS = 10
+ROUNDS = 40
+CHURN_PROBABILITY = 0.3  # per round: one relay leaves, one rejoins
+
+
+class _HonestLog:
+    """An append-only log that signs a fresh head each round."""
+
+    def __init__(self, index, seed):
+        self.log_id = f"honest-{index}"
+        self.keys = generate_keypair(512, seed=seed)
+        self.tree = MerkleTree()
+        self.size = 0
+
+    def grow(self, rng):
+        for _ in range(rng.randrange(1, 4)):
+            self.size += 1
+            self.tree.append(b"%s-%06d" % (self.log_id.encode(), self.size))
+
+    def head(self):
+        return issue_sth(
+            self.keys.private, self.log_id, self.size,
+            self.tree.root(), self.tree.root(), timestamp=float(self.size),
+        )
+
+
+class _LyingLog(_HonestLog):
+    """Maintains two divergent views and serves each to half the mesh."""
+
+    def __init__(self, index, seed):
+        super().__init__(index, seed)
+        self.log_id = f"liar-{index}"
+        self.forked = MerkleTree()
+
+    def grow(self, rng):
+        for _ in range(rng.randrange(1, 4)):
+            self.size += 1
+            payload = b"%s-%06d" % (self.log_id.encode(), self.size)
+            self.tree.append(payload)
+            self.forked.append(payload + b"-tampered")
+
+    def head_for(self, audience):
+        tree = self.tree if audience == 0 else self.forked
+        return issue_sth(
+            self.keys.private, self.log_id, self.size,
+            tree.root(), tree.root(), timestamp=float(self.size),
+        )
+
+
+def test_split_view_storm_under_churn(rng, tmp_path):
+    honest = [_HonestLog(i, seed=1000 + i) for i in range(HONEST_LOGGERS)]
+    liars = [_LyingLog(i, seed=2000 + i) for i in range(LYING_LOGGERS)]
+    loggers = honest + liars
+
+    def make_relay(index):
+        relay = GossipRelay(f"relay-{index}")
+        for log in loggers:
+            relay.register_key(log.log_id, log.keys.public)
+        return relay
+
+    active = [make_relay(i) for i in range(RELAYS)]
+    benched = []
+    trace = []
+
+    for round_index in range(ROUNDS):
+        for log in loggers:
+            log.grow(rng)
+        # Each logger publishes to a random subset of the active mesh;
+        # liars split that subset into two audiences.
+        for log in honest:
+            for relay in rng.sample(active, max(2, len(active) // 3)):
+                relay.observe(log.head(), source=relay.name)
+        for log in liars:
+            targets = rng.sample(active, max(2, len(active) // 2))
+            half = len(targets) // 2
+            for audience, group in enumerate((targets[:half], targets[half:])):
+                for relay in group:
+                    relay.observe(log.head_for(audience), source=relay.name)
+        gossip_round(active)
+        # Churn: a relay leaves (keeping its pool) and an old one rejoins.
+        if rng.random() < CHURN_PROBABILITY and len(active) > 3:
+            benched.append(active.pop(rng.randrange(len(active))))
+        if benched and rng.random() < CHURN_PROBABILITY:
+            active.append(benched.pop(0))
+        convicted = {
+            ev.log_id for relay in active + benched for ev in relay.evidence()
+        }
+        trace.append(
+            f"round {round_index}: relays={len(active)} "
+            f"convicted={sorted(convicted)}"
+        )
+
+    # Settle: everyone rejoins and the mesh runs quiet closing rounds.
+    active += benched
+    for _ in range(len(active)):
+        gossip_round(active)
+
+    log_dir = os.environ.get("ADLP_SOAK_LOG_DIR")
+    if log_dir:
+        os.makedirs(log_dir, exist_ok=True)
+        with open(os.path.join(log_dir, "gossip-storm-trace.log"), "w") as fh:
+            fh.write("\n".join(trace) + "\n")
+
+    liar_ids = {log.log_id for log in liars}
+    honest_ids = {log.log_id for log in honest}
+    for relay in active:
+        convicted = {ev.log_id for ev in relay.evidence()}
+        assert convicted & honest_ids == set(), (
+            f"{relay.name} convicted an honest logger: {convicted & honest_ids}"
+        )
+        assert liar_ids <= convicted, (
+            f"{relay.name} missed liars: {liar_ids - convicted}"
+        )
+        for evidence in relay.evidence():
+            key = next(
+                log.keys.public for log in liars if log.log_id == evidence.log_id
+            )
+            assert evidence.verify(key)
+        assert relay.stats()["rejected_heads"] == 0

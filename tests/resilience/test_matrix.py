@@ -14,6 +14,7 @@ import pytest
 
 from repro.resilience.matrix import (
     CELL_TIMEOUT,
+    EQUIVOCATION_ROUND_BOUND,
     ScenarioCell,
     enumerate_cells,
     run_cell,
@@ -39,6 +40,14 @@ def test_smoke_cell_holds_the_invariant(cell, deterministic_seed):
         # actually engaged: BUSY verdicts observed, shed entries counted.
         assert result.busy_responses > 0
         assert result.shed_entries > 0
+    if cell.fault == "equivocation":
+        # The fork must be caught within the bounded gossip rounds and
+        # produce self-contained evidence (verified inside run_cell).
+        assert result.equivocation_evidence > 0
+        assert 0 < result.gossip_rounds <= EQUIVOCATION_ROUND_BOUND
+    else:
+        # Zero false positives: honest cells never manufacture evidence.
+        assert result.equivocation_evidence == 0
 
 
 class TestScenarioCellValidation:
@@ -66,10 +75,19 @@ class TestScenarioCellValidation:
         with pytest.raises(ValueError):
             ScenarioCell("plain", "overload", "restart", "light")
 
+    def test_rejects_unsound_equivocation_cells(self):
+        # The fork adversary only runs on the plain backend, churn-free.
+        with pytest.raises(ValueError):
+            ScenarioCell("plain", "equivocation", "restart", "light")
+        with pytest.raises(ValueError):
+            ScenarioCell("sharded", "equivocation", "none", "light")
+        with pytest.raises(ValueError):
+            ScenarioCell("process", "equivocation", "none", "light")
+
     def test_full_grid_enumerates_only_sound_cells(self):
         cells = enumerate_cells(full=True)
         assert len(cells) == len(set(cells))  # no duplicates
-        assert len(cells) == 64
+        assert len(cells) == 66
         for cell in cells:
             assert ScenarioCell(
                 cell.backend, cell.fault, cell.churn, cell.load

@@ -335,3 +335,138 @@ class TestReplicasCommand:
         out = capsys.readouterr().out
         assert "audited replica-" in out
         assert "common prefix 4" in out
+
+
+@pytest.fixture()
+def forked_endpoints(keypool):
+    """An equivocating logger's two faces behind two endpoints, plus the
+    logger's public key written the way ``--key`` reads it."""
+    from repro.adversary import ForkingLogServer, tamper_timestamp
+    from repro.core import LogServerEndpoint
+    from repro.core.entries import Direction, LogEntry, Scheme
+
+    fork = ForkingLogServer(
+        keypool[0].private, log_id="cli-fork", fork_at=2,
+        mutate=tamper_timestamp,
+    )
+    for i in range(4):
+        fork.submit(
+            LogEntry(
+                component_id="/p", topic="/t", type_name="std/String",
+                direction=Direction.OUT, seq=i, scheme=Scheme.ADLP,
+                data=b"payload-%04d" % i,
+            ).encode()
+        )
+    endpoints = [
+        LogServerEndpoint(fork.face(view)) for view in ("honest", "forked")
+    ]
+    yield fork, endpoints
+    for endpoint in endpoints:
+        endpoint.close()
+    fork.close()
+
+
+@pytest.fixture()
+def logger_key_file(tmp_path, keypool):
+    path = tmp_path / "logger.pub"
+    path.write_bytes(keypool[0].public.to_bytes())
+    return str(path)
+
+
+class TestSthCommand:
+    def test_consistent_signed_heads_exit_zero(
+        self, replica_endpoints, keypool, logger_key_file, capsys
+    ):
+        servers, endpoints = replica_endpoints
+        for server in servers:
+            server.attach_signer(keypool[0].private, log_id="cli-set")
+        _feed_replicas(servers, keypool)
+        args = [_addr(e) for e in endpoints] + ["--key", logger_key_file]
+        assert main(["sth"] + args) == 0
+        out = capsys.readouterr().out
+        assert out.count("sig=OK") == 3
+        assert "EQUIVOCATION" not in out
+
+    def test_split_view_is_proven_and_exits_two(
+        self, forked_endpoints, logger_key_file, capsys
+    ):
+        _, endpoints = forked_endpoints
+        args = [_addr(e) for e in endpoints] + ["--key", logger_key_file]
+        assert main(["sth"] + args) == 2
+        out = capsys.readouterr().out
+        assert "EQUIVOCATION" in out and "cli-fork" in out
+
+    def test_split_view_without_key_is_not_a_conviction(
+        self, forked_endpoints, capsys
+    ):
+        _, endpoints = forked_endpoints
+        assert main(["sth"] + [_addr(e) for e in endpoints]) == 0
+        out = capsys.readouterr().out
+        assert "sig=unverified" in out
+        assert "EQUIVOCATION" not in out
+
+    def test_unsigned_server_reported_unreachable(
+        self, replica_endpoints, keypool, capsys
+    ):
+        servers, endpoints = replica_endpoints
+        _feed_replicas(servers, keypool)  # no signer attached
+        assert main(["sth", _addr(endpoints[0])]) == 1
+        assert "UNREACHABLE" in capsys.readouterr().out
+
+    def test_bad_key_file_rejected(self, tmp_path, replica_endpoints):
+        _, endpoints = replica_endpoints
+        junk = tmp_path / "junk.pub"
+        junk.write_bytes(b"not a key")
+        with pytest.raises(SystemExit, match="not a logger public key"):
+            main(["sth", _addr(endpoints[0]), "--key", str(junk)])
+
+
+class TestProofCommand:
+    def test_included_record_exits_zero(
+        self, replica_endpoints, keypool, logger_key_file, capsys
+    ):
+        servers, endpoints = replica_endpoints
+        servers[0].attach_signer(keypool[0].private, log_id="cli-proof")
+        _feed_replicas(servers, keypool)
+        assert (
+            main(["proof", _addr(endpoints[0]), "2", "--key", logger_key_file])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "INCLUDED" in out and "signature verified" in out
+
+    def test_index_beyond_head_exits_two(
+        self, replica_endpoints, keypool, capsys
+    ):
+        servers, endpoints = replica_endpoints
+        servers[0].attach_signer(keypool[0].private)
+        _feed_replicas(servers, keypool)
+        assert main(["proof", _addr(endpoints[0]), "99"]) == 2
+        assert "beyond the signed head" in capsys.readouterr().out
+
+    def test_wrong_identity_key_exits_two(
+        self, replica_endpoints, keypool, tmp_path, capsys
+    ):
+        servers, endpoints = replica_endpoints
+        servers[0].attach_signer(keypool[0].private)
+        _feed_replicas(servers, keypool)
+        other = tmp_path / "other.pub"
+        other.write_bytes(keypool[1].public.to_bytes())
+        assert (
+            main(["proof", _addr(endpoints[0]), "0", "--key", str(other)]) == 2
+        )
+        assert "INVALID" in capsys.readouterr().out
+
+
+class TestReplicasGossip:
+    def test_forked_logger_quarantined_with_evidence(
+        self, forked_endpoints, logger_key_file, capsys
+    ):
+        _, endpoints = forked_endpoints
+        args = [_addr(e) for e in endpoints] + [
+            "--quorum", "1", "--key", logger_key_file,
+        ]
+        assert main(["replicas"] + args) == 2
+        out = capsys.readouterr().out
+        assert "EQUIVOCATION" in out
+        assert out.count("breaker=open") == 2
