@@ -27,11 +27,16 @@ from __future__ import annotations
 
 import json
 import logging
+import os
 import random
+import selectors
+import socket
+import struct
 import threading
 import time
 from collections import deque
-from typing import Deque, Dict, List, Optional, Union
+from concurrent.futures import ThreadPoolExecutor
+from typing import Deque, Dict, List, Optional, Tuple, Union
 
 from repro.core.entries import LogEntry
 from repro.core.log_server import LogCommitment, LogServer
@@ -53,6 +58,7 @@ from repro.resilience.flow import (
     RetryBudget,
     full_jitter,
 )
+from repro.middleware.transport import framing
 from repro.middleware.transport.base import (
     Connection,
     ConnectionClosed,
@@ -124,7 +130,28 @@ FETCH_BATCH_LIMIT = 4096
 #: for image-sized entries).
 BATCH_FRAME_BYTES = 8 * 1024 * 1024
 
-def _raise_for_verdict(response: "LoggerResponse") -> None:
+#: Minimum client-side shed window, seconds.  A BUSY verdict whose
+#: ``retry_after_ms`` hint is 0 (a server with a zero-configured or
+#: truncated-to-zero hint) would otherwise open a zero-length shed window
+#: and turn every refusal into a hot retry spin; the floor (jittered up to
+#: 2x so a fleet's retries decorrelate) bounds the per-client retry rate
+#: no matter what the server says.
+MIN_SHED_FLOOR = 0.02
+
+_floor_rng = random.Random()
+
+
+def _floor_retry_after(hint: float, rng: Optional[random.Random] = None) -> float:
+    """Floor a server retry-after hint at :data:`MIN_SHED_FLOOR`, with
+    full jitter on the floored value (uniform in [floor, 2*floor))."""
+    if hint >= MIN_SHED_FLOOR:
+        return hint
+    return MIN_SHED_FLOOR + full_jitter(MIN_SHED_FLOOR, rng or _floor_rng)
+
+
+def _raise_for_verdict(
+    response: "LoggerResponse", rng: Optional[random.Random] = None
+) -> None:
     """Translate overload verdict codes on a failed response into typed
     exceptions (:class:`ServerBusy` / :class:`DeadlineExceeded`); plain
     rejections fall through to the caller's generic handling."""
@@ -134,7 +161,9 @@ def _raise_for_verdict(response: "LoggerResponse") -> None:
     if code == OP_BUSY:
         raise ServerBusy(
             str(response.error) or "log server is overloaded",
-            retry_after=int(response.retry_after_ms) / 1000.0,
+            retry_after=_floor_retry_after(
+                int(response.retry_after_ms) / 1000.0, rng
+            ),
             queue_depth=int(response.queue_depth),
         )
     if code == OP_DEADLINE_EXPIRED:
@@ -187,6 +216,14 @@ class LoggerRequest(WireMessage):
     proof_tree_size = uint64(12)
     #: OP_PROVE_CONSISTENCY: the *old* (smaller) size.
     proof_old_size = uint64(13)
+    #: Correlation id (v2 envelope): a client that pipelines several
+    #: synchronous requests on one connection stamps each with a unique
+    #: non-zero id; the server echoes it verbatim on the response so
+    #: replies can be matched out of a shared stream.  0 (the wire
+    #: default) marks a pre-pipelining frame -- the server still answers
+    #: (echoing 0) and such clients match replies by FIFO order, so both
+    #: directions interoperate across versions.
+    corr_id = uint64(14)
 
 
 class LoggerResponse(WireMessage):
@@ -233,10 +270,81 @@ class LoggerResponse(WireMessage):
     proof_tree_size = uint64(19)
     #: OP_PROVE_CONSISTENCY: the old size.
     proof_old_size = uint64(20)
+    #: Echo of the request's correlation id (0 when the request carried
+    #: none -- an old client, which skips this unknown field anyway).
+    corr_id = uint64(21)
+
+
+#: Pending-request backlog per connection at which the event loop stops
+#: reading that socket (kernel backpressure on the peer) and the depth at
+#: which it resumes.  Bounds server memory against a client that stuffs
+#: frames faster than dispatch drains them.
+_READ_PAUSE_DEPTH = 1024
+_READ_RESUME_DEPTH = 256
+
+_PREAMBLE = struct.Struct("<I")
+
+
+class _EventConn:
+    """Event-loop state for one raw-socket connection.
+
+    The loop thread owns the socket and the frame reassembly buffer;
+    dispatch workers own ``pending`` (under ``lock``) and append framed
+    response bytes to ``out``, which only the loop thread writes to the
+    socket.  ``running`` guarantees at most one dispatch worker drains
+    this connection at a time -- per-connection FIFO execution is
+    load-bearing (credit syncs and the process-shard crash reconcile both
+    assume this connection's frames are ingested in order)."""
+
+    __slots__ = (
+        "connection",
+        "sock",
+        "rbuf",
+        "out",
+        "lock",
+        "pending",
+        "running",
+        "last_active",
+        "closing",
+        "read_paused",
+        "writing",
+    )
+
+    def __init__(self, connection: Connection, sock: socket.socket):
+        self.connection = connection
+        self.sock = sock
+        self.rbuf = bytearray()
+        self.out: Deque[memoryview] = deque()
+        self.lock = threading.Lock()
+        self.pending: Deque[Tuple[LoggerRequest, float]] = deque()
+        self.running = False
+        self.last_active = time.monotonic()
+        self.closing = False
+        self.read_paused = False
+        self.writing = False
 
 
 class LogServerEndpoint:
-    """Serves a :class:`LogServer` over a transport listener."""
+    """Serves a :class:`LogServer` over a transport listener.
+
+    Socket-backed transports (TCP, unix) are served by a single
+    ``selectors`` event loop with non-blocking sockets: one thread
+    multiplexes reads, frame reassembly, and per-connection write queues
+    across every connection, so fan-in scales to thousands of clients
+    without a thread per socket.  Request *execution* happens on a small
+    dispatch pool -- serially per connection (the wire contract: one
+    connection's frames are ingested in order) but concurrently across
+    connections, so a slow durable ingest on one socket never stalls the
+    loop.  Each frame's arrival is stamped when it is reassembled off the
+    socket, and the client's ``deadline_ms`` is measured from that stamp
+    -- queue wait behind other connections counts against the budget,
+    exactly as §13's overload discipline requires.
+
+    Transports whose connections do not expose a raw socket (in-process
+    and fault-injection wrappers) fall back to the classic
+    thread-per-connection serve loop; both paths share the same dispatch
+    logic, so verdicts and commitments are identical.
+    """
 
     def __init__(
         self,
@@ -244,6 +352,7 @@ class LogServerEndpoint:
         transport: Optional[Transport] = None,
         idle_timeout: Optional[float] = None,
         admission: Optional[AdmissionController] = None,
+        dispatch_workers: Optional[int] = None,
     ):
         self.server = server
         self._transport = transport or TcpTransport()
@@ -260,6 +369,28 @@ class LogServerEndpoint:
         self.rejected = 0
         #: Connections closed by the idle reaper (observability).
         self.reaped = 0
+        # -- event loop plumbing ------------------------------------------
+        self._selector = selectors.DefaultSelector()
+        self._wake_r, self._wake_w = socket.socketpair()
+        self._wake_r.setblocking(False)
+        self._wake_w.setblocking(False)
+        # data=None marks the wakeup pipe in the event dispatch; without
+        # this registration every dispatch-thread wakeup (queued response,
+        # resumed read) would wait out a full select timeout.
+        self._selector.register(self._wake_r, selectors.EVENT_READ, None)
+        self._new_states: Deque[_EventConn] = deque()
+        self._dirty: List[_EventConn] = []
+        self._dirty_lock = threading.Lock()
+        self._states: Dict[int, _EventConn] = {}
+        self._executor = ThreadPoolExecutor(
+            max_workers=dispatch_workers
+            or min(32, (os.cpu_count() or 2) + 4),
+            thread_name_prefix="logserver-dispatch",
+        )
+        self._loop_thread = StoppableThread(
+            "logserver-eventloop", target=self._loop_run
+        )
+        self._loop_thread.start()
         self._acceptor = StoppableThread("logserver-accept", target=self._accept_loop)
         self._acceptor.start()
 
@@ -268,6 +399,14 @@ class LogServerEndpoint:
         """Address components pass to :class:`RemoteLogger`."""
         return self._listener.address
 
+    @staticmethod
+    def _raw_socket(connection: Connection) -> Optional[socket.socket]:
+        """The connection's underlying socket, when it has one the event
+        loop can own (TCP and unix connections); ``None`` sends the
+        connection down the thread-per-connection fallback."""
+        sock = getattr(connection, "_sock", None)
+        return sock if isinstance(sock, socket.socket) else None
+
     def _accept_loop(self) -> None:
         while not self._acceptor.stopped():
             connection = self._listener.accept(timeout=0.1)
@@ -275,10 +414,329 @@ class LogServerEndpoint:
                 continue
             with self._lock:
                 self._connections.append(connection)
+            sock = self._raw_socket(connection)
+            if sock is not None:
+                sock.setblocking(False)
+                state = _EventConn(connection, sock)
+                with self._dirty_lock:
+                    self._new_states.append(state)
+                self._wake()
+                continue
             worker = StoppableThread(
                 "logserver-conn", target=lambda c=connection: self._serve(c)
             )
             worker.start()
+
+    # -- event loop (socket-backed connections) ---------------------------
+
+    def _wake(self) -> None:
+        try:
+            self._wake_w.send(b"\x00")
+        except (BlockingIOError, InterruptedError):
+            pass  # pipe already has a pending wakeup
+        except OSError:
+            pass  # loop shut down under us
+
+    def _mark_dirty(self, state: _EventConn) -> None:
+        """Dispatch-thread side: this state has queued output (or wants
+        its read interest recomputed); the loop picks it up on wakeup."""
+        with self._dirty_lock:
+            self._dirty.append(state)
+        self._wake()
+
+    def _loop_run(self) -> None:
+        selector = self._selector
+        while not self._loop_thread.stopped():
+            try:
+                events = selector.select(timeout=0.1)
+            except OSError:
+                return  # selector closed under us during shutdown
+            for key, mask in events:
+                if key.data is None:
+                    try:
+                        while self._wake_r.recv(4096):
+                            pass
+                    except (BlockingIOError, InterruptedError):
+                        pass
+                    except OSError:
+                        return
+                    continue
+                state = key.data
+                if mask & selectors.EVENT_WRITE:
+                    self._loop_write(state)
+                if mask & selectors.EVENT_READ and not state.closing:
+                    self._loop_read(state)
+            self._loop_admit_new()
+            self._loop_flush_dirty()
+            if self._idle_timeout is not None:
+                self._loop_reap_idle()
+
+    def _loop_admit_new(self) -> None:
+        while True:
+            with self._dirty_lock:
+                if not self._new_states:
+                    return
+                state = self._new_states.popleft()
+            try:
+                self._selector.register(
+                    state.sock, selectors.EVENT_READ, state
+                )
+            except (KeyError, ValueError, OSError):
+                self._drop_connection(state.connection)
+                continue
+            self._states[id(state)] = state
+
+    def _loop_flush_dirty(self) -> None:
+        with self._dirty_lock:
+            dirty, self._dirty = self._dirty, []
+        for state in dirty:
+            if not state.closing:
+                self._loop_write(state)
+
+    def _loop_reap_idle(self) -> None:
+        now = time.monotonic()
+        for state in list(self._states.values()):
+            if now - state.last_active <= self._idle_timeout:
+                continue
+            with state.lock:
+                busy = state.running or bool(state.pending) or bool(state.out)
+            if busy:
+                continue
+            # Reap the connection: a wedged or leaked client must not pin
+            # a socket forever.  A live component reconnects transparently
+            # on its next submit.
+            with self._lock:
+                self.reaped += 1
+            self._loop_close(state)
+
+    def _interest(self, state: _EventConn) -> int:
+        events = 0
+        if not state.read_paused:
+            events |= selectors.EVENT_READ
+        if state.out:
+            events |= selectors.EVENT_WRITE
+        return events
+
+    def _update_interest(self, state: _EventConn) -> None:
+        """Recompute and apply the selector interest set for ``state``.
+        An empty set (reads paused, nothing to write) unregisters the
+        socket -- selectors cannot express "no events" -- and a later
+        dirty-mark re-registers it."""
+        if state.closing:
+            return
+        events = self._interest(state)
+        try:
+            if events:
+                try:
+                    self._selector.modify(state.sock, events, state)
+                except KeyError:
+                    self._selector.register(state.sock, events, state)
+            else:
+                try:
+                    self._selector.unregister(state.sock)
+                except KeyError:
+                    pass
+        except (ValueError, OSError):
+            self._loop_close(state)
+
+    def _loop_read(self, state: _EventConn) -> None:
+        try:
+            data = state.sock.recv(1 << 18)
+        except (BlockingIOError, InterruptedError):
+            return
+        except OSError:
+            self._loop_close(state)
+            return
+        if not data:
+            self._loop_close(state)
+            return
+        state.last_active = time.monotonic()
+        state.rbuf += data
+        self._parse_frames(state)
+
+    def _parse_frames(self, state: _EventConn) -> None:
+        arrival = time.monotonic()
+        spawn = False
+        rbuf = state.rbuf
+        while True:
+            if len(rbuf) < framing.PREAMBLE_SIZE:
+                break
+            (length,) = _PREAMBLE.unpack_from(rbuf)
+            if length > framing.MAX_FRAME_SIZE:
+                self._loop_close(state)  # protocol violation
+                return
+            end = framing.PREAMBLE_SIZE + length
+            if len(rbuf) < end:
+                break
+            frame = bytes(rbuf[framing.PREAMBLE_SIZE : end])
+            del rbuf[:end]
+            try:
+                request = LoggerRequest.decode(frame)
+            except Exception:
+                continue  # a malformed frame must not kill the server
+            with state.lock:
+                state.pending.append((request, arrival))
+                if not state.running:
+                    state.running = True
+                    spawn = True
+                if (
+                    len(state.pending) >= _READ_PAUSE_DEPTH
+                    and not state.read_paused
+                ):
+                    state.read_paused = True
+        if state.read_paused or state.out:
+            self._update_interest(state)
+        if spawn:
+            self._executor.submit(self._drain_pending, state)
+
+    def _loop_write(self, state: _EventConn) -> None:
+        with state.lock:
+            if state.read_paused and len(state.pending) <= _READ_RESUME_DEPTH:
+                state.read_paused = False
+        try:
+            while state.out:
+                with state.lock:
+                    if not state.out:
+                        break
+                    buf = state.out[0]
+                try:
+                    sent = state.sock.send(buf)
+                except (BlockingIOError, InterruptedError):
+                    break
+                with state.lock:
+                    if sent < len(buf):
+                        state.out[0] = buf[sent:]
+                        break
+                    state.out.popleft()
+        except OSError:
+            self._loop_close(state)
+            return
+        self._update_interest(state)
+
+    def _loop_close(self, state: _EventConn) -> None:
+        with state.lock:
+            state.closing = True
+            # pending is NOT cleared: frames already reassembled off the
+            # socket are accepted work, and a client disconnect racing
+            # dispatch must not silently drop fire-and-forget evidence
+            # (the thread-fallback path drains buffered frames to EOF the
+            # same way).  Queued responses are undeliverable, so they go.
+            state.out.clear()
+        try:
+            self._selector.unregister(state.sock)
+        except (KeyError, ValueError, OSError):
+            pass
+        self._states.pop(id(state), None)
+        self._drop_connection(state.connection)
+
+    def _drop_connection(self, connection: Connection) -> None:
+        connection.close()
+        with self._lock:
+            if connection in self._connections:
+                self._connections.remove(connection)
+
+    def _drain_pending(self, state: _EventConn) -> None:
+        """Dispatch worker: execute this connection's queued requests in
+        arrival order, one worker per connection at a time."""
+        while True:
+            with state.lock:
+                if not state.pending:
+                    state.running = False
+                    return
+                request, arrival = state.pending.popleft()
+                resume = (
+                    state.read_paused
+                    and len(state.pending) <= _READ_RESUME_DEPTH
+                    and not state.closing
+                )
+            if resume:
+                # Backlog drained below the resume mark: ask the loop to
+                # recompute read interest (it owns the selector).
+                self._mark_dirty(state)
+            try:
+                response = self._dispatch(request, arrival)
+            except Exception:  # pragma: no cover - dispatch never raises
+                logger.exception("dispatch failed")
+                response = None
+            if response is None:
+                continue
+            try:
+                payload = framing.encode_frame(response.encode())
+            except Exception:  # oversized response: drop, keep serving
+                continue
+            with state.lock:
+                if state.closing:
+                    continue  # undeliverable, but keep draining pending
+                state.out.append(memoryview(payload))
+            self._mark_dirty(state)
+
+    # -- shared dispatch (event loop + thread fallback) --------------------
+
+    def _dispatch(
+        self, request: LoggerRequest, arrival: float
+    ) -> Optional[LoggerResponse]:
+        """Execute one request; returns the response to send, or ``None``
+        for fire-and-forget submits.  Every response echoes the request's
+        correlation id (0 for old clients, who skip the unknown field)."""
+        if request.op == OP_SUBMIT:
+            with self._lock:
+                self.submissions += 1
+            if request.sync:
+                response = self._ingest_sync(
+                    [bytes(request.entry_bytes)],
+                    request.shard,
+                    deadline_ms=int(request.deadline_ms),
+                    arrival=arrival,
+                )
+                response.corr_id = request.corr_id
+                return response
+            admission = self.admission
+            if admission is not None:
+                # Fire-and-forget work is never refused (no response
+                # channel = refusal would be silent evidence loss); it
+                # is force-admitted so the depth gauge stays honest
+                # and *sync* traffic sheds on its behalf.
+                admission.force_admit(1)
+            try:
+                self._submit_one(request.entry_bytes, request.shard)
+            except LoggingError:
+                # fire-and-forget: bad entries are dropped server-side
+                with self._lock:
+                    self.rejected += 1
+            finally:
+                if admission is not None:
+                    admission.release(1)
+            return None
+        if request.op == OP_SUBMIT_BATCH:
+            batch = [bytes(record) for record in request.entry_batch]
+            if request.sync:
+                with self._lock:
+                    self.submissions += len(batch)
+                response = self._ingest_sync(
+                    batch,
+                    request.shard,
+                    deadline_ms=int(request.deadline_ms),
+                    arrival=arrival,
+                )
+                response.corr_id = request.corr_id
+                return response
+            admission = self.admission
+            if admission is not None:
+                admission.force_admit(len(batch))
+            try:
+                self._ingest_batch(batch, shard_tag=request.shard)
+            finally:
+                if admission is not None:
+                    admission.release(len(batch))
+            return None
+        if request.op in (OP_STH, OP_PROVE_INCLUSION, OP_PROVE_CONSISTENCY):
+            response = self._answer_proof(request, arrival=arrival)
+        else:
+            response = self._answer(request)
+        response.corr_id = request.corr_id
+        return response
+
+    # -- thread-per-connection fallback (non-socket transports) ------------
 
     def _serve(self, connection: Connection) -> None:
         try:
@@ -313,67 +771,9 @@ class LogServerEndpoint:
                 request = LoggerRequest.decode(frame)
             except Exception:
                 continue  # a malformed frame must not kill the server
-            if request.op == OP_SUBMIT:
-                with self._lock:
-                    self.submissions += 1
-                if request.sync:
-                    response = self._ingest_sync(
-                        [bytes(request.entry_bytes)],
-                        request.shard,
-                        deadline_ms=int(request.deadline_ms),
-                        arrival=last_active,
-                    )
-                    try:
-                        connection.send_frame(response.encode())
-                    except ConnectionClosed:
-                        return
-                    continue
-                admission = self.admission
-                if admission is not None:
-                    # Fire-and-forget work is never refused (no response
-                    # channel = refusal would be silent evidence loss); it
-                    # is force-admitted so the depth gauge stays honest
-                    # and *sync* traffic sheds on its behalf.
-                    admission.force_admit(1)
-                try:
-                    self._submit_one(request.entry_bytes, request.shard)
-                except LoggingError:
-                    # fire-and-forget: bad entries are dropped server-side
-                    with self._lock:
-                        self.rejected += 1
-                finally:
-                    if admission is not None:
-                        admission.release(1)
+            response = self._dispatch(request, arrival=last_active)
+            if response is None:
                 continue
-            if request.op == OP_SUBMIT_BATCH:
-                batch = [bytes(record) for record in request.entry_batch]
-                if request.sync:
-                    with self._lock:
-                        self.submissions += len(batch)
-                    response = self._ingest_sync(
-                        batch,
-                        request.shard,
-                        deadline_ms=int(request.deadline_ms),
-                        arrival=last_active,
-                    )
-                    try:
-                        connection.send_frame(response.encode())
-                    except ConnectionClosed:
-                        return
-                    continue
-                admission = self.admission
-                if admission is not None:
-                    admission.force_admit(len(batch))
-                try:
-                    self._ingest_batch(batch, shard_tag=request.shard)
-                finally:
-                    if admission is not None:
-                        admission.release(len(batch))
-                continue
-            if request.op in (OP_STH, OP_PROVE_INCLUSION, OP_PROVE_CONSISTENCY):
-                response = self._answer_proof(request, arrival=last_active)
-            else:
-                response = self._answer(request)
             try:
                 connection.send_frame(response.encode())
             except ConnectionClosed:
@@ -816,11 +1216,90 @@ class LogServerEndpoint:
     def close(self) -> None:
         self._acceptor.stop(join=False)
         self._listener.close()
+        self._acceptor.stop()
+        self._loop_thread.stop(join=False)
+        self._wake()
+        self._loop_thread.stop()
+        for state in list(self._states.values()):
+            with state.lock:
+                state.closing = True
+                state.pending.clear()
+                state.out.clear()
         with self._lock:
             connections = list(self._connections)
         for connection in connections:
             connection.close()
-        self._acceptor.stop()
+        # Dispatch work is local server work; it finishes promptly once
+        # every connection is marked closing.
+        self._executor.shutdown(wait=True)
+        try:
+            self._selector.close()
+        except OSError:
+            pass
+        for sock in (self._wake_r, self._wake_w):
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+
+class _RpcWaiter:
+    """One in-flight synchronous RPC's completion slot."""
+
+    __slots__ = ("event", "response", "failure", "done", "corr")
+
+    def __init__(self, corr: int):
+        self.event = threading.Event()
+        self.response: Optional[LoggerResponse] = None
+        self.failure: Optional[str] = None
+        self.done = False
+        self.corr = corr
+
+
+class _Channel:
+    """Per-connection RPC pipelining state.
+
+    ``pending`` maps correlation id -> waiter for servers that echo ids;
+    ``fifo`` holds the same waiters in *wire order* for servers that
+    predate the envelope (their responses carry ``corr_id == 0`` and are
+    matched oldest-first, which is exact because the server executes one
+    connection's frames in order).  ``correlated`` latches once any
+    response on this connection has echoed a non-zero id -- from then on
+    a timed-out RPC's late reply can be discarded by id, so the
+    connection survives timeouts instead of being dropped.
+    """
+
+    __slots__ = (
+        "connection",
+        "lock",
+        "reader_lock",
+        "pending",
+        "fifo",
+        "correlated",
+        "next_corr",
+        "dead",
+        "reader_started",
+    )
+
+    def __init__(self, connection: Connection):
+        self.connection = connection
+        self.lock = threading.Lock()
+        #: Held by whichever thread is currently reading frames.  With a
+        #: single RPC in flight the caller itself is that reader (no
+        #: thread is spawned for the common sequential client); once the
+        #: channel actually pipelines, a dedicated reader owns this lock
+        #: (see ``reader_started``).
+        self.reader_lock = threading.Lock()
+        self.pending: Dict[int, _RpcWaiter] = {}
+        self.fifo: Deque[_RpcWaiter] = deque()
+        self.correlated = False
+        self.next_corr = 1
+        self.dead = False
+        #: Whether the dedicated reader thread has been spawned.  Started
+        #: lazily the first time two RPCs overlap: handing reader duty
+        #: from waiter to waiter costs a thread wakeup per reply, which
+        #: under real pipelining load dominates the round trip.
+        self.reader_started = False
 
 
 class RemoteLogger:
@@ -882,11 +1361,12 @@ class RemoteLogger:
         self._address = address
         self._connection: Optional[Connection] = None
         self._lock = threading.Lock()
-        # Serializes synchronous request/response exchanges so two RPCs
-        # never interleave their responses on the shared connection
-        # (fire-and-forget submits may interleave freely: they produce no
-        # response frames).
-        self._rpc_lock = threading.Lock()
+        #: Pipelining state for the current connection: every synchronous
+        #: request carries a correlation id, so any number of RPCs may be
+        #: in flight at once and their responses are matched out of the
+        #: shared stream (no lock serializes exchanges anymore).
+        self._channel: Optional[_Channel] = None
+        self._closed = False
         self._spill: Deque[bytes] = deque()
         self._spill_capacity = spill_capacity
         self._disk: Optional[DiskSpillFile] = (
@@ -918,6 +1398,14 @@ class RemoteLogger:
         #: Entries diverted to the spill queue by shed mode (delayed, not
         #: lost -- the audit-facing complement of :attr:`dropped`).
         self.shed_entries = 0
+        #: Responses whose RPC had already timed out (or arrived with no
+        #: matching waiter): discarded by correlation id instead of
+        #: poisoning the next exchange or killing the connection.
+        self.late_replies_discarded = 0
+        #: Fire-and-forget records re-spilled because the peer turned out
+        #: to be closed right after the send (the reap-vs-send race);
+        #: at-least-once, so these can surface as auditable duplicates.
+        self.peer_close_respills = 0
         #: Client-side STH verification (opt-in via
         #: :meth:`enable_sth_verification`): the logger's public key plus
         #: a verified-head cache with append-only consistency checking.
@@ -972,6 +1460,8 @@ class RemoteLogger:
                 + (len(self._disk) if self._disk is not None else 0),
                 "spilled_to_disk": self.spilled_to_disk,
                 "spill_retries": self.retries,
+                "late_replies_discarded": self.late_replies_discarded,
+                "peer_close_respills": self.peer_close_respills,
             }
         if self._flow is not None:
             data["busy_responses"] = self.busy_responses
@@ -985,61 +1475,288 @@ class RemoteLogger:
         return data
 
     def _connect(self) -> Optional[Connection]:
+        stale: Optional[_Channel] = None
         with self._lock:
-            if self._connection is not None and not self._connection.closed:
-                # A peer-closed socket (e.g. the endpoint's idle reaper)
-                # would accept one fire-and-forget send and discard it;
-                # peek for EOF before trusting the cached connection.
-                if not self._connection.peer_closed():
-                    return self._connection
-                self._connection.close()
+            if self._closed:
+                return None
+            connection = self._connection
+            if connection is not None:
+                if not connection.closed and not connection.peer_closed():
+                    # A peer-closed socket (e.g. the endpoint's idle
+                    # reaper) would accept one fire-and-forget send and
+                    # discard it; peek for EOF before trusting the cached
+                    # connection.
+                    return connection
+                stale = self._channel
                 self._connection = None
-            if time.monotonic() < self._next_attempt:
-                return None  # backing off; do not hammer a dead server
-            try:
-                self._connection = self._transport.connect(self._address)
-                self._backoff = self._initial_backoff
-            except TransportError:
+                self._channel = None
+                connection.close()
+            try_connect = time.monotonic() >= self._next_attempt
+        if stale is not None:
+            self._fail_waiters(stale, "log server connection lost")
+        if not try_connect:
+            return None  # backing off; do not hammer a dead server
+        # The blocking connect happens OUTSIDE self._lock (bounded by the
+        # transport's connect timeout): a stalled connect -- a full accept
+        # backlog, a blackholed host -- must not freeze stats()/close()
+        # and the spill bookkeeping on every other thread.
+        try:
+            fresh = self._transport.connect(self._address)
+        except TransportError:
+            with self._lock:
                 # Full jitter (uniform(0, backoff)) decorrelates a fleet
                 # of clients that all watched the same server die; the
                 # *cap* still doubles per consecutive failure, so the
                 # expected retry rate halves just like plain exponential.
-                self._connection = None
                 self._next_attempt = time.monotonic() + full_jitter(
                     self._backoff, self._rng
                 )
                 self._backoff = min(self._backoff * 2, self._max_backoff)
-            return self._connection
+            return None
+        with self._lock:
+            if self._closed:
+                loser = fresh
+                fresh = None
+            elif (
+                self._connection is not None
+                and not self._connection.closed
+            ):
+                # Another thread won the connect race; use its connection.
+                loser = fresh
+                fresh = self._connection
+            else:
+                self._connection = fresh
+                self._channel = _Channel(fresh)
+                self._backoff = self._initial_backoff
+                loser = None
+        if loser is not None:
+            loser.close()
+        return fresh
+
+    def _fail_waiters(self, channel: _Channel, message: str) -> None:
+        """Fail every in-flight RPC parked on ``channel``."""
+        with channel.lock:
+            if channel.dead:
+                return
+            channel.dead = True
+            waiters = list(channel.pending.values())
+            channel.pending.clear()
+            channel.fifo.clear()
+        for waiter in waiters:
+            waiter.failure = message
+            waiter.done = True
+            waiter.event.set()
+
+    def _fail_channel(self, channel: _Channel, message: str) -> None:
+        """Retire a connection and fail its in-flight RPCs."""
+        with self._lock:
+            if self._channel is channel:
+                self._channel = None
+                self._connection = None
+        channel.connection.close()
+        self._fail_waiters(channel, message)
+
+    def _drop_cached_connection(self, connection: Connection) -> None:
+        """Forget ``connection`` (closing it) and fail its channel."""
+        with self._lock:
+            stale = self._channel if self._connection is connection else None
+            if self._connection is connection:
+                self._connection = None
+                self._channel = None
+        connection.close()
+        if stale is not None:
+            self._fail_waiters(stale, "log server connection lost")
+
+    def _rpc_send(self, request: LoggerRequest) -> Tuple[_Channel, _RpcWaiter]:
+        """Stamp ``request`` with a fresh correlation id and put it on the
+        wire; returns the channel and the waiter to collect the reply on.
+        The send happens under the channel lock so waiter registration
+        order equals wire order (the FIFO fallback for servers that do
+        not echo correlation ids depends on it)."""
+        connection = self._connect()
+        if connection is None:
+            raise RemoteUnavailable(
+                f"log server unreachable at {self._address!r}"
+            )
+        with self._lock:
+            channel = self._channel
+        if channel is None or channel.connection is not connection:
+            raise RemoteUnavailable(
+                f"log server unreachable at {self._address!r}"
+            )
+        failure: Optional[Exception] = None
+        spawn_reader = False
+        with channel.lock:
+            if channel.dead:
+                raise RemoteUnavailable("log server connection lost")
+            corr = channel.next_corr
+            channel.next_corr += 1
+            request.corr_id = corr
+            waiter = _RpcWaiter(corr)
+            channel.pending[corr] = waiter
+            channel.fifo.append(waiter)
+            try:
+                connection.send_frame(request.encode())
+            except ConnectionClosed as exc:
+                channel.pending.pop(corr, None)
+                try:
+                    channel.fifo.remove(waiter)
+                except ValueError:
+                    pass
+                failure = exc
+            else:
+                if len(channel.pending) > 1 and not channel.reader_started:
+                    channel.reader_started = True
+                    spawn_reader = True
+        if spawn_reader:
+            threading.Thread(
+                target=self._reader_loop,
+                args=(channel,),
+                name="remotelogger-reader",
+                daemon=True,
+            ).start()
+        if failure is not None:
+            self._fail_channel(
+                channel, f"log server connection lost: {failure}"
+            )
+            raise RemoteUnavailable(
+                f"log server connection lost: {failure}"
+            ) from failure
+        return channel, waiter
+
+    def _rpc_wait(
+        self, channel: _Channel, waiter: _RpcWaiter, timeout: float
+    ) -> LoggerResponse:
+        """Collect one RPC's reply.  Waiting threads take turns as the
+        *leader* that reads the shared stream (no dedicated reader thread
+        exists to die or leak); everyone else parks on their waiter."""
+        deadline = time.monotonic() + timeout
+        while not waiter.done:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            if channel.reader_lock.acquire(blocking=False):
+                try:
+                    if not waiter.done:
+                        self._pump(channel, min(remaining, 0.1))
+                finally:
+                    channel.reader_lock.release()
+            else:
+                waiter.event.wait(min(remaining, 0.05))
+                if not waiter.done:
+                    # Spurious or leadership-nudge wakeup: rearm so the
+                    # next park actually sleeps.
+                    waiter.event.clear()
+        if waiter.done:
+            self._nudge_reader(channel)
+            if waiter.failure is not None:
+                raise RemoteUnavailable(waiter.failure)
+            return waiter.response
+        return self._abandon(channel, waiter)
+
+    def _nudge_reader(self, channel: _Channel) -> None:
+        """Wake the oldest parked waiter so it can take over as the
+        stream's reader.  Without this, a departing leader leaves the
+        followers parked in their poll interval with nobody reading --
+        a latency cliff on every leadership change."""
+        with channel.lock:
+            waiter = channel.fifo[0] if channel.fifo else None
+        if waiter is not None:
+            waiter.event.set()
+
+    def _reader_loop(self, channel: _Channel) -> None:
+        """Dedicated reader for a channel that actually pipelines.
+
+        Waiter-to-waiter reader handoff costs a thread wakeup per reply,
+        which dominates the round trip once several RPCs are in flight;
+        this thread owns ``reader_lock`` for the rest of the channel's
+        life and pumps replies continuously (discarding late ones by id).
+        It exits when the channel dies or the stub closes -- in-flight
+        waiters are failed by :meth:`_fail_waiters` on either path."""
+        while not channel.dead and not self._closed:
+            if not channel.reader_lock.acquire(timeout=0.1):
+                continue  # a waiter-leader is mid-pump; take over next
+            try:
+                if channel.dead:
+                    return
+                self._pump(channel, 0.1)
+            finally:
+                channel.reader_lock.release()
+
+    def _abandon(
+        self, channel: _Channel, waiter: _RpcWaiter
+    ) -> LoggerResponse:
+        """Give up on one timed-out RPC."""
+        with channel.lock:
+            correlated = channel.correlated
+            channel.pending.pop(waiter.corr, None)
+            try:
+                channel.fifo.remove(waiter)
+            except ValueError:
+                pass
+        if waiter.done:  # the reply raced our abandonment: use it
+            if waiter.failure is not None:
+                raise RemoteUnavailable(waiter.failure)
+            return waiter.response
+        if not correlated:
+            # The server has never echoed a correlation id on this
+            # connection, so its late reply -- if one ever comes -- would
+            # be FIFO-matched to the NEXT exchange's waiter.  Drop the
+            # connection so every later RPC (and the breaker decisions
+            # fed by it) starts on a clean stream, exactly like the
+            # pre-envelope client.
+            self._fail_channel(channel, "log server did not answer in time")
+        # A correlating server's late reply is discarded by id when it
+        # arrives; the connection and its other in-flight RPCs survive.
+        self._nudge_reader(channel)
+        raise RemoteUnavailable("log server did not answer in time")
+
+    def _pump(self, channel: _Channel, timeout: float) -> None:
+        """Leader side of the shared reader: receive one frame and route
+        it to its waiter -- by correlation id when the server echoes one,
+        oldest-first otherwise."""
+        try:
+            frame = channel.connection.recv_frame(timeout=timeout)
+        except ConnectionClosed as exc:
+            self._fail_channel(channel, f"log server connection lost: {exc}")
+            return
+        if frame is None:
+            return
+        try:
+            response = LoggerResponse.decode(frame)
+        except Exception:
+            return  # a malformed response is dropped, never matched
+        corr = int(response.corr_id)
+        with channel.lock:
+            if corr:
+                channel.correlated = True
+                waiter = channel.pending.pop(corr, None)
+                if waiter is None:
+                    # A reply whose RPC already timed out: discarded by
+                    # id, and the connection stays up.
+                    self.late_replies_discarded += 1
+                    return
+                try:
+                    channel.fifo.remove(waiter)
+                except ValueError:
+                    pass
+            else:
+                if not channel.fifo:
+                    self.late_replies_discarded += 1
+                    return
+                waiter = channel.fifo.popleft()
+                channel.pending.pop(waiter.corr, None)
+        waiter.response = response
+        waiter.done = True
+        waiter.event.set()
 
     def _rpc(self, request: LoggerRequest, timeout: float) -> LoggerResponse:
         """One synchronous request/response exchange; raises
         :class:`RemoteUnavailable` (a :class:`LoggingError`) on any
-        connection or timeout trouble."""
-        with self._rpc_lock:
-            connection = self._connect()
-            if connection is None:
-                raise RemoteUnavailable(
-                    f"log server unreachable at {self._address!r}"
-                )
-            try:
-                connection.send_frame(request.encode())
-                frame = connection.recv_frame(timeout=timeout)
-            except ConnectionClosed as exc:
-                raise RemoteUnavailable(
-                    f"log server connection lost: {exc}"
-                ) from exc
-            if frame is None:
-                # The server may still answer after the deadline; a late
-                # response left queued on this socket would be decoded as
-                # the NEXT exchange's reply (responses carry no correlation
-                # ids).  Drop the connection so every later RPC -- and the
-                # breaker decisions fed by it -- starts on a clean stream.
-                with self._lock:
-                    if self._connection is connection:
-                        self._connection = None
-                connection.close()
-                raise RemoteUnavailable("log server did not answer in time")
-            return LoggerResponse.decode(frame)
+        connection or timeout trouble.  Any number of these may be in
+        flight concurrently on the shared connection."""
+        channel, waiter = self._rpc_send(request)
+        return self._rpc_wait(channel, waiter, timeout)
 
     def register_key(self, component_id: str, key: Union[PublicKey, bytes]) -> None:
         """Synchronously register; raises if the server is unreachable or
@@ -1128,7 +1845,7 @@ class RemoteLogger:
         if not response.ok:
             if int(response.code) == OP_PROOF_RANGE:
                 raise ProofError(str(response.error) or "proof request refused")
-            _raise_for_verdict(response)
+            _raise_for_verdict(response, self._rng)
             raise LoggingError(f"proof request rejected: {response.error}")
         return response
 
@@ -1287,6 +2004,13 @@ class RemoteLogger:
         connection are ingested in order, so the count identifies the
         accepted prefix exactly); a plain :class:`LoggingError` means the
         server answered and refused (nothing was ingested).
+
+        Chunks of one oversized batch are exchanged serially on purpose:
+        the accepted-prefix property depends on stop-on-refusal, and a
+        pipelined chunk landing *after* a refused one would punch a hole
+        in the prefix.  *Concurrent* callers pipeline freely -- each
+        call's frames carry their own correlation ids, so many batches
+        may be in flight on the shared connection at once.
         """
         records = [
             entry.encode() if isinstance(entry, LogEntry) else bytes(entry)
@@ -1331,7 +2055,7 @@ class RemoteLogger:
             if not response.ok:
                 if int(response.code) == OP_BUSY:
                     self.busy_responses += 1
-                _raise_for_verdict(response)
+                _raise_for_verdict(response, self._rng)
                 raise LoggingError(f"batch submission rejected: {response.error}")
             count = int(response.entries)
         return count
@@ -1390,8 +2114,34 @@ class RemoteLogger:
         except ConnectionClosed:
             self._spill_entry(record)
             return 0
+        if not self._confirm_sent(connection, [record]):
+            return 0
         self._after_send([record])
         return 0
+
+    def _confirm_sent(
+        self, connection: Connection, records: List[bytes]
+    ) -> bool:
+        """Post-send guard against the reap-vs-send race: the pre-send
+        ``peer_closed()`` peek and the send are not atomic, so a
+        connection the server reaped in that gap accepts the frame at the
+        kernel level and discards it.  Peeking again *after* the send
+        closes the window: if EOF is now visible, the frames may never be
+        read -- re-spill the records and retire the connection.
+        At-least-once: if the server did ingest them before closing, the
+        re-sends surface as auditable duplicates, never silent loss."""
+        try:
+            alive = not connection.peer_closed()
+        except Exception:
+            alive = False
+        if alive:
+            return True
+        self._drop_cached_connection(connection)
+        with self._lock:
+            self.peer_close_respills += len(records)
+        for record in records:
+            self._spill_entry(record)
+        return False
 
     def submit_batch(
         self,
@@ -1426,6 +2176,8 @@ class RemoteLogger:
         except ConnectionClosed:
             for record in records:
                 self._spill_entry(record)
+            return [0] * len(records)
+        if not self._confirm_sent(connection, records):
             return [0] * len(records)
         self._after_send(records)
         return [0] * len(records)
@@ -1636,6 +2388,7 @@ class RemoteLogger:
         queued evidence -- it either reaches the server or survives on
         disk for the next incarnation of this component."""
         with self._lock:
+            self._closed = True  # no new connections from here on
             connection = self._connection
         if connection is not None and not connection.closed:
             try:
@@ -1651,8 +2404,12 @@ class RemoteLogger:
                         self.spilled_to_disk += 1
                     except OSError:
                         self.dropped += 1
+            stale = self._channel
+            self._channel = None
             if self._connection is not None:
                 self._connection.close()
                 self._connection = None
             if self._disk is not None:
                 self._disk.close()
+        if stale is not None:
+            self._fail_waiters(stale, "logger stub closed")

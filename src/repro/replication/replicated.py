@@ -36,8 +36,9 @@ import logging
 import random
 import threading
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence, TypeVar, Union
 
 from repro.core.entries import LogEntry
 from repro.core.log_server import LogCommitment
@@ -55,6 +56,8 @@ from repro.replication.divergence import DivergenceDetector, DivergenceEvidence
 from repro.util.concurrency import StoppableThread
 
 logger = logging.getLogger(__name__)
+
+_T = TypeVar("_T")
 
 
 @dataclass
@@ -151,11 +154,18 @@ class ReplicatedLogger:
         #: equivocation evidence force-opens the offender's breaker.
         self.gossip: Optional[GossipRelay] = None
         self._gossip_key: Optional[PublicKey] = None
-        # Serializes fan-out so every replica sees the same interleaving of
-        # submissions (multiple components share one instance; commitments
-        # are order-sensitive).
+        # Serializes fan-out *rounds* so every replica sees the same
+        # interleaving of submissions (multiple components share one
+        # instance; commitments are order-sensitive).  Within one round
+        # the replica RPCs run concurrently on the fan-out pool -- each
+        # replica still observes the identical round order, but a slow
+        # replica no longer adds its latency to every other replica's.
         self._submit_lock = threading.Lock()
         self._counter_lock = threading.Lock()
+        self._fanout = ThreadPoolExecutor(
+            max_workers=len(self._handles),
+            thread_name_prefix="replica-fanout",
+        )
         self.submits = 0
         self.quorum_submits = 0
         self.degraded_submits = 0
@@ -185,6 +195,17 @@ class ReplicatedLogger:
         )
         return _ReplicaHandle(index, address, client, breaker)
 
+    def _fan_out(
+        self, fn: Callable[[_ReplicaHandle], "_T"]
+    ) -> List["_T"]:
+        """Run ``fn`` once per replica concurrently; results in replica
+        order.  Exceptions propagate (callers' ``fn`` absorb per-replica
+        trouble themselves).  A single-replica set stays inline -- no
+        thread hop on the degenerate case."""
+        if len(self._handles) == 1:
+            return [fn(self._handles[0])]
+        return list(self._fanout.map(fn, self._handles))
+
     @property
     def quorum(self) -> int:
         """Replicas a submit must reach to count as durably logged."""
@@ -201,17 +222,20 @@ class ReplicatedLogger:
         quorum accepted (startup must not proceed under-replicated)."""
         if isinstance(key, PublicKey):
             key = key.to_bytes()
-        accepted = 0
-        errors: List[str] = []
-        for handle in self._handles:
+
+        def register_one(handle: _ReplicaHandle) -> Optional[str]:
             try:
                 handle.client.register_key(component_id, key)
-                accepted += 1
                 handle.breaker.record_success()
+                return None
             except (LoggingError, TransportError) as exc:
                 handle.breaker.record_failure()
                 handle.last_error = str(exc)
-                errors.append(f"{handle.label}: {exc}")
+                return f"{handle.label}: {exc}"
+
+        outcomes = self._fan_out(register_one)
+        errors = [error for error in outcomes if error is not None]
+        accepted = len(outcomes) - len(errors)
         if accepted < self.quorum:
             raise LoggingError(
                 f"key registration for {component_id!r} reached only "
@@ -227,31 +251,33 @@ class ReplicatedLogger:
         (skip).  Quorum accounting is visible via :meth:`quorum_status`.
         """
         record = entry.encode() if isinstance(entry, LogEntry) else bytes(entry)
-        reached = 0
+
+        def submit_one(handle: _ReplicaHandle) -> int:
+            # Only CLOSED replicas get data: a submit must never be the
+            # half-open readmission probe, because a replica that came
+            # back *behind* its peers would append new entries over the
+            # gap and fork its chain.  Readmission goes through
+            # :meth:`probe` (which demands an up-to-date commitment) or
+            # :meth:`catch_up` (which restores one).
+            if handle.breaker.state is not BreakerState.CLOSED:
+                handle.skipped += 1
+                return 0
+            handle.client.submit(record)
+            handle.submitted += 1
+            if handle.client.shedding:
+                # Shed mode: the entry parked in the replica's spill
+                # (delayed, not lost).  Not "reached" for quorum
+                # purposes, but not a breaker failure either -- the
+                # server IS up, it asked us to back off.
+                return 0
+            if handle.client.connected:
+                handle.breaker.record_success()
+                return 1
+            self._note_failure(handle, "submit could not connect")
+            return 0
+
         with self._submit_lock:
-            for handle in self._handles:
-                # Only CLOSED replicas get data: a submit must never be the
-                # half-open readmission probe, because a replica that came
-                # back *behind* its peers would append new entries over the
-                # gap and fork its chain.  Readmission goes through
-                # :meth:`probe` (which demands an up-to-date commitment) or
-                # :meth:`catch_up` (which restores one).
-                if handle.breaker.state is not BreakerState.CLOSED:
-                    handle.skipped += 1
-                    continue
-                handle.client.submit(record)
-                handle.submitted += 1
-                if handle.client.shedding:
-                    # Shed mode: the entry parked in the replica's spill
-                    # (delayed, not lost).  Not "reached" for quorum
-                    # purposes, but not a breaker failure either -- the
-                    # server IS up, it asked us to back off.
-                    continue
-                if handle.client.connected:
-                    reached += 1
-                    handle.breaker.record_success()
-                else:
-                    self._note_failure(handle, "submit could not connect")
+            reached = sum(self._fan_out(submit_one))
         with self._counter_lock:
             self.submits += 1
             self.last_reached = reached
@@ -278,25 +304,26 @@ class ReplicatedLogger:
             entry.encode() if isinstance(entry, LogEntry) else bytes(entry)
             for entry in entries
         ]
-        reached = 0
+        def submit_batch_one(handle: _ReplicaHandle) -> int:
+            # Same readmission rule as submit(): only CLOSED replicas
+            # get data (see the comment there).
+            if handle.breaker.state is not BreakerState.CLOSED:
+                handle.skipped += len(records)
+                return 0
+            handle.client.submit_batch(records)
+            handle.submitted += len(records)
+            if handle.client.shedding:
+                # Same as submit(): shed = delayed at the replica's
+                # spill, neither reached nor a breaker failure.
+                return 0
+            if handle.client.connected:
+                handle.breaker.record_success()
+                return 1
+            self._note_failure(handle, "batch submit could not connect")
+            return 0
+
         with self._submit_lock:
-            for handle in self._handles:
-                # Same readmission rule as submit(): only CLOSED replicas
-                # get data (see the comment there).
-                if handle.breaker.state is not BreakerState.CLOSED:
-                    handle.skipped += len(records)
-                    continue
-                handle.client.submit_batch(records)
-                handle.submitted += len(records)
-                if handle.client.shedding:
-                    # Same as submit(): shed = delayed at the replica's
-                    # spill, neither reached nor a breaker failure.
-                    continue
-                if handle.client.connected:
-                    reached += 1
-                    handle.breaker.record_success()
-                else:
-                    self._note_failure(handle, "batch submit could not connect")
+            reached = sum(self._fan_out(submit_batch_one))
         with self._counter_lock:
             self.submits += len(records)
             self.last_reached = reached
@@ -982,3 +1009,4 @@ class ReplicatedLogger:
             self._prober = None
         for handle in self._handles:
             handle.client.close()
+        self._fanout.shutdown(wait=True)

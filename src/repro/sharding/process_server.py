@@ -533,18 +533,45 @@ class ProcessShardedLogServer:
                 self._restart_worker(handle)
                 return fn(handle.client)
 
+    def _fan_out_workers(self, fn: Callable[[RemoteLogger], Any]) -> List[Any]:
+        """Run ``fn`` against every worker concurrently on the shared
+        pool; returns results in shard order, raising the first failure
+        (by shard index) after every shard has finished.  Single-shard
+        servers stay inline -- no pool hop for the common test setup."""
+        if self.shard_count == 1:
+            return [self._worker_call(0, fn)]
+        futures = [
+            self._pool.submit(self._worker_call, index, fn)
+            for index in range(self.shard_count)
+        ]
+        results: List[Any] = []
+        failure: Optional[Exception] = None
+        for future in futures:
+            try:
+                results.append(future.result())
+            except Exception as exc:
+                if failure is None:
+                    failure = exc
+        if failure is not None:
+            raise failure
+        return results
+
     # -- component-facing API ---------------------------------------------
 
     def register_key(self, component_id: str, key: Union[PublicKey, bytes]) -> None:
         """Register a component's key on *every* worker (each shard must
         be independently auditable).  Workers journal registrations in
-        their WALs, so restarts need no re-registration."""
+        their WALs, so restarts need no re-registration.
+
+        The fan-out runs concurrently across workers (each call still
+        serializes on its handle lock); with the pipelined wire protocol
+        a registration round costs one RPC round-trip, not shard_count.
+        """
         if isinstance(key, PublicKey):
             key = key.to_bytes()
-        for index in range(self.shard_count):
-            self._worker_call(
-                index, lambda client: client.register_key(component_id, key)
-            )
+        self._fan_out_workers(
+            lambda client: client.register_key(component_id, key)
+        )
 
     def _route(self, entry: Union[LogEntry, bytes]) -> Tuple[int, bytes]:
         """Pick the shard and the exact wire bytes for one entry; raises
@@ -1073,11 +1100,11 @@ class ProcessShardedLogServer:
         )
 
     def checkpoint(self) -> None:
-        """Fan a durable-checkpoint request out to every worker."""
-        for index in range(self.shard_count):
-            self._worker_call(
-                index, lambda client: client.checkpoint(timeout=self._rpc_timeout)
-            )
+        """Fan a durable-checkpoint request out to every worker
+        concurrently (checkpoints are independent per shard)."""
+        self._fan_out_workers(
+            lambda client: client.checkpoint(timeout=self._rpc_timeout)
+        )
 
     # -- shutdown ----------------------------------------------------------
 

@@ -1,0 +1,392 @@
+"""Pipelined wire protocol regressions: correlated RPCs sharing one
+socket, late-reply discard, and the three remote-client races the
+pipelining work exposed (connect-under-lock, reap-vs-send TOCTOU, and
+the zero-hint BUSY retry spin)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core import LogServer, LogServerEndpoint, RemoteLogger
+from repro.core.entries import LogEntry, Scheme
+from repro.core.remote import (
+    MIN_SHED_FLOOR,
+    OP_BUSY,
+    LoggerRequest,
+    LoggerResponse,
+    RemoteUnavailable,
+    _floor_retry_after,
+)
+from repro.errors import ServerBusy, TransportError
+from repro.middleware.transport.base import (
+    Connection,
+    ConnectionClosed,
+    Transport,
+)
+from repro.middleware.transport.tcp import TcpTransport
+from repro.util.concurrency import wait_for
+
+
+def _entry(seq: int) -> LogEntry:
+    return LogEntry(
+        component_id="/a", topic="/t", seq=seq, scheme=Scheme.ADLP
+    )
+
+
+class _CountingTransport(Transport):
+    """TcpTransport wrapper counting outbound connects."""
+
+    def __init__(self):
+        self._inner = TcpTransport()
+        self.connects = 0
+
+    def listen(self):
+        return self._inner.listen()
+
+    def connect(self, address):
+        self.connects += 1
+        return self._inner.connect(address)
+
+
+class TestPipelinedRpcs:
+    def test_concurrent_sync_rpcs_share_one_connection(self):
+        """Many threads issue acknowledged batches through ONE stub at
+        once; every batch lands and the stub never opens a second
+        connection (pre-envelope clients serialized on _rpc_lock)."""
+        server = LogServer()
+        endpoint = LogServerEndpoint(server)
+        transport = _CountingTransport()
+        client = RemoteLogger(endpoint.address, transport=transport)
+        client.health()  # warm the connection before the stampede
+        threads = 8
+        per_thread = 25
+        errors = []
+
+        def worker(base: int) -> None:
+            try:
+                batch = [_entry(base + i) for i in range(per_thread)]
+                client.submit_batch_sync(batch, timeout=10.0)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        pool = [
+            threading.Thread(target=worker, args=(t * per_thread,))
+            for t in range(threads)
+        ]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join(timeout=30.0)
+        assert not errors
+        assert len(server) == threads * per_thread
+        assert transport.connects == 1
+        client.close()
+        endpoint.close()
+
+    def test_late_reply_discarded_by_id_connection_survives(self):
+        """A reply that arrives after its RPC timed out is dropped by
+        correlation id; the connection (and later RPCs on it) survive.
+        Pre-envelope clients had to kill the connection instead."""
+        transport = TcpTransport()
+        listener = transport.listen()
+        stop = threading.Event()
+        accepted = []
+
+        def serve() -> None:
+            conn = listener.accept(timeout=5.0)
+            if conn is None:  # pragma: no cover - setup failure
+                return
+            accepted.append(conn)
+            stalled = None
+            seen = 0
+            while not stop.is_set():
+                try:
+                    frame = conn.recv_frame(timeout=0.1)
+                except ConnectionClosed:
+                    return
+                if frame is None:
+                    continue
+                request = LoggerRequest.decode(frame)
+                reply = LoggerResponse(
+                    ok=True, entries=0, corr_id=int(request.corr_id)
+                )
+                seen += 1
+                if seen == 2:
+                    stalled = reply  # park: its RPC will time out
+                    continue
+                conn.send_frame(reply.encode())
+                if stalled is not None:
+                    conn.send_frame(stalled.encode())  # the LATE reply
+                    stalled = None
+
+        server_thread = threading.Thread(target=serve, daemon=True)
+        server_thread.start()
+        client = RemoteLogger(listener.address)
+        try:
+            client.health(timeout=5.0)  # latches "server correlates"
+            with pytest.raises(RemoteUnavailable):
+                client.health(timeout=0.3)  # server parks this reply
+            # Same connection: answered in order (reply 3, then late 2).
+            client.health(timeout=5.0)
+            client.health(timeout=5.0)  # pumps + discards the late reply
+            assert wait_for(
+                lambda: client.stats()["late_replies_discarded"] >= 1,
+                timeout=2.0,
+            )
+            assert client.connected
+            assert len(accepted) == 1  # never reconnected
+        finally:
+            stop.set()
+            client.close()
+            server_thread.join(timeout=5.0)
+            listener.close()
+
+
+class _BlockingConnectTransport(Transport):
+    """connect() parks on an event, then fails -- a stand-in for a
+    blackholed host / full accept backlog."""
+
+    def __init__(self):
+        self.entered = threading.Event()
+        self.release = threading.Event()
+
+    def connect(self, address):
+        self.entered.set()
+        self.release.wait(timeout=10.0)
+        raise TransportError("connect timed out")
+
+
+class TestConnectOutsideLock:
+    def test_stalled_connect_does_not_freeze_stats_or_close(self):
+        """Regression: _connect used to hold self._lock across the
+        blocking transport connect, so a stalled connect froze stats()
+        and close() on every other thread."""
+        transport = _BlockingConnectTransport()
+        client = RemoteLogger(("test", "nowhere"), transport=transport)
+
+        submitter = threading.Thread(target=client.submit, args=(_entry(1),))
+        submitter.start()
+        assert transport.entered.wait(timeout=5.0)
+        # The connect is stalled RIGHT NOW; the shared lock must be free.
+        start = time.monotonic()
+        client.stats()
+        assert client.spilled == 0
+        assert not client.connected
+        client.close()
+        assert time.monotonic() - start < 1.0
+        transport.release.set()
+        submitter.join(timeout=5.0)
+        assert not submitter.is_alive()
+        # The entry survived the stalled connect (spilled, not lost).
+        assert client.dropped == 0
+
+    def test_non_accepting_tcp_server_does_not_block_other_threads(self):
+        """Same race end-to-end over TCP: a listener whose accept backlog
+        is saturated stalls fresh connects; stats() must stay prompt."""
+        import socket as socketlib
+
+        gate = socketlib.socket()
+        gate.bind(("127.0.0.1", 0))
+        gate.listen(0)  # never accepted; minimal backlog
+        address = ("tcp",) + gate.getsockname()
+        fillers = []
+        for _ in range(4):  # saturate the accept queue
+            filler = socketlib.socket()
+            filler.setblocking(False)
+            filler.connect_ex(gate.getsockname())
+            fillers.append(filler)
+        client = RemoteLogger(
+            address, transport=TcpTransport(connect_timeout=1.0)
+        )
+        try:
+            submitter = threading.Thread(
+                target=client.submit, args=(_entry(1),)
+            )
+            submitter.start()
+            time.sleep(0.1)  # let the submitter reach the connect
+            start = time.monotonic()
+            client.stats()
+            _ = client.spilled
+            assert time.monotonic() - start < 0.75
+            submitter.join(timeout=10.0)
+            assert not submitter.is_alive()
+            assert client.dropped == 0
+        finally:
+            client.close()
+            for filler in fillers:
+                filler.close()
+            gate.close()
+
+
+class _FlipConnection(Connection):
+    """Looks alive at the pre-send peek, reports peer-closed immediately
+    after the send -- the injected reap-vs-send race."""
+
+    def __init__(self):
+        self.frames = []
+        self._closed = False
+        self._peer_gone = False
+
+    def send_frame(self, frame: bytes) -> None:
+        if self._closed:
+            raise ConnectionClosed("closed")
+        self.frames.append(frame)
+        self._peer_gone = True  # the server reaped us mid-send
+
+    def recv_frame(self, timeout=None):
+        return None
+
+    def close(self) -> None:
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def peer_closed(self) -> bool:
+        return self._peer_gone
+
+
+class _GoodConnection(Connection):
+    def __init__(self):
+        self.frames = []
+        self._closed = False
+
+    def send_frame(self, frame: bytes) -> None:
+        if self._closed:
+            raise ConnectionClosed("closed")
+        self.frames.append(frame)
+
+    def recv_frame(self, timeout=None):
+        return None
+
+    def close(self) -> None:
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def peer_closed(self) -> bool:
+        return False
+
+
+class _ScriptedTransport(Transport):
+    def __init__(self, connections):
+        self._connections = list(connections)
+
+    def connect(self, address):
+        if not self._connections:
+            raise TransportError("no more connections scripted")
+        return self._connections.pop(0)
+
+
+class TestPeerCloseRespill:
+    def test_close_between_peek_and_send_respills(self):
+        """Regression: a connection reaped between the peer_closed() peek
+        and the fire-and-forget send used to swallow the frame silently.
+        The post-send peek must route it to the spill queue instead."""
+        flip = _FlipConnection()
+        good = _GoodConnection()
+        client = RemoteLogger(
+            ("test", "x"),
+            transport=_ScriptedTransport([flip, good]),
+            reconnect_backoff=0.001,
+        )
+        entry = _entry(7)
+        client.submit(entry)
+        assert len(flip.frames) == 1  # the send itself "succeeded"
+        assert client.spilled == 1  # ...but the record was respilled
+        assert client.dropped == 0
+        assert client.stats()["peer_close_respills"] == 1
+        assert flip.closed  # the raced connection was retired
+
+        # Recovery: the respilled record drains on the next connection.
+        assert client.flush_spill()
+        assert client.spilled == 0
+        assert client.stats()["spill_retries"] == 1
+        assert len(good.frames) == 1
+        resent = LoggerRequest.decode(good.frames[0])
+        assert bytes(resent.entry_bytes) == entry.encode()
+        client.close()
+
+    def test_batch_respill_counts_every_record(self):
+        flip = _FlipConnection()
+        client = RemoteLogger(
+            ("test", "x"), transport=_ScriptedTransport([flip])
+        )
+        client.submit_batch([_entry(i) for i in range(5)])
+        assert client.spilled == 5
+        assert client.stats()["peer_close_respills"] == 5
+        assert client.dropped == 0
+        client.close()
+
+
+class TestBusyRetryFloor:
+    def test_floor_applies_jitter_within_bounds(self):
+        import random
+
+        rng = random.Random(42)
+        for _ in range(100):
+            floored = _floor_retry_after(0.0, rng)
+            assert MIN_SHED_FLOOR <= floored < 2 * MIN_SHED_FLOOR
+        # Hints at or above the floor pass through untouched.
+        assert _floor_retry_after(MIN_SHED_FLOOR) == MIN_SHED_FLOOR
+        assert _floor_retry_after(0.5) == 0.5
+
+    def test_zero_hint_busy_bounds_retry_rate(self):
+        """Regression: a BUSY verdict with retry_after_ms=0 used to open
+        a zero-length shed window -- clients honoring the hint retried in
+        a hot spin.  The client-side floor bounds the retry rate no
+        matter what the server says."""
+        transport = TcpTransport()
+        listener = transport.listen()
+        stop = threading.Event()
+
+        def serve() -> None:
+            conn = listener.accept(timeout=5.0)
+            if conn is None:  # pragma: no cover - setup failure
+                return
+            while not stop.is_set():
+                try:
+                    frame = conn.recv_frame(timeout=0.1)
+                except ConnectionClosed:
+                    return
+                if frame is None:
+                    continue
+                request = LoggerRequest.decode(frame)
+                conn.send_frame(
+                    LoggerResponse(
+                        ok=False,
+                        error="synthetic overload",
+                        code=OP_BUSY,
+                        queue_depth=10,
+                        retry_after_ms=0,  # the pathological hint
+                        corr_id=int(request.corr_id),
+                    ).encode()
+                )
+
+        server_thread = threading.Thread(target=serve, daemon=True)
+        server_thread.start()
+        client = RemoteLogger(listener.address)
+        try:
+            attempts = 0
+            window = 0.4
+            deadline = time.monotonic() + window
+            while time.monotonic() < deadline:
+                attempts += 1
+                with pytest.raises(ServerBusy) as info:
+                    client.submit_batch_sync([_entry(attempts)], timeout=5.0)
+                assert info.value.retry_after >= MIN_SHED_FLOOR
+                assert info.value.retry_after < 2 * MIN_SHED_FLOOR
+                time.sleep(info.value.retry_after)  # honor the hint
+            # Bounded retry rate: at most one attempt per floor interval
+            # (plus slack for scheduling) -- a hot spin would make this
+            # hundreds.
+            assert attempts <= int(window / MIN_SHED_FLOOR) + 2
+        finally:
+            stop.set()
+            client.close()
+            server_thread.join(timeout=5.0)
+            listener.close()

@@ -1,0 +1,245 @@
+"""Envelope compatibility across protocol versions.
+
+The v2 correlation envelope added ``corr_id`` to both wire messages.
+Old peers must keep working in both directions:
+
+- old client / new server: frames without ``corr_id`` are answered in
+  FIFO order with ``corr_id=0`` echoed, which old response schemas skip
+  as an unknown field;
+- new client / old server: replies carry no ``corr_id``, so the client
+  falls back to FIFO matching -- and a timeout drops the connection
+  (exactly the pre-envelope behavior), because an uncorrelated late
+  reply could otherwise be matched to the wrong exchange.
+"""
+
+import threading
+from collections import deque
+
+import pytest
+
+from repro.core import LogServer, LogServerEndpoint, RemoteLogger
+from repro.core.entries import LogEntry, Scheme
+from repro.core.remote import (
+    OP_HEALTH,
+    OP_REGISTER_KEY,
+    OP_SUBMIT,
+    OP_SUBMIT_BATCH,
+    LoggerResponse,
+    RemoteUnavailable,
+)
+from repro.middleware.transport.base import ConnectionClosed, Transport
+from repro.middleware.transport.tcp import TcpTransport
+from repro.serialization import (
+    WireMessage,
+    boolean,
+    bytes_,
+    repeated,
+    string,
+    uint64,
+)
+
+
+class OldLoggerRequest(WireMessage):
+    """The pre-envelope request schema: same tags, no ``corr_id`` (14).
+    Encoding one of these is byte-identical to what a pre-pipelining
+    client puts on the wire."""
+
+    op = uint64(1)
+    component_id = string(2)
+    key_bytes = bytes_(3)
+    entry_bytes = bytes_(4)
+    start = uint64(5)
+    count = uint64(6)
+    entry_batch = repeated(bytes_(7))
+    shard = uint64(8)
+    sync = boolean(9)
+    deadline_ms = uint64(10)
+
+
+class OldLoggerResponse(WireMessage):
+    """The pre-envelope response schema: no ``corr_id`` (21).  Decoding a
+    new server's reply with this schema exercises the unknown-field skip
+    an old client depends on."""
+
+    ok = boolean(1)
+    error = string(2)
+    entries = uint64(3)
+    chain_head = bytes_(4)
+    merkle_root = bytes_(5)
+    total_bytes = uint64(6)
+    records = repeated(bytes_(7))
+    shards = uint64(10)
+    code = uint64(12)
+
+
+def _entry(seq: int) -> LogEntry:
+    return LogEntry(
+        component_id="/a", topic="/t", seq=seq, scheme=Scheme.ADLP
+    )
+
+
+class TestOldClientNewServer:
+    @pytest.fixture()
+    def endpoint(self):
+        server = LogServer()
+        endpoint = LogServerEndpoint(server)
+        yield server, endpoint
+        endpoint.close()
+
+    def test_uncorrelated_frames_answered_fifo_with_zero_echo(self, endpoint):
+        server, ep = endpoint
+        conn = TcpTransport().connect(ep.address)
+        try:
+            conn.send_frame(OldLoggerRequest(op=OP_HEALTH).encode())
+            frame = conn.recv_frame(timeout=5.0)
+            old_view = OldLoggerResponse.decode(frame)
+            assert old_view.ok  # corr_id=21 skipped as unknown
+            assert LoggerResponse.decode(frame).corr_id == 0
+
+            # Two pipelined old-style sync submits: replies come back in
+            # FIFO order (the only order an old client can match on).
+            conn.send_frame(
+                OldLoggerRequest(
+                    op=OP_SUBMIT, entry_bytes=_entry(1).encode(), sync=True
+                ).encode()
+            )
+            conn.send_frame(
+                OldLoggerRequest(
+                    op=OP_SUBMIT, entry_bytes=_entry(2).encode(), sync=True
+                ).encode()
+            )
+            first = OldLoggerResponse.decode(conn.recv_frame(timeout=5.0))
+            second = OldLoggerResponse.decode(conn.recv_frame(timeout=5.0))
+            assert first.ok and second.ok
+            assert (int(first.entries), int(second.entries)) == (1, 2)
+            assert len(server) == 2
+        finally:
+            conn.close()
+
+    def test_old_style_registration_and_batch(self, endpoint, keypool):
+        server, ep = endpoint
+        conn = TcpTransport().connect(ep.address)
+        try:
+            conn.send_frame(
+                OldLoggerRequest(
+                    op=OP_REGISTER_KEY,
+                    component_id="/a",
+                    key_bytes=keypool[0].public.to_bytes(),
+                ).encode()
+            )
+            reply = OldLoggerResponse.decode(conn.recv_frame(timeout=5.0))
+            assert reply.ok
+            assert server.public_key("/a") == keypool[0].public
+
+            batch = [_entry(i).encode() for i in range(1, 4)]
+            conn.send_frame(
+                OldLoggerRequest(
+                    op=OP_SUBMIT_BATCH, entry_batch=batch, sync=True
+                ).encode()
+            )
+            reply = OldLoggerResponse.decode(conn.recv_frame(timeout=5.0))
+            assert reply.ok
+            assert int(reply.entries) == 3
+        finally:
+            conn.close()
+
+
+class _CountingTransport(Transport):
+    def __init__(self):
+        self._inner = TcpTransport()
+        self.connects = 0
+
+    def connect(self, address):
+        self.connects += 1
+        return self._inner.connect(address)
+
+
+class _OldServer:
+    """A pre-envelope log server: decodes with the old schema (so the
+    request's ``corr_id`` is invisible), answers strictly in FIFO order
+    with old-schema responses (no ``corr_id``).  ``script`` behaviors:
+    "reply" answers, "park" swallows one request (forcing a client
+    timeout)."""
+
+    def __init__(self):
+        self._transport = TcpTransport()
+        self.listener = self._transport.listen()
+        self.script = deque()
+        self.accepted = 0
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    @property
+    def address(self):
+        return self.listener.address
+
+    def _serve(self) -> None:
+        while not self._stop.is_set():
+            conn = self.listener.accept(timeout=0.2)
+            if conn is None:
+                continue
+            self.accepted += 1
+            entries = 0
+            while not self._stop.is_set():
+                try:
+                    frame = conn.recv_frame(timeout=0.1)
+                except ConnectionClosed:
+                    break
+                if frame is None:
+                    continue
+                request = OldLoggerRequest.decode(frame)
+                if self.script and self.script.popleft() == "park":
+                    continue  # never answered: the client must time out
+                if int(request.op) == OP_SUBMIT_BATCH and request.sync:
+                    entries += len(list(request.entry_batch))
+                conn.send_frame(
+                    OldLoggerResponse(ok=True, entries=entries).encode()
+                )
+            conn.close()
+
+    def close(self) -> None:
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+        self.listener.close()
+
+
+class TestNewClientOldServer:
+    def test_fifo_fallback_matches_replies_in_order(self):
+        server = _OldServer()
+        transport = _CountingTransport()
+        client = RemoteLogger(server.address, transport=transport)
+        try:
+            client.health(timeout=5.0)
+            assert client.submit_batch_sync(
+                [_entry(i) for i in range(1, 4)], timeout=5.0
+            ) == 3
+            assert int(client.health(timeout=5.0).entries) == 3
+            assert transport.connects == 1
+            assert client.stats()["late_replies_discarded"] == 0
+        finally:
+            client.close()
+            server.close()
+
+    def test_timeout_against_old_server_drops_connection(self):
+        """Without correlation ids a late reply would FIFO-match the NEXT
+        exchange, so a timeout must drop the connection -- the exact
+        pre-envelope discipline, preserved for old servers only."""
+        server = _OldServer()
+        transport = _CountingTransport()
+        client = RemoteLogger(
+            server.address, transport=transport, reconnect_backoff=0.001
+        )
+        try:
+            client.health(timeout=5.0)  # replies carry no corr id
+            server.script.append("park")
+            with pytest.raises(RemoteUnavailable):
+                client.health(timeout=0.3)
+            # The uncorrelated connection was dropped; the next RPC runs
+            # on a fresh one and is answered cleanly.
+            client.health(timeout=5.0)
+            assert transport.connects == 2
+            assert server.accepted == 2
+        finally:
+            client.close()
+            server.close()
