@@ -41,6 +41,7 @@ from repro.core.entries import Direction, LogEntry, Scheme
 from repro.core.log_server import LogServer
 from repro.crypto.keys import PublicKey
 from repro.crypto.keystore import KeyStore
+from repro.crypto.verifypool import VerifyPool
 
 
 @dataclass
@@ -111,17 +112,39 @@ class _PubView:
 
 
 class Auditor:
-    """Classifies a log into valid / invalid / hidden (Figure 5)."""
+    """Classifies a log into valid / invalid / hidden (Figure 5).
 
-    def __init__(self, keystore: KeyStore, topology: Optional[Topology] = None):
+    :param verify_pool: optional :class:`~repro.crypto.verifypool.VerifyPool`.
+        When given, :meth:`audit` pre-verifies every signature the
+        classification will need as one batch on the pool's worker
+        processes and the phases read the cached booleans; any check the
+        pre-pass did not anticipate falls back to inline verification, so
+        pooled and unpooled audits return identical reports.
+    """
+
+    def __init__(
+        self,
+        keystore: KeyStore,
+        topology: Optional[Topology] = None,
+        verify_pool: Optional[VerifyPool] = None,
+    ):
         self._keystore = keystore
         self._topology = topology
+        self._verify_pool = verify_pool
+        # (serialized key, digest, signature) -> verified?; filled per audit
+        self._verify_cache: Dict[Tuple[bytes, bytes, bytes], bool] = {}
+        # memoized PublicKey.to_bytes(), keyed by object identity (the
+        # keystore hands out the same frozen instance per component)
+        self._key_bytes: Dict[int, bytes] = {}
 
     @classmethod
     def for_server(
-        cls, server: LogServer, topology: Optional[Topology] = None
+        cls,
+        server: LogServer,
+        topology: Optional[Topology] = None,
+        verify_pool: Optional[VerifyPool] = None,
     ) -> "Auditor":
-        return cls(server.keystore, topology)
+        return cls(server.keystore, topology, verify_pool=verify_pool)
 
     def audit_server(self, server: LogServer) -> AuditReport:
         """Verify store integrity, then audit all entries."""
@@ -133,6 +156,8 @@ class Auditor:
     def audit(self, entries: List[LogEntry]) -> AuditReport:
         """Run the full classification over ``entries``."""
         topology = self._topology or Topology.from_entries(entries)
+        if self._verify_pool is not None:
+            self._precompute_verifications(entries, topology)
         report = AuditReport()
 
         # verdict slot per input entry; filled in phases 1 and 2
@@ -162,6 +187,64 @@ class Auditor:
         report._account()
         return report
 
+    # -- pooled verification -------------------------------------------
+
+    def _serialized(self, key: PublicKey) -> bytes:
+        cached = self._key_bytes.get(id(key))
+        if cached is None:
+            cached = key.to_bytes()
+            self._key_bytes[id(key)] = cached
+        return cached
+
+    def _verify(self, key: PublicKey, digest: bytes, signature: bytes) -> bool:
+        """One signature check, served from the pool's batch when it was
+        anticipated by :meth:`_precompute_verifications`, inline otherwise
+        -- so a pool can only speed an audit up, never change its report."""
+        if self._verify_cache:
+            hit = self._verify_cache.get(
+                (self._serialized(key), digest, signature)
+            )
+            if hit is not None:
+                return hit
+        return key.verify_digest(digest, signature)
+
+    def _precompute_verifications(
+        self, entries: List[LogEntry], topology: Topology
+    ) -> None:
+        """Collect every (digest, sig, key) triple the two phases will
+        check -- own signatures, the publisher signature each IN entry
+        reports, the ACK signature behind each OUT view -- and verify the
+        whole batch on the pool."""
+        wanted: Dict[Tuple[bytes, bytes, bytes], None] = {}
+
+        def want(key: Optional[PublicKey], digest: bytes, signature: bytes) -> None:
+            if key is not None and digest and signature:
+                wanted[(self._serialized(key), digest, signature)] = None
+
+        for i, entry in enumerate(entries):
+            if entry.scheme is not Scheme.ADLP:
+                continue
+            own_key = self._keystore.find(entry.component_id)
+            digest = entry.reported_hash()
+            want(own_key, digest, entry.own_sig)
+            if entry.direction is Direction.IN:
+                publisher = topology.publisher_of.get(entry.topic)
+                pub_key = self._keystore.find(publisher) if publisher else None
+                want(pub_key, digest, entry.peer_sig)
+            else:
+                for view in self._pub_views(entry, i):
+                    if view.subscriber:
+                        want(
+                            self._keystore.find(view.subscriber),
+                            view.peer_hash,
+                            view.peer_sig,
+                        )
+        triples = [(digest, sig, kb) for kb, digest, sig in wanted]
+        results = self._verify_pool.verify_batch(triples)
+        self._verify_cache = {
+            key: result for key, result in zip(wanted, results)
+        }
+
     # -- phase 1: obvious detection ------------------------------------
 
     def _phase1_obvious(
@@ -189,7 +272,7 @@ class Auditor:
             if not digest or not entry.own_sig:
                 verdicts[i] = (EntryClass.INVALID, (Reason.MISSING_COMMITMENT,))
                 continue
-            if not key.verify_digest(digest, entry.own_sig):
+            if not self._verify(key, digest, entry.own_sig):
                 # eq. (3) fails: also covers impersonation -- an entry
                 # written under someone else's id cannot carry their
                 # signature (footnote on "Obvious Detection").
@@ -371,8 +454,8 @@ class Auditor:
         # verify (under the publisher's key) for the digest it reports.
         sub_proof = False
         if sub_entry is not None and pub_key is not None and sub_entry.peer_sig:
-            sub_proof = pub_key.verify_digest(
-                sub_entry.reported_hash(), sub_entry.peer_sig
+            sub_proof = self._verify(
+                pub_key, sub_entry.reported_hash(), sub_entry.peer_sig
             )
 
         # The publisher's proof: the subscriber's ACK signature it reports
@@ -381,7 +464,7 @@ class Auditor:
         pub_proof = False
         pub_consistent = False
         if pub_view is not None and sub_key is not None and pub_view.peer_sig:
-            pub_proof = sub_key.verify_digest(pub_view.peer_hash, pub_view.peer_sig)
+            pub_proof = self._verify(sub_key, pub_view.peer_hash, pub_view.peer_sig)
             pub_consistent = pub_view.peer_hash == pub_view.entry.reported_hash()
 
         if pub_view is not None and sub_entry is not None:

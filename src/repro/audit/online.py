@@ -22,6 +22,7 @@ Time is taken from an injectable clock so tests drive it deterministically.
 
 from __future__ import annotations
 
+import random
 import threading
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
@@ -30,6 +31,7 @@ from repro.audit.auditor import Auditor, Topology
 from repro.audit.verdicts import AuditReport
 from repro.core.entries import Direction, LogEntry
 from repro.crypto.keystore import KeyStore
+from repro.crypto.verifypool import VerifyPool
 from repro.util.clock import Clock, SystemClock
 
 #: key identifying one transmission: (topic, seq, subscriber)
@@ -63,15 +65,27 @@ class OnlineAuditor:
         grace_period: float = 1.0,
         on_finding: Optional[Callable[[OnlineFinding], None]] = None,
         clock: Optional[Clock] = None,
+        verify_sample_rate: float = 1.0,
+        sample_seed: Optional[int] = None,
     ):
+        if not 0.0 <= verify_sample_rate <= 1.0:
+            raise ValueError("verify_sample_rate must be within [0, 1]")
+        self._keystore = keystore
         self._auditor = Auditor(keystore, topology)
         self._topology = topology
         self.grace_period = grace_period
+        #: fraction of completed transmissions judged inline; the rest are
+        #: deferred to :meth:`final_audit` (amortized verification)
+        self.verify_sample_rate = verify_sample_rate
+        self._sample_rng = random.Random(sample_seed)
         self._on_finding = on_finding or (lambda finding: None)
         self._clock = clock or SystemClock()
         self._pending: Dict[_TransKey, Tuple[float, List[LogEntry]]] = {}
         self._findings: List[OnlineFinding] = []
         self._judged_entries = 0
+        self._seen_entries: List[LogEntry] = []
+        self._sampled_transmissions = 0
+        self._deferred_transmissions = 0
         self._lock = threading.Lock()
 
     # -- attachment ---------------------------------------------------------
@@ -84,6 +98,8 @@ class OnlineAuditor:
         grace_period: float = 1.0,
         on_finding: Optional[Callable[[OnlineFinding], None]] = None,
         clock: Optional[Clock] = None,
+        verify_sample_rate: float = 1.0,
+        sample_seed: Optional[int] = None,
     ) -> "OnlineAuditor":
         """Create an auditor fed live by a
         :class:`~repro.core.log_server.LogServer`'s ingestion stream.
@@ -96,6 +112,8 @@ class OnlineAuditor:
             grace_period=grace_period,
             on_finding=on_finding,
             clock=clock,
+            verify_sample_rate=verify_sample_rate,
+            sample_seed=sample_seed,
         )
         server.add_observer(auditor.ingest)
         auditor._attached_server = server
@@ -124,6 +142,7 @@ class OnlineAuditor:
         now = self._clock.now()
         ready: List[List[LogEntry]] = []
         with self._lock:
+            self._seen_entries.append(entry)
             for key in self._keys_for(entry):
                 deadline_entries = self._pending.get(key)
                 if deadline_entries is None:
@@ -163,11 +182,11 @@ class OnlineAuditor:
 
     # -- judging ----------------------------------------------------------
 
-    def _judge(self, entries: List[LogEntry]) -> None:
-        report = self._auditor.audit(entries)
-        emitted: List[OnlineFinding] = []
+    @staticmethod
+    def _findings_from(report: AuditReport) -> List[OnlineFinding]:
+        findings: List[OnlineFinding] = []
         for classified in report.invalid_entries():
-            emitted.append(
+            findings.append(
                 OnlineFinding(
                     kind="invalid",
                     component_id=classified.component_id,
@@ -177,7 +196,7 @@ class OnlineAuditor:
                 )
             )
         for hidden in report.hidden:
-            emitted.append(
+            findings.append(
                 OnlineFinding(
                     kind="hidden",
                     component_id=hidden.component_id,
@@ -187,7 +206,7 @@ class OnlineAuditor:
                 )
             )
         for anomaly in report.anomalies:
-            emitted.append(
+            findings.append(
                 OnlineFinding(
                     kind="anomaly",
                     component_id=anomaly.transmission.publisher,
@@ -196,11 +215,54 @@ class OnlineAuditor:
                     detail="double_signing",
                 )
             )
+        return findings
+
+    def _judge(self, entries: List[LogEntry]) -> None:
+        if (
+            self.verify_sample_rate < 1.0
+            and self._sample_rng.random() >= self.verify_sample_rate
+        ):
+            # Amortized mode: skip the inline verification for this
+            # transmission; :meth:`final_audit` still covers it, so
+            # detection is delayed, never lost.
+            with self._lock:
+                self._deferred_transmissions += 1
+            return
+        report = self._auditor.audit(entries)
+        emitted = self._findings_from(report)
         with self._lock:
+            self._sampled_transmissions += 1
             self._findings.extend(emitted)
             self._judged_entries += len(entries)
         for finding in emitted:
             self._on_finding(finding)
+
+    def final_audit(
+        self, verify_pool: Optional[VerifyPool] = None
+    ) -> AuditReport:
+        """Batch-audit *everything* ingested so far (drains pending
+        buckets first) and return the full report.
+
+        This is the second half of amortized verification: transmissions
+        the sampler skipped inline are verified here, optionally on a
+        :class:`~repro.crypto.verifypool.VerifyPool`.  Findings the
+        inline pass has not already reported are pushed to the callback.
+        """
+        self.drain()
+        with self._lock:
+            entries = list(self._seen_entries)
+        auditor = Auditor(
+            self._keystore, self._topology, verify_pool=verify_pool
+        )
+        report = auditor.audit(entries)
+        candidates = self._findings_from(report)
+        with self._lock:
+            known = set(self._findings)
+            fresh = [f for f in candidates if f not in known]
+            self._findings.extend(fresh)
+        for finding in fresh:
+            self._on_finding(finding)
+        return report
 
     # -- continuous verification (STH gossip) -----------------------------
 
@@ -254,6 +316,18 @@ class OnlineAuditor:
     def judged_entries(self) -> int:
         with self._lock:
             return self._judged_entries
+
+    @property
+    def sampled_transmissions(self) -> int:
+        """Completed transmissions the inline pass actually verified."""
+        with self._lock:
+            return self._sampled_transmissions
+
+    @property
+    def deferred_transmissions(self) -> int:
+        """Completed transmissions deferred to :meth:`final_audit`."""
+        with self._lock:
+            return self._deferred_transmissions
 
     def flagged_components(self) -> List[str]:
         """Components with any finding so far."""

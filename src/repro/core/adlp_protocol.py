@@ -572,7 +572,9 @@ class AdlpProtocol(TransportProtocol):
         self.component_id = component_id
         self.config = config or AdlpConfig()
         self.clock = clock or SystemClock()
-        self.keypair = keypair or generate_keypair(self.config.key_bits)
+        self.keypair = keypair or generate_keypair(
+            self.config.key_bits, scheme=self.config.signature_scheme
+        )
         self.stats = AdlpStats()
         self._log_server = log_server
         #: Durable per-topic sequence counters (``None`` without a

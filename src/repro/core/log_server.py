@@ -474,7 +474,12 @@ class LogServer:
         """Force a durable checkpoint now (no-op for in-memory stores)."""
         do_checkpoint = getattr(self.store, "checkpoint", None)
         if do_checkpoint is not None:
-            do_checkpoint()
+            # Lock order must match submit(): server lock, then the store's.
+            # The store's checkpoint calls back into _checkpoint_extra (which
+            # re-enters this RLock); taking the store lock first would invert
+            # the order against a concurrent submit and deadlock.
+            with self._lock:
+                do_checkpoint()
 
     def close(self) -> None:
         self.store.close()

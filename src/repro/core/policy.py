@@ -17,10 +17,11 @@ sweep them:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
 from repro.crypto.keys import DEFAULT_KEY_BITS
+from repro.crypto.schemes import default_scheme_name, get_scheme
 
 # Overload-protection configs live with their mechanisms in
 # ``repro.resilience`` (stdlib-only modules, so this import direction is
@@ -40,8 +41,17 @@ __all__ = [
 class AdlpConfig:
     """Immutable per-node ADLP configuration."""
 
-    #: RSA modulus size; the paper uses 1024.
+    #: RSA modulus size; the paper uses 1024.  Fixed-size schemes
+    #: (Ed25519) ignore it.
     key_bits: int = DEFAULT_KEY_BITS
+
+    #: Signature scheme this node generates its key pair under (``rsa``,
+    #: the paper-faithful default, or ``ed25519``).  The default follows
+    #: the ``ADLP_SIG_SCHEME`` environment variable so a whole process can
+    #: be switched without touching call sites.  Verification is always
+    #: scheme-agnostic -- the registered public key carries the scheme --
+    #: so mixed-scheme topologies work.
+    signature_scheme: str = field(default_factory=default_scheme_name)
 
     #: Subscriber log entries store ``h(seq||D)`` instead of ``D``.
     subscriber_stores_hash: bool = True
@@ -114,6 +124,7 @@ class AdlpConfig:
     def __post_init__(self) -> None:
         if self.key_bits < 128:
             raise ValueError("key_bits must be at least 128")
+        get_scheme(self.signature_scheme)  # ValueError on unknown names
         if self.ack_timeout <= 0:
             raise ValueError("ack_timeout must be positive")
         if self.max_retransmits < 0:

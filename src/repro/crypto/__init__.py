@@ -12,7 +12,13 @@ primitives from scratch:
   exponentiation primitives.
 - :mod:`repro.crypto.pkcs1` -- EMSA-PKCS1-v1_5 signature encoding
   (RFC 8017), the signature scheme the paper uses.
+- :mod:`repro.crypto.ed25519` -- pure-Python RFC 8032 Ed25519, the planned
+  upgrade path.
+- :mod:`repro.crypto.schemes` -- the pluggable :class:`SignatureScheme`
+  registry binding the two backends to scheme-tagged key encodings.
 - :mod:`repro.crypto.keys` -- key pair objects with serialization.
+- :mod:`repro.crypto.verifypool` -- spawn-context process pool for batched
+  audit-time signature verification.
 - :mod:`repro.crypto.keystore` -- the trusted logger's public-key registry.
 - :mod:`repro.crypto.hashchain` / :mod:`repro.crypto.merkle` --
   tamper-evident structures realizing the paper's trusted-logger assumption.
@@ -29,6 +35,14 @@ from repro.crypto.keystore import KeyStore
 from repro.crypto.pkcs1 import sign as pkcs1_sign, verify as pkcs1_verify
 from repro.crypto.hashchain import HashChain, ChainEntry
 from repro.crypto.merkle import MerkleTree, MerkleProof
+from repro.crypto.schemes import (
+    SignatureScheme,
+    default_scheme_name,
+    get_scheme,
+    register_scheme,
+    scheme_names,
+)
+from repro.crypto.verifypool import VerifyPool
 
 __all__ = [
     "sha256",
@@ -46,4 +60,10 @@ __all__ = [
     "ChainEntry",
     "MerkleTree",
     "MerkleProof",
+    "SignatureScheme",
+    "default_scheme_name",
+    "get_scheme",
+    "register_scheme",
+    "scheme_names",
+    "VerifyPool",
 ]

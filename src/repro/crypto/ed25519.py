@@ -1,0 +1,226 @@
+"""Pure-Python Ed25519 (RFC 8032).
+
+The paper's prototype signs with RSA-1024 PKCS#1 v1.5; the substitution
+table in DESIGN.md keeps that as the faithful default.  This module is the
+planned *upgrade path*: EdDSA over edwards25519, implemented from the RFC
+with no dependencies, so deployments can swap signature schemes without
+changing message semantics (the scheme layer in
+:mod:`repro.crypto.schemes` carries the choice in the key encoding).
+
+Implementation notes:
+
+- points are kept in extended homogeneous coordinates ``(X, Y, Z, T)``
+  with ``x = X/Z``, ``y = Y/Z``, ``x*y = T/Z`` (RFC 8032, Section 5.1.4);
+- base-point scalar multiplication uses a precomputed table of
+  ``2^i * B`` so signing costs ~L/2 point *additions* and no doublings;
+- verification uses the cofactorless equation ``S*B == R + h*A`` (what
+  the RFC's test vectors pin down);
+- all decoding paths are total: malformed or non-canonical inputs return
+  ``None``/``False``, they never raise through :func:`verify`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from typing import List, Optional, Tuple
+
+#: field prime 2^255 - 19
+P = 2**255 - 19
+#: group order of the base point
+L = 2**252 + 27742317777372353535851937790883648493
+#: curve constant d = -121665/121666 mod p
+D = (-121665 * pow(121666, P - 2, P)) % P
+
+#: sizes, in bytes
+SECRET_SIZE = 32
+PUBLIC_SIZE = 32
+SIGNATURE_SIZE = 64
+
+_Point = Tuple[int, int, int, int]
+
+# the neutral element (0, 1) in extended coordinates
+_NEUTRAL: _Point = (0, 1, 1, 0)
+
+#: affine base point (RFC 8032, Section 5.1)
+_B_Y = 4 * pow(5, P - 2, P) % P
+_B_X = 15112221349535400772501151409588531511454012693041857206046113283949847762202
+
+
+def _point_add(p: _Point, q: _Point) -> _Point:
+    """add-2008-hwcd-3 for a = -1 twisted Edwards curves."""
+    x1, y1, z1, t1 = p
+    x2, y2, z2, t2 = q
+    a = (y1 - x1) * (y2 - x2) % P
+    b = (y1 + x1) * (y2 + x2) % P
+    c = 2 * t1 * t2 * D % P
+    d = 2 * z1 * z2 % P
+    e, f, g, h = b - a, d - c, d + c, b + a
+    return (e * f % P, g * h % P, f * g % P, e * h % P)
+
+
+def _point_double(p: _Point) -> _Point:
+    """dbl-2008-hwcd (independent of t, slightly cheaper than add)."""
+    x1, y1, z1, _ = p
+    a = x1 * x1 % P
+    b = y1 * y1 % P
+    c = 2 * z1 * z1 % P
+    h = a + b
+    e = (h - (x1 + y1) * (x1 + y1)) % P
+    g = a - b
+    f = c + g
+    return (e * f % P, g * h % P, f * g % P, e * h % P)
+
+
+def _point_mul(s: int, p: _Point) -> _Point:
+    """Generic double-and-add scalar multiplication."""
+    q = _NEUTRAL
+    while s > 0:
+        if s & 1:
+            q = _point_add(q, p)
+        p = _point_double(p)
+        s >>= 1
+    return q
+
+
+def _point_equal(p: _Point, q: _Point) -> bool:
+    """Projective equality: cross-multiply through the Z denominators."""
+    x1, y1, z1, _ = p
+    x2, y2, z2, _ = q
+    return (x1 * z2 - x2 * z1) % P == 0 and (y1 * z2 - y2 * z1) % P == 0
+
+
+#: lazily built table of 2^i * B for i in [0, 256) -- makes base-point
+#: multiplication (the cost of signing) an additions-only walk
+_BASE_TABLE: List[_Point] = []
+
+
+def _base_table() -> List[_Point]:
+    if not _BASE_TABLE:
+        point: _Point = (_B_X, _B_Y, 1, _B_X * _B_Y % P)
+        for _ in range(256):
+            _BASE_TABLE.append(point)
+            point = _point_double(point)
+    return _BASE_TABLE
+
+
+def _base_mul(s: int) -> _Point:
+    table = _base_table()
+    q = _NEUTRAL
+    i = 0
+    while s > 0:
+        if s & 1:
+            q = _point_add(q, table[i])
+        s >>= 1
+        i += 1
+    return q
+
+
+def _sha512(*parts: bytes) -> bytes:
+    h = hashlib.sha512()
+    for part in parts:
+        h.update(part)
+    return h.digest()
+
+
+def point_compress(p: _Point) -> bytes:
+    """32-byte little-endian y with the sign of x in the top bit."""
+    x, y, z, _ = p
+    zinv = pow(z, P - 2, P)
+    x, y = x * zinv % P, y * zinv % P
+    return (y | ((x & 1) << 255)).to_bytes(32, "little")
+
+
+def point_decompress(data: bytes) -> Optional[_Point]:
+    """Inverse of :func:`point_compress`; ``None`` for anything that is
+    not the canonical encoding of a curve point (wrong length, ``y >= p``,
+    an x-coordinate that does not exist, or ``-0``)."""
+    if len(data) != 32:
+        return None
+    encoded = int.from_bytes(data, "little")
+    sign = encoded >> 255
+    y = encoded & ((1 << 255) - 1)
+    if y >= P:
+        return None  # non-canonical y
+    y2 = y * y % P
+    x2 = (y2 - 1) * pow(D * y2 + 1, P - 2, P) % P
+    x = pow(x2, (P + 3) // 8, P)
+    if (x * x - x2) % P != 0:
+        x = x * pow(2, (P - 1) // 4, P) % P
+    if (x * x - x2) % P != 0:
+        return None  # x^2 has no square root: not a curve point
+    if x == 0 and sign:
+        return None  # "negative zero" is non-canonical
+    if x & 1 != sign:
+        x = P - x
+    return (x, y, 1, x * y % P)
+
+
+def _clamp(scalar_bytes: bytes) -> int:
+    a = int.from_bytes(scalar_bytes, "little")
+    a &= (1 << 254) - 8
+    a |= 1 << 254
+    return a
+
+
+def generate_secret(seed: Optional[int] = None) -> bytes:
+    """A 32-byte Ed25519 secret.
+
+    :param seed: if given, the secret is derived deterministically --
+        **tests only**, mirroring :func:`repro.crypto.keys.generate_keypair`'s
+        seeded mode.  Production callers must leave it ``None``.
+    """
+    if seed is None:
+        return os.urandom(SECRET_SIZE)
+    material = b"repro.ed25519.keygen.v1:" + str(seed).encode("ascii")
+    return hashlib.sha512(material).digest()[:SECRET_SIZE]
+
+
+def public_from_secret(secret: bytes) -> bytes:
+    """The 32-byte compressed public point for a 32-byte secret."""
+    if len(secret) != SECRET_SIZE:
+        raise ValueError(f"ed25519 secret must be {SECRET_SIZE} bytes")
+    a = _clamp(_sha512(secret)[:32])
+    return point_compress(_base_mul(a))
+
+
+def sign(secret: bytes, message: bytes, public: Optional[bytes] = None) -> bytes:
+    """RFC 8032 Ed25519 signature (64 bytes ``R || S``) over ``message``.
+
+    :param public: the cached compressed public key; derived from
+        ``secret`` when omitted (one extra base multiplication).
+    """
+    if len(secret) != SECRET_SIZE:
+        raise ValueError(f"ed25519 secret must be {SECRET_SIZE} bytes")
+    h = _sha512(secret)
+    a = _clamp(h[:32])
+    prefix = h[32:]
+    if public is None:
+        public = point_compress(_base_mul(a))
+    r = int.from_bytes(_sha512(prefix, message), "little") % L
+    r_bytes = point_compress(_base_mul(r))
+    k = int.from_bytes(_sha512(r_bytes, public, message), "little") % L
+    s = (r + k * a) % L
+    return r_bytes + s.to_bytes(32, "little")
+
+
+def verify(public: bytes, message: bytes, signature: bytes) -> bool:
+    """True iff ``signature`` is a valid Ed25519 signature.
+
+    Total over arbitrary byte strings: malformed keys, non-canonical
+    points, out-of-range ``S`` and wrong lengths all return ``False``
+    (the auditor treats "does not verify" as evidence, never an error).
+    """
+    if len(public) != PUBLIC_SIZE or len(signature) != SIGNATURE_SIZE:
+        return False
+    a_point = point_decompress(public)
+    if a_point is None:
+        return False
+    r_point = point_decompress(signature[:32])
+    if r_point is None:
+        return False
+    s = int.from_bytes(signature[32:], "little")
+    if s >= L:
+        return False  # non-canonical S (malleability check, RFC 8.4)
+    k = int.from_bytes(_sha512(signature[:32], public, message), "little") % L
+    return _point_equal(_base_mul(s), _point_add(r_point, _point_mul(k, a_point)))

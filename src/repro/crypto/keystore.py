@@ -72,3 +72,13 @@ class KeyStore:
         """A point-in-time copy of the registry (for auditors)."""
         with self._lock:
             return dict(self._keys)
+
+    def describe(self) -> Dict[str, str]:
+        """Component id -> human-readable key label (``rsa-1024``,
+        ``ed25519``, ...) -- keys carry their scheme, so tooling must not
+        assume an RSA bit-size."""
+        with self._lock:
+            return {
+                component_id: key.describe()
+                for component_id, key in self._keys.items()
+            }

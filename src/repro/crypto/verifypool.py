@@ -1,0 +1,126 @@
+"""Parallel amortized signature verification.
+
+Signature verification is the auditor's CPU cost, and pure-Python
+verification (for either scheme) holds the GIL, so a thread pool cannot
+scale it.  :class:`VerifyPool` batches ``(digest, signature, key bytes)``
+triples onto a spawn-context process pool: the parent ships plain bytes,
+each child caches decoded keys and verifies its slice outside the
+parent's GIL, and the results come back as a flat list of booleans in
+input order.
+
+The pool is a *pure accelerator*: a triple that fails to decode (bad key
+bytes) verifies ``False`` exactly as it would inline, and callers such as
+:class:`repro.audit.auditor.Auditor` fall back to in-process verification
+for any triple the pre-pass did not cover -- so pooled and in-process
+audits produce identical verdicts (asserted by the cross-scheme
+differential battery).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: one verification job: (digest, signature, serialized public key)
+VerifyTriple = Tuple[bytes, bytes, bytes]
+
+#: triples below this count are verified inline -- process dispatch
+#: overhead would dominate a tiny batch
+MIN_POOL_BATCH = 32
+
+
+def _verify_chunk(triples: Sequence[VerifyTriple]) -> List[bool]:
+    """Worker-side kernel: decode keys (cached per worker), verify.
+
+    Top-level on purpose so a spawn-context pool can pickle it.  Bad key
+    bytes verify ``False`` -- the pool must never turn malformed evidence
+    into an exception a caller does not expect inline.
+    """
+    from repro.crypto.keys import PublicKey
+    from repro.errors import DecodingError
+
+    cache: Dict[bytes, Optional[PublicKey]] = {}
+    results: List[bool] = []
+    for digest, signature, key_bytes in triples:
+        key = cache.get(key_bytes, False)
+        if key is False:
+            try:
+                key = PublicKey.from_bytes(key_bytes)
+            except DecodingError:
+                key = None
+            cache[key_bytes] = key
+        results.append(
+            key is not None and key.verify_digest(digest, signature)
+        )
+    return results
+
+
+def _verify_inline(triples: Sequence[VerifyTriple]) -> List[bool]:
+    return _verify_chunk(triples)
+
+
+class VerifyPool:
+    """A spawn-context process pool for batched signature verification.
+
+    Use as a context manager (or call :meth:`close`); workers are started
+    lazily on the first batch large enough to be worth shipping out.
+    """
+
+    def __init__(self, workers: Optional[int] = None):
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be at least 1")
+        self.workers = workers or max(1, os.cpu_count() or 1)
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._closed = False
+        self._lock = threading.Lock()  # several shard auditors may share one pool
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("VerifyPool is closed")
+            if self._pool is None:
+                context = multiprocessing.get_context("spawn")
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.workers, mp_context=context
+                )
+            return self._pool
+
+    def verify_batch(self, triples: Sequence[VerifyTriple]) -> List[bool]:
+        """Verify every ``(digest, signature, key bytes)`` triple.
+
+        Returns one boolean per triple, in input order.  Small batches
+        (and single-worker pools) are verified inline.
+        """
+        triples = list(triples)
+        if not triples:
+            return []
+        if self.workers == 1 or len(triples) < MIN_POOL_BATCH:
+            return _verify_inline(triples)
+        pool = self._ensure_pool()
+        chunks = min(self.workers, len(triples))
+        step = (len(triples) + chunks - 1) // chunks
+        futures = [
+            pool.submit(_verify_chunk, triples[i : i + step])
+            for i in range(0, len(triples), step)
+        ]
+        results: List[bool] = []
+        for future in futures:
+            results.extend(future.result())
+        return results
+
+    def close(self) -> None:
+        """Shut the worker processes down (idempotent)."""
+        with self._lock:
+            self._closed = True
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "VerifyPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

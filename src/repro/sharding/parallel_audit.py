@@ -40,6 +40,7 @@ from repro.audit.causality import (
 )
 from repro.audit.verdicts import AuditReport, HiddenRecord
 from repro.core.log_server import LogCommitment
+from repro.crypto.verifypool import VerifyPool
 from repro.errors import LogIntegrityError
 from repro.sharding.sharded_server import ShardedLogServer, ShardSetCommitment
 
@@ -123,7 +124,10 @@ def _verify_shard_of(server: ShardedLogServer, shard: int) -> None:
 
 
 def _audit_one_shard(
-    server: ShardedLogServer, shard: int, topology: Optional[Topology]
+    server: ShardedLogServer,
+    shard: int,
+    topology: Optional[Topology],
+    verify_pool: Optional[VerifyPool] = None,
 ) -> ShardAuditOutcome:
     shard_server = server.shard(shard)
     outcome = ShardAuditOutcome(shard=shard, entries=len(shard_server))
@@ -134,7 +138,7 @@ def _audit_one_shard(
         outcome.tampered = True
         outcome.error = str(exc)
         return outcome
-    auditor = Auditor(shard_server.keystore, topology)
+    auditor = Auditor(shard_server.keystore, topology, verify_pool=verify_pool)
     outcome.report = auditor.audit(shard_server.entries())
     return outcome
 
@@ -239,6 +243,7 @@ def audit_sharded(
     expected: Optional[ShardSetCommitment] = None,
     chains: Sequence[Sequence[ChainHop]] = (),
     executor: str = "thread",
+    verify_pool: Optional[VerifyPool] = None,
 ) -> ShardedAuditResult:
     """Audit every shard of ``server`` across a worker pool.
 
@@ -258,6 +263,12 @@ def audit_sharded(
         store parent-side) and audits in a spawn-context process pool --
         same verdicts, but the signature checking escapes this process's
         GIL.  Works against both sharding backends.
+    :param verify_pool: optional
+        :class:`~repro.crypto.verifypool.VerifyPool` each shard auditor
+        batches its signature checks onto.  Lets the (GIL-bound) thread
+        executor parallelize the CPU cost without rebuilding shard state
+        in children; ignored under ``executor="process"``, whose workers
+        are already separate interpreters.
     """
     count = server.shard_count
     if workers is None:
@@ -273,7 +284,8 @@ def audit_sharded(
         outcomes = _audit_with_processes(server, topology, workers, count)
     elif workers == 1 or count == 1:
         outcomes = [
-            _audit_one_shard(server, shard, topology) for shard in range(count)
+            _audit_one_shard(server, shard, topology, verify_pool)
+            for shard in range(count)
         ]
     else:
         with ThreadPoolExecutor(
@@ -281,7 +293,9 @@ def audit_sharded(
         ) as pool:
             outcomes = list(
                 pool.map(
-                    lambda shard: _audit_one_shard(server, shard, topology),
+                    lambda shard: _audit_one_shard(
+                        server, shard, topology, verify_pool
+                    ),
                     range(count),
                 )
             )

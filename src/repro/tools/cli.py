@@ -96,6 +96,9 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     print(f"{_source_label(args)}: INTACT")
     print(f"  entries:     {len(server)}")
     print(f"  components:  {len(server.keystore)}")
+    for component_id, label in sorted(server.keystore.describe().items()):
+        fingerprint = server.keystore.get(component_id).fingerprint()
+        print(f"    {component_id:<24} {label:<10} fp={fingerprint}")
     if isinstance(server, ShardedLogServer):
         commitment = server.commitment()
         print(f"  shards:      {commitment.shards}")
@@ -118,6 +121,13 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     except LogIntegrityError as exc:
         print(f"TAMPERED: {exc}")
         return 2
+    if args.component:
+        key = server.keystore.find(args.component)
+        if key is not None:
+            print(
+                f"# {args.component} key: {key.describe()} "
+                f"fp={key.fingerprint()}"
+            )
     shard = getattr(args, "shard", None)
     if shard is not None:
         if not isinstance(server, ShardedLogServer):
@@ -165,6 +175,13 @@ def _cmd_audit(args: argparse.Namespace) -> int:
         print(f"TAMPERED: {exc}")
         return 2
     topology = _parse_topology(args.publisher)
+    labels = sorted(server.keystore.describe().values())
+    if labels:
+        counts = {label: labels.count(label) for label in dict.fromkeys(labels)}
+        summary = ", ".join(
+            f"{label} x{count}" for label, count in counts.items()
+        )
+        print(f"registered keys: {summary}")
     if isinstance(server, ShardedLogServer):
         result = audit_sharded(
             server,

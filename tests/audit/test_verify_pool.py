@@ -1,0 +1,126 @@
+"""The VerifyPool: batched (digest, sig, key) verification.
+
+The pool is a pure accelerator -- these tests pin its contract: results
+come back in input order, malformed key bytes verify False (never
+raise), small batches take the inline path, and wiring it into
+``audit_sharded`` / ``audit_replica_set`` changes no verdict.
+"""
+
+import pytest
+
+from repro.crypto.hashing import sha256
+from repro.crypto.verifypool import MIN_POOL_BATCH, VerifyPool, _verify_chunk
+
+
+def _triples(keypool, count, tamper_every=0):
+    triples, expected = [], []
+    for i in range(count):
+        pair = keypool[i % 3]
+        digest = sha256(b"payload-%d" % i)
+        sig = pair.private.sign_digest(digest)
+        ok = True
+        if tamper_every and i % tamper_every == 0:
+            corrupted = bytearray(sig)
+            corrupted[0] ^= 0x01
+            sig = bytes(corrupted)
+            ok = False
+        triples.append((digest, sig, pair.public.to_bytes()))
+        expected.append(ok)
+    return triples, expected
+
+
+class TestChunkKernel:
+    def test_verifies_in_order(self, keypool):
+        triples, expected = _triples(keypool, 10, tamper_every=3)
+        assert _verify_chunk(triples) == expected
+
+    def test_bad_key_bytes_verify_false_not_raise(self, keypool):
+        digest = sha256(b"x")
+        sig = keypool[0].private.sign_digest(digest)
+        assert _verify_chunk([(digest, sig, b"\xa5\x7f junk")]) == [False]
+        assert _verify_chunk([(digest, sig, b"")]) == [False]
+
+    def test_key_cache_shares_decodes(self, keypool):
+        # many triples under one key: exercises the worker-side decode cache
+        triples, expected = _triples(keypool, 6)
+        assert _verify_chunk(triples * 3) == expected * 3
+
+
+class TestPool:
+    def test_empty_batch(self):
+        with VerifyPool(workers=1) as pool:
+            assert pool.verify_batch([]) == []
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ValueError):
+            VerifyPool(workers=0)
+
+    def test_small_batch_inline(self, keypool):
+        triples, expected = _triples(keypool, 5, tamper_every=2)
+        with VerifyPool(workers=4) as pool:
+            assert pool.verify_batch(triples) == expected
+            assert pool._pool is None  # below MIN_POOL_BATCH: never spawned
+
+    def test_large_batch_across_workers(self, keypool):
+        count = MIN_POOL_BATCH * 2
+        triples, expected = _triples(keypool, count, tamper_every=7)
+        with VerifyPool(workers=2) as pool:
+            assert pool.verify_batch(triples) == expected
+
+    def test_closed_pool_rejects_large_batches(self, keypool):
+        pool = VerifyPool(workers=2)
+        pool.close()
+        pool.close()  # idempotent
+        triples, _ = _triples(keypool, MIN_POOL_BATCH)
+        with pytest.raises(RuntimeError):
+            pool.verify_batch(triples)
+
+
+class TestAuditIntegration:
+    def test_audit_sharded_with_pool(self, keypool, rng):
+        from repro.sharding.parallel_audit import audit_sharded
+        from repro.sharding.sharded_server import ShardedLogServer
+        from tests.sharding.workload import (
+            build_stream,
+            register_pair,
+            report_summary,
+            topology_for,
+        )
+
+        server = ShardedLogServer(shards=4)
+        register_pair(server, keypool)
+        for record in build_stream(keypool, rng):
+            server.submit(record)
+        plain = audit_sharded(server, topology=topology_for(), workers=2)
+        with VerifyPool(workers=2) as pool:
+            pooled = audit_sharded(
+                server, topology=topology_for(), workers=2, verify_pool=pool
+            )
+        assert report_summary(plain.report) == report_summary(pooled.report)
+        assert plain.tampered_shards == pooled.tampered_shards == []
+
+    def test_audit_replica_set_with_pool(self, keypool, rng):
+        from repro.audit.replica_audit import audit_replica_set
+        from repro.core import LogServer, LogServerEndpoint, RemoteLogger
+        from tests.sharding.workload import build_stream, report_summary
+
+        servers = [LogServer() for _ in range(3)]
+        for server in servers:
+            server.register_key("/pub", keypool[0].public)
+            server.register_key("/sub", keypool[1].public)
+        for record in build_stream(keypool, rng, transmissions=12):
+            for server in servers:
+                server.submit(record)
+        endpoints = [LogServerEndpoint(s) for s in servers]
+        clients = [RemoteLogger(e.address) for e in endpoints]
+        try:
+            plain = audit_replica_set(clients)
+            with VerifyPool(workers=2) as pool:
+                pooled = audit_replica_set(clients, verify_pool=pool)
+        finally:
+            for client in clients:
+                client.close()
+            for endpoint in endpoints:
+                endpoint.close()
+        assert report_summary(plain.report) == report_summary(pooled.report)
+        assert plain.agreeing == pooled.agreeing

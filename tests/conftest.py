@@ -40,7 +40,10 @@ def rng(deterministic_seed) -> random.Random:
 
 @pytest.fixture(scope="session")
 def keypool(deterministic_seed):
-    """A list of deterministic 512-bit key pairs (master-seed derived)."""
+    """A list of deterministic 512-bit key pairs (master-seed derived).
+
+    Follows the process-default signature scheme (``ADLP_SIG_SCHEME``),
+    which is how the CI matrix runs the whole suite under Ed25519."""
     return [
         generate_keypair(512, seed=deterministic_seed + 9000 + i)
         for i in range(_POOL_SIZE)
@@ -48,9 +51,21 @@ def keypool(deterministic_seed):
 
 
 @pytest.fixture(scope="session")
+def rsa_keypool(deterministic_seed):
+    """Like ``keypool`` but explicitly RSA, for RSA-specific tests
+    (PKCS#1 internals, legacy wire formats) that must pass under any
+    ``ADLP_SIG_SCHEME``."""
+    return [
+        generate_keypair(512, seed=deterministic_seed + 9000 + i, scheme="rsa")
+        for i in range(_POOL_SIZE)
+    ]
+
+
+@pytest.fixture(scope="session")
 def keypair_1024(deterministic_seed):
-    """One deterministic 1024-bit pair (the paper's key size)."""
-    return generate_keypair(1024, seed=deterministic_seed + 4242)
+    """One deterministic 1024-bit RSA pair (the paper's scheme and size;
+    scheme-pinned so paper-shape tests hold under every CI leg)."""
+    return generate_keypair(1024, seed=deterministic_seed + 4242, scheme="rsa")
 
 
 @pytest.fixture()

@@ -113,3 +113,51 @@ class TestIntegrity:
         r0 = server.merkle_root()
         server.submit(entry())
         assert server.merkle_root() != r0
+
+
+class TestCheckpointConcurrency:
+    def test_checkpoint_during_live_submits_does_not_deadlock(self, tmp_path):
+        """Regression: ``LogServer.checkpoint`` used to enter the durable
+        store's lock first, while ``submit`` holds the server lock and then
+        enters the store -- a concurrent external checkpoint (the CLI, a
+        supervisor, an endpoint draining fire-and-forget frames) and a live
+        submitter could deadlock on the inverted order."""
+        import threading
+
+        from repro.storage import DurableLogStore
+
+        server = LogServer(
+            store=DurableLogStore(str(tmp_path / "store"), fsync="never")
+        )
+        stop = threading.Event()
+        errors = []
+
+        def submitter():
+            seq = 1
+            while not stop.is_set():
+                try:
+                    server.submit(entry(seq=seq))
+                except Exception as exc:  # pragma: no cover
+                    errors.append(exc)
+                    return
+                seq += 1
+
+        def checkpointer():
+            for _ in range(50):
+                server.checkpoint()
+
+        threads = [
+            threading.Thread(target=submitter, daemon=True),
+            threading.Thread(target=checkpointer, daemon=True),
+        ]
+        for thread in threads:
+            thread.start()
+        threads[1].join(timeout=60)  # wedges forever on the inverted order
+        stop.set()
+        threads[0].join(timeout=30)
+        assert not any(t.is_alive() for t in threads), (
+            "checkpoint deadlocked against a live submitter"
+        )
+        assert not errors
+        server.verify_integrity()
+        server.close()

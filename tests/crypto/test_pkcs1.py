@@ -13,8 +13,8 @@ from repro.errors import SignatureError
 
 
 @pytest.fixture(scope="module")
-def key(keypool):
-    return keypool[0]
+def key(rsa_keypool):
+    return rsa_keypool[0]
 
 
 class TestEncoding:
@@ -50,9 +50,9 @@ class TestSignVerify:
         sig = sign(key.private.numbers, b"hello")
         assert not verify(key.public.numbers, b"hellp", sig)
 
-    def test_wrong_key_fails(self, key, keypool):
+    def test_wrong_key_fails(self, key, rsa_keypool):
         sig = sign(key.private.numbers, b"hello")
-        assert not verify(keypool[1].public.numbers, b"hello", sig)
+        assert not verify(rsa_keypool[1].public.numbers, b"hello", sig)
 
     def test_bitflipped_signature_fails(self, key):
         sig = bytearray(sign(key.private.numbers, b"hello"))

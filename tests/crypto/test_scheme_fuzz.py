@@ -1,0 +1,195 @@
+"""Negative-path fuzzing of the scheme-tagged wire formats.
+
+Malformed key and signature bytes are *expected* inputs for an
+accountability system -- an adversary controls what it registers and
+ships.  The contract under fuzz: key decoding raises exactly
+:class:`~repro.errors.DecodingError` (never anything else), signature
+verification returns ``False`` (never raises), a malformed registration
+RPC gets an error response and leaves the server thread alive, and STH
+verification is total.
+"""
+
+import random
+
+import pytest
+
+from repro.core import LogServer, LogServerEndpoint, RemoteLogger
+from repro.crypto import ed25519
+from repro.crypto.hashing import sha256
+from repro.crypto.keys import PublicKey, generate_keypair
+from repro.crypto.schemes import KEY_TAG_MAGIC, get_scheme
+from repro.errors import DecodingError, LoggingError
+from repro.gossip.sth import issue_sth
+
+FUZZ_ROUNDS = 150
+
+
+def _decode_is_total(blob: bytes) -> None:
+    """from_bytes either returns a PublicKey or raises DecodingError."""
+    try:
+        key = PublicKey.from_bytes(blob)
+    except DecodingError:
+        return
+    assert isinstance(key, PublicKey)
+    # anything that decodes must re-encode and still verify nothing bogus
+    assert not key.verify_digest(sha256(b"m"), b"\x00" * key.signature_size)
+
+
+class TestKeyDecodingFuzz:
+    def test_unknown_tag(self):
+        with pytest.raises(DecodingError, match="unknown signature scheme tag"):
+            PublicKey.from_bytes(bytes((KEY_TAG_MAGIC, 0x7F)) + b"\x00" * 32)
+
+    def test_magic_alone(self):
+        with pytest.raises(DecodingError):
+            PublicKey.from_bytes(bytes((KEY_TAG_MAGIC,)))
+
+    @pytest.mark.parametrize("scheme", ["rsa", "ed25519"])
+    def test_every_truncation_rejected(self, scheme, deterministic_seed):
+        pair = generate_keypair(512, seed=deterministic_seed, scheme=scheme)
+        raw = pair.public.to_bytes()
+        for cut in range(len(raw)):
+            with pytest.raises(DecodingError):
+                PublicKey.from_bytes(raw[:cut])
+
+    @pytest.mark.parametrize("scheme", ["rsa", "ed25519"])
+    def test_trailing_garbage_rejected(self, scheme, deterministic_seed):
+        pair = generate_keypair(512, seed=deterministic_seed, scheme=scheme)
+        with pytest.raises(DecodingError):
+            PublicKey.from_bytes(pair.public.to_bytes() + b"\x01")
+
+    def test_ed25519_wrong_payload_length(self):
+        for length in (0, 1, 31, 33, 64):
+            with pytest.raises(DecodingError):
+                PublicKey.from_bytes(
+                    bytes((KEY_TAG_MAGIC, 0x02)) + b"\x02" * length
+                )
+
+    def test_ed25519_non_canonical_points(self):
+        tag = bytes((KEY_TAG_MAGIC, 0x02))
+        off_curve = (2).to_bytes(32, "little")  # y=2 is not on the curve
+        y_too_big = ed25519.P.to_bytes(32, "little")  # y >= p
+        minus_zero = (1 | (1 << 255)).to_bytes(32, "little")  # x=0, sign=1
+        for payload in (off_curve, y_too_big, minus_zero):
+            with pytest.raises(DecodingError):
+                PublicKey.from_bytes(tag + payload)
+
+    def test_random_blobs_are_total(self, deterministic_seed):
+        rng = random.Random(deterministic_seed)
+        for _ in range(FUZZ_ROUNDS):
+            _decode_is_total(bytes(rng.getrandbits(8) for _ in range(rng.randrange(0, 80))))
+
+    @pytest.mark.parametrize("scheme", ["rsa", "ed25519"])
+    def test_mutated_valid_keys_are_total(self, scheme, deterministic_seed):
+        rng = random.Random(deterministic_seed)
+        raw = generate_keypair(
+            512, seed=deterministic_seed, scheme=scheme
+        ).public.to_bytes()
+        for _ in range(FUZZ_ROUNDS):
+            blob = bytearray(raw)
+            for _ in range(rng.randrange(1, 4)):
+                blob[rng.randrange(len(blob))] ^= 1 << rng.randrange(8)
+            _decode_is_total(bytes(blob))
+
+
+class TestSignatureFuzz:
+    @pytest.mark.parametrize("scheme", ["rsa", "ed25519"])
+    def test_garbage_signatures_verify_false(self, scheme, deterministic_seed):
+        rng = random.Random(deterministic_seed)
+        pair = generate_keypair(512, seed=deterministic_seed, scheme=scheme)
+        digest = sha256(b"payload")
+        for _ in range(FUZZ_ROUNDS):
+            blob = bytes(
+                rng.getrandbits(8) for _ in range(rng.randrange(0, 150))
+            )
+            assert pair.public.verify_digest(digest, blob) is False
+
+    @pytest.mark.parametrize("scheme", ["rsa", "ed25519"])
+    def test_bitflipped_signatures_verify_false(self, scheme, deterministic_seed):
+        rng = random.Random(deterministic_seed)
+        pair = generate_keypair(512, seed=deterministic_seed, scheme=scheme)
+        digest = sha256(b"payload")
+        good = pair.private.sign_digest(digest)
+        assert pair.public.verify_digest(digest, good)
+        for _ in range(60):
+            blob = bytearray(good)
+            blob[rng.randrange(len(blob))] ^= 1 << rng.randrange(8)
+            assert pair.public.verify_digest(digest, bytes(blob)) is False
+
+
+class TestRegistrationRpcFuzz:
+    """A hostile registration must not crash the server thread."""
+
+    @pytest.fixture()
+    def endpoint(self):
+        server = LogServer()
+        endpoint = LogServerEndpoint(server)
+        client = RemoteLogger(endpoint.address)
+        yield server, client
+        client.close()
+        endpoint.close()
+
+    def test_malformed_keys_rejected_server_survives(
+        self, endpoint, deterministic_seed, keypool
+    ):
+        server, client = endpoint
+        rng = random.Random(deterministic_seed)
+        bad_blobs = [
+            b"",
+            bytes((KEY_TAG_MAGIC,)),
+            bytes((KEY_TAG_MAGIC, 0x7F)) + b"\x00" * 32,
+            bytes((KEY_TAG_MAGIC, 0x02)) + b"\x02" * 31,
+            bytes((KEY_TAG_MAGIC, 0x02)) + (2).to_bytes(32, "little"),
+        ] + [
+            bytes(rng.getrandbits(8) for _ in range(rng.randrange(1, 60)))
+            for _ in range(20)
+        ]
+        rejected = 0
+        for blob in bad_blobs:
+            try:
+                client.register_key("/mallory", blob)
+            except LoggingError:
+                rejected += 1
+        assert len(server.keystore) == 0
+        assert rejected >= len(bad_blobs) - 1  # a random blob may parse as RSA
+
+        # the server thread survived all of it: real work still lands
+        client.register_key("/honest", keypool[0].public)
+        assert server.keystore.find("/honest") == keypool[0].public
+        assert client.health().entries == 0
+
+    @pytest.mark.parametrize("scheme", ["rsa", "ed25519"])
+    def test_tagged_keys_roundtrip_the_rpc(self, endpoint, scheme, deterministic_seed):
+        server, client = endpoint
+        pair = generate_keypair(512, seed=deterministic_seed, scheme=scheme)
+        client.register_key("/node", pair.public)
+        stored = server.keystore.get("/node")
+        assert stored == pair.public
+        assert stored.scheme_name == scheme
+
+
+class TestSthFuzz:
+    @pytest.mark.parametrize("scheme", ["rsa", "ed25519"])
+    def test_verify_is_total(self, scheme, deterministic_seed):
+        rng = random.Random(deterministic_seed)
+        pair = generate_keypair(512, seed=deterministic_seed, scheme=scheme)
+        sth = issue_sth(
+            pair.private, "log-1", 7, sha256(b"head"), sha256(b"root"),
+            timestamp=1234.5,
+        )
+        assert sth.verify(pair.public)
+        for _ in range(FUZZ_ROUNDS):
+            sth.signature = bytes(
+                rng.getrandbits(8) for _ in range(rng.randrange(0, 150))
+            )
+            assert sth.verify(pair.public) is False
+
+    def test_sth_signed_by_other_scheme_fails_cleanly(self, deterministic_seed):
+        rsa_pair = generate_keypair(512, seed=deterministic_seed, scheme="rsa")
+        ed_pair = generate_keypair(seed=deterministic_seed, scheme="ed25519")
+        sth = issue_sth(
+            ed_pair.private, "log-1", 7, sha256(b"head"), sha256(b"root"),
+            timestamp=1234.5,
+        )
+        assert sth.verify(ed_pair.public)
+        assert sth.verify(rsa_pair.public) is False
